@@ -1,0 +1,46 @@
+"""Figure 5 — Evaluation time over all problems vs number of workers, with and without image caching.
+
+Paper: a single machine needs over 10 hours; a 64-worker cluster with shared
+Docker image caching finishes in under 30 minutes (a >20x speedup, ~13x from
+parallelism and ~1.6x from caching).
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import FAST_MODE, bench_dataset
+from repro.analysis.paper_reference import PAPER_FIGURE5_HOURS
+from repro.evalcluster import sweep_workers
+
+
+def test_fig5_evaluation_time_sweep(benchmark):
+    dataset = bench_dataset()
+    sweep = benchmark.pedantic(sweep_workers, args=(dataset,), rounds=1, iterations=1)
+
+    print("\nFigure 5 (hours, measured vs paper):")
+    for caching in (False, True):
+        label = "w/ caching " if caching else "w/o caching"
+        for workers, hours in sweep[caching].items():
+            paper = PAPER_FIGURE5_HOURS[caching][workers]
+            print(f"  {label} {workers:>3} workers: {hours:6.2f} h   (paper {paper:.2f} h)")
+
+    cached = sweep[True]
+    uncached = sweep[False]
+
+    # More workers means faster evaluation (both settings, monotone).
+    assert cached[1] > cached[4] > cached[16] > cached[64]
+    assert uncached[1] > uncached[4] > uncached[16] >= uncached[64]
+
+    if not FAST_MODE:
+        # Single machine takes on the order of 10 hours.
+        assert 7.0 < cached[1] < 14.0
+        # The 64-worker cached cluster finishes in well under an hour.
+        assert cached[64] < 1.0
+        # Overall speedup exceeds the paper's 20x claim threshold.
+        assert cached[1] / cached[64] > 13.0
+
+    # Caching helps, and helps most at high worker counts.
+    assert cached[64] < uncached[64]
+    caching_gain_64 = uncached[64] / cached[64]
+    caching_gain_1 = uncached[1] / cached[1]
+    assert caching_gain_64 > caching_gain_1
+    assert caching_gain_64 > 1.3

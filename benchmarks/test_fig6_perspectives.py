@@ -1,0 +1,53 @@
+"""Figure 6 — Performance analysis from four perspectives across the model ranking.
+
+Each panel plots the unit-test score of every model (x = rank in Table 4)
+for the buckets of one factor: application category, code context, length
+of the reference answer, and question token count.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import full_zero_shot_result
+from repro.analysis.breakdown import PERSPECTIVES, perspective_series
+from repro.llm.registry import available_models
+
+
+def _all_series():
+    result = full_zero_shot_result()
+    evaluations = [result[m] for m in available_models()]
+    return {perspective: perspective_series(evaluations, perspective) for perspective in PERSPECTIVES}
+
+
+def test_fig6_perspective_series(benchmark):
+    series_by_perspective = benchmark.pedantic(_all_series, rounds=1, iterations=1)
+    models = available_models()
+
+    print("\nFigure 6 series (x axis = model index in Table 4 ranking):")
+    for perspective, series in series_by_perspective.items():
+        print(f"  [{perspective}]")
+        for bucket, values in series.items():
+            print(f"    {bucket:<12} " + " ".join(f"{v:.2f}" for v in values))
+
+    # Every series has one point per model.
+    for series in series_by_perspective.values():
+        for values in series.values():
+            assert len(values) == len(models)
+
+    application = series_by_perspective["application"]
+    top3 = slice(0, 3)  # gpt-4, gpt-3.5, palm-2
+    # Kubernetes dominates Envoy for the capable models (Envoy hardest).
+    assert all(k > e for k, e in zip(application["kubernetes"][top3], application["envoy"][top3]))
+
+    answer_lines = series_by_perspective["answer_lines"]
+    # Short answers are easier than long answers for the capable models.
+    assert all(s >= l for s, l in zip(answer_lines["[0, 15)"][top3], answer_lines[">=30"][top3]))
+
+    # Scores broadly decay with model rank (first model beats the last in every bucket that is non-zero).
+    for series in series_by_perspective.values():
+        for values in series.values():
+            if values[0] > 0.05:
+                assert values[0] >= values[-1]
+
+    code_context = series_by_perspective["code_context"]
+    # Code context has no dramatic effect for the top models.
+    assert abs(code_context["w/ code"][0] - code_context["w/o code"][0]) < 0.25

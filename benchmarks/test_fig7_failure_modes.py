@@ -1,0 +1,56 @@
+"""Figure 7 — Failure analysis of GPT-4, Llama-2-70B and Llama-2-7B in six categories.
+
+Paper observations: GPT-4 makes *more* trivially-filterable category-1
+mistakes than the Llama models; both Llama models produce a large number of
+category-5 answers (valid YAML of the right kind that still fails the unit
+test), i.e. they get the general idea but are not accurate enough.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import bench_dataset, full_zero_shot_result
+from repro.analysis.failure_modes import FailureCategory
+from repro.analysis.paper_reference import PAPER_FIGURE7
+from repro.analysis.tables import figure7_failure_modes
+
+MODELS = ("gpt-4", "llama-2-70b-chat", "llama-2-7b-chat")
+
+
+def test_fig7_failure_mode_histograms(benchmark):
+    dataset = bench_dataset()
+    result = full_zero_shot_result()
+    histograms = benchmark.pedantic(
+        figure7_failure_modes, args=(dataset, result), kwargs={"models": MODELS}, rounds=1, iterations=1
+    )
+
+    print("\nFigure 7 (measured counts per category, paper in parentheses):")
+    for model in MODELS:
+        counts = histograms[model]
+        paper = PAPER_FIGURE7[model]
+        row = "  ".join(
+            f"#{category.value}:{counts[category]}({paper[category.value - 1]})" for category in FailureCategory
+        )
+        print(f"  {model:<20} {row}")
+
+    total_problems = len(dataset.originals())
+    for model in MODELS:
+        assert sum(histograms[model].values()) == total_problems
+
+    gpt4 = histograms["gpt-4"]
+    llama70 = histograms["llama-2-70b-chat"]
+    llama7 = histograms["llama-2-7b-chat"]
+
+    # Pass counts (category 6) are ordered by model capability.
+    assert gpt4[FailureCategory.PASSES] > llama70[FailureCategory.PASSES] > llama7[FailureCategory.PASSES]
+
+    # Category 5 dominates the Llama models' failures ("general idea, not accurate enough").
+    for histogram in (llama70, llama7):
+        failures = sum(v for cat, v in histogram.items() if cat is not FailureCategory.PASSES)
+        assert histogram[FailureCategory.FAILS_UNIT_TEST] > 0.4 * failures
+
+    # Both Llama models produce many more category-5 answers than GPT-4 does.
+    assert llama70[FailureCategory.FAILS_UNIT_TEST] > 1.5 * gpt4[FailureCategory.FAILS_UNIT_TEST]
+
+    # Incomplete-YAML answers (category 3) are a substantial failure mode for every model.
+    for histogram in (gpt4, llama70, llama7):
+        assert histogram[FailureCategory.INCOMPLETE_YAML] >= 0.03 * total_problems

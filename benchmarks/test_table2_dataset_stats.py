@@ -1,0 +1,32 @@
+"""Table 2 — Statistics of the CloudEval-YAML dataset.
+
+Paper: 337 original problems split 48/55/20/19/19/122 across the Kubernetes
+sub-categories plus 41 Envoy and 13 Istio problems; Envoy solutions are by
+far the longest (85.85 lines vs a 28.35 average); solutions are roughly 4x
+longer than HumanEval/MBPP.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import FAST_MODE, bench_dataset
+from repro.dataset.schema import Category, ORIGINAL_CATEGORY_COUNTS
+from repro.dataset.statistics import dataset_statistics, format_table2
+
+
+def test_table2_dataset_statistics(benchmark):
+    dataset = bench_dataset()
+    stats = benchmark.pedantic(dataset_statistics, args=(dataset,), rounds=1, iterations=1)
+
+    print("\n" + format_table2(stats))
+
+    if not FAST_MODE:
+        for category, expected in ORIGINAL_CATEGORY_COUNTS.items():
+            assert stats[category.value].count == expected
+        assert stats["total"].count == 337
+
+    # Envoy configurations are the longest solutions, as in the paper.
+    assert stats[Category.ENVOY.value].avg_solution_lines > 1.5 * stats["total"].avg_solution_lines
+    # Solutions are far longer than HumanEval's 6.3-line average.
+    assert stats["total"].avg_solution_lines > 2 * 6.3
+    # Unit tests are non-trivial scripts.
+    assert stats["total"].avg_unit_test_lines > 5

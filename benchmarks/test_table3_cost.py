@@ -1,0 +1,36 @@
+"""Table 3 — Sample running cost of the benchmark in dollars.
+
+Paper: GPT-3.5 inference $0.60, Llama-7b via replicate $2.90; evaluation on
+one GCP spot instance $0.71, 64 spot instances $2.20, 64 standard $5.51;
+total cost between $1.31 and $8.41 per full run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import FAST_MODE, bench_dataset
+from repro.analysis.paper_reference import PAPER_TABLE3
+from repro.evalcluster import benchmark_cost_table
+
+
+def test_table3_running_cost(benchmark):
+    dataset = bench_dataset()
+    table = benchmark.pedantic(benchmark_cost_table, args=(dataset,), rounds=1, iterations=1)
+
+    print("\nTable 3 (measured vs paper, $):")
+    for key, value in table.items():
+        print(f"  {key:<28} {value:7.2f}   paper: {PAPER_TABLE3.get(key, float('nan')):.2f}")
+
+    # Ordering of the evaluation options matches the paper.
+    assert table["evaluation:gcp-spot-x1"] < table["evaluation:gcp-spot-x64"] < table["evaluation:gcp-standard-x64"]
+    # API inference is cheaper than GPU-hour inference for this workload.
+    assert table["inference:gpt-3.5"] < table["inference:llama-7b"]
+
+    if not FAST_MODE:
+        # Dollar amounts land in the same ballpark as Table 3.
+        assert table["inference:gpt-3.5"] == pytest.approx(PAPER_TABLE3["inference:gpt-3.5"], abs=0.4)
+        assert table["evaluation:gcp-spot-x1"] == pytest.approx(PAPER_TABLE3["evaluation:gcp-spot-x1"], abs=0.25)
+        assert table["evaluation:gcp-standard-x64"] == pytest.approx(PAPER_TABLE3["evaluation:gcp-standard-x64"], rel=0.25)
+        assert 0.8 <= table["total:min"] <= 2.5
+        assert 5.0 <= table["total:max"] <= 11.0

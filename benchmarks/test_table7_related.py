@@ -1,0 +1,32 @@
+"""Table 7 — Comparison of CloudEval-YAML with other code-generation benchmarks."""
+
+from __future__ import annotations
+
+from benchmarks.common import bench_dataset
+from repro.analysis.related import RELATED_BENCHMARKS, format_table7
+from repro.dataset.schema import Variant
+
+
+def test_table7_related_benchmarks(benchmark):
+    table = benchmark.pedantic(format_table7, rounds=1, iterations=1)
+    print("\n" + table)
+
+    rows = {row.name: row for row in RELATED_BENCHMARKS}
+    cloudeval = rows["CloudEval-YAML"]
+
+    # CloudEval-YAML is the only benchmark targeting YAML for cloud apps with
+    # unit tests plus the key-value wildcard metric, and it is bilingual.
+    assert cloudeval.problem_domain == "YAML for Cloud apps"
+    assert "Unit tests" in cloudeval.special_eval_metric and "wildcard" in cloudeval.special_eval_metric
+    assert set(cloudeval.natural_languages) == {"EN", "ZH"}
+    yaml_benchmarks = [row for row in RELATED_BENCHMARKS if "YAML" in row.problem_domain]
+    assert {row.name for row in yaml_benchmarks} == {"Ansible", "CloudEval-YAML"}
+
+    # The problem count stated in the table matches the generated dataset.
+    dataset = bench_dataset()
+    assert cloudeval.num_problems == "1011"
+    if len(dataset) == 1011:
+        assert len(dataset.by_variant(Variant.ORIGINAL)) == 337
+
+    # Hand-written benchmarks listed in the paper are present for comparison.
+    assert {"HumanEval", "MBPP", "WikiSQL", "DS-1000"} <= set(rows)

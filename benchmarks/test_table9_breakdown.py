@@ -1,0 +1,52 @@
+"""Table 9 — Unit-test score broken down by category, code context, answer length and question tokens.
+
+Paper claims: Envoy questions are the hardest for every capable model;
+longer reference answers are harder (with a steep drop beyond 30 lines);
+the presence of a code context has no substantial influence; question
+length correlates with difficulty more weakly than answer length.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import full_zero_shot_result
+from repro.analysis.breakdown import breakdown_table
+
+
+def _all_breakdowns():
+    result = full_zero_shot_result()
+    return {model: breakdown_table(result[model]) for model in result.models()}
+
+
+def test_table9_per_factor_breakdown(benchmark):
+    breakdowns = benchmark.pedantic(_all_breakdowns, rounds=1, iterations=1)
+
+    print("\nTable 9 (measured unit-test scores):")
+    for model, table in breakdowns.items():
+        app = table["application"]
+        lines = table["answer_lines"]
+        print(
+            f"  {model:<26} k8s {app['kubernetes']:.3f}  envoy {app['envoy']:.3f}  istio {app['istio']:.3f}"
+            f"  | [0,15) {lines['[0, 15)']:.3f}  [15,30) {lines['[15, 30)']:.3f}  >=30 {lines['>=30']:.3f}"
+        )
+
+    gpt4 = breakdowns["gpt-4"]
+    gpt35 = breakdowns["gpt-3.5"]
+
+    # Envoy is much harder than Kubernetes for the capable models.
+    for table in (gpt4, gpt35):
+        assert table["application"]["envoy"] < 0.6 * table["application"]["kubernetes"]
+
+    # Longer reference answers are harder; the >=30 bucket collapses.
+    for table in (gpt4, gpt35):
+        assert table["answer_lines"]["[0, 15)"] >= table["answer_lines"][">=30"]
+        assert table["answer_lines"][">=30"] < 0.7 * table["answer_lines"]["[0, 15)"]
+
+    # Code context does not change performance dramatically for GPT-4.
+    with_code = gpt4["code_context"]["w/ code"]
+    without_code = gpt4["code_context"]["w/o code"]
+    assert abs(with_code - without_code) < 0.25
+
+    # Question length is a weaker factor than answer length for GPT-4.
+    question_spread = gpt4["question_tokens"]["[0, 50)"] - gpt4["question_tokens"][">=100"]
+    answer_spread = gpt4["answer_lines"]["[0, 15)"] - gpt4["answer_lines"][">=30"]
+    assert answer_spread >= question_spread - 0.1

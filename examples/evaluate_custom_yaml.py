@@ -1,0 +1,69 @@
+"""Score hand-written YAML answers against dataset problems.
+
+This is the workflow of a platform team that wants to grade configurations
+produced by *their own* tool (a template engine, an internal LLM, a human):
+pick problems, attach candidate YAML, and get the full score card —
+including functional verification on the simulated Kubernetes cluster —
+without calling any model at all.
+
+Run with::
+
+    python examples/evaluate_custom_yaml.py
+"""
+
+from __future__ import annotations
+
+from repro import build_dataset, score_answer
+from repro.dataset.schema import Category, Variant
+
+# A correct answer for the classic "expose a deployment with a LoadBalancer"
+# problem family, and a subtly broken variant (wrong selector).
+GOOD_SERVICE = """
+apiVersion: v1
+kind: Service
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  selector:
+    app: {app}
+  ports:
+  - name: http
+    port: {port}
+    targetPort: {port}
+  type: LoadBalancer
+"""
+
+BROKEN_SERVICE = GOOD_SERVICE.replace("app: {app}", "app: wrong-selector")
+
+
+def main() -> None:
+    dataset = build_dataset()
+    problems = [
+        p
+        for p in dataset.by_category(Category.SERVICE).by_variant(Variant.ORIGINAL)
+        if p.metadata["slug"].startswith("service-loadbalancer")
+    ][:3]
+
+    print(f"Scoring hand-written answers for {len(problems)} LoadBalancer problems.\n")
+    for problem in problems:
+        # Recover the parameters the problem asks for from its metadata/reference.
+        app = problem.reference_plain().split("app: ")[1].splitlines()[0].strip()
+        namespace = problem.reference_plain().split("namespace: ")[1].splitlines()[0].strip()
+        port = problem.reference_plain().split("port: ")[1].splitlines()[0].strip()
+        name = f"{app}-service"
+
+        for label, template in (("correct", GOOD_SERVICE), ("broken-selector", BROKEN_SERVICE)):
+            answer = template.format(name=name, namespace=namespace, app=app, port=port)
+            card = score_answer(problem, answer)
+            print(
+                f"{problem.problem_id:<28} {label:<16} "
+                f"unit_test={card.unit_test:.0f}  kv_wildcard={card.kv_wildcard:.2f}  "
+                f"bleu={card.bleu:.2f}"
+                + (f"   ({card.failure_message})" if card.failure_message else "")
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

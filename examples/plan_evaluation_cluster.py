@@ -1,0 +1,53 @@
+"""Plan an evaluation cluster: size workers, caching and budget before running.
+
+Uses the discrete-event simulation of the cloud evaluation framework (§3.3)
+and the cost model (§3.4) to answer: "how many workers do I need to grade
+all 1011 problems within my deadline, and what will the run cost?"
+
+Run with::
+
+    python examples/plan_evaluation_cluster.py
+"""
+
+from __future__ import annotations
+
+from repro import build_dataset
+from repro.evalcluster import (
+    ClusterSimulationConfig,
+    benchmark_cost_table,
+    simulate_evaluation,
+)
+
+DEADLINE_HOURS = 1.0
+
+
+def main() -> None:
+    dataset = build_dataset()
+    print(f"Planning evaluation of {len(dataset)} problems (deadline: {DEADLINE_HOURS} h).\n")
+
+    print(f"{'workers':>8} {'caching':>8} {'hours':>8} {'internet GB':>12} {'jobs/worker (max)':>18}")
+    chosen = None
+    for caching in (False, True):
+        for workers in (1, 4, 16, 32, 64):
+            config = ClusterSimulationConfig(num_workers=workers, caching_enabled=caching)
+            result = simulate_evaluation(dataset, config)
+            busiest = max(result.per_worker_jobs.values())
+            print(
+                f"{workers:>8} {str(caching):>8} {result.total_hours:>8.2f} "
+                f"{result.internet_mb / 1024:>12.1f} {busiest:>18}"
+            )
+            if caching and chosen is None and result.total_hours <= DEADLINE_HOURS:
+                chosen = (workers, result.total_hours)
+
+    if chosen:
+        print(f"\nSmallest cached cluster meeting the deadline: {chosen[0]} workers ({chosen[1]:.2f} h).")
+    else:
+        print("\nNo configuration meets the deadline; add workers or relax the deadline.")
+
+    print("\nBudget (Table 3 style):")
+    for item, dollars in benchmark_cost_table(dataset).items():
+        print(f"  {item:<28} ${dollars:.2f}")
+
+
+if __name__ == "__main__":
+    main()

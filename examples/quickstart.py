@@ -1,0 +1,54 @@
+"""Quickstart: evaluate one model on a slice of the CloudEval-YAML dataset.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds the dataset, picks a model from the registry, generates
+answers for a handful of problems, scores them with all six metrics and
+prints a small report.  Swap ``MODEL_NAME`` for any entry of
+``repro.available_models()`` — or wire in a real LLM endpoint by passing
+any object implementing :class:`repro.llm.interface.Model`.
+"""
+
+from __future__ import annotations
+
+from repro import CloudEvalBenchmark, available_models, build_dataset
+from repro.core import BenchmarkConfig
+from repro.dataset.schema import Variant
+
+MODEL_NAME = "gpt-4"
+PROBLEM_BUDGET = 40
+
+
+def main() -> None:
+    print("Available models:", ", ".join(available_models()))
+
+    print("\nBuilding the dataset (337 originals -> 1011 problems)...")
+    dataset = build_dataset()
+    originals = list(dataset.by_variant(Variant.ORIGINAL))[:PROBLEM_BUDGET]
+    print(f"Evaluating {MODEL_NAME!r} on {len(originals)} original problems.\n")
+
+    benchmark = CloudEvalBenchmark(dataset, BenchmarkConfig())
+    evaluation = benchmark.evaluate_model(MODEL_NAME, problems=originals)
+
+    scores = evaluation.mean_scores()
+    print("Average scores (the six metrics of Table 4):")
+    for metric, value in scores.items():
+        print(f"  {metric:<14} {value:.3f}")
+    print(f"\nUnit-test passes: {evaluation.pass_count()} / {len(originals)}")
+
+    # Show one concrete problem, the model's answer and its score card.
+    sample = evaluation.records[0]
+    problem = dataset.get(sample.problem_id)
+    print("\n--- sample problem ------------------------------------------")
+    print(problem.question)
+    print("--- model answer (post-processed) ----------------------------")
+    print(sample.scores.extracted_yaml.rstrip() or "<empty>")
+    print("--- verdict ---------------------------------------------------")
+    verdict = "PASSED" if sample.scores.unit_test >= 1.0 else f"FAILED ({sample.scores.failure_message})"
+    print(f"unit test: {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""CloudEval-YAML reproduction library.
+
+This package reproduces the CloudEval-YAML benchmark (MLSys 2024): a
+practical benchmark for cloud configuration generation.  It provides
+
+* a deterministic dataset of cloud-configuration problems with labeled
+  reference YAML files and executable unit-test programs
+  (:mod:`repro.dataset`),
+* a scoring pipeline with text-level, YAML-aware and function-level
+  metrics (:mod:`repro.scoring`),
+* an in-memory Kubernetes / Envoy / Istio substrate used for functional
+  evaluation (:mod:`repro.kubesim`, :mod:`repro.envoysim`,
+  :mod:`repro.istiosim`),
+* simulated LLM model profiles calibrated to the paper's Table 4
+  (:mod:`repro.llm`),
+* a discrete-event simulation of the distributed evaluation cluster with
+  shared Docker image caching (:mod:`repro.evalcluster`), and
+* analysis utilities that regenerate every table and figure in the
+  paper's evaluation section (:mod:`repro.analysis`).
+
+The top-level namespace lazily re-exports the most commonly used entry
+points so that downstream users can write::
+
+    from repro import build_dataset, CloudEvalBenchmark, get_model
+
+    dataset = build_dataset()
+    bench = CloudEvalBenchmark(dataset)
+    result = bench.evaluate_model(get_model("gpt-4"))
+
+Imports are resolved on first attribute access (PEP 562) so that light
+uses of one subsystem (for example only the Kubernetes simulator) do not
+pay the import cost of the whole benchmark stack.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+__version__ = "1.0.0"
+
+# attribute name -> (module, attribute)
+_LAZY_EXPORTS: dict[str, tuple[str, str]] = {
+    "BenchmarkConfig": ("repro.core.config", "BenchmarkConfig"),
+    "BenchmarkResult": ("repro.core.benchmark", "BenchmarkResult"),
+    "CloudEvalBenchmark": ("repro.core.benchmark", "CloudEvalBenchmark"),
+    "Problem": ("repro.dataset.problem", "Problem"),
+    "ProblemSet": ("repro.dataset.problem", "ProblemSet"),
+    "ScoreCard": ("repro.scoring.aggregate", "ScoreCard"),
+    "available_models": ("repro.llm.registry", "available_models"),
+    "build_dataset": ("repro.dataset.builder", "build_dataset"),
+    "get_model": ("repro.llm.registry", "get_model"),
+    "score_answer": ("repro.scoring.aggregate", "score_answer"),
+}
+
+__all__ = sorted(_LAZY_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    """Resolve the lazy top-level exports on first access."""
+
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attribute)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__() -> list[str]:
+    return __all__
+
+
+if TYPE_CHECKING:  # pragma: no cover - static typing aid only
+    from repro.core.benchmark import BenchmarkResult, CloudEvalBenchmark
+    from repro.core.config import BenchmarkConfig
+    from repro.dataset.builder import build_dataset
+    from repro.dataset.problem import Problem, ProblemSet
+    from repro.llm.registry import available_models, get_model
+    from repro.scoring.aggregate import ScoreCard, score_answer

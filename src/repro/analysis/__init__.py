@@ -1,0 +1,27 @@
+"""Analysis layer: everything needed to regenerate the paper's tables and figures."""
+
+from repro.analysis.breakdown import breakdown_table, perspective_series
+from repro.analysis.failure_modes import FailureCategory, classify_answer, failure_histogram
+from repro.analysis.pass_at_k import pass_at_k_curves
+from repro.analysis.predictor import predict_unit_test_scores, shap_feature_importance
+from repro.analysis.tables import (
+    table1_augmentation,
+    table4_zero_shot,
+    table5_augmented_passes,
+    table6_few_shot,
+)
+
+__all__ = [
+    "FailureCategory",
+    "breakdown_table",
+    "classify_answer",
+    "failure_histogram",
+    "pass_at_k_curves",
+    "perspective_series",
+    "predict_unit_test_scores",
+    "shap_feature_importance",
+    "table1_augmentation",
+    "table4_zero_shot",
+    "table5_augmented_passes",
+    "table6_few_shot",
+]

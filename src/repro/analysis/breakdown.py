@@ -1,0 +1,83 @@
+"""Per-factor performance breakdown (Table 9 and Figure 6).
+
+The paper analyses unit-test scores along four perspectives: application
+category (Kubernetes / Envoy / Istio), presence of a code context, length
+of the reference answer, and question token count.  The functions here
+compute those breakdowns from :class:`~repro.core.benchmark.ModelEvaluation`
+records of the original dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.benchmark import EvaluationRecord, ModelEvaluation
+
+__all__ = ["PERSPECTIVES", "breakdown_table", "perspective_series"]
+
+
+def _mean_unit_test(records: Sequence[EvaluationRecord]) -> float:
+    if not records:
+        return 0.0
+    return float(np.mean([r.scores.unit_test for r in records]))
+
+
+def _length_bucket(record: EvaluationRecord) -> str:
+    if record.solution_lines < 15:
+        return "[0, 15)"
+    if record.solution_lines < 30:
+        return "[15, 30)"
+    return ">=30"
+
+
+def _token_bucket(record: EvaluationRecord) -> str:
+    if record.question_tokens < 50:
+        return "[0, 50)"
+    if record.question_tokens < 100:
+        return "[50, 100)"
+    return ">=100"
+
+
+def _code_context_bucket(record: EvaluationRecord) -> str:
+    return "w/ code" if record.has_code_context else "w/o code"
+
+
+#: Figure 6 panels: perspective name -> (bucket labels, bucketing function).
+PERSPECTIVES: dict[str, tuple[tuple[str, ...], Callable[[EvaluationRecord], str]]] = {
+    "application": (("kubernetes", "envoy", "istio"), lambda r: r.application),
+    "code_context": (("w/ code", "w/o code"), _code_context_bucket),
+    "answer_lines": (("[0, 15)", "[15, 30)", ">=30"), _length_bucket),
+    "question_tokens": (("[0, 50)", "[50, 100)", ">=100"), _token_bucket),
+}
+
+
+def breakdown_table(evaluation: ModelEvaluation, variant: str = "original") -> dict[str, dict[str, float]]:
+    """Table 9 row for one model: unit-test score per bucket of every perspective."""
+
+    records = [r for r in evaluation.first_samples() if r.variant == variant]
+    table: dict[str, dict[str, float]] = {}
+    for perspective, (buckets, key_fn) in PERSPECTIVES.items():
+        table[perspective] = {
+            bucket: _mean_unit_test([r for r in records if key_fn(r) == bucket]) for bucket in buckets
+        }
+    return table
+
+
+def perspective_series(
+    evaluations: Sequence[ModelEvaluation],
+    perspective: str,
+    variant: str = "original",
+) -> dict[str, list[float]]:
+    """Figure 6 panel: one series per bucket, indexed by model rank order."""
+
+    if perspective not in PERSPECTIVES:
+        raise KeyError(f"unknown perspective {perspective!r}; available: {list(PERSPECTIVES)}")
+    buckets, _ = PERSPECTIVES[perspective]
+    series: dict[str, list[float]] = {bucket: [] for bucket in buckets}
+    for evaluation in evaluations:
+        table = breakdown_table(evaluation, variant=variant)
+        for bucket in buckets:
+            series[bucket].append(table[perspective][bucket])
+    return series

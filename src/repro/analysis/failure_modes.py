@@ -1,0 +1,103 @@
+"""Failure-mode analysis (Figure 7).
+
+Answers are grouped into the paper's six categories, ordered by how close
+they are to a correct answer:
+
+1. empty or shorter than 3 lines,
+2. longer than 3 lines but without the ``kind`` field (``static_resources``
+   for Envoy problems),
+3. contains ``kind`` but is not a complete/parsable YAML file,
+4. valid YAML but the ``kind`` field is incorrect,
+5. valid YAML with the correct ``kind`` that still fails the unit test,
+6. correct YAML that passes the unit test.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from enum import IntEnum
+
+from repro.dataset.problem import Problem
+from repro.postprocess import extract_yaml
+from repro.yamlkit.parsing import YamlParseError, load_all_documents
+
+__all__ = ["FailureCategory", "classify_answer", "failure_histogram"]
+
+
+class FailureCategory(IntEnum):
+    """The six answer categories of Figure 7 (6 = passes the unit test)."""
+
+    EMPTY = 1
+    NO_KIND = 2
+    INCOMPLETE_YAML = 3
+    WRONG_KIND = 4
+    FAILS_UNIT_TEST = 5
+    PASSES = 6
+
+
+def _expected_kinds(problem: Problem) -> set[str]:
+    """Kinds that count as "correct" for the problem."""
+
+    expected = {str(problem.metadata.get("primary_kind", ""))}
+    for line in problem.reference_plain().splitlines():
+        stripped = line.strip()
+        if stripped.startswith("kind:"):
+            expected.add(stripped.split(":", 1)[1].strip())
+    return {k for k in expected if k}
+
+
+def classify_answer(problem: Problem, raw_response: str, unit_test_passed: bool) -> FailureCategory:
+    """Assign a raw response to one of the six categories."""
+
+    if unit_test_passed:
+        return FailureCategory.PASSES
+
+    extracted = extract_yaml(raw_response)
+    text = extracted if extracted.strip() else raw_response
+    lines = [line for line in text.splitlines() if line.strip()]
+    if len(lines) < 3:
+        return FailureCategory.EMPTY
+
+    is_envoy = problem.unit_test.target == "envoy"
+    marker = "static_resources" if is_envoy else "kind"
+    if not any(marker in line for line in lines):
+        return FailureCategory.NO_KIND
+
+    try:
+        documents = [d for d in load_all_documents(text) if isinstance(d, dict)]
+        parse_ok = bool(documents)
+    except YamlParseError:
+        documents = []
+        parse_ok = False
+    if not parse_ok:
+        return FailureCategory.INCOMPLETE_YAML
+
+    if is_envoy:
+        # For Envoy the presence of a parsable static_resources section plays
+        # the role of a correct kind.
+        has_static = any("static_resources" in d for d in documents)
+        return FailureCategory.FAILS_UNIT_TEST if has_static else FailureCategory.WRONG_KIND
+
+    expected = _expected_kinds(problem)
+    answer_kinds = {str(d.get("kind", "")) for d in documents}
+    if expected and not (answer_kinds & expected):
+        return FailureCategory.WRONG_KIND
+    return FailureCategory.FAILS_UNIT_TEST
+
+
+def failure_histogram(
+    problems: list[Problem],
+    responses: dict[str, str],
+    unit_test_results: dict[str, bool],
+) -> dict[FailureCategory, int]:
+    """Count categories over a set of problems.
+
+    ``responses`` and ``unit_test_results`` are keyed by ``problem_id``.
+    """
+
+    counts: Counter[FailureCategory] = Counter()
+    for problem in problems:
+        response = responses.get(problem.problem_id, "")
+        passed = unit_test_results.get(problem.problem_id, False)
+        counts[classify_answer(problem, response, passed)] += 1
+    return {category: counts.get(category, 0) for category in FailureCategory}

@@ -1,0 +1,90 @@
+"""Published numbers from the paper, used for comparison and sanity checks.
+
+Benchmarks and EXPERIMENTS.md compare this repository's measured values
+against these reference values.  Absolute agreement is not expected (the
+substrate is a simulator and the models are calibrated profiles); what must
+hold are the qualitative claims — ranking, gaps, trends — which the tests
+under ``tests/analysis`` assert.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "PAPER_TABLE6",
+    "PAPER_FIGURE5_HOURS",
+    "PAPER_FIGURE7",
+    "PAPER_TABLE1",
+    "PAPER_TABLE3",
+]
+
+# Table 4: model -> (bleu, edit_distance, exact_match, kv_exact, kv_wildcard, unit_test)
+PAPER_TABLE4: dict[str, tuple[float, float, float, float, float, float]] = {
+    "gpt-4": (0.629, 0.538, 0.092, 0.198, 0.641, 0.515),
+    "gpt-3.5": (0.612, 0.511, 0.075, 0.154, 0.601, 0.412),
+    "palm-2-bison": (0.537, 0.432, 0.040, 0.092, 0.506, 0.322),
+    "llama-2-70b-chat": (0.355, 0.305, 0.000, 0.020, 0.276, 0.085),
+    "llama-2-13b-chat": (0.341, 0.298, 0.000, 0.016, 0.265, 0.067),
+    "wizardcoder-34b-v1.0": (0.238, 0.247, 0.007, 0.013, 0.230, 0.056),
+    "llama-2-7b-chat": (0.289, 0.231, 0.000, 0.009, 0.177, 0.027),
+    "wizardcoder-15b-v1.0": (0.217, 0.255, 0.002, 0.002, 0.226, 0.026),
+    "llama-7b": (0.106, 0.058, 0.004, 0.005, 0.069, 0.023),
+    "llama-13b-lora": (0.101, 0.054, 0.001, 0.003, 0.065, 0.021),
+    "codellama-7b-instruct": (0.154, 0.174, 0.001, 0.001, 0.124, 0.015),
+    "codellama-13b-instruct": (0.179, 0.206, 0.002, 0.002, 0.142, 0.012),
+}
+
+# Table 5: model -> (original, simplified, translated) unit-test pass counts.
+PAPER_TABLE5: dict[str, tuple[int, int, int | None]] = {
+    "gpt-4": (179, 164, 178),
+    "gpt-3.5": (142, 143, 132),
+    "palm-2-bison": (120, 97, None),
+    "llama-2-70b-chat": (30, 24, 32),
+    "llama-2-13b-chat": (26, 17, 25),
+    "wizardcoder-34b-v1.0": (24, 31, 2),
+    "llama-2-7b-chat": (13, 9, 5),
+    "wizardcoder-15b-v1.0": (12, 11, 3),
+    "llama-7b": (12, 7, 4),
+    "llama-13b-lora": (8, 9, 4),
+    "codellama-7b-instruct": (5, 6, 4),
+    "codellama-13b-instruct": (5, 2, 5),
+}
+
+# Table 6: model -> pass counts at 0/1/2/3 shots on the original dataset.
+PAPER_TABLE6: dict[str, tuple[int, int, int, int]] = {
+    "gpt-3.5": (142, 150, 143, 154),
+    "llama-2-70b-chat": (30, 23, 26, 29),
+    "llama-2-7b-chat": (13, 14, 13, 15),
+}
+
+# Figure 5: caching -> {workers: hours} for all 1011 problems.
+PAPER_FIGURE5_HOURS: dict[bool, dict[int, float]] = {
+    False: {1: 10.4, 4: 4.4, 16: 1.5, 64: 0.80},
+    True: {1: 10.3, 4: 4.2, 16: 1.3, 64: 0.50},
+}
+
+# Figure 7: model -> counts for categories 1..6 over the 337 original problems.
+PAPER_FIGURE7: dict[str, tuple[int, int, int, int, int, int]] = {
+    "gpt-4": (8, 1, 42, 30, 77, 179),
+    "llama-2-70b-chat": (0, 2, 88, 37, 180, 30),
+    "llama-2-7b-chat": (2, 2, 97, 42, 181, 13),
+}
+
+# Table 1: variant -> (count, avg words, avg tokens).
+PAPER_TABLE1: dict[str, tuple[int, float, float]] = {
+    "original": (337, 99.40, 508.9),
+    "simplified": (337, 73.86, 402.5),
+    "translated": (337, 57.18, 378.5),
+}
+
+# Table 3: cost line items in dollars.
+PAPER_TABLE3: dict[str, float] = {
+    "inference:gpt-3.5": 0.60,
+    "inference:llama-7b": 2.90,
+    "evaluation:gcp-spot-x1": 0.71,
+    "evaluation:gcp-spot-x64": 2.20,
+    "evaluation:gcp-standard-x64": 5.51,
+    "total:min": 1.31,
+    "total:max": 8.41,
+}

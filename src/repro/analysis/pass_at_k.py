@@ -1,0 +1,68 @@
+"""Multi-sample generation analysis: pass@k (Figure 8, §4.2).
+
+A problem is considered passed at ``k`` when any of its first ``k`` samples
+passes the unit test (Kulal et al., 2019).  The curves report the number of
+passed problems over the original dataset plus the performance normalised
+to the single-sample result.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.benchmark import ModelEvaluation
+
+__all__ = ["PassAtKCurve", "pass_at_k", "pass_at_k_curves"]
+
+
+@dataclass(frozen=True)
+class PassAtKCurve:
+    """pass@k values of one model."""
+
+    model_name: str
+    ks: tuple[int, ...]
+    passed: tuple[int, ...]
+
+    def normalized(self) -> tuple[float, ...]:
+        """Performance normalised to pass@1 (Figure 8, right panel)."""
+
+        base = self.passed[0] if self.passed and self.passed[0] > 0 else 1
+        return tuple(value / base for value in self.passed)
+
+
+def pass_at_k(evaluation: ModelEvaluation, k: int, variant: str = "original") -> int:
+    """Number of problems with at least one passing sample among the first k."""
+
+    outcomes: dict[str, bool] = defaultdict(bool)
+    for record in evaluation.records:
+        if record.variant != variant or record.sample_index >= k:
+            continue
+        if record.scores.unit_test >= 1.0:
+            outcomes[record.base_id] = True
+        else:
+            outcomes.setdefault(record.base_id, False)
+    return sum(1 for passed in outcomes.values() if passed)
+
+
+def pass_at_k_curves(
+    evaluations: Sequence[ModelEvaluation],
+    ks: Sequence[int] = (1, 2, 4, 6, 8, 12, 16, 20),
+    max_k_per_model: dict[str, int] | None = None,
+    variant: str = "original",
+) -> list[PassAtKCurve]:
+    """Compute pass@k curves for several models.
+
+    ``max_k_per_model`` truncates a model's curve early — the paper only ran
+    GPT-4 for 6 samples because of API rate limits.
+    """
+
+    max_k_per_model = max_k_per_model or {}
+    curves = []
+    for evaluation in evaluations:
+        limit = max_k_per_model.get(evaluation.model_name)
+        model_ks = tuple(k for k in ks if limit is None or k <= limit)
+        passed = tuple(pass_at_k(evaluation, k, variant=variant) for k in model_ks)
+        curves.append(PassAtKCurve(model_name=evaluation.model_name, ks=model_ks, passed=passed))
+    return curves

@@ -1,0 +1,122 @@
+"""Unit-test outcome prediction from cheap scores (Figure 9, §4.4).
+
+The experiment: collect the text-level and YAML-aware scores of thousands
+of generated answers from the 12 models, then train a gradient-boosted
+tree classifier to predict whether an answer passes the unit test without
+running it.  New models are simulated with leave-one-model-out evaluation:
+the classifier is trained on the other 11 models and used to predict the
+held-out model's unit-test score.  SHAP values over the five input features
+explain which cheap metric carries the signal (the paper finds key-value
+wildcard match to be the most informative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.benchmark import BenchmarkResult
+from repro.mlkit.gbdt import GradientBoostingClassifier
+from repro.mlkit.metrics import relative_error
+from repro.mlkit.shap import exact_shap_values, mean_abs_shap
+
+__all__ = [
+    "FEATURE_NAMES",
+    "PredictionOutcome",
+    "build_feature_matrix",
+    "predict_unit_test_scores",
+    "shap_feature_importance",
+]
+
+#: Input features, in the order used throughout this module.
+FEATURE_NAMES: tuple[str, ...] = ("bleu", "edit_distance", "exact_match", "kv_match", "kv_wildcard")
+
+
+@dataclass(frozen=True)
+class PredictionOutcome:
+    """Predicted vs ground-truth unit-test score for one held-out model."""
+
+    model_name: str
+    predicted_passes: float
+    actual_passes: int
+    sample_count: int
+
+    @property
+    def error_percent(self) -> float:
+        return relative_error(self.predicted_passes, self.actual_passes)
+
+
+def build_feature_matrix(result: BenchmarkResult, variant: str | None = None) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stack (features, labels, model indices) over every scored answer."""
+
+    features: list[list[float]] = []
+    labels: list[int] = []
+    model_indices: list[int] = []
+    for model_index, model_name in enumerate(result.models()):
+        for record in result[model_name].first_samples():
+            if variant is not None and record.variant != variant:
+                continue
+            features.append(record.scores.text_features())
+            labels.append(1 if record.scores.unit_test >= 1.0 else 0)
+            model_indices.append(model_index)
+    return np.asarray(features, dtype=float), np.asarray(labels, dtype=int), np.asarray(model_indices, dtype=int)
+
+
+def predict_unit_test_scores(
+    result: BenchmarkResult,
+    variant: str | None = "original",
+    n_estimators: int = 60,
+    max_depth: int = 3,
+    random_state: int = 0,
+) -> list[PredictionOutcome]:
+    """Leave-one-model-out prediction of unit-test pass counts (Figure 9a)."""
+
+    X, y, model_indices = build_feature_matrix(result, variant=variant)
+    outcomes: list[PredictionOutcome] = []
+    for model_index, model_name in enumerate(result.models()):
+        held_out = model_indices == model_index
+        if not held_out.any() or held_out.all():
+            continue
+        classifier = GradientBoostingClassifier(
+            n_estimators=n_estimators, max_depth=max_depth, random_state=random_state
+        )
+        classifier.fit(X[~held_out], y[~held_out])
+        probabilities = classifier.predict_proba(X[held_out])
+        outcomes.append(
+            PredictionOutcome(
+                model_name=model_name,
+                predicted_passes=float(probabilities.sum()),
+                actual_passes=int(y[held_out].sum()),
+                sample_count=int(held_out.sum()),
+            )
+        )
+    return outcomes
+
+
+def shap_feature_importance(
+    result: BenchmarkResult,
+    variant: str | None = "original",
+    max_samples: int = 400,
+    n_estimators: int = 60,
+    random_state: int = 0,
+) -> dict[str, float]:
+    """Mean |SHAP| per feature for a classifier trained on every model (Figure 9b)."""
+
+    X, y, _ = build_feature_matrix(result, variant=variant)
+    if len(X) == 0:
+        return {name: 0.0 for name in FEATURE_NAMES}
+    classifier = GradientBoostingClassifier(n_estimators=n_estimators, max_depth=3, random_state=random_state)
+    classifier.fit(X, y)
+
+    # SHAP on a subsample keeps the exact enumeration cheap while remaining
+    # representative; the subsample is deterministic.
+    rng = np.random.default_rng(random_state)
+    if len(X) > max_samples:
+        index = rng.choice(len(X), size=max_samples, replace=False)
+        X_explain = X[index]
+    else:
+        X_explain = X
+    shap_values = exact_shap_values(classifier.predict_proba, X_explain)
+    return mean_abs_shap(shap_values, FEATURE_NAMES)

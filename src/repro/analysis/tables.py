@@ -1,0 +1,99 @@
+"""Builders for the paper's result tables (1, 4, 5, 6)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.failure_modes import FailureCategory, classify_answer
+from repro.core.benchmark import BenchmarkResult, ModelEvaluation
+from repro.dataset.problem import ProblemSet
+from repro.dataset.schema import Variant
+from repro.dataset.statistics import AugmentationStats, augmentation_statistics
+from repro.llm.registry import ENGLISH_ONLY_MODELS
+from repro.scoring.aggregate import METRIC_NAMES
+
+__all__ = [
+    "table1_augmentation",
+    "table4_zero_shot",
+    "table5_augmented_passes",
+    "table6_few_shot",
+    "figure7_failure_modes",
+]
+
+
+def table1_augmentation(dataset: ProblemSet) -> dict[Variant, AugmentationStats]:
+    """Table 1: question count / average words / average tokens per variant."""
+
+    return augmentation_statistics(dataset)
+
+
+def table4_zero_shot(result: BenchmarkResult) -> list[dict[str, object]]:
+    """Table 4: per-model average of all six metrics, sorted by unit-test score.
+
+    English-only models are averaged over the original and simplified
+    variants only, mirroring the footnote of the paper's Table 4.
+    """
+
+    rows: list[dict[str, object]] = []
+    for model_name, evaluation in result.evaluations.items():
+        records = evaluation.first_samples()
+        if model_name in ENGLISH_ONLY_MODELS:
+            records = [r for r in records if r.variant != Variant.TRANSLATED.value]
+        scores = evaluation.mean_scores(records)
+        row: dict[str, object] = {"model": model_name}
+        row.update({name: scores[name] for name in METRIC_NAMES})
+        rows.append(row)
+    rows.sort(key=lambda row: row["unit_test"], reverse=True)
+    for rank, row in enumerate(rows, start=1):
+        row["rank"] = rank
+    return rows
+
+
+def table5_augmented_passes(result: BenchmarkResult) -> dict[str, dict[str, int | None]]:
+    """Table 5: unit-test pass counts per variant for every model."""
+
+    table: dict[str, dict[str, int | None]] = {}
+    for model_name, evaluation in result.evaluations.items():
+        row: dict[str, int | None] = {}
+        for variant in Variant:
+            if model_name in ENGLISH_ONLY_MODELS and variant is Variant.TRANSLATED:
+                row[variant.value] = None
+                continue
+            row[variant.value] = evaluation.pass_count(variant=variant.value)
+        table[model_name] = row
+    return table
+
+
+def table6_few_shot(evaluations_by_shots: dict[int, dict[str, ModelEvaluation]]) -> dict[str, dict[int, int]]:
+    """Table 6: unit-test pass counts on the original dataset per number of shots.
+
+    ``evaluations_by_shots`` maps shot count -> {model name -> evaluation}.
+    """
+
+    table: dict[str, dict[int, int]] = {}
+    for shots, evaluations in sorted(evaluations_by_shots.items()):
+        for model_name, evaluation in evaluations.items():
+            table.setdefault(model_name, {})[shots] = evaluation.pass_count(variant=Variant.ORIGINAL.value)
+    return table
+
+
+def figure7_failure_modes(
+    dataset: ProblemSet,
+    result: BenchmarkResult,
+    models: Sequence[str] = ("gpt-4", "llama-2-70b-chat", "llama-2-7b-chat"),
+) -> dict[str, dict[FailureCategory, int]]:
+    """Figure 7: failure-mode histograms over the original dataset."""
+
+    originals = {p.problem_id: p for p in dataset.by_variant(Variant.ORIGINAL)}
+    histograms: dict[str, dict[FailureCategory, int]] = {}
+    for model_name in models:
+        evaluation = result[model_name]
+        counts = {category: 0 for category in FailureCategory}
+        for record in evaluation.first_samples():
+            problem = originals.get(record.problem_id)
+            if problem is None:
+                continue
+            category = classify_answer(problem, record.raw_response, record.scores.unit_test >= 1.0)
+            counts[category] += 1
+        histograms[model_name] = counts
+    return histograms

@@ -1,0 +1,19 @@
+"""Benchmark orchestration: run models over the dataset and collect scores."""
+
+from repro.core.benchmark import (
+    BenchmarkResult,
+    CloudEvalBenchmark,
+    EvaluationRecord,
+    ModelEvaluation,
+)
+from repro.core.config import BenchmarkConfig
+from repro.core.report import format_leaderboard
+
+__all__ = [
+    "BenchmarkConfig",
+    "BenchmarkResult",
+    "CloudEvalBenchmark",
+    "EvaluationRecord",
+    "ModelEvaluation",
+    "format_leaderboard",
+]

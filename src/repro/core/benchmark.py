@@ -1,0 +1,218 @@
+"""The CloudEval-YAML benchmark driver.
+
+``CloudEvalBenchmark`` ties the pieces together: for every requested model
+it builds prompts, queries the model through the
+:class:`~repro.llm.interface.QueryModule`, post-processes and scores every
+response, and aggregates the results into per-model and per-benchmark
+summaries that the analysis layer turns into the paper's tables and
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.config import BenchmarkConfig
+from repro.dataset.problem import Problem, ProblemSet
+from repro.dataset.schema import Variant
+from repro.llm.interface import GenerationRequest, Model, QueryModule
+from repro.llm.registry import ENGLISH_ONLY_MODELS, available_models, calibrate_models, get_model
+from repro.llm.simulated import SimulatedModel
+from repro.scoring.aggregate import METRIC_NAMES, ScoreCard, score_answer
+
+__all__ = ["EvaluationRecord", "ModelEvaluation", "BenchmarkResult", "CloudEvalBenchmark"]
+
+
+@dataclass(frozen=True)
+class EvaluationRecord:
+    """One scored response."""
+
+    model_name: str
+    problem_id: str
+    base_id: str
+    category: str
+    application: str
+    variant: str
+    has_code_context: bool
+    solution_lines: int
+    question_tokens: int
+    shots: int
+    sample_index: int
+    scores: ScoreCard
+    raw_response: str = ""
+
+
+@dataclass
+class ModelEvaluation:
+    """All scored responses of one model plus aggregation helpers."""
+
+    model_name: str
+    records: list[EvaluationRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- filters ------------------------------------------------------------
+    def filter(self, **criteria: object) -> list[EvaluationRecord]:
+        """Select records matching every keyword criterion (attribute equality)."""
+
+        out = []
+        for record in self.records:
+            if all(getattr(record, key) == value for key, value in criteria.items()):
+                out.append(record)
+        return out
+
+    def first_samples(self) -> list[EvaluationRecord]:
+        """Records of the first sample only (the zero-/few-shot view)."""
+
+        return [r for r in self.records if r.sample_index == 0]
+
+    # -- aggregations ---------------------------------------------------------
+    def mean_scores(self, records: Sequence[EvaluationRecord] | None = None) -> dict[str, float]:
+        """Average every metric over ``records`` (default: first samples)."""
+
+        records = self.first_samples() if records is None else list(records)
+        if not records:
+            return {name: 0.0 for name in METRIC_NAMES}
+        means = {}
+        for name in METRIC_NAMES:
+            means[name] = float(np.mean([getattr(r.scores, name) for r in records]))
+        return means
+
+    def pass_count(self, variant: str | None = None, shots: int | None = None) -> int:
+        """Number of problems whose first sample passes the unit test."""
+
+        count = 0
+        for record in self.first_samples():
+            if variant is not None and record.variant != variant:
+                continue
+            if shots is not None and record.shots != shots:
+                continue
+            if record.scores.unit_test >= 1.0:
+                count += 1
+        return count
+
+    def unit_test_score(self, variant: str | None = None) -> float:
+        """Mean unit-test score over first samples (optionally one variant)."""
+
+        records = self.first_samples()
+        if variant is not None:
+            records = [r for r in records if r.variant == variant]
+        if not records:
+            return 0.0
+        return float(np.mean([r.scores.unit_test for r in records]))
+
+
+@dataclass
+class BenchmarkResult:
+    """Results of evaluating several models on the same dataset."""
+
+    evaluations: dict[str, ModelEvaluation] = field(default_factory=dict)
+
+    def models(self) -> list[str]:
+        return list(self.evaluations)
+
+    def __getitem__(self, model_name: str) -> ModelEvaluation:
+        return self.evaluations[model_name]
+
+    def leaderboard(self) -> list[tuple[str, dict[str, float]]]:
+        """(model, mean scores) rows sorted by descending unit-test score."""
+
+        rows = [(name, evaluation.mean_scores()) for name, evaluation in self.evaluations.items()]
+        return sorted(rows, key=lambda row: row[1]["unit_test"], reverse=True)
+
+    def all_records(self) -> list[EvaluationRecord]:
+        return [record for evaluation in self.evaluations.values() for record in evaluation.records]
+
+
+class CloudEvalBenchmark:
+    """End-to-end benchmark runner over a :class:`ProblemSet`."""
+
+    def __init__(self, dataset: ProblemSet, config: BenchmarkConfig | None = None) -> None:
+        self.dataset = dataset
+        self.config = config or BenchmarkConfig()
+
+    # ------------------------------------------------------------------
+    # Model resolution
+    # ------------------------------------------------------------------
+    def _resolve_model(self, model: Model | str) -> Model:
+        resolved = get_model(model, seed=self.config.seed) if isinstance(model, str) else model
+        if self.config.calibrate and isinstance(resolved, SimulatedModel):
+            resolved = calibrate_models([resolved], self.dataset)[0]
+        return resolved
+
+    def _problems(self, variants: Sequence[Variant] | None = None) -> list[Problem]:
+        selected = tuple(variants) if variants is not None else self.config.variants
+        return [p for p in self.dataset if p.variant in selected]
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate_model(
+        self,
+        model: Model | str,
+        problems: Iterable[Problem] | None = None,
+        shots: int | None = None,
+        samples: int | None = None,
+    ) -> ModelEvaluation:
+        """Evaluate one model and return its scored records."""
+
+        resolved = self._resolve_model(model)
+        shots = self.config.shots if shots is None else shots
+        samples = self.config.samples if samples is None else samples
+        problem_list = list(problems) if problems is not None else self._problems()
+
+        # English-only models skip translated questions, as in the paper.
+        if resolved.name in ENGLISH_ONLY_MODELS:
+            problem_list = [p for p in problem_list if p.variant is not Variant.TRANSLATED]
+
+        query = QueryModule(resolved, max_workers=self.config.max_workers)
+        requests = [
+            GenerationRequest(problem=problem, shots=shots, sample_index=sample)
+            for problem in problem_list
+            for sample in range(samples)
+        ]
+        results = query.query_batch(requests)
+
+        evaluation = ModelEvaluation(model_name=resolved.name)
+        for result in results:
+            problem = result.request.problem
+            card = score_answer(problem, result.response, run_unit_tests=self.config.run_unit_tests)
+            evaluation.records.append(
+                EvaluationRecord(
+                    model_name=resolved.name,
+                    problem_id=problem.problem_id,
+                    base_id=problem.base_id,
+                    category=problem.category.value,
+                    application=problem.application,
+                    variant=problem.variant.value,
+                    has_code_context=problem.has_code_context,
+                    solution_lines=problem.solution_lines(),
+                    question_tokens=problem.question_tokens(),
+                    shots=result.request.shots,
+                    sample_index=result.request.sample_index,
+                    scores=card,
+                    raw_response=result.response,
+                )
+            )
+        return evaluation
+
+    def evaluate_models(
+        self,
+        models: Sequence[Model | str] | None = None,
+        problems: Iterable[Problem] | None = None,
+        shots: int | None = None,
+        samples: int | None = None,
+    ) -> BenchmarkResult:
+        """Evaluate several models (default: all twelve from the registry)."""
+
+        names = list(models) if models is not None else available_models()
+        problem_list = list(problems) if problems is not None else None
+        result = BenchmarkResult()
+        for model in names:
+            evaluation = self.evaluate_model(model, problems=problem_list, shots=shots, samples=samples)
+            result.evaluations[evaluation.model_name] = evaluation
+        return result

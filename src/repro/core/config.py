@@ -1,0 +1,51 @@
+"""Benchmark configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataset.schema import Variant
+
+__all__ = ["BenchmarkConfig"]
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """Knobs controlling a benchmark run.
+
+    Attributes
+    ----------
+    seed:
+        Seed forwarded to the simulated models; the dataset has its own seed.
+    shots:
+        Number of few-shot examples prepended to every prompt (0-3, §4.3).
+    samples:
+        Samples generated per problem (1 for the zero-shot benchmark,
+        more for the multi-sample experiment of §4.2).
+    variants:
+        Which question variants to evaluate; defaults to all three.
+    run_unit_tests:
+        Whether to execute the functional unit tests (True for the real
+        benchmark; False simulates the cheap text-only scoring of §4.4).
+    calibrate:
+        Whether to rescale the simulated models so their original-set pass
+        counts land on the paper's Table 5 values (recommended).
+    max_workers:
+        Parallelism of the query module (1 = sequential, reproducible).
+    """
+
+    seed: int = 7
+    shots: int = 0
+    samples: int = 1
+    variants: tuple[Variant, ...] = (Variant.ORIGINAL, Variant.SIMPLIFIED, Variant.TRANSLATED)
+    run_unit_tests: bool = True
+    calibrate: bool = True
+    max_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.shots < 0 or self.shots > 3:
+            raise ValueError("shots must be between 0 and 3")
+        if self.samples < 1:
+            raise ValueError("samples must be >= 1")
+        if not self.variants:
+            raise ValueError("at least one variant must be selected")

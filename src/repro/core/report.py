@@ -1,0 +1,21 @@
+"""Textual report rendering for benchmark results."""
+
+from __future__ import annotations
+
+from repro.core.benchmark import BenchmarkResult
+from repro.scoring.aggregate import METRIC_NAMES
+
+__all__ = ["format_leaderboard"]
+
+
+def format_leaderboard(result: BenchmarkResult, title: str = "Zero-shot benchmark") -> str:
+    """Render a Table 4-style leaderboard as aligned text."""
+
+    lines = [title, ""]
+    header = f"{'#':<4}{'Model':<26}" + "".join(f"{name:>14}" for name in METRIC_NAMES)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for rank, (model, scores) in enumerate(result.leaderboard(), start=1):
+        row = f"{rank:<4}{model:<26}" + "".join(f"{scores[name]:>14.3f}" for name in METRIC_NAMES)
+        lines.append(row)
+    return "\n".join(lines)

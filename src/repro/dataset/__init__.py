@@ -1,0 +1,33 @@
+"""The CloudEval-YAML problem dataset.
+
+The dataset mirrors the structure of the paper's hand-written corpus:
+337 original problems spanning Kubernetes (pod, daemonset, service, job,
+deployment and other kinds), Envoy and Istio, each with
+
+* a natural-language question (optionally with a YAML context),
+* a labeled reference YAML file (``# *`` wildcard and ``# v in [...]``
+  conditional labels), and
+* a unit-test program executed against the simulated substrate.
+
+Practical data augmentation (:mod:`repro.dataset.augmentation`) derives a
+simplified and a translated variant from every original question, giving
+1011 problems in total, and :mod:`repro.dataset.statistics` reproduces the
+dataset statistics reported in Tables 1 and 2.
+"""
+
+from repro.dataset.augmentation import augment_problem_set, simplify_question, translate_question
+from repro.dataset.builder import build_dataset, build_original_problems
+from repro.dataset.problem import Problem, ProblemSet
+from repro.dataset.schema import Category, Variant
+
+__all__ = [
+    "Category",
+    "Problem",
+    "ProblemSet",
+    "Variant",
+    "augment_problem_set",
+    "build_dataset",
+    "build_original_problems",
+    "simplify_question",
+    "translate_question",
+]

@@ -1,0 +1,322 @@
+"""Practical data augmentation: simplification and translation (§2.2).
+
+The paper rewrites every original question twice with GPT-4 assistance and
+manual review:
+
+* *simplified* — concise, abbreviation-heavy phrasing as used by operators
+  in a hurry (Table 1 reports a 25.7 % word reduction),
+* *translated* — the question in the operation team's native language
+  (Chinese), keeping technical terms and code blocks untouched.
+
+Offline we reproduce both with deterministic rule-based rewriters: an
+abbreviation dictionary plus filler-phrase elision for simplification, and
+a glossary-driven pseudo-translation that maps the English scaffolding of
+the question to Chinese while leaving identifiers, YAML and quoted values
+in place.  The rewriters only touch the question text; reference YAML and
+unit tests are shared across the three variants, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.dataset.problem import Problem, ProblemSet
+from repro.dataset.schema import Variant
+
+__all__ = ["simplify_question", "translate_question", "augment_problem", "augment_problem_set"]
+
+
+# ---------------------------------------------------------------------------
+# Simplification
+# ---------------------------------------------------------------------------
+
+# Phrase-level rewrites applied first (case-insensitive).  Order matters:
+# longer, more specific phrases come before their substrings.
+_PHRASE_REWRITES: list[tuple[str, str]] = [
+    (r"write a yaml file to create", "Create"),
+    (r"write a yaml file that defines", "Define"),
+    (r"write a yaml manifest for", "Create"),
+    (r"please write a yaml file that defines", "Define"),
+    (r"write a yaml for", "Create"),
+    (r"write an envoy static configuration yaml", "Write an Envoy static config"),
+    (r"write an envoy static configuration", "Write an Envoy static config"),
+    (r"craft a yaml file to define", "Create"),
+    (r"create a yaml for", "Create"),
+    (r"please provide me the exact configuration for that\.", "Provide exact config."),
+    (r"please provide the entire yaml configuration for this\.", "Provide full YAML."),
+    (r"please provide the entire yaml\.", "Provide full YAML."),
+    (r"provide the entire yaml\.", "Provide full YAML."),
+    (r"please provide me the entire yaml", "Provide full YAML"),
+    (r"please debug it to make it valid", "Debug it"),
+    (r"please debug it so it applies cleanly", "Debug it"),
+    (r"ensure that both the user and the clusterrole are under the", "Both user & ClusterRole under"),
+    (r"it should be accessible via browser\.", "Accessible via browser."),
+    (r"is there a way to provide", "Can we provide"),
+    (r"i'm working with the bookinfo application in our istio setup\.", "Using bookinfo app in Istio."),
+    (r"i recall there was a", "There was a"),
+    (r"which ensures traffic is load balanced using the", "load balancing traffic with the"),
+    (r"additionally, there is a specific subset named", "Also a subset"),
+    (r"and for this subset, the traffic is load balanced with a", "with subset lb"),
+    (r"the environment variables?", "env var"),
+    (r"environment variables?", "env var"),
+    (r"should be set to", "="),
+    (r"must be set to", "="),
+    (r"ensure that", ""),
+    (r"ensure the", "the"),
+    (r"this daemonset should run", "runs"),
+    (r"the pod should run", "runs"),
+    (r"that runs the", "running"),
+    (r"executing it reports the error:", "error:"),
+    (r"which is not functionally correct", "(broken)"),
+    (r"given the following yaml", "Given this YAML"),
+    (r"given the following deployment", "Given this Deployment"),
+    (r"given the following pod definition", "Given this Pod"),
+    (r"in the (\S+) namespace", r"in ns \1"),
+    (r"in namespace (\S+)", r"in ns \1"),
+    (r"for the (\S+) namespace", r"for ns \1"),
+    (r"with the label", "labeled"),
+    (r"with the labels", "labeled"),
+    (r"labeled with", "labeled"),
+    (r"the container must", "container:"),
+    (r"each container must", "containers:"),
+    (r"containers within the cluster", "containers"),
+    (r"please help me create", "create"),
+    (r"please provide", "provide"),
+    (r"respectively", ""),
+    (r"accompanied by", "with"),
+    (r"a single", "one"),
+]
+
+# Word-level abbreviations applied after phrase rewrites.
+_ABBREVIATIONS: dict[str, str] = {
+    "kubernetes": "k8s",
+    "deployment": "deploy",
+    "deployments": "deploys",
+    "service": "svc",
+    "services": "svcs",
+    "namespace": "ns",
+    "namespaces": "ns",
+    "configuration": "config",
+    "configurations": "configs",
+    "configmap": "cm",
+    "persistentvolumeclaim": "PVC",
+    "persistentvolume": "PV",
+    "horizontalpodautoscaler": "HPA",
+    "load balancer": "LB",
+    "loadbalancer": "LB",
+    "memory": "mem",
+    "replicas": "reps",
+    "container": "ctr",
+    "containers": "ctrs",
+    "application": "app",
+    "request": "req",
+    "requests": "reqs",
+    "destination": "dest",
+    "specifically": "",
+    "additionally": "also",
+}
+
+_WS_RE = re.compile(r"[ \t]+")
+
+
+def simplify_question(question: str) -> str:
+    """Rewrite a question in concise, abbreviation-heavy operator style."""
+
+    simplified = question
+    for pattern, replacement in _PHRASE_REWRITES:
+        simplified = re.sub(pattern, replacement, simplified, flags=re.IGNORECASE)
+
+    def _abbreviate(match: re.Match[str]) -> str:
+        word = match.group(0)
+        replacement = _ABBREVIATIONS.get(word.lower())
+        if replacement is None:
+            return word
+        return replacement
+
+    # Only abbreviate bare words, never text inside quotes (names the model
+    # must reproduce verbatim stay intact).
+    parts = re.split(r'("[^"]*")', simplified)
+    for i, part in enumerate(parts):
+        if part.startswith('"'):
+            continue
+        parts[i] = re.sub(r"[A-Za-z]+(?: balancer)?", _abbreviate, part)
+    simplified = "".join(parts)
+    simplified = _WS_RE.sub(" ", simplified)
+    simplified = re.sub(r"\s+([,.])", r"\1", simplified)
+    simplified = re.sub(r"\.\s*\.", ".", simplified)
+    return simplified.strip()
+
+
+# ---------------------------------------------------------------------------
+# Translation (glossary-driven pseudo-translation to Chinese)
+# ---------------------------------------------------------------------------
+
+_TRANSLATION_GLOSSARY: list[tuple[str, str]] = [
+    (r"write a yaml file to create", "写一个 YAML 来创建"),
+    (r"write a yaml file that defines", "请写一个 YAML，定义"),
+    (r"write a yaml manifest for", "写一个 YAML 清单，定义"),
+    (r"write a yaml for", "写一个 YAML，定义"),
+    (r"write an envoy static configuration yaml", "写一个 Envoy 静态配置 YAML"),
+    (r"write an envoy static configuration", "写一个 Envoy 静态配置"),
+    (r"craft a yaml file to define", "写一个 yaml 来定义"),
+    (r"create an?", "创建一个"),
+    (r"create", "创建"),
+    (r"define", "定义"),
+    (r"given the following yaml", "给定以下 YAML"),
+    (r"given the following deployment", "给定以下 Deployment"),
+    (r"given the following pod definition", "给定以下 Pod 定义"),
+    (r"given this yaml", "给定以下 YAML"),
+    (r"which is not functionally correct", "（功能上不正确）"),
+    (r"executing it reports the error:", "执行时报告错误："),
+    (r"please debug it to make it valid", "请调试使其有效"),
+    (r"please debug it so it applies cleanly", "请调试使其能正常 apply"),
+    (r"please provide the entire yaml configuration for this\.", "请为此提供完整的 YAML 配置。"),
+    (r"please provide the entire yaml\.", "请提供整个 YAML。"),
+    (r"provide the entire yaml\.", "请提供整个 YAML。"),
+    (r"please provide me the exact configuration for that\.", "请为此提供确切的配置。"),
+    (r"please help me create", "请帮我创建"),
+    (r"i'm working with the bookinfo application in our istio setup\.", "我正在 Istio 配置中使用 bookinfo 应用。"),
+    (r"i recall there was a", "我记得有一个"),
+    (r"i need an?", "我需要一个"),
+    (r"in the (\S+) namespace", r"在 \1 命名空间中"),
+    (r"in namespace (\S+)", r"在命名空间 \1 中"),
+    (r"for the (\S+) namespace", r"用于 \1 命名空间"),
+    (r"named", "名为"),
+    (r"labeled as", "标签为"),
+    (r"labeled", "标签为"),
+    (r"with the labels?", "标签为"),
+    (r"the environment variables?", "环境变量"),
+    (r"environment variables?", "环境变量"),
+    (r"should be set to", "应设置为"),
+    (r"must be set to", "必须设置为"),
+    (r"should run", "应运行"),
+    (r"that runs", "运行"),
+    (r"running", "运行"),
+    (r"and exposes?", "并暴露"),
+    (r"exposed on port", "暴露在端口"),
+    (r"expose container port", "暴露容器端口"),
+    (r"on port", "在端口"),
+    (r"with port", "端口为"),
+    (r"replicas of", "个副本，镜像为"),
+    (r"replicas", "副本数"),
+    (r"it should be accessible via browser\.", "它应该可以通过浏览器访问。"),
+    (r"accessible via browser", "可以通过浏览器访问"),
+    (r"ensure that", "确保"),
+    (r"ensure the", "确保"),
+    (r"the cpu request is set to", "CPU 请求设置为"),
+    (r"memory request is set to", "内存请求设置为"),
+    (r"cpu limit is set to", "CPU 限制设置为"),
+    (r"memory limit is set to", "内存限制设置为"),
+    (r"requests?", "请求"),
+    (r"limits?", "限制"),
+    (r"this rolebinding should bind the user", "这个 RoleBinding 应将用户"),
+    (r"to the clusterrole named", "绑定到名为如下的 ClusterRole："),
+    (r"both the user and the clusterrole are under the", "用户和 ClusterRole 都属于"),
+    (r"api group", "API 组"),
+    (r"which ensures traffic is load balanced using the", "它确保使用如下策略进行流量负载均衡："),
+    (r"load balanced", "负载均衡"),
+    (r"load balancer", "负载均衡器"),
+    (r"load balancing", "负载均衡"),
+    (r"strategy", "策略"),
+    (r"with the command", "命令为"),
+    (r"with the argument", "参数为"),
+    (r"and the argument", "参数为"),
+    (r"the job must", "该 Job 必须"),
+    (r"the pod label should be", "Pod 标签应为"),
+    (r"please", "请"),
+    (r"provide", "提供"),
+    (r"and", "和"),
+    (r"with", "带有"),
+    (r"the", ""),
+    (r"that", ""),
+    (r"should", "应"),
+    (r"must", "必须"),
+    (r"using", "使用"),
+    (r"uses", "使用"),
+    (r"use", "使用"),
+    (r"every node", "每个节点"),
+    (r"instead of", "而不是"),
+    (r"so that", "以便"),
+    (r"between", "介于"),
+    (r"targeting", "目标为"),
+    (r"selects pods", "选择 Pod"),
+    (r"selecting pods", "选择 Pod"),
+    (r"pods", "Pod"),
+    (r"it", "它"),
+    (r"all", "所有"),
+    (r"to", "到"),
+    (r"for", "用于"),
+    (r"of", ""),
+    (r"a", ""),
+    (r"an", ""),
+]
+
+
+def translate_question(question: str) -> str:
+    """Pseudo-translate a question into developer-style Chinese.
+
+    Quoted strings, back-tick/code fragments and identifiers that contain
+    punctuation (image references, DNS names, label key/values) are left
+    untouched, mirroring the paper's instruction not to modify code.
+    """
+
+    parts = re.split(r'("[^"]*"|`[^`]*`)', question)
+    translated_parts: list[str] = []
+    for part in parts:
+        if part.startswith('"') or part.startswith("`"):
+            translated_parts.append(part)
+            continue
+        text = part
+        for pattern, replacement in _TRANSLATION_GLOSSARY:
+            # ``\b`` does not anchor correctly when the pattern starts or
+            # ends with punctuation (e.g. a trailing ``\.``), so use explicit
+            # word-character lookarounds instead.
+            bounded = rf"(?<![\w])(?:{pattern})(?![\w])"
+            text = re.sub(bounded, replacement, text, flags=re.IGNORECASE)
+        translated_parts.append(text)
+    translated = "".join(translated_parts)
+    translated = _WS_RE.sub(" ", translated)
+    translated = re.sub(r"\s+([,.:;，。])", r"\1", translated)
+    translated = translated.replace(". ", "。").rstrip(".") + "。"
+    return translated.strip()
+
+
+# ---------------------------------------------------------------------------
+# Problem-level augmentation
+# ---------------------------------------------------------------------------
+
+def augment_problem(problem: Problem) -> list[Problem]:
+    """Return the simplified and translated siblings of an original problem."""
+
+    if problem.variant is not Variant.ORIGINAL:
+        raise ValueError("only original problems can be augmented")
+    variants: list[Problem] = []
+    for variant, rewriter in ((Variant.SIMPLIFIED, simplify_question), (Variant.TRANSLATED, translate_question)):
+        variants.append(
+            Problem(
+                problem_id=f"{problem.base_id}-{variant.value}",
+                base_id=problem.base_id,
+                category=problem.category,
+                variant=variant,
+                question=rewriter(problem.question),
+                yaml_context=problem.yaml_context,
+                reference_yaml=problem.reference_yaml,
+                unit_test=problem.unit_test,
+                difficulty=problem.difficulty,
+                source=problem.source,
+                metadata=dict(problem.metadata),
+            )
+        )
+    return variants
+
+
+def augment_problem_set(originals: ProblemSet) -> ProblemSet:
+    """Expand an original-only problem set into the full augmented corpus."""
+
+    problems: list[Problem] = []
+    for problem in originals:
+        if problem.variant is not Variant.ORIGINAL:
+            raise ValueError("augment_problem_set expects an original-only ProblemSet")
+        problems.append(problem)
+        problems.extend(augment_problem(problem))
+    return ProblemSet(problems)

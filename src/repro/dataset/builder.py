@@ -1,0 +1,125 @@
+"""Dataset builder: turn catalog drafts into the full 1011-problem corpus.
+
+``build_original_problems`` generates the 337 original problems with the
+category mix of Table 2; ``build_dataset`` additionally applies the
+practical data augmentation of §2.2 (simplified and translated variants)
+to produce the full 1011-problem dataset.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.dataset.augmentation import augment_problem_set
+from repro.dataset.catalog import CATEGORY_GENERATORS
+from repro.dataset.catalog.common import ProblemDraft
+from repro.dataset.problem import Problem, ProblemSet
+from repro.dataset.schema import Category, ORIGINAL_CATEGORY_COUNTS, Variant
+from repro.testexec.steps import UnitTestProgram
+from repro.utils.rng import DeterministicRNG
+
+__all__ = ["build_dataset", "build_original_problems", "DEFAULT_SEED"]
+
+DEFAULT_SEED = 20240214
+
+
+def _difficulty_for(draft: ProblemDraft, solution_lines: int, category: Category) -> float:
+    """Map a draft to a difficulty scalar in [0, 1].
+
+    Difficulty grows with solution length (the dominant factor identified in
+    Figure 6), is boosted for Envoy (whose configurations are the longest and
+    hardest) and slightly for Istio, and templates can add their own offset.
+    """
+
+    if solution_lines < 15:
+        base = 0.25
+    elif solution_lines < 30:
+        base = 0.5
+    else:
+        base = 0.75
+    if category is Category.ENVOY:
+        base += 0.2
+    elif category is Category.ISTIO:
+        base += 0.05
+    return float(min(1.0, base + draft.extra_difficulty))
+
+
+def _finalise(draft: ProblemDraft, category: Category, ordinal: int) -> Problem:
+    """Convert a draft into an original-variant Problem."""
+
+    base_id = f"{category.value}-{ordinal:04d}"
+    unit_test = UnitTestProgram(steps=tuple(draft.steps), target=draft.target, nodes=draft.nodes)
+    provisional = Problem(
+        problem_id=f"{base_id}-original",
+        base_id=base_id,
+        category=category,
+        variant=Variant.ORIGINAL,
+        question=draft.question,
+        yaml_context=draft.yaml_context,
+        reference_yaml=draft.reference_yaml,
+        unit_test=unit_test,
+        difficulty=0.5,
+        source=draft.source,
+        metadata={"slug": draft.slug, "primary_kind": draft.primary_kind, **draft.metadata},
+    )
+    difficulty = _difficulty_for(draft, provisional.solution_lines(), category)
+    return Problem(
+        problem_id=provisional.problem_id,
+        base_id=provisional.base_id,
+        category=provisional.category,
+        variant=provisional.variant,
+        question=provisional.question,
+        yaml_context=provisional.yaml_context,
+        reference_yaml=provisional.reference_yaml,
+        unit_test=provisional.unit_test,
+        difficulty=difficulty,
+        source=provisional.source,
+        metadata=provisional.metadata,
+    )
+
+
+def build_original_problems(
+    seed: int = DEFAULT_SEED,
+    category_counts: dict[Category, int] | None = None,
+) -> ProblemSet:
+    """Generate the original (English, non-augmented) problem set.
+
+    ``category_counts`` defaults to the Table 2 mix (337 problems); pass a
+    smaller mapping to build reduced corpora for fast tests.
+    """
+
+    counts = dict(ORIGINAL_CATEGORY_COUNTS if category_counts is None else category_counts)
+    rng = DeterministicRNG(seed)
+    problems: list[Problem] = []
+    ordinal = 0
+    for category in Category:
+        count = counts.get(category, 0)
+        if count <= 0:
+            continue
+        drafts = CATEGORY_GENERATORS[category](rng.child(category.value), count)
+        if len(drafts) != count:
+            raise RuntimeError(f"generator for {category} produced {len(drafts)} drafts, expected {count}")
+        for draft in drafts:
+            problems.append(_finalise(draft, category, ordinal))
+            ordinal += 1
+    return ProblemSet(problems)
+
+
+def build_dataset(
+    seed: int = DEFAULT_SEED,
+    category_counts: dict[Category, int] | None = None,
+    augment: bool = True,
+) -> ProblemSet:
+    """Build the full dataset (originals plus simplified/translated variants)."""
+
+    originals = build_original_problems(seed=seed, category_counts=category_counts)
+    if not augment:
+        return originals
+    return augment_problem_set(originals)
+
+
+@lru_cache(maxsize=4)
+def cached_dataset(seed: int = DEFAULT_SEED) -> ProblemSet:
+    """A memoised full dataset, shared by benchmarks that reuse the corpus."""
+
+    return build_dataset(seed=seed)

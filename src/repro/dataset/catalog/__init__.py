@@ -1,0 +1,33 @@
+"""Problem template catalog.
+
+Each module in this package generates the original problems of one dataset
+category.  Generators are deterministic functions of the RNG seed, so the
+same seed always produces the identical corpus — problem ids, questions,
+reference YAML and unit tests included.
+"""
+
+from repro.dataset.catalog import (
+    envoy,
+    istio,
+    kubernetes_daemonset,
+    kubernetes_deployment,
+    kubernetes_job,
+    kubernetes_misc,
+    kubernetes_pod,
+    kubernetes_service,
+)
+from repro.dataset.schema import Category
+
+__all__ = ["CATEGORY_GENERATORS"]
+
+# Category -> generate(rng, count) -> list[ProblemDraft]
+CATEGORY_GENERATORS = {
+    Category.POD: kubernetes_pod.generate,
+    Category.DAEMONSET: kubernetes_daemonset.generate,
+    Category.SERVICE: kubernetes_service.generate,
+    Category.JOB: kubernetes_job.generate,
+    Category.DEPLOYMENT: kubernetes_deployment.generate,
+    Category.OTHERS: kubernetes_misc.generate,
+    Category.ENVOY: envoy.generate,
+    Category.ISTIO: istio.generate,
+}

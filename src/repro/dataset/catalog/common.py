@@ -1,0 +1,122 @@
+"""Shared vocabulary and helpers for the problem template catalog.
+
+Templates draw application names, namespaces, images, ports and resource
+quantities from the pools below so the corpus has realistic variety while
+remaining fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.testexec.steps import Step, UnitTestProgram
+from repro.utils.rng import DeterministicRNG
+
+__all__ = [
+    "ProblemDraft",
+    "APP_NAMES",
+    "NAMESPACES",
+    "WEB_IMAGES",
+    "WORKER_IMAGES",
+    "AGENT_IMAGES",
+    "CPU_REQUESTS",
+    "MEMORY_REQUESTS",
+    "HTTP_PORTS",
+    "pick_app",
+    "kubernetes_program",
+    "envoy_program",
+]
+
+
+@dataclass
+class ProblemDraft:
+    """Everything a template produces before the builder finalises it."""
+
+    slug: str
+    question: str
+    reference_yaml: str
+    steps: Sequence[Step]
+    yaml_context: str | None = None
+    target: str = "kubernetes"
+    nodes: int = 1
+    source: str = "documentation"
+    primary_kind: str = "Pod"
+    extra_difficulty: float = 0.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+APP_NAMES = [
+    "frontend",
+    "backend",
+    "payments",
+    "checkout",
+    "inventory",
+    "orders",
+    "auth",
+    "gateway",
+    "catalog",
+    "analytics",
+    "billing",
+    "search",
+    "recommender",
+    "notifications",
+    "profile",
+    "session",
+    "metrics",
+    "cart",
+    "shipping",
+    "ledger",
+    "webhooks",
+    "scheduler",
+    "reporting",
+    "ingest",
+]
+
+NAMESPACES = [
+    "default",
+    "production",
+    "staging",
+    "development",
+    "platform",
+    "web",
+    "data",
+    "monitoring",
+    "internal",
+    "edge",
+]
+
+WEB_IMAGES = ["nginx:latest", "nginx:1.25", "httpd:2.4", "caddy:2", "haproxy:2.8"]
+WORKER_IMAGES = ["busybox:1.36", "alpine:3.19", "ubuntu:22.04", "python:3.11-slim"]
+AGENT_IMAGES = ["fluent/fluentd:v1.16", "prom/prometheus:v2.47.0", "grafana/grafana:10.1.0"]
+DB_IMAGES = ["redis:7", "mysql:8.0", "postgres:16", "mongo:7"]
+
+CPU_REQUESTS = ["50m", "100m", "150m", "200m", "250m", "500m"]
+MEMORY_REQUESTS = ["50Mi", "64Mi", "128Mi", "200Mi", "256Mi", "512Mi"]
+HTTP_PORTS = [80, 8080, 8000, 3000, 5000, 9090]
+
+_SOURCES = ["documentation", "stackoverflow", "blog"]
+
+
+def pick_app(rng: DeterministicRNG) -> tuple[str, str]:
+    """Pick an (app name, namespace) pair."""
+
+    return rng.choice(APP_NAMES), rng.choice(NAMESPACES)
+
+
+def pick_source(rng: DeterministicRNG) -> str:
+    """Pick a provenance tag with documentation being the most common."""
+
+    return rng.choice(_SOURCES, weights=[0.55, 0.3, 0.15])
+
+
+def kubernetes_program(steps: Sequence[Step], nodes: int = 1) -> UnitTestProgram:
+    """Build a Kubernetes-target unit-test program."""
+
+    return UnitTestProgram(steps=tuple(steps), target="kubernetes", nodes=nodes)
+
+
+def envoy_program(steps: Sequence[Step]) -> UnitTestProgram:
+    """Build an Envoy-target unit-test program."""
+
+    return UnitTestProgram(steps=tuple(steps), target="envoy")

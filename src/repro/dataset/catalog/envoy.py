@@ -1,0 +1,361 @@
+"""Envoy problem templates (Table 2 column "Envoy").
+
+Envoy problems ask for a full static bootstrap configuration; their
+reference solutions are markedly longer than the Kubernetes ones (the paper
+reports 85.85 lines on average for Envoy), which is what makes the category
+the hardest in Figure 6.
+"""
+
+from __future__ import annotations
+
+from repro.dataset.catalog.common import ProblemDraft, pick_source
+from repro.testexec import steps as S
+from repro.utils.rng import DeterministicRNG
+
+__all__ = ["generate"]
+
+_BACKENDS = ["web_service", "api_service", "grpc_service", "auth_service", "static_service", "orders_service"]
+_UPSTREAM_HOSTS = ["app", "backend.internal", "upstream.svc.cluster.local", "127.0.0.1"]
+
+
+def _http_proxy(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    listener_port = rng.choice([10000, 8080, 15001, 9901 + 10])
+    upstream_host = rng.choice(_UPSTREAM_HOSTS)
+    upstream_port = rng.choice([8080, 3000, 5000, 8000])
+    cluster = rng.choice(_BACKENDS)
+    question = (
+        f"Write an Envoy static configuration YAML with a listener on 0.0.0.0 port {listener_port} "
+        f"that proxies all HTTP traffic (prefix \"/\") to a cluster named \"{cluster}\". The cluster "
+        f"uses STRICT_DNS discovery and has a single endpoint at {upstream_host}:{upstream_port}."
+    )
+    reference = f"""static_resources:
+  listeners:
+  - name: listener_0  # *
+    address:
+      socket_address:
+        address: 0.0.0.0
+        port_value: {listener_port}
+    filter_chains:
+    - filters:
+      - name: envoy.filters.network.http_connection_manager
+        typed_config:
+          "@type": type.googleapis.com/envoy.extensions.filters.network.http_connection_manager.v3.HttpConnectionManager
+          stat_prefix: ingress_http  # *
+          http_filters:
+          - name: envoy.filters.http.router
+            typed_config:
+              "@type": type.googleapis.com/envoy.extensions.filters.http.router.v3.Router
+          route_config:
+            name: local_route  # *
+            virtual_hosts:
+            - name: backend  # *
+              domains:
+              - "*"
+              routes:
+              - match:
+                  prefix: /
+                route:
+                  cluster: {cluster}
+  clusters:
+  - name: {cluster}
+    type: STRICT_DNS
+    connect_timeout: 5s  # *
+    lb_policy: ROUND_ROBIN
+    load_assignment:
+      cluster_name: {cluster}
+      endpoints:
+      - lb_endpoints:
+        - endpoint:
+            address:
+              socket_address:
+                address: {upstream_host}
+                port_value: {upstream_port}
+"""
+    steps = [
+        S.ApplyAnswer(),
+        S.AssertEnvoyListenerPort(listener_port),
+        S.AssertEnvoyRoute(listener_port, cluster, path="/"),
+        S.AssertEnvoyClusterEndpoints(cluster, upstream_host, upstream_port),
+    ]
+    return ProblemDraft(
+        slug=f"envoy-http-proxy-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        target="envoy",
+        source=pick_source(rng),
+        primary_kind="EnvoyConfig",
+        extra_difficulty=0.3,
+    )
+
+
+def _path_routing(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    listener_port = rng.choice([10000, 8080, 80])
+    api_cluster, static_cluster = rng.sample(_BACKENDS, 2)
+    api_port = rng.choice([8081, 9000, 5001])
+    static_port = rng.choice([8082, 9001, 5002])
+    question = (
+        f"Write an Envoy static configuration with one listener on port {listener_port} that routes "
+        f"requests with the path prefix \"/api\" to the cluster \"{api_cluster}\" and everything else "
+        f"(prefix \"/\") to the cluster \"{static_cluster}\". {api_cluster} has an endpoint at "
+        f"127.0.0.1:{api_port}; {static_cluster} has an endpoint at 127.0.0.1:{static_port}. Both "
+        f"clusters use STATIC discovery."
+    )
+    reference = f"""static_resources:
+  listeners:
+  - name: main_listener  # *
+    address:
+      socket_address:
+        address: 0.0.0.0
+        port_value: {listener_port}
+    filter_chains:
+    - filters:
+      - name: envoy.filters.network.http_connection_manager
+        typed_config:
+          "@type": type.googleapis.com/envoy.extensions.filters.network.http_connection_manager.v3.HttpConnectionManager
+          stat_prefix: ingress_http  # *
+          http_filters:
+          - name: envoy.filters.http.router
+            typed_config:
+              "@type": type.googleapis.com/envoy.extensions.filters.http.router.v3.Router
+          route_config:
+            name: local_route  # *
+            virtual_hosts:
+            - name: services  # *
+              domains:
+              - "*"
+              routes:
+              - match:
+                  prefix: /api
+                route:
+                  cluster: {api_cluster}
+              - match:
+                  prefix: /
+                route:
+                  cluster: {static_cluster}
+  clusters:
+  - name: {api_cluster}
+    type: STATIC
+    connect_timeout: 1s  # *
+    lb_policy: ROUND_ROBIN
+    load_assignment:
+      cluster_name: {api_cluster}
+      endpoints:
+      - lb_endpoints:
+        - endpoint:
+            address:
+              socket_address:
+                address: 127.0.0.1
+                port_value: {api_port}
+  - name: {static_cluster}
+    type: STATIC
+    connect_timeout: 1s  # *
+    lb_policy: ROUND_ROBIN
+    load_assignment:
+      cluster_name: {static_cluster}
+      endpoints:
+      - lb_endpoints:
+        - endpoint:
+            address:
+              socket_address:
+                address: 127.0.0.1
+                port_value: {static_port}
+"""
+    steps = [
+        S.ApplyAnswer(),
+        S.AssertEnvoyListenerPort(listener_port),
+        S.AssertEnvoyRoute(listener_port, api_cluster, path="/api/users"),
+        S.AssertEnvoyRoute(listener_port, static_cluster, path="/index.html"),
+        S.AssertEnvoyClusterEndpoints(api_cluster, "127.0.0.1", api_port),
+    ]
+    return ProblemDraft(
+        slug=f"envoy-path-routing-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        target="envoy",
+        source=pick_source(rng),
+        primary_kind="EnvoyConfig",
+        extra_difficulty=0.35,
+    )
+
+
+def _least_request_lb(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    listener_port = rng.choice([10000, 8080])
+    cluster = rng.choice(_BACKENDS)
+    ports = rng.sample([8081, 8082, 8083, 9001, 9002, 9003], 3)
+    question = (
+        f"Write an Envoy static configuration with a listener on port {listener_port} forwarding all "
+        f"HTTP traffic to the cluster \"{cluster}\". The cluster must use the LEAST_REQUEST load "
+        f"balancing policy over three STATIC endpoints at 127.0.0.1 ports {ports[0]}, {ports[1]} "
+        f"and {ports[2]}."
+    )
+    endpoints_yaml = "\n".join(
+        f"""        - endpoint:
+            address:
+              socket_address:
+                address: 127.0.0.1
+                port_value: {port}"""
+        for port in ports
+    )
+    reference = f"""static_resources:
+  listeners:
+  - name: listener_0  # *
+    address:
+      socket_address:
+        address: 0.0.0.0
+        port_value: {listener_port}
+    filter_chains:
+    - filters:
+      - name: envoy.filters.network.http_connection_manager
+        typed_config:
+          "@type": type.googleapis.com/envoy.extensions.filters.network.http_connection_manager.v3.HttpConnectionManager
+          stat_prefix: ingress_http  # *
+          http_filters:
+          - name: envoy.filters.http.router
+            typed_config:
+              "@type": type.googleapis.com/envoy.extensions.filters.http.router.v3.Router
+          route_config:
+            name: local_route  # *
+            virtual_hosts:
+            - name: backend  # *
+              domains:
+              - "*"
+              routes:
+              - match:
+                  prefix: /
+                route:
+                  cluster: {cluster}
+  clusters:
+  - name: {cluster}
+    type: STATIC
+    connect_timeout: 2s  # *
+    lb_policy: LEAST_REQUEST
+    load_assignment:
+      cluster_name: {cluster}
+      endpoints:
+      - lb_endpoints:
+{endpoints_yaml}
+"""
+    steps = [
+        S.ApplyAnswer(),
+        S.AssertEnvoyListenerPort(listener_port),
+        S.AssertEnvoyClusterLb(cluster, "LEAST_REQUEST"),
+        S.AssertEnvoyRoute(listener_port, cluster, path="/"),
+        S.AssertEnvoyClusterEndpoints(cluster, "127.0.0.1", ports[0]),
+        S.AssertEnvoyClusterEndpoints(cluster, "127.0.0.1", ports[2]),
+    ]
+    return ProblemDraft(
+        slug=f"envoy-least-request-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        target="envoy",
+        source=pick_source(rng),
+        primary_kind="EnvoyConfig",
+        extra_difficulty=0.35,
+    )
+
+
+def _domain_routing(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    listener_port = rng.choice([443 + 8000, 10000, 8080])
+    internal_cluster, public_cluster = rng.sample(_BACKENDS, 2)
+    domain = rng.choice(["internal.example.com", "admin.example.com", "partners.example.com"])
+    question = (
+        f"Write an Envoy static configuration with a listener on port {listener_port} and two virtual "
+        f"hosts: requests with the Host header \"{domain}\" go to the cluster \"{internal_cluster}\" "
+        f"and all other domains go to \"{public_cluster}\". Each cluster has one STATIC endpoint at "
+        f"127.0.0.1 (ports 9100 for {internal_cluster}, 9200 for {public_cluster})."
+    )
+    reference = f"""static_resources:
+  listeners:
+  - name: listener_0  # *
+    address:
+      socket_address:
+        address: 0.0.0.0
+        port_value: {listener_port}
+    filter_chains:
+    - filters:
+      - name: envoy.filters.network.http_connection_manager
+        typed_config:
+          "@type": type.googleapis.com/envoy.extensions.filters.network.http_connection_manager.v3.HttpConnectionManager
+          stat_prefix: ingress_http  # *
+          http_filters:
+          - name: envoy.filters.http.router
+            typed_config:
+              "@type": type.googleapis.com/envoy.extensions.filters.http.router.v3.Router
+          route_config:
+            name: local_route  # *
+            virtual_hosts:
+            - name: internal  # *
+              domains:
+              - {domain}
+              routes:
+              - match:
+                  prefix: /
+                route:
+                  cluster: {internal_cluster}
+            - name: public  # *
+              domains:
+              - "*"
+              routes:
+              - match:
+                  prefix: /
+                route:
+                  cluster: {public_cluster}
+  clusters:
+  - name: {internal_cluster}
+    type: STATIC
+    connect_timeout: 1s  # *
+    load_assignment:
+      cluster_name: {internal_cluster}
+      endpoints:
+      - lb_endpoints:
+        - endpoint:
+            address:
+              socket_address:
+                address: 127.0.0.1
+                port_value: 9100
+  - name: {public_cluster}
+    type: STATIC
+    connect_timeout: 1s  # *
+    load_assignment:
+      cluster_name: {public_cluster}
+      endpoints:
+      - lb_endpoints:
+        - endpoint:
+            address:
+              socket_address:
+                address: 127.0.0.1
+                port_value: 9200
+"""
+    steps = [
+        S.ApplyAnswer(),
+        S.AssertEnvoyListenerPort(listener_port),
+        S.AssertEnvoyRoute(listener_port, internal_cluster, path="/", host=domain),
+        S.AssertEnvoyRoute(listener_port, public_cluster, path="/", host="other.example.com"),
+        S.AssertEnvoyClusterEndpoints(internal_cluster, "127.0.0.1", 9100),
+    ]
+    return ProblemDraft(
+        slug=f"envoy-domain-routing-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        target="envoy",
+        source=pick_source(rng),
+        primary_kind="EnvoyConfig",
+        extra_difficulty=0.4,
+    )
+
+
+_TEMPLATES = [_http_proxy, _path_routing, _least_request_lb, _domain_routing]
+
+
+def generate(rng: DeterministicRNG, count: int) -> list[ProblemDraft]:
+    """Generate ``count`` Envoy problems."""
+
+    drafts = []
+    for index in range(count):
+        template = _TEMPLATES[index % len(_TEMPLATES)]
+        drafts.append(template(rng.child("envoy", index), index))
+    return drafts

@@ -1,0 +1,207 @@
+"""Istio problem templates (Table 2 column "Istio")."""
+
+from __future__ import annotations
+
+from repro.dataset.catalog.common import ProblemDraft, pick_source
+from repro.testexec import steps as S
+from repro.utils.rng import DeterministicRNG
+
+__all__ = ["generate"]
+
+_SERVICES = ["ratings", "reviews", "details", "productpage", "payments", "catalog"]
+_NAMESPACES = ["prod", "default", "bookinfo", "staging"]
+
+
+def _destination_rule_lb(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    """The Appendix D example: a DestinationRule with a LEAST_REQUEST policy."""
+
+    service = rng.choice(_SERVICES)
+    namespace = rng.choice(_NAMESPACES)
+    policy = rng.choice(["LEAST_REQUEST", "RANDOM", "ROUND_ROBIN"])
+    name = service
+    question = (
+        f"I'm working with the bookinfo application in our Istio setup. I recall there was a "
+        f"DestinationRule named \"{name}\" specifically for the {service} service in the {namespace} "
+        f"namespace, which ensures traffic is load balanced using the {policy} strategy. Please "
+        f"provide me the exact configuration for that."
+    )
+    reference = f"""apiVersion: networking.istio.io/v1beta1
+kind: DestinationRule
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  host: {service}
+  trafficPolicy:
+    loadBalancer:
+      simple: {policy}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.AssertExists("DestinationRule", name, namespace=namespace),
+        S.AssertJsonPath("DestinationRule", "{.spec.host}", expected=service, name=name, namespace=namespace),
+        S.AssertIstioLbPolicy(name, policy, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"istio-destinationrule-lb-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="DestinationRule",
+        extra_difficulty=0.05,
+    )
+
+
+def _destination_rule_subsets(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    service = rng.choice(_SERVICES)
+    namespace = rng.choice(_NAMESPACES)
+    version = rng.choice(["v2", "v3"])
+    main_policy = rng.choice(["LEAST_REQUEST", "ROUND_ROBIN"])
+    subset_policy = "ROUND_ROBIN" if main_policy == "LEAST_REQUEST" else "RANDOM"
+    name = service
+    question = (
+        f"I need an Istio destination rule YAML named \"{name}\" set up for the bookinfo "
+        f"application's {service} service in the {namespace} namespace. This rule has the main "
+        f"traffic load balanced using the {main_policy} strategy. Additionally, there is a specific "
+        f"subset named testversion using version {version} labels, and for this subset, the traffic "
+        f"is load balanced with a {subset_policy} approach. Please provide the entire YAML "
+        f"configuration for this."
+    )
+    reference = f"""apiVersion: networking.istio.io/v1beta1
+kind: DestinationRule
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  host: {service}
+  trafficPolicy:
+    loadBalancer:
+      simple: {main_policy}
+  subsets:
+  - name: testversion
+    labels:
+      version: {version}
+    trafficPolicy:
+      loadBalancer:
+        simple: {subset_policy}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.AssertIstioLbPolicy(name, main_policy, namespace=namespace),
+        S.AssertIstioLbPolicy(name, subset_policy, subset="testversion", namespace=namespace),
+        S.AssertIstioSubsetLabels(name, "testversion", {"version": version}, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"istio-destinationrule-subsets-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="DestinationRule",
+        extra_difficulty=0.1,
+    )
+
+
+def _virtual_service(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    service = rng.choice(_SERVICES)
+    namespace = rng.choice(_NAMESPACES)
+    subset = rng.choice(["v1", "v2", "stable"])
+    name = f"{service}-routes"
+    question = (
+        f"Write an Istio VirtualService YAML named \"{name}\" in the {namespace} namespace for host "
+        f"{service}. All HTTP traffic must be routed to the destination host {service}, subset "
+        f"\"{subset}\"."
+    )
+    reference = f"""apiVersion: networking.istio.io/v1beta1
+kind: VirtualService
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  hosts:
+  - {service}
+  http:
+  - route:
+    - destination:
+        host: {service}
+        subset: {subset}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.AssertExists("VirtualService", name, namespace=namespace),
+        S.AssertIstioDestination(name, host=service, subset=subset, namespace=namespace),
+        S.AssertJsonPath("VirtualService", "{.spec.hosts[0]}", expected=service, name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"istio-virtualservice-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="VirtualService",
+        extra_difficulty=0.05,
+    )
+
+
+def _gateway(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    namespace = rng.choice(_NAMESPACES)
+    host = rng.choice(["bookinfo.example.com", "shop.example.com", "api.example.com", "*"])
+    port = rng.choice([80, 8080, 443])
+    protocol = "HTTPS" if port == 443 else "HTTP"
+    name = "app-gateway"
+    question = (
+        f"Create an Istio Gateway named \"{name}\" in the {namespace} namespace using the default "
+        f"istio ingressgateway (selector istio: ingressgateway). It must expose a server on port "
+        f"{port} with protocol {protocol} named http for the host \"{host}\"."
+    )
+    tls_block = "\n    tls:\n      mode: SIMPLE\n      credentialName: app-cert" if protocol == "HTTPS" else ""
+    question += " Use SIMPLE TLS with the credential app-cert." if protocol == "HTTPS" else ""
+    reference = f"""apiVersion: networking.istio.io/v1beta1
+kind: Gateway
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  selector:
+    istio: ingressgateway
+  servers:
+  - port:
+      number: {port}
+      name: http  # *
+      protocol: {protocol}
+    hosts:
+    - "{host}"{tls_block}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.AssertExists("Gateway", name, namespace=namespace),
+        S.AssertGatewayServer(name, port=port, protocol=protocol, host=host, namespace=namespace),
+        S.AssertJsonPath("Gateway", "{.spec.selector.istio}", expected="ingressgateway", name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"istio-gateway-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="Gateway",
+        extra_difficulty=0.1,
+    )
+
+
+_TEMPLATES = [_destination_rule_lb, _destination_rule_subsets, _virtual_service, _gateway]
+
+
+def generate(rng: DeterministicRNG, count: int) -> list[ProblemDraft]:
+    """Generate ``count`` Istio problems."""
+
+    drafts = []
+    for index in range(count):
+        template = _TEMPLATES[index % len(_TEMPLATES)]
+        drafts.append(template(rng.child("istio", index), index))
+    return drafts

@@ -1,0 +1,371 @@
+"""DaemonSet problem templates (Table 2 column "daemonset")."""
+
+from __future__ import annotations
+
+from repro.dataset.catalog.common import (
+    AGENT_IMAGES,
+    CPU_REQUESTS,
+    MEMORY_REQUESTS,
+    ProblemDraft,
+    pick_app,
+    pick_source,
+)
+from repro.testexec import steps as S
+from repro.utils.rng import DeterministicRNG
+
+__all__ = ["generate"]
+
+
+def _registry_proxy(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    """The kube-registry proxy sample from Appendix C.1, parameterised."""
+
+    app, _ = pick_app(rng)
+    label = f"kube-registry-{app}"
+    host_port = rng.choice([5000, 5001, 6000, 7000])
+    cpu = rng.choice(CPU_REQUESTS)
+    memory = rng.choice(MEMORY_REQUESTS)
+    registry_host = f"kube-registry-{app}.svc.cluster.local"
+    question = (
+        f"Create a DaemonSet configuration. This DaemonSet should run the latest nginx image labeled "
+        f"as \"app: {label}\" and expose a registry service on port 80 (with hostPort {host_port}). "
+        f"The environment variables REGISTRY_HOST and REGISTRY_PORT should be set to "
+        f"\"{registry_host}\" and \"{host_port}\" respectively. Ensure the CPU limit is set to {cpu} "
+        f"and the memory limit is set to {memory}."
+    )
+    reference = f"""apiVersion: apps/v1
+kind: DaemonSet
+metadata:
+  name: kube-registry-proxy-{app}  # *
+spec:
+  selector:
+    matchLabels:
+      app: {label}
+  template:
+    metadata:
+      labels:
+        app: {label}
+    spec:
+      containers:
+      - name: kube-registry-proxy  # *
+        image: nginx:latest
+        resources:
+          limits:
+            cpu: {cpu}
+            memory: {memory}
+        env:
+        - name: REGISTRY_HOST
+          value: {registry_host}
+        - name: REGISTRY_PORT
+          value: "{host_port}"
+        ports:
+        - name: registry  # *
+          containerPort: 80
+          hostPort: {host_port}
+"""
+    selector = {"app": label}
+    steps = [
+        S.ApplyAnswer(),
+        S.WaitFor("Pod", "Ready", selector=selector, namespace="default"),
+        S.AssertHostPortReachable(host_port, selector=selector, namespace="default"),
+        S.AssertJsonPath("Pod", "{.items[0].spec.containers[0].env[*].name}", contains="REGISTRY_HOST", selector=selector, namespace="default"),
+        S.AssertJsonPath("Pod", "{.items[0].spec.containers[0].env[*].name}", contains="REGISTRY_PORT", selector=selector, namespace="default"),
+        S.AssertJsonPath("Pod", "{.items[0].spec.containers[0].resources.limits.cpu}", expected=cpu, selector=selector, namespace="default"),
+        S.AssertJsonPath("Pod", "{.items[0].spec.containers[0].resources.limits.memory}", expected=memory, selector=selector, namespace="default"),
+    ]
+    return ProblemDraft(
+        slug=f"daemonset-registry-proxy-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="DaemonSet",
+        nodes=2,
+        extra_difficulty=0.15,
+    )
+
+
+def _log_collector(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    name = f"{app}-log-agent"
+    image = "fluent/fluentd:v1.16"
+    question = (
+        f"Write a YAML for a DaemonSet named \"{name}\" in the {namespace} namespace that runs "
+        f"{image} on every node with the label app: {name}. Mount the host directory /var/log into "
+        f"the container at /var/log using a hostPath volume named varlog."
+    )
+    reference = f"""apiVersion: apps/v1
+kind: DaemonSet
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  selector:
+    matchLabels:
+      app: {name}
+  template:
+    metadata:
+      labels:
+        app: {name}
+    spec:
+      containers:
+      - name: fluentd  # *
+        image: {image}
+        volumeMounts:
+        - name: varlog
+          mountPath: /var/log
+      volumes:
+      - name: varlog
+        hostPath:
+          path: /var/log
+"""
+    selector = {"app": name}
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("DaemonSet", "available", name=name, namespace=namespace),
+        S.AssertJsonPath("DaemonSet", "{.spec.template.spec.volumes[0].hostPath.path}", expected="/var/log", name=name, namespace=namespace),
+        S.AssertJsonPath("Pod", "{.items[0].spec.containers[0].volumeMounts[0].mountPath}", expected="/var/log", selector=selector, namespace=namespace),
+        S.AssertPodCount(selector=selector, min_count=2, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"daemonset-log-collector-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="DaemonSet",
+        nodes=2,
+        extra_difficulty=0.1,
+    )
+
+
+def _node_exporter(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    name = f"{app}-node-exporter"
+    host_port = rng.choice([9100, 9101, 9110, 9200])
+    question = (
+        f"Create a DaemonSet named \"{name}\" in namespace {namespace} that runs "
+        f"prom/prometheus:v2.47.0 on every node, labeled app: {name}, exposing container port 9100 "
+        f"with hostPort {host_port}."
+    )
+    reference = f"""apiVersion: apps/v1
+kind: DaemonSet
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  selector:
+    matchLabels:
+      app: {name}
+  template:
+    metadata:
+      labels:
+        app: {name}
+    spec:
+      containers:
+      - name: exporter  # *
+        image: prom/prometheus:v2.47.0
+        ports:
+        - containerPort: 9100
+          hostPort: {host_port}
+"""
+    selector = {"app": name}
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("DaemonSet", "available", name=name, namespace=namespace),
+        S.AssertHostPortReachable(host_port, selector=selector, namespace=namespace),
+        S.AssertJsonPath("Pod", "{.items[0].spec.containers[0].ports[0].containerPort}", expected="9100", selector=selector, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"daemonset-node-exporter-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="DaemonSet",
+        nodes=3,
+    )
+
+
+def _deployment_to_daemonset(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    image = rng.choice(AGENT_IMAGES)
+    name = f"{app}-agent"
+    context = f"""apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  replicas: 2
+  selector:
+    matchLabels:
+      app: {app}
+  template:
+    metadata:
+      labels:
+        app: {app}
+    spec:
+      containers:
+      - name: agent
+        image: {image}
+"""
+    question = (
+        f"Given the following Deployment, convert it into a DaemonSet with the same name, namespace, "
+        f"labels and container, so that the {image} agent runs on every node instead of as 2 replicas. "
+        f"Provide the entire YAML."
+    )
+    reference = f"""apiVersion: apps/v1
+kind: DaemonSet
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  selector:
+    matchLabels:
+      app: {app}
+  template:
+    metadata:
+      labels:
+        app: {app}
+    spec:
+      containers:
+      - name: agent  # *
+        image: {image}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("DaemonSet", "available", name=name, namespace=namespace),
+        S.AssertJsonPath("DaemonSet", "{.spec.template.spec.containers[0].image}", expected=image, name=name, namespace=namespace),
+        S.AssertPodCount(selector={"app": app}, min_count=2, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"daemonset-from-deployment-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        yaml_context=context,
+        source="stackoverflow",
+        primary_kind="DaemonSet",
+        nodes=2,
+    )
+
+
+def _monitoring_agent_env(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    name = f"{app}-monitor"
+    endpoint = f"collector.{namespace}.svc.cluster.local:4317"
+    cpu = rng.choice(CPU_REQUESTS)
+    question = (
+        f"Write a DaemonSet YAML named \"{name}\" for namespace {namespace}. It runs "
+        f"grafana/grafana:10.1.0 with label app: {name}, sets the environment variable "
+        f"OTEL_EXPORTER_OTLP_ENDPOINT to \"{endpoint}\", and requests {cpu} of CPU."
+    )
+    reference = f"""apiVersion: apps/v1
+kind: DaemonSet
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  selector:
+    matchLabels:
+      app: {name}
+  template:
+    metadata:
+      labels:
+        app: {name}
+    spec:
+      containers:
+      - name: monitor  # *
+        image: grafana/grafana:10.1.0
+        env:
+        - name: OTEL_EXPORTER_OTLP_ENDPOINT
+          value: {endpoint}
+        resources:
+          requests:
+            cpu: {cpu}
+"""
+    selector = {"app": name}
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("DaemonSet", "available", name=name, namespace=namespace),
+        S.AssertJsonPath("Pod", "{.items[0].spec.containers[0].env[0].value}", expected=endpoint, selector=selector, namespace=namespace),
+        S.AssertJsonPath("Pod", "{.items[0].spec.containers[0].resources.requests.cpu}", expected=cpu, selector=selector, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"daemonset-monitoring-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="DaemonSet",
+        nodes=2,
+    )
+
+
+def _kube_system_daemonset(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, _ = pick_app(rng)
+    name = f"{app}-proxy"
+    image = rng.choice(["haproxy:2.8", "nginx:1.25", "traefik:v2.10"])
+    question = (
+        f"Create a DaemonSet named \"{name}\" in the kube-system namespace running {image} on every "
+        f"node. Pods must carry the labels app: {name} and tier: node."
+    )
+    reference = f"""apiVersion: apps/v1
+kind: DaemonSet
+metadata:
+  name: {name}
+  namespace: kube-system
+spec:
+  selector:
+    matchLabels:
+      app: {name}
+  template:
+    metadata:
+      labels:
+        app: {name}
+        tier: node
+    spec:
+      containers:
+      - name: proxy  # *
+        image: {image}
+"""
+    selector = {"app": name, "tier": "node"}
+    steps = [
+        S.ApplyAnswer(),
+        S.WaitFor("DaemonSet", "available", name=name, namespace="kube-system"),
+        S.AssertJsonPath("Pod", "{.items[0].metadata.labels.tier}", expected="node", selector=selector, namespace="kube-system"),
+        S.AssertPodCount(selector=selector, min_count=2, namespace="kube-system"),
+    ]
+    return ProblemDraft(
+        slug=f"daemonset-kube-system-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="DaemonSet",
+        nodes=2,
+    )
+
+
+_TEMPLATES = [
+    _registry_proxy,
+    _log_collector,
+    _node_exporter,
+    _deployment_to_daemonset,
+    _monitoring_agent_env,
+    _kube_system_daemonset,
+]
+
+
+def generate(rng: DeterministicRNG, count: int) -> list[ProblemDraft]:
+    """Generate ``count`` daemonset problems."""
+
+    drafts = []
+    for index in range(count):
+        template = _TEMPLATES[index % len(_TEMPLATES)]
+        drafts.append(template(rng.child("daemonset", index), index))
+    return drafts

@@ -1,0 +1,319 @@
+"""Deployment problem templates (Table 2 column "deployment")."""
+
+from __future__ import annotations
+
+from repro.dataset.catalog.common import (
+    CPU_REQUESTS,
+    DB_IMAGES,
+    HTTP_PORTS,
+    MEMORY_REQUESTS,
+    WEB_IMAGES,
+    ProblemDraft,
+    pick_app,
+    pick_source,
+)
+from repro.testexec import steps as S
+from repro.utils.rng import DeterministicRNG
+
+__all__ = ["generate"]
+
+
+def _web_deployment(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    replicas = rng.choice([2, 3, 4, 5])
+    image = rng.choice(WEB_IMAGES)
+    port = rng.choice(HTTP_PORTS)
+    name = f"{app}-deployment"
+    question = (
+        f"Write a YAML for a Deployment named \"{name}\" in the {namespace} namespace with "
+        f"{replicas} replicas of the {image} image. Pods must be labeled app: {app} and the "
+        f"container must expose port {port}."
+    )
+    reference = f"""apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  replicas: {replicas}
+  selector:
+    matchLabels:
+      app: {app}
+  template:
+    metadata:
+      labels:
+        app: {app}
+    spec:
+      containers:
+      - name: {app}  # *
+        image: {image}
+        ports:
+        - containerPort: {port}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("Deployment", "available", name=name, namespace=namespace),
+        S.AssertJsonPath("Deployment", "{.spec.replicas}", expected=str(replicas), name=name, namespace=namespace),
+        S.AssertJsonPath("Deployment", "{.spec.template.spec.containers[0].image}", expected=image, name=name, namespace=namespace),
+        S.AssertPodCount(selector={"app": app}, min_count=replicas, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"deployment-web-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="Deployment",
+    )
+
+
+def _mysql_deployment(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    image = rng.choice(DB_IMAGES)
+    password = rng.choice(["password", "changeme", "root-secret"])
+    port = {"redis:7": 6379, "mysql:8.0": 3306, "postgres:16": 5432, "mongo:7": 27017}[image]
+    env_name = {
+        "redis:7": "REDIS_PASSWORD",
+        "mysql:8.0": "MYSQL_ROOT_PASSWORD",
+        "postgres:16": "POSTGRES_PASSWORD",
+        "mongo:7": "MONGO_INITDB_ROOT_PASSWORD",
+    }[image]
+    name = f"{app}-db"
+    question = (
+        f"Please write a YAML file that defines a Deployment named \"{name}\" in the {namespace} "
+        f"namespace running a single {image} instance on port {port}, with the environment variable "
+        f"{env_name}={password}. The pod label should be app: {name}."
+    )
+    reference = f"""apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  replicas: 1
+  selector:
+    matchLabels:
+      app: {name}
+  template:
+    metadata:
+      labels:
+        app: {name}
+    spec:
+      containers:
+      - name: db  # *
+        image: {image}
+        env:
+        - name: {env_name}
+          value: "{password}"
+        ports:
+        - containerPort: {port}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("Deployment", "available", name=name, namespace=namespace),
+        S.AssertJsonPath("Deployment", "{.spec.template.spec.containers[0].env[0].name}", expected=env_name, name=name, namespace=namespace),
+        S.AssertJsonPath("Deployment", "{.spec.template.spec.containers[0].ports[0].containerPort}", expected=str(port), name=name, namespace=namespace),
+        S.AssertPodCount(selector={"app": name}, min_count=1, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"deployment-database-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="Deployment",
+        extra_difficulty=0.1,
+    )
+
+
+def _deployment_with_resources(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    cpu = rng.choice(CPU_REQUESTS)
+    memory = rng.choice(MEMORY_REQUESTS)
+    replicas = rng.choice([2, 3])
+    name = f"{app}-api"
+    question = (
+        f"Create a Deployment named \"{name}\" in namespace {namespace} with {replicas} replicas of "
+        f"python:3.11-slim labeled app: {name}. Each container must request {cpu} CPU and {memory} "
+        f"of memory, and use the same {cpu} and {memory} values as its limits."
+    )
+    reference = f"""apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  replicas: {replicas}
+  selector:
+    matchLabels:
+      app: {name}
+  template:
+    metadata:
+      labels:
+        app: {name}
+    spec:
+      containers:
+      - name: api  # *
+        image: python:3.11-slim
+        resources:
+          requests:
+            cpu: {cpu}
+            memory: {memory}
+          limits:
+            cpu: {cpu}
+            memory: {memory}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("Deployment", "available", name=name, namespace=namespace),
+        S.AssertJsonPath("Deployment", "{.spec.template.spec.containers[0].resources.requests.cpu}", expected=cpu, name=name, namespace=namespace),
+        S.AssertJsonPath("Deployment", "{.spec.template.spec.containers[0].resources.limits.memory}", expected=memory, name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"deployment-resources-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="Deployment",
+    )
+
+
+def _fix_selector_mismatch(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    name = f"{app}-frontend"
+    image = rng.choice(WEB_IMAGES)
+    context = f"""apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  replicas: 2
+  selector:
+    matchLabels:
+      app: {app}-old
+  template:
+    metadata:
+      labels:
+        app: {app}
+    spec:
+      containers:
+      - name: web
+        image: {image}
+"""
+    question = (
+        f"Given the following Deployment, applying it fails with: The Deployment \"{name}\" is "
+        f"invalid: spec.template.metadata.labels: Invalid value: map[string]string{{\"app\":\"{app}\"}}: "
+        f"`selector` does not match template `labels`. Please fix the YAML so the selector matches the "
+        f"pod template labels (keep the label app: {app}) and provide the entire YAML."
+    )
+    reference = f"""apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  replicas: 2
+  selector:
+    matchLabels:
+      app: {app}
+  template:
+    metadata:
+      labels:
+        app: {app}
+    spec:
+      containers:
+      - name: web  # *
+        image: {image}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("Deployment", "available", name=name, namespace=namespace),
+        S.AssertJsonPath("Deployment", "{.spec.selector.matchLabels.app}", expected=app, name=name, namespace=namespace),
+        S.AssertPodCount(selector={"app": app}, min_count=2, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"deployment-fix-selector-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        yaml_context=context,
+        source="stackoverflow",
+        primary_kind="Deployment",
+    )
+
+
+def _rolling_update_deployment(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    replicas = rng.choice([3, 4, 5])
+    surge = rng.choice([1, 2])
+    name = f"{app}-rolling"
+    question = (
+        f"Write a Deployment YAML named \"{name}\" for namespace {namespace}: {replicas} replicas of "
+        f"nginx:1.25 labeled app: {name}, using a RollingUpdate strategy with maxSurge {surge} and "
+        f"maxUnavailable 0."
+    )
+    reference = f"""apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  replicas: {replicas}
+  strategy:
+    type: RollingUpdate
+    rollingUpdate:
+      maxSurge: {surge}
+      maxUnavailable: 0
+  selector:
+    matchLabels:
+      app: {name}
+  template:
+    metadata:
+      labels:
+        app: {name}
+    spec:
+      containers:
+      - name: web  # *
+        image: nginx:1.25
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("Deployment", "available", name=name, namespace=namespace),
+        S.AssertJsonPath("Deployment", "{.spec.strategy.type}", expected="RollingUpdate", name=name, namespace=namespace),
+        S.AssertJsonPath("Deployment", "{.spec.strategy.rollingUpdate.maxSurge}", expected=str(surge), name=name, namespace=namespace),
+        S.AssertJsonPath("Deployment", "{.spec.strategy.rollingUpdate.maxUnavailable}", expected="0", name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"deployment-rolling-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="Deployment",
+    )
+
+
+_TEMPLATES = [
+    _web_deployment,
+    _mysql_deployment,
+    _deployment_with_resources,
+    _fix_selector_mismatch,
+    _rolling_update_deployment,
+]
+
+
+def generate(rng: DeterministicRNG, count: int) -> list[ProblemDraft]:
+    """Generate ``count`` deployment problems."""
+
+    drafts = []
+    for index in range(count):
+        template = _TEMPLATES[index % len(_TEMPLATES)]
+        drafts.append(template(rng.child("deployment", index), index))
+    return drafts

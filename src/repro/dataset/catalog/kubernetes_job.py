@@ -1,0 +1,211 @@
+"""Job problem templates (Table 2 column "job")."""
+
+from __future__ import annotations
+
+from repro.dataset.catalog.common import ProblemDraft, WORKER_IMAGES, pick_app, pick_source
+from repro.testexec import steps as S
+from repro.utils.rng import DeterministicRNG
+
+__all__ = ["generate"]
+
+
+def _pi_job(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    _, namespace = pick_app(rng)
+    digits = rng.choice([100, 500, 1000, 2000])
+    name = f"pi-{digits}"
+    question = (
+        f"Write a YAML for a Kubernetes Job named \"{name}\" in the {namespace} namespace that "
+        f"computes pi to {digits} places using the perl image with the command "
+        f"[\"perl\", \"-Mbignum=bpi\", \"-wle\", \"print bpi({digits})\"]. The job must not restart "
+        f"failed pods (restartPolicy Never) and allow at most 4 retries (backoffLimit 4)."
+    )
+    reference = f"""apiVersion: batch/v1
+kind: Job
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  backoffLimit: 4
+  template:
+    spec:
+      restartPolicy: Never
+      containers:
+      - name: pi  # *
+        image: perl:5.34.0
+        command:
+        - perl
+        - -Mbignum=bpi
+        - -wle
+        - print bpi({digits})
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("Job", "complete", name=name, namespace=namespace),
+        S.AssertJsonPath("Job", "{.spec.backoffLimit}", expected="4", name=name, namespace=namespace),
+        S.AssertJsonPath("Job", "{.spec.template.spec.restartPolicy}", expected="Never", name=name, namespace=namespace),
+        S.AssertJsonPath("Job", "{.spec.template.spec.containers[0].command[3]}", contains=str(digits), name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"job-pi-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="Job",
+    )
+
+
+def _parallel_job(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    completions = rng.choice([3, 4, 5, 6])
+    parallelism = rng.choice([2, 3])
+    name = f"{app}-batch"
+    image = rng.choice(WORKER_IMAGES)
+    question = (
+        f"Create a Job named \"{name}\" in namespace {namespace} running the {image} image with the "
+        f"command [\"sh\", \"-c\", \"echo processing && sleep 5\"]. The job must run {completions} "
+        f"completions with a parallelism of {parallelism} and restartPolicy OnFailure."
+    )
+    reference = f"""apiVersion: batch/v1
+kind: Job
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  completions: {completions}
+  parallelism: {parallelism}
+  template:
+    spec:
+      restartPolicy: OnFailure
+      containers:
+      - name: worker  # *
+        image: {image}
+        command:
+        - sh
+        - -c
+        - echo processing && sleep 5
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("Job", "complete", name=name, namespace=namespace),
+        S.AssertJsonPath("Job", "{.spec.completions}", expected=str(completions), name=name, namespace=namespace),
+        S.AssertJsonPath("Job", "{.spec.parallelism}", expected=str(parallelism), name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"job-parallel-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="Job",
+    )
+
+
+def _migration_job(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    name = f"{app}-db-migrate"
+    db_host = f"{app}-db.{namespace}.svc.cluster.local"
+    question = (
+        f"Write a Job YAML named \"{name}\" for the {namespace} namespace that runs a one-off "
+        f"database migration using the python:3.11-slim image with the command "
+        f"[\"python\", \"manage.py\", \"migrate\"]. Set the environment variable DB_HOST to "
+        f"\"{db_host}\" and use restartPolicy Never."
+    )
+    reference = f"""apiVersion: batch/v1
+kind: Job
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  template:
+    spec:
+      restartPolicy: Never
+      containers:
+      - name: migrate  # *
+        image: python:3.11-slim
+        command:
+        - python
+        - manage.py
+        - migrate
+        env:
+        - name: DB_HOST
+          value: {db_host}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("Job", "complete", name=name, namespace=namespace),
+        S.AssertJsonPath("Job", "{.spec.template.spec.containers[0].env[0].name}", expected="DB_HOST", name=name, namespace=namespace),
+        S.AssertJsonPath("Job", "{.spec.template.spec.containers[0].env[0].value}", expected=db_host, name=name, namespace=namespace),
+        S.AssertJsonPath("Job", "{.spec.template.spec.containers[0].command[2]}", expected="migrate", name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"job-migration-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="Job",
+    )
+
+
+def _deadline_job(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    deadline = rng.choice([120, 300, 600, 900])
+    ttl = rng.choice([60, 100, 200])
+    name = f"{app}-cleanup"
+    question = (
+        f"Create a Job named \"{name}\" in namespace {namespace} running busybox:1.36 with the "
+        f"command [\"sh\", \"-c\", \"rm -rf /tmp/cache/*\"]. The Job must be killed after "
+        f"{deadline} seconds (activeDeadlineSeconds) and cleaned up {ttl} seconds after it finishes "
+        f"(ttlSecondsAfterFinished). Use restartPolicy Never."
+    )
+    reference = f"""apiVersion: batch/v1
+kind: Job
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  activeDeadlineSeconds: {deadline}
+  ttlSecondsAfterFinished: {ttl}
+  template:
+    spec:
+      restartPolicy: Never
+      containers:
+      - name: cleanup  # *
+        image: busybox:1.36
+        command:
+        - sh
+        - -c
+        - rm -rf /tmp/cache/*
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("Job", "complete", name=name, namespace=namespace),
+        S.AssertJsonPath("Job", "{.spec.activeDeadlineSeconds}", expected=str(deadline), name=name, namespace=namespace),
+        S.AssertJsonPath("Job", "{.spec.ttlSecondsAfterFinished}", expected=str(ttl), name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"job-deadline-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="Job",
+    )
+
+
+_TEMPLATES = [_pi_job, _parallel_job, _migration_job, _deadline_job]
+
+
+def generate(rng: DeterministicRNG, count: int) -> list[ProblemDraft]:
+    """Generate ``count`` job problems."""
+
+    drafts = []
+    for index in range(count):
+        template = _TEMPLATES[index % len(_TEMPLATES)]
+        drafts.append(template(rng.child("job", index), index))
+    return drafts

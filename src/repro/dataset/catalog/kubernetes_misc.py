@@ -1,0 +1,799 @@
+"""Problem templates for the "others" category.
+
+Covers the remaining Kubernetes kinds the paper's dataset touches: RBAC
+objects, ConfigMaps, Secrets, LimitRanges, ResourceQuotas, storage
+(PV/PVC), Ingress, HorizontalPodAutoscaler, NetworkPolicy, CronJob,
+StatefulSet and ServiceAccounts.
+"""
+
+from __future__ import annotations
+
+from repro.dataset.catalog.common import (
+    CPU_REQUESTS,
+    MEMORY_REQUESTS,
+    ProblemDraft,
+    pick_app,
+    pick_source,
+)
+from repro.testexec import steps as S
+from repro.utils.rng import DeterministicRNG
+
+__all__ = ["generate"]
+
+
+def _role_binding(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    """The RoleBinding example from Figure 1, parameterised."""
+
+    _, namespace = pick_app(rng)
+    user = rng.choice(["dave", "alice", "bob", "carol", "erin", "frank"])
+    role = rng.choice(["secret-reader", "config-viewer", "pod-reader", "deploy-manager"])
+    name = f"read-{role.split('-')[0]}s"
+    question = (
+        f"Write a yaml file to create a Kubernetes RoleBinding in the {namespace} namespace with the "
+        f"name \"{name}\". This RoleBinding should bind the user \"{user}\" to the ClusterRole named "
+        f"\"{role}\". Ensure that both the user and the ClusterRole are under the "
+        f"rbac.authorization.k8s.io API group."
+    )
+    reference = f"""apiVersion: rbac.authorization.k8s.io/v1
+kind: RoleBinding
+metadata:
+  name: {name}
+  namespace: {namespace}
+subjects:
+- kind: User
+  name: {user}
+  apiGroup: rbac.authorization.k8s.io
+roleRef:
+  kind: ClusterRole
+  name: {role}
+  apiGroup: rbac.authorization.k8s.io
+"""
+    cluster_role = f"""apiVersion: rbac.authorization.k8s.io/v1
+kind: ClusterRole
+metadata:
+  name: {role}
+rules:
+- apiGroups: [""]
+  resources: ["secrets"]
+  verbs: ["get", "list"]
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyManifest(cluster_role),
+        S.ApplyAnswer(),
+        S.AssertJsonPath("RoleBinding", "{.metadata.namespace}", expected=namespace, name=name, namespace=namespace),
+        S.AssertJsonPath("RoleBinding", "{.subjects[0].name}", expected=user, name=name, namespace=namespace),
+        S.AssertJsonPath("RoleBinding", "{.roleRef.name}", expected=role, name=name, namespace=namespace),
+        S.AssertJsonPath("RoleBinding", "{.roleRef.kind}", expected="ClusterRole", name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"others-rolebinding-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="RoleBinding",
+    )
+
+
+def _role(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    _, namespace = pick_app(rng)
+    resource = rng.choice(["pods", "services", "configmaps", "deployments"])
+    name = f"{resource[:-1]}-reader"
+    api_group = '"apps"' if resource == "deployments" else '""'
+    question = (
+        f"Create a Role named \"{name}\" in the {namespace} namespace that grants get, watch and "
+        f"list permissions on {resource}."
+    )
+    reference = f"""apiVersion: rbac.authorization.k8s.io/v1
+kind: Role
+metadata:
+  name: {name}
+  namespace: {namespace}
+rules:
+- apiGroups: [{api_group}]
+  resources: ["{resource}"]
+  verbs: ["get", "watch", "list"]
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.AssertJsonPath("Role", "{.rules[0].resources[0]}", expected=resource, name=name, namespace=namespace),
+        S.AssertJsonPath("Role", "{.rules[0].verbs[*]}", contains="watch", name=name, namespace=namespace),
+        S.AssertJsonPath("Role", "{.rules[0].verbs[*]}", contains="list", name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"others-role-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="Role",
+    )
+
+
+def _cluster_role_binding(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    _, namespace = pick_app(rng)
+    sa_name = rng.choice(["ci-deployer", "metrics-reader", "backup-agent", "audit-bot"])
+    role = rng.choice(["view", "edit", "cluster-admin", "monitoring-reader"])
+    name = f"{sa_name}-binding"
+    question = (
+        f"Write a YAML for a ClusterRoleBinding named \"{name}\" that grants the ClusterRole "
+        f"\"{role}\" to the ServiceAccount \"{sa_name}\" in the {namespace} namespace."
+    )
+    reference = f"""apiVersion: rbac.authorization.k8s.io/v1
+kind: ClusterRoleBinding
+metadata:
+  name: {name}
+subjects:
+- kind: ServiceAccount
+  name: {sa_name}
+  namespace: {namespace}
+roleRef:
+  kind: ClusterRole
+  name: {role}
+  apiGroup: rbac.authorization.k8s.io
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.AssertJsonPath("ClusterRoleBinding", "{.subjects[0].kind}", expected="ServiceAccount", name=name),
+        S.AssertJsonPath("ClusterRoleBinding", "{.subjects[0].name}", expected=sa_name, name=name),
+        S.AssertJsonPath("ClusterRoleBinding", "{.roleRef.name}", expected=role, name=name),
+    ]
+    return ProblemDraft(
+        slug=f"others-clusterrolebinding-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="ClusterRoleBinding",
+    )
+
+
+def _configmap(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    name = f"{app}-config"
+    log_level = rng.choice(["debug", "info", "warning"])
+    timeout = rng.choice(["30", "60", "120"])
+    question = (
+        f"Create a ConfigMap named \"{name}\" in the {namespace} namespace with two keys: "
+        f"LOG_LEVEL set to \"{log_level}\" and REQUEST_TIMEOUT set to \"{timeout}\"."
+    )
+    reference = f"""apiVersion: v1
+kind: ConfigMap
+metadata:
+  name: {name}
+  namespace: {namespace}
+data:
+  LOG_LEVEL: "{log_level}"
+  REQUEST_TIMEOUT: "{timeout}"
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.AssertJsonPath("ConfigMap", "{.data.LOG_LEVEL}", expected=log_level, name=name, namespace=namespace),
+        S.AssertJsonPath("ConfigMap", "{.data.REQUEST_TIMEOUT}", expected=timeout, name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"others-configmap-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="ConfigMap",
+    )
+
+
+def _secret(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    name = f"{app}-credentials"
+    username = rng.choice(["admin", "service", "readonly"])
+    question = (
+        f"Write a YAML for a Secret named \"{name}\" of type Opaque in the {namespace} namespace "
+        f"using stringData with the keys username (value \"{username}\") and password "
+        f"(value \"s3cr3t-{app}\")."
+    )
+    reference = f"""apiVersion: v1
+kind: Secret
+metadata:
+  name: {name}
+  namespace: {namespace}
+type: Opaque
+stringData:
+  username: {username}
+  password: s3cr3t-{app}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.AssertJsonPath("Secret", "{.type}", expected="Opaque", name=name, namespace=namespace),
+        S.AssertJsonPath("Secret", "{.stringData.username}", expected=username, name=name, namespace=namespace),
+        S.AssertJsonPath("Secret", "{.stringData.password}", expected=f"s3cr3t-{app}", name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"others-secret-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="Secret",
+    )
+
+
+def _limit_range(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    _, namespace = pick_app(rng)
+    cpu_default = rng.choice(CPU_REQUESTS[:4])
+    mem_default = rng.choice(MEMORY_REQUESTS[:4])
+    cpu_max = "500m"
+    mem_max = "512Mi"
+    name = "resource-limits"
+    question = (
+        f"Craft a yaml file to define a Kubernetes LimitRange named \"{name}\" in the {namespace} "
+        f"namespace. Containers should have a default CPU request of {cpu_default} and a default "
+        f"memory request of {mem_default}. Containers must not exceed a maximum CPU usage of "
+        f"{cpu_max} or a memory usage of {mem_max}."
+    )
+    reference = f"""apiVersion: v1
+kind: LimitRange
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  limits:
+  - type: Container
+    defaultRequest:
+      cpu: {cpu_default}
+      memory: {mem_default}
+    max:
+      cpu: {cpu_max}
+      memory: {mem_max}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.AssertJsonPath("LimitRange", "{.spec.limits[0].defaultRequest.cpu}", expected=cpu_default, name=name, namespace=namespace),
+        S.AssertJsonPath("LimitRange", "{.spec.limits[0].max.memory}", expected=mem_max, name=name, namespace=namespace),
+        S.AssertJsonPath("LimitRange", "{.spec.limits[0].type}", expected="Container", name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"others-limitrange-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="LimitRange",
+    )
+
+
+def _resource_quota(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    _, namespace = pick_app(rng)
+    pods = rng.choice([10, 20, 30, 50])
+    cpu = rng.choice(["4", "8", "16"])
+    memory = rng.choice(["8Gi", "16Gi", "32Gi"])
+    name = "team-quota"
+    question = (
+        f"Create a ResourceQuota named \"{name}\" for the {namespace} namespace limiting the "
+        f"namespace to {pods} pods, {cpu} CPUs of requests and {memory} of memory requests."
+    )
+    reference = f"""apiVersion: v1
+kind: ResourceQuota
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  hard:
+    pods: "{pods}"
+    requests.cpu: "{cpu}"
+    requests.memory: {memory}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.AssertJsonPath("ResourceQuota", "{.spec.hard.pods}", expected=str(pods), name=name, namespace=namespace),
+        S.AssertJsonPath("ResourceQuota", "{.spec.hard['requests.memory']}", expected=memory, name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"others-resourcequota-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="ResourceQuota",
+    )
+
+
+def _pvc(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    size = rng.choice(["1Gi", "5Gi", "10Gi", "20Gi"])
+    mode = rng.choice(["ReadWriteOnce", "ReadWriteMany"])
+    name = f"{app}-data"
+    question = (
+        f"Write a YAML for a PersistentVolumeClaim named \"{name}\" in namespace {namespace} "
+        f"requesting {size} of storage with the access mode {mode} and storage class standard."
+    )
+    reference = f"""apiVersion: v1
+kind: PersistentVolumeClaim
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  accessModes:
+  - {mode}
+  storageClassName: standard
+  resources:
+    requests:
+      storage: {size}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.AssertJsonPath("PersistentVolumeClaim", "{.spec.resources.requests.storage}", expected=size, name=name, namespace=namespace),
+        S.AssertJsonPath("PersistentVolumeClaim", "{.spec.accessModes[0]}", expected=mode, name=name, namespace=namespace),
+        S.AssertJsonPath("PersistentVolumeClaim", "{.spec.storageClassName}", expected="standard", name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"others-pvc-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="PersistentVolumeClaim",
+    )
+
+
+def _persistent_volume(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, _ = pick_app(rng)
+    size = rng.choice(["5Gi", "10Gi", "50Gi", "100Gi"])
+    path = f"/mnt/data/{app}"
+    name = f"{app}-pv"
+    question = (
+        f"Create a PersistentVolume named \"{name}\" with {size} capacity, access mode "
+        f"ReadWriteOnce, storage class manual, backed by the hostPath {path}."
+    )
+    reference = f"""apiVersion: v1
+kind: PersistentVolume
+metadata:
+  name: {name}
+spec:
+  capacity:
+    storage: {size}
+  accessModes:
+  - ReadWriteOnce
+  storageClassName: manual
+  hostPath:
+    path: {path}
+"""
+    steps = [
+        S.ApplyAnswer(),
+        S.AssertJsonPath("PersistentVolume", "{.spec.capacity.storage}", expected=size, name=name),
+        S.AssertJsonPath("PersistentVolume", "{.spec.hostPath.path}", expected=path, name=name),
+        S.AssertJsonPath("PersistentVolume", "{.spec.storageClassName}", expected="manual", name=name),
+    ]
+    return ProblemDraft(
+        slug=f"others-pv-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="PersistentVolume",
+    )
+
+
+def _fix_ingress(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    """The Appendix C.3 debugging sample: legacy Ingress backend fields."""
+
+    app, namespace = pick_app(rng)
+    port = rng.choice([5000, 8080, 3000, 9000])
+    name = "minimal-ingress"
+    service = f"{app}-app"
+    context = f"""apiVersion: networking.k8s.io/v1
+kind: Ingress
+metadata:
+  name: test-ingress
+  annotations:
+    nginx.ingress.kubernetes.io/rewrite-target: /
+spec:
+  rules:
+  - http:
+      paths:
+      - path: /
+        backend:
+          serviceName: {service}
+          servicePort: {port}
+"""
+    question = (
+        f"Given the following YAML which is not functionally correct, executing it reports the error: "
+        f"Ingress in version \"v1\" cannot be handled as a Ingress: strict decoding error: unknown "
+        f"field \"spec.rules[0].http.paths[0].backend.serviceName\", unknown field "
+        f"\"spec.rules[0].http.paths[0].backend.servicePort\". Please debug it to make it valid for "
+        f"the {namespace} namespace, name it \"{name}\", keep the rewrite-target annotation and route "
+        f"path / (Prefix) to the service {service} on port {port}. Please provide the entire YAML."
+    )
+    reference = f"""apiVersion: networking.k8s.io/v1
+kind: Ingress
+metadata:
+  name: {name}
+  namespace: {namespace}
+  annotations:
+    nginx.ingress.kubernetes.io/rewrite-target: /
+spec:
+  rules:
+  - http:
+      paths:
+      - path: /
+        pathType: Prefix
+        backend:
+          service:
+            name: {service}
+            port:
+              number: {port}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("Ingress", "synced", name=name, namespace=namespace),
+        S.AssertDescribeContains("Ingress", name, f"{service}:{port}", namespace=namespace),
+        S.AssertJsonPath("Ingress", "{.spec.rules[0].http.paths[0].pathType}", expected="Prefix", name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"others-fix-ingress-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        yaml_context=context,
+        source="stackoverflow",
+        primary_kind="Ingress",
+        extra_difficulty=0.1,
+    )
+
+
+def _ingress(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    host = f"{app}.example.com"
+    port = rng.choice([80, 8080, 3000])
+    name = f"{app}-ingress"
+    question = (
+        f"Create an Ingress named \"{name}\" in the {namespace} namespace that routes requests for "
+        f"host {host} with path prefix /api to the service {app}-svc on port {port}."
+    )
+    reference = f"""apiVersion: networking.k8s.io/v1
+kind: Ingress
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  rules:
+  - host: {host}
+    http:
+      paths:
+      - path: /api
+        pathType: Prefix
+        backend:
+          service:
+            name: {app}-svc
+            port:
+              number: {port}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("Ingress", "synced", name=name, namespace=namespace),
+        S.AssertJsonPath("Ingress", "{.spec.rules[0].host}", expected=host, name=name, namespace=namespace),
+        S.AssertDescribeContains("Ingress", name, f"{app}-svc:{port}", namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"others-ingress-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="Ingress",
+        extra_difficulty=0.05,
+    )
+
+
+def _hpa(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    min_replicas = rng.choice([1, 2, 3])
+    max_replicas = rng.choice([5, 8, 10, 20])
+    cpu_target = rng.choice([50, 60, 70, 80])
+    name = f"{app}-hpa"
+    question = (
+        f"Write a YAML for a HorizontalPodAutoscaler (autoscaling/v2) named \"{name}\" in namespace "
+        f"{namespace} that scales the Deployment \"{app}\" between {min_replicas} and {max_replicas} "
+        f"replicas targeting {cpu_target}% average CPU utilization."
+    )
+    reference = f"""apiVersion: autoscaling/v2
+kind: HorizontalPodAutoscaler
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  scaleTargetRef:
+    apiVersion: apps/v1
+    kind: Deployment
+    name: {app}
+  minReplicas: {min_replicas}
+  maxReplicas: {max_replicas}
+  metrics:
+  - type: Resource
+    resource:
+      name: cpu
+      target:
+        type: Utilization
+        averageUtilization: {cpu_target}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.AssertJsonPath("HorizontalPodAutoscaler", "{.spec.maxReplicas}", expected=str(max_replicas), name=name, namespace=namespace),
+        S.AssertJsonPath("HorizontalPodAutoscaler", "{.spec.scaleTargetRef.name}", expected=app, name=name, namespace=namespace),
+        S.AssertJsonPath(
+            "HorizontalPodAutoscaler",
+            "{.spec.metrics[0].resource.target.averageUtilization}",
+            expected=str(cpu_target),
+            name=name,
+            namespace=namespace,
+        ),
+    ]
+    return ProblemDraft(
+        slug=f"others-hpa-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="HorizontalPodAutoscaler",
+        extra_difficulty=0.1,
+    )
+
+
+def _network_policy(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    port = rng.choice([5432, 6379, 3306, 8080])
+    name = f"allow-{app}"
+    question = (
+        f"Create a NetworkPolicy named \"{name}\" in the {namespace} namespace that selects pods "
+        f"labeled app: {app}-db and only allows ingress on TCP port {port} from pods labeled "
+        f"app: {app}."
+    )
+    reference = f"""apiVersion: networking.k8s.io/v1
+kind: NetworkPolicy
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  podSelector:
+    matchLabels:
+      app: {app}-db
+  policyTypes:
+  - Ingress
+  ingress:
+  - from:
+    - podSelector:
+        matchLabels:
+          app: {app}
+    ports:
+    - protocol: TCP
+      port: {port}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.AssertJsonPath("NetworkPolicy", "{.spec.podSelector.matchLabels.app}", expected=f"{app}-db", name=name, namespace=namespace),
+        S.AssertJsonPath("NetworkPolicy", "{.spec.ingress[0].ports[0].port}", expected=str(port), name=name, namespace=namespace),
+        S.AssertJsonPath("NetworkPolicy", "{.spec.ingress[0].from[0].podSelector.matchLabels.app}", expected=app, name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"others-networkpolicy-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="NetworkPolicy",
+        extra_difficulty=0.1,
+    )
+
+
+def _cron_job(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    schedule = rng.choice(["0 2 * * *", "*/15 * * * *", "30 1 * * 0", "0 */6 * * *"])
+    name = f"{app}-backup"
+    question = (
+        f"Write a YAML for a CronJob named \"{name}\" in namespace {namespace} scheduled at "
+        f"\"{schedule}\" that runs busybox:1.36 with the command "
+        f"[\"sh\", \"-c\", \"tar czf /backup/{app}.tgz /data\"] and restartPolicy OnFailure."
+    )
+    reference = f"""apiVersion: batch/v1
+kind: CronJob
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  schedule: "{schedule}"
+  jobTemplate:
+    spec:
+      template:
+        spec:
+          restartPolicy: OnFailure
+          containers:
+          - name: backup  # *
+            image: busybox:1.36
+            command:
+            - sh
+            - -c
+            - tar czf /backup/{app}.tgz /data
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.AssertJsonPath("CronJob", "{.spec.schedule}", expected=schedule, name=name, namespace=namespace),
+        S.AssertJsonPath(
+            "CronJob",
+            "{.spec.jobTemplate.spec.template.spec.restartPolicy}",
+            expected="OnFailure",
+            name=name,
+            namespace=namespace,
+        ),
+        S.AssertJsonPath(
+            "CronJob",
+            "{.spec.jobTemplate.spec.template.spec.containers[0].image}",
+            expected="busybox:1.36",
+            name=name,
+            namespace=namespace,
+        ),
+    ]
+    return ProblemDraft(
+        slug=f"others-cronjob-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="CronJob",
+        extra_difficulty=0.1,
+    )
+
+
+def _stateful_set(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    replicas = rng.choice([2, 3])
+    name = f"{app}-db"
+    question = (
+        f"Create a StatefulSet named \"{name}\" in the {namespace} namespace with {replicas} replicas "
+        f"of redis:7 labeled app: {name}, using the headless service \"{name}-headless\" as its "
+        f"serviceName, with container port 6379."
+    )
+    reference = f"""apiVersion: apps/v1
+kind: StatefulSet
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  serviceName: {name}-headless
+  replicas: {replicas}
+  selector:
+    matchLabels:
+      app: {name}
+  template:
+    metadata:
+      labels:
+        app: {name}
+    spec:
+      containers:
+      - name: redis  # *
+        image: redis:7
+        ports:
+        - containerPort: 6379
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("StatefulSet", "ready", name=name, namespace=namespace),
+        S.AssertJsonPath("StatefulSet", "{.spec.serviceName}", expected=f"{name}-headless", name=name, namespace=namespace),
+        S.AssertJsonPath("StatefulSet", "{.spec.replicas}", expected=str(replicas), name=name, namespace=namespace),
+        S.AssertPodCount(selector={"app": name}, min_count=replicas, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"others-statefulset-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="StatefulSet",
+        extra_difficulty=0.1,
+    )
+
+
+def _service_account(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    name = f"{app}-runner"
+    question = (
+        f"Write a YAML for a ServiceAccount named \"{name}\" in the {namespace} namespace with "
+        f"the label team: {app} and automountServiceAccountToken disabled."
+    )
+    reference = f"""apiVersion: v1
+kind: ServiceAccount
+metadata:
+  name: {name}
+  namespace: {namespace}
+  labels:
+    team: {app}
+automountServiceAccountToken: false
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.AssertJsonPath("ServiceAccount", "{.metadata.labels.team}", expected=app, name=name, namespace=namespace),
+        S.AssertJsonPath("ServiceAccount", "{.automountServiceAccountToken}", expected="false", name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"others-serviceaccount-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="ServiceAccount",
+    )
+
+
+def _namespace_with_labels(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, _ = pick_app(rng)
+    env = rng.choice(["dev", "staging", "prod"])
+    name = f"{app}-{env}"
+    question = (
+        f"Create a Namespace named \"{name}\" labeled with environment: {env} and team: {app}, and "
+        f"enable Istio sidecar injection by adding the label istio-injection: enabled."
+    )
+    reference = f"""apiVersion: v1
+kind: Namespace
+metadata:
+  name: {name}
+  labels:
+    environment: {env}
+    team: {app}
+    istio-injection: enabled
+"""
+    steps = [
+        S.ApplyAnswer(),
+        S.AssertJsonPath("Namespace", "{.metadata.labels.environment}", expected=env, name=name),
+        S.AssertJsonPath("Namespace", "{.metadata.labels.istio-injection}", expected="enabled", name=name),
+    ]
+    return ProblemDraft(
+        slug=f"others-namespace-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="Namespace",
+    )
+
+
+_TEMPLATES = [
+    _role_binding,
+    _role,
+    _cluster_role_binding,
+    _configmap,
+    _secret,
+    _limit_range,
+    _resource_quota,
+    _pvc,
+    _persistent_volume,
+    _fix_ingress,
+    _ingress,
+    _hpa,
+    _network_policy,
+    _cron_job,
+    _stateful_set,
+    _service_account,
+    _namespace_with_labels,
+]
+
+
+def generate(rng: DeterministicRNG, count: int) -> list[ProblemDraft]:
+    """Generate ``count`` problems for the "others" category."""
+
+    drafts = []
+    for index in range(count):
+        template = _TEMPLATES[index % len(_TEMPLATES)]
+        drafts.append(template(rng.child("others", index), index))
+    return drafts

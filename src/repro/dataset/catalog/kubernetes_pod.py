@@ -1,0 +1,449 @@
+"""Pod problem templates (Table 2 column "pod")."""
+
+from __future__ import annotations
+
+from repro.dataset.catalog.common import (
+    CPU_REQUESTS,
+    DB_IMAGES,
+    HTTP_PORTS,
+    MEMORY_REQUESTS,
+    WEB_IMAGES,
+    WORKER_IMAGES,
+    ProblemDraft,
+    pick_app,
+    pick_source,
+)
+from repro.testexec import steps as S
+from repro.utils.rng import DeterministicRNG
+
+__all__ = ["generate"]
+
+
+def _simple_pod(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    image = rng.choice(WEB_IMAGES)
+    port = rng.choice(HTTP_PORTS)
+    name = f"{app}-pod"
+    question = (
+        f"Write a YAML file to create a Kubernetes Pod named \"{name}\" in the "
+        f"\"{namespace}\" namespace. The pod should run the {image} image with the "
+        f"label app: {app} and expose container port {port}."
+    )
+    reference = f"""apiVersion: v1
+kind: Pod
+metadata:
+  name: {name}
+  namespace: {namespace}
+  labels:
+    app: {app}
+spec:
+  containers:
+  - name: {app}  # *
+    image: {image}
+    ports:
+    - containerPort: {port}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("Pod", "Ready", name=name, namespace=namespace),
+        S.AssertJsonPath("Pod", "{.metadata.labels.app}", expected=app, name=name, namespace=namespace),
+        S.AssertJsonPath("Pod", "{.spec.containers[0].image}", expected=image, name=name, namespace=namespace),
+        S.AssertJsonPath("Pod", "{.spec.containers[0].ports[0].containerPort}", expected=str(port), name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"pod-simple-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="Pod",
+    )
+
+
+def _pod_with_env(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    image = rng.choice(DB_IMAGES)
+    env_name = rng.choice(["DATABASE_URL", "CACHE_HOST", "APP_MODE", "LOG_LEVEL", "QUEUE_NAME"])
+    env_value = rng.choice(["redis.internal", "production", "debug", "orders-queue", "db.svc.cluster.local"])
+    name = f"{app}-worker"
+    question = (
+        f"Create a Pod named \"{name}\" in the {namespace} namespace running the {image} image. "
+        f"Set the environment variable {env_name} to \"{env_value}\" inside the container and "
+        f"label the pod with app: {app}."
+    )
+    reference = f"""apiVersion: v1
+kind: Pod
+metadata:
+  name: {name}
+  namespace: {namespace}
+  labels:
+    app: {app}
+spec:
+  containers:
+  - name: {app}-container  # *
+    image: {image}
+    env:
+    - name: {env_name}
+      value: "{env_value}"
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("Pod", "Ready", name=name, namespace=namespace),
+        S.AssertJsonPath("Pod", "{.spec.containers[0].env[*].name}", contains=env_name, name=name, namespace=namespace),
+        S.AssertJsonPath("Pod", "{.spec.containers[0].env[0].value}", expected=env_value, name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"pod-env-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="Pod",
+    )
+
+
+def _pod_with_resources(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    image = rng.choice(WEB_IMAGES + WORKER_IMAGES)
+    cpu = rng.choice(CPU_REQUESTS)
+    memory = rng.choice(MEMORY_REQUESTS)
+    name = f"{app}-limited"
+    question = (
+        f"Write a YAML manifest for a Pod called \"{name}\" in namespace {namespace} using the "
+        f"{image} image. The container must request {cpu} CPU and {memory} of memory, and use the "
+        f"same values as its resource limits."
+    )
+    reference = f"""apiVersion: v1
+kind: Pod
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  containers:
+  - name: main  # *
+    image: {image}
+    resources:
+      requests:
+        cpu: {cpu}
+        memory: {memory}
+      limits:
+        cpu: {cpu}
+        memory: {memory}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("Pod", "Ready", name=name, namespace=namespace),
+        S.AssertJsonPath("Pod", "{.spec.containers[0].resources.requests.cpu}", expected=cpu, name=name, namespace=namespace),
+        S.AssertJsonPath("Pod", "{.spec.containers[0].resources.limits.memory}", expected=memory, name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"pod-resources-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="Pod",
+    )
+
+
+def _pod_env_from_secret(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    secret_name = f"{app}-secret"
+    name = f"{app}-pod"
+    key = rng.choice(["password", "api-key", "token"])
+    env_name = key.upper().replace("-", "_")
+    context = f"""apiVersion: v1
+kind: Pod
+metadata:
+  name: {name}
+  labels:
+    app: {app}
+spec:
+  containers:
+  - name: {app}
+    image: mysql:8.0
+    env:
+    - name: {env_name}
+      value: supersecret
+    ports:
+    - containerPort: 3306
+"""
+    question = (
+        f"Is there a way to provide environment variables from a Secret instead of hardcoding them "
+        f"when defining a pod? Given the following pod definition, provide the entire YAML for the "
+        f"\"{namespace}\" namespace, supposing there is a Secret named {secret_name} that contains "
+        f"the key \"{key}\". The environment variable {env_name} should come from that Secret."
+    )
+    reference = f"""apiVersion: v1
+kind: Pod
+metadata:
+  name: {name}
+  namespace: {namespace}
+  labels:
+    app: {app}
+spec:
+  containers:
+  - name: {app}  # *
+    image: mysql:8.0
+    env:
+    - name: {env_name}
+      valueFrom:
+        secretKeyRef:
+          name: {secret_name}
+          key: {key}
+    ports:
+    - containerPort: 3306
+"""
+    secret_manifest = f"""apiVersion: v1
+kind: Secret
+metadata:
+  name: {secret_name}
+  namespace: {namespace}
+stringData:
+  {key}: supersecret
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyManifest(secret_manifest),
+        S.ApplyAnswer(),
+        S.WaitFor("Pod", "Ready", name=name, namespace=namespace),
+        S.AssertJsonPath(
+            "Pod",
+            "{.spec.containers[0].env[0].valueFrom.secretKeyRef.name}",
+            expected=secret_name,
+            name=name,
+            namespace=namespace,
+        ),
+        S.AssertJsonPath(
+            "Pod",
+            "{.spec.containers[0].env[0].valueFrom.secretKeyRef.key}",
+            expected=key,
+            name=name,
+            namespace=namespace,
+        ),
+    ]
+    return ProblemDraft(
+        slug=f"pod-secret-env-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        yaml_context=context,
+        source="stackoverflow",
+        primary_kind="Pod",
+        extra_difficulty=0.1,
+    )
+
+
+def _pod_configmap_volume(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    cm_name = f"{app}-config"
+    name = f"{app}-pod"
+    mount_path = rng.choice(["/etc/config", "/app/config", "/var/run/config"])
+    question = (
+        f"Create a Pod named \"{name}\" in the {namespace} namespace that runs nginx:latest and "
+        f"mounts the ConfigMap \"{cm_name}\" as a volume named config-volume at {mount_path}."
+    )
+    reference = f"""apiVersion: v1
+kind: Pod
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  containers:
+  - name: web  # *
+    image: nginx:latest
+    volumeMounts:
+    - name: config-volume
+      mountPath: {mount_path}
+  volumes:
+  - name: config-volume
+    configMap:
+      name: {cm_name}
+"""
+    cm_manifest = f"""apiVersion: v1
+kind: ConfigMap
+metadata:
+  name: {cm_name}
+  namespace: {namespace}
+data:
+  app.properties: "mode=standard"
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyManifest(cm_manifest),
+        S.ApplyAnswer(),
+        S.WaitFor("Pod", "Ready", name=name, namespace=namespace),
+        S.AssertJsonPath("Pod", "{.spec.volumes[0].configMap.name}", expected=cm_name, name=name, namespace=namespace),
+        S.AssertJsonPath("Pod", "{.spec.containers[0].volumeMounts[0].mountPath}", expected=mount_path, name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"pod-configmap-volume-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="Pod",
+        extra_difficulty=0.05,
+    )
+
+
+def _multi_container_pod(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    sidecar_image = rng.choice(AGENT := ["fluent/fluentd:v1.16", "busybox:1.36", "alpine:3.19"])
+    del AGENT
+    name = f"{app}-with-sidecar"
+    port = rng.choice(HTTP_PORTS)
+    question = (
+        f"Write a YAML for a two-container Pod named \"{name}\" in namespace {namespace}. The first "
+        f"container, named \"app\", runs nginx:latest and exposes port {port}; the second container, "
+        f"named \"sidecar\", runs {sidecar_image}. Label the pod app: {app}."
+    )
+    reference = f"""apiVersion: v1
+kind: Pod
+metadata:
+  name: {name}
+  namespace: {namespace}
+  labels:
+    app: {app}
+spec:
+  containers:
+  - name: app
+    image: nginx:latest
+    ports:
+    - containerPort: {port}
+  - name: sidecar
+    image: {sidecar_image}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("Pod", "Ready", name=name, namespace=namespace),
+        S.AssertJsonPath("Pod", "{.spec.containers[*].name}", contains="sidecar", name=name, namespace=namespace),
+        S.AssertJsonPath("Pod", "{.spec.containers[1].image}", expected=sidecar_image, name=name, namespace=namespace),
+        S.AssertJsonPath("Pod", "{.spec.containers[0].ports[0].containerPort}", expected=str(port), name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"pod-multi-container-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="Pod",
+        extra_difficulty=0.1,
+    )
+
+
+def _pod_fix_api_version(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    image = rng.choice(WEB_IMAGES)
+    name = f"{app}-pod"
+    context = f"""apiVersion: v1beta1
+kind: Pod
+metadata:
+  name: {name}
+spec:
+  containers:
+  - name: {app}
+    image: {image}
+    ports:
+    - containerPort: 80
+"""
+    question = (
+        "Given the following YAML which is not functionally correct, executing it reports: "
+        "error: unable to recognize no matches for kind \"Pod\" in version \"v1beta1\". "
+        f"Please debug it so it applies cleanly in the {namespace} namespace and provide the entire YAML."
+    )
+    reference = f"""apiVersion: v1
+kind: Pod
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  containers:
+  - name: {app}  # *
+    image: {image}
+    ports:
+    - containerPort: 80
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("Pod", "Ready", name=name, namespace=namespace),
+        S.AssertJsonPath("Pod", "{.apiVersion}", expected="v1", name=name, namespace=namespace),
+        S.AssertJsonPath("Pod", "{.spec.containers[0].image}", expected=image, name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"pod-fix-apiversion-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        yaml_context=context,
+        source="stackoverflow",
+        primary_kind="Pod",
+    )
+
+
+def _pod_with_command(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    image = rng.choice(WORKER_IMAGES)
+    message = rng.choice(["hello from the cluster", "startup complete", "batch tick", "healthcheck ok"])
+    name = f"{app}-runner"
+    question = (
+        f"Create a Pod named \"{name}\" in namespace {namespace} that runs the {image} image with "
+        f"the command [\"sh\", \"-c\"] and the argument \"echo {message} && sleep 3600\"."
+    )
+    reference = f"""apiVersion: v1
+kind: Pod
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  containers:
+  - name: runner  # *
+    image: {image}
+    command:
+    - sh
+    - -c
+    args:
+    - echo {message} && sleep 3600
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyAnswer(),
+        S.WaitFor("Pod", "Ready", name=name, namespace=namespace),
+        S.AssertJsonPath("Pod", "{.spec.containers[0].command[0]}", expected="sh", name=name, namespace=namespace),
+        S.AssertJsonPath("Pod", "{.spec.containers[0].args[0]}", contains=message, name=name, namespace=namespace),
+    ]
+    return ProblemDraft(
+        slug=f"pod-command-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        source=pick_source(rng),
+        primary_kind="Pod",
+    )
+
+
+_TEMPLATES = [
+    _simple_pod,
+    _pod_with_env,
+    _pod_with_resources,
+    _pod_env_from_secret,
+    _pod_configmap_volume,
+    _multi_container_pod,
+    _pod_fix_api_version,
+    _pod_with_command,
+]
+
+
+def generate(rng: DeterministicRNG, count: int) -> list[ProblemDraft]:
+    """Generate ``count`` pod problems by cycling the template families."""
+
+    drafts = []
+    for index in range(count):
+        template = _TEMPLATES[index % len(_TEMPLATES)]
+        drafts.append(template(rng.child("pod", index), index))
+    return drafts

@@ -1,0 +1,266 @@
+"""Service problem templates (Table 2 column "service")."""
+
+from __future__ import annotations
+
+from repro.dataset.catalog.common import HTTP_PORTS, ProblemDraft, pick_app, pick_source
+from repro.testexec import steps as S
+from repro.utils.rng import DeterministicRNG
+
+__all__ = ["generate"]
+
+
+def _deployment_context(app: str, namespace: str, image: str = "nginx:latest", port: int = 80, replicas: int = 3) -> str:
+    return f"""apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {app}-deployment
+  namespace: {namespace}
+spec:
+  replicas: {replicas}
+  selector:
+    matchLabels:
+      app: {app}
+  template:
+    metadata:
+      labels:
+        app: {app}
+    spec:
+      containers:
+      - name: {app}-container
+        image: {image}
+        ports:
+        - containerPort: {port}
+"""
+
+
+def _load_balancer_service(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    """The Appendix C.2 sample: expose an existing deployment with a LoadBalancer."""
+
+    app, namespace = pick_app(rng)
+    port = rng.choice([80, 8080])
+    context = _deployment_context(app, namespace, port=port)
+    question = (
+        f"Given the following YAML, please help me create a service with load balancer that uses the "
+        f"{app} selector, exposed on port {port}. It should be accessible via browser. "
+        f"Name the service \"{app}-service\" and keep it in the {namespace} namespace."
+    )
+    reference = f"""apiVersion: v1
+kind: Service
+metadata:
+  name: {app}-service
+  namespace: {namespace}
+spec:
+  selector:
+    app: {app}
+  ports:
+  - name: http  # *
+    port: {port}
+    targetPort: {port}
+  type: LoadBalancer
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyManifest(context),
+        S.WaitFor("Deployment", "available", name=f"{app}-deployment", namespace=namespace),
+        S.ApplyAnswer(),
+        S.AssertJsonPath("Service", "{.spec.type}", expected="LoadBalancer", name=f"{app}-service", namespace=namespace),
+        S.AssertServiceReachable(f"{app}-service", namespace=namespace, port=port),
+    ]
+    return ProblemDraft(
+        slug=f"service-loadbalancer-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        yaml_context=context,
+        source=pick_source(rng),
+        primary_kind="Service",
+    )
+
+
+def _cluster_ip_service(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    port = rng.choice(HTTP_PORTS)
+    target_port = rng.choice(HTTP_PORTS)
+    name = f"{app}-svc"
+    context = _deployment_context(app, namespace, port=target_port, replicas=2)
+    question = (
+        f"Write a YAML for a ClusterIP Service named \"{name}\" in the {namespace} namespace that "
+        f"selects pods labeled app: {app} and maps port {port} to target port {target_port}."
+    )
+    reference = f"""apiVersion: v1
+kind: Service
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  type: ClusterIP
+  selector:
+    app: {app}
+  ports:
+  - port: {port}
+    targetPort: {target_port}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyManifest(context),
+        S.ApplyAnswer(),
+        S.AssertJsonPath("Service", "{.spec.ports[0].targetPort}", expected=str(target_port), name=name, namespace=namespace),
+        S.AssertJsonPath("Service", "{.spec.selector.app}", expected=app, name=name, namespace=namespace),
+        S.AssertServiceReachable(name, namespace=namespace, port=port),
+    ]
+    return ProblemDraft(
+        slug=f"service-clusterip-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        yaml_context=context,
+        source=pick_source(rng),
+        primary_kind="Service",
+    )
+
+
+def _node_port_service(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    node_port = rng.choice([30080, 30090, 31000, 32000, 30500])
+    name = f"{app}-nodeport"
+    context = _deployment_context(app, namespace, replicas=1)
+    question = (
+        f"Create a NodePort Service named \"{name}\" in namespace {namespace} for pods labeled "
+        f"app: {app}. Expose port 80 with nodePort {node_port}."
+    )
+    reference = f"""apiVersion: v1
+kind: Service
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  type: NodePort
+  selector:
+    app: {app}
+  ports:
+  - port: 80
+    targetPort: 80
+    nodePort: {node_port}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyManifest(context),
+        S.ApplyAnswer(),
+        S.AssertJsonPath("Service", "{.spec.type}", expected="NodePort", name=name, namespace=namespace),
+        S.AssertJsonPath("Service", "{.spec.ports[0].nodePort}", expected=str(node_port), name=name, namespace=namespace),
+        S.AssertServiceReachable(name, namespace=namespace, port=node_port),
+    ]
+    return ProblemDraft(
+        slug=f"service-nodeport-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        yaml_context=context,
+        source=pick_source(rng),
+        primary_kind="Service",
+    )
+
+
+def _headless_service(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    name = f"{app}-headless"
+    port = rng.choice([5432, 3306, 6379, 27017])
+    context = _deployment_context(app, namespace, image="postgres:16", port=port, replicas=2)
+    question = (
+        f"Write a YAML for a headless Service named \"{name}\" in namespace {namespace} (clusterIP "
+        f"set to None) selecting pods with label app: {app} and exposing port {port}."
+    )
+    reference = f"""apiVersion: v1
+kind: Service
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  clusterIP: None
+  selector:
+    app: {app}
+  ports:
+  - port: {port}
+    targetPort: {port}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyManifest(context),
+        S.ApplyAnswer(),
+        S.AssertJsonPath("Service", "{.spec.clusterIP}", expected="None", name=name, namespace=namespace),
+        S.AssertJsonPath("Service", "{.spec.ports[0].port}", expected=str(port), name=name, namespace=namespace),
+        S.AssertServiceReachable(name, namespace=namespace, port=port),
+    ]
+    return ProblemDraft(
+        slug=f"service-headless-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        yaml_context=context,
+        source=pick_source(rng),
+        primary_kind="Service",
+    )
+
+
+def _multi_port_service(rng: DeterministicRNG, index: int) -> ProblemDraft:
+    app, namespace = pick_app(rng)
+    name = f"{app}-api"
+    metrics_port = rng.choice([9090, 9100, 15090])
+    context = _deployment_context(app, namespace, replicas=2)
+    question = (
+        f"Create a Service named \"{name}\" in the {namespace} namespace selecting app: {app}. "
+        f"It must expose two ports: a port named \"http\" on 80 targeting 80, and a port named "
+        f"\"metrics\" on {metrics_port} targeting {metrics_port}."
+    )
+    reference = f"""apiVersion: v1
+kind: Service
+metadata:
+  name: {name}
+  namespace: {namespace}
+spec:
+  selector:
+    app: {app}
+  ports:
+  - name: http
+    port: 80
+    targetPort: 80
+  - name: metrics
+    port: {metrics_port}
+    targetPort: {metrics_port}
+"""
+    steps = [
+        S.CreateNamespace(namespace),
+        S.ApplyManifest(context),
+        S.ApplyAnswer(),
+        S.AssertJsonPath("Service", "{.spec.ports[*].name}", contains="metrics", name=name, namespace=namespace),
+        S.AssertJsonPath("Service", "{.spec.ports[1].port}", expected=str(metrics_port), name=name, namespace=namespace),
+        S.AssertServiceReachable(name, namespace=namespace, port=80),
+    ]
+    return ProblemDraft(
+        slug=f"service-multiport-{index}",
+        question=question,
+        reference_yaml=reference,
+        steps=steps,
+        yaml_context=context,
+        source=pick_source(rng),
+        primary_kind="Service",
+    )
+
+
+_TEMPLATES = [
+    _load_balancer_service,
+    _cluster_ip_service,
+    _node_port_service,
+    _headless_service,
+    _multi_port_service,
+]
+
+
+def generate(rng: DeterministicRNG, count: int) -> list[ProblemDraft]:
+    """Generate ``count`` service problems."""
+
+    drafts = []
+    for index in range(count):
+        template = _TEMPLATES[index % len(_TEMPLATES)]
+        drafts.append(template(rng.child("service", index), index))
+    return drafts

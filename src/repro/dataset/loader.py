@@ -1,0 +1,38 @@
+"""Dataset persistence: write/read the corpus as JSON.
+
+The generated corpus is deterministic, so persisting it is optional; the
+loader exists so users can export the dataset, inspect problems by hand,
+or evaluate external models against a frozen copy.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.dataset.problem import ProblemSet
+
+__all__ = ["save_dataset", "load_dataset"]
+
+
+def save_dataset(dataset: ProblemSet, path: str | Path) -> Path:
+    """Serialise a problem set to a JSON file and return the path."""
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format": "cloudeval-yaml-repro/v1",
+        "problem_count": len(dataset),
+        "problems": dataset.to_dicts(),
+    }
+    path.write_text(json.dumps(payload, indent=2, ensure_ascii=False), encoding="utf-8")
+    return path
+
+
+def load_dataset(path: str | Path) -> ProblemSet:
+    """Load a problem set previously written by :func:`save_dataset`."""
+
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format") != "cloudeval-yaml-repro/v1":
+        raise ValueError(f"unrecognised dataset format {payload.get('format')!r}")
+    return ProblemSet.from_dicts(payload["problems"])

@@ -1,0 +1,184 @@
+"""Problem and ProblemSet data model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.dataset.schema import Category, Variant
+from repro.testexec.steps import UnitTestProgram
+from repro.utils.text import count_tokens, count_words
+from repro.yamlkit.labels import strip_labels
+
+__all__ = ["Problem", "ProblemSet"]
+
+
+@dataclass(frozen=True)
+class Problem:
+    """A single benchmark problem.
+
+    Attributes
+    ----------
+    problem_id:
+        Stable identifier, e.g. ``"k8s-pod-0007-original"``.
+    base_id:
+        Identifier shared by the three variants of the same problem
+        (``"k8s-pod-0007"``); used to join original/simplified/translated
+        rows in Table 5.
+    category / variant:
+        Taxonomy values (Table 2 / §2.2).
+    question:
+        Natural-language problem description (without the prompt template).
+    yaml_context:
+        Optional YAML snippet included in the question ("W/ Code" problems
+        in Figure 6).
+    reference_yaml:
+        Labeled reference YAML (with ``# *`` / ``# v in [...]`` comments).
+    unit_test:
+        Structured unit-test program executed by :mod:`repro.testexec`.
+    difficulty:
+        Scalar in [0, 1] summarising how hard the problem is; derived from
+        the solution length and category by the builder and consumed by the
+        simulated models.
+    source:
+        Provenance tag mimicking the paper's sources (documentation,
+        stackoverflow, blog).
+    """
+
+    problem_id: str
+    base_id: str
+    category: Category
+    variant: Variant
+    question: str
+    reference_yaml: str
+    unit_test: UnitTestProgram
+    yaml_context: str | None = None
+    difficulty: float = 0.5
+    source: str = "documentation"
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    # -- derived views ------------------------------------------------------
+    @property
+    def has_code_context(self) -> bool:
+        """Whether the question embeds a YAML context."""
+
+        return bool(self.yaml_context and self.yaml_context.strip())
+
+    @property
+    def application(self) -> str:
+        """kubernetes / envoy / istio (Figure 6 grouping)."""
+
+        return self.category.application
+
+    def full_question(self) -> str:
+        """Question text as shown to a model (context appended in a fence)."""
+
+        if not self.has_code_context:
+            return self.question
+        return f"{self.question}\n```\n{self.yaml_context.rstrip()}\n```"
+
+    def reference_plain(self) -> str:
+        """Reference YAML with label comments stripped (the ideal answer)."""
+
+        return strip_labels(self.reference_yaml)
+
+    # -- statistics used by Tables 1, 2 and 9 -------------------------------
+    def question_words(self) -> int:
+        return count_words(self.full_question())
+
+    def question_tokens(self) -> int:
+        return count_tokens(self.full_question())
+
+    def solution_lines(self) -> int:
+        return len([line for line in self.reference_plain().splitlines() if line.strip()])
+
+    def solution_tokens(self) -> int:
+        return count_tokens(self.reference_plain())
+
+    def unit_test_lines(self) -> int:
+        return self.unit_test.line_count()
+
+    # -- serialisation -------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "problem_id": self.problem_id,
+            "base_id": self.base_id,
+            "category": self.category.value,
+            "variant": self.variant.value,
+            "question": self.question,
+            "yaml_context": self.yaml_context,
+            "reference_yaml": self.reference_yaml,
+            "unit_test": self.unit_test.to_dict(),
+            "difficulty": self.difficulty,
+            "source": self.source,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Problem":
+        return cls(
+            problem_id=str(data["problem_id"]),
+            base_id=str(data["base_id"]),
+            category=Category(data["category"]),
+            variant=Variant(data["variant"]),
+            question=str(data["question"]),
+            yaml_context=data.get("yaml_context"),
+            reference_yaml=str(data["reference_yaml"]),
+            unit_test=UnitTestProgram.from_dict(data["unit_test"]),
+            difficulty=float(data.get("difficulty", 0.5)),
+            source=str(data.get("source", "documentation")),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+
+class ProblemSet:
+    """An ordered, filterable collection of problems."""
+
+    def __init__(self, problems: Iterable[Problem]) -> None:
+        self._problems = list(problems)
+        ids = [p.problem_id for p in self._problems]
+        if len(ids) != len(set(ids)):
+            raise ValueError("duplicate problem_id values in ProblemSet")
+
+    # -- container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._problems)
+
+    def __iter__(self) -> Iterator[Problem]:
+        return iter(self._problems)
+
+    def __getitem__(self, index: int) -> Problem:
+        return self._problems[index]
+
+    def get(self, problem_id: str) -> Problem:
+        for problem in self._problems:
+            if problem.problem_id == problem_id:
+                return problem
+        raise KeyError(problem_id)
+
+    # -- filtering ------------------------------------------------------------
+    def filter(self, predicate: Callable[[Problem], bool]) -> "ProblemSet":
+        return ProblemSet(p for p in self._problems if predicate(p))
+
+    def by_variant(self, variant: Variant) -> "ProblemSet":
+        return self.filter(lambda p: p.variant is variant)
+
+    def by_category(self, category: Category) -> "ProblemSet":
+        return self.filter(lambda p: p.category is category)
+
+    def by_application(self, application: str) -> "ProblemSet":
+        return self.filter(lambda p: p.application == application)
+
+    def originals(self) -> "ProblemSet":
+        return self.by_variant(Variant.ORIGINAL)
+
+    def categories(self) -> list[Category]:
+        return sorted({p.category for p in self._problems}, key=lambda c: c.value)
+
+    # -- serialisation ----------------------------------------------------------
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [p.to_dict() for p in self._problems]
+
+    @classmethod
+    def from_dicts(cls, rows: Iterable[Mapping[str, Any]]) -> "ProblemSet":
+        return cls(Problem.from_dict(row) for row in rows)

@@ -1,0 +1,64 @@
+"""Category and variant taxonomy of the dataset.
+
+The categories follow Table 2 of the paper: five Kubernetes sub-categories
+(pod, daemonset, service, job, deployment), a catch-all "others" bucket for
+remaining Kubernetes kinds, plus Envoy and Istio.  Variants follow §2.2:
+every original problem has a simplified and a translated sibling.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Category", "Variant", "APPLICATION_OF_CATEGORY", "ORIGINAL_CATEGORY_COUNTS"]
+
+
+class Category(str, Enum):
+    """Problem category (Table 2 columns)."""
+
+    POD = "pod"
+    DAEMONSET = "daemonset"
+    SERVICE = "service"
+    JOB = "job"
+    DEPLOYMENT = "deployment"
+    OTHERS = "others"
+    ENVOY = "envoy"
+    ISTIO = "istio"
+
+    @property
+    def application(self) -> str:
+        """The application this category belongs to (Figure 6 grouping)."""
+
+        return APPLICATION_OF_CATEGORY[self]
+
+
+class Variant(str, Enum):
+    """Question variant produced by practical data augmentation (§2.2)."""
+
+    ORIGINAL = "original"
+    SIMPLIFIED = "simplified"
+    TRANSLATED = "translated"
+
+
+APPLICATION_OF_CATEGORY: dict[Category, str] = {
+    Category.POD: "kubernetes",
+    Category.DAEMONSET: "kubernetes",
+    Category.SERVICE: "kubernetes",
+    Category.JOB: "kubernetes",
+    Category.DEPLOYMENT: "kubernetes",
+    Category.OTHERS: "kubernetes",
+    Category.ENVOY: "envoy",
+    Category.ISTIO: "istio",
+}
+
+# Original-problem counts per category, matching Table 2 of the paper.
+ORIGINAL_CATEGORY_COUNTS: dict[Category, int] = {
+    Category.POD: 48,
+    Category.DAEMONSET: 55,
+    Category.SERVICE: 20,
+    Category.JOB: 19,
+    Category.DEPLOYMENT: 19,
+    Category.OTHERS: 122,
+    Category.ENVOY: 41,
+    Category.ISTIO: 13,
+}

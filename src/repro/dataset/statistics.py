@@ -1,0 +1,132 @@
+"""Dataset statistics (Tables 1 and 2 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.problem import ProblemSet
+from repro.dataset.schema import Category, Variant
+
+__all__ = [
+    "AugmentationStats",
+    "CategoryStats",
+    "augmentation_statistics",
+    "dataset_statistics",
+    "format_table1",
+    "format_table2",
+]
+
+
+@dataclass(frozen=True)
+class AugmentationStats:
+    """One column of Table 1."""
+
+    variant: Variant
+    count: int
+    avg_words: float
+    avg_tokens: float
+
+
+@dataclass(frozen=True)
+class CategoryStats:
+    """One column of Table 2."""
+
+    label: str
+    count: int
+    avg_question_words: float
+    avg_solution_lines: float
+    avg_solution_tokens: float
+    max_solution_tokens: int
+    avg_unit_test_lines: float
+
+
+def augmentation_statistics(dataset: ProblemSet) -> dict[Variant, AugmentationStats]:
+    """Compute Table 1: per-variant question counts and average lengths."""
+
+    stats: dict[Variant, AugmentationStats] = {}
+    for variant in Variant:
+        subset = dataset.by_variant(variant)
+        if len(subset) == 0:
+            continue
+        words = np.array([p.question_words() for p in subset], dtype=float)
+        tokens = np.array([p.question_tokens() for p in subset], dtype=float)
+        stats[variant] = AugmentationStats(
+            variant=variant,
+            count=len(subset),
+            avg_words=float(words.mean()),
+            avg_tokens=float(tokens.mean()),
+        )
+    return stats
+
+
+def _category_stats(subset: ProblemSet, label: str) -> CategoryStats:
+    words = np.array([p.question_words() for p in subset], dtype=float)
+    lines = np.array([p.solution_lines() for p in subset], dtype=float)
+    tokens = np.array([p.solution_tokens() for p in subset], dtype=float)
+    test_lines = np.array([p.unit_test_lines() for p in subset], dtype=float)
+    return CategoryStats(
+        label=label,
+        count=len(subset),
+        avg_question_words=float(words.mean()) if len(subset) else 0.0,
+        avg_solution_lines=float(lines.mean()) if len(subset) else 0.0,
+        avg_solution_tokens=float(tokens.mean()) if len(subset) else 0.0,
+        max_solution_tokens=int(tokens.max()) if len(subset) else 0,
+        avg_unit_test_lines=float(test_lines.mean()) if len(subset) else 0.0,
+    )
+
+
+def dataset_statistics(dataset: ProblemSet) -> dict[str, CategoryStats]:
+    """Compute Table 2: per-category statistics over the original problems."""
+
+    originals = dataset.originals()
+    stats: dict[str, CategoryStats] = {}
+    for category in Category:
+        subset = originals.by_category(category)
+        if len(subset) == 0:
+            continue
+        stats[category.value] = _category_stats(subset, category.value)
+    stats["total"] = _category_stats(originals, "total")
+    return stats
+
+
+def format_table1(stats: dict[Variant, AugmentationStats]) -> str:
+    """Render Table 1 as aligned text."""
+
+    original = stats[Variant.ORIGINAL]
+    simplified = stats[Variant.SIMPLIFIED]
+    translated = stats[Variant.TRANSLATED]
+    lines = ["Table 1: Statistics of Practical Data Augmentation", ""]
+    lines.append(f"{'':<14}{'Original':>12}{'Simplified':>22}{'Translated':>14}")
+    lines.append(f"{'Count':<14}{original.count:>12}{simplified.count:>22}{translated.count:>14}")
+
+    def _delta(value: float, base: float) -> str:
+        return f"{value:.2f} ({(value - base) / base * 100:+.1f}%)"
+
+    lines.append(
+        f"{'Avg. words':<14}{original.avg_words:>12.2f}{_delta(simplified.avg_words, original.avg_words):>22}"
+        f"{translated.avg_words:>14.2f}"
+    )
+    lines.append(
+        f"{'Avg. tokens':<14}{original.avg_tokens:>12.1f}{_delta(simplified.avg_tokens, original.avg_tokens):>22}"
+        f"{translated.avg_tokens:>14.1f}"
+    )
+    return "\n".join(lines)
+
+
+def format_table2(stats: dict[str, CategoryStats]) -> str:
+    """Render Table 2 as aligned text."""
+
+    lines = ["Table 2: Statistics of the CloudEval-YAML dataset", ""]
+    header = (
+        f"{'Category':<12}{'Count':>7}{'Q words':>10}{'Sol lines':>11}"
+        f"{'Sol tokens':>12}{'Max tokens':>12}{'Test lines':>12}"
+    )
+    lines.append(header)
+    for label, row in stats.items():
+        lines.append(
+            f"{label:<12}{row.count:>7}{row.avg_question_words:>10.2f}{row.avg_solution_lines:>11.2f}"
+            f"{row.avg_solution_tokens:>12.2f}{row.max_solution_tokens:>12}{row.avg_unit_test_lines:>12.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Envoy configuration simulator.
+
+Envoy problems in the dataset ask for a static bootstrap configuration
+(``static_resources`` with listeners and clusters).  The real benchmark
+boots an Envoy container and curls through it; offline we validate the
+configuration structurally and simulate the routing wiring: a request to a
+listener port is resolved through its HTTP connection manager's route
+config to a cluster, and succeeds only when that cluster exists and has a
+healthy endpoint.
+"""
+
+from repro.envoysim.config import EnvoyConfig
+from repro.envoysim.validation import EnvoyValidationError, validate_envoy_config
+
+__all__ = ["EnvoyConfig", "EnvoyValidationError", "validate_envoy_config"]

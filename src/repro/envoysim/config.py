@@ -1,0 +1,130 @@
+"""Queryable model of an Envoy static configuration.
+
+After validation, unit tests ask routing questions: "does a request to
+listener port 10000 with path ``/service`` reach cluster
+``some_service``?".  :class:`EnvoyConfig` answers those by walking the
+listener's HTTP connection manager route configuration the way Envoy's
+router filter would.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.envoysim.validation import validate_envoy_config
+
+__all__ = ["EnvoyConfig"]
+
+
+class EnvoyConfig:
+    """A validated Envoy static configuration with routing queries."""
+
+    def __init__(self, config: dict[str, Any]) -> None:
+        validate_envoy_config(config)
+        self.config = config
+
+    # -- accessors ---------------------------------------------------------
+    @property
+    def listeners(self) -> list[dict[str, Any]]:
+        return list(self.config.get("static_resources", {}).get("listeners", []))
+
+    @property
+    def clusters(self) -> list[dict[str, Any]]:
+        return list(self.config.get("static_resources", {}).get("clusters", []))
+
+    def listener_ports(self) -> list[int]:
+        """All listener ports."""
+
+        ports = []
+        for listener in self.listeners:
+            port = listener.get("address", {}).get("socket_address", {}).get("port_value")
+            if isinstance(port, int):
+                ports.append(port)
+        return ports
+
+    def cluster(self, name: str) -> dict[str, Any] | None:
+        """Fetch a cluster by name."""
+
+        for cluster in self.clusters:
+            if cluster.get("name") == name:
+                return cluster
+        return None
+
+    def cluster_lb_policy(self, name: str) -> str | None:
+        """The load-balancing policy configured for a cluster."""
+
+        cluster = self.cluster(name)
+        if cluster is None:
+            return None
+        return str(cluster.get("lb_policy", "ROUND_ROBIN"))
+
+    def cluster_endpoints(self, name: str) -> list[tuple[str, int]]:
+        """(address, port) pairs of a cluster's configured endpoints."""
+
+        cluster = self.cluster(name)
+        if cluster is None:
+            return []
+        endpoints: list[tuple[str, int]] = []
+        assignment = cluster.get("load_assignment", {}) or {}
+        for group in assignment.get("endpoints", []) or []:
+            for lb_endpoint in group.get("lb_endpoints", []) or []:
+                address = ((lb_endpoint.get("endpoint") or {}).get("address") or {}).get("socket_address", {})
+                host = address.get("address")
+                port = address.get("port_value")
+                if host and isinstance(port, int):
+                    endpoints.append((str(host), port))
+        return endpoints
+
+    # -- routing simulation ---------------------------------------------------
+    def _route_configs(self, listener: dict[str, Any]) -> list[dict[str, Any]]:
+        configs: list[dict[str, Any]] = []
+        for chain in listener.get("filter_chains", []) or []:
+            for http_filter in chain.get("filters", []) or []:
+                typed = http_filter.get("typed_config") or http_filter.get("config") or {}
+                route_config = typed.get("route_config")
+                if isinstance(route_config, dict):
+                    configs.append(route_config)
+        return configs
+
+    def route(self, port: int, path: str = "/", host: str = "*") -> str | None:
+        """Resolve a request to the cluster it would be routed to.
+
+        Returns the cluster name, or ``None`` when no listener owns the port
+        or no route matches.
+        """
+
+        for listener in self.listeners:
+            listener_port = listener.get("address", {}).get("socket_address", {}).get("port_value")
+            if listener_port != port:
+                continue
+            for route_config in self._route_configs(listener):
+                for virtual_host in route_config.get("virtual_hosts", []) or []:
+                    domains = [str(d) for d in virtual_host.get("domains", []) or []]
+                    if domains and host not in domains and "*" not in domains:
+                        continue
+                    for route in virtual_host.get("routes", []) or []:
+                        match = route.get("match", {}) or {}
+                        prefix = match.get("prefix")
+                        exact = match.get("path")
+                        matched = (prefix is not None and path.startswith(str(prefix))) or (
+                            exact is not None and path == str(exact)
+                        )
+                        if matched:
+                            action = route.get("route", {}) or {}
+                            cluster_name = action.get("cluster")
+                            if cluster_name:
+                                return str(cluster_name)
+        return None
+
+    def request_succeeds(self, port: int, path: str = "/", host: str = "*") -> bool:
+        """Whether a request would reach a cluster with at least one endpoint."""
+
+        cluster_name = self.route(port, path, host)
+        if cluster_name is None:
+            return False
+        cluster = self.cluster(cluster_name)
+        if cluster is None:
+            return False
+        # STRICT_DNS/LOGICAL_DNS clusters with endpoints, or EDS clusters,
+        # are considered healthy in the simulator.
+        return bool(self.cluster_endpoints(cluster_name)) or cluster.get("type") == "EDS"

@@ -1,0 +1,95 @@
+"""Structural validation of Envoy static configurations."""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["EnvoyValidationError", "validate_envoy_config"]
+
+
+class EnvoyValidationError(ValueError):
+    """Raised when an Envoy bootstrap configuration is invalid."""
+
+    def __init__(self, message: str, field: str | None = None) -> None:
+        self.field = field
+        prefix = f"{field}: " if field else ""
+        super().__init__(f"{prefix}{message}")
+
+
+def _require(condition: bool, message: str, field: str | None = None) -> None:
+    if not condition:
+        raise EnvoyValidationError(message, field=field)
+
+
+def _validate_address(address: Any, path: str) -> None:
+    _require(isinstance(address, dict), "address must be a mapping", path)
+    socket_address = address.get("socket_address")
+    _require(isinstance(socket_address, dict), "address.socket_address is required", f"{path}.socket_address")
+    port = socket_address.get("port_value")
+    _require(
+        isinstance(port, int) and 0 < port <= 65535,
+        f"port_value {port!r} must be an integer in [1, 65535]",
+        f"{path}.socket_address.port_value",
+    )
+    _require(bool(socket_address.get("address")), "socket_address.address is required", f"{path}.socket_address.address")
+
+
+def _validate_listener(listener: Any, index: int) -> None:
+    path = f"static_resources.listeners[{index}]"
+    _require(isinstance(listener, dict), "listener must be a mapping", path)
+    _validate_address(listener.get("address"), f"{path}.address")
+    filter_chains = listener.get("filter_chains")
+    _require(isinstance(filter_chains, list) and filter_chains, "listener needs filter_chains", f"{path}.filter_chains")
+    for chain_index, chain in enumerate(filter_chains):
+        chain_path = f"{path}.filter_chains[{chain_index}]"
+        _require(isinstance(chain, dict), "filter chain must be a mapping", chain_path)
+        filters = chain.get("filters")
+        _require(isinstance(filters, list) and filters, "filter chain needs filters", f"{chain_path}.filters")
+        for filter_index, http_filter in enumerate(filters):
+            filter_path = f"{chain_path}.filters[{filter_index}]"
+            _require(isinstance(http_filter, dict), "filter must be a mapping", filter_path)
+            _require(bool(http_filter.get("name")), "filter needs a name", f"{filter_path}.name")
+
+
+def _validate_cluster(cluster: Any, index: int) -> None:
+    path = f"static_resources.clusters[{index}]"
+    _require(isinstance(cluster, dict), "cluster must be a mapping", path)
+    _require(bool(cluster.get("name")), "cluster needs a name", f"{path}.name")
+    lb_policy = cluster.get("lb_policy", "ROUND_ROBIN")
+    _require(
+        lb_policy in ("ROUND_ROBIN", "LEAST_REQUEST", "RANDOM", "RING_HASH", "MAGLEV", "CLUSTER_PROVIDED"),
+        f"unknown lb_policy {lb_policy!r}",
+        f"{path}.lb_policy",
+    )
+    assignment = cluster.get("load_assignment")
+    if assignment is not None:
+        _require(isinstance(assignment, dict), "load_assignment must be a mapping", f"{path}.load_assignment")
+        endpoints = assignment.get("endpoints")
+        _require(isinstance(endpoints, list) and endpoints, "load_assignment needs endpoints", f"{path}.load_assignment.endpoints")
+        for ep_index, endpoint_group in enumerate(endpoints):
+            lb_endpoints = endpoint_group.get("lb_endpoints") if isinstance(endpoint_group, dict) else None
+            _require(
+                isinstance(lb_endpoints, list) and lb_endpoints,
+                "endpoint group needs lb_endpoints",
+                f"{path}.load_assignment.endpoints[{ep_index}].lb_endpoints",
+            )
+            for lbe_index, lb_endpoint in enumerate(lb_endpoints):
+                endpoint = (lb_endpoint or {}).get("endpoint") if isinstance(lb_endpoint, dict) else None
+                _require(isinstance(endpoint, dict), "lb_endpoint needs an endpoint", f"{path}...lb_endpoints[{lbe_index}].endpoint")
+                _validate_address(endpoint.get("address"), f"{path}...lb_endpoints[{lbe_index}].endpoint.address")
+
+
+def validate_envoy_config(config: Any) -> None:
+    """Validate an Envoy bootstrap configuration dictionary."""
+
+    _require(isinstance(config, dict), "Envoy configuration must be a mapping")
+    static_resources = config.get("static_resources")
+    _require(isinstance(static_resources, dict), "static_resources section is required", "static_resources")
+    listeners = static_resources.get("listeners")
+    _require(isinstance(listeners, list) and listeners, "static_resources.listeners is required", "static_resources.listeners")
+    for index, listener in enumerate(listeners):
+        _validate_listener(listener, index)
+    clusters = static_resources.get("clusters")
+    _require(isinstance(clusters, list) and clusters, "static_resources.clusters is required", "static_resources.clusters")
+    for index, cluster in enumerate(clusters):
+        _validate_cluster(cluster, index)

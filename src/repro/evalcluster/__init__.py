@@ -1,0 +1,35 @@
+"""Cloud-based evaluation framework simulation (§3.3, §3.4).
+
+The paper runs unit tests on a cluster of worker VMs coordinated by a
+master with a Redis queue and a Docker registry pull-through cache, and
+reports how evaluation time scales with the number of workers (Figure 5)
+and what a full benchmark run costs (Table 3).  This package provides a
+discrete-event simulation of that system:
+
+* :mod:`repro.evalcluster.kvstore` — the Redis-like in-memory store used by
+  the master for job state,
+* :mod:`repro.evalcluster.registry_cache` — worker-local Docker caches plus
+  the shared pull-through cache on the master,
+* :mod:`repro.evalcluster.events` — a minimal discrete-event engine with a
+  shared-bandwidth network link,
+* :mod:`repro.evalcluster.master` / :mod:`repro.evalcluster.worker` — the
+  scheduling actors,
+* :mod:`repro.evalcluster.simulation` — the Figure 5 micro-benchmark,
+* :mod:`repro.evalcluster.cost` — the Table 3 cost model.
+"""
+
+from repro.evalcluster.cost import CostModel, benchmark_cost_table
+from repro.evalcluster.kvstore import RedisLikeStore
+from repro.evalcluster.registry_cache import PullThroughCache, WorkerImageCache
+from repro.evalcluster.simulation import ClusterSimulationConfig, simulate_evaluation, sweep_workers
+
+__all__ = [
+    "ClusterSimulationConfig",
+    "CostModel",
+    "PullThroughCache",
+    "RedisLikeStore",
+    "WorkerImageCache",
+    "benchmark_cost_table",
+    "simulate_evaluation",
+    "sweep_workers",
+]

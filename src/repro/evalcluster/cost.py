@@ -1,0 +1,121 @@
+"""Running-cost model of the benchmark (Table 3, §3.4).
+
+Two cost components are modelled:
+
+* **LLM inference** — per-token pricing for API models (GPT-3.5) and
+  per-second GPU pricing for models served through replicate.com
+  (Llama-7b), applied to the dataset's prompt/completion token counts.
+* **Cloud evaluation** — the GCP bill for the evaluation cluster: number of
+  instances × hourly price × the wall-clock hours predicted by the
+  Figure 5 simulation (or taken from its published measurements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.problem import ProblemSet
+
+__all__ = ["CostModel", "InferenceOption", "EvaluationOption", "benchmark_cost_table"]
+
+
+@dataclass(frozen=True)
+class InferenceOption:
+    """Pricing of one way to obtain model answers."""
+
+    name: str
+    input_price_per_1k_tokens: float = 0.0
+    output_price_per_1k_tokens: float = 0.0
+    gpu_price_per_hour: float = 0.0
+    tokens_per_second: float = 30.0  # throughput when paying per GPU-second
+
+
+@dataclass(frozen=True)
+class EvaluationOption:
+    """Pricing of one cloud-evaluation setting."""
+
+    name: str
+    instances: int
+    price_per_instance_hour: float
+    wall_clock_hours: float
+    master_price_per_hour: float = 0.0
+
+
+# Defaults mirror the options in Table 3 (GCP e2-standard-4-class machines,
+# October 2023 list prices, 1011 problems).
+DEFAULT_INFERENCE_OPTIONS: tuple[InferenceOption, ...] = (
+    InferenceOption("gpt-3.5", input_price_per_1k_tokens=0.0015, output_price_per_1k_tokens=0.002),
+    InferenceOption("llama-7b", gpu_price_per_hour=1.40, tokens_per_second=18.0),
+)
+
+DEFAULT_EVALUATION_OPTIONS: tuple[EvaluationOption, ...] = (
+    EvaluationOption("gcp-spot-x1", instances=1, price_per_instance_hour=0.067, wall_clock_hours=10.3),
+    EvaluationOption("gcp-spot-x64", instances=64, price_per_instance_hour=0.067, wall_clock_hours=0.5, master_price_per_hour=0.067),
+    EvaluationOption("gcp-standard-x64", instances=64, price_per_instance_hour=0.168, wall_clock_hours=0.5, master_price_per_hour=0.168),
+)
+
+
+@dataclass
+class CostModel:
+    """Compute the cost of one full benchmark run over a dataset."""
+
+    dataset: ProblemSet
+    prompt_overhead_tokens: int = 90  # the shared prompt template
+
+    # -- token accounting ---------------------------------------------------
+    def total_prompt_tokens(self) -> int:
+        return sum(p.question_tokens() + self.prompt_overhead_tokens for p in self.dataset)
+
+    def total_completion_tokens(self) -> int:
+        return sum(p.solution_tokens() for p in self.dataset)
+
+    # -- component costs ------------------------------------------------------
+    def inference_cost(self, option: InferenceOption) -> float:
+        """Dollar cost of generating one answer per problem with ``option``."""
+
+        prompt_tokens = self.total_prompt_tokens()
+        completion_tokens = self.total_completion_tokens()
+        if option.gpu_price_per_hour > 0:
+            generation_seconds = completion_tokens / max(option.tokens_per_second, 1e-6)
+            return option.gpu_price_per_hour * generation_seconds / 3600.0
+        return (
+            prompt_tokens / 1000.0 * option.input_price_per_1k_tokens
+            + completion_tokens / 1000.0 * option.output_price_per_1k_tokens
+        )
+
+    def evaluation_cost(self, option: EvaluationOption) -> float:
+        """Dollar cost of running the unit tests with ``option``."""
+
+        worker_cost = option.instances * option.price_per_instance_hour * option.wall_clock_hours
+        master_cost = option.master_price_per_hour * option.wall_clock_hours
+        return worker_cost + master_cost
+
+    def total_cost(self, inference: InferenceOption, evaluation: EvaluationOption) -> float:
+        return self.inference_cost(inference) + self.evaluation_cost(evaluation)
+
+
+def benchmark_cost_table(
+    dataset: ProblemSet,
+    inference_options: tuple[InferenceOption, ...] = DEFAULT_INFERENCE_OPTIONS,
+    evaluation_options: tuple[EvaluationOption, ...] = DEFAULT_EVALUATION_OPTIONS,
+) -> dict[str, float]:
+    """Reproduce Table 3: per-option costs plus the cheapest/most expensive totals.
+
+    Returns a flat mapping with ``inference:<name>``, ``evaluation:<name>``,
+    ``total:min`` and ``total:max`` entries (dollars).
+    """
+
+    model = CostModel(dataset)
+    table: dict[str, float] = {}
+    for option in inference_options:
+        table[f"inference:{option.name}"] = model.inference_cost(option)
+    for option in evaluation_options:
+        table[f"evaluation:{option.name}"] = model.evaluation_cost(option)
+    totals = [
+        model.total_cost(inference, evaluation)
+        for inference in inference_options
+        for evaluation in evaluation_options
+    ]
+    table["total:min"] = min(totals)
+    table["total:max"] = max(totals)
+    return table

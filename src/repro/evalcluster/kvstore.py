@@ -1,0 +1,78 @@
+"""A Redis-like in-memory key-value store.
+
+The master node of the paper's evaluation cluster keeps unit-test contexts,
+inputs and outputs in Redis.  This class provides the handful of commands
+the scheduler needs (strings, hashes and lists with blocking-free pops) so
+the master/worker code reads like the real thing while staying in-process.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+__all__ = ["RedisLikeStore"]
+
+
+class RedisLikeStore:
+    """In-memory subset of the Redis command surface."""
+
+    def __init__(self) -> None:
+        self._strings: dict[str, Any] = {}
+        self._hashes: dict[str, dict[str, Any]] = {}
+        self._lists: dict[str, deque[Any]] = {}
+
+    # -- strings -----------------------------------------------------------
+    def set(self, key: str, value: Any) -> None:
+        self._strings[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._strings.get(key, default)
+
+    def incr(self, key: str, amount: int = 1) -> int:
+        value = int(self._strings.get(key, 0)) + amount
+        self._strings[key] = value
+        return value
+
+    def delete(self, key: str) -> None:
+        self._strings.pop(key, None)
+        self._hashes.pop(key, None)
+        self._lists.pop(key, None)
+
+    # -- hashes --------------------------------------------------------------
+    def hset(self, key: str, field: str, value: Any) -> None:
+        self._hashes.setdefault(key, {})[field] = value
+
+    def hget(self, key: str, field: str, default: Any = None) -> Any:
+        return self._hashes.get(key, {}).get(field, default)
+
+    def hgetall(self, key: str) -> dict[str, Any]:
+        return dict(self._hashes.get(key, {}))
+
+    def hlen(self, key: str) -> int:
+        return len(self._hashes.get(key, {}))
+
+    # -- lists ----------------------------------------------------------------
+    def rpush(self, key: str, *values: Any) -> int:
+        queue = self._lists.setdefault(key, deque())
+        queue.extend(values)
+        return len(queue)
+
+    def lpop(self, key: str) -> Any:
+        queue = self._lists.get(key)
+        if not queue:
+            return None
+        return queue.popleft()
+
+    def llen(self, key: str) -> int:
+        return len(self._lists.get(key, ()))
+
+    def lrange(self, key: str, start: int = 0, stop: int = -1) -> list[Any]:
+        items = list(self._lists.get(key, ()))
+        if stop == -1:
+            return items[start:]
+        return items[start : stop + 1]
+
+    # -- inspection --------------------------------------------------------------
+    def keys(self) -> list[str]:
+        return sorted(set(self._strings) | set(self._hashes) | set(self._lists))

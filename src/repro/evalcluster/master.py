@@ -1,0 +1,65 @@
+"""The master node: job queue management on top of the Redis-like store."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.evalcluster.kvstore import RedisLikeStore
+
+__all__ = ["EvaluationJob", "Master"]
+
+
+@dataclass(frozen=True)
+class EvaluationJob:
+    """One unit-test job: which problem to evaluate and what it needs."""
+
+    job_id: str
+    problem_id: str
+    images: tuple[str, ...]
+    base_seconds: float  # apply + wait + assertions + cleanup, excluding pulls
+    target: str = "kubernetes"
+
+
+class Master:
+    """Manages the job queue and collects results, as the paper's master does."""
+
+    QUEUE_KEY = "jobs:pending"
+    RESULTS_KEY = "jobs:results"
+
+    def __init__(self, store: RedisLikeStore | None = None) -> None:
+        self.store = store or RedisLikeStore()
+        self._jobs: dict[str, EvaluationJob] = {}
+
+    # -- job submission -------------------------------------------------------
+    def submit(self, jobs: Sequence[EvaluationJob]) -> None:
+        """Enqueue jobs for the workers to claim."""
+
+        for job in jobs:
+            self._jobs[job.job_id] = job
+            self.store.rpush(self.QUEUE_KEY, job.job_id)
+        self.store.set("jobs:total", len(self._jobs))
+
+    # -- worker-facing API -------------------------------------------------------
+    def claim(self) -> EvaluationJob | None:
+        """Pop the next pending job, or None when the queue is drained."""
+
+        job_id = self.store.lpop(self.QUEUE_KEY)
+        if job_id is None:
+            return None
+        return self._jobs[job_id]
+
+    def report(self, job_id: str, worker_id: str, finished_at: float, passed: bool) -> None:
+        """Record a finished job."""
+
+        self.store.hset(self.RESULTS_KEY, job_id, {"worker": worker_id, "finished_at": finished_at, "passed": passed})
+
+    # -- progress -------------------------------------------------------------------
+    def pending(self) -> int:
+        return self.store.llen(self.QUEUE_KEY)
+
+    def completed(self) -> int:
+        return self.store.hlen(self.RESULTS_KEY)
+
+    def all_done(self) -> bool:
+        return self.completed() >= int(self.store.get("jobs:total", 0))

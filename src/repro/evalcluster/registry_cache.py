@@ -1,0 +1,74 @@
+"""Docker image caches: worker-local layers plus the shared pull-through cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kubesim.images import image_size_mb, normalize_image
+
+__all__ = ["WorkerImageCache", "PullThroughCache", "PullPlan"]
+
+
+@dataclass(frozen=True)
+class PullPlan:
+    """Where an image pull is served from and how many megabytes move where."""
+
+    image: str
+    internet_mb: float  # bytes that must cross the shared internet uplink
+    lan_mb: float  # bytes served from the master's pull-through cache over the LAN
+    cached_locally: bool  # already present on the worker: no transfer at all
+
+
+@dataclass
+class PullThroughCache:
+    """The shared registry cache running on the master node.
+
+    The first pull of an image anywhere in the cluster downloads it from the
+    upstream registry (internet); every later pull by any worker is served
+    from this cache over the local network.
+    """
+
+    enabled: bool = True
+    _stored: set[str] = field(default_factory=set)
+    internet_mb_total: float = 0.0
+    lan_mb_total: float = 0.0
+
+    def contains(self, image: str) -> bool:
+        return normalize_image(image) in {normalize_image(i) for i in self._stored}
+
+    def plan_pull(self, image: str) -> tuple[float, float]:
+        """Return (internet_mb, lan_mb) for serving one pull of ``image``."""
+
+        size = image_size_mb(image)
+        if not self.enabled:
+            return size, 0.0
+        if self.contains(image):
+            return 0.0, size
+        self._stored.add(image)
+        # Cache miss: the master downloads from the internet, then streams
+        # the layers to the requesting worker over the LAN.
+        return size, size
+
+
+@dataclass
+class WorkerImageCache:
+    """The worker's local Docker layer cache (persists across problems)."""
+
+    worker_id: str
+    shared_cache: PullThroughCache
+    _local: set[str] = field(default_factory=set)
+
+    def pull(self, image: str) -> PullPlan:
+        """Plan a pull of ``image`` for this worker."""
+
+        key = normalize_image(image)
+        if key in self._local:
+            return PullPlan(image=image, internet_mb=0.0, lan_mb=0.0, cached_locally=True)
+        internet_mb, lan_mb = self.shared_cache.plan_pull(image)
+        self.shared_cache.internet_mb_total += internet_mb
+        self.shared_cache.lan_mb_total += lan_mb
+        self._local.add(key)
+        return PullPlan(image=image, internet_mb=internet_mb, lan_mb=lan_mb, cached_locally=False)
+
+    def cached_images(self) -> int:
+        return len(self._local)

@@ -1,0 +1,190 @@
+"""The Figure 5 micro-benchmark: evaluation time vs number of workers.
+
+The simulation reproduces the setting of §3.3: 1011 unit-test jobs, worker
+VMs with 4 cores / 8 GB, a 100 Mbps shared internet uplink, and an optional
+shared Docker registry pull-through cache on the master.  The per-problem
+base times are derived from the paper's single-machine measurement (about
+10 hours for 1011 problems, i.e. ~35 s per problem once images are cached)
+and the image needs are taken from each problem's unit test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataset.problem import Problem, ProblemSet
+from repro.evalcluster.events import EventQueue, SharedLink
+from repro.evalcluster.master import EvaluationJob, Master
+from repro.evalcluster.registry_cache import PullThroughCache
+from repro.evalcluster.worker import Worker
+from repro.kubesim.images import normalize_image
+from repro.testexec import steps as S
+from repro.utils.rng import DeterministicRNG
+
+__all__ = ["ClusterSimulationConfig", "SimulationResult", "simulate_evaluation", "sweep_workers", "problem_images"]
+
+# Images every Kubernetes job touches regardless of the manifest (pause
+# containers, kubectl wait polling, metrics images of the Minikube addons).
+_BASE_IMAGES = ("registry",)
+
+
+def problem_images(problem: Problem) -> tuple[str, ...]:
+    """Container images a problem's unit test needs to pull."""
+
+    images: list[str] = []
+    reference = problem.reference_plain()
+    for line in reference.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("image:"):
+            images.append(stripped.split("image:", 1)[1].strip().strip('"'))
+    for step in problem.unit_test.steps:
+        if isinstance(step, S.ApplyManifest):
+            for line in step.yaml_text.splitlines():
+                stripped = line.strip()
+                if stripped.startswith("image:"):
+                    images.append(stripped.split("image:", 1)[1].strip().strip('"'))
+    if problem.unit_test.target == "envoy":
+        images.append("envoyproxy/envoy")
+    deduped: list[str] = []
+    for image in images:
+        if image and image not in deduped:
+            deduped.append(image)
+    return tuple(deduped) or ("busybox",)
+
+
+@dataclass(frozen=True)
+class ClusterSimulationConfig:
+    """Parameters of the evaluation-cluster simulation.
+
+    The defaults are calibrated so the sweep reproduces Figure 5: roughly
+    10 hours on a single machine, ~30 minutes on 64 workers with shared
+    image caching, and a 1.5-2x caching benefit at high worker counts.
+    ``slow_job_fraction`` models the heavy tail of jobs that hit wait
+    timeouts or pull unusually large images, which is what limits the
+    parallel speedup to ~13x in the paper rather than 64x.
+    """
+
+    num_workers: int = 64
+    caching_enabled: bool = True
+    internet_bandwidth_mbps: float = 100.0
+    lan_bandwidth_mbps: float = 1000.0
+    worker_boot_seconds: float = 180.0
+    base_seconds_mean: float = 17.5
+    base_seconds_jitter: float = 6.0
+    envoy_base_seconds: float = 12.0
+    slow_job_fraction: float = 0.08
+    slow_job_extra_seconds: float = 240.0
+    preloaded_images: tuple[str, ...] = (
+        "nginx:latest",
+        "nginx:1.25",
+        "busybox:1.36",
+        "alpine:3.19",
+        "ubuntu:22.04",
+        "redis:7",
+        "mysql:8.0",
+        "postgres:16",
+        "httpd:2.4",
+        "caddy:2",
+        "haproxy:2.8",
+        "registry",
+    )
+    seed: int = 11
+
+
+@dataclass
+class SimulationResult:
+    """Outputs of one simulated evaluation run."""
+
+    num_workers: int
+    caching_enabled: bool
+    total_seconds: float
+    internet_mb: float
+    lan_mb: float
+    jobs: int
+    per_worker_jobs: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_hours(self) -> float:
+        return self.total_seconds / 3600.0
+
+
+def _build_jobs(problems: ProblemSet, config: ClusterSimulationConfig) -> list[EvaluationJob]:
+    rng = DeterministicRNG(config.seed)
+    jobs: list[EvaluationJob] = []
+    for index, problem in enumerate(problems):
+        base = config.envoy_base_seconds if problem.unit_test.target == "envoy" else config.base_seconds_mean
+        base += rng.uniform(-config.base_seconds_jitter, config.base_seconds_jitter)
+        base += 2.0 * problem.unit_test.nodes  # multi-node problems take longer to settle
+        if rng.bernoulli(config.slow_job_fraction):
+            # Heavy tail: wait timeouts, flaky pulls, oversized images.
+            base += config.slow_job_extra_seconds
+        images = tuple(problem_images(problem)) + (() if problem.unit_test.target == "envoy" else _BASE_IMAGES)
+        jobs.append(
+            EvaluationJob(
+                job_id=f"job-{index:05d}",
+                problem_id=problem.problem_id,
+                images=images,
+                base_seconds=max(5.0, base),
+                target=problem.unit_test.target,
+            )
+        )
+    return jobs
+
+
+def simulate_evaluation(problems: ProblemSet, config: ClusterSimulationConfig) -> SimulationResult:
+    """Simulate evaluating every problem on the configured cluster."""
+
+    events = EventQueue()
+    internet = SharedLink(config.internet_bandwidth_mbps)
+    shared_cache = PullThroughCache(enabled=config.caching_enabled)
+    master = Master()
+    master.submit(_build_jobs(problems, config))
+
+    workers = [
+        Worker(
+            worker_id=f"worker-{i:03d}",
+            master=master,
+            events=events,
+            internet=internet,
+            shared_cache=shared_cache,
+            boot_seconds=config.worker_boot_seconds,
+            lan_bandwidth_mbps=config.lan_bandwidth_mbps,
+        )
+        for i in range(config.num_workers)
+    ]
+    for worker in workers:
+        # Minikube ships a preload of the most common base images, so these
+        # never hit the network regardless of the pull-through cache.
+        for image in config.preloaded_images:
+            worker.image_cache._local.add(normalize_image(image))
+        worker.start()
+    total_seconds = events.run()
+
+    return SimulationResult(
+        num_workers=config.num_workers,
+        caching_enabled=config.caching_enabled,
+        total_seconds=total_seconds,
+        internet_mb=shared_cache.internet_mb_total if config.caching_enabled else internet.total_mb,
+        lan_mb=shared_cache.lan_mb_total,
+        jobs=master.completed(),
+        per_worker_jobs={w.worker_id: w.jobs_completed for w in workers},
+    )
+
+
+def sweep_workers(
+    problems: ProblemSet,
+    worker_counts: tuple[int, ...] = (1, 4, 16, 64),
+    seed: int = 11,
+) -> dict[bool, dict[int, float]]:
+    """Reproduce Figure 5: hours to evaluate all problems, w/ and w/o caching.
+
+    Returns ``{caching_enabled: {num_workers: hours}}``.
+    """
+
+    results: dict[bool, dict[int, float]] = {False: {}, True: {}}
+    for caching in (False, True):
+        for count in worker_counts:
+            config = ClusterSimulationConfig(num_workers=count, caching_enabled=caching, seed=seed)
+            result = simulate_evaluation(problems, config)
+            results[caching][count] = result.total_hours
+    return results

@@ -1,0 +1,74 @@
+"""Worker nodes: claim jobs, pull images, run unit tests, report back."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evalcluster.events import EventQueue, SharedLink
+from repro.evalcluster.master import EvaluationJob, Master
+from repro.evalcluster.registry_cache import PullThroughCache, WorkerImageCache
+
+__all__ = ["Worker"]
+
+
+@dataclass
+class Worker:
+    """A 4-core / 8 GB evaluation VM running Minikube and Docker.
+
+    Each worker boots once (``boot_seconds``), then loops: claim a job from
+    the master, pull any images it does not have locally (internet via the
+    shared uplink, or LAN from the pull-through cache), run the unit test,
+    report, repeat.  The worker drives itself through the event queue so
+    many workers interleave correctly on the shared link.
+    """
+
+    worker_id: str
+    master: Master
+    events: EventQueue
+    internet: SharedLink
+    shared_cache: PullThroughCache
+    boot_seconds: float = 180.0
+    lan_bandwidth_mbps: float = 1000.0
+    busy_seconds: float = field(default=0.0, init=False)
+    jobs_completed: int = field(default=0, init=False)
+    finished_at: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        self.image_cache = WorkerImageCache(worker_id=self.worker_id, shared_cache=self.shared_cache)
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Boot the VM and start the claim loop."""
+
+        self.events.schedule(self.boot_seconds, self._claim_next)
+
+    def _claim_next(self) -> None:
+        job = self.master.claim()
+        if job is None:
+            self.finished_at = self.events.now
+            return
+        self._run_job(job)
+
+    # -- job execution ---------------------------------------------------------
+    def _run_job(self, job: EvaluationJob) -> None:
+        now = self.events.now
+        # 1. Pull images that are not in the worker's local Docker cache.
+        pull_finish = now
+        lan_mb = 0.0
+        for image in job.images:
+            plan = self.image_cache.pull(image)
+            if plan.internet_mb > 0:
+                pull_finish = max(pull_finish, self.internet.request(plan.internet_mb, now))
+            lan_mb += plan.lan_mb
+        # LAN transfers from the master's cache are fast and uncontended.
+        lan_seconds = lan_mb * 8.0 / self.lan_bandwidth_mbps
+        # 2. Run the test itself (environment setup, apply, waits, cleanup).
+        total_delay = (pull_finish - now) + lan_seconds + job.base_seconds
+        self.busy_seconds += total_delay
+
+        def _complete() -> None:
+            self.jobs_completed += 1
+            self.master.report(job.job_id, self.worker_id, self.events.now, passed=True)
+            self._claim_next()
+
+        self.events.schedule(total_delay, _complete)

@@ -1,0 +1,27 @@
+"""Istio CRD validation layered on top of the Kubernetes simulator.
+
+Istio problems in the dataset define ``VirtualService``, ``DestinationRule``
+and ``Gateway`` objects.  Importing this package registers validators for
+those kinds with :mod:`repro.kubesim.validation`, so applying an Istio
+manifest through the simulated cluster gets the same strictness as native
+kinds.  Query helpers expose the fields the dataset's unit tests assert on
+(load-balancer policy, subset labels, gateway servers, route destinations).
+"""
+
+from repro.istiosim.resources import (
+    destination_rule_lb_policy,
+    destination_rule_subsets,
+    gateway_servers,
+    register_istio_validators,
+    virtual_service_destinations,
+)
+
+register_istio_validators()
+
+__all__ = [
+    "destination_rule_lb_policy",
+    "destination_rule_subsets",
+    "gateway_servers",
+    "register_istio_validators",
+    "virtual_service_destinations",
+]

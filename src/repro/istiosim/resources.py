@@ -1,0 +1,157 @@
+"""Validators and query helpers for Istio networking CRDs."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.kubesim.errors import ValidationError
+from repro.kubesim.resources import Resource
+from repro.kubesim.validation import register_validator
+
+__all__ = [
+    "register_istio_validators",
+    "destination_rule_lb_policy",
+    "destination_rule_subsets",
+    "virtual_service_destinations",
+    "gateway_servers",
+]
+
+_LB_POLICIES = {"ROUND_ROBIN", "LEAST_REQUEST", "LEAST_CONN", "RANDOM", "PASSTHROUGH"}
+
+
+def _require(condition: bool, message: str, field: str | None = None) -> None:
+    if not condition:
+        raise ValidationError(message, field=field)
+
+
+def _validate_traffic_policy(policy: Any, path: str) -> None:
+    if policy is None:
+        return
+    _require(isinstance(policy, dict), "trafficPolicy must be a mapping", path)
+    load_balancer = policy.get("loadBalancer")
+    if load_balancer is not None:
+        _require(isinstance(load_balancer, dict), "loadBalancer must be a mapping", f"{path}.loadBalancer")
+        simple = load_balancer.get("simple")
+        if simple is not None:
+            _require(simple in _LB_POLICIES, f"unknown load balancer policy {simple!r}", f"{path}.loadBalancer.simple")
+
+
+def _validate_destination_rule(resource: Resource) -> None:
+    spec = resource.spec
+    _require(bool(spec.get("host")), "DestinationRule needs spec.host", "spec.host")
+    _validate_traffic_policy(spec.get("trafficPolicy"), "spec.trafficPolicy")
+    for index, subset in enumerate(spec.get("subsets") or []):
+        _require(isinstance(subset, dict), "subset must be a mapping", f"spec.subsets[{index}]")
+        _require(bool(subset.get("name")), "subset needs a name", f"spec.subsets[{index}].name")
+        labels = subset.get("labels")
+        _require(isinstance(labels, dict) and labels, "subset needs labels", f"spec.subsets[{index}].labels")
+        _validate_traffic_policy(subset.get("trafficPolicy"), f"spec.subsets[{index}].trafficPolicy")
+
+
+def _validate_virtual_service(resource: Resource) -> None:
+    spec = resource.spec
+    hosts = spec.get("hosts")
+    _require(isinstance(hosts, list) and hosts, "VirtualService needs spec.hosts", "spec.hosts")
+    routes = spec.get("http") or spec.get("tcp") or spec.get("tls")
+    _require(isinstance(routes, list) and routes, "VirtualService needs http/tcp/tls routes", "spec.http")
+    for index, route in enumerate(routes):
+        _require(isinstance(route, dict), "route must be a mapping", f"spec.http[{index}]")
+        destinations = route.get("route")
+        _require(isinstance(destinations, list) and destinations, "route needs a destination list", f"spec.http[{index}].route")
+        for d_index, destination in enumerate(destinations):
+            dest = (destination or {}).get("destination") if isinstance(destination, dict) else None
+            _require(isinstance(dest, dict) and dest.get("host"), "destination.host is required", f"spec.http[{index}].route[{d_index}].destination.host")
+
+
+def _validate_gateway(resource: Resource) -> None:
+    spec = resource.spec
+    selector = spec.get("selector")
+    _require(isinstance(selector, dict) and selector, "Gateway needs spec.selector", "spec.selector")
+    servers = spec.get("servers")
+    _require(isinstance(servers, list) and servers, "Gateway needs spec.servers", "spec.servers")
+    for index, server in enumerate(servers):
+        _require(isinstance(server, dict), "server must be a mapping", f"spec.servers[{index}]")
+        port = server.get("port")
+        _require(isinstance(port, dict) and isinstance(port.get("number"), int), "server.port.number is required", f"spec.servers[{index}].port.number")
+        _require(bool(port.get("protocol")), "server.port.protocol is required", f"spec.servers[{index}].port.protocol")
+        hosts = server.get("hosts")
+        _require(isinstance(hosts, list) and hosts, "server needs hosts", f"spec.servers[{index}].hosts")
+
+
+def _validate_service_entry(resource: Resource) -> None:
+    spec = resource.spec
+    _require(bool(spec.get("hosts")), "ServiceEntry needs spec.hosts", "spec.hosts")
+    _require(bool(spec.get("resolution")), "ServiceEntry needs spec.resolution", "spec.resolution")
+
+
+def _validate_peer_authentication(resource: Resource) -> None:
+    mtls = resource.spec.get("mtls")
+    if mtls is not None:
+        mode = mtls.get("mode") if isinstance(mtls, dict) else None
+        _require(mode in ("STRICT", "PERMISSIVE", "DISABLE", "UNSET"), f"invalid mTLS mode {mode!r}", "spec.mtls.mode")
+
+
+def _validate_authorization_policy(resource: Resource) -> None:
+    action = resource.spec.get("action", "ALLOW")
+    _require(action in ("ALLOW", "DENY", "AUDIT", "CUSTOM"), f"invalid action {action!r}", "spec.action")
+
+
+def register_istio_validators() -> None:
+    """Register the Istio CRD validators with the Kubernetes simulator."""
+
+    register_validator("DestinationRule", _validate_destination_rule)
+    register_validator("VirtualService", _validate_virtual_service)
+    register_validator("Gateway", _validate_gateway)
+    register_validator("ServiceEntry", _validate_service_entry)
+    register_validator("PeerAuthentication", _validate_peer_authentication)
+    register_validator("AuthorizationPolicy", _validate_authorization_policy)
+
+
+# ---------------------------------------------------------------------------
+# Query helpers used by unit tests
+# ---------------------------------------------------------------------------
+
+def destination_rule_lb_policy(resource: Resource, subset: str | None = None) -> str | None:
+    """The simple load-balancer policy of a DestinationRule (or a subset)."""
+
+    spec = resource.spec
+    if subset is None:
+        policy = spec.get("trafficPolicy") or {}
+    else:
+        policy = {}
+        for entry in spec.get("subsets") or []:
+            if isinstance(entry, dict) and entry.get("name") == subset:
+                policy = entry.get("trafficPolicy") or {}
+                break
+    load_balancer = policy.get("loadBalancer") or {}
+    simple = load_balancer.get("simple")
+    return str(simple) if simple else None
+
+
+def destination_rule_subsets(resource: Resource) -> dict[str, dict[str, str]]:
+    """Map of subset name to its labels."""
+
+    out: dict[str, dict[str, str]] = {}
+    for entry in resource.spec.get("subsets") or []:
+        if isinstance(entry, dict) and entry.get("name"):
+            labels = entry.get("labels") or {}
+            out[str(entry["name"])] = {str(k): str(v) for k, v in labels.items()}
+    return out
+
+
+def virtual_service_destinations(resource: Resource) -> list[tuple[str, str | None]]:
+    """(host, subset) pairs referenced by a VirtualService's routes."""
+
+    destinations: list[tuple[str, str | None]] = []
+    for route in resource.spec.get("http") or []:
+        for destination in (route or {}).get("route") or []:
+            dest = (destination or {}).get("destination") or {}
+            if dest.get("host"):
+                destinations.append((str(dest["host"]), dest.get("subset")))
+    return destinations
+
+
+def gateway_servers(resource: Resource) -> list[dict[str, Any]]:
+    """The servers (port/protocol/hosts) exposed by a Gateway."""
+
+    return [s for s in resource.spec.get("servers") or [] if isinstance(s, dict)]

@@ -1,0 +1,39 @@
+"""In-memory Kubernetes simulator used as the functional-evaluation substrate.
+
+The real CloudEval-YAML benchmark runs unit tests against a Minikube
+cluster with ``kubectl``.  Offline, this package provides the equivalent
+behaviour:
+
+* :class:`~repro.kubesim.cluster.Cluster` stores resources per namespace,
+  validates them against per-kind schemas and runs lightweight controllers
+  (Deployment/DaemonSet/Job/StatefulSet create Pods, Services gain
+  Endpoints, Pods become Ready when their image is pullable).
+* :class:`~repro.kubesim.kubectl.Kubectl` exposes a ``kubectl``-like
+  facade (``apply``, ``get`` with JSONPath, ``wait``, ``describe``,
+  ``delete``) which the unit-test executor drives.
+
+A manifest that would be rejected or mis-behave on a real cluster — wrong
+``apiVersion``, a selector that does not match the pod template, a missing
+required field, a port out of range — is rejected or fails readiness here
+too, which is what the function-level score needs.
+"""
+
+from repro.kubesim.cluster import Cluster
+from repro.kubesim.errors import (
+    AlreadyExistsError,
+    KubeError,
+    NotFoundError,
+    ValidationError,
+)
+from repro.kubesim.kubectl import Kubectl
+from repro.kubesim.resources import Resource
+
+__all__ = [
+    "AlreadyExistsError",
+    "Cluster",
+    "KubeError",
+    "Kubectl",
+    "NotFoundError",
+    "Resource",
+    "ValidationError",
+]

@@ -1,0 +1,296 @@
+"""The simulated cluster: resource store, namespaces and reconciliation.
+
+A :class:`Cluster` is cheap to create (a fresh one is spun up per unit test,
+mirroring how the real benchmark resets Minikube state between problems).
+All mutations validate the manifest first and trigger controller
+reconciliation so reads observe converged state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.kubesim import controllers
+from repro.kubesim.errors import NotFoundError, ValidationError
+from repro.kubesim.resources import Resource, resolve_kind
+from repro.kubesim.selectors import matches_label_map, matches_selector
+from repro.kubesim.validation import validate_resource
+
+__all__ = ["Cluster"]
+
+_DEFAULT_NODES = ("node-1",)
+
+
+class Cluster:
+    """An in-memory Kubernetes cluster.
+
+    Parameters
+    ----------
+    nodes:
+        Node names; DaemonSets create one pod per node.
+    strict:
+        When True (default) validation errors raise; when False invalid
+        manifests are recorded as rejected but do not raise, which is
+        occasionally useful for analysis tooling.
+    """
+
+    def __init__(self, nodes: Iterable[str] = _DEFAULT_NODES, strict: bool = True) -> None:
+        self.strict = strict
+        self._nodes = list(nodes) or list(_DEFAULT_NODES)
+        self._resources: dict[tuple[str, str, str], Resource] = {}
+        self._namespaces: set[str] = {"default", "kube-system"}
+        self._events: list[str] = []
+        self._pod_ip_counter = 0
+        self._lb_ip_counter = 0
+        for index, node in enumerate(self._nodes):
+            node_resource = Resource(
+                manifest={
+                    "apiVersion": "v1",
+                    "kind": "Node",
+                    "metadata": {"name": node, "labels": {"kubernetes.io/hostname": node}},
+                    "status": {"addresses": [{"type": "InternalIP", "address": f"10.0.0.{index + 10}"}]},
+                }
+            )
+            self._resources[node_resource.key()] = node_resource
+
+    # ------------------------------------------------------------------
+    # Node and network helpers
+    # ------------------------------------------------------------------
+    def node_names(self) -> list[str]:
+        """Names of all simulated nodes."""
+
+        return list(self._nodes)
+
+    def node_ip(self, node: str) -> str:
+        """Internal IP address of a node."""
+
+        try:
+            index = self._nodes.index(node)
+        except ValueError:
+            index = 0
+        return f"10.0.0.{index + 10}"
+
+    def allocate_pod_ip(self, pod_name: str) -> str:
+        """Deterministic pod IP derived from the pod name."""
+
+        return f"10.244.0.{(abs(hash(pod_name)) % 250) + 2}"
+
+    def allocate_lb_ip(self, service_name: str) -> str:
+        """Deterministic LoadBalancer external IP."""
+
+        return f"192.168.49.{(abs(hash(service_name)) % 250) + 2}"
+
+    # ------------------------------------------------------------------
+    # Namespaces
+    # ------------------------------------------------------------------
+    def create_namespace(self, name: str) -> None:
+        """Create a namespace (idempotent)."""
+
+        self._namespaces.add(name)
+        self._events.append(f"namespace/{name} created")
+
+    def namespaces(self) -> set[str]:
+        return set(self._namespaces)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def apply(self, manifest: Mapping[str, Any]) -> Resource:
+        """Apply a manifest (create or replace), validate, and reconcile."""
+
+        resource = Resource.from_manifest(dict(manifest))
+        info = resolve_kind(resource.kind)  # raises for unknown kinds
+        try:
+            validate_resource(resource)
+        except ValidationError:
+            if self.strict:
+                raise
+            self._events.append(f"rejected {resource.kind}/{resource.name}")
+            return resource
+
+        if resource.kind == "Namespace":
+            self.create_namespace(resource.name)
+        if info.namespaced:
+            namespace = resource.namespace
+            if namespace not in self._namespaces:
+                # ``kubectl apply`` fails when the namespace does not exist;
+                # most dataset tests create it first, so enforce the same.
+                raise ValidationError(
+                    f"namespace {namespace!r} not found", field="metadata.namespace"
+                )
+        existing = self._resources.get(resource.key())
+        if existing is not None:
+            resource.generation = existing.generation + 1
+        self._resources[resource.key()] = resource
+        self._events.append(f"{resource.kind.lower()}/{resource.name} configured")
+        controllers.reconcile(self)
+        return resource
+
+    def apply_all(self, manifests: Iterable[Mapping[str, Any]]) -> list[Resource]:
+        """Apply several manifests in order."""
+
+        return [self.apply(manifest) for manifest in manifests]
+
+    def delete(self, kind: str, name: str, namespace: str = "default") -> None:
+        """Delete an object and any pods it owns."""
+
+        resource = self.get(kind, name, namespace)
+        self.remove(resource)
+        for pod in self.pods_owned_by(resource):
+            self.remove(pod)
+        controllers.reconcile(self)
+
+    def remove(self, resource: Resource) -> None:
+        """Remove a stored resource without cascading (controller helper)."""
+
+        self._resources.pop(resource.key(), None)
+
+    def reset(self) -> None:
+        """Delete every non-node resource (the test clean-up phase)."""
+
+        self._resources = {key: res for key, res in self._resources.items() if res.kind == "Node"}
+        self._namespaces = {"default", "kube-system"}
+        self._events.append("cluster reset")
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def exists(self, kind: str, name: str, namespace: str = "default") -> bool:
+        """Whether an object exists."""
+
+        try:
+            self.get(kind, name, namespace)
+            return True
+        except NotFoundError:
+            return False
+
+    def get(self, kind: str, name: str, namespace: str = "default") -> Resource:
+        """Fetch one object or raise :class:`NotFoundError`."""
+
+        info = resolve_kind(kind)
+        key = (kind, namespace if info.namespaced else "", name)
+        resource = self._resources.get(key)
+        if resource is None:
+            raise NotFoundError(f"{kind.lower()}s {name!r} not found in namespace {namespace!r}")
+        return resource
+
+    def list_resources(
+        self,
+        kind: str,
+        namespace: str | None = None,
+        label_selector: Mapping[str, str] | None = None,
+    ) -> list[Resource]:
+        """List objects of a kind, optionally filtered by namespace and labels."""
+
+        info = resolve_kind(kind)
+        out = []
+        for resource in self._resources.values():
+            if resource.kind != kind:
+                continue
+            if info.namespaced and namespace is not None and resource.namespace != namespace:
+                continue
+            if label_selector and not matches_label_map(resource.labels, label_selector):
+                continue
+            out.append(resource)
+        return sorted(out, key=lambda r: (r.namespace, r.name))
+
+    def list_workloads(self) -> list[Resource]:
+        """All workload objects that own pods."""
+
+        kinds = ("Deployment", "DaemonSet", "StatefulSet", "ReplicaSet", "Job")
+        return [r for r in self._resources.values() if r.kind in kinds]
+
+    def pods_owned_by(self, owner: Resource) -> list[Resource]:
+        """Pods created by the given workload object."""
+
+        out = [
+            r
+            for r in self._resources.values()
+            if r.kind == "Pod" and r.owner == (owner.kind, owner.namespace, owner.name)
+        ]
+        return sorted(out, key=lambda r: r.name)
+
+    def pod_is_ready(self, pod: Resource) -> bool:
+        """Whether the pod's Ready condition is True."""
+
+        for condition in pod.status.get("conditions", []):
+            if condition.get("type") == "Ready":
+                return condition.get("status") == "True"
+        return False
+
+    def events(self) -> list[str]:
+        """Chronological list of human-readable cluster events."""
+
+        return list(self._events)
+
+    # ------------------------------------------------------------------
+    # Controller helpers
+    # ------------------------------------------------------------------
+    def store_pod(self, pod: Resource) -> None:
+        """Store a controller-created pod (no namespace existence check)."""
+
+        self._resources[pod.key()] = pod
+
+    def store_endpoints(self, service: Resource, addresses: list[dict[str, Any]]) -> None:
+        """Create/refresh the Endpoints object mirroring a Service."""
+
+        endpoints = Resource(
+            manifest={
+                "apiVersion": "v1",
+                "kind": "Endpoints",
+                "metadata": {"name": service.name, "namespace": service.namespace},
+                "subsets": [
+                    {
+                        "addresses": addresses,
+                        "ports": [
+                            {"port": p.get("targetPort", p.get("port")), "name": p.get("name", "")}
+                            for p in service.spec.get("ports", [])
+                            if isinstance(p, dict)
+                        ],
+                    }
+                ]
+                if addresses
+                else [],
+            }
+        )
+        self._resources[endpoints.key()] = endpoints
+
+    # ------------------------------------------------------------------
+    # Query helpers used by unit tests
+    # ------------------------------------------------------------------
+    def service_reachable(self, service_name: str, namespace: str, port: int | None = None) -> bool:
+        """Whether a Service has at least one ready endpoint on ``port``.
+
+        This is the simulator's analogue of ``curl``-ing the service from a
+        test pod or via a LoadBalancer/NodePort.
+        """
+
+        try:
+            service = self.get("Service", service_name, namespace)
+        except NotFoundError:
+            return False
+        endpoints = service.status.get("endpoints", [])
+        if not endpoints:
+            return False
+        if port is None:
+            return True
+        for port_spec in service.spec.get("ports", []):
+            if not isinstance(port_spec, dict):
+                continue
+            if port_spec.get("port") == port or port_spec.get("nodePort") == port:
+                return True
+        return False
+
+    def host_port_reachable(self, host_port: int, namespace: str | None = None, selector: Mapping[str, str] | None = None) -> bool:
+        """Whether some ready pod exposes ``host_port`` via hostPort."""
+
+        for pod in self.list_resources("Pod", namespace=namespace):
+            if selector and not matches_selector(pod.labels, selector):
+                continue
+            if not self.pod_is_ready(pod):
+                continue
+            for container in pod.manifest.get("spec", {}).get("containers", []):
+                for port in container.get("ports") or []:
+                    if isinstance(port, dict) and port.get("hostPort") == host_port:
+                        return True
+        return False

@@ -1,0 +1,216 @@
+"""Workload controllers for the simulated cluster.
+
+Controllers reconcile the desired state expressed by workload objects into
+Pods and Endpoints, mimicking the behaviour unit tests observe through
+``kubectl`` on a real cluster:
+
+* Deployment / ReplicaSet / StatefulSet create ``spec.replicas`` pods,
+* DaemonSet creates one pod per node,
+* Job creates a single pod that runs to completion,
+* Service selects ready pods with matching labels into Endpoints and, for
+  LoadBalancer services, receives a simulated external IP,
+* Pods become ``Ready`` when every container image is pullable and the
+  manifest passed validation; the readiness condition carries the reasons
+  otherwise.
+
+Reconciliation is synchronous and idempotent — the cluster calls
+:func:`reconcile` after every mutation, so by the time a unit test queries
+state the controllers have converged (the real benchmark uses
+``kubectl wait`` for the same purpose).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import TYPE_CHECKING, Any
+
+from repro.kubesim.images import is_pullable
+from repro.kubesim.resources import Resource
+from repro.kubesim.selectors import matches_selector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.kubesim.cluster import Cluster
+
+__all__ = ["reconcile"]
+
+
+def _pod_name(owner: Resource, index: int) -> str:
+    suffix = f"{abs(hash((owner.kind, owner.name, index))) % 100000:05d}"
+    return f"{owner.name}-{suffix}"
+
+
+def _make_pod_from_template(owner: Resource, template: dict[str, Any], index: int, node: str) -> Resource:
+    metadata = copy.deepcopy(template.get("metadata") or {})
+    metadata.setdefault("labels", {})
+    metadata["name"] = _pod_name(owner, index)
+    metadata["namespace"] = owner.namespace
+    metadata.setdefault("ownerReferences", [
+        {"kind": owner.kind, "name": owner.name, "apiVersion": owner.api_version}
+    ])
+    manifest = {
+        "apiVersion": "v1",
+        "kind": "Pod",
+        "metadata": metadata,
+        "spec": copy.deepcopy(template.get("spec") or {}),
+    }
+    pod = Resource(manifest=manifest, owner=(owner.kind, owner.namespace, owner.name))
+    pod.manifest["spec"]["nodeName"] = node
+    return pod
+
+
+def _pod_ready(pod: Resource, cluster: "Cluster") -> tuple[bool, str]:
+    """Decide readiness of a pod and give a reason when not ready."""
+
+    containers = pod.manifest.get("spec", {}).get("containers", [])
+    if not containers:
+        return False, "no containers"
+    for container in containers:
+        image = container.get("image", "")
+        if not is_pullable(image):
+            return False, f"ImagePullBackOff: cannot pull {image!r}"
+        for env in container.get("env") or []:
+            value_from = env.get("valueFrom") if isinstance(env, dict) else None
+            if isinstance(value_from, dict):
+                ref = value_from.get("secretKeyRef") or value_from.get("configMapKeyRef")
+                if isinstance(ref, dict) and ref.get("name"):
+                    kind = "Secret" if "secretKeyRef" in value_from else "ConfigMap"
+                    if not cluster.exists(kind, ref["name"], pod.namespace):
+                        return False, f"CreateContainerConfigError: {kind} {ref['name']!r} not found"
+        for env_from in container.get("envFrom") or []:
+            if isinstance(env_from, dict):
+                ref = env_from.get("secretRef") or env_from.get("configMapRef")
+                if isinstance(ref, dict) and ref.get("name"):
+                    kind = "Secret" if "secretRef" in env_from else "ConfigMap"
+                    if not cluster.exists(kind, ref["name"], pod.namespace):
+                        return False, f"CreateContainerConfigError: {kind} {ref['name']!r} not found"
+    # Volumes referencing PVCs must resolve to an existing claim.
+    for volume in pod.manifest.get("spec", {}).get("volumes") or []:
+        pvc = volume.get("persistentVolumeClaim") if isinstance(volume, dict) else None
+        if isinstance(pvc, dict) and pvc.get("claimName"):
+            if not cluster.exists("PersistentVolumeClaim", pvc["claimName"], pod.namespace):
+                return False, f"unbound PersistentVolumeClaim {pvc['claimName']!r}"
+    return True, "Ready"
+
+
+def _update_pod_status(pod: Resource, cluster: "Cluster") -> None:
+    ready, reason = _pod_ready(pod, cluster)
+    node = pod.manifest.get("spec", {}).get("nodeName") or cluster.node_names()[0]
+    phase = "Running" if ready else "Pending"
+    owner_kind = pod.owner[0] if pod.owner else None
+    if ready and owner_kind == "Job":
+        phase = "Succeeded"
+    pod.status = {
+        "phase": phase,
+        "hostIP": cluster.node_ip(node),
+        "podIP": cluster.allocate_pod_ip(pod.name),
+        "conditions": [
+            {
+                "type": "Ready",
+                "status": "True" if ready else "False",
+                "reason": reason if not ready else "PodReady",
+            }
+        ],
+        "containerStatuses": [
+            {
+                "name": c.get("name", f"container-{i}"),
+                "image": c.get("image", ""),
+                "ready": ready,
+                "restartCount": 0,
+            }
+            for i, c in enumerate(pod.manifest.get("spec", {}).get("containers", []))
+        ],
+    }
+
+
+def _desired_pod_count(workload: Resource, cluster: "Cluster") -> int:
+    if workload.kind == "DaemonSet":
+        return len(cluster.node_names())
+    if workload.kind == "Job":
+        completions = workload.spec.get("completions", 1)
+        return int(completions) if isinstance(completions, int) and completions > 0 else 1
+    replicas = workload.spec.get("replicas", 1)
+    return int(replicas) if isinstance(replicas, int) and replicas >= 0 else 1
+
+
+def _reconcile_workload(workload: Resource, cluster: "Cluster") -> None:
+    template = workload.pod_template()
+    if not template:
+        return
+    desired = _desired_pod_count(workload, cluster)
+    owned = cluster.pods_owned_by(workload)
+    nodes = cluster.node_names()
+
+    # Scale up.
+    for index in range(len(owned), desired):
+        node = nodes[index % len(nodes)]
+        pod = _make_pod_from_template(workload, template, index, node)
+        cluster.store_pod(pod)
+    # Scale down.
+    for pod in owned[desired:]:
+        cluster.remove(pod)
+
+    owned = cluster.pods_owned_by(workload)
+    ready = sum(1 for pod in owned if cluster.pod_is_ready(pod))
+    if workload.kind == "Deployment":
+        workload.status = {
+            "replicas": len(owned),
+            "readyReplicas": ready,
+            "availableReplicas": ready,
+            "updatedReplicas": len(owned),
+            "conditions": [
+                {"type": "Available", "status": "True" if ready >= desired else "False"},
+                {"type": "Progressing", "status": "True"},
+            ],
+        }
+    elif workload.kind == "DaemonSet":
+        workload.status = {
+            "desiredNumberScheduled": desired,
+            "currentNumberScheduled": len(owned),
+            "numberReady": ready,
+            "numberAvailable": ready,
+        }
+    elif workload.kind in ("StatefulSet", "ReplicaSet"):
+        workload.status = {"replicas": len(owned), "readyReplicas": ready}
+    elif workload.kind == "Job":
+        succeeded = sum(1 for pod in owned if pod.status.get("phase") == "Succeeded")
+        workload.status = {
+            "succeeded": succeeded,
+            "active": len(owned) - succeeded,
+            "conditions": [
+                {"type": "Complete", "status": "True" if succeeded >= desired else "False"}
+            ],
+        }
+
+
+def _reconcile_service(service: Resource, cluster: "Cluster") -> None:
+    spec = service.spec
+    selector = spec.get("selector")
+    ready_addresses: list[dict[str, Any]] = []
+    if isinstance(selector, dict) and selector:
+        for pod in cluster.list_resources("Pod", namespace=service.namespace):
+            if matches_selector(pod.labels, selector) and cluster.pod_is_ready(pod):
+                ready_addresses.append({"ip": pod.status.get("podIP", ""), "targetRef": {"kind": "Pod", "name": pod.name}})
+    service.status = {
+        "loadBalancer": {},
+        "endpoints": ready_addresses,
+    }
+    if spec.get("type") == "LoadBalancer" and ready_addresses:
+        service.status["loadBalancer"] = {"ingress": [{"ip": cluster.allocate_lb_ip(service.name)}]}
+    cluster.store_endpoints(service, ready_addresses)
+
+
+def reconcile(cluster: "Cluster") -> None:
+    """Run every controller until the cluster state is consistent.
+
+    Two passes are enough: the first creates pods and refreshes their
+    status, the second lets services observe pods created in the first.
+    """
+
+    for _ in range(2):
+        for workload in cluster.list_workloads():
+            if workload.kind != "Pod":
+                _reconcile_workload(workload, cluster)
+        for pod in cluster.list_resources("Pod"):
+            _update_pod_status(pod, cluster)
+        for service in cluster.list_resources("Service"):
+            _reconcile_service(service, cluster)

@@ -1,0 +1,47 @@
+"""Error types raised by the Kubernetes simulator.
+
+The hierarchy mirrors the error classes a client sees from a real API
+server: validation failures (400/422), missing objects (404) and conflicts
+(409).  Unit tests and the scorer catch :class:`KubeError` to turn any of
+them into a failed functional check.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KubeError",
+    "ValidationError",
+    "NotFoundError",
+    "AlreadyExistsError",
+    "UnsupportedKindError",
+]
+
+
+class KubeError(Exception):
+    """Base class for all simulator errors."""
+
+
+class ValidationError(KubeError):
+    """A manifest failed schema or semantic validation.
+
+    ``field`` carries the dotted path of the offending field when known,
+    which makes test failures and failure-mode analysis much easier to
+    read.
+    """
+
+    def __init__(self, message: str, field: str | None = None) -> None:
+        self.field = field
+        prefix = f"{field}: " if field else ""
+        super().__init__(f"{prefix}{message}")
+
+
+class NotFoundError(KubeError):
+    """The requested object does not exist."""
+
+
+class AlreadyExistsError(KubeError):
+    """An object with the same kind/namespace/name already exists."""
+
+
+class UnsupportedKindError(ValidationError):
+    """The manifest's kind is not recognised by the simulator."""

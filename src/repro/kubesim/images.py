@@ -1,0 +1,93 @@
+"""Container image catalog shared by the scheduler and the evaluation cluster.
+
+Pods only become Ready when their image can be "pulled".  The catalog below
+lists the images used throughout the dataset together with an approximate
+compressed size in MB; the size feeds the Docker pull-through cache and the
+bandwidth model of :mod:`repro.evalcluster` (Figure 5).
+Unknown repositories still resolve (Docker Hub would try to pull them), but
+clearly malformed references fail.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["KNOWN_IMAGES", "image_size_mb", "is_pullable", "normalize_image"]
+
+# repository -> approximate compressed size in MB
+KNOWN_IMAGES: dict[str, float] = {
+    "nginx": 55.0,
+    "redis": 38.0,
+    "mysql": 145.0,
+    "postgres": 120.0,
+    "ubuntu": 28.0,
+    "busybox": 2.2,
+    "alpine": 3.2,
+    "httpd": 56.0,
+    "memcached": 30.0,
+    "mongo": 240.0,
+    "rabbitmq": 90.0,
+    "python": 340.0,
+    "node": 380.0,
+    "golang": 310.0,
+    "wordpress": 200.0,
+    "traefik": 45.0,
+    "envoyproxy/envoy": 65.0,
+    "istio/proxyv2": 95.0,
+    "istio/pilot": 80.0,
+    "grafana/grafana": 110.0,
+    "prom/prometheus": 85.0,
+    "bitnami/kafka": 260.0,
+    "bitnami/zookeeper": 180.0,
+    "registry": 10.0,
+    "gcr.io/google-samples/hello-app": 7.0,
+    "gcr.io/google_containers/kube-registry-proxy": 20.0,
+    "k8s.gcr.io/echoserver": 48.0,
+    "docker.io/istio/examples-bookinfo-ratings-v1": 120.0,
+    "docker.io/istio/examples-bookinfo-reviews-v1": 130.0,
+    "docker.io/istio/examples-bookinfo-details-v1": 110.0,
+    "docker.io/istio/examples-bookinfo-productpage-v1": 125.0,
+    "fluent/fluentd": 42.0,
+    "elasticsearch": 420.0,
+    "kibana": 390.0,
+    "jenkins/jenkins": 310.0,
+    "vault": 70.0,
+    "consul": 60.0,
+    "minio/minio": 95.0,
+    "nats": 12.0,
+    "haproxy": 50.0,
+    "caddy": 25.0,
+    "perl": 360.0,
+}
+
+_DEFAULT_SIZE_MB = 60.0
+_IMAGE_REF_RE = re.compile(r"^[a-z0-9]+([._\-/][a-z0-9]+)*(:[\w.\-]+)?(@sha256:[0-9a-f]{8,})?$")
+
+
+def normalize_image(image: str) -> tuple[str, str]:
+    """Split an image reference into (repository, tag)."""
+
+    image = image.strip()
+    if "@" in image:
+        image = image.split("@", 1)[0]
+    repository, _, tag = image.partition(":")
+    return repository, tag or "latest"
+
+
+def is_pullable(image: str) -> bool:
+    """Whether the image reference is well-formed enough to be pulled."""
+
+    if not image or not isinstance(image, str):
+        return False
+    return bool(_IMAGE_REF_RE.match(image.strip()))
+
+
+def image_size_mb(image: str) -> float:
+    """Approximate compressed size of the image, in megabytes."""
+
+    repository, _ = normalize_image(image)
+    if repository in KNOWN_IMAGES:
+        return KNOWN_IMAGES[repository]
+    # Strip a registry prefix (e.g. docker.io/library/nginx) and retry.
+    short = repository.split("/")[-1]
+    return KNOWN_IMAGES.get(short, _DEFAULT_SIZE_MB)

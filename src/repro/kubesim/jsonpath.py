@@ -1,0 +1,129 @@
+"""A kubectl-style JSONPath evaluator.
+
+Unit tests in the dataset extract fields with expressions such as::
+
+    {.items[0].spec.containers[0].resources.limits.cpu}
+    {.items..metadata.name}
+    {.items[*].spec.containers[0].env[*].name}
+    {.status.hostIP}
+
+This module implements the subset of JSONPath that ``kubectl -o jsonpath``
+supports and that the dataset uses: child access, positional indexing,
+wildcard ``[*]``, recursive descent ``..`` and filter-free list flattening.
+The evaluator returns all matching values; :func:`render_jsonpath` joins
+them with spaces exactly like ``kubectl`` does.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable
+
+__all__ = ["evaluate_jsonpath", "render_jsonpath", "JsonPathError"]
+
+
+class JsonPathError(ValueError):
+    """Raised for malformed JSONPath expressions."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \.\.(?P<recursive>[A-Za-z0-9_\-]+)      # ..field (recursive descent)
+    | \.(?P<field>[A-Za-z0-9_\-]+)          # .field
+    | \[(?P<index>-?\d+)\]                  # [0]
+    | \[(?P<star>\*)\]                      # [*]
+    | \['(?P<quoted>[^']+)'\]               # ['field.with.dots']
+    """,
+    re.VERBOSE,
+)
+
+
+def _strip_braces(expression: str) -> str:
+    expression = expression.strip()
+    if expression.startswith("{") and expression.endswith("}"):
+        expression = expression[1:-1]
+    return expression.strip()
+
+
+def _tokenize(expression: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    body = _strip_braces(expression)
+    if body in ("", "."):
+        return tokens
+    while pos < len(body):
+        match = _TOKEN_RE.match(body, pos)
+        if not match:
+            raise JsonPathError(f"cannot parse JSONPath {expression!r} at offset {pos}")
+        if match.group("recursive") is not None:
+            tokens.append(("recursive", match.group("recursive")))
+        elif match.group("field") is not None:
+            tokens.append(("field", match.group("field")))
+        elif match.group("index") is not None:
+            tokens.append(("index", match.group("index")))
+        elif match.group("star") is not None:
+            tokens.append(("star", "*"))
+        elif match.group("quoted") is not None:
+            tokens.append(("field", match.group("quoted")))
+        pos = match.end()
+    return tokens
+
+
+def _descend(value: Any, field: str) -> Iterable[Any]:
+    """Yield every value stored under ``field`` anywhere below ``value``."""
+
+    if isinstance(value, dict):
+        for key, child in value.items():
+            if key == field:
+                yield child
+            yield from _descend(child, field)
+    elif isinstance(value, list):
+        for child in value:
+            yield from _descend(child, field)
+
+
+def evaluate_jsonpath(document: Any, expression: str) -> list[Any]:
+    """Evaluate ``expression`` against ``document`` returning all matches."""
+
+    current: list[Any] = [document]
+    for token_type, token_value in _tokenize(expression):
+        next_values: list[Any] = []
+        for value in current:
+            if token_type == "field":
+                if isinstance(value, dict) and token_value in value:
+                    next_values.append(value[token_value])
+                elif isinstance(value, list):
+                    # kubectl implicitly maps field access over lists.
+                    for item in value:
+                        if isinstance(item, dict) and token_value in item:
+                            next_values.append(item[token_value])
+            elif token_type == "recursive":
+                next_values.extend(_descend(value, token_value))
+            elif token_type == "index":
+                idx = int(token_value)
+                if isinstance(value, list) and -len(value) <= idx < len(value):
+                    next_values.append(value[idx])
+            elif token_type == "star":
+                if isinstance(value, list):
+                    next_values.extend(value)
+                elif isinstance(value, dict):
+                    next_values.extend(value.values())
+        current = next_values
+    return current
+
+
+def render_jsonpath(document: Any, expression: str) -> str:
+    """Render matches the way ``kubectl -o jsonpath`` does (space separated)."""
+
+    values = evaluate_jsonpath(document, expression)
+    rendered: list[str] = []
+    for value in values:
+        if isinstance(value, bool):
+            rendered.append("true" if value else "false")
+        elif isinstance(value, (dict, list)):
+            rendered.append(str(value))
+        elif value is None:
+            rendered.append("")
+        else:
+            rendered.append(str(value))
+    return " ".join(rendered)

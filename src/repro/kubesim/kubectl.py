@@ -1,0 +1,220 @@
+"""A ``kubectl``-like facade over the simulated cluster.
+
+The dataset's unit tests are expressed as structured step programs (see
+:mod:`repro.testexec`), but the individual operations map one-to-one onto
+kubectl verbs.  This facade mirrors the behaviour unit tests depend on:
+
+* ``apply`` parses YAML (possibly multi-document) and applies it,
+* ``get`` supports ``-o jsonpath`` expressions and ``-l`` label selectors,
+* ``wait`` blocks (logically — the simulator is synchronous) until the
+  requested condition holds or reports a timeout,
+* ``describe`` renders a textual description for ``grep``-style checks,
+* ``delete`` removes objects, and ``create_namespace`` mirrors
+  ``kubectl create ns``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.kubesim.cluster import Cluster
+from repro.kubesim.errors import KubeError, NotFoundError
+from repro.kubesim.jsonpath import render_jsonpath
+from repro.kubesim.resources import Resource
+from repro.kubesim.selectors import matches_label_map, parse_kubectl_selector
+from repro.yamlkit.parsing import load_all_documents
+
+__all__ = ["Kubectl"]
+
+
+class Kubectl:
+    """Facade mirroring the kubectl operations used by dataset unit tests."""
+
+    def __init__(self, cluster: Cluster | None = None) -> None:
+        self.cluster = cluster or Cluster()
+
+    # -- mutations ---------------------------------------------------------
+    def create_namespace(self, name: str) -> str:
+        """``kubectl create namespace <name>``."""
+
+        self.cluster.create_namespace(name)
+        return f"namespace/{name} created"
+
+    def apply(self, yaml_text: str, namespace: str | None = None) -> list[Resource]:
+        """``kubectl apply -f -`` for one or more documents."""
+
+        documents = load_all_documents(yaml_text)
+        if not documents:
+            raise KubeError("no objects passed to apply")
+        applied: list[Resource] = []
+        for document in documents:
+            if not isinstance(document, dict):
+                raise KubeError("cannot apply a non-mapping YAML document")
+            if namespace is not None:
+                document.setdefault("metadata", {}).setdefault("namespace", namespace)
+            applied.append(self.cluster.apply(document))
+        return applied
+
+    def delete(self, kind: str, name: str, namespace: str = "default") -> str:
+        """``kubectl delete <kind> <name>``."""
+
+        self.cluster.delete(kind, name, namespace)
+        return f"{kind.lower()} \"{name}\" deleted"
+
+    # -- reads ---------------------------------------------------------------
+    def _select(
+        self,
+        kind: str,
+        name: str | None,
+        namespace: str,
+        selector: str | Mapping[str, str] | None,
+    ) -> list[Resource]:
+        if name:
+            return [self.cluster.get(kind, name, namespace)]
+        label_map: Mapping[str, str] | None
+        if isinstance(selector, str):
+            label_map = parse_kubectl_selector(selector)
+        else:
+            label_map = selector
+        resources = self.cluster.list_resources(kind, namespace=namespace)
+        if label_map:
+            resources = [r for r in resources if matches_label_map(r.labels, label_map)]
+        return resources
+
+    def get(
+        self,
+        kind: str,
+        name: str | None = None,
+        namespace: str = "default",
+        selector: str | Mapping[str, str] | None = None,
+        jsonpath: str | None = None,
+    ) -> Any:
+        """``kubectl get`` returning objects, a list wrapper, or JSONPath text."""
+
+        resources = self._select(kind, name, namespace, selector)
+        if name:
+            document: Any = resources[0].to_dict()
+        else:
+            document = {"apiVersion": "v1", "kind": "List", "items": [r.to_dict() for r in resources]}
+        if jsonpath:
+            return render_jsonpath(document, jsonpath)
+        return document
+
+    def get_resource(self, kind: str, name: str, namespace: str = "default") -> Resource:
+        """Typed accessor used by istio/envoy helpers."""
+
+        return self.cluster.get(kind, name, namespace)
+
+    def describe(self, kind: str, name: str, namespace: str = "default") -> str:
+        """``kubectl describe`` — a flat textual rendering for grep checks."""
+
+        resource = self.cluster.get(kind, name, namespace)
+        lines = [f"Name:         {resource.name}", f"Namespace:    {resource.namespace}", f"Kind:         {resource.kind}"]
+        if resource.labels:
+            lines.append("Labels:       " + ",".join(f"{k}={v}" for k, v in sorted(resource.labels.items())))
+        lines.extend(_flatten("", resource.to_dict()))
+        if resource.kind == "Ingress":
+            lines.extend(_describe_ingress_backends(resource))
+        if resource.kind == "Service":
+            endpoints = resource.status.get("endpoints", [])
+            lines.append("Endpoints:    " + ", ".join(a.get("ip", "") for a in endpoints))
+        return "\n".join(lines)
+
+    def logs(self, pod_name: str, namespace: str = "default") -> str:
+        """``kubectl logs`` — synthetic but stable output per container."""
+
+        pod = self.cluster.get("Pod", pod_name, namespace)
+        lines = []
+        for status in pod.status.get("containerStatuses", []):
+            state = "started" if status.get("ready") else "waiting"
+            lines.append(f"container {status.get('name')} ({status.get('image')}): {state}")
+        return "\n".join(lines)
+
+    # -- wait ------------------------------------------------------------------
+    def wait(
+        self,
+        kind: str,
+        condition: str,
+        name: str | None = None,
+        namespace: str = "default",
+        selector: str | Mapping[str, str] | None = None,
+        timeout_seconds: int = 60,
+    ) -> bool:
+        """``kubectl wait --for=condition=<condition>``.
+
+        The simulator is synchronous, so this simply checks whether the
+        condition already holds for every selected object; ``timeout_seconds``
+        is accepted for interface parity and recorded for the time model.
+        """
+
+        del timeout_seconds  # state is already converged in the simulator
+        try:
+            resources = self._select(kind, name, namespace, selector)
+        except NotFoundError:
+            return False
+        if not resources:
+            return False
+        condition = condition.lower()
+        return all(self._condition_holds(resource, condition) for resource in resources)
+
+    def _condition_holds(self, resource: Resource, condition: str) -> bool:
+        if resource.kind == "Pod":
+            if condition == "ready":
+                return self.cluster.pod_is_ready(resource)
+            if condition in ("complete", "succeeded"):
+                return resource.status.get("phase") == "Succeeded"
+        if resource.kind in ("Deployment", "StatefulSet", "ReplicaSet"):
+            status = resource.status
+            if condition in ("available", "ready"):
+                desired = resource.spec.get("replicas", 1) or 0
+                return int(status.get("readyReplicas", 0) or 0) >= int(desired)
+        if resource.kind == "DaemonSet" and condition in ("available", "ready"):
+            status = resource.status
+            return int(status.get("numberReady", 0)) >= int(status.get("desiredNumberScheduled", 1))
+        if resource.kind == "Job" and condition in ("complete", "completed"):
+            return any(
+                c.get("type") == "Complete" and c.get("status") == "True"
+                for c in resource.status.get("conditions", [])
+            )
+        if resource.kind == "Ingress" and condition == "synced":
+            # A validated Ingress in the simulator is synced by definition.
+            return True
+        # Generic fallback: look through status conditions.
+        for cond in resource.status.get("conditions", []):
+            if str(cond.get("type", "")).lower() == condition:
+                return cond.get("status") == "True"
+        return False
+
+
+def _flatten(prefix: str, value: Any) -> list[str]:
+    """Flatten nested structures into ``path: value`` description lines."""
+
+    lines: list[str] = []
+    if isinstance(value, dict):
+        for key, child in value.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            lines.extend(_flatten(path, child))
+    elif isinstance(value, list):
+        for index, child in enumerate(value):
+            lines.extend(_flatten(f"{prefix}[{index}]", child))
+    else:
+        lines.append(f"{prefix}: {value}")
+    return lines
+
+
+def _describe_ingress_backends(resource: Resource) -> list[str]:
+    """Render Ingress backends the way ``kubectl describe ingress`` does."""
+
+    lines: list[str] = []
+    for rule in resource.spec.get("rules", []) or []:
+        if not isinstance(rule, dict):
+            continue
+        for path in (rule.get("http") or {}).get("paths", []) or []:
+            if not isinstance(path, dict):
+                continue
+            service = (path.get("backend") or {}).get("service") or {}
+            name = service.get("name", "")
+            port = service.get("port") or {}
+            port_repr = port.get("number", port.get("name", ""))
+            lines.append(f"Backends:     {name}:{port_repr} ({path.get('path', '/')})")
+    return lines

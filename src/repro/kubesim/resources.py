@@ -1,0 +1,190 @@
+"""Resource model and kind registry for the Kubernetes simulator.
+
+A :class:`Resource` wraps a parsed manifest dictionary and exposes typed
+access to the metadata fields the simulator and unit tests rely on.  The
+:data:`KIND_REGISTRY` lists every kind the simulator understands, with the
+``apiVersion`` values a real API server would accept for it and whether the
+kind is namespaced.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.kubesim.errors import UnsupportedKindError, ValidationError
+
+__all__ = ["KindInfo", "KIND_REGISTRY", "Resource", "resolve_kind"]
+
+
+@dataclass(frozen=True)
+class KindInfo:
+    """Static information about a Kubernetes kind."""
+
+    kind: str
+    api_versions: tuple[str, ...]
+    namespaced: bool = True
+    workload: bool = False  # kinds that own Pods via a template
+
+
+KIND_REGISTRY: dict[str, KindInfo] = {
+    info.kind: info
+    for info in [
+        KindInfo("Pod", ("v1",), workload=True),
+        KindInfo("Deployment", ("apps/v1",), workload=True),
+        KindInfo("DaemonSet", ("apps/v1",), workload=True),
+        KindInfo("StatefulSet", ("apps/v1",), workload=True),
+        KindInfo("ReplicaSet", ("apps/v1",), workload=True),
+        KindInfo("Job", ("batch/v1",), workload=True),
+        KindInfo("CronJob", ("batch/v1",), workload=True),
+        KindInfo("Service", ("v1",)),
+        KindInfo("Endpoints", ("v1",)),
+        KindInfo("ConfigMap", ("v1",)),
+        KindInfo("Secret", ("v1",)),
+        KindInfo("Namespace", ("v1",), namespaced=False),
+        KindInfo("Node", ("v1",), namespaced=False),
+        KindInfo("ServiceAccount", ("v1",)),
+        KindInfo("PersistentVolume", ("v1",), namespaced=False),
+        KindInfo("PersistentVolumeClaim", ("v1",)),
+        KindInfo("LimitRange", ("v1",)),
+        KindInfo("ResourceQuota", ("v1",)),
+        KindInfo("Ingress", ("networking.k8s.io/v1",)),
+        KindInfo("NetworkPolicy", ("networking.k8s.io/v1",)),
+        KindInfo("HorizontalPodAutoscaler", ("autoscaling/v2", "autoscaling/v1")),
+        KindInfo("Role", ("rbac.authorization.k8s.io/v1",)),
+        KindInfo("RoleBinding", ("rbac.authorization.k8s.io/v1",)),
+        KindInfo("ClusterRole", ("rbac.authorization.k8s.io/v1",), namespaced=False),
+        KindInfo("ClusterRoleBinding", ("rbac.authorization.k8s.io/v1",), namespaced=False),
+        KindInfo("StorageClass", ("storage.k8s.io/v1",), namespaced=False),
+        KindInfo("PriorityClass", ("scheduling.k8s.io/v1",), namespaced=False),
+        # Istio CRDs are served by the same API machinery in this simulator.
+        KindInfo("VirtualService", ("networking.istio.io/v1alpha3", "networking.istio.io/v1beta1")),
+        KindInfo("DestinationRule", ("networking.istio.io/v1alpha3", "networking.istio.io/v1beta1")),
+        KindInfo("Gateway", ("networking.istio.io/v1alpha3", "networking.istio.io/v1beta1")),
+        KindInfo("ServiceEntry", ("networking.istio.io/v1alpha3", "networking.istio.io/v1beta1")),
+        KindInfo("PeerAuthentication", ("security.istio.io/v1beta1",)),
+        KindInfo("AuthorizationPolicy", ("security.istio.io/v1beta1",)),
+    ]
+}
+
+
+def resolve_kind(kind: str) -> KindInfo:
+    """Look up a kind in the registry, raising for unknown kinds."""
+
+    info = KIND_REGISTRY.get(kind)
+    if info is None:
+        raise UnsupportedKindError(f"unknown kind {kind!r}", field="kind")
+    return info
+
+
+@dataclass
+class Resource:
+    """A stored Kubernetes object (manifest plus simulator-managed status)."""
+
+    manifest: dict[str, Any]
+    status: dict[str, Any] = field(default_factory=dict)
+    generation: int = 1
+    owner: tuple[str, str, str] | None = None  # (kind, namespace, name) of the owner
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_manifest(cls, manifest: dict[str, Any]) -> "Resource":
+        """Build a resource from a parsed manifest, checking basic shape."""
+
+        if not isinstance(manifest, dict):
+            raise ValidationError("manifest must be a mapping")
+        kind = manifest.get("kind")
+        if not kind or not isinstance(kind, str):
+            raise ValidationError("manifest is missing a kind", field="kind")
+        if "apiVersion" not in manifest:
+            raise ValidationError("manifest is missing apiVersion", field="apiVersion")
+        metadata = manifest.get("metadata")
+        if not isinstance(metadata, dict) or not metadata.get("name"):
+            raise ValidationError("manifest is missing metadata.name", field="metadata.name")
+        return cls(manifest=copy.deepcopy(manifest))
+
+    # -- metadata accessors -----------------------------------------------
+    @property
+    def kind(self) -> str:
+        return str(self.manifest.get("kind", ""))
+
+    @property
+    def api_version(self) -> str:
+        return str(self.manifest.get("apiVersion", ""))
+
+    @property
+    def metadata(self) -> dict[str, Any]:
+        return self.manifest.setdefault("metadata", {})
+
+    @property
+    def name(self) -> str:
+        return str(self.metadata.get("name", ""))
+
+    @property
+    def namespace(self) -> str:
+        return str(self.metadata.get("namespace", "") or "default")
+
+    @property
+    def labels(self) -> dict[str, str]:
+        labels = self.metadata.get("labels") or {}
+        return {str(k): str(v) for k, v in labels.items()} if isinstance(labels, dict) else {}
+
+    @property
+    def annotations(self) -> dict[str, str]:
+        annotations = self.metadata.get("annotations") or {}
+        return (
+            {str(k): str(v) for k, v in annotations.items()}
+            if isinstance(annotations, dict)
+            else {}
+        )
+
+    @property
+    def spec(self) -> dict[str, Any]:
+        spec = self.manifest.get("spec")
+        return spec if isinstance(spec, dict) else {}
+
+    @property
+    def kind_info(self) -> KindInfo:
+        return resolve_kind(self.kind)
+
+    def key(self) -> tuple[str, str, str]:
+        """Storage key: (kind, namespace or '', name)."""
+
+        namespace = self.namespace if self.kind_info.namespaced else ""
+        return (self.kind, namespace, self.name)
+
+    # -- views -------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Full object view (manifest merged with live status)."""
+
+        merged = copy.deepcopy(self.manifest)
+        if self.status:
+            merged["status"] = copy.deepcopy(self.status)
+        return merged
+
+    def pod_template(self) -> dict[str, Any] | None:
+        """Return the embedded pod template for workload kinds."""
+
+        if self.kind == "Pod":
+            return self.manifest
+        spec = self.spec
+        if self.kind == "CronJob":
+            job_template = spec.get("jobTemplate", {})
+            if isinstance(job_template, dict):
+                return job_template.get("spec", {}).get("template")
+            return None
+        template = spec.get("template")
+        return template if isinstance(template, dict) else None
+
+    def containers(self) -> list[dict[str, Any]]:
+        """All containers declared by this object (possibly via a template)."""
+
+        template = self.pod_template()
+        if not template:
+            return []
+        pod_spec = template.get("spec", {}) if self.kind != "Pod" else self.manifest.get("spec", {})
+        if self.kind == "Pod":
+            pod_spec = self.manifest.get("spec", {})
+        containers = pod_spec.get("containers", []) if isinstance(pod_spec, dict) else []
+        return [c for c in containers if isinstance(c, dict)]

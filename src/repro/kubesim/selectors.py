@@ -1,0 +1,79 @@
+"""Label selector matching.
+
+Implements the two selector forms used by Kubernetes objects:
+
+* equality-based ``matchLabels`` maps,
+* set-based ``matchExpressions`` with ``In``, ``NotIn``, ``Exists`` and
+  ``DoesNotExist`` operators,
+
+plus the shorthand used by Services whose ``spec.selector`` is a bare
+label map, and the ``-l key=value`` string syntax used by ``kubectl get``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.kubesim.errors import ValidationError
+
+__all__ = ["matches_selector", "matches_label_map", "parse_kubectl_selector"]
+
+
+def matches_label_map(labels: Mapping[str, str], selector: Mapping[str, Any]) -> bool:
+    """Equality-based matching: every selector entry must be present."""
+
+    return all(str(labels.get(str(k))) == str(v) for k, v in selector.items())
+
+
+def _matches_expression(labels: Mapping[str, str], expression: Mapping[str, Any]) -> bool:
+    key = str(expression.get("key", ""))
+    operator = str(expression.get("operator", ""))
+    values = [str(v) for v in expression.get("values", []) or []]
+    present = key in labels
+    if operator == "In":
+        return present and str(labels[key]) in values
+    if operator == "NotIn":
+        return not present or str(labels[key]) not in values
+    if operator == "Exists":
+        return present
+    if operator == "DoesNotExist":
+        return not present
+    raise ValidationError(f"unknown selector operator {operator!r}", field="matchExpressions")
+
+
+def matches_selector(labels: Mapping[str, str] | None, selector: Mapping[str, Any] | None) -> bool:
+    """Match labels against a LabelSelector (or bare label map).
+
+    An empty or missing selector matches nothing for workload controllers
+    (the API server rejects those manifests before this is reached), but we
+    return False instead of raising so list operations stay total.
+    """
+
+    labels = labels or {}
+    if not selector:
+        return False
+    # Bare label map (Service.spec.selector style).
+    if "matchLabels" not in selector and "matchExpressions" not in selector:
+        return matches_label_map(labels, selector)
+    match_labels = selector.get("matchLabels") or {}
+    if not matches_label_map(labels, match_labels):
+        return False
+    for expression in selector.get("matchExpressions") or []:
+        if not isinstance(expression, Mapping) or not _matches_expression(labels, expression):
+            return False
+    return True
+
+
+def parse_kubectl_selector(selector: str) -> dict[str, str]:
+    """Parse the ``key=value,key2=value2`` syntax of ``kubectl -l``."""
+
+    result: dict[str, str] = {}
+    for part in selector.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValidationError(f"invalid label selector segment {part!r}")
+        key, _, value = part.partition("=")
+        result[key.strip()] = value.strip().strip("'\"")
+    return result

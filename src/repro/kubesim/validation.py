@@ -1,0 +1,485 @@
+"""Per-kind manifest validation.
+
+The simulator validates manifests with roughly the strictness of a real
+API server running with strict field validation: wrong ``apiVersion`` for
+the kind, missing required fields, selectors that do not match the pod
+template, malformed ports and unknown top-level fields in well-known
+structures are all rejected with :class:`~repro.kubesim.errors.ValidationError`.
+
+The goal is behavioural fidelity for the *dataset's* problems: manifests
+derived from the reference YAML must pass, and the common LLM mistakes the
+paper describes (legacy Ingress backends, missing ``pathType``, selector
+mismatches, invalid kinds) must fail.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable
+
+from repro.kubesim.errors import ValidationError
+from repro.kubesim.resources import Resource, resolve_kind
+from repro.kubesim.selectors import matches_selector
+
+__all__ = ["validate_resource"]
+
+_DNS1123_RE = re.compile(r"^[a-z0-9]([-a-z0-9.]*[a-z0-9])?$")
+_IMAGE_RE = re.compile(r"^[\w./:@-]+$")
+
+
+def _require(condition: bool, message: str, field: str | None = None) -> None:
+    if not condition:
+        raise ValidationError(message, field=field)
+
+
+def _validate_metadata(resource: Resource) -> None:
+    name = resource.name
+    _require(bool(name), "metadata.name is required", "metadata.name")
+    _require(len(name) <= 253, "metadata.name is too long", "metadata.name")
+    _require(
+        bool(_DNS1123_RE.match(name.lower())),
+        f"metadata.name {name!r} is not a valid DNS-1123 name",
+        "metadata.name",
+    )
+
+
+def _validate_api_version(resource: Resource) -> None:
+    info = resolve_kind(resource.kind)
+    _require(
+        resource.api_version in info.api_versions,
+        f"apiVersion {resource.api_version!r} is not served for kind {resource.kind}; "
+        f"expected one of {list(info.api_versions)}",
+        "apiVersion",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Containers and pod templates
+# ---------------------------------------------------------------------------
+
+_ALLOWED_CONTAINER_FIELDS = {
+    "name",
+    "image",
+    "command",
+    "args",
+    "ports",
+    "env",
+    "envFrom",
+    "resources",
+    "volumeMounts",
+    "livenessProbe",
+    "readinessProbe",
+    "startupProbe",
+    "imagePullPolicy",
+    "securityContext",
+    "workingDir",
+    "lifecycle",
+    "stdin",
+    "tty",
+}
+
+
+def _validate_container(container: dict[str, Any], path: str) -> None:
+    _require(isinstance(container, dict), "container must be a mapping", path)
+    _require(bool(container.get("name")), "container name is required", f"{path}.name")
+    image = container.get("image")
+    _require(bool(image), "container image is required", f"{path}.image")
+    _require(
+        isinstance(image, str) and bool(_IMAGE_RE.match(image)),
+        f"container image {image!r} is malformed",
+        f"{path}.image",
+    )
+    unknown = set(container) - _ALLOWED_CONTAINER_FIELDS
+    _require(
+        not unknown,
+        f"unknown container fields: {sorted(unknown)}",
+        path,
+    )
+    for i, port in enumerate(container.get("ports") or []):
+        _require(isinstance(port, dict), "container port must be a mapping", f"{path}.ports[{i}]")
+        number = port.get("containerPort")
+        _require(
+            isinstance(number, int) and 1 <= number <= 65535,
+            f"containerPort {number!r} must be an integer in [1, 65535]",
+            f"{path}.ports[{i}].containerPort",
+        )
+        host_port = port.get("hostPort")
+        if host_port is not None:
+            _require(
+                isinstance(host_port, int) and 1 <= host_port <= 65535,
+                f"hostPort {host_port!r} must be an integer in [1, 65535]",
+                f"{path}.ports[{i}].hostPort",
+            )
+    for i, env in enumerate(container.get("env") or []):
+        _require(isinstance(env, dict), "env entry must be a mapping", f"{path}.env[{i}]")
+        _require(bool(env.get("name")), "env entry needs a name", f"{path}.env[{i}].name")
+        has_value = "value" in env or "valueFrom" in env
+        _require(has_value, "env entry needs value or valueFrom", f"{path}.env[{i}]")
+    resources = container.get("resources") or {}
+    if isinstance(resources, dict):
+        for section in ("limits", "requests"):
+            quantities = resources.get(section) or {}
+            for key, quantity in quantities.items() if isinstance(quantities, dict) else []:
+                _require(
+                    _valid_quantity(quantity),
+                    f"invalid resource quantity {quantity!r} for {key}",
+                    f"{path}.resources.{section}.{key}",
+                )
+
+
+def _valid_quantity(quantity: Any) -> bool:
+    if isinstance(quantity, (int, float)):
+        return quantity >= 0
+    if not isinstance(quantity, str):
+        return False
+    return bool(re.match(r"^\d+(\.\d+)?(m|Ki|Mi|Gi|Ti|k|M|G|T)?$", quantity))
+
+
+def _validate_pod_spec(pod_spec: dict[str, Any], path: str) -> None:
+    _require(isinstance(pod_spec, dict), "pod spec must be a mapping", path)
+    containers = pod_spec.get("containers")
+    _require(
+        isinstance(containers, list) and len(containers) > 0,
+        "pod spec needs at least one container",
+        f"{path}.containers",
+    )
+    for i, container in enumerate(containers):
+        _validate_container(container, f"{path}.containers[{i}]")
+    for i, container in enumerate(pod_spec.get("initContainers") or []):
+        _validate_container(container, f"{path}.initContainers[{i}]")
+    volume_names = set()
+    for i, volume in enumerate(pod_spec.get("volumes") or []):
+        _require(isinstance(volume, dict), "volume must be a mapping", f"{path}.volumes[{i}]")
+        _require(bool(volume.get("name")), "volume needs a name", f"{path}.volumes[{i}].name")
+        volume_names.add(volume.get("name"))
+    # volumeMounts must reference declared volumes (when any volumes exist).
+    for i, container in enumerate(containers):
+        for j, mount in enumerate(container.get("volumeMounts") or []):
+            _require(isinstance(mount, dict), "volumeMount must be a mapping", f"{path}.containers[{i}].volumeMounts[{j}]")
+            _require(bool(mount.get("mountPath")), "volumeMount needs mountPath", f"{path}.containers[{i}].volumeMounts[{j}].mountPath")
+            name = mount.get("name")
+            _require(bool(name), "volumeMount needs a name", f"{path}.containers[{i}].volumeMounts[{j}].name")
+            if volume_names:
+                _require(
+                    name in volume_names,
+                    f"volumeMount references undeclared volume {name!r}",
+                    f"{path}.containers[{i}].volumeMounts[{j}].name",
+                )
+
+
+def _template_labels(template: dict[str, Any]) -> dict[str, str]:
+    metadata = template.get("metadata") or {}
+    labels = metadata.get("labels") or {}
+    return {str(k): str(v) for k, v in labels.items()} if isinstance(labels, dict) else {}
+
+
+def _validate_workload_selector(resource: Resource, require_selector: bool = True) -> None:
+    spec = resource.spec
+    template = spec.get("template")
+    _require(isinstance(template, dict), "spec.template is required", "spec.template")
+    _validate_pod_spec(template.get("spec", {}), "spec.template.spec")
+    selector = spec.get("selector")
+    if not require_selector and selector is None:
+        return
+    _require(isinstance(selector, dict), "spec.selector is required", "spec.selector")
+    labels = _template_labels(template)
+    _require(
+        matches_selector(labels, selector),
+        "spec.selector does not match spec.template.metadata.labels",
+        "spec.selector",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Kind-specific validators
+# ---------------------------------------------------------------------------
+
+def _validate_pod(resource: Resource) -> None:
+    _validate_pod_spec(resource.spec, "spec")
+
+
+def _validate_deployment(resource: Resource) -> None:
+    replicas = resource.spec.get("replicas", 1)
+    _require(
+        isinstance(replicas, int) and replicas >= 0,
+        f"spec.replicas must be a non-negative integer, got {replicas!r}",
+        "spec.replicas",
+    )
+    _validate_workload_selector(resource)
+
+
+def _validate_daemonset(resource: Resource) -> None:
+    _validate_workload_selector(resource)
+
+
+def _validate_statefulset(resource: Resource) -> None:
+    _validate_workload_selector(resource)
+    _require(bool(resource.spec.get("serviceName")), "spec.serviceName is required", "spec.serviceName")
+
+
+def _validate_replicaset(resource: Resource) -> None:
+    _validate_workload_selector(resource)
+
+
+def _validate_job(resource: Resource) -> None:
+    template = resource.spec.get("template")
+    _require(isinstance(template, dict), "spec.template is required", "spec.template")
+    _validate_pod_spec(template.get("spec", {}), "spec.template.spec")
+    restart_policy = (template.get("spec") or {}).get("restartPolicy", "Never")
+    _require(
+        restart_policy in ("Never", "OnFailure"),
+        f"Job restartPolicy must be Never or OnFailure, got {restart_policy!r}",
+        "spec.template.spec.restartPolicy",
+    )
+
+
+def _validate_cronjob(resource: Resource) -> None:
+    schedule = resource.spec.get("schedule")
+    _require(isinstance(schedule, str) and len(schedule.split()) == 5, "spec.schedule must be a 5-field cron expression", "spec.schedule")
+    job_template = resource.spec.get("jobTemplate")
+    _require(isinstance(job_template, dict), "spec.jobTemplate is required", "spec.jobTemplate")
+    template = (job_template.get("spec") or {}).get("template")
+    _require(isinstance(template, dict), "spec.jobTemplate.spec.template is required", "spec.jobTemplate.spec.template")
+    _validate_pod_spec(template.get("spec", {}), "spec.jobTemplate.spec.template.spec")
+
+
+_SERVICE_TYPES = {"ClusterIP", "NodePort", "LoadBalancer", "ExternalName"}
+
+
+def _validate_service(resource: Resource) -> None:
+    spec = resource.spec
+    service_type = spec.get("type", "ClusterIP")
+    _require(service_type in _SERVICE_TYPES, f"unknown Service type {service_type!r}", "spec.type")
+    if service_type == "ExternalName":
+        _require(bool(spec.get("externalName")), "ExternalName service needs spec.externalName", "spec.externalName")
+        return
+    ports = spec.get("ports")
+    _require(isinstance(ports, list) and len(ports) > 0, "Service needs at least one port", "spec.ports")
+    for i, port in enumerate(ports):
+        _require(isinstance(port, dict), "port must be a mapping", f"spec.ports[{i}]")
+        number = port.get("port")
+        _require(
+            isinstance(number, int) and 1 <= number <= 65535,
+            f"Service port {number!r} must be an integer in [1, 65535]",
+            f"spec.ports[{i}].port",
+        )
+        node_port = port.get("nodePort")
+        if node_port is not None:
+            _require(
+                isinstance(node_port, int) and 30000 <= node_port <= 32767,
+                f"nodePort {node_port!r} must be in [30000, 32767]",
+                f"spec.ports[{i}].nodePort",
+            )
+    selector = spec.get("selector")
+    if selector is not None:
+        _require(isinstance(selector, dict) and selector, "spec.selector must be a non-empty mapping", "spec.selector")
+
+
+def _validate_configmap(resource: Resource) -> None:
+    data = resource.manifest.get("data", {})
+    _require(isinstance(data, dict), "ConfigMap data must be a mapping", "data")
+    for key, value in data.items():
+        _require(isinstance(value, (str, int, float, bool)), f"ConfigMap value for {key!r} must be scalar", f"data.{key}")
+
+
+def _validate_secret(resource: Resource) -> None:
+    for section in ("data", "stringData"):
+        data = resource.manifest.get(section, {})
+        _require(isinstance(data, dict), f"Secret {section} must be a mapping", section)
+
+
+def _validate_namespace(resource: Resource) -> None:  # noqa: ARG001 - shape only
+    return
+
+
+def _validate_pvc(resource: Resource) -> None:
+    spec = resource.spec
+    access_modes = spec.get("accessModes")
+    _require(isinstance(access_modes, list) and access_modes, "PVC needs accessModes", "spec.accessModes")
+    for mode in access_modes:
+        _require(
+            mode in ("ReadWriteOnce", "ReadOnlyMany", "ReadWriteMany", "ReadWriteOncePod"),
+            f"invalid access mode {mode!r}",
+            "spec.accessModes",
+        )
+    storage = ((spec.get("resources") or {}).get("requests") or {}).get("storage")
+    _require(storage is not None and _valid_quantity(storage), "PVC needs spec.resources.requests.storage", "spec.resources.requests.storage")
+
+
+def _validate_pv(resource: Resource) -> None:
+    spec = resource.spec
+    _require(_valid_quantity((spec.get("capacity") or {}).get("storage")), "PV needs spec.capacity.storage", "spec.capacity.storage")
+    _require(bool(spec.get("accessModes")), "PV needs accessModes", "spec.accessModes")
+
+
+def _validate_limitrange(resource: Resource) -> None:
+    limits = resource.spec.get("limits")
+    _require(isinstance(limits, list) and limits, "LimitRange needs spec.limits", "spec.limits")
+    for i, limit in enumerate(limits):
+        _require(isinstance(limit, dict) and limit.get("type"), "limit entry needs a type", f"spec.limits[{i}].type")
+
+
+def _validate_resourcequota(resource: Resource) -> None:
+    hard = resource.spec.get("hard")
+    _require(isinstance(hard, dict) and hard, "ResourceQuota needs spec.hard", "spec.hard")
+
+
+def _validate_ingress(resource: Resource) -> None:
+    spec = resource.spec
+    rules = spec.get("rules")
+    if rules is None and spec.get("defaultBackend"):
+        return
+    _require(isinstance(rules, list) and rules, "Ingress needs spec.rules", "spec.rules")
+    for i, rule in enumerate(rules):
+        http = rule.get("http") if isinstance(rule, dict) else None
+        _require(isinstance(http, dict), "Ingress rule needs http section", f"spec.rules[{i}].http")
+        paths = http.get("paths")
+        _require(isinstance(paths, list) and paths, "Ingress rule needs http.paths", f"spec.rules[{i}].http.paths")
+        for j, path in enumerate(paths):
+            _require(isinstance(path, dict), "path must be a mapping", f"spec.rules[{i}].http.paths[{j}]")
+            backend = path.get("backend")
+            _require(isinstance(backend, dict), "path needs a backend", f"spec.rules[{i}].http.paths[{j}].backend")
+            # networking.k8s.io/v1 dropped serviceName/servicePort — report this
+            # first, matching the strict-decoding error a real API server gives
+            # for the legacy fields (the dataset's debugging problems rely on it).
+            _require(
+                "serviceName" not in backend and "servicePort" not in backend,
+                "networking.k8s.io/v1 Ingress must use backend.service.name/port",
+                f"spec.rules[{i}].http.paths[{j}].backend",
+            )
+            _require(
+                path.get("pathType") in ("Prefix", "Exact", "ImplementationSpecific"),
+                "Ingress path needs a valid pathType (Prefix/Exact/ImplementationSpecific)",
+                f"spec.rules[{i}].http.paths[{j}].pathType",
+            )
+            service = backend.get("service")
+            _require(isinstance(service, dict) and service.get("name"), "backend.service.name is required", f"spec.rules[{i}].http.paths[{j}].backend.service.name")
+            port = service.get("port")
+            _require(
+                isinstance(port, dict) and ("number" in port or "name" in port),
+                "backend.service.port.number or .name is required",
+                f"spec.rules[{i}].http.paths[{j}].backend.service.port",
+            )
+
+
+def _validate_networkpolicy(resource: Resource) -> None:
+    _require(isinstance(resource.spec.get("podSelector"), dict), "NetworkPolicy needs spec.podSelector", "spec.podSelector")
+
+
+def _validate_hpa(resource: Resource) -> None:
+    spec = resource.spec
+    target = spec.get("scaleTargetRef")
+    _require(isinstance(target, dict) and target.get("kind") and target.get("name"), "HPA needs spec.scaleTargetRef", "spec.scaleTargetRef")
+    max_replicas = spec.get("maxReplicas")
+    _require(isinstance(max_replicas, int) and max_replicas >= 1, "HPA needs spec.maxReplicas >= 1", "spec.maxReplicas")
+    min_replicas = spec.get("minReplicas", 1)
+    _require(isinstance(min_replicas, int) and 1 <= min_replicas <= max_replicas, "spec.minReplicas must be in [1, maxReplicas]", "spec.minReplicas")
+
+
+_RBAC_VERBS = {"get", "list", "watch", "create", "update", "patch", "delete", "deletecollection", "*", "bind", "escalate", "impersonate", "use"}
+
+
+def _validate_role_like(resource: Resource) -> None:
+    rules = resource.manifest.get("rules")
+    _require(isinstance(rules, list) and rules, f"{resource.kind} needs rules", "rules")
+    for i, rule in enumerate(rules):
+        _require(isinstance(rule, dict), "rule must be a mapping", f"rules[{i}]")
+        verbs = rule.get("verbs")
+        _require(isinstance(verbs, list) and verbs, "rule needs verbs", f"rules[{i}].verbs")
+        for verb in verbs:
+            _require(str(verb) in _RBAC_VERBS, f"unknown RBAC verb {verb!r}", f"rules[{i}].verbs")
+
+
+def _validate_binding_like(resource: Resource) -> None:
+    role_ref = resource.manifest.get("roleRef")
+    _require(isinstance(role_ref, dict), f"{resource.kind} needs roleRef", "roleRef")
+    _require(role_ref.get("kind") in ("Role", "ClusterRole"), "roleRef.kind must be Role or ClusterRole", "roleRef.kind")
+    _require(bool(role_ref.get("name")), "roleRef.name is required", "roleRef.name")
+    _require(
+        role_ref.get("apiGroup") == "rbac.authorization.k8s.io",
+        "roleRef.apiGroup must be rbac.authorization.k8s.io",
+        "roleRef.apiGroup",
+    )
+    subjects = resource.manifest.get("subjects")
+    _require(isinstance(subjects, list) and subjects, f"{resource.kind} needs subjects", "subjects")
+    for i, subject in enumerate(subjects):
+        _require(isinstance(subject, dict), "subject must be a mapping", f"subjects[{i}]")
+        _require(subject.get("kind") in ("User", "Group", "ServiceAccount"), "subject.kind must be User, Group or ServiceAccount", f"subjects[{i}].kind")
+        _require(bool(subject.get("name")), "subject.name is required", f"subjects[{i}].name")
+        if subject.get("kind") in ("User", "Group"):
+            _require(
+                subject.get("apiGroup") == "rbac.authorization.k8s.io",
+                "User/Group subjects need apiGroup rbac.authorization.k8s.io",
+                f"subjects[{i}].apiGroup",
+            )
+
+
+def _validate_serviceaccount(resource: Resource) -> None:  # noqa: ARG001
+    return
+
+
+def _validate_storageclass(resource: Resource) -> None:
+    _require(bool(resource.manifest.get("provisioner")), "StorageClass needs a provisioner", "provisioner")
+
+
+def _validate_priorityclass(resource: Resource) -> None:
+    _require(isinstance(resource.manifest.get("value"), int), "PriorityClass needs an integer value", "value")
+
+
+def _validate_endpoints(resource: Resource) -> None:  # noqa: ARG001
+    return
+
+
+def _validate_node(resource: Resource) -> None:  # noqa: ARG001
+    return
+
+
+_VALIDATORS: dict[str, Callable[[Resource], None]] = {
+    "Pod": _validate_pod,
+    "Deployment": _validate_deployment,
+    "DaemonSet": _validate_daemonset,
+    "StatefulSet": _validate_statefulset,
+    "ReplicaSet": _validate_replicaset,
+    "Job": _validate_job,
+    "CronJob": _validate_cronjob,
+    "Service": _validate_service,
+    "Endpoints": _validate_endpoints,
+    "ConfigMap": _validate_configmap,
+    "Secret": _validate_secret,
+    "Namespace": _validate_namespace,
+    "Node": _validate_node,
+    "ServiceAccount": _validate_serviceaccount,
+    "PersistentVolume": _validate_pv,
+    "PersistentVolumeClaim": _validate_pvc,
+    "LimitRange": _validate_limitrange,
+    "ResourceQuota": _validate_resourcequota,
+    "Ingress": _validate_ingress,
+    "NetworkPolicy": _validate_networkpolicy,
+    "HorizontalPodAutoscaler": _validate_hpa,
+    "Role": _validate_role_like,
+    "ClusterRole": _validate_role_like,
+    "RoleBinding": _validate_binding_like,
+    "ClusterRoleBinding": _validate_binding_like,
+    "StorageClass": _validate_storageclass,
+    "PriorityClass": _validate_priorityclass,
+}
+
+
+def validate_resource(resource: Resource) -> None:
+    """Validate a resource, raising :class:`ValidationError` on the first problem.
+
+    Istio CRDs are validated by :mod:`repro.istiosim` and registered into
+    this table at import time via :func:`register_validator`.
+    """
+
+    _validate_api_version(resource)
+    _validate_metadata(resource)
+    validator = _VALIDATORS.get(resource.kind)
+    if validator is not None:
+        validator(resource)
+
+
+def register_validator(kind: str, validator: Callable[[Resource], None]) -> None:
+    """Register (or override) the validator for a kind (used by istiosim)."""
+
+    _VALIDATORS[kind] = validator

@@ -1,0 +1,29 @@
+"""LLM layer: prompting, the query module, and simulated model profiles.
+
+The paper evaluates 12 local/remote LLMs through a universal query module.
+Offline, model endpoints are replaced by :class:`~repro.llm.simulated.SimulatedModel`
+instances whose answer quality is calibrated per model from the paper's
+published results (Table 4, Table 5, Table 6, Table 9, Figure 7, Figure 8).
+Every other part of the pipeline — prompt construction, post-processing,
+scoring, failure analysis — operates on the generated text exactly as it
+would on responses from a real endpoint.
+"""
+
+from repro.llm.interface import GenerationRequest, Model, QueryModule
+from repro.llm.prompt import PROMPT_TEMPLATE, build_prompt, few_shot_examples
+from repro.llm.registry import available_models, calibrate_models, get_model
+from repro.llm.simulated import ModelProfile, SimulatedModel
+
+__all__ = [
+    "GenerationRequest",
+    "Model",
+    "ModelProfile",
+    "PROMPT_TEMPLATE",
+    "QueryModule",
+    "SimulatedModel",
+    "available_models",
+    "build_prompt",
+    "calibrate_models",
+    "few_shot_examples",
+    "get_model",
+]

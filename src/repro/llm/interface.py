@@ -1,0 +1,107 @@
+"""The universal query module (§3.1).
+
+The paper's query module hides the differences between local and remote
+model APIs behind a single interface and parallelises requests (with ray
+for remote endpoints, batched inference for local ones).  The offline
+equivalent keeps the same shape: a :class:`Model` protocol, a
+:class:`GenerationRequest` unit of work, and a :class:`QueryModule` that
+fans requests out over a thread pool and returns responses in order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.dataset.problem import Problem
+from repro.llm.prompt import build_prompt
+
+__all__ = ["Model", "GenerationRequest", "GenerationResult", "QueryModule"]
+
+
+@runtime_checkable
+class Model(Protocol):
+    """Anything that can answer a benchmark problem.
+
+    The simulated models implement this; a thin wrapper around a real HTTP
+    endpoint could too, which is how the benchmark would be pointed at live
+    models outside this offline environment.
+    """
+
+    @property
+    def name(self) -> str:  # pragma: no cover - protocol definition
+        ...
+
+    def generate(self, problem: Problem, shots: int = 0, sample_index: int = 0) -> str:  # pragma: no cover
+        ...
+
+
+@dataclass(frozen=True)
+class GenerationRequest:
+    """One unit of generation work."""
+
+    problem: Problem
+    shots: int = 0
+    sample_index: int = 0
+
+    def prompt(self) -> str:
+        """The full prompt text that would be sent to a real endpoint."""
+
+        return build_prompt(self.problem, shots=self.shots)
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """A raw response paired with its originating request."""
+
+    request: GenerationRequest
+    response: str
+    model_name: str
+
+
+class QueryModule:
+    """Dispatch generation requests to a model, optionally in parallel.
+
+    ``max_workers=1`` (the default) runs sequentially, which is the most
+    reproducible and is plenty fast for simulated models.  Higher values
+    mirror the paper's ray-based parallel querying of rate-limited remote
+    APIs; results are always returned in request order regardless.
+    """
+
+    def __init__(self, model: Model, max_workers: int = 1) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.model = model
+        self.max_workers = max_workers
+
+    def query(self, request: GenerationRequest) -> GenerationResult:
+        """Run a single request."""
+
+        response = self.model.generate(
+            request.problem, shots=request.shots, sample_index=request.sample_index
+        )
+        return GenerationResult(request=request, response=response, model_name=self.model.name)
+
+    def query_batch(self, requests: Sequence[GenerationRequest]) -> list[GenerationResult]:
+        """Run a batch of requests, preserving order."""
+
+        if self.max_workers == 1 or len(requests) <= 1:
+            return [self.query(request) for request in requests]
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(self.query, requests))
+
+    def query_problems(
+        self,
+        problems: Iterable[Problem],
+        shots: int = 0,
+        samples: int = 1,
+    ) -> list[GenerationResult]:
+        """Generate ``samples`` responses for every problem."""
+
+        requests = [
+            GenerationRequest(problem=problem, shots=shots, sample_index=sample)
+            for problem in problems
+            for sample in range(samples)
+        ]
+        return self.query_batch(requests)

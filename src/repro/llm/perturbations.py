@@ -1,0 +1,586 @@
+"""Answer perturbation operators used by the simulated models.
+
+A simulated model starts from the labeled reference YAML of the problem and
+derives an answer of a chosen quality class:
+
+* :func:`correct_answer` — a functionally correct answer: labels stripped,
+  wildcard-labeled values optionally renamed and set-labeled values
+  substituted (still passes the unit test and the key-value wildcard match
+  but not necessarily the exact matches),
+* :func:`near_miss_answer` — valid YAML of the right kind with one or more
+  *critical* values (values the unit test asserts on) altered, so the unit
+  test fails (failure category 5),
+* :func:`wrong_kind_answer` — valid YAML with an incorrect ``kind``
+  (category 4),
+* :func:`incomplete_answer` — a truncated, non-parsable fragment that still
+  contains the ``kind`` field (category 3),
+* :func:`prose_answer` — a natural-language reply without YAML (category 2),
+* :func:`empty_answer` — an empty or sub-3-line reply (category 1),
+* :func:`wrap_response` — formatting noise (fences, "Here is..." prose,
+  ``<code>`` tags) exercising the post-processing policies.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.dataset.problem import Problem
+from repro.testexec import steps as S
+from repro.utils.rng import DeterministicRNG
+from repro.yamlkit.labels import strip_labels
+
+__all__ = [
+    "correct_answer",
+    "near_miss_answer",
+    "wrong_kind_answer",
+    "incomplete_answer",
+    "prose_answer",
+    "empty_answer",
+    "generic_answer",
+    "wrap_response",
+    "critical_values",
+    "restyle",
+]
+
+_WILDCARD_RE = re.compile(r"^(\s*(?:- )?[\w.\"@/-]+:\s*)(.+?)\s*#\s*\*\s*$")
+_SET_RE = re.compile(r"^(\s*(?:- )?[\w.\"@/-]+:\s*)(.+?)\s*#\s*v\s+in\s+(\[.*\])\s*$")
+_SCALAR_LINE_RE = re.compile(r"^(\s*(?:- )?[\w.\"@/-]+:\s+)([^\s#][^#]*?)\s*$")
+
+_ALT_KINDS = ["ConfigMap", "Pod", "Deployment", "Service", "ReplicationController", "DaemonSet", "Job"]
+
+
+def critical_values(problem: Problem) -> list[str]:
+    """Values the unit-test program asserts on, as strings.
+
+    Mutating an occurrence of one of these in the reference answer is
+    guaranteed (modulo duplicates) to make the functional test fail, which
+    is how :func:`near_miss_answer` realises failure category 5.
+    """
+
+    values: list[str] = []
+    for step in problem.unit_test.steps:
+        if isinstance(step, S.AssertJsonPath):
+            if step.expected is not None:
+                values.append(str(step.expected))
+            if step.contains is not None:
+                values.append(str(step.contains))
+            values.extend(str(v) for v in step.one_of)
+        elif isinstance(step, S.AssertDescribeContains):
+            values.extend(str(step.substring).split(":"))
+        elif isinstance(step, S.AssertServiceReachable):
+            values.append(str(step.name))
+        elif isinstance(step, S.AssertHostPortReachable):
+            values.append(str(step.host_port))
+        elif isinstance(step, S.AssertEnvoyListenerPort):
+            values.append(str(step.port))
+        elif isinstance(step, S.AssertEnvoyRoute):
+            values.append(str(step.cluster))
+        elif isinstance(step, S.AssertEnvoyClusterLb):
+            values.append(str(step.policy))
+        elif isinstance(step, S.AssertEnvoyClusterEndpoints):
+            values.append(str(step.port))
+        elif isinstance(step, S.AssertIstioLbPolicy):
+            values.append(str(step.policy))
+        elif isinstance(step, S.AssertIstioSubsetLabels):
+            values.extend(str(v) for v in step.labels.values())
+        elif isinstance(step, S.AssertIstioDestination):
+            values.append(str(step.host))
+        elif isinstance(step, S.AssertGatewayServer):
+            values.append(str(step.port))
+        elif isinstance(step, S.AssertExists):
+            values.append(str(step.name))
+        elif isinstance(step, S.WaitFor) and step.name:
+            values.append(str(step.name))
+    # Deduplicate preserving order; drop trivially short values that would
+    # match everywhere (e.g. "80" still kept — ports are meaningful).
+    seen: set[str] = set()
+    unique = []
+    for value in values:
+        if value and value not in seen:
+            seen.add(value)
+            unique.append(value)
+    return unique
+
+
+def _perturb_critical(value: str, rng: DeterministicRNG) -> str:
+    """Replace a unit-test-critical value with one that cannot still satisfy it.
+
+    Unlike :func:`_perturb_scalar` the replacement never *contains* the
+    original value, so substring-based assertions (``contains`` checks in
+    the unit tests) fail as intended.
+    """
+
+    value = value.strip().strip('"')
+    if value.isdigit():
+        return str(int(value) + 1)
+    match = re.match(r"^(\d+)(m|Mi|Gi|Ki)$", value)
+    if match:
+        number, unit = match.groups()
+        return f"{int(number) * 2 + 1}{unit}"
+    if ":" in value and "/" not in value.split(":")[0]:
+        repo, _, _ = value.partition(":")
+        replacement_repo = "httpd" if repo != "httpd" else "nginx"
+        return f"{replacement_repo}:latest"
+    upper_choices = ["RANDOM", "ROUND_ROBIN", "PASSTHROUGH"]
+    if value.isupper() and value not in upper_choices:
+        return rng.choice(upper_choices)
+    # Generic string: an unrelated token of similar length.
+    return f"wrong-{rng.randint(10, 99)}"
+
+
+def _perturb_scalar(value: str, rng: DeterministicRNG) -> str:
+    """Produce a plausible but different value for a scalar."""
+
+    value = value.strip().strip('"')
+    if value.isdigit():
+        number = int(value)
+        delta = rng.choice([1, 2, 10, 100, 1000])
+        return str(max(1, number + delta if rng.bernoulli(0.5) else max(1, number - delta)))
+    if re.match(r"^\d+(m|Mi|Gi|Ki)$", value):
+        number = int(re.match(r"^\d+", value).group(0))  # type: ignore[union-attr]
+        unit = value[len(str(number)) :]
+        return f"{max(1, number * 2)}{unit}"
+    if ":" in value and "/" not in value.split(":")[0]:
+        # image reference: change the tag
+        repo, _, _ = value.partition(":")
+        return f"{repo}:{rng.choice(['1.0', 'stable', 'v2', 'alpine'])}"
+    suffix = rng.choice(["-new", "-v2", "-main", "-prod", "-x"])
+    return f"{value}{suffix}"
+
+
+# ---------------------------------------------------------------------------
+# Restyling: how far a model's formatting drifts from the reference
+# ---------------------------------------------------------------------------
+
+# Harmless extra fields a model may add without changing behaviour.  The
+# injection sites are recognised structurally (a dict with an ``image`` key
+# is a container, a dict with a ``name`` key directly under ``metadata`` is
+# object metadata, ...).
+_EXTRA_CONTAINER_FIELDS = [("imagePullPolicy", "IfNotPresent"), ("imagePullPolicy", "Always")]
+_EXTRA_METADATA_ANNOTATIONS = [
+    {"app.kubernetes.io/managed-by": "manual"},
+    {"description": "generated configuration"},
+]
+# Optional keys a sloppy (already failing) answer may simply omit.
+_DROPPABLE_KEYS = {"resources", "annotations", "nodeSelector", "strategy", "connect_timeout"}
+
+
+def _shuffle_mapping_keys(value, rng: DeterministicRNG, probability: float, depth: int = 0):
+    """Recursively reorder mapping keys (list order is preserved).
+
+    Top-level keys are left in place: real model answers virtually always
+    start with ``apiVersion``/``kind`` (or ``static_resources``), and the
+    post-processing policies rely on that line marking the document start.
+    """
+
+    if isinstance(value, dict):
+        keys = list(value.keys())
+        if depth > 0 and len(keys) > 1 and rng.bernoulli(probability):
+            keys = rng.shuffle(keys)
+        return {key: _shuffle_mapping_keys(value[key], rng, probability, depth + 1) for key in keys}
+    if isinstance(value, list):
+        return [_shuffle_mapping_keys(item, rng, probability, depth + 1) for item in value]
+    return value
+
+
+def _inject_extra_fields(value, rng: DeterministicRNG, probability: float, parent_key: str = "") -> bool:
+    """Add harmless extra fields in place; returns True when anything was added."""
+
+    added = False
+    if isinstance(value, dict):
+        if "image" in value and "name" in value and rng.bernoulli(probability):
+            key, extra = rng.choice(_EXTRA_CONTAINER_FIELDS)
+            value.setdefault(key, extra)
+            added = True
+        if parent_key == "metadata" or ("name" in value and "labels" in value and parent_key == ""):
+            if rng.bernoulli(probability * 0.6) and "annotations" not in value:
+                value["annotations"] = dict(rng.choice(_EXTRA_METADATA_ANNOTATIONS))
+                added = True
+        for key, child in list(value.items()):
+            added = _inject_extra_fields(child, rng, probability, parent_key=str(key)) or added
+    elif isinstance(value, list):
+        for item in value:
+            added = _inject_extra_fields(item, rng, probability, parent_key=parent_key) or added
+    return added
+
+
+def _drop_optional_keys(value, rng: DeterministicRNG, probability: float) -> None:
+    """Remove droppable optional keys in place (used for failing answers only)."""
+
+    if isinstance(value, dict):
+        for key in list(value.keys()):
+            if key in _DROPPABLE_KEYS and rng.bernoulli(probability):
+                del value[key]
+                continue
+            _drop_optional_keys(value[key], rng, probability)
+    elif isinstance(value, list):
+        for item in value:
+            _drop_optional_keys(item, rng, probability)
+
+
+def restyle(
+    yaml_text: str,
+    rng: DeterministicRNG,
+    strength: float,
+    allow_drops: bool = False,
+    force_structural_change: bool = False,
+) -> str:
+    """Re-render YAML the way a different author would write it.
+
+    ``strength`` in [0, 1] controls how much the output drifts from the
+    input: key reordering, re-quoting via a round-trip dump, harmless extra
+    fields, and (``allow_drops``) omission of optional keys.  Values are
+    never changed, so a functionally correct input stays correct.  With
+    ``force_structural_change`` at least one extra field is injected, which
+    guarantees the result is no longer an exact key-value match.
+    """
+
+    import yaml as _yaml
+
+    try:
+        documents = [d for d in _yaml.safe_load_all(yaml_text) if d is not None]
+    except _yaml.YAMLError:
+        return yaml_text
+    if not documents or not all(isinstance(d, dict) for d in documents):
+        return yaml_text
+
+    rendered: list[str] = []
+    for document in documents:
+        added = _inject_extra_fields(document, rng, probability=min(0.9, 0.35 + strength * 0.5))
+        if force_structural_change and not added:
+            metadata = document.get("metadata")
+            if isinstance(metadata, dict):
+                metadata.setdefault("annotations", dict(rng.choice(_EXTRA_METADATA_ANNOTATIONS)))
+            else:
+                document.setdefault("metadata", {"annotations": dict(rng.choice(_EXTRA_METADATA_ANNOTATIONS))})
+        if allow_drops:
+            _drop_optional_keys(document, rng, probability=min(0.8, strength * 0.6))
+        document = _shuffle_mapping_keys(document, rng, probability=min(0.85, strength))
+        rendered.append(_yaml.safe_dump(document, sort_keys=False, default_flow_style=False))
+    return "---\n".join(rendered)
+
+
+# ---------------------------------------------------------------------------
+# Correct answers
+# ---------------------------------------------------------------------------
+
+def correct_answer(
+    problem: Problem,
+    rng: DeterministicRNG,
+    exact_text: bool = False,
+    exact_keys: bool = False,
+    style_divergence: float = 0.3,
+) -> str:
+    """Produce a functionally correct answer.
+
+    ``exact_text`` reproduces the reference byte-for-byte (labels stripped).
+    ``exact_keys`` keeps every value identical but re-renders the YAML
+    (different formatting, same dictionaries).  Otherwise wildcard-labeled
+    values are renamed and set-labeled values swapped for another allowed
+    option, which is still functionally correct but no longer an exact
+    key-value match.
+    """
+
+    plain = problem.reference_plain()
+    if exact_text:
+        return plain
+    if exact_keys:
+        # Same dictionaries, different rendering: a sorted-key round-trip
+        # changes field order and quoting but not a single value.
+        import yaml as _yaml
+
+        documents = [d for d in _yaml.safe_load_all(plain) if d is not None]
+        return "---\n".join(_yaml.safe_dump(d, sort_keys=True, default_flow_style=False) for d in documents)
+
+    lines = problem.reference_yaml.splitlines()
+    out: list[str] = []
+    renamed_wildcard = False
+    for line in lines:
+        set_match = _SET_RE.match(line)
+        if set_match:
+            prefix, _, options_text = set_match.groups()
+            try:
+                import ast
+
+                options = [str(o) for o in ast.literal_eval(options_text)]
+            except (ValueError, SyntaxError):
+                options = []
+            if options and rng.bernoulli(0.5):
+                out.append(f"{prefix}{rng.choice(options)}")
+                renamed_wildcard = True
+            else:
+                out.append(_SET_RE.sub(r"\1\2", line).rstrip())
+            continue
+        wildcard_match = _WILDCARD_RE.match(line)
+        if wildcard_match and rng.bernoulli(0.6):
+            prefix, value = wildcard_match.groups()
+            out.append(f"{prefix}{_perturb_scalar(value, rng)}")
+            renamed_wildcard = True
+            continue
+        out.append(_strip_label(line))
+    varied = "\n".join(out).rstrip() + "\n"
+    # Correct-but-not-exact answers always differ structurally from the
+    # reference (extra harmless fields or renamed wildcard values), matching
+    # the paper's observation that key-value exact matches are rare even for
+    # functionally correct answers.
+    return restyle(
+        varied,
+        rng,
+        strength=style_divergence,
+        allow_drops=False,
+        force_structural_change=not renamed_wildcard,
+    )
+
+
+def _strip_label(line: str) -> str:
+    line = re.sub(r"#\s*\*\s*$", "", line)
+    line = re.sub(r"#\s*v\s+in\s+\[.*\]\s*$", "", line)
+    return line.rstrip()
+
+
+# ---------------------------------------------------------------------------
+# Failure classes
+# ---------------------------------------------------------------------------
+
+def near_miss_answer(
+    problem: Problem,
+    rng: DeterministicRNG,
+    intensity: int = 1,
+    style_divergence: float = 0.4,
+) -> str:
+    """Valid YAML of the right kind with critical values altered (category 5)."""
+
+    text = strip_labels(problem.reference_yaml)
+    targets = critical_values(problem)
+    if targets:
+        chosen = rng.sample(targets, min(len(targets), max(1, intensity)))
+        for target in chosen:
+            replacement = _perturb_critical(target, rng)
+            # Replace whole-token occurrences only; fall back to plain
+            # replacement when the value contains regex specials.
+            pattern = re.compile(rf"(?<![\w.-]){re.escape(target)}(?![\w.-])")
+            text, count = pattern.subn(replacement, text)
+            if count == 0:
+                text = text.replace(target, replacement)
+    # Additional cosmetic damage for weaker models: mutate extra scalars.
+    if intensity > 1:
+        lines = text.splitlines()
+        scalar_indices = [i for i, line in enumerate(lines) if _SCALAR_LINE_RE.match(line)]
+        for index in rng.sample(scalar_indices, min(len(scalar_indices), intensity - 1)):
+            match = _SCALAR_LINE_RE.match(lines[index])
+            if match:
+                prefix, value = match.groups()
+                lines[index] = f"{prefix}{_perturb_scalar(value, rng)}"
+        text = "\n".join(lines)
+    # Failing answers drift further from the reference formatting: they are
+    # written "from memory", so field order, quoting and optional fields all
+    # differ, which is what keeps their BLEU well below the correct answers'.
+    text = restyle(text, rng, strength=min(1.0, style_divergence + 0.2), allow_drops=True)
+    return text.rstrip() + "\n"
+
+
+_GENERIC_TEMPLATES: dict[str, str] = {
+    "Pod": """apiVersion: v1
+kind: Pod
+metadata:
+  name: {name}
+  labels:
+    app: {name}
+spec:
+  containers:
+  - name: {name}
+    image: {image}
+    ports:
+    - containerPort: 80
+""",
+    "Deployment": """apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {name}
+spec:
+  replicas: 1
+  selector:
+    matchLabels:
+      app: {name}
+  template:
+    metadata:
+      labels:
+        app: {name}
+    spec:
+      containers:
+      - name: {name}
+        image: {image}
+""",
+    "DaemonSet": """apiVersion: apps/v1
+kind: DaemonSet
+metadata:
+  name: {name}
+spec:
+  selector:
+    matchLabels:
+      app: {name}
+  template:
+    metadata:
+      labels:
+        app: {name}
+    spec:
+      containers:
+      - name: {name}
+        image: {image}
+""",
+    "Service": """apiVersion: v1
+kind: Service
+metadata:
+  name: {name}
+spec:
+  selector:
+    app: {name}
+  ports:
+  - port: 80
+    targetPort: 8080
+""",
+    "Job": """apiVersion: batch/v1
+kind: Job
+metadata:
+  name: {name}
+spec:
+  template:
+    spec:
+      restartPolicy: Never
+      containers:
+      - name: {name}
+        image: busybox
+        command: ["echo", "done"]
+""",
+    "ConfigMap": """apiVersion: v1
+kind: ConfigMap
+metadata:
+  name: {name}
+data:
+  key: value
+""",
+    "EnvoyConfig": """static_resources:
+  listeners:
+  - name: listener_0
+    address:
+      socket_address:
+        address: 0.0.0.0
+        port_value: 80
+    filter_chains:
+    - filters:
+      - name: envoy.filters.network.http_connection_manager
+  clusters:
+  - name: service_default
+    connect_timeout: 1s
+    type: STRICT_DNS
+""",
+}
+
+
+def generic_answer(problem: Problem, rng: DeterministicRNG) -> str:
+    """A plausible but question-agnostic manifest of (roughly) the right kind.
+
+    Weak models frequently produce a memorised boiler-plate configuration
+    that ignores the specifics of the question: correct ``kind``, wrong
+    everything else.  Those answers are valid YAML, fail the unit test, and
+    share little text with the reference, which is what drives the very low
+    BLEU / edit-distance scores of the smallest models in Table 4.
+    """
+
+    kind = str(problem.metadata.get("primary_kind", "Pod"))
+    template = _GENERIC_TEMPLATES.get(kind)
+    if template is None:
+        # Fall back to reusing the expected kind on a generic Deployment-like body.
+        template = _GENERIC_TEMPLATES["Pod"].replace("kind: Pod", f"kind: {kind}")
+    name = rng.choice(["my-app", "example", "demo-app", "test-app", "sample"])
+    image = rng.choice(["nginx", "nginx:latest", "busybox", "ubuntu"])
+    return template.format(name=name, image=image)
+
+
+def wrong_kind_answer(problem: Problem, rng: DeterministicRNG) -> str:
+    """Valid YAML whose ``kind`` does not match the expected one (category 4)."""
+
+    text = strip_labels(problem.reference_yaml)
+    match = re.search(r"^kind:\s*(\S+)\s*$", text, flags=re.MULTILINE)
+    if not match:
+        # Envoy configurations have no kind; emit a Kubernetes-shaped answer
+        # instead, which is just as wrong.
+        return (
+            "apiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: envoy-config\n"
+            "data:\n  envoy.yaml: |\n    # configuration omitted\n"
+        )
+    current = match.group(1)
+    alternatives = [k for k in _ALT_KINDS if k != current]
+    return text.replace(f"kind: {current}", f"kind: {rng.choice(alternatives)}", 1)
+
+
+def incomplete_answer(problem: Problem, rng: DeterministicRNG, base_text: str | None = None) -> str:
+    """A truncated fragment: contains ``kind`` but is not a complete document.
+
+    ``base_text`` overrides the starting YAML; weak models often truncate a
+    memorised generic manifest rather than something resembling the
+    reference.
+    """
+
+    text = strip_labels(problem.reference_yaml) if base_text is None else base_text
+    lines = [line for line in text.splitlines() if line.strip()]
+    keep = max(4, int(len(lines) * rng.uniform(0.3, 0.6)))
+    fragment = lines[:keep]
+    # Break the indentation of the final line so the fragment does not parse.
+    fragment.append("   - broken: [unclosed")
+    return "\n".join(fragment) + "\n"
+
+
+def prose_answer(problem: Problem, rng: DeterministicRNG) -> str:
+    """A natural-language reply with no YAML payload (category 2)."""
+
+    kind = problem.metadata.get("primary_kind", "configuration")
+    openers = [
+        f"To accomplish this you would typically create a {kind} and configure it according to your needs.",
+        f"As an AI language model, I recommend consulting the official documentation for {kind} objects.",
+        f"The requested {kind} requires several fields; make sure to set the metadata and spec sections appropriately.",
+        "I'm sorry, but I need more details about your cluster before I can produce a configuration.",
+    ]
+    sentences = [rng.choice(openers)]
+    if rng.bernoulli(0.6):
+        sentences.append(
+            "You should also verify the namespace exists and that RBAC permissions allow the operation."
+        )
+    return " ".join(sentences) + "\n"
+
+
+def empty_answer(problem: Problem, rng: DeterministicRNG) -> str:
+    """An empty or sub-3-line answer (category 1)."""
+
+    del problem
+    choices = ["", "\n", "```\n```\n", "yaml\n", "apiVersion: v1\n"]
+    return rng.choice(choices)
+
+
+# ---------------------------------------------------------------------------
+# Formatting noise
+# ---------------------------------------------------------------------------
+
+def wrap_response(yaml_text: str, rng: DeterministicRNG, chattiness: float) -> str:
+    """Optionally wrap a YAML payload in prose / fences / code tags.
+
+    ``chattiness`` is the probability that the model ignores the "no
+    markdown" instruction and decorates its answer.
+    """
+
+    if not yaml_text.strip() or not rng.bernoulli(chattiness):
+        return yaml_text
+    style = rng.choice(["fence", "here", "code_tag", "fence_prose", "solution"])
+    if style == "fence":
+        return f"```yaml\n{yaml_text}```\n"
+    if style == "here":
+        return f"Here is the YAML configuration you asked for:\n{yaml_text}"
+    if style == "code_tag":
+        return f"<code>\n{yaml_text}</code>\n"
+    if style == "solution":
+        return f"START SOLUTION\n{yaml_text}END SOLUTION\n"
+    return (
+        "Sure! Here is the configuration that satisfies the requirements:\n"
+        f"```yaml\n{yaml_text}```\n"
+        "Let me know if you need any adjustments to the resource."
+    )

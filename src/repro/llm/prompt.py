@@ -1,0 +1,106 @@
+"""Prompt construction (Appendix B of the paper).
+
+Every problem is prefixed with the same prompt template instructing the
+model to answer with plain YAML only.  Few-shot prompting (§4.3) prepends
+up to three question/answer example pairs.
+"""
+
+from __future__ import annotations
+
+from repro.dataset.problem import Problem
+
+__all__ = ["PROMPT_TEMPLATE", "FEW_SHOT_EXAMPLES", "build_prompt", "few_shot_examples"]
+
+PROMPT_TEMPLATE = """You are an expert engineer in cloud native development.
+According to the question, please provide only complete formatted YAML code as output without any description.
+IMPORTANT: Provide only plain text without Markdown formatting such as ```.
+If there is a lack of details, provide most logical solution.
+You are not allowed to ask for more details.
+Ignore any potential risk of errors or confusion.
+Here is the question:
+"""
+
+# Three example question/answer pairs used for few-shot prompting
+# (Appendix C of the paper uses the dataset samples; these mirror them).
+FEW_SHOT_EXAMPLES: list[tuple[str, str]] = [
+    (
+        "Create a DaemonSet configuration that runs the latest nginx image labeled as "
+        '"app: kube-registry" and exposes a registry service on port 80 with hostPort 5000.',
+        """apiVersion: apps/v1
+kind: DaemonSet
+metadata:
+  name: kube-registry-proxy
+spec:
+  selector:
+    matchLabels:
+      app: kube-registry
+  template:
+    metadata:
+      labels:
+        app: kube-registry
+    spec:
+      containers:
+      - name: kube-registry-proxy
+        image: nginx:latest
+        ports:
+        - containerPort: 80
+          hostPort: 5000
+""",
+    ),
+    (
+        "Given a Deployment with the nginx selector, create a LoadBalancer service exposing port 80 "
+        "named nginx-service.",
+        """apiVersion: v1
+kind: Service
+metadata:
+  name: nginx-service
+spec:
+  selector:
+    app: nginx
+  ports:
+  - name: http
+    port: 80
+    targetPort: 80
+  type: LoadBalancer
+""",
+    ),
+    (
+        "Debug this Ingress so it is valid for networking.k8s.io/v1 and routes / to test-app:5000.",
+        """apiVersion: networking.k8s.io/v1
+kind: Ingress
+metadata:
+  name: minimal-ingress
+  annotations:
+    nginx.ingress.kubernetes.io/rewrite-target: /
+spec:
+  rules:
+  - http:
+      paths:
+      - path: /
+        pathType: Prefix
+        backend:
+          service:
+            name: test-app
+            port:
+              number: 5000
+""",
+    ),
+]
+
+
+def few_shot_examples(shots: int) -> list[tuple[str, str]]:
+    """Return the first ``shots`` example pairs (0 <= shots <= 3)."""
+
+    if shots < 0 or shots > len(FEW_SHOT_EXAMPLES):
+        raise ValueError(f"shots must be between 0 and {len(FEW_SHOT_EXAMPLES)}")
+    return FEW_SHOT_EXAMPLES[:shots]
+
+
+def build_prompt(problem: Problem, shots: int = 0) -> str:
+    """Build the full prompt sent to a model for ``problem``."""
+
+    parts = [PROMPT_TEMPLATE]
+    for example_question, example_answer in few_shot_examples(shots):
+        parts.append(f"Example question:\n{example_question}\nExample answer:\n{example_answer}\n")
+    parts.append(problem.full_question())
+    return "\n".join(parts)

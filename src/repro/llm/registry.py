@@ -1,0 +1,292 @@
+"""The 12 evaluated models and their calibration profiles.
+
+Every profile is derived from the paper's published measurements:
+Table 4 (overall metric scores), Table 5 (augmented-variant pass counts),
+Table 6 (few-shot pass counts), Table 9 (per-category and per-length unit
+test scores) and Figure 7 (failure-mode distribution).  The simulated
+models therefore reproduce the relative behaviour of the original models —
+ranking, category difficulty, robustness to simplification/translation,
+failure-mode mix — while every downstream number is still *measured* by
+running the real scoring pipeline on generated text.
+"""
+
+from __future__ import annotations
+
+from repro.dataset.problem import ProblemSet
+from repro.dataset.schema import Variant
+from repro.llm.simulated import ModelProfile, SimulatedModel
+
+__all__ = [
+    "MODEL_PROFILES",
+    "MODEL_NAMES",
+    "available_models",
+    "get_model",
+    "get_profile",
+    "calibrate_models",
+    "ENGLISH_ONLY_MODELS",
+]
+
+# Models whose API supported English only at the time of the paper's
+# submission; translated questions are excluded from their averages.
+ENGLISH_ONLY_MODELS = {"palm-2-bison"}
+
+
+def _profile(
+    name: str,
+    size: str,
+    open_source: bool,
+    unit_test: float,
+    kubernetes: float,
+    envoy: float,
+    istio: float,
+    short: float,
+    medium: float,
+    long: float,
+    original: float,
+    simplified: float,
+    translated: float | None,
+    exact_match: float,
+    kv_exact: float,
+    failure_mix: tuple[float, float, float, float, float],
+    multi_sample_gain: float = 0.30,
+    few_shot: dict[int, float] | None = None,
+    chattiness: float = 0.35,
+    mutation_intensity: int = 1,
+    style_divergence: float = 0.45,
+) -> ModelProfile:
+    """Build a profile, translating paper metrics into simulation parameters."""
+
+    correct_rate = max(unit_test, 1e-3)
+    return ModelProfile(
+        name=name,
+        size=size,
+        open_source=open_source,
+        unit_test_score=unit_test,
+        category_scores={"kubernetes": kubernetes, "envoy": envoy, "istio": istio},
+        length_scores={"short": short, "medium": medium, "long": long},
+        variant_passes={
+            "original": original,
+            "simplified": simplified,
+            "translated": original if translated is None else translated,
+        },
+        failure_mix=failure_mix,
+        # Exact-match scores in Table 4 are averages over all problems; the
+        # fraction of *correct* answers that are also exact is the ratio.
+        exact_text_rate=min(0.9, exact_match / correct_rate),
+        exact_kv_rate=min(0.95, kv_exact / correct_rate),
+        multi_sample_gain=multi_sample_gain,
+        few_shot_passes=dict(few_shot or {}),
+        chattiness=chattiness,
+        mutation_intensity=mutation_intensity,
+        style_divergence=style_divergence,
+    )
+
+
+MODEL_PROFILES: dict[str, ModelProfile] = {
+    profile.name: profile
+    for profile in [
+        _profile(
+            "gpt-4", "?", False, 0.515,
+            kubernetes=0.601, envoy=0.100, istio=0.385,
+            short=0.625, medium=0.616, long=0.237,
+            original=179, simplified=164, translated=178,
+            exact_match=0.092, kv_exact=0.198,
+            failure_mix=(0.05, 0.01, 0.27, 0.19, 0.48),
+            multi_sample_gain=0.22,
+            chattiness=0.40,
+            mutation_intensity=1,
+            style_divergence=0.25,
+        ),
+        _profile(
+            "gpt-3.5", "?", False, 0.412,
+            kubernetes=0.466, envoy=0.122, istio=0.385,
+            short=0.534, medium=0.477, long=0.169,
+            original=142, simplified=143, translated=132,
+            exact_match=0.075, kv_exact=0.154,
+            failure_mix=(0.04, 0.01, 0.27, 0.17, 0.51),
+            multi_sample_gain=0.39,
+            few_shot={0: 142, 1: 150, 2: 143, 3: 154},
+            chattiness=0.45,
+            mutation_intensity=1,
+            style_divergence=0.3,
+        ),
+        _profile(
+            "palm-2-bison", "?", False, 0.322,
+            kubernetes=0.406, envoy=0.050, istio=0.231,
+            short=0.455, medium=0.413, long=0.118,
+            original=120, simplified=97, translated=None,
+            exact_match=0.040, kv_exact=0.092,
+            failure_mix=(0.03, 0.02, 0.28, 0.15, 0.52),
+            multi_sample_gain=0.37,
+            chattiness=0.35,
+            mutation_intensity=1,
+            style_divergence=0.35,
+        ),
+        _profile(
+            "llama-2-70b-chat", "70B", True, 0.085,
+            kubernetes=0.099, envoy=0.049, istio=0.0,
+            short=0.216, medium=0.058, long=0.013,
+            original=30, simplified=24, translated=32,
+            exact_match=0.000, kv_exact=0.020,
+            failure_mix=(0.004, 0.007, 0.29, 0.12, 0.579),
+            multi_sample_gain=0.30,
+            few_shot={0: 30, 1: 23, 2: 26, 3: 29},
+            chattiness=0.55,
+            mutation_intensity=2,
+            style_divergence=0.5,
+        ),
+        _profile(
+            "llama-2-13b-chat", "13B", True, 0.067,
+            kubernetes=0.085, envoy=0.049, istio=0.0,
+            short=0.125, medium=0.081, long=0.013,
+            original=26, simplified=17, translated=25,
+            exact_match=0.000, kv_exact=0.016,
+            failure_mix=(0.005, 0.01, 0.29, 0.13, 0.565),
+            chattiness=0.55,
+            mutation_intensity=2,
+            style_divergence=0.55,
+        ),
+        _profile(
+            "wizardcoder-34b-v1.0", "34B", True, 0.056,
+            kubernetes=0.067, envoy=0.050, istio=0.231,
+            short=0.159, medium=0.052, long=0.013,
+            original=24, simplified=31, translated=2,
+            exact_match=0.007, kv_exact=0.013,
+            failure_mix=(0.02, 0.15, 0.38, 0.14, 0.31),
+            chattiness=0.30,
+            mutation_intensity=2,
+            style_divergence=0.55,
+        ),
+        _profile(
+            "llama-2-7b-chat", "7B", True, 0.027,
+            kubernetes=0.039, envoy=0.050, istio=0.0,
+            short=0.080, medium=0.029, long=0.013,
+            original=13, simplified=9, translated=5,
+            exact_match=0.000, kv_exact=0.009,
+            failure_mix=(0.006, 0.006, 0.30, 0.13, 0.558),
+            few_shot={0: 13, 1: 14, 2: 13, 3: 15},
+            chattiness=0.60,
+            mutation_intensity=3,
+            style_divergence=0.6,
+        ),
+        _profile(
+            "wizardcoder-15b-v1.0", "15B", True, 0.026,
+            kubernetes=0.032, envoy=0.049, istio=0.077,
+            short=0.045, medium=0.041, long=0.013,
+            original=12, simplified=11, translated=3,
+            exact_match=0.002, kv_exact=0.002,
+            failure_mix=(0.03, 0.25, 0.40, 0.12, 0.20),
+            chattiness=0.30,
+            mutation_intensity=3,
+            style_divergence=0.6,
+        ),
+        _profile(
+            "llama-7b", "7B", True, 0.023,
+            kubernetes=0.035, envoy=0.050, istio=0.0,
+            short=0.057, medium=0.035, long=0.013,
+            original=12, simplified=7, translated=4,
+            exact_match=0.004, kv_exact=0.005,
+            failure_mix=(0.10, 0.45, 0.30, 0.05, 0.10),
+            chattiness=0.25,
+            mutation_intensity=3,
+            style_divergence=0.7,
+        ),
+        _profile(
+            "llama-13b-lora", "13B", True, 0.021,
+            kubernetes=0.021, envoy=0.049, istio=0.0,
+            short=0.034, medium=0.017, long=0.026,
+            original=8, simplified=9, translated=4,
+            exact_match=0.001, kv_exact=0.003,
+            failure_mix=(0.10, 0.45, 0.30, 0.05, 0.10),
+            chattiness=0.25,
+            mutation_intensity=3,
+            style_divergence=0.7,
+        ),
+        _profile(
+            "codellama-7b-instruct", "7B", True, 0.015,
+            kubernetes=0.007, envoy=0.049, istio=0.077,
+            short=0.034, medium=0.006, long=0.013,
+            original=5, simplified=6, translated=4,
+            exact_match=0.001, kv_exact=0.001,
+            failure_mix=(0.05, 0.30, 0.40, 0.10, 0.15),
+            chattiness=0.25,
+            mutation_intensity=3,
+            style_divergence=0.65,
+        ),
+        _profile(
+            "codellama-13b-instruct", "13B", True, 0.012,
+            kubernetes=0.011, envoy=0.050, istio=0.0,
+            short=0.034, medium=0.006, long=0.013,
+            original=5, simplified=2, translated=5,
+            exact_match=0.002, kv_exact=0.002,
+            failure_mix=(0.05, 0.30, 0.40, 0.10, 0.15),
+            chattiness=0.25,
+            mutation_intensity=3,
+            style_divergence=0.65,
+        ),
+    ]
+}
+
+# Paper ranking order (Table 4), used consistently for "model index" axes.
+MODEL_NAMES: list[str] = list(MODEL_PROFILES)
+
+
+def available_models() -> list[str]:
+    """Names of the 12 evaluated models, in the paper's ranking order."""
+
+    return list(MODEL_NAMES)
+
+
+def get_profile(name: str) -> ModelProfile:
+    """Look up a model profile by name (case-insensitive)."""
+
+    key = name.lower()
+    if key not in MODEL_PROFILES:
+        raise KeyError(f"unknown model {name!r}; available: {MODEL_NAMES}")
+    return MODEL_PROFILES[key]
+
+
+def get_model(name: str, seed: int = 7) -> SimulatedModel:
+    """Instantiate a simulated model by name."""
+
+    return SimulatedModel(get_profile(name), seed=seed)
+
+
+def calibrate_models(
+    models: list[SimulatedModel],
+    dataset: ProblemSet,
+    iterations: int = 2,
+) -> list[SimulatedModel]:
+    """Rescale each model so its expected original-set pass count matches Table 5.
+
+    The per-problem pass probability combines the category and length
+    marginals of Table 9; because this repository's corpus has a slightly
+    different length mix than the authors' (the reference solutions are
+    synthetic), the expected pass count over *our* corpus can drift from the
+    paper's.  This routine computes the expectation over the actual corpus
+    and applies a global per-model scale so the original-dataset pass count
+    lands on the Table 5 value, preserving all relative structure.
+    """
+
+    originals = list(dataset.by_variant(Variant.ORIGINAL))
+    if not originals:
+        raise ValueError("dataset contains no original problems to calibrate against")
+    # Table 5 pass counts are out of the paper's 337 original problems; for a
+    # reduced corpus (e.g. in tests) it is the *rate* that must match.
+    paper_original_count = 337.0
+    calibrated: list[SimulatedModel] = []
+    for model in models:
+        profile = model.profile
+        target = profile.variant_passes.get("original", profile.unit_test_score * paper_original_count)
+        target_rate = min(0.95, target / paper_original_count)
+        scaled = model
+        for _ in range(iterations):
+            expected = sum(
+                scaled.pass_probability(problem, Variant.ORIGINAL) for problem in originals
+            ) / len(originals)
+            if expected <= 0:
+                break
+            scale = scaled.profile.calibration_scale * target_rate / expected
+            scaled = SimulatedModel(profile.with_calibration(scale), seed=model.seed)
+        calibrated.append(scaled)
+    return calibrated

@@ -1,0 +1,219 @@
+"""Simulated LLM models with per-model calibrated behaviour.
+
+A :class:`SimulatedModel` plays the role of a remote LLM endpoint.  For
+every (problem, variant, sample) it decides stochastically — but fully
+deterministically given the benchmark seed — whether the answer is
+functionally correct and, if not, which failure class it falls into, then
+synthesises the corresponding response text with the perturbation
+operators and formatting noise.  The per-model parameters live in
+:class:`ModelProfile` and are calibrated from the paper's published
+numbers (see :mod:`repro.llm.registry`).
+
+The latent "solid / borderline / dead" state per (model, problem) governs
+multi-sample behaviour: solid problems pass on (almost) every sample,
+borderline problems pass occasionally, dead problems essentially never.
+This reproduces the saturating pass@k curves of Figure 8 instead of the
+unrealistically fast growth an i.i.d. Bernoulli model would give.
+"""
+
+from __future__ import annotations
+
+import re
+
+from dataclasses import dataclass, field
+
+from repro.dataset.problem import Problem
+from repro.dataset.schema import Variant
+from repro.llm import perturbations as P
+from repro.utils.rng import DeterministicRNG
+
+__all__ = ["ModelProfile", "SimulatedModel", "BORDERLINE_SAMPLE_RATE", "length_band"]
+
+# Per-sample success probability of a "borderline" problem, and the solid
+# problems' (very high) per-sample success rate.
+BORDERLINE_SAMPLE_RATE = 0.12
+SOLID_SAMPLE_RATE = 0.985
+DEAD_SAMPLE_RATE = 0.002
+
+
+def length_band(problem: Problem) -> str:
+    """Reference-length band used in Figure 6 / Table 9."""
+
+    lines = problem.solution_lines()
+    if lines < 15:
+        return "short"
+    if lines < 30:
+        return "medium"
+    return "long"
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Calibration parameters of one simulated model.
+
+    The probabilities are taken (or derived) from the paper:
+
+    * ``unit_test_score`` — Table 4, used as the normaliser for the
+      category/length marginals,
+    * ``category_scores`` / ``length_scores`` — Table 9,
+    * ``variant_passes`` — Table 5 pass counts (original/simplified/
+      translated),
+    * ``few_shot_passes`` — Table 6 pass counts per number of shots,
+    * ``failure_mix`` — Figure 7 failure-category distribution (fractions
+      over failed problems, categories 1..5),
+    * ``exact_text_rate`` / ``exact_kv_rate`` — Table 4 exact-match and
+      key-value-exact scores expressed as fractions of correct answers,
+    * ``multi_sample_gain`` — Figure 8 normalised improvement at 20 samples,
+    * ``chattiness`` — probability of wrapping the answer in prose/fences,
+    * ``mutation_intensity`` — how many critical values a near-miss alters.
+    """
+
+    name: str
+    size: str
+    open_source: bool
+    unit_test_score: float
+    category_scores: dict[str, float]
+    length_scores: dict[str, float]
+    variant_passes: dict[str, float]
+    failure_mix: tuple[float, float, float, float, float]
+    exact_text_rate: float
+    exact_kv_rate: float
+    multi_sample_gain: float = 0.30
+    few_shot_passes: dict[int, float] = field(default_factory=dict)
+    chattiness: float = 0.35
+    mutation_intensity: int = 1
+    style_divergence: float = 0.35
+    calibration_scale: float = 1.0
+
+    def with_calibration(self, scale: float) -> "ModelProfile":
+        """Return a copy with an adjusted global calibration scale."""
+
+        return ModelProfile(**{**self.__dict__, "calibration_scale": scale})
+
+
+class SimulatedModel:
+    """A deterministic, profile-driven stand-in for an LLM endpoint."""
+
+    def __init__(self, profile: ModelProfile, seed: int = 7) -> None:
+        self.profile = profile
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Success-probability model
+    # ------------------------------------------------------------------
+    def pass_probability(self, problem: Problem, variant: Variant | None = None, shots: int = 0) -> float:
+        """Single-sample probability that this model passes the unit test."""
+
+        profile = self.profile
+        overall = max(profile.unit_test_score, 1e-4)
+        category_score = profile.category_scores.get(problem.application, overall)
+        length_score = profile.length_scores.get(length_band(problem), overall)
+        # Ratio combination of the two marginals (assumes near-independence,
+        # which Table 9 supports), then a difficulty tilt within the band.
+        probability = category_score * length_score / overall
+        probability *= 1.25 - 0.5 * problem.difficulty
+
+        variant = variant or problem.variant
+        original_passes = max(profile.variant_passes.get("original", 1.0), 1e-6)
+        variant_factor = profile.variant_passes.get(variant.value, original_passes) / original_passes
+        probability *= variant_factor
+
+        if shots and profile.few_shot_passes:
+            zero_shot = max(profile.few_shot_passes.get(0, original_passes), 1e-6)
+            probability *= profile.few_shot_passes.get(shots, zero_shot) / zero_shot
+
+        probability *= profile.calibration_scale
+        return float(min(0.985, max(0.0005, probability)))
+
+    def _latent_state(self, problem: Problem, variant: Variant, shots: int) -> str:
+        """Latent per-problem state: solid / borderline / dead."""
+
+        p1 = self.pass_probability(problem, variant, shots)
+        gain = self.profile.multi_sample_gain
+        saturation = 1.0 - (1.0 - BORDERLINE_SAMPLE_RATE) ** 20  # ≈ 0.92
+        borderline_mass = min(0.9, gain * p1 / saturation)
+        solid_mass = max(0.0, p1 - borderline_mass * BORDERLINE_SAMPLE_RATE - DEAD_SAMPLE_RATE)
+        # Common random numbers across shot counts: the latent draw is keyed
+        # on the zero-shot identity so that adding few-shot examples shifts a
+        # model's pass set only by the (small) probability delta rather than
+        # re-rolling every problem (Table 6's "no significant gain" claim
+        # would otherwise drown in binomial noise).
+        rng = DeterministicRNG(self.seed).child("latent", self.profile.name, problem.base_id, variant.value, 0)
+        draw = rng.random()
+        if draw < solid_mass:
+            return "solid"
+        if draw < solid_mass + borderline_mass:
+            return "borderline"
+        return "dead"
+
+    def _sample_passes(self, problem: Problem, variant: Variant, shots: int, sample_index: int) -> bool:
+        state = self._latent_state(problem, variant, shots)
+        rate = {"solid": SOLID_SAMPLE_RATE, "borderline": BORDERLINE_SAMPLE_RATE, "dead": DEAD_SAMPLE_RATE}[state]
+        rng = DeterministicRNG(self.seed).child(
+            "sample", self.profile.name, problem.problem_id, variant.value, shots, sample_index
+        )
+        return rng.bernoulli(rate)
+
+    # ------------------------------------------------------------------
+    # Text generation
+    # ------------------------------------------------------------------
+    def generate(self, problem: Problem, shots: int = 0, sample_index: int = 0) -> str:
+        """Generate a raw response (possibly wrapped in prose/fences)."""
+
+        variant = problem.variant
+        rng = DeterministicRNG(self.seed).child(
+            "generate", self.profile.name, problem.problem_id, shots, sample_index
+        )
+        profile = self.profile
+
+        if self._sample_passes(problem, variant, shots, sample_index):
+            draw = rng.random()
+            if draw < profile.exact_text_rate:
+                answer = P.correct_answer(problem, rng, exact_text=True)
+            elif draw < profile.exact_kv_rate:
+                answer = P.correct_answer(problem, rng, exact_keys=True)
+            else:
+                answer = P.correct_answer(problem, rng, style_divergence=profile.style_divergence)
+            return P.wrap_response(answer, rng, profile.chattiness)
+
+        # Failure: draw a failure category (1..5) from the profile mix.
+        category = rng.choice([1, 2, 3, 4, 5], weights=list(profile.failure_mix))
+        # Weak models frequently answer with memorised boiler-plate that has
+        # little to do with the question; stronger models stay close to a
+        # (broken) version of the expected configuration.
+        generic_rate = min(0.9, max(0.0, (profile.style_divergence - 0.2) * 1.6))
+        use_generic = rng.bernoulli(generic_rate)
+        if category == 1:
+            answer = P.empty_answer(problem, rng)
+            return answer  # too short to bother wrapping
+        if category == 2:
+            return P.prose_answer(problem, rng)
+        if category == 3:
+            base = P.generic_answer(problem, rng) if use_generic else None
+            answer = P.incomplete_answer(problem, rng, base_text=base)
+        elif category == 4:
+            if use_generic:
+                # Boiler-plate of the wrong kind: a memorised generic body
+                # whose ``kind`` does not match what the question asked for.
+                generic = P.generic_answer(problem, rng)
+                answer = re.sub(r"^kind: .*$", f"kind: {rng.choice(['ConfigMap', 'Pod', 'ReplicationController'])}", generic, count=1, flags=re.MULTILINE)
+            else:
+                answer = P.wrong_kind_answer(problem, rng)
+        elif use_generic:
+            answer = P.generic_answer(problem, rng)
+        else:
+            answer = P.near_miss_answer(
+                problem,
+                rng,
+                intensity=profile.mutation_intensity,
+                style_divergence=profile.style_divergence,
+            )
+        return P.wrap_response(answer, rng, profile.chattiness)
+
+    # Convenience aliases -------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulatedModel({self.profile.name!r})"

@@ -1,0 +1,33 @@
+"""Small from-scratch ML components used by the benchmark.
+
+The offline environment does not provide NLTK, XGBoost or SHAP, so this
+package re-implements the three pieces the paper relies on:
+
+* :mod:`repro.mlkit.bleu` — smoothed corpus/sentence BLEU used by the
+  text-level scorer,
+* :mod:`repro.mlkit.gbdt` — a gradient-boosted decision tree classifier
+  (logistic loss) standing in for XGBoost in the unit-test predictor
+  experiment (Figure 9a),
+* :mod:`repro.mlkit.shap` — an exact Shapley-value explainer, tractable
+  because the predictor only has five input features (Figure 9b).
+"""
+
+from repro.mlkit.bleu import bleu_score, sentence_bleu
+from repro.mlkit.gbdt import GradientBoostingClassifier
+from repro.mlkit.metrics import accuracy, mean_absolute_error, roc_auc
+from repro.mlkit.shap import exact_shap_values, mean_abs_shap
+from repro.mlkit.tokenize import yaml_tokenize
+from repro.mlkit.tree import RegressionTree
+
+__all__ = [
+    "GradientBoostingClassifier",
+    "RegressionTree",
+    "accuracy",
+    "bleu_score",
+    "exact_shap_values",
+    "mean_abs_shap",
+    "mean_absolute_error",
+    "roc_auc",
+    "sentence_bleu",
+    "yaml_tokenize",
+]

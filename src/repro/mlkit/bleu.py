@@ -1,0 +1,79 @@
+"""Smoothed BLEU implementation.
+
+This mirrors the standard sentence-level BLEU with uniform 4-gram weights
+and "add-epsilon" smoothing (NLTK's method-1 style smoothing) so short
+YAML files that miss one n-gram order do not collapse to zero.  The score
+is in [0, 1]; higher is better.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+from repro.mlkit.tokenize import yaml_tokenize
+
+__all__ = ["sentence_bleu", "bleu_score"]
+
+
+def _ngram_counts(tokens: Sequence[str], n: int) -> Counter:
+    return Counter(tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1))
+
+
+def _modified_precision(candidate: Sequence[str], reference: Sequence[str], n: int) -> tuple[int, int]:
+    """Return (clipped matches, total candidate n-grams) for order ``n``."""
+
+    cand_counts = _ngram_counts(candidate, n)
+    ref_counts = _ngram_counts(reference, n)
+    matches = sum(min(count, ref_counts[gram]) for gram, count in cand_counts.items())
+    total = max(sum(cand_counts.values()), 0)
+    return matches, total
+
+
+def sentence_bleu(
+    candidate_tokens: Sequence[str],
+    reference_tokens: Sequence[str],
+    max_order: int = 4,
+    smoothing_epsilon: float = 0.1,
+) -> float:
+    """Compute smoothed sentence BLEU between two token sequences."""
+
+    if not candidate_tokens or not reference_tokens:
+        return 0.0
+
+    log_precisions: list[float] = []
+    for n in range(1, max_order + 1):
+        matches, total = _modified_precision(candidate_tokens, reference_tokens, n)
+        if total == 0:
+            # Candidate shorter than n tokens: treat as a vanishing
+            # contribution rather than an undefined one.
+            log_precisions.append(math.log(smoothing_epsilon / 1.0))
+            continue
+        if matches == 0:
+            precision = smoothing_epsilon / total
+        else:
+            precision = matches / total
+        log_precisions.append(math.log(precision))
+
+    geo_mean = math.exp(sum(log_precisions) / max_order)
+
+    # Brevity penalty: penalise candidates shorter than the reference.
+    cand_len = len(candidate_tokens)
+    ref_len = len(reference_tokens)
+    if cand_len >= ref_len:
+        brevity_penalty = 1.0
+    else:
+        brevity_penalty = math.exp(1.0 - ref_len / cand_len)
+
+    return max(0.0, min(1.0, brevity_penalty * geo_mean))
+
+
+def bleu_score(candidate_text: str, reference_text: str, max_order: int = 4) -> float:
+    """BLEU between two YAML texts using the shared YAML tokenizer."""
+
+    return sentence_bleu(
+        yaml_tokenize(candidate_text),
+        yaml_tokenize(reference_text),
+        max_order=max_order,
+    )

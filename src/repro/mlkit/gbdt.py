@@ -1,0 +1,111 @@
+"""Gradient-boosted decision trees for binary classification.
+
+This is a compact, readable stand-in for XGBoost sufficient for the
+unit-test prediction experiment (Figure 9).  It boosts least-squares
+regression trees on the gradient of the logistic loss, with shrinkage and
+optional row subsampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mlkit.tree import RegressionTree
+
+__all__ = ["GradientBoostingClassifier"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+@dataclass
+class GradientBoostingClassifier:
+    """Binary classifier boosted with logistic loss.
+
+    Parameters mirror the common XGBoost/GBM knobs: ``n_estimators`` trees
+    of depth ``max_depth`` are fitted sequentially, each on the negative
+    gradient of the logistic loss, and combined with learning-rate
+    ``learning_rate``.  ``subsample`` < 1 enables stochastic boosting.
+    """
+
+    n_estimators: int = 100
+    learning_rate: float = 0.1
+    max_depth: int = 3
+    min_samples_leaf: int = 5
+    subsample: float = 1.0
+    random_state: int = 0
+
+    trees_: list[RegressionTree] = field(default_factory=list, repr=False)
+    base_score_: float = 0.0
+    n_features_: int = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
+        """Fit on features ``X`` and binary labels ``y`` in {0, 1}."""
+
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if set(np.unique(y)) - {0.0, 1.0}:
+            raise ValueError("labels must be binary (0/1)")
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("X must be 2-D and aligned with y")
+
+        self.n_features_ = X.shape[1]
+        rng = np.random.default_rng(self.random_state)
+
+        # Initialise with the log-odds of the positive class.
+        positive_rate = float(np.clip(y.mean(), 1e-6, 1 - 1e-6))
+        self.base_score_ = float(np.log(positive_rate / (1.0 - positive_rate)))
+        raw = np.full(len(y), self.base_score_, dtype=float)
+
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            prob = _sigmoid(raw)
+            residual = y - prob  # negative gradient of logistic loss
+
+            if self.subsample < 1.0:
+                mask = rng.random(len(y)) < self.subsample
+                if mask.sum() < 2 * self.min_samples_leaf:
+                    mask = np.ones(len(y), dtype=bool)
+            else:
+                mask = np.ones(len(y), dtype=bool)
+
+            tree = RegressionTree(max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf)
+            tree.fit(X[mask], residual[mask])
+            self.trees_.append(tree)
+            raw = raw + self.learning_rate * tree.predict(X)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Raw additive scores (log-odds) for every row of ``X``."""
+
+        if not self.trees_:
+            raise RuntimeError("classifier has not been fitted")
+        X = np.asarray(X, dtype=float)
+        raw = np.full(len(X), self.base_score_, dtype=float)
+        for tree in self.trees_:
+            raw = raw + self.learning_rate * tree.predict(X)
+        return raw
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Probability of the positive class for every row of ``X``."""
+
+        return _sigmoid(self.decision_function(X))
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 predictions."""
+
+        return (self.predict_proba(X) >= threshold).astype(int)
+
+    def feature_importances(self) -> np.ndarray:
+        """Average split-based importances across all trees."""
+
+        if not self.trees_:
+            raise RuntimeError("classifier has not been fitted")
+        importances = np.zeros(self.n_features_, dtype=float)
+        for tree in self.trees_:
+            importances += tree.feature_importances(self.n_features_)
+        total = importances.sum()
+        return importances / total if total > 0 else importances

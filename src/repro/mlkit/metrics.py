@@ -1,0 +1,62 @@
+"""Basic evaluation metrics for the unit-test predictor experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "mean_absolute_error", "roc_auc", "relative_error"]
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly matching labels."""
+
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) == 0:
+        return 0.0
+    return float((y_true == y_pred).mean())
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error between two arrays."""
+
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    if len(y_true) == 0:
+        return 0.0
+    return float(np.abs(y_true - y_pred).mean())
+
+
+def relative_error(predicted: float, actual: float) -> float:
+    """Relative error in percent, guarding against a zero denominator."""
+
+    if actual == 0:
+        return 0.0 if predicted == 0 else 100.0
+    return abs(predicted - actual) / abs(actual) * 100.0
+
+
+def roc_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) statistic."""
+
+    y_true = np.asarray(y_true, dtype=int)
+    scores = np.asarray(scores, dtype=float)
+    positives = scores[y_true == 1]
+    negatives = scores[y_true == 0]
+    if len(positives) == 0 or len(negatives) == 0:
+        return 0.5
+    # Average over all positive/negative pairs with ties counted as 0.5.
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores), dtype=float)
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(scores):
+        j = i
+        while j + 1 < len(scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    pos_rank_sum = ranks[y_true == 1].sum()
+    n_pos = len(positives)
+    n_neg = len(negatives)
+    auc = (pos_rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+    return float(auc)

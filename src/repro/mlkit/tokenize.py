@@ -1,0 +1,28 @@
+"""Tokenization for BLEU computation over YAML text.
+
+BLEU is defined over token sequences.  For YAML we tokenize on structural
+characters (``:``, ``-``, ``[``, ``]``, quotes) as well as whitespace so
+that ``name: nginx-service`` becomes ``["name", ":", "nginx-service"]``.
+Keeping punctuation as tokens makes the metric sensitive to structural
+differences (a missing colon is a real error) while remaining insensitive
+to indentation width.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["yaml_tokenize"]
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9_./*]+(?:-[A-Za-z0-9_./*]+)*|[:\-\[\]{}#'\",|>]")
+
+
+def yaml_tokenize(text: str) -> list[str]:
+    """Tokenize YAML (or YAML-ish) text for n-gram metrics.
+
+    The tokenizer is intentionally forgiving: it also works on prose, so
+    answers that are not valid YAML still receive a (low) BLEU score rather
+    than crashing the pipeline.
+    """
+
+    return _TOKEN_RE.findall(text)

@@ -1,0 +1,5 @@
+"""Post-processing of raw model responses (§3.1 of the paper)."""
+
+from repro.postprocess.extract import extract_yaml
+
+__all__ = ["extract_yaml"]

@@ -1,0 +1,96 @@
+"""Extract a clean YAML payload from a raw LLM response.
+
+Although the prompt template asks for YAML only, responses routinely wrap
+the configuration in prose, Markdown fences or code tags.  The paper's
+post-processing policies are applied in order:
+
+1. remove everything before a line containing the keyword ``Here`` (models
+   love "Here is the YAML you asked for:"),
+2. remove everything before the first line starting with ``apiVersion:``
+   (Kubernetes) or ``static_resources:`` (Envoy),
+3. extract the text enclosed by ``` fences, ``<code>``/``</code>``,
+   ``\\begin{code}``/``\\end{code}`` or ``START SOLUTION``/``END SOLUTION``
+   delimiters.
+
+The delimiter extraction is applied first when delimiters are present
+(the enclosed block is unambiguous); the keyword-based trimming handles
+responses without any fencing.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["extract_yaml"]
+
+_FENCE_RE = re.compile(r"```(?:yaml|yml)?\s*\n(.*?)```", re.DOTALL)
+_CODE_TAG_RE = re.compile(r"<code>\s*\n?(.*?)</code>", re.DOTALL)
+_BEGIN_CODE_RE = re.compile(r"\\begin\{code\}\s*\n?(.*?)\\end\{code\}", re.DOTALL)
+_SOLUTION_RE = re.compile(r"START SOLUTION\s*\n(.*?)END SOLUTION", re.DOTALL)
+_START_KEYS = ("apiVersion:", "static_resources:")
+
+
+def _strip_before_keyword(text: str, keyword: str) -> str:
+    """Drop every line up to and including the first line containing ``keyword``."""
+
+    lines = text.splitlines()
+    for index, line in enumerate(lines):
+        if keyword in line:
+            return "\n".join(lines[index + 1 :])
+    return text
+
+
+def _strip_before_start_key(text: str) -> str:
+    """Drop everything before the first line that starts a YAML document."""
+
+    lines = text.splitlines()
+    for index, line in enumerate(lines):
+        stripped = line.lstrip()
+        if any(stripped.startswith(key) for key in _START_KEYS):
+            return "\n".join(lines[index:])
+    return text
+
+
+def _strip_trailing_prose(text: str) -> str:
+    """Drop trailing explanation paragraphs after the YAML body.
+
+    A trailing block is considered prose when it follows a blank line and
+    none of its lines look like YAML (no ``key:`` or ``- item`` shape).
+    """
+
+    yaml_line = re.compile(r"^\s*(#|-\s|[\w.\"'/@-]+\s*:)")
+    lines = text.splitlines()
+    end = len(lines)
+    for index in range(len(lines) - 1, -1, -1):
+        line = lines[index]
+        if not line.strip():
+            continue
+        if yaml_line.match(line):
+            end = index + 1
+            break
+    return "\n".join(lines[:end])
+
+
+def extract_yaml(response: str) -> str:
+    """Apply the post-processing policies and return the cleaned YAML text."""
+
+    if not response:
+        return ""
+    text = response.strip()
+
+    for pattern in (_FENCE_RE, _CODE_TAG_RE, _BEGIN_CODE_RE, _SOLUTION_RE):
+        match = pattern.search(text)
+        if match:
+            text = match.group(1)
+            break
+    else:
+        # No delimiters: fall back to the keyword-based trims.
+        if re.search(r"^.*\bHere\b.*$", text, flags=re.MULTILINE):
+            trimmed = _strip_before_keyword(text, "Here")
+            # Only accept the trim when it still leaves content.
+            if trimmed.strip():
+                text = trimmed
+        text = _strip_before_start_key(text)
+        text = _strip_trailing_prose(text)
+
+    return text.strip() + ("\n" if text.strip() else "")

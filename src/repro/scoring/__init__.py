@@ -1,0 +1,35 @@
+"""Scoring pipeline: text-level, YAML-aware and function-level metrics (§3.2).
+
+The six metrics of the paper are implemented here:
+
+========================  =====================================================
+Metric                    Module / function
+========================  =====================================================
+BLEU                      :func:`repro.scoring.text_level.bleu`
+Edit distance             :func:`repro.scoring.text_level.edit_distance_score`
+Exact match               :func:`repro.scoring.text_level.exact_match`
+Key-value exact match     :func:`repro.scoring.yaml_aware.key_value_exact_match`
+Key-value wildcard match  :func:`repro.scoring.yaml_aware.key_value_wildcard_match`
+Unit test                 :func:`repro.scoring.function_level.unit_test_score`
+========================  =====================================================
+
+:func:`repro.scoring.aggregate.score_answer` runs all six on one answer and
+returns a :class:`~repro.scoring.aggregate.ScoreCard`.
+"""
+
+from repro.scoring.aggregate import METRIC_NAMES, ScoreCard, score_answer
+from repro.scoring.function_level import unit_test_score
+from repro.scoring.text_level import bleu, edit_distance_score, exact_match
+from repro.scoring.yaml_aware import key_value_exact_match, key_value_wildcard_match
+
+__all__ = [
+    "METRIC_NAMES",
+    "ScoreCard",
+    "bleu",
+    "edit_distance_score",
+    "exact_match",
+    "key_value_exact_match",
+    "key_value_wildcard_match",
+    "score_answer",
+    "unit_test_score",
+]

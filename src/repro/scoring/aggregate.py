@@ -1,0 +1,86 @@
+"""Aggregate scoring: run every metric on one answer and collect the results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.problem import Problem
+from repro.postprocess import extract_yaml
+from repro.scoring.function_level import run_unit_test
+from repro.scoring.text_level import bleu, edit_distance_score, exact_match
+from repro.scoring.yaml_aware import key_value_exact_match, key_value_wildcard_match
+
+__all__ = ["METRIC_NAMES", "ScoreCard", "score_answer"]
+
+#: Metric names in the column order of Table 4.
+METRIC_NAMES: tuple[str, ...] = (
+    "bleu",
+    "edit_distance",
+    "exact_match",
+    "kv_exact",
+    "kv_wildcard",
+    "unit_test",
+)
+
+
+@dataclass(frozen=True)
+class ScoreCard:
+    """All six metric values for one (problem, answer) pair."""
+
+    problem_id: str
+    bleu: float
+    edit_distance: float
+    exact_match: float
+    kv_exact: float
+    kv_wildcard: float
+    unit_test: float
+    extracted_yaml: str = ""
+    failure_message: str = ""
+
+    def as_dict(self) -> dict[str, float]:
+        """Metric values keyed by the Table 4 column names."""
+
+        return {
+            "bleu": self.bleu,
+            "edit_distance": self.edit_distance,
+            "exact_match": self.exact_match,
+            "kv_exact": self.kv_exact,
+            "kv_wildcard": self.kv_wildcard,
+            "unit_test": self.unit_test,
+        }
+
+    def text_features(self) -> list[float]:
+        """Feature vector (text-level + YAML-aware scores) for the predictor."""
+
+        return [self.bleu, self.edit_distance, self.exact_match, self.kv_exact, self.kv_wildcard]
+
+
+def score_answer(problem: Problem, raw_response: str, run_unit_tests: bool = True) -> ScoreCard:
+    """Post-process a raw response and compute every metric against the problem.
+
+    ``run_unit_tests=False`` skips the (comparatively expensive) functional
+    evaluation, which is what the unit-test-prediction experiment (§4.4)
+    simulates avoiding; the ``unit_test`` field is then reported as 0.0.
+    """
+
+    extracted = extract_yaml(raw_response)
+    reference_plain = problem.reference_plain()
+
+    unit_test_value = 0.0
+    failure_message = ""
+    if run_unit_tests:
+        result = run_unit_test(problem, extracted)
+        unit_test_value = result.score
+        failure_message = result.message
+
+    return ScoreCard(
+        problem_id=problem.problem_id,
+        bleu=bleu(extracted, reference_plain),
+        edit_distance=edit_distance_score(extracted, reference_plain),
+        exact_match=exact_match(extracted, reference_plain),
+        kv_exact=key_value_exact_match(extracted, reference_plain),
+        kv_wildcard=key_value_wildcard_match(extracted, problem.reference_yaml),
+        unit_test=unit_test_value,
+        extracted_yaml=extracted,
+        failure_message=failure_message,
+    )

@@ -1,0 +1,20 @@
+"""Function-level metric: run the problem's unit test against the answer."""
+
+from __future__ import annotations
+
+from repro.dataset.problem import Problem
+from repro.testexec.executor import UnitTestResult, execute_unit_test
+
+__all__ = ["run_unit_test", "unit_test_score"]
+
+
+def run_unit_test(problem: Problem, generated_yaml: str) -> UnitTestResult:
+    """Execute the problem's unit-test program against the generated YAML."""
+
+    return execute_unit_test(problem.unit_test, generated_yaml)
+
+
+def unit_test_score(problem: Problem, generated_yaml: str) -> float:
+    """1.0 if the generated YAML passes the problem's unit test, else 0.0."""
+
+    return run_unit_test(problem, generated_yaml).score

@@ -1,0 +1,33 @@
+"""Text-level metrics: BLEU, scaled edit distance, exact match."""
+
+from __future__ import annotations
+
+from repro.mlkit.bleu import bleu_score
+from repro.yamlkit.diffing import scaled_edit_similarity
+
+__all__ = ["bleu", "edit_distance_score", "exact_match", "normalize_text"]
+
+
+def normalize_text(text: str) -> str:
+    """Normalise a YAML text for comparison: strip trailing spaces and blank lines."""
+
+    lines = [line.rstrip() for line in text.strip().splitlines()]
+    return "\n".join(line for line in lines if line)
+
+
+def bleu(generated: str, reference: str) -> float:
+    """Smoothed 4-gram BLEU between generated and reference YAML text."""
+
+    return bleu_score(generated, reference)
+
+
+def edit_distance_score(generated: str, reference: str) -> float:
+    """Line edit distance scaled by the reference size, in [0, 1]."""
+
+    return scaled_edit_similarity(generated, reference)
+
+
+def exact_match(generated: str, reference: str) -> float:
+    """1.0 when the generated text is identical to the reference (modulo trailing whitespace)."""
+
+    return 1.0 if normalize_text(generated) == normalize_text(reference) else 0.0

@@ -1,0 +1,122 @@
+"""YAML-aware metrics: key-value exact match and key-value wildcard match.
+
+Both metrics load the generated and reference YAML into dictionaries, so
+key order and formatting do not matter.  The wildcard variant additionally
+honours the labels embedded in the reference (``# *`` wildcard and
+``# v in [...]`` set labels) and reports the IoU (intersection over union)
+of matched leaves, following §3.2 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.yamlkit.labels import LabeledNode, parse_labeled_yaml
+from repro.yamlkit.normalize import documents_equal
+from repro.yamlkit.parsing import YamlParseError, load_all_documents
+
+__all__ = ["key_value_exact_match", "key_value_wildcard_match"]
+
+
+def _load_documents(text: str) -> list[Any] | None:
+    try:
+        docs = load_all_documents(text)
+    except YamlParseError:
+        return None
+    if not docs or not all(isinstance(d, (dict, list)) for d in docs):
+        return None
+    return docs
+
+
+def key_value_exact_match(generated: str, reference_plain: str) -> float:
+    """1.0 when both YAMLs parse to equal dictionaries (order-insensitive)."""
+
+    generated_docs = _load_documents(generated)
+    reference_docs = _load_documents(reference_plain)
+    if generated_docs is None or reference_docs is None:
+        return 0.0
+    if len(generated_docs) != len(reference_docs):
+        return 0.0
+    return 1.0 if all(documents_equal(g, r) for g, r in zip(generated_docs, reference_docs)) else 0.0
+
+
+def _count_matches(reference: LabeledNode, candidate: Any) -> tuple[int, int, int]:
+    """Return (matched, reference_leaves, candidate_leaves) for the IoU.
+
+    The reference tree drives the traversal; candidate leaves that have no
+    counterpart in the reference count toward the union only.
+    """
+
+    if reference.node_type == "scalar":
+        matched = 1 if candidate is not None and reference.matches_value(candidate) else 0
+        candidate_leaves = 1 if candidate is not None and not isinstance(candidate, (dict, list)) else _leaf_count(candidate)
+        return matched, 1, candidate_leaves
+
+    if reference.node_type == "mapping":
+        matched = 0
+        ref_total = 0
+        cand_total = 0
+        candidate_map = candidate if isinstance(candidate, dict) else {}
+        seen_keys = set()
+        for key, child in reference.children.items():
+            seen_keys.add(key)
+            child_candidate = candidate_map.get(key) if isinstance(candidate_map, dict) else None
+            m, r, c = _count_matches(child, child_candidate)
+            matched += m
+            ref_total += r
+            cand_total += c
+        # Extra keys present only in the candidate enlarge the union.
+        if isinstance(candidate_map, dict):
+            for key, value in candidate_map.items():
+                if key not in seen_keys:
+                    cand_total += _leaf_count(value)
+        return matched, ref_total, cand_total
+
+    # Sequence: compare positionally (order matters inside lists).
+    matched = 0
+    ref_total = 0
+    cand_total = 0
+    candidate_list = candidate if isinstance(candidate, list) else []
+    for index, child in enumerate(reference.items):
+        child_candidate = candidate_list[index] if index < len(candidate_list) else None
+        m, r, c = _count_matches(child, child_candidate)
+        matched += m
+        ref_total += r
+        cand_total += c
+    for extra in candidate_list[len(reference.items) :]:
+        cand_total += _leaf_count(extra)
+    return matched, ref_total, cand_total
+
+
+def _leaf_count(value: Any) -> int:
+    if isinstance(value, dict):
+        return sum(_leaf_count(v) for v in value.values()) or 1
+    if isinstance(value, list):
+        return sum(_leaf_count(v) for v in value) or 1
+    return 1 if value is not None else 0
+
+
+def key_value_wildcard_match(generated: str, reference_labeled: str) -> float:
+    """IoU of matched leaves between the generated YAML and the labeled reference."""
+
+    generated_docs = _load_documents(generated)
+    if generated_docs is None:
+        return 0.0
+    try:
+        reference_tree = parse_labeled_yaml(reference_labeled)
+    except YamlParseError:
+        return 0.0
+
+    # Align multi-document references with multi-document answers.
+    if reference_tree.node_type == "sequence" and reference_tree.items and all(
+        item.node_type == "mapping" for item in reference_tree.items
+    ) and len(generated_docs) > 1:
+        candidate: Any = list(generated_docs)
+    else:
+        candidate = generated_docs[0] if len(generated_docs) == 1 else list(generated_docs)
+
+    matched, ref_total, cand_total = _count_matches(reference_tree, candidate)
+    union = ref_total + max(0, cand_total - matched)
+    if union <= 0:
+        return 0.0
+    return float(matched / union)

@@ -1,0 +1,62 @@
+"""Unit-test programs and their executor.
+
+The original benchmark ships a bash script per problem that drives
+``kubectl``/``docker`` and prints ``unit_test_passed`` when every check
+holds.  Offline we express the same tests as *structured step programs*
+(:mod:`repro.testexec.steps`) executed against the simulated substrate
+(:mod:`repro.testexec.executor`).  The structure keeps tests machine-
+checkable, serialisable with the dataset, and lets the statistics module
+report "lines of unit test" the same way the paper does (each step renders
+to one or more script lines).
+"""
+
+from repro.testexec.executor import UnitTestResult, execute_unit_test
+from repro.testexec.steps import (
+    ApplyAnswer,
+    ApplyManifest,
+    AssertDescribeContains,
+    AssertEnvoyClusterEndpoints,
+    AssertEnvoyClusterLb,
+    AssertEnvoyListenerPort,
+    AssertEnvoyRoute,
+    AssertExists,
+    AssertFieldAbsent,
+    AssertGatewayServer,
+    AssertHostPortReachable,
+    AssertIstioDestination,
+    AssertIstioLbPolicy,
+    AssertIstioSubsetLabels,
+    AssertJsonPath,
+    AssertPodCount,
+    AssertServiceReachable,
+    CreateNamespace,
+    Step,
+    UnitTestProgram,
+    WaitFor,
+)
+
+__all__ = [
+    "ApplyAnswer",
+    "ApplyManifest",
+    "AssertDescribeContains",
+    "AssertEnvoyClusterEndpoints",
+    "AssertEnvoyClusterLb",
+    "AssertEnvoyListenerPort",
+    "AssertEnvoyRoute",
+    "AssertExists",
+    "AssertFieldAbsent",
+    "AssertGatewayServer",
+    "AssertHostPortReachable",
+    "AssertIstioDestination",
+    "AssertIstioLbPolicy",
+    "AssertIstioSubsetLabels",
+    "AssertJsonPath",
+    "AssertPodCount",
+    "AssertServiceReachable",
+    "CreateNamespace",
+    "Step",
+    "UnitTestProgram",
+    "UnitTestResult",
+    "WaitFor",
+    "execute_unit_test",
+]

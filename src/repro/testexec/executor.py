@@ -1,0 +1,240 @@
+"""Execute unit-test programs against the simulated substrate.
+
+``execute_unit_test(program, answer_yaml)`` plays the role of running the
+per-problem bash script: it creates a fresh cluster (or parses the Envoy
+configuration), performs each step in order, and reports the first failing
+step.  Any simulator exception (validation error, missing object, YAML
+parse error) fails the test, exactly like a non-zero ``kubectl`` exit code
+fails the bash script.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.envoysim import EnvoyConfig, EnvoyValidationError
+from repro.kubesim import Cluster, KubeError, Kubectl
+from repro.kubesim.selectors import matches_selector
+from repro.testexec import steps as S
+from repro.yamlkit.parsing import YamlParseError, load_all_documents
+
+# Importing istiosim registers the Istio CRD validators with kubesim.
+import repro.istiosim  # noqa: F401  (import for side effect)
+
+__all__ = ["UnitTestResult", "execute_unit_test"]
+
+
+@dataclass(frozen=True)
+class UnitTestResult:
+    """Outcome of running one unit-test program against one answer."""
+
+    passed: bool
+    failed_step: str | None = None
+    message: str = ""
+    steps_run: int = 0
+
+    @property
+    def score(self) -> float:
+        """The paper's unit-test metric: 1.0 on pass, 0.0 otherwise."""
+
+        return 1.0 if self.passed else 0.0
+
+
+class _StepFailure(Exception):
+    """Internal: a step's assertion did not hold."""
+
+
+def execute_unit_test(program: S.UnitTestProgram, answer_yaml: str) -> UnitTestResult:
+    """Run ``program`` with ``answer_yaml`` as the generated configuration."""
+
+    if program.target == "envoy":
+        return _execute_envoy(program, answer_yaml)
+    return _execute_kubernetes(program, answer_yaml)
+
+
+# ---------------------------------------------------------------------------
+# Kubernetes / Istio execution
+# ---------------------------------------------------------------------------
+
+def _execute_kubernetes(program: S.UnitTestProgram, answer_yaml: str) -> UnitTestResult:
+    cluster = Cluster(nodes=[f"node-{i + 1}" for i in range(max(1, program.nodes))])
+    kubectl = Kubectl(cluster)
+    steps_run = 0
+    for step in program.steps:
+        try:
+            _run_kubernetes_step(step, kubectl, answer_yaml)
+        except (_StepFailure, KubeError, YamlParseError, ValueError) as exc:
+            return UnitTestResult(
+                passed=False,
+                failed_step=type(step).__name__,
+                message=str(exc),
+                steps_run=steps_run,
+            )
+        steps_run += 1
+    return UnitTestResult(passed=True, steps_run=steps_run)
+
+
+def _expect(condition: bool, message: str) -> None:
+    if not condition:
+        raise _StepFailure(message)
+
+
+def _run_kubernetes_step(step: S.Step, kubectl: Kubectl, answer_yaml: str) -> None:
+    cluster = kubectl.cluster
+    if isinstance(step, S.CreateNamespace):
+        kubectl.create_namespace(step.name)
+    elif isinstance(step, S.ApplyManifest):
+        kubectl.apply(step.yaml_text, namespace=step.namespace)
+    elif isinstance(step, S.ApplyAnswer):
+        _expect(bool(answer_yaml.strip()), "answer is empty")
+        kubectl.apply(answer_yaml, namespace=step.namespace)
+    elif isinstance(step, S.WaitFor):
+        ok = kubectl.wait(
+            step.kind,
+            step.condition,
+            name=step.name,
+            namespace=step.namespace,
+            selector=step.selector,
+            timeout_seconds=step.timeout_seconds,
+        )
+        _expect(ok, f"condition {step.condition!r} not met for {step.kind} {step.name or step.selector}")
+    elif isinstance(step, S.AssertExists):
+        _expect(
+            cluster.exists(step.kind, step.name, step.namespace),
+            f"{step.kind} {step.name!r} not found in {step.namespace!r}",
+        )
+    elif isinstance(step, S.AssertJsonPath):
+        value = kubectl.get(
+            step.kind,
+            name=step.name,
+            namespace=step.namespace,
+            selector=step.selector,
+            jsonpath=step.jsonpath,
+        )
+        value = str(value)
+        if step.expected is not None:
+            _expect(
+                value.strip() == step.expected.strip(),
+                f"jsonpath {step.jsonpath} = {value!r}, expected {step.expected!r}",
+            )
+        if step.contains is not None:
+            _expect(step.contains in value, f"jsonpath {step.jsonpath} = {value!r} does not contain {step.contains!r}")
+        if step.one_of:
+            _expect(
+                value.strip() in [s.strip() for s in step.one_of],
+                f"jsonpath {step.jsonpath} = {value!r} not in {list(step.one_of)}",
+            )
+    elif isinstance(step, S.AssertFieldAbsent):
+        value = kubectl.get(step.kind, name=step.name, namespace=step.namespace, jsonpath=step.jsonpath)
+        _expect(not str(value).strip(), f"jsonpath {step.jsonpath} unexpectedly set to {value!r}")
+    elif isinstance(step, S.AssertPodCount):
+        pods = [
+            pod
+            for pod in cluster.list_resources("Pod", namespace=step.namespace)
+            if matches_selector(pod.labels, step.selector) and cluster.pod_is_ready(pod)
+        ]
+        _expect(
+            len(pods) >= step.min_count,
+            f"expected at least {step.min_count} ready pods matching {step.selector}, found {len(pods)}",
+        )
+    elif isinstance(step, S.AssertServiceReachable):
+        _expect(
+            cluster.service_reachable(step.name, step.namespace, step.port),
+            f"service {step.name!r} is not reachable on port {step.port}",
+        )
+    elif isinstance(step, S.AssertHostPortReachable):
+        _expect(
+            cluster.host_port_reachable(step.host_port, namespace=step.namespace, selector=step.selector),
+            f"host port {step.host_port} is not served by any ready pod",
+        )
+    elif isinstance(step, S.AssertDescribeContains):
+        description = kubectl.describe(step.kind, step.name, step.namespace)
+        _expect(step.substring in description, f"describe output does not contain {step.substring!r}")
+    elif isinstance(step, S.AssertIstioLbPolicy):
+        from repro.istiosim import destination_rule_lb_policy
+
+        resource = cluster.get("DestinationRule", step.name, step.namespace)
+        policy = destination_rule_lb_policy(resource, subset=step.subset)
+        _expect(policy == step.policy, f"lb policy is {policy!r}, expected {step.policy!r}")
+    elif isinstance(step, S.AssertIstioSubsetLabels):
+        from repro.istiosim import destination_rule_subsets
+
+        resource = cluster.get("DestinationRule", step.name, step.namespace)
+        subsets = destination_rule_subsets(resource)
+        _expect(step.subset in subsets, f"subset {step.subset!r} not found")
+        actual = subsets[step.subset]
+        for key, value in step.labels.items():
+            _expect(actual.get(key) == value, f"subset label {key}={actual.get(key)!r}, expected {value!r}")
+    elif isinstance(step, S.AssertIstioDestination):
+        from repro.istiosim import virtual_service_destinations
+
+        resource = cluster.get("VirtualService", step.name, step.namespace)
+        destinations = virtual_service_destinations(resource)
+        wanted = (step.host, step.subset)
+        found = any(host == step.host and (step.subset is None or subset == step.subset) for host, subset in destinations)
+        _expect(found, f"VirtualService does not route to {wanted}")
+    elif isinstance(step, S.AssertGatewayServer):
+        from repro.istiosim import gateway_servers
+
+        resource = cluster.get("Gateway", step.name, step.namespace)
+        servers = gateway_servers(resource)
+        found = False
+        for server in servers:
+            port = server.get("port", {})
+            hosts = [str(h) for h in server.get("hosts", [])]
+            if (
+                port.get("number") == step.port
+                and str(port.get("protocol", "")).upper() == step.protocol.upper()
+                and (step.host == "*" or step.host in hosts or "*" in hosts)
+            ):
+                found = True
+        _expect(found, f"no Gateway server on port {step.port}/{step.protocol} for host {step.host!r}")
+    elif isinstance(step, (S.AssertEnvoyListenerPort, S.AssertEnvoyRoute, S.AssertEnvoyClusterLb, S.AssertEnvoyClusterEndpoints)):
+        raise _StepFailure(f"{type(step).__name__} is only valid in an envoy-target program")
+    else:  # pragma: no cover - defensive
+        raise _StepFailure(f"unknown step type {type(step).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Envoy execution
+# ---------------------------------------------------------------------------
+
+def _execute_envoy(program: S.UnitTestProgram, answer_yaml: str) -> UnitTestResult:
+    steps_run = 0
+    try:
+        documents = load_all_documents(answer_yaml)
+        if len(documents) != 1 or not isinstance(documents[0], dict):
+            raise EnvoyValidationError("expected a single Envoy bootstrap configuration document")
+        config = EnvoyConfig(documents[0])
+    except (YamlParseError, EnvoyValidationError, ValueError) as exc:
+        return UnitTestResult(passed=False, failed_step="ParseEnvoyConfig", message=str(exc))
+
+    for step in program.steps:
+        try:
+            _run_envoy_step(step, config)
+        except _StepFailure as exc:
+            return UnitTestResult(passed=False, failed_step=type(step).__name__, message=str(exc), steps_run=steps_run)
+        steps_run += 1
+    return UnitTestResult(passed=True, steps_run=steps_run)
+
+
+def _run_envoy_step(step: S.Step, config: EnvoyConfig) -> None:
+    if isinstance(step, S.ApplyAnswer):
+        return  # parsing/validation already happened
+    if isinstance(step, S.AssertEnvoyListenerPort):
+        _expect(step.port in config.listener_ports(), f"no listener on port {step.port}")
+    elif isinstance(step, S.AssertEnvoyRoute):
+        cluster = config.route(step.port, step.path, step.host)
+        _expect(cluster == step.cluster, f"request to :{step.port}{step.path} routed to {cluster!r}, expected {step.cluster!r}")
+        _expect(config.request_succeeds(step.port, step.path, step.host), f"cluster {step.cluster!r} has no endpoints")
+    elif isinstance(step, S.AssertEnvoyClusterLb):
+        policy = config.cluster_lb_policy(step.cluster)
+        _expect(policy == step.policy, f"cluster {step.cluster!r} lb_policy is {policy!r}, expected {step.policy!r}")
+    elif isinstance(step, S.AssertEnvoyClusterEndpoints):
+        endpoints = config.cluster_endpoints(step.cluster)
+        _expect(
+            (step.address, step.port) in endpoints,
+            f"cluster {step.cluster!r} has no endpoint {step.address}:{step.port} (has {endpoints})",
+        )
+    else:
+        raise _StepFailure(f"{type(step).__name__} is only valid in a kubernetes-target program")

@@ -1,0 +1,421 @@
+"""Step types composing a unit-test program.
+
+Every step is a small frozen dataclass that can be serialised to a plain
+dictionary (``to_dict``/``step_from_dict``) so the dataset can be written
+to disk, and rendered to the equivalent shell line(s) (``script_lines``)
+so dataset statistics match the paper's "lines of unit test" measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
+
+__all__ = [
+    "Step",
+    "CreateNamespace",
+    "ApplyManifest",
+    "ApplyAnswer",
+    "WaitFor",
+    "AssertExists",
+    "AssertJsonPath",
+    "AssertFieldAbsent",
+    "AssertPodCount",
+    "AssertServiceReachable",
+    "AssertHostPortReachable",
+    "AssertDescribeContains",
+    "AssertEnvoyListenerPort",
+    "AssertEnvoyRoute",
+    "AssertEnvoyClusterLb",
+    "AssertEnvoyClusterEndpoints",
+    "AssertIstioLbPolicy",
+    "AssertIstioSubsetLabels",
+    "AssertIstioDestination",
+    "AssertGatewayServer",
+    "UnitTestProgram",
+    "step_from_dict",
+]
+
+
+@dataclass(frozen=True)
+class Step:
+    """Base class: every step knows its type tag and shell rendering."""
+
+    def to_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["step"] = type(self).__name__
+        return data
+
+    def script_lines(self) -> list[str]:  # pragma: no cover - overridden
+        return [f"# {type(self).__name__}"]
+
+
+# ---------------------------------------------------------------------------
+# Environment setup steps
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CreateNamespace(Step):
+    """``kubectl create ns <name>``."""
+
+    name: str
+
+    def script_lines(self) -> list[str]:
+        return [f"kubectl create ns {self.name}"]
+
+
+@dataclass(frozen=True)
+class ApplyManifest(Step):
+    """Apply a fixed setup manifest (context resources, secrets, roles...)."""
+
+    yaml_text: str
+    namespace: str | None = None
+
+    def script_lines(self) -> list[str]:
+        lines = self.yaml_text.strip().splitlines()
+        return [f'echo "{lines[0]}" | kubectl apply -f -'] + [f"#   {line}" for line in lines[1:]]
+
+
+@dataclass(frozen=True)
+class ApplyAnswer(Step):
+    """Apply the YAML file under evaluation (``labeled_code.yaml``)."""
+
+    namespace: str | None = None
+
+    def script_lines(self) -> list[str]:
+        return ["kubectl apply -f labeled_code.yaml"]
+
+
+@dataclass(frozen=True)
+class WaitFor(Step):
+    """``kubectl wait --for=condition=<condition> ...``."""
+
+    kind: str
+    condition: str
+    name: str | None = None
+    selector: dict[str, str] | None = None
+    namespace: str = "default"
+    timeout_seconds: int = 60
+
+    def script_lines(self) -> list[str]:
+        target = self.name or ("-l " + ",".join(f"{k}={v}" for k, v in (self.selector or {}).items()) or "--all")
+        return [
+            f"kubectl wait --for=condition={self.condition} {self.kind.lower()} {target} "
+            f"-n {self.namespace} --timeout={self.timeout_seconds}s"
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Kubernetes assertions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AssertExists(Step):
+    """The object must exist after the answer is applied."""
+
+    kind: str
+    name: str
+    namespace: str = "default"
+
+    def script_lines(self) -> list[str]:
+        return [f"kubectl get {self.kind.lower()} {self.name} -n {self.namespace}"]
+
+
+@dataclass(frozen=True)
+class AssertJsonPath(Step):
+    """A JSONPath query must equal / contain / be one of the expected values."""
+
+    kind: str
+    jsonpath: str
+    expected: str | None = None
+    contains: str | None = None
+    one_of: tuple[str, ...] = ()
+    name: str | None = None
+    selector: dict[str, str] | None = None
+    namespace: str = "default"
+
+    def script_lines(self) -> list[str]:
+        target = self.name or "-l " + ",".join(f"{k}={v}" for k, v in (self.selector or {}).items())
+        check = self.expected if self.expected is not None else (self.contains or "|".join(self.one_of))
+        return [
+            f"value=$(kubectl get {self.kind.lower()} {target} -n {self.namespace} -o=jsonpath='{self.jsonpath}')",
+            f'[[ "$value" == *"{check}"* ]] || exit 1',
+        ]
+
+
+@dataclass(frozen=True)
+class AssertFieldAbsent(Step):
+    """A JSONPath query must produce no value (field must not be set)."""
+
+    kind: str
+    jsonpath: str
+    name: str | None = None
+    namespace: str = "default"
+
+    def script_lines(self) -> list[str]:
+        return [
+            f"value=$(kubectl get {self.kind.lower()} {self.name} -n {self.namespace} -o=jsonpath='{self.jsonpath}')",
+            '[[ -z "$value" ]] || exit 1',
+        ]
+
+
+@dataclass(frozen=True)
+class AssertPodCount(Step):
+    """At least ``min_count`` ready pods must match the selector."""
+
+    selector: dict[str, str]
+    min_count: int = 1
+    namespace: str = "default"
+
+    def script_lines(self) -> list[str]:
+        sel = ",".join(f"{k}={v}" for k, v in self.selector.items())
+        return [
+            f"count=$(kubectl get pods -l {sel} -n {self.namespace} --field-selector=status.phase=Running | wc -l)",
+            f"[[ $count -ge {self.min_count} ]] || exit 1",
+        ]
+
+
+@dataclass(frozen=True)
+class AssertServiceReachable(Step):
+    """The service must have ready endpoints (the ``curl`` analogue)."""
+
+    name: str
+    namespace: str = "default"
+    port: int | None = None
+
+    def script_lines(self) -> list[str]:
+        port = f":{self.port}" if self.port else ""
+        return [
+            f"cluster_ip=$(kubectl get svc {self.name} -n {self.namespace} -o=jsonpath='{{.spec.clusterIP}}')",
+            f'curl -s -o /dev/null -w "%{{http_code}}" $cluster_ip{port} | grep 200',
+        ]
+
+
+@dataclass(frozen=True)
+class AssertHostPortReachable(Step):
+    """Some ready pod must expose the host port (DaemonSet-style checks)."""
+
+    host_port: int
+    selector: dict[str, str] | None = None
+    namespace: str = "default"
+
+    def script_lines(self) -> list[str]:
+        return [
+            "host_ip=$(kubectl get pod $pods -o=jsonpath='{.status.hostIP}')",
+            f'curl -s -o /dev/null -w "%{{http_code}}" $host_ip:{self.host_port} | grep 200',
+        ]
+
+
+@dataclass(frozen=True)
+class AssertDescribeContains(Step):
+    """``kubectl describe <kind> <name> | grep <substring>``."""
+
+    kind: str
+    name: str
+    substring: str
+    namespace: str = "default"
+
+    def script_lines(self) -> list[str]:
+        return [f'kubectl describe {self.kind.lower()} {self.name} -n {self.namespace} | grep "{self.substring}"']
+
+
+# ---------------------------------------------------------------------------
+# Envoy assertions (the answer is an Envoy bootstrap config)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AssertEnvoyListenerPort(Step):
+    """The configuration must expose a listener on the port."""
+
+    port: int
+
+    def script_lines(self) -> list[str]:
+        return [f"docker run -d envoyproxy/envoy -c answer.yaml && curl -s localhost:{self.port}"]
+
+
+@dataclass(frozen=True)
+class AssertEnvoyRoute(Step):
+    """A request to ``port``/``path`` must be routed to ``cluster``."""
+
+    port: int
+    cluster: str
+    path: str = "/"
+    host: str = "*"
+
+    def script_lines(self) -> list[str]:
+        return [f"curl -s -H 'Host: {self.host}' localhost:{self.port}{self.path} | grep {self.cluster}"]
+
+
+@dataclass(frozen=True)
+class AssertEnvoyClusterLb(Step):
+    """The named cluster must use the given lb_policy."""
+
+    cluster: str
+    policy: str
+
+    def script_lines(self) -> list[str]:
+        return [f"grep -A3 'name: {self.cluster}' answer.yaml | grep 'lb_policy: {self.policy}'"]
+
+
+@dataclass(frozen=True)
+class AssertEnvoyClusterEndpoints(Step):
+    """The named cluster must declare an endpoint on (address, port)."""
+
+    cluster: str
+    address: str
+    port: int
+
+    def script_lines(self) -> list[str]:
+        return [f"grep -A10 'name: {self.cluster}' answer.yaml | grep 'port_value: {self.port}'"]
+
+
+# ---------------------------------------------------------------------------
+# Istio assertions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AssertIstioLbPolicy(Step):
+    """DestinationRule (or one of its subsets) must use the policy."""
+
+    name: str
+    policy: str
+    subset: str | None = None
+    namespace: str = "default"
+
+    def script_lines(self) -> list[str]:
+        scope = f".subsets[?name=='{self.subset}']" if self.subset else ""
+        return [
+            f"kubectl get destinationrule {self.name} -n {self.namespace} "
+            f"-o=jsonpath='{{.spec{scope}.trafficPolicy.loadBalancer.simple}}' | grep {self.policy}"
+        ]
+
+
+@dataclass(frozen=True)
+class AssertIstioSubsetLabels(Step):
+    """A DestinationRule subset must carry the given labels."""
+
+    name: str
+    subset: str
+    labels: dict[str, str]
+    namespace: str = "default"
+
+    def script_lines(self) -> list[str]:
+        return [
+            f"kubectl get destinationrule {self.name} -n {self.namespace} -o yaml | grep -A3 'name: {self.subset}'"
+        ]
+
+
+@dataclass(frozen=True)
+class AssertIstioDestination(Step):
+    """A VirtualService must route to (host, subset)."""
+
+    name: str
+    host: str
+    subset: str | None = None
+    namespace: str = "default"
+
+    def script_lines(self) -> list[str]:
+        return [f"kubectl get virtualservice {self.name} -n {self.namespace} -o yaml | grep 'host: {self.host}'"]
+
+
+@dataclass(frozen=True)
+class AssertGatewayServer(Step):
+    """A Gateway must expose a server with the port/protocol/host."""
+
+    name: str
+    port: int
+    protocol: str
+    host: str = "*"
+    namespace: str = "default"
+
+    def script_lines(self) -> list[str]:
+        return [f"kubectl get gateway {self.name} -n {self.namespace} -o yaml | grep 'number: {self.port}'"]
+
+
+# ---------------------------------------------------------------------------
+# Program
+# ---------------------------------------------------------------------------
+
+_STEP_TYPES = {
+    cls.__name__: cls
+    for cls in [
+        CreateNamespace,
+        ApplyManifest,
+        ApplyAnswer,
+        WaitFor,
+        AssertExists,
+        AssertJsonPath,
+        AssertFieldAbsent,
+        AssertPodCount,
+        AssertServiceReachable,
+        AssertHostPortReachable,
+        AssertDescribeContains,
+        AssertEnvoyListenerPort,
+        AssertEnvoyRoute,
+        AssertEnvoyClusterLb,
+        AssertEnvoyClusterEndpoints,
+        AssertIstioLbPolicy,
+        AssertIstioSubsetLabels,
+        AssertIstioDestination,
+        AssertGatewayServer,
+    ]
+}
+
+
+def step_from_dict(data: Mapping[str, Any]) -> Step:
+    """Rehydrate a step from its serialised dictionary."""
+
+    data = dict(data)
+    step_name = data.pop("step", None)
+    cls = _STEP_TYPES.get(str(step_name))
+    if cls is None:
+        raise ValueError(f"unknown step type {step_name!r}")
+    # JSON round-trips tuples as lists and dataclass fields are typed, so
+    # convert known sequence fields back.
+    if cls is AssertJsonPath and isinstance(data.get("one_of"), list):
+        data["one_of"] = tuple(data["one_of"])
+    return cls(**data)
+
+
+@dataclass(frozen=True)
+class UnitTestProgram:
+    """An ordered list of steps plus the target substrate.
+
+    ``target`` is ``"kubernetes"`` (the answer is applied to the simulated
+    cluster; also used for Istio problems) or ``"envoy"`` (the answer is an
+    Envoy bootstrap configuration).
+    """
+
+    steps: tuple[Step, ...]
+    target: str = "kubernetes"
+    nodes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.target not in ("kubernetes", "envoy"):
+            raise ValueError(f"unknown unit-test target {self.target!r}")
+
+    def script_lines(self) -> list[str]:
+        """Render the whole program as a shell script (for statistics)."""
+
+        lines: list[str] = []
+        for step in self.steps:
+            lines.extend(step.script_lines())
+        lines.append("echo unit_test_passed")
+        return lines
+
+    def line_count(self) -> int:
+        """Number of script lines (paper's "Avg. Lines of Unit Test")."""
+
+        return len(self.script_lines())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "target": self.target,
+            "nodes": self.nodes,
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "UnitTestProgram":
+        steps = tuple(step_from_dict(item) for item in data.get("steps", []))
+        return cls(steps=steps, target=str(data.get("target", "kubernetes")), nodes=int(data.get("nodes", 1)))

@@ -1,0 +1,12 @@
+"""Shared utilities: deterministic RNG, text helpers and small IO helpers."""
+
+from repro.utils.rng import DeterministicRNG, stable_hash
+from repro.utils.text import count_tokens, count_words, normalize_whitespace
+
+__all__ = [
+    "DeterministicRNG",
+    "count_tokens",
+    "count_words",
+    "normalize_whitespace",
+    "stable_hash",
+]

@@ -1,0 +1,74 @@
+"""Line-level diffing used by the edit-distance metric.
+
+The paper computes the edit-distance score as::
+
+    1 - edit_distance / len(reference_YAML)
+
+where the edit distance counts the number of line edits reported by
+``difflib.Differ`` between the generated and the reference YAML.  We keep
+that definition, clamping to [0, 1] so pathological answers (much longer
+than the reference) do not produce negative scores.
+"""
+
+from __future__ import annotations
+
+import difflib
+
+__all__ = ["line_edit_distance", "scaled_edit_similarity", "changed_lines"]
+
+
+def _significant_lines(text: str) -> list[str]:
+    """Split into lines, dropping blank lines and trailing whitespace."""
+
+    return [line.rstrip() for line in text.splitlines() if line.strip()]
+
+
+def line_edit_distance(generated: str, reference: str) -> int:
+    """Number of added/removed lines between the two texts.
+
+    A changed line counts as one removal plus one addition, matching the
+    behaviour of ``difflib.Differ`` which reports ``-`` and ``+`` entries.
+    """
+
+    gen_lines = _significant_lines(generated)
+    ref_lines = _significant_lines(reference)
+    differ = difflib.Differ()
+    distance = 0
+    for entry in differ.compare(ref_lines, gen_lines):
+        if entry.startswith(("- ", "+ ")):
+            distance += 1
+    return distance
+
+
+def changed_lines(generated: str, reference: str) -> tuple[list[str], list[str]]:
+    """Return (missing_from_generated, extra_in_generated) line lists."""
+
+    gen_lines = _significant_lines(generated)
+    ref_lines = _significant_lines(reference)
+    differ = difflib.Differ()
+    missing: list[str] = []
+    extra: list[str] = []
+    for entry in differ.compare(ref_lines, gen_lines):
+        if entry.startswith("- "):
+            missing.append(entry[2:])
+        elif entry.startswith("+ "):
+            extra.append(entry[2:])
+    return missing, extra
+
+
+def scaled_edit_similarity(generated: str, reference: str) -> float:
+    """Edit-distance similarity scaled by the size of the reference.
+
+    Returns a score in [0, 1]; 1 means the generated text is line-identical
+    to the reference (ignoring blank lines), 0 means the edit distance is at
+    least as large as the reference itself.
+    """
+
+    ref_lines = _significant_lines(reference)
+    if not ref_lines:
+        return 1.0 if not _significant_lines(generated) else 0.0
+    # Paper formula: 1 - edit_distance / len(reference_YAML).  A fully
+    # rewritten answer can exceed the reference length in line edits, so the
+    # score is clamped at 0 to stay within [0, 1].
+    distance = line_edit_distance(generated, reference)
+    return max(0.0, 1.0 - distance / float(len(ref_lines)))

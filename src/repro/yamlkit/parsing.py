@@ -1,0 +1,76 @@
+"""Safe YAML parsing helpers used across the benchmark.
+
+Generated answers are untrusted text, so everything goes through
+``yaml.safe_load``.  Answers frequently contain multiple documents (for
+example a Service and a Deployment separated by ``---``), so the loaders in
+this module always expose a multi-document view and the single-document
+helper simply asserts there is exactly one.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import yaml
+
+__all__ = [
+    "YamlParseError",
+    "load_document",
+    "load_all_documents",
+    "is_valid_yaml",
+    "dump_document",
+]
+
+
+class YamlParseError(ValueError):
+    """Raised when a YAML payload cannot be parsed or has the wrong shape."""
+
+
+def load_all_documents(text: str) -> list[Any]:
+    """Parse ``text`` into a list of YAML documents.
+
+    Empty documents (for example a trailing ``---``) are dropped.  Raises
+    :class:`YamlParseError` when the text is not valid YAML.
+    """
+
+    try:
+        docs = list(yaml.safe_load_all(text))
+    except yaml.YAMLError as exc:  # pragma: no cover - message formatting
+        raise YamlParseError(f"invalid YAML: {exc}") from exc
+    return [d for d in docs if d is not None]
+
+
+def load_document(text: str) -> Any:
+    """Parse ``text`` expecting exactly one YAML document."""
+
+    docs = load_all_documents(text)
+    if not docs:
+        raise YamlParseError("no YAML document found")
+    if len(docs) > 1:
+        raise YamlParseError(f"expected a single YAML document, found {len(docs)}")
+    return docs[0]
+
+
+def is_valid_yaml(text: str, require_mapping: bool = False) -> bool:
+    """Return True when ``text`` parses as YAML.
+
+    With ``require_mapping`` every parsed document must be a mapping, which
+    is the shape of every Kubernetes/Envoy/Istio configuration in the
+    dataset; a bare scalar (for example a prose answer) does not count.
+    """
+
+    try:
+        docs = load_all_documents(text)
+    except YamlParseError:
+        return False
+    if not docs:
+        return False
+    if require_mapping:
+        return all(isinstance(d, dict) for d in docs)
+    return True
+
+
+def dump_document(doc: Any) -> str:
+    """Serialise a document back to YAML with stable formatting."""
+
+    return yaml.safe_dump(doc, sort_keys=False, default_flow_style=False)

@@ -1,0 +1,102 @@
+"""Tests for failure-mode classification and per-factor breakdowns."""
+
+from __future__ import annotations
+
+from repro.analysis.breakdown import PERSPECTIVES, breakdown_table, perspective_series
+from repro.analysis.failure_modes import FailureCategory, classify_answer, failure_histogram
+from repro.dataset.schema import Variant
+
+
+def _k8s_problem(problems):
+    return next(p for p in problems if p.unit_test.target == "kubernetes")
+
+
+def test_classify_passing_answer(small_original_problems):
+    problem = _k8s_problem(small_original_problems)
+    assert classify_answer(problem, problem.reference_plain(), True) is FailureCategory.PASSES
+
+
+def test_classify_empty_answer(small_original_problems):
+    problem = _k8s_problem(small_original_problems)
+    assert classify_answer(problem, "", False) is FailureCategory.EMPTY
+    assert classify_answer(problem, "apiVersion: v1\n", False) is FailureCategory.EMPTY
+
+
+def test_classify_prose_without_kind(small_original_problems):
+    problem = _k8s_problem(small_original_problems)
+    prose = "You should consult the documentation.\nThere are many options.\nGood luck with your cluster."
+    assert classify_answer(problem, prose, False) is FailureCategory.NO_KIND
+
+
+def test_classify_incomplete_yaml(small_original_problems):
+    problem = _k8s_problem(small_original_problems)
+    fragment = "apiVersion: v1\nkind: Pod\nmetadata:\n  name: x\n   - broken: [unclosed\n"
+    assert classify_answer(problem, fragment, False) is FailureCategory.INCOMPLETE_YAML
+
+
+def test_classify_wrong_kind(small_original_problems):
+    problem = next(p for p in small_original_problems if p.metadata["primary_kind"] == "Deployment")
+    answer = "apiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: x\ndata:\n  a: b\n"
+    assert classify_answer(problem, answer, False) is FailureCategory.WRONG_KIND
+
+
+def test_classify_right_kind_failing_test(small_original_problems):
+    problem = next(p for p in small_original_problems if p.metadata["primary_kind"] == "Deployment")
+    answer = problem.reference_plain().replace("replicas:", "replicas:")  # same kind, assume failing
+    assert classify_answer(problem, answer, False) is FailureCategory.FAILS_UNIT_TEST
+
+
+def test_classify_envoy_uses_static_resources(small_original_problems):
+    problem = next(p for p in small_original_problems if p.unit_test.target == "envoy")
+    prose = "Envoy requires listeners and clusters.\nPlease configure them.\nThen start the proxy."
+    assert classify_answer(problem, prose, False) is FailureCategory.NO_KIND
+    assert classify_answer(problem, problem.reference_plain(), False) is FailureCategory.FAILS_UNIT_TEST
+
+
+def test_failure_histogram_counts_every_problem(small_original_problems):
+    problems = list(small_original_problems)[:10]
+    responses = {p.problem_id: p.reference_plain() for p in problems}
+    results = {p.problem_id: True for p in problems}
+    histogram = failure_histogram(problems, responses, results)
+    assert sum(histogram.values()) == 10
+    assert histogram[FailureCategory.PASSES] == 10
+
+
+def test_breakdown_table_has_all_perspectives(small_benchmark_result):
+    table = breakdown_table(small_benchmark_result["gpt-4"])
+    assert set(table) == set(PERSPECTIVES)
+    assert set(table["application"]) == {"kubernetes", "envoy", "istio"}
+    assert all(0.0 <= v <= 1.0 for buckets in table.values() for v in buckets.values())
+
+
+def test_breakdown_kubernetes_beats_envoy_for_gpt4(small_benchmark_result):
+    table = breakdown_table(small_benchmark_result["gpt-4"])
+    assert table["application"]["kubernetes"] > table["application"]["envoy"]
+
+
+def test_breakdown_short_answers_easier_than_long(small_benchmark_result):
+    table = breakdown_table(small_benchmark_result["gpt-4"])
+    assert table["answer_lines"]["[0, 15)"] >= table["answer_lines"][">=30"]
+
+
+def test_perspective_series_one_point_per_model(small_benchmark_result):
+    evaluations = [small_benchmark_result[m] for m in small_benchmark_result.models()]
+    series = perspective_series(evaluations, "application")
+    assert set(series) == {"kubernetes", "envoy", "istio"}
+    assert all(len(values) == len(evaluations) for values in series.values())
+
+
+def test_perspective_series_unknown_perspective_raises(small_benchmark_result):
+    evaluations = [small_benchmark_result["gpt-4"]]
+    try:
+        perspective_series(evaluations, "nonsense")
+    except KeyError as exc:
+        assert "nonsense" in str(exc)
+    else:  # pragma: no cover
+        raise AssertionError("expected KeyError")
+
+
+def test_breakdown_ignores_other_variants(small_benchmark_result):
+    table_original = breakdown_table(small_benchmark_result["gpt-4"], variant="original")
+    table_translated = breakdown_table(small_benchmark_result["gpt-4"], variant=Variant.TRANSLATED.value)
+    assert table_original != {} and table_translated != {}

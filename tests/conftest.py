@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite.
+
+The full 1011-problem dataset is cheap to build (fractions of a second) but
+evaluating models over it is not, so most tests use ``small_dataset`` — a
+reduced corpus with every category represented — and only the integration
+tests touch the full corpus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BenchmarkConfig, CloudEvalBenchmark
+from repro.dataset.builder import build_dataset, build_original_problems
+from repro.dataset.problem import ProblemSet
+from repro.dataset.schema import Category
+
+
+SMALL_COUNTS = {
+    Category.POD: 8,
+    Category.DAEMONSET: 6,
+    Category.SERVICE: 5,
+    Category.JOB: 4,
+    Category.DEPLOYMENT: 5,
+    Category.OTHERS: 17,
+    Category.ENVOY: 4,
+    Category.ISTIO: 4,
+}
+
+
+@pytest.fixture(scope="session")
+def small_original_problems() -> ProblemSet:
+    """A reduced original-only corpus covering every category."""
+
+    return build_original_problems(category_counts=SMALL_COUNTS)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> ProblemSet:
+    """The reduced corpus with simplified/translated variants included."""
+
+    return build_dataset(category_counts=SMALL_COUNTS)
+
+
+@pytest.fixture(scope="session")
+def full_original_problems() -> ProblemSet:
+    """The full 337-problem original corpus (session-cached)."""
+
+    return build_original_problems()
+
+
+@pytest.fixture(scope="session")
+def full_dataset() -> ProblemSet:
+    """The full 1011-problem dataset (session-cached)."""
+
+    return build_dataset()
+
+
+@pytest.fixture(scope="session")
+def small_benchmark(small_dataset: ProblemSet) -> CloudEvalBenchmark:
+    """A benchmark over the reduced corpus with default configuration."""
+
+    return CloudEvalBenchmark(small_dataset, BenchmarkConfig())
+
+
+@pytest.fixture(scope="session")
+def small_benchmark_result(small_benchmark: CloudEvalBenchmark):
+    """Five representative models evaluated over the reduced corpus.
+
+    The selection spans the quality range of Table 4 (frontier, mid-tier
+    chat models, a code model) so ranking- and predictor-related tests have
+    enough signal without evaluating all twelve models.
+    """
+
+    return small_benchmark.evaluate_models(
+        models=["gpt-4", "gpt-3.5", "llama-2-70b-chat", "llama-2-13b-chat", "codellama-7b-instruct"]
+    )

@@ -1,0 +1,70 @@
+"""Tests for practical data augmentation (simplification and translation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.augmentation import augment_problem, simplify_question, translate_question
+from repro.dataset.schema import Variant
+from repro.utils.text import count_words
+
+
+def test_simplify_shortens_typical_questions():
+    question = (
+        "Write a YAML file to create a Kubernetes Deployment named \"web\" in the production "
+        "namespace. Ensure that the CPU request is set to 100m and the memory request is set to 200Mi."
+    )
+    simplified = simplify_question(question)
+    assert count_words(simplified) < count_words(question)
+    assert "k8s" in simplified
+
+
+def test_simplify_preserves_quoted_names():
+    question = 'Create a Service named "payments-service" in the production namespace.'
+    simplified = simplify_question(question)
+    assert '"payments-service"' in simplified
+
+
+def test_simplify_is_idempotent_enough_to_stay_short():
+    question = "Please write a YAML file that defines firstly a Service and then a Deployment."
+    once = simplify_question(question)
+    twice = simplify_question(once)
+    assert count_words(twice) <= count_words(once)
+
+
+def test_translate_produces_chinese_text():
+    question = "Create a Deployment named \"web\" in the production namespace running nginx."
+    translated = translate_question(question)
+    assert any("一" <= ch <= "鿿" for ch in translated)
+
+
+def test_translate_preserves_quoted_and_backtick_segments():
+    question = 'Create a ConfigMap named "app-config" with the key `LOG_LEVEL`.'
+    translated = translate_question(question)
+    assert '"app-config"' in translated
+    assert "`LOG_LEVEL`" in translated
+
+
+def test_augment_problem_produces_two_variants(small_original_problems):
+    problem = small_original_problems[0]
+    variants = augment_problem(problem)
+    assert {v.variant for v in variants} == {Variant.SIMPLIFIED, Variant.TRANSLATED}
+    for variant in variants:
+        assert variant.base_id == problem.base_id
+        assert variant.reference_yaml == problem.reference_yaml
+        assert variant.unit_test == problem.unit_test
+        assert variant.question != problem.question
+
+
+def test_augment_problem_rejects_non_original(small_dataset):
+    simplified = next(p for p in small_dataset if p.variant is Variant.SIMPLIFIED)
+    with pytest.raises(ValueError):
+        augment_problem(simplified)
+
+
+def test_augmented_dataset_reduces_word_count(small_dataset):
+    originals = small_dataset.by_variant(Variant.ORIGINAL)
+    simplified = small_dataset.by_variant(Variant.SIMPLIFIED)
+    original_words = sum(p.question_words() for p in originals)
+    simplified_words = sum(p.question_words() for p in simplified)
+    assert simplified_words < original_words

@@ -1,0 +1,78 @@
+"""Tests for the corpus builder and the category generators."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.dataset.builder import build_dataset, build_original_problems
+from repro.dataset.schema import Category, ORIGINAL_CATEGORY_COUNTS, Variant
+
+
+def test_small_corpus_category_counts(small_original_problems):
+    counts = Counter(p.category for p in small_original_problems)
+    assert counts[Category.POD] == 8
+    assert counts[Category.ENVOY] == 4
+
+
+def test_full_corpus_matches_table2_counts(full_original_problems):
+    counts = Counter(p.category for p in full_original_problems)
+    for category, expected in ORIGINAL_CATEGORY_COUNTS.items():
+        assert counts[category] == expected
+    assert len(full_original_problems) == 337
+
+
+def test_full_dataset_has_1011_problems(full_dataset):
+    assert len(full_dataset) == 1011
+    variants = Counter(p.variant for p in full_dataset)
+    assert variants[Variant.ORIGINAL] == variants[Variant.SIMPLIFIED] == variants[Variant.TRANSLATED] == 337
+
+
+def test_build_is_deterministic():
+    a = build_original_problems(seed=42, category_counts={Category.POD: 5, Category.ISTIO: 3})
+    b = build_original_problems(seed=42, category_counts={Category.POD: 5, Category.ISTIO: 3})
+    assert [p.to_dict() for p in a] == [p.to_dict() for p in b]
+
+
+def test_different_seed_changes_content():
+    a = build_original_problems(seed=1, category_counts={Category.POD: 5})
+    b = build_original_problems(seed=2, category_counts={Category.POD: 5})
+    assert [p.question for p in a] != [p.question for p in b]
+
+
+def test_problem_ids_are_unique_and_structured(small_dataset):
+    ids = [p.problem_id for p in small_dataset]
+    assert len(ids) == len(set(ids))
+    assert all(p.problem_id == f"{p.base_id}-{p.variant.value}" for p in small_dataset)
+
+
+def test_every_problem_has_reference_and_unit_test(small_original_problems):
+    for problem in small_original_problems:
+        assert problem.reference_yaml.strip()
+        assert len(problem.unit_test.steps) >= 2
+        assert problem.metadata.get("primary_kind")
+
+
+def test_difficulty_within_unit_interval_and_envoy_hardest(small_original_problems):
+    difficulties = [p.difficulty for p in small_original_problems]
+    assert all(0.0 <= d <= 1.0 for d in difficulties)
+    envoy = [p.difficulty for p in small_original_problems.by_category(Category.ENVOY)]
+    kubernetes = [p.difficulty for p in small_original_problems.by_application("kubernetes")]
+    assert min(envoy) > sum(kubernetes) / len(kubernetes)
+
+
+def test_envoy_problems_use_envoy_target(small_original_problems):
+    for problem in small_original_problems.by_category(Category.ENVOY):
+        assert problem.unit_test.target == "envoy"
+    for problem in small_original_problems.by_category(Category.DEPLOYMENT):
+        assert problem.unit_test.target == "kubernetes"
+
+
+def test_some_problems_carry_code_context(full_original_problems):
+    with_context = [p for p in full_original_problems if p.has_code_context]
+    without_context = [p for p in full_original_problems if not p.has_code_context]
+    assert with_context and without_context
+
+
+def test_build_dataset_without_augmentation(small_original_problems):
+    dataset = build_dataset(category_counts={Category.POD: 3}, augment=False)
+    assert all(p.variant is Variant.ORIGINAL for p in dataset)

@@ -1,0 +1,57 @@
+"""Tests for dataset statistics (Tables 1-2) and persistence."""
+
+from __future__ import annotations
+
+from repro.dataset.loader import load_dataset, save_dataset
+from repro.dataset.schema import Variant
+from repro.dataset.statistics import (
+    augmentation_statistics,
+    dataset_statistics,
+    format_table1,
+    format_table2,
+)
+
+
+def test_augmentation_statistics_counts(small_dataset):
+    stats = augmentation_statistics(small_dataset)
+    assert stats[Variant.ORIGINAL].count == stats[Variant.SIMPLIFIED].count == stats[Variant.TRANSLATED].count
+    assert stats[Variant.SIMPLIFIED].avg_words < stats[Variant.ORIGINAL].avg_words
+
+
+def test_dataset_statistics_cover_all_categories(small_dataset):
+    stats = dataset_statistics(small_dataset)
+    assert "envoy" in stats and "pod" in stats and "total" in stats
+    assert stats["total"].count == len(small_dataset.originals())
+    # Envoy solutions are by far the longest, as in Table 2.
+    assert stats["envoy"].avg_solution_lines > stats["total"].avg_solution_lines
+    assert stats["total"].max_solution_tokens >= stats["istio"].max_solution_tokens
+
+
+def test_unit_test_lines_are_positive(small_dataset):
+    stats = dataset_statistics(small_dataset)
+    assert all(row.avg_unit_test_lines > 0 for row in stats.values())
+
+
+def test_table_formatting_contains_rows(small_dataset):
+    table1 = format_table1(augmentation_statistics(small_dataset))
+    table2 = format_table2(dataset_statistics(small_dataset))
+    assert "Avg. words" in table1
+    assert "envoy" in table2 and "total" in table2
+
+
+def test_save_and_load_round_trip(tmp_path, small_dataset):
+    path = save_dataset(small_dataset, tmp_path / "dataset.json")
+    restored = load_dataset(path)
+    assert len(restored) == len(small_dataset)
+    assert restored[0] == small_dataset[0]
+
+
+def test_load_rejects_unknown_format(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"format": "something-else", "problems": []}')
+    try:
+        load_dataset(path)
+    except ValueError as exc:
+        assert "format" in str(exc)
+    else:  # pragma: no cover
+        raise AssertionError("expected ValueError")

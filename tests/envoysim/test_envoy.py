@@ -1,0 +1,135 @@
+"""Tests for the Envoy configuration simulator."""
+
+from __future__ import annotations
+
+import pytest
+import yaml
+
+from repro.envoysim import EnvoyConfig, EnvoyValidationError, validate_envoy_config
+
+BASIC_CONFIG = yaml.safe_load(
+    """
+static_resources:
+  listeners:
+  - name: listener_0
+    address:
+      socket_address:
+        address: 0.0.0.0
+        port_value: 10000
+    filter_chains:
+    - filters:
+      - name: envoy.filters.network.http_connection_manager
+        typed_config:
+          route_config:
+            virtual_hosts:
+            - name: internal
+              domains: ["internal.example.com"]
+              routes:
+              - match: {prefix: /}
+                route: {cluster: internal_service}
+            - name: public
+              domains: ["*"]
+              routes:
+              - match: {prefix: /api}
+                route: {cluster: api_service}
+              - match: {prefix: /}
+                route: {cluster: web_service}
+  clusters:
+  - name: internal_service
+    lb_policy: LEAST_REQUEST
+    load_assignment:
+      endpoints:
+      - lb_endpoints:
+        - endpoint:
+            address: {socket_address: {address: 127.0.0.1, port_value: 9100}}
+  - name: api_service
+    load_assignment:
+      endpoints:
+      - lb_endpoints:
+        - endpoint:
+            address: {socket_address: {address: 127.0.0.1, port_value: 9200}}
+  - name: web_service
+    load_assignment:
+      endpoints:
+      - lb_endpoints:
+        - endpoint:
+            address: {socket_address: {address: 127.0.0.1, port_value: 9300}}
+"""
+)
+
+
+def test_valid_config_accepted():
+    validate_envoy_config(BASIC_CONFIG)
+
+
+def test_missing_static_resources_rejected():
+    with pytest.raises(EnvoyValidationError, match="static_resources"):
+        validate_envoy_config({"admin": {}})
+
+
+def test_listener_requires_port():
+    broken = yaml.safe_load(yaml.safe_dump(BASIC_CONFIG))
+    del broken["static_resources"]["listeners"][0]["address"]["socket_address"]["port_value"]
+    with pytest.raises(EnvoyValidationError, match="port_value"):
+        validate_envoy_config(broken)
+
+
+def test_listener_requires_filter_chains():
+    broken = yaml.safe_load(yaml.safe_dump(BASIC_CONFIG))
+    broken["static_resources"]["listeners"][0]["filter_chains"] = []
+    with pytest.raises(EnvoyValidationError, match="filter_chains"):
+        validate_envoy_config(broken)
+
+
+def test_cluster_unknown_lb_policy_rejected():
+    broken = yaml.safe_load(yaml.safe_dump(BASIC_CONFIG))
+    broken["static_resources"]["clusters"][0]["lb_policy"] = "FASTEST"
+    with pytest.raises(EnvoyValidationError, match="lb_policy"):
+        validate_envoy_config(broken)
+
+
+def test_cluster_endpoint_requires_address():
+    broken = yaml.safe_load(yaml.safe_dump(BASIC_CONFIG))
+    broken["static_resources"]["clusters"][0]["load_assignment"]["endpoints"][0]["lb_endpoints"][0]["endpoint"] = {}
+    with pytest.raises(EnvoyValidationError):
+        validate_envoy_config(broken)
+
+
+def test_listener_ports_listed():
+    assert EnvoyConfig(BASIC_CONFIG).listener_ports() == [10000]
+
+
+def test_route_prefix_matching_prefers_first_match():
+    config = EnvoyConfig(BASIC_CONFIG)
+    assert config.route(10000, "/api/users") == "api_service"
+    assert config.route(10000, "/index.html") == "web_service"
+
+
+def test_route_host_matching():
+    config = EnvoyConfig(BASIC_CONFIG)
+    assert config.route(10000, "/", host="internal.example.com") == "internal_service"
+    assert config.route(10000, "/", host="other.example.com") == "web_service"
+
+
+def test_route_unknown_port_returns_none():
+    assert EnvoyConfig(BASIC_CONFIG).route(9999, "/") is None
+
+
+def test_request_succeeds_requires_endpoints():
+    config = EnvoyConfig(BASIC_CONFIG)
+    assert config.request_succeeds(10000, "/api")
+    broken = yaml.safe_load(yaml.safe_dump(BASIC_CONFIG))
+    broken["static_resources"]["clusters"][1]["load_assignment"]["endpoints"][0]["lb_endpoints"][0][
+        "endpoint"
+    ]["address"]["socket_address"]["port_value"] = 9201
+    # still has an endpoint, so it succeeds; now remove load_assignment entirely
+    del broken["static_resources"]["clusters"][1]["load_assignment"]
+    assert not EnvoyConfig(broken).request_succeeds(10000, "/api")
+
+
+def test_cluster_lb_policy_and_endpoints_queries():
+    config = EnvoyConfig(BASIC_CONFIG)
+    assert config.cluster_lb_policy("internal_service") == "LEAST_REQUEST"
+    assert config.cluster_lb_policy("api_service") == "ROUND_ROBIN"  # default
+    assert config.cluster_lb_policy("missing") is None
+    assert ("127.0.0.1", 9100) in config.cluster_endpoints("internal_service")

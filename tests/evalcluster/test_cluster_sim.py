@@ -1,0 +1,113 @@
+"""Tests for the image caches, master/worker scheduling and the Figure 5 sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.schema import Category
+from repro.evalcluster import (
+    ClusterSimulationConfig,
+    PullThroughCache,
+    WorkerImageCache,
+    benchmark_cost_table,
+    simulate_evaluation,
+)
+from repro.evalcluster.master import EvaluationJob, Master
+from repro.evalcluster.simulation import problem_images, sweep_workers
+
+
+def test_pull_through_cache_downloads_once():
+    shared = PullThroughCache(enabled=True)
+    worker_a = WorkerImageCache("a", shared)
+    worker_b = WorkerImageCache("b", shared)
+    first = worker_a.pull("nginx:latest")
+    second = worker_b.pull("nginx:latest")
+    assert first.internet_mb > 0
+    assert second.internet_mb == 0 and second.lan_mb > 0
+
+
+def test_worker_local_cache_avoids_any_transfer():
+    shared = PullThroughCache(enabled=True)
+    worker = WorkerImageCache("a", shared)
+    worker.pull("redis:7")
+    plan = worker.pull("redis:7")
+    assert plan.cached_locally and plan.internet_mb == 0 and plan.lan_mb == 0
+
+
+def test_disabled_cache_always_hits_internet():
+    shared = PullThroughCache(enabled=False)
+    worker_a = WorkerImageCache("a", shared)
+    worker_b = WorkerImageCache("b", shared)
+    assert worker_a.pull("mysql:8.0").internet_mb > 0
+    assert worker_b.pull("mysql:8.0").internet_mb > 0
+
+
+def test_master_queue_lifecycle():
+    master = Master()
+    jobs = [EvaluationJob(f"j{i}", f"p{i}", ("nginx",), 10.0) for i in range(3)]
+    master.submit(jobs)
+    assert master.pending() == 3
+    claimed = master.claim()
+    assert claimed.job_id == "j0"
+    master.report(claimed.job_id, "w1", finished_at=12.0, passed=True)
+    assert master.completed() == 1
+    assert not master.all_done()
+    while master.claim():
+        pass
+    assert master.pending() == 0
+
+
+def test_problem_images_extracted_from_reference(small_original_problems):
+    problem = next(p for p in small_original_problems if p.category is Category.POD)
+    images = problem_images(problem)
+    assert images
+    assert all(isinstance(i, str) and i for i in images)
+    envoy_problem = next(p for p in small_original_problems if p.category is Category.ENVOY)
+    assert "envoyproxy/envoy" in problem_images(envoy_problem)
+
+
+def test_simulation_completes_all_jobs(small_dataset):
+    config = ClusterSimulationConfig(num_workers=4, caching_enabled=True, worker_boot_seconds=10.0)
+    result = simulate_evaluation(small_dataset, config)
+    assert result.jobs == len(small_dataset)
+    assert result.total_seconds > 0
+    assert sum(result.per_worker_jobs.values()) == len(small_dataset)
+
+
+def test_more_workers_is_faster(small_dataset):
+    slow = simulate_evaluation(small_dataset, ClusterSimulationConfig(num_workers=1, caching_enabled=True))
+    fast = simulate_evaluation(small_dataset, ClusterSimulationConfig(num_workers=16, caching_enabled=True))
+    assert fast.total_seconds < slow.total_seconds
+
+
+def test_caching_reduces_internet_traffic_and_time(small_dataset):
+    cached = simulate_evaluation(small_dataset, ClusterSimulationConfig(num_workers=16, caching_enabled=True))
+    uncached = simulate_evaluation(small_dataset, ClusterSimulationConfig(num_workers=16, caching_enabled=False))
+    assert cached.internet_mb < uncached.internet_mb
+    assert cached.total_seconds <= uncached.total_seconds
+
+
+def test_simulation_is_deterministic(small_dataset):
+    config = ClusterSimulationConfig(num_workers=8, caching_enabled=True)
+    a = simulate_evaluation(small_dataset, config)
+    b = simulate_evaluation(small_dataset, config)
+    assert a.total_seconds == b.total_seconds
+
+
+def test_sweep_structure(small_dataset):
+    sweep = sweep_workers(small_dataset, worker_counts=(1, 4))
+    assert set(sweep) == {False, True}
+    assert set(sweep[True]) == {1, 4}
+    assert sweep[True][4] < sweep[True][1]
+
+
+def test_cost_table_matches_paper_magnitudes(small_dataset, full_dataset):
+    table = benchmark_cost_table(full_dataset)
+    assert table["inference:gpt-3.5"] == pytest.approx(0.60, abs=0.4)
+    assert table["inference:llama-7b"] == pytest.approx(2.90, abs=1.5)
+    assert table["evaluation:gcp-spot-x1"] == pytest.approx(0.71, abs=0.2)
+    assert table["evaluation:gcp-standard-x64"] == pytest.approx(5.51, abs=1.0)
+    assert table["total:min"] < table["total:max"]
+    # The cheapest run is a couple of dollars, the priciest under ten.
+    assert 0.5 < table["total:min"] < 3.0
+    assert 5.0 < table["total:max"] < 12.0

@@ -1,0 +1,102 @@
+"""Tests for the Redis-like store and the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evalcluster.events import EventQueue, SharedLink
+from repro.evalcluster.kvstore import RedisLikeStore
+
+
+def test_string_commands():
+    store = RedisLikeStore()
+    store.set("a", 1)
+    assert store.get("a") == 1
+    assert store.get("missing", "default") == "default"
+    assert store.incr("counter") == 1
+    assert store.incr("counter", 5) == 6
+    store.delete("a")
+    assert store.get("a") is None
+
+
+def test_hash_commands():
+    store = RedisLikeStore()
+    store.hset("results", "job-1", {"passed": True})
+    assert store.hget("results", "job-1") == {"passed": True}
+    assert store.hget("results", "job-2", "none") == "none"
+    assert store.hlen("results") == 1
+    assert store.hgetall("results") == {"job-1": {"passed": True}}
+
+
+def test_list_commands_fifo_order():
+    store = RedisLikeStore()
+    store.rpush("queue", "a", "b")
+    store.rpush("queue", "c")
+    assert store.llen("queue") == 3
+    assert store.lpop("queue") == "a"
+    assert store.lrange("queue") == ["b", "c"]
+    assert store.lpop("queue") == "b"
+    assert store.lpop("queue") == "c"
+    assert store.lpop("queue") is None
+
+
+def test_keys_lists_all_namespaces():
+    store = RedisLikeStore()
+    store.set("s", 1)
+    store.hset("h", "f", 2)
+    store.rpush("l", 3)
+    assert store.keys() == ["h", "l", "s"]
+
+
+def test_event_queue_runs_in_time_order():
+    queue = EventQueue()
+    order: list[str] = []
+    queue.schedule(5.0, lambda: order.append("later"))
+    queue.schedule(1.0, lambda: order.append("sooner"))
+    end = queue.run()
+    assert order == ["sooner", "later"]
+    assert end == 5.0
+
+
+def test_event_queue_supports_chained_scheduling():
+    queue = EventQueue()
+    ticks: list[float] = []
+
+    def tick():
+        ticks.append(queue.now)
+        if len(ticks) < 3:
+            queue.schedule(2.0, tick)
+
+    queue.schedule(0.0, tick)
+    queue.run()
+    assert ticks == [0.0, 2.0, 4.0]
+
+
+def test_event_queue_rejects_negative_delay():
+    with pytest.raises(ValueError):
+        EventQueue().schedule(-1.0, lambda: None)
+
+
+def test_shared_link_serialises_transfers():
+    link = SharedLink(bandwidth_mbps=100.0)
+    first = link.request(125.0, now=0.0)  # 125 MB at 100 Mbps = 10 s
+    second = link.request(125.0, now=0.0)
+    assert first == pytest.approx(10.0)
+    assert second == pytest.approx(20.0)
+    assert link.total_mb == 250.0
+
+
+def test_shared_link_idle_gap_respected():
+    link = SharedLink(bandwidth_mbps=100.0)
+    finish = link.request(12.5, now=100.0)  # 1 second transfer starting at t=100
+    assert finish == pytest.approx(101.0)
+
+
+def test_shared_link_zero_bytes_is_instant():
+    link = SharedLink(bandwidth_mbps=10.0)
+    assert link.request(0.0, now=7.0) == 7.0
+
+
+def test_shared_link_requires_positive_bandwidth():
+    with pytest.raises(ValueError):
+        SharedLink(0.0)

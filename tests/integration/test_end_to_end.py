@@ -1,0 +1,89 @@
+"""End-to-end integration: generation -> post-processing -> scoring -> analysis.
+
+These tests exercise the same pipeline the benchmark harness uses and assert
+the *qualitative* findings of the paper rather than exact numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.breakdown import breakdown_table
+from repro.analysis.failure_modes import FailureCategory
+from repro.analysis.pass_at_k import pass_at_k_curves
+from repro.analysis.tables import figure7_failure_modes, table4_zero_shot, table5_augmented_passes
+from repro.core import BenchmarkConfig, CloudEvalBenchmark
+from repro.dataset.schema import Variant
+
+
+def test_proprietary_models_beat_open_source(small_benchmark_result):
+    rows = {row["model"]: row for row in table4_zero_shot(small_benchmark_result)}
+    assert rows["gpt-4"]["unit_test"] > 2 * rows["llama-2-70b-chat"]["unit_test"]
+    assert rows["gpt-3.5"]["unit_test"] > rows["llama-2-70b-chat"]["unit_test"]
+
+
+def test_code_models_do_not_outperform_chat_models(small_benchmark_result):
+    rows = {row["model"]: row for row in table4_zero_shot(small_benchmark_result)}
+    assert rows["codellama-7b-instruct"]["unit_test"] <= rows["llama-2-13b-chat"]["unit_test"] + 0.02
+
+
+def test_unit_test_score_is_hardest_metric(small_benchmark_result):
+    for row in table4_zero_shot(small_benchmark_result):
+        assert row["unit_test"] <= row["kv_wildcard"] + 1e-9
+        assert row["exact_match"] <= row["kv_exact"] + 1e-9
+
+
+def test_envoy_is_hardest_application(small_benchmark_result):
+    table = breakdown_table(small_benchmark_result["gpt-4"])
+    assert table["application"]["envoy"] < table["application"]["kubernetes"]
+
+
+def test_translation_hurts_code_models_most(small_benchmark):
+    result = small_benchmark.evaluate_models(models=["gpt-4", "wizardcoder-34b-v1.0"])
+    table = table5_augmented_passes(result)
+    gpt4_drop = (table["gpt-4"]["original"] or 0) - (table["gpt-4"]["translated"] or 0)
+    wizard_drop = (table["wizardcoder-34b-v1.0"]["original"] or 0) - (table["wizardcoder-34b-v1.0"]["translated"] or 0)
+    assert wizard_drop >= gpt4_drop
+
+
+def test_failure_modes_cover_expected_categories(small_dataset, small_benchmark_result):
+    histograms = figure7_failure_modes(small_dataset, small_benchmark_result, models=("gpt-4", "llama-2-70b-chat"))
+    gpt4 = histograms["gpt-4"]
+    llama = histograms["llama-2-70b-chat"]
+    assert gpt4[FailureCategory.PASSES] > llama[FailureCategory.PASSES]
+    # Category 5 (right kind, fails test) dominates the open-source model's failures.
+    llama_failures = sum(v for cat, v in llama.items() if cat is not FailureCategory.PASSES)
+    assert llama[FailureCategory.FAILS_UNIT_TEST] > 0.3 * llama_failures
+
+
+def test_multi_sample_generation_improves_pass_rate(small_dataset):
+    bench = CloudEvalBenchmark(small_dataset, BenchmarkConfig(samples=8))
+    problems = list(small_dataset.by_variant(Variant.ORIGINAL))
+    evaluation = bench.evaluate_model("gpt-3.5", problems=problems)
+    curves = pass_at_k_curves([evaluation], ks=(1, 4, 8))
+    passed = curves[0].passed
+    assert passed[-1] >= passed[0]
+    assert curves[0].normalized()[-1] >= 1.0
+
+
+def test_few_shot_prompting_has_no_dramatic_effect(small_dataset):
+    problems = list(small_dataset.by_variant(Variant.ORIGINAL))
+    bench = CloudEvalBenchmark(small_dataset, BenchmarkConfig())
+    zero = bench.evaluate_model("gpt-3.5", problems=problems, shots=0).pass_count()
+    three = bench.evaluate_model("gpt-3.5", problems=problems, shots=3).pass_count()
+    assert abs(three - zero) <= max(4, int(0.25 * max(zero, 1)))
+
+
+def test_full_pipeline_smoke_with_two_variants(small_dataset):
+    config = BenchmarkConfig(variants=(Variant.ORIGINAL, Variant.SIMPLIFIED))
+    bench = CloudEvalBenchmark(small_dataset, config)
+    evaluation = bench.evaluate_model("palm-2-bison")
+    assert {r.variant for r in evaluation.records} == {"original", "simplified"}
+    assert evaluation.mean_scores()["unit_test"] > 0
+
+
+@pytest.mark.parametrize("model_name", ["gpt-4", "llama-2-70b-chat"])
+def test_raw_responses_survive_post_processing(small_benchmark_result, model_name):
+    evaluation = small_benchmark_result[model_name]
+    extracted_nonempty = sum(1 for r in evaluation.first_samples() if r.scores.extracted_yaml.strip())
+    assert extracted_nonempty > 0.7 * len(evaluation.first_samples())

@@ -1,0 +1,42 @@
+"""Integration: every reference solution in the full corpus passes its own unit test."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.scoring.function_level import run_unit_test
+
+
+def test_every_reference_solution_passes_its_unit_test(full_original_problems):
+    failures = []
+    for problem in full_original_problems:
+        result = run_unit_test(problem, problem.reference_plain())
+        if not result.passed:
+            failures.append((problem.problem_id, result.failed_step, result.message))
+    assert not failures, f"{len(failures)} reference solutions fail their own unit tests: {failures[:5]}"
+
+
+def test_reference_solutions_score_perfectly_on_yaml_aware_metrics(full_original_problems):
+    from repro.scoring.yaml_aware import key_value_wildcard_match
+
+    imperfect = [
+        problem.problem_id
+        for problem in full_original_problems
+        if key_value_wildcard_match(problem.reference_plain(), problem.reference_yaml) < 0.999
+    ]
+    assert not imperfect, f"references not self-consistent: {imperfect[:5]}"
+
+
+def test_unit_tests_reject_an_obviously_wrong_answer(full_original_problems):
+    wrong = "apiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: wrong-answer\ndata:\n  a: b\n"
+    passes = sum(1 for problem in full_original_problems if run_unit_test(problem, wrong).passed)
+    assert passes == 0
+
+
+def test_every_category_has_multiple_distinct_templates(full_original_problems):
+    slug_families = Counter()
+    for problem in full_original_problems:
+        family = "-".join(str(problem.metadata["slug"]).split("-")[:-1])
+        slug_families[(problem.category, family)] += 1
+    families_per_category = Counter(category for category, _ in slug_families)
+    assert all(count >= 4 for count in families_per_category.values())

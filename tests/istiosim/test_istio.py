@@ -1,0 +1,134 @@
+"""Tests for Istio CRD validation and query helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.istiosim  # noqa: F401 - registers validators
+from repro.istiosim import (
+    destination_rule_lb_policy,
+    destination_rule_subsets,
+    gateway_servers,
+    virtual_service_destinations,
+)
+from repro.kubesim import Cluster
+from repro.kubesim.errors import ValidationError
+
+DESTINATION_RULE = {
+    "apiVersion": "networking.istio.io/v1beta1",
+    "kind": "DestinationRule",
+    "metadata": {"name": "ratings", "namespace": "default"},
+    "spec": {
+        "host": "ratings",
+        "trafficPolicy": {"loadBalancer": {"simple": "LEAST_REQUEST"}},
+        "subsets": [
+            {"name": "testversion", "labels": {"version": "v3"}, "trafficPolicy": {"loadBalancer": {"simple": "ROUND_ROBIN"}}}
+        ],
+    },
+}
+
+
+def test_destination_rule_applies_and_queries():
+    cluster = Cluster()
+    resource = cluster.apply(DESTINATION_RULE)
+    assert destination_rule_lb_policy(resource) == "LEAST_REQUEST"
+    assert destination_rule_lb_policy(resource, subset="testversion") == "ROUND_ROBIN"
+    assert destination_rule_subsets(resource) == {"testversion": {"version": "v3"}}
+
+
+def test_destination_rule_requires_host():
+    broken = {**DESTINATION_RULE, "spec": {"trafficPolicy": {}}}
+    with pytest.raises(ValidationError, match="host"):
+        Cluster().apply(broken)
+
+
+def test_destination_rule_rejects_unknown_lb_policy():
+    broken = {
+        **DESTINATION_RULE,
+        "spec": {"host": "x", "trafficPolicy": {"loadBalancer": {"simple": "FASTEST_EVER"}}},
+    }
+    with pytest.raises(ValidationError, match="policy"):
+        Cluster().apply(broken)
+
+
+def test_destination_rule_subset_requires_labels():
+    broken = {
+        **DESTINATION_RULE,
+        "spec": {"host": "x", "subsets": [{"name": "v1"}]},
+    }
+    with pytest.raises(ValidationError, match="labels"):
+        Cluster().apply(broken)
+
+
+def test_virtual_service_destinations_query():
+    manifest = {
+        "apiVersion": "networking.istio.io/v1beta1",
+        "kind": "VirtualService",
+        "metadata": {"name": "reviews", "namespace": "default"},
+        "spec": {
+            "hosts": ["reviews"],
+            "http": [{"route": [{"destination": {"host": "reviews", "subset": "v2"}}]}],
+        },
+    }
+    resource = Cluster().apply(manifest)
+    assert virtual_service_destinations(resource) == [("reviews", "v2")]
+
+
+def test_virtual_service_requires_routes():
+    broken = {
+        "apiVersion": "networking.istio.io/v1beta1",
+        "kind": "VirtualService",
+        "metadata": {"name": "broken"},
+        "spec": {"hosts": ["x"]},
+    }
+    with pytest.raises(ValidationError, match="routes"):
+        Cluster().apply(broken)
+
+
+def test_gateway_servers_query_and_validation():
+    manifest = {
+        "apiVersion": "networking.istio.io/v1beta1",
+        "kind": "Gateway",
+        "metadata": {"name": "gw", "namespace": "default"},
+        "spec": {
+            "selector": {"istio": "ingressgateway"},
+            "servers": [{"port": {"number": 80, "name": "http", "protocol": "HTTP"}, "hosts": ["*"]}],
+        },
+    }
+    resource = Cluster().apply(manifest)
+    servers = gateway_servers(resource)
+    assert servers[0]["port"]["number"] == 80
+
+    broken = {**manifest, "spec": {"selector": {"istio": "ingressgateway"}, "servers": [{"hosts": ["*"]}]}}
+    with pytest.raises(ValidationError, match="port"):
+        Cluster().apply(broken)
+
+
+def test_gateway_requires_selector():
+    broken = {
+        "apiVersion": "networking.istio.io/v1beta1",
+        "kind": "Gateway",
+        "metadata": {"name": "gw"},
+        "spec": {"servers": [{"port": {"number": 80, "protocol": "HTTP"}, "hosts": ["*"]}]},
+    }
+    with pytest.raises(ValidationError, match="selector"):
+        Cluster().apply(broken)
+
+
+def test_peer_authentication_mtls_mode_validated():
+    good = {
+        "apiVersion": "security.istio.io/v1beta1",
+        "kind": "PeerAuthentication",
+        "metadata": {"name": "mtls"},
+        "spec": {"mtls": {"mode": "STRICT"}},
+    }
+    Cluster().apply(good)
+    bad = {**good, "spec": {"mtls": {"mode": "MAYBE"}}}
+    with pytest.raises(ValidationError, match="mTLS"):
+        Cluster().apply(bad)
+
+
+def test_wrong_istio_api_version_rejected():
+    broken = {**DESTINATION_RULE, "apiVersion": "networking.istio.io/v1"}
+    with pytest.raises(ValidationError, match="apiVersion"):
+        Cluster().apply(broken)

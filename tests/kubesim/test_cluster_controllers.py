@@ -1,0 +1,192 @@
+"""Tests for the cluster store and its controllers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kubesim.cluster import Cluster
+from repro.kubesim.errors import NotFoundError, ValidationError
+
+
+def _deployment(name="web", namespace="default", replicas=2, image="nginx:latest", app=None):
+    app = app or name
+    return {
+        "apiVersion": "apps/v1",
+        "kind": "Deployment",
+        "metadata": {"name": name, "namespace": namespace},
+        "spec": {
+            "replicas": replicas,
+            "selector": {"matchLabels": {"app": app}},
+            "template": {
+                "metadata": {"labels": {"app": app}},
+                "spec": {"containers": [{"name": "c", "image": image, "ports": [{"containerPort": 80}]}]},
+            },
+        },
+    }
+
+
+def _service(name="web-svc", namespace="default", app="web", port=80):
+    return {
+        "apiVersion": "v1",
+        "kind": "Service",
+        "metadata": {"name": name, "namespace": namespace},
+        "spec": {"selector": {"app": app}, "ports": [{"port": port, "targetPort": 80}]},
+    }
+
+
+def test_apply_and_get_roundtrip():
+    cluster = Cluster()
+    cluster.apply(_deployment())
+    assert cluster.get("Deployment", "web").spec["replicas"] == 2
+
+
+def test_apply_unknown_namespace_rejected():
+    cluster = Cluster()
+    with pytest.raises(ValidationError, match="namespace"):
+        cluster.apply(_deployment(namespace="missing"))
+
+
+def test_create_namespace_then_apply():
+    cluster = Cluster()
+    cluster.create_namespace("prod")
+    cluster.apply(_deployment(namespace="prod"))
+    assert cluster.exists("Deployment", "web", "prod")
+
+
+def test_deployment_creates_ready_pods():
+    cluster = Cluster()
+    cluster.apply(_deployment(replicas=3))
+    pods = cluster.list_resources("Pod", namespace="default")
+    assert len(pods) == 3
+    assert all(cluster.pod_is_ready(p) for p in pods)
+
+
+def test_deployment_scale_down_removes_pods():
+    cluster = Cluster()
+    cluster.apply(_deployment(replicas=3))
+    cluster.apply(_deployment(replicas=1))
+    assert len(cluster.list_resources("Pod", namespace="default")) == 1
+
+
+def test_unpullable_image_keeps_pods_pending():
+    # Upper-case repositories pass manifest validation but cannot be pulled
+    # (Docker requires lowercase repository names), so the pods stay Pending.
+    cluster = Cluster()
+    cluster.apply(_deployment(image="NotARealImage:Latest"))
+    pods = cluster.list_resources("Pod")
+    assert pods and not any(cluster.pod_is_ready(p) for p in pods)
+
+
+def test_daemonset_creates_one_pod_per_node():
+    cluster = Cluster(nodes=["n1", "n2", "n3"])
+    manifest = _deployment(name="agent")
+    manifest["kind"] = "DaemonSet"
+    del manifest["spec"]["replicas"]
+    cluster.apply(manifest)
+    assert len(cluster.list_resources("Pod")) == 3
+
+
+def test_job_pods_reach_succeeded_phase():
+    cluster = Cluster()
+    cluster.apply(
+        {
+            "apiVersion": "batch/v1",
+            "kind": "Job",
+            "metadata": {"name": "once"},
+            "spec": {"template": {"spec": {"restartPolicy": "Never", "containers": [{"name": "c", "image": "busybox"}]}}},
+        }
+    )
+    job = cluster.get("Job", "once")
+    assert job.status["succeeded"] == 1
+
+
+def test_service_collects_ready_endpoints():
+    cluster = Cluster()
+    cluster.apply(_deployment())
+    cluster.apply(_service())
+    assert cluster.service_reachable("web-svc", "default", 80)
+    endpoints = cluster.get("Endpoints", "web-svc")
+    assert endpoints.manifest["subsets"][0]["addresses"]
+
+
+def test_service_without_matching_pods_is_unreachable():
+    cluster = Cluster()
+    cluster.apply(_service(app="nothing-matches"))
+    assert not cluster.service_reachable("web-svc", "default", 80)
+
+
+def test_service_wrong_port_is_unreachable():
+    cluster = Cluster()
+    cluster.apply(_deployment())
+    cluster.apply(_service(port=80))
+    assert not cluster.service_reachable("web-svc", "default", 9999)
+
+
+def test_loadbalancer_gets_external_ip():
+    cluster = Cluster()
+    cluster.apply(_deployment())
+    manifest = _service()
+    manifest["spec"]["type"] = "LoadBalancer"
+    cluster.apply(manifest)
+    service = cluster.get("Service", "web-svc")
+    assert service.status["loadBalancer"]["ingress"][0]["ip"]
+
+
+def test_host_port_reachability():
+    cluster = Cluster()
+    manifest = _deployment(name="proxy")
+    manifest["spec"]["template"]["spec"]["containers"][0]["ports"] = [{"containerPort": 80, "hostPort": 5000}]
+    cluster.apply(manifest)
+    assert cluster.host_port_reachable(5000)
+    assert not cluster.host_port_reachable(5001)
+
+
+def test_pending_pod_when_secret_missing_then_ready_after_creation():
+    cluster = Cluster()
+    pod = {
+        "apiVersion": "v1",
+        "kind": "Pod",
+        "metadata": {"name": "uses-secret"},
+        "spec": {
+            "containers": [
+                {
+                    "name": "c",
+                    "image": "nginx",
+                    "env": [{"name": "PASS", "valueFrom": {"secretKeyRef": {"name": "creds", "key": "password"}}}],
+                }
+            ]
+        },
+    }
+    cluster.apply(pod)
+    assert not cluster.pod_is_ready(cluster.get("Pod", "uses-secret"))
+    cluster.apply({"apiVersion": "v1", "kind": "Secret", "metadata": {"name": "creds"}, "stringData": {"password": "x"}})
+    assert cluster.pod_is_ready(cluster.get("Pod", "uses-secret"))
+
+
+def test_delete_cascades_to_owned_pods():
+    cluster = Cluster()
+    cluster.apply(_deployment(replicas=2))
+    cluster.delete("Deployment", "web")
+    assert not cluster.exists("Deployment", "web")
+    assert cluster.list_resources("Pod") == []
+
+
+def test_get_missing_raises_not_found():
+    with pytest.raises(NotFoundError):
+        Cluster().get("Pod", "ghost")
+
+
+def test_list_with_label_selector():
+    cluster = Cluster()
+    cluster.apply(_deployment(name="a", app="x"))
+    cluster.apply(_deployment(name="b", app="y"))
+    pods = cluster.list_resources("Pod", label_selector={"app": "x"})
+    assert pods and all(p.labels["app"] == "x" for p in pods)
+
+
+def test_reset_clears_everything_but_nodes():
+    cluster = Cluster(nodes=["n1", "n2"])
+    cluster.apply(_deployment())
+    cluster.reset()
+    assert cluster.list_resources("Pod") == []
+    assert len(cluster.node_names()) == 2

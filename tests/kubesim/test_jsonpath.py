@@ -1,0 +1,78 @@
+"""Tests for the kubectl-style JSONPath evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kubesim.jsonpath import JsonPathError, evaluate_jsonpath, render_jsonpath
+
+DOCUMENT = {
+    "metadata": {"name": "web", "labels": {"app": "web", "istio-injection": "enabled"}},
+    "spec": {
+        "containers": [
+            {"name": "app", "image": "nginx", "env": [{"name": "A", "value": "1"}, {"name": "B", "value": "2"}]},
+            {"name": "sidecar", "image": "busybox"},
+        ]
+    },
+    "status": {"hostIP": "10.0.0.10", "ready": True},
+    "items": [{"metadata": {"name": "p1"}}, {"metadata": {"name": "p2"}}],
+    "data": {"requests.memory": "8Gi"},
+}
+
+
+def test_simple_field_access():
+    assert evaluate_jsonpath(DOCUMENT, "{.metadata.name}") == ["web"]
+
+
+def test_nested_index_access():
+    assert evaluate_jsonpath(DOCUMENT, "{.spec.containers[0].image}") == ["nginx"]
+    assert evaluate_jsonpath(DOCUMENT, "{.spec.containers[1].name}") == ["sidecar"]
+
+
+def test_negative_index():
+    assert evaluate_jsonpath(DOCUMENT, "{.spec.containers[-1].name}") == ["sidecar"]
+
+
+def test_out_of_range_index_returns_empty():
+    assert evaluate_jsonpath(DOCUMENT, "{.spec.containers[5].name}") == []
+
+
+def test_wildcard_over_list():
+    assert evaluate_jsonpath(DOCUMENT, "{.spec.containers[*].name}") == ["app", "sidecar"]
+
+
+def test_wildcard_env_names():
+    assert render_jsonpath(DOCUMENT, "{.spec.containers[0].env[*].name}") == "A B"
+
+
+def test_recursive_descent():
+    assert set(evaluate_jsonpath(DOCUMENT, "{..name}")) >= {"web", "app", "sidecar", "p1", "p2"}
+
+
+def test_implicit_mapping_over_lists():
+    assert evaluate_jsonpath(DOCUMENT, "{.items.metadata.name}") == ["p1", "p2"]
+
+
+def test_hyphenated_field():
+    assert render_jsonpath(DOCUMENT, "{.metadata.labels.istio-injection}") == "enabled"
+
+
+def test_quoted_field_with_dots():
+    assert render_jsonpath(DOCUMENT, "{.data['requests.memory']}") == "8Gi"
+
+
+def test_render_booleans_lowercase():
+    assert render_jsonpath(DOCUMENT, "{.status.ready}") == "true"
+
+
+def test_missing_path_renders_empty():
+    assert render_jsonpath(DOCUMENT, "{.spec.nodeName}") == ""
+
+
+def test_empty_expression_returns_document():
+    assert evaluate_jsonpath(DOCUMENT, "{}") == [DOCUMENT]
+
+
+def test_malformed_expression_raises():
+    with pytest.raises(JsonPathError):
+        evaluate_jsonpath(DOCUMENT, "{.spec[?bad]}")

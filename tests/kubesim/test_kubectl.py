@@ -1,0 +1,135 @@
+"""Tests for the kubectl facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kubesim import Kubectl
+from repro.kubesim.errors import KubeError
+
+DEPLOYMENT_AND_SERVICE = """
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: web
+  namespace: shop
+spec:
+  replicas: 2
+  selector:
+    matchLabels:
+      app: web
+  template:
+    metadata:
+      labels:
+        app: web
+    spec:
+      containers:
+      - name: web
+        image: nginx:latest
+        ports:
+        - containerPort: 80
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: web-svc
+  namespace: shop
+spec:
+  selector:
+    app: web
+  ports:
+  - port: 80
+    targetPort: 80
+  type: LoadBalancer
+"""
+
+
+@pytest.fixture()
+def kubectl() -> Kubectl:
+    k = Kubectl()
+    k.create_namespace("shop")
+    k.apply(DEPLOYMENT_AND_SERVICE)
+    return k
+
+
+def test_apply_multi_document(kubectl: Kubectl):
+    assert kubectl.cluster.exists("Deployment", "web", "shop")
+    assert kubectl.cluster.exists("Service", "web-svc", "shop")
+
+
+def test_apply_empty_raises():
+    with pytest.raises(KubeError):
+        Kubectl().apply("\n---\n")
+
+
+def test_get_with_jsonpath(kubectl: Kubectl):
+    image = kubectl.get("Deployment", name="web", namespace="shop", jsonpath="{.spec.template.spec.containers[0].image}")
+    assert image == "nginx:latest"
+
+
+def test_get_list_with_selector(kubectl: Kubectl):
+    names = kubectl.get("Pod", namespace="shop", selector="app=web", jsonpath="{.items[*].metadata.name}")
+    assert len(names.split()) == 2
+
+
+def test_wait_deployment_available(kubectl: Kubectl):
+    assert kubectl.wait("Deployment", "available", name="web", namespace="shop")
+
+
+def test_wait_on_missing_object_returns_false(kubectl: Kubectl):
+    assert not kubectl.wait("Deployment", "available", name="ghost", namespace="shop")
+
+
+def test_wait_pods_by_selector(kubectl: Kubectl):
+    assert kubectl.wait("Pod", "Ready", selector={"app": "web"}, namespace="shop")
+
+
+def test_describe_contains_fields(kubectl: Kubectl):
+    description = kubectl.describe("Service", "web-svc", "shop")
+    assert "Name:         web-svc" in description
+    assert "LoadBalancer" in description
+
+
+def test_describe_ingress_backends():
+    k = Kubectl()
+    k.apply(
+        """
+apiVersion: networking.k8s.io/v1
+kind: Ingress
+metadata:
+  name: ing
+spec:
+  rules:
+  - http:
+      paths:
+      - path: /
+        pathType: Prefix
+        backend:
+          service:
+            name: test-app
+            port:
+              number: 5000
+"""
+    )
+    assert "test-app:5000" in k.describe("Ingress", "ing")
+
+
+def test_logs_lists_containers(kubectl: Kubectl):
+    pod_name = kubectl.get("Pod", namespace="shop", selector="app=web", jsonpath="{.items[0].metadata.name}")
+    logs = kubectl.logs(pod_name, namespace="shop")
+    assert "nginx" in logs
+
+
+def test_delete_removes_object(kubectl: Kubectl):
+    kubectl.delete("Service", "web-svc", "shop")
+    assert not kubectl.cluster.exists("Service", "web-svc", "shop")
+
+
+def test_apply_with_namespace_override():
+    k = Kubectl()
+    k.create_namespace("injected")
+    k.apply(
+        "apiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: cm\ndata:\n  a: b\n",
+        namespace="injected",
+    )
+    assert k.cluster.exists("ConfigMap", "cm", "injected")

@@ -1,0 +1,143 @@
+"""Tests for the resource model, kind registry and label selectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kubesim.errors import UnsupportedKindError, ValidationError
+from repro.kubesim.resources import KIND_REGISTRY, Resource, resolve_kind
+from repro.kubesim.selectors import matches_label_map, matches_selector, parse_kubectl_selector
+
+
+def _pod_manifest(name="web", namespace=None, labels=None):
+    manifest = {
+        "apiVersion": "v1",
+        "kind": "Pod",
+        "metadata": {"name": name},
+        "spec": {"containers": [{"name": "c", "image": "nginx"}]},
+    }
+    if namespace:
+        manifest["metadata"]["namespace"] = namespace
+    if labels:
+        manifest["metadata"]["labels"] = labels
+    return manifest
+
+
+def test_resource_accessors():
+    resource = Resource.from_manifest(_pod_manifest(namespace="prod", labels={"app": "web"}))
+    assert resource.kind == "Pod"
+    assert resource.namespace == "prod"
+    assert resource.labels == {"app": "web"}
+    assert resource.name == "web"
+
+
+def test_resource_defaults_to_default_namespace():
+    assert Resource.from_manifest(_pod_manifest()).namespace == "default"
+
+
+def test_resource_requires_kind_and_name():
+    with pytest.raises(ValidationError):
+        Resource.from_manifest({"apiVersion": "v1", "metadata": {"name": "x"}})
+    with pytest.raises(ValidationError):
+        Resource.from_manifest({"apiVersion": "v1", "kind": "Pod", "metadata": {}})
+    with pytest.raises(ValidationError):
+        Resource.from_manifest({"kind": "Pod", "metadata": {"name": "x"}})
+
+
+def test_key_uses_empty_namespace_for_cluster_scoped_kinds():
+    cluster_role = Resource.from_manifest(
+        {
+            "apiVersion": "rbac.authorization.k8s.io/v1",
+            "kind": "ClusterRole",
+            "metadata": {"name": "admin", "namespace": "ignored"},
+            "rules": [{"verbs": ["get"]}],
+        }
+    )
+    assert cluster_role.key() == ("ClusterRole", "", "admin")
+
+
+def test_resolve_kind_known_and_unknown():
+    assert resolve_kind("Deployment").workload
+    with pytest.raises(UnsupportedKindError):
+        resolve_kind("FooBar")
+
+
+def test_registry_contains_istio_crds():
+    for kind in ("VirtualService", "DestinationRule", "Gateway"):
+        assert kind in KIND_REGISTRY
+
+
+def test_pod_template_extraction_for_workloads():
+    deployment = Resource.from_manifest(
+        {
+            "apiVersion": "apps/v1",
+            "kind": "Deployment",
+            "metadata": {"name": "d"},
+            "spec": {
+                "selector": {"matchLabels": {"app": "d"}},
+                "template": {"metadata": {"labels": {"app": "d"}}, "spec": {"containers": [{"name": "c", "image": "nginx"}]}},
+            },
+        }
+    )
+    template = deployment.pod_template()
+    assert template["spec"]["containers"][0]["image"] == "nginx"
+    assert deployment.containers()[0]["name"] == "c"
+
+
+def test_cronjob_template_extraction():
+    cronjob = Resource.from_manifest(
+        {
+            "apiVersion": "batch/v1",
+            "kind": "CronJob",
+            "metadata": {"name": "cj"},
+            "spec": {
+                "schedule": "0 0 * * *",
+                "jobTemplate": {"spec": {"template": {"spec": {"containers": [{"name": "x", "image": "busybox"}]}}}},
+            },
+        }
+    )
+    assert cronjob.containers()[0]["image"] == "busybox"
+
+
+# -- selectors --------------------------------------------------------------
+
+def test_matches_label_map():
+    assert matches_label_map({"app": "web", "tier": "front"}, {"app": "web"})
+    assert not matches_label_map({"app": "web"}, {"app": "db"})
+    assert not matches_label_map({}, {"app": "web"})
+
+
+def test_matches_selector_match_labels():
+    assert matches_selector({"app": "web"}, {"matchLabels": {"app": "web"}})
+    assert not matches_selector({"app": "web"}, {"matchLabels": {"app": "db"}})
+
+
+def test_matches_selector_bare_map():
+    assert matches_selector({"app": "web"}, {"app": "web"})
+
+
+def test_empty_selector_matches_nothing():
+    assert not matches_selector({"app": "web"}, {})
+    assert not matches_selector({"app": "web"}, None)
+
+
+def test_match_expressions_in_and_notin():
+    labels = {"env": "prod"}
+    assert matches_selector(labels, {"matchExpressions": [{"key": "env", "operator": "In", "values": ["prod", "stage"]}]})
+    assert not matches_selector(labels, {"matchExpressions": [{"key": "env", "operator": "NotIn", "values": ["prod"]}]})
+
+
+def test_match_expressions_exists():
+    assert matches_selector({"env": "x"}, {"matchExpressions": [{"key": "env", "operator": "Exists"}]})
+    assert matches_selector({}, {"matchExpressions": [{"key": "env", "operator": "DoesNotExist"}]})
+
+
+def test_match_expressions_unknown_operator_raises():
+    with pytest.raises(ValidationError):
+        matches_selector({"a": "b"}, {"matchExpressions": [{"key": "a", "operator": "Weird"}]})
+
+
+def test_parse_kubectl_selector():
+    assert parse_kubectl_selector("app=web,tier=front") == {"app": "web", "tier": "front"}
+    with pytest.raises(ValidationError):
+        parse_kubectl_selector("not-a-selector")

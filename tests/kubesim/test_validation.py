@@ -1,0 +1,291 @@
+"""Tests for per-kind manifest validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kubesim.errors import ValidationError
+from repro.kubesim.resources import Resource
+from repro.kubesim.validation import validate_resource
+
+
+def _validate(manifest):
+    validate_resource(Resource.from_manifest(manifest))
+
+
+def _pod(**overrides):
+    manifest = {
+        "apiVersion": "v1",
+        "kind": "Pod",
+        "metadata": {"name": "web"},
+        "spec": {"containers": [{"name": "c", "image": "nginx:latest", "ports": [{"containerPort": 80}]}]},
+    }
+    manifest.update(overrides)
+    return manifest
+
+
+def test_valid_pod_passes():
+    _validate(_pod())
+
+
+def test_wrong_api_version_rejected():
+    with pytest.raises(ValidationError, match="apiVersion"):
+        _validate(_pod(apiVersion="v1beta1"))
+
+
+def test_invalid_dns_name_rejected():
+    bad = _pod()
+    bad["metadata"]["name"] = "Invalid_Name!"
+    with pytest.raises(ValidationError, match="DNS-1123"):
+        _validate(bad)
+
+
+def test_pod_without_containers_rejected():
+    bad = _pod()
+    bad["spec"]["containers"] = []
+    with pytest.raises(ValidationError, match="container"):
+        _validate(bad)
+
+
+def test_container_port_out_of_range_rejected():
+    bad = _pod()
+    bad["spec"]["containers"][0]["ports"][0]["containerPort"] = 99999
+    with pytest.raises(ValidationError, match="containerPort"):
+        _validate(bad)
+
+
+def test_unknown_container_field_rejected():
+    bad = _pod()
+    bad["spec"]["containers"][0]["imagePullSecret"] = "oops"
+    with pytest.raises(ValidationError, match="unknown container fields"):
+        _validate(bad)
+
+
+def test_env_entry_requires_value_or_value_from():
+    bad = _pod()
+    bad["spec"]["containers"][0]["env"] = [{"name": "X"}]
+    with pytest.raises(ValidationError, match="value"):
+        _validate(bad)
+
+
+def test_invalid_resource_quantity_rejected():
+    bad = _pod()
+    bad["spec"]["containers"][0]["resources"] = {"limits": {"cpu": "lots"}}
+    with pytest.raises(ValidationError, match="quantity"):
+        _validate(bad)
+
+
+def test_volume_mount_must_reference_declared_volume():
+    bad = _pod()
+    bad["spec"]["volumes"] = [{"name": "data", "emptyDir": {}}]
+    bad["spec"]["containers"][0]["volumeMounts"] = [{"name": "other", "mountPath": "/x"}]
+    with pytest.raises(ValidationError, match="undeclared volume"):
+        _validate(bad)
+
+
+def _deployment(selector_app="web", template_app="web", replicas=2):
+    return {
+        "apiVersion": "apps/v1",
+        "kind": "Deployment",
+        "metadata": {"name": "dep"},
+        "spec": {
+            "replicas": replicas,
+            "selector": {"matchLabels": {"app": selector_app}},
+            "template": {
+                "metadata": {"labels": {"app": template_app}},
+                "spec": {"containers": [{"name": "c", "image": "nginx"}]},
+            },
+        },
+    }
+
+
+def test_valid_deployment_passes():
+    _validate(_deployment())
+
+
+def test_deployment_selector_mismatch_rejected():
+    with pytest.raises(ValidationError, match="selector"):
+        _validate(_deployment(selector_app="a", template_app="b"))
+
+
+def test_deployment_negative_replicas_rejected():
+    with pytest.raises(ValidationError, match="replicas"):
+        _validate(_deployment(replicas=-1))
+
+
+def test_statefulset_requires_service_name():
+    manifest = _deployment()
+    manifest["kind"] = "StatefulSet"
+    with pytest.raises(ValidationError, match="serviceName"):
+        _validate(manifest)
+
+
+def test_job_requires_valid_restart_policy():
+    manifest = {
+        "apiVersion": "batch/v1",
+        "kind": "Job",
+        "metadata": {"name": "j"},
+        "spec": {"template": {"spec": {"restartPolicy": "Always", "containers": [{"name": "c", "image": "busybox"}]}}},
+    }
+    with pytest.raises(ValidationError, match="restartPolicy"):
+        _validate(manifest)
+
+
+def test_cronjob_requires_five_field_schedule():
+    manifest = {
+        "apiVersion": "batch/v1",
+        "kind": "CronJob",
+        "metadata": {"name": "cj"},
+        "spec": {
+            "schedule": "hourly",
+            "jobTemplate": {"spec": {"template": {"spec": {"containers": [{"name": "c", "image": "busybox"}]}}}},
+        },
+    }
+    with pytest.raises(ValidationError, match="cron"):
+        _validate(manifest)
+
+
+def _service(**port_overrides):
+    port = {"port": 80, "targetPort": 80}
+    port.update(port_overrides)
+    return {
+        "apiVersion": "v1",
+        "kind": "Service",
+        "metadata": {"name": "svc"},
+        "spec": {"selector": {"app": "web"}, "ports": [port]},
+    }
+
+
+def test_valid_service_passes():
+    _validate(_service())
+
+
+def test_service_requires_ports():
+    manifest = _service()
+    manifest["spec"]["ports"] = []
+    with pytest.raises(ValidationError, match="port"):
+        _validate(manifest)
+
+
+def test_service_node_port_range_enforced():
+    with pytest.raises(ValidationError, match="nodePort"):
+        _validate(_service(nodePort=20000))
+
+
+def test_service_unknown_type_rejected():
+    manifest = _service()
+    manifest["spec"]["type"] = "Balanced"
+    with pytest.raises(ValidationError, match="type"):
+        _validate(manifest)
+
+
+def test_legacy_ingress_backend_rejected():
+    manifest = {
+        "apiVersion": "networking.k8s.io/v1",
+        "kind": "Ingress",
+        "metadata": {"name": "ing"},
+        "spec": {
+            "rules": [
+                {"http": {"paths": [{"path": "/", "backend": {"serviceName": "svc", "servicePort": 80}}]}}
+            ]
+        },
+    }
+    with pytest.raises(ValidationError, match="backend.service"):
+        _validate(manifest)
+
+
+def test_ingress_requires_path_type():
+    manifest = {
+        "apiVersion": "networking.k8s.io/v1",
+        "kind": "Ingress",
+        "metadata": {"name": "ing"},
+        "spec": {
+            "rules": [
+                {"http": {"paths": [{"path": "/", "backend": {"service": {"name": "svc", "port": {"number": 80}}}}]}}
+            ]
+        },
+    }
+    with pytest.raises(ValidationError, match="pathType"):
+        _validate(manifest)
+
+
+def test_valid_modern_ingress_passes():
+    manifest = {
+        "apiVersion": "networking.k8s.io/v1",
+        "kind": "Ingress",
+        "metadata": {"name": "ing"},
+        "spec": {
+            "rules": [
+                {
+                    "http": {
+                        "paths": [
+                            {
+                                "path": "/",
+                                "pathType": "Prefix",
+                                "backend": {"service": {"name": "svc", "port": {"number": 80}}},
+                            }
+                        ]
+                    }
+                }
+            ]
+        },
+    }
+    _validate(manifest)
+
+
+def test_rolebinding_requires_api_group_and_subjects():
+    manifest = {
+        "apiVersion": "rbac.authorization.k8s.io/v1",
+        "kind": "RoleBinding",
+        "metadata": {"name": "rb"},
+        "roleRef": {"kind": "ClusterRole", "name": "reader", "apiGroup": "rbac.authorization.k8s.io"},
+        "subjects": [{"kind": "User", "name": "dave"}],
+    }
+    with pytest.raises(ValidationError, match="apiGroup"):
+        _validate(manifest)
+    manifest["subjects"][0]["apiGroup"] = "rbac.authorization.k8s.io"
+    _validate(manifest)
+
+
+def test_role_rejects_unknown_verbs():
+    manifest = {
+        "apiVersion": "rbac.authorization.k8s.io/v1",
+        "kind": "Role",
+        "metadata": {"name": "r"},
+        "rules": [{"apiGroups": [""], "resources": ["pods"], "verbs": ["frobnicate"]}],
+    }
+    with pytest.raises(ValidationError, match="verb"):
+        _validate(manifest)
+
+
+def test_pvc_requires_storage_request():
+    manifest = {
+        "apiVersion": "v1",
+        "kind": "PersistentVolumeClaim",
+        "metadata": {"name": "claim"},
+        "spec": {"accessModes": ["ReadWriteOnce"], "resources": {"requests": {}}},
+    }
+    with pytest.raises(ValidationError, match="storage"):
+        _validate(manifest)
+
+
+def test_hpa_replica_bounds():
+    manifest = {
+        "apiVersion": "autoscaling/v2",
+        "kind": "HorizontalPodAutoscaler",
+        "metadata": {"name": "hpa"},
+        "spec": {"scaleTargetRef": {"kind": "Deployment", "name": "d"}, "minReplicas": 5, "maxReplicas": 2},
+    }
+    with pytest.raises(ValidationError, match="minReplicas"):
+        _validate(manifest)
+
+
+def test_limitrange_requires_typed_limits():
+    manifest = {
+        "apiVersion": "v1",
+        "kind": "LimitRange",
+        "metadata": {"name": "lr"},
+        "spec": {"limits": [{"defaultRequest": {"cpu": "100m"}}]},
+    }
+    with pytest.raises(ValidationError, match="type"):
+        _validate(manifest)

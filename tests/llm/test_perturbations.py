@@ -1,0 +1,123 @@
+"""Tests for the answer perturbation operators."""
+
+from __future__ import annotations
+
+from repro.llm import perturbations as P
+from repro.scoring.function_level import unit_test_score
+from repro.utils.rng import DeterministicRNG
+from repro.yamlkit.parsing import is_valid_yaml
+
+
+def _rng(seed=0):
+    return DeterministicRNG(seed)
+
+
+def test_critical_values_cover_assertions(small_original_problems):
+    problem = small_original_problems[0]
+    values = P.critical_values(problem)
+    assert values
+    assert all(isinstance(v, str) and v for v in values)
+
+
+def test_correct_answer_exact_text_matches_reference(small_original_problems):
+    problem = small_original_problems[0]
+    assert P.correct_answer(problem, _rng(), exact_text=True) == problem.reference_plain()
+
+
+def test_correct_answer_exact_keys_same_documents_different_text(small_original_problems):
+    from repro.scoring.yaml_aware import key_value_exact_match
+
+    problem = small_original_problems[0]
+    answer = P.correct_answer(problem, _rng(), exact_keys=True)
+    assert key_value_exact_match(answer, problem.reference_plain()) == 1.0
+
+
+def test_correct_answers_pass_unit_tests(small_original_problems):
+    for index, problem in enumerate(list(small_original_problems)[:20]):
+        answer = P.correct_answer(problem, _rng(index), style_divergence=0.5)
+        assert unit_test_score(problem, answer) == 1.0, problem.problem_id
+
+
+def test_near_miss_answers_fail_unit_tests(small_original_problems):
+    failures = 0
+    sampled = list(small_original_problems)[:20]
+    for index, problem in enumerate(sampled):
+        answer = P.near_miss_answer(problem, _rng(index), intensity=1)
+        failures += 1 - int(unit_test_score(problem, answer))
+    assert failures >= len(sampled) - 1  # at most one accidental pass
+
+
+def test_near_miss_answers_remain_valid_yaml(small_original_problems):
+    for index, problem in enumerate(list(small_original_problems)[:10]):
+        answer = P.near_miss_answer(problem, _rng(index), intensity=2)
+        assert is_valid_yaml(answer, require_mapping=True)
+
+
+def test_wrong_kind_answer_changes_kind(small_original_problems):
+    problem = next(p for p in small_original_problems if p.unit_test.target == "kubernetes")
+    answer = P.wrong_kind_answer(problem, _rng())
+    original_kind = problem.metadata["primary_kind"]
+    assert f"kind: {original_kind}\n" not in answer
+
+
+def test_incomplete_answer_is_not_parsable_but_contains_kind(small_original_problems):
+    problem = next(p for p in small_original_problems if p.unit_test.target == "kubernetes")
+    answer = P.incomplete_answer(problem, _rng())
+    assert "kind" in answer
+    assert not is_valid_yaml(answer, require_mapping=True)
+
+
+def test_prose_answer_contains_no_yaml(small_original_problems):
+    answer = P.prose_answer(small_original_problems[0], _rng())
+    assert "apiVersion" not in answer
+    assert len(answer.splitlines()) <= 3
+
+
+def test_empty_answer_is_short(small_original_problems):
+    answer = P.empty_answer(small_original_problems[0], _rng())
+    assert len([line for line in answer.splitlines() if line.strip()]) < 3
+
+
+def test_generic_answer_is_valid_but_question_agnostic(small_original_problems):
+    problem = next(p for p in small_original_problems if p.metadata["primary_kind"] == "Deployment")
+    answer = P.generic_answer(problem, _rng())
+    assert "kind: Deployment" in answer
+    assert unit_test_score(problem, answer) == 0.0
+
+
+def test_restyle_preserves_functionality(small_original_problems):
+    problem = small_original_problems[0]
+    plain = problem.reference_plain()
+    restyled = P.restyle(plain, _rng(), strength=0.8)
+    assert restyled != plain
+    assert unit_test_score(problem, restyled) == 1.0
+
+
+def test_restyle_force_structural_change_breaks_kv_exact(small_original_problems):
+    from repro.scoring.yaml_aware import key_value_exact_match
+
+    problem = small_original_problems[0]
+    plain = problem.reference_plain()
+    restyled = P.restyle(plain, _rng(), strength=0.0, force_structural_change=True)
+    assert key_value_exact_match(restyled, plain) == 0.0
+
+
+def test_restyle_leaves_invalid_yaml_untouched():
+    broken = "kind: Pod\n  bad: [unclosed"
+    assert P.restyle(broken, _rng(), strength=1.0) == broken
+
+
+def test_wrap_response_styles_are_recoverable(small_original_problems):
+    from repro.postprocess import extract_yaml
+    from repro.scoring.yaml_aware import key_value_exact_match
+
+    problem = small_original_problems[0]
+    plain = problem.reference_plain()
+    for seed in range(12):
+        wrapped = P.wrap_response(plain, _rng(seed), chattiness=1.0)
+        assert key_value_exact_match(extract_yaml(wrapped), plain) == 1.0
+
+
+def test_wrap_response_zero_chattiness_is_identity(small_original_problems):
+    plain = small_original_problems[0].reference_plain()
+    assert P.wrap_response(plain, _rng(), chattiness=0.0) == plain

@@ -1,0 +1,73 @@
+"""Tests for prompt construction and the query module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.problem import Problem
+from repro.llm.interface import GenerationRequest, QueryModule
+from repro.llm.prompt import PROMPT_TEMPLATE, build_prompt, few_shot_examples
+from repro.llm.registry import get_model
+
+
+def test_prompt_template_requests_yaml_only():
+    assert "YAML" in PROMPT_TEMPLATE
+    assert "without any description" in PROMPT_TEMPLATE
+
+
+def test_build_prompt_contains_question_and_template(small_dataset):
+    problem = small_dataset[0]
+    prompt = build_prompt(problem)
+    assert prompt.startswith(PROMPT_TEMPLATE.splitlines()[0])
+    assert problem.question.split(".")[0] in prompt
+
+
+def test_build_prompt_includes_context(small_original_problems):
+    with_context = next(p for p in small_original_problems if p.has_code_context)
+    assert "```" in build_prompt(with_context)
+
+
+def test_few_shot_examples_count_and_bounds():
+    assert len(few_shot_examples(0)) == 0
+    assert len(few_shot_examples(3)) == 3
+    with pytest.raises(ValueError):
+        few_shot_examples(4)
+
+
+def test_build_prompt_with_shots_is_longer(small_dataset):
+    problem = small_dataset[0]
+    assert len(build_prompt(problem, shots=3)) > len(build_prompt(problem, shots=0))
+
+
+def test_query_module_preserves_order(small_original_problems):
+    model = get_model("gpt-4")
+    module = QueryModule(model)
+    problems = list(small_original_problems)[:5]
+    results = module.query_problems(problems)
+    assert [r.request.problem.problem_id for r in results] == [p.problem_id for p in problems]
+    assert all(r.model_name == "gpt-4" for r in results)
+
+
+def test_query_module_parallel_matches_sequential(small_original_problems):
+    model = get_model("gpt-4")
+    problems = list(small_original_problems)[:6]
+    sequential = QueryModule(model, max_workers=1).query_problems(problems)
+    parallel = QueryModule(model, max_workers=4).query_problems(problems)
+    assert [r.response for r in sequential] == [r.response for r in parallel]
+
+
+def test_query_module_multiple_samples(small_original_problems):
+    model = get_model("gpt-3.5")
+    results = QueryModule(model).query_problems(list(small_original_problems)[:2], samples=3)
+    assert len(results) == 6
+    assert {r.request.sample_index for r in results} == {0, 1, 2}
+
+
+def test_query_module_rejects_zero_workers():
+    with pytest.raises(ValueError):
+        QueryModule(get_model("gpt-4"), max_workers=0)
+
+
+def test_generation_request_prompt_includes_template(small_dataset):
+    request = GenerationRequest(problem=small_dataset[0], shots=1)
+    assert "expert engineer" in request.prompt()

@@ -1,0 +1,98 @@
+"""Tests for the simulated models and the model registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.schema import Variant
+from repro.llm.registry import (
+    ENGLISH_ONLY_MODELS,
+    MODEL_PROFILES,
+    available_models,
+    calibrate_models,
+    get_model,
+    get_profile,
+)
+from repro.llm.simulated import SimulatedModel, length_band
+
+
+def test_twelve_models_available():
+    assert len(available_models()) == 12
+    assert available_models()[0] == "gpt-4"
+
+
+def test_get_model_and_profile_lookup():
+    model = get_model("GPT-4")
+    assert isinstance(model, SimulatedModel)
+    assert model.name == "gpt-4"
+    with pytest.raises(KeyError):
+        get_profile("gpt-5")
+
+
+def test_profiles_have_sane_probabilities():
+    for profile in MODEL_PROFILES.values():
+        assert 0.0 < profile.unit_test_score < 1.0
+        assert abs(sum(profile.failure_mix) - 1.0) < 0.05
+        assert 0.0 <= profile.exact_text_rate <= profile.exact_kv_rate <= 1.0
+        assert 0.0 <= profile.chattiness <= 1.0
+
+
+def test_palm_is_english_only():
+    assert "palm-2-bison" in ENGLISH_ONLY_MODELS
+
+
+def test_generation_is_deterministic(small_original_problems):
+    problem = small_original_problems[0]
+    a = get_model("llama-2-70b-chat", seed=5).generate(problem)
+    b = get_model("llama-2-70b-chat", seed=5).generate(problem)
+    assert a == b
+
+
+def test_generation_varies_across_samples(small_original_problems):
+    model = get_model("gpt-3.5")
+    problem = small_original_problems[0]
+    samples = {model.generate(problem, sample_index=i) for i in range(6)}
+    assert len(samples) > 1
+
+
+def test_pass_probability_orders_models(small_original_problems):
+    problem = next(p for p in small_original_problems if p.application == "kubernetes")
+    strong = get_model("gpt-4").pass_probability(problem)
+    weak = get_model("codellama-13b-instruct").pass_probability(problem)
+    assert strong > weak
+
+
+def test_pass_probability_lower_for_envoy(small_original_problems):
+    model = get_model("gpt-4")
+    envoy = [p for p in small_original_problems if p.application == "envoy"]
+    kubernetes = [p for p in small_original_problems if p.application == "kubernetes"]
+    envoy_mean = sum(model.pass_probability(p) for p in envoy) / len(envoy)
+    k8s_mean = sum(model.pass_probability(p) for p in kubernetes) / len(kubernetes)
+    assert envoy_mean < k8s_mean
+
+
+def test_pass_probability_within_bounds(small_dataset):
+    model = get_model("gpt-4")
+    for problem in small_dataset:
+        assert 0.0 < model.pass_probability(problem) < 1.0
+
+
+def test_length_band_boundaries(small_original_problems):
+    bands = {length_band(p) for p in small_original_problems}
+    assert bands <= {"short", "medium", "long"}
+    assert "long" in bands  # Envoy problems are long
+
+
+def test_calibration_matches_target_rate(full_original_problems):
+    model = get_model("gpt-4")
+    calibrated = calibrate_models([model], full_original_problems)[0]
+    expected = sum(calibrated.pass_probability(p, Variant.ORIGINAL) for p in full_original_problems)
+    assert abs(expected - 179) < 15  # Table 5 original pass count for GPT-4
+
+
+def test_profile_with_calibration_returns_copy():
+    profile = get_profile("gpt-4")
+    scaled = profile.with_calibration(2.0)
+    assert scaled.calibration_scale == 2.0
+    assert profile.calibration_scale == 1.0
+    assert scaled.name == profile.name

@@ -1,0 +1,53 @@
+"""Tests for the smoothed BLEU implementation."""
+
+from __future__ import annotations
+
+from repro.mlkit.bleu import bleu_score, sentence_bleu
+from repro.mlkit.tokenize import yaml_tokenize
+
+
+def test_identical_text_scores_one():
+    text = "apiVersion: v1\nkind: Service\nmetadata:\n  name: web\n"
+    assert bleu_score(text, text) == 1.0
+
+
+def test_unrelated_text_scores_near_zero():
+    assert bleu_score("completely different prose about cats", "apiVersion: v1\nkind: Pod\n") < 0.05
+
+
+def test_empty_candidate_scores_zero():
+    assert bleu_score("", "kind: Pod") == 0.0
+    assert bleu_score("kind: Pod", "") == 0.0
+
+
+def test_partial_overlap_is_between_zero_and_one():
+    reference = "apiVersion: v1\nkind: Service\nmetadata:\n  name: web\nspec:\n  ports:\n  - port: 80\n"
+    partial = "apiVersion: v1\nkind: Service\nmetadata:\n  name: other\n"
+    score = bleu_score(partial, reference)
+    assert 0.0 < score < 1.0
+
+
+def test_more_overlap_scores_higher():
+    reference = "apiVersion: v1\nkind: Service\nmetadata:\n  name: web\nspec:\n  ports:\n  - port: 80\n"
+    close = reference.replace("port: 80", "port: 8080")
+    far = "kind: Service\n"
+    assert bleu_score(close, reference) > bleu_score(far, reference)
+
+
+def test_brevity_penalty_penalises_short_candidates():
+    reference_tokens = ["a", "b", "c", "d", "e", "f", "g", "h"]
+    short = ["a", "b"]
+    full = list(reference_tokens)
+    assert sentence_bleu(short, reference_tokens) < sentence_bleu(full, reference_tokens)
+
+
+def test_score_is_clamped_to_unit_interval():
+    reference = "kind: Pod\n" * 3
+    candidate = "kind: Pod\n" * 10
+    assert 0.0 <= bleu_score(candidate, reference) <= 1.0
+
+
+def test_tokenizer_keeps_structural_characters():
+    tokens = yaml_tokenize("metadata:\n  name: nginx-service")
+    assert ":" in tokens
+    assert "nginx-service" in tokens

@@ -1,0 +1,85 @@
+"""Tests for the exact SHAP explainer and evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mlkit.metrics import accuracy, mean_absolute_error, relative_error, roc_auc
+from repro.mlkit.shap import exact_shap_values, mean_abs_shap
+
+
+def test_shap_values_sum_to_prediction_difference():
+    # Linear model: SHAP values are exactly recoverable and additive.
+    weights = np.array([1.0, -2.0, 0.5])
+
+    def predict(X):
+        return X @ weights
+
+    rng = np.random.default_rng(0)
+    X = rng.random((20, 3))
+    background = X.mean(axis=0)
+    shap = exact_shap_values(predict, X, background=background)
+    reconstructed = predict(np.tile(background, (len(X), 1))) + shap.sum(axis=1)
+    assert np.allclose(reconstructed, predict(X), atol=1e-8)
+
+
+def test_shap_of_linear_model_matches_analytic_value():
+    weights = np.array([3.0, 0.0])
+
+    def predict(X):
+        return X @ weights
+
+    X = np.array([[1.0, 5.0], [0.0, -2.0]])
+    background = np.array([0.5, 0.0])
+    shap = exact_shap_values(predict, X, background=background)
+    # For an additive model the Shapley value of feature i is w_i * (x_i - background_i).
+    assert np.allclose(shap[:, 0], weights[0] * (X[:, 0] - background[0]))
+    assert np.allclose(shap[:, 1], 0.0)
+
+
+def test_shap_ignores_irrelevant_features():
+    def predict(X):
+        return X[:, 0] * 2.0
+
+    X = np.random.default_rng(1).random((10, 4))
+    shap = exact_shap_values(predict, X)
+    assert np.abs(shap[:, 1:]).max() < 1e-9
+
+
+def test_shap_rejects_too_many_features():
+    with pytest.raises(ValueError):
+        exact_shap_values(lambda X: X.sum(axis=1), np.zeros((2, 20)), max_features=12)
+
+
+def test_mean_abs_shap_shapes_and_names():
+    shap = np.array([[1.0, -2.0], [3.0, 0.0]])
+    summary = mean_abs_shap(shap, ["a", "b"])
+    assert summary == {"a": 2.0, "b": 1.0}
+    with pytest.raises(ValueError):
+        mean_abs_shap(shap, ["only-one"])
+
+
+def test_accuracy_and_mae():
+    assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+    assert mean_absolute_error(np.array([1.0, 2.0]), np.array([2.0, 0.0])) == pytest.approx(1.5)
+    assert accuracy(np.array([]), np.array([])) == 0.0
+
+
+def test_relative_error_handles_zero_denominator():
+    assert relative_error(0.0, 0.0) == 0.0
+    assert relative_error(1.0, 0.0) == 100.0
+    assert relative_error(110.0, 100.0) == pytest.approx(10.0)
+
+
+def test_roc_auc_perfect_and_random():
+    y = np.array([0, 0, 1, 1])
+    assert roc_auc(y, np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+    assert roc_auc(y, np.array([0.9, 0.8, 0.2, 0.1])) == 0.0
+    assert roc_auc(np.array([1, 1]), np.array([0.5, 0.6])) == 0.5  # degenerate: no negatives
+
+
+def test_roc_auc_handles_ties():
+    y = np.array([0, 1, 0, 1])
+    scores = np.array([0.5, 0.5, 0.5, 0.5])
+    assert roc_auc(y, scores) == pytest.approx(0.5)

@@ -1,0 +1,95 @@
+"""Tests for the regression tree and gradient-boosted classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mlkit.gbdt import GradientBoostingClassifier
+from repro.mlkit.metrics import accuracy, roc_auc
+from repro.mlkit.tree import RegressionTree
+
+
+def _separable_data(n: int = 300, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, 3))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0.8).astype(int)
+    return X, y
+
+
+def test_regression_tree_fits_piecewise_constant_signal():
+    rng = np.random.default_rng(1)
+    X = rng.random((400, 1))
+    y = np.where(X[:, 0] > 0.5, 2.0, -1.0)
+    tree = RegressionTree(max_depth=2, min_samples_leaf=5).fit(X, y)
+    predictions = tree.predict(np.array([[0.1], [0.9]]))
+    assert predictions[0] == pytest.approx(-1.0, abs=0.2)
+    assert predictions[1] == pytest.approx(2.0, abs=0.2)
+
+
+def test_regression_tree_depth_zero_returns_mean():
+    X = np.array([[0.0], [1.0], [2.0], [3.0]])
+    y = np.array([1.0, 2.0, 3.0, 4.0])
+    tree = RegressionTree(max_depth=0).fit(X, y)
+    assert tree.predict(X) == pytest.approx(np.full(4, 2.5))
+
+
+def test_regression_tree_respects_min_samples_leaf():
+    X = np.arange(8, dtype=float).reshape(-1, 1)
+    y = np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=float)
+    tree = RegressionTree(max_depth=3, min_samples_leaf=4).fit(X, y)
+
+    def leaves(node):
+        if node.is_leaf:
+            return [node]
+        return leaves(node.left) + leaves(node.right)
+
+    assert all(leaf.n_samples >= 4 for leaf in leaves(tree.root))
+
+
+def test_regression_tree_input_validation():
+    with pytest.raises(ValueError):
+        RegressionTree().fit(np.zeros(5), np.zeros(5))
+    with pytest.raises(ValueError):
+        RegressionTree().fit(np.zeros((5, 2)), np.zeros(4))
+    with pytest.raises(RuntimeError):
+        RegressionTree().predict(np.zeros((2, 2)))
+
+
+def test_gbdt_learns_separable_problem():
+    X, y = _separable_data()
+    clf = GradientBoostingClassifier(n_estimators=40, learning_rate=0.2, max_depth=3).fit(X, y)
+    assert accuracy(y, clf.predict(X)) > 0.9
+    assert roc_auc(y, clf.predict_proba(X)) > 0.95
+
+
+def test_gbdt_probabilities_are_probabilities():
+    X, y = _separable_data(150)
+    clf = GradientBoostingClassifier(n_estimators=20).fit(X, y)
+    proba = clf.predict_proba(X)
+    assert np.all(proba >= 0) and np.all(proba <= 1)
+
+
+def test_gbdt_rejects_non_binary_labels():
+    with pytest.raises(ValueError):
+        GradientBoostingClassifier().fit(np.zeros((4, 2)), np.array([0, 1, 2, 1]))
+
+
+def test_gbdt_requires_fit_before_predict():
+    with pytest.raises(RuntimeError):
+        GradientBoostingClassifier().predict_proba(np.zeros((2, 2)))
+
+
+def test_gbdt_feature_importances_identify_informative_feature():
+    X, y = _separable_data(500)
+    clf = GradientBoostingClassifier(n_estimators=30, max_depth=2).fit(X, y)
+    importances = clf.feature_importances()
+    assert importances.shape == (3,)
+    assert importances[0] == max(importances)  # feature 0 drives the label
+
+
+def test_gbdt_is_deterministic_given_random_state():
+    X, y = _separable_data(200)
+    a = GradientBoostingClassifier(n_estimators=15, subsample=0.7, random_state=3).fit(X, y)
+    b = GradientBoostingClassifier(n_estimators=15, subsample=0.7, random_state=3).fit(X, y)
+    assert np.allclose(a.predict_proba(X), b.predict_proba(X))

@@ -1,0 +1,69 @@
+"""Tests for the response post-processing policies."""
+
+from __future__ import annotations
+
+from repro.postprocess import extract_yaml
+
+YAML_BODY = "apiVersion: v1\nkind: Service\nmetadata:\n  name: web\nspec:\n  ports:\n  - port: 80\n"
+
+
+def test_plain_yaml_passes_through():
+    assert extract_yaml(YAML_BODY).strip() == YAML_BODY.strip()
+
+
+def test_markdown_fence_extracted():
+    response = f"Sure, here you go:\n```yaml\n{YAML_BODY}```\nHope this helps!"
+    assert extract_yaml(response).strip() == YAML_BODY.strip()
+
+
+def test_fence_without_language_tag_extracted():
+    response = f"```\n{YAML_BODY}```"
+    assert extract_yaml(response).strip() == YAML_BODY.strip()
+
+
+def test_here_keyword_strips_leading_prose():
+    response = f"Here is the YAML configuration you asked for:\n{YAML_BODY}"
+    assert extract_yaml(response).strip() == YAML_BODY.strip()
+
+
+def test_api_version_marks_document_start():
+    response = f"The following manifest satisfies the requirements.\n{YAML_BODY}"
+    assert extract_yaml(response).strip() == YAML_BODY.strip()
+
+
+def test_static_resources_marks_envoy_start():
+    envoy = "static_resources:\n  listeners: []\n  clusters: []\n"
+    response = f"You can use this bootstrap file.\n{envoy}"
+    assert extract_yaml(response).strip() == envoy.strip()
+
+
+def test_code_tags_extracted():
+    response = f"<code>\n{YAML_BODY}</code>"
+    assert extract_yaml(response).strip() == YAML_BODY.strip()
+
+
+def test_begin_code_blocks_extracted():
+    response = "\\begin{code}\n" + YAML_BODY + "\\end{code}\n"
+    assert extract_yaml(response).strip() == YAML_BODY.strip()
+
+
+def test_solution_markers_extracted():
+    response = f"START SOLUTION\n{YAML_BODY}END SOLUTION"
+    assert extract_yaml(response).strip() == YAML_BODY.strip()
+
+
+def test_trailing_prose_removed():
+    response = f"{YAML_BODY}\nLet me know if you need anything else."
+    extracted = extract_yaml(response)
+    assert "Let me know" not in extracted
+    assert "port: 80" in extracted
+
+
+def test_empty_response_stays_empty():
+    assert extract_yaml("") == ""
+    assert extract_yaml("   \n  ") == ""
+
+
+def test_pure_prose_is_preserved_as_is():
+    prose = "I am not able to produce that configuration."
+    assert extract_yaml(prose).strip() == prose

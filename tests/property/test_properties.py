@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import string
+
+import yaml
+from hypothesis import given, settings, strategies as st
+
+from repro.kubesim.jsonpath import render_jsonpath
+from repro.mlkit.bleu import bleu_score, sentence_bleu
+from repro.postprocess import extract_yaml
+from repro.scoring.yaml_aware import key_value_exact_match, key_value_wildcard_match
+from repro.yamlkit.diffing import scaled_edit_similarity
+from repro.yamlkit.labels import parse_labeled_yaml, strip_labels
+from repro.yamlkit.normalize import documents_equal
+from repro.yamlkit.parsing import dump_document, load_document
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+_keys = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+_scalars = st.one_of(
+    st.integers(min_value=-1000, max_value=100000),
+    st.booleans(),
+    st.text(alphabet=string.ascii_letters + string.digits + "-./", min_size=1, max_size=12),
+)
+
+_documents = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, min_size=1, max_size=3),
+        st.dictionaries(_keys, children, min_size=1, max_size=4),
+    ),
+    max_leaves=12,
+).filter(lambda doc: isinstance(doc, dict))
+
+
+# ---------------------------------------------------------------------------
+# YAML round-trips and structural equality
+# ---------------------------------------------------------------------------
+
+@given(_documents)
+@settings(max_examples=60, deadline=None)
+def test_yaml_round_trip_preserves_structure(document):
+    assert documents_equal(load_document(dump_document(document)), document)
+
+
+@given(_documents)
+@settings(max_examples=60, deadline=None)
+def test_documents_equal_is_reflexive(document):
+    assert documents_equal(document, document)
+
+
+@given(_documents)
+@settings(max_examples=60, deadline=None)
+def test_kv_exact_match_self_is_one(document):
+    text = yaml.safe_dump(document, sort_keys=False)
+    assert key_value_exact_match(text, text) == 1.0
+
+
+@given(_documents)
+@settings(max_examples=60, deadline=None)
+def test_kv_wildcard_self_is_one_and_bounded(document):
+    text = yaml.safe_dump(document, sort_keys=False)
+    score = key_value_wildcard_match(text, text)
+    assert 0.999 <= score <= 1.0
+
+
+@given(_documents, _documents)
+@settings(max_examples=40, deadline=None)
+def test_kv_wildcard_is_bounded_for_any_pair(a, b):
+    score = key_value_wildcard_match(yaml.safe_dump(a), yaml.safe_dump(b))
+    assert 0.0 <= score <= 1.0
+
+
+@given(_documents)
+@settings(max_examples=40, deadline=None)
+def test_strip_labels_preserves_unlabeled_yaml_semantics(document):
+    text = yaml.safe_dump(document, sort_keys=False)
+    assert documents_equal(load_document(strip_labels(text)), document)
+    tree = parse_labeled_yaml(text)
+    assert tree.leaf_count() >= 1
+
+
+# ---------------------------------------------------------------------------
+# Metric invariants
+# ---------------------------------------------------------------------------
+
+@given(st.text(max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_bleu_self_score_is_one_or_zero_for_empty(text):
+    from repro.mlkit.tokenize import yaml_tokenize
+
+    score = bleu_score(text, text)
+    assert 0.0 <= score <= 1.0
+    # With at least four tokens every n-gram order is populated and the
+    # self-score is exactly 1; shorter texts are penalised by smoothing,
+    # exactly as NLTK's smoothed sentence BLEU behaves.
+    if len(yaml_tokenize(text)) >= 4:
+        assert score > 0.999
+
+
+@given(st.lists(st.sampled_from(["a", "b", "c", ":", "-"]), max_size=30),
+       st.lists(st.sampled_from(["a", "b", "c", ":", "-"]), max_size=30))
+@settings(max_examples=80, deadline=None)
+def test_sentence_bleu_bounded(candidate, reference):
+    assert 0.0 <= sentence_bleu(candidate, reference) <= 1.0
+
+
+@given(st.text(max_size=400), st.text(max_size=400))
+@settings(max_examples=60, deadline=None)
+def test_edit_similarity_bounded(a, b):
+    assert 0.0 <= scaled_edit_similarity(a, b) <= 1.0
+
+
+@given(st.text(max_size=400))
+@settings(max_examples=60, deadline=None)
+def test_edit_similarity_self_is_one(text):
+    assert scaled_edit_similarity(text, text) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Post-processing and JSONPath robustness
+# ---------------------------------------------------------------------------
+
+@given(st.text(max_size=500))
+@settings(max_examples=80, deadline=None)
+def test_extract_yaml_never_crashes_and_is_idempotent_in_length(text):
+    extracted = extract_yaml(text)
+    assert isinstance(extracted, str)
+    assert len(extract_yaml(extracted)) <= len(extracted) + 1
+
+
+@given(_documents)
+@settings(max_examples=40, deadline=None)
+def test_extract_yaml_recovers_fenced_documents(document):
+    body = yaml.safe_dump(document, sort_keys=False)
+    wrapped = f"Here is the configuration:\n```yaml\n{body}```\nLet me know!"
+    assert key_value_exact_match(extract_yaml(wrapped), body) == 1.0
+
+
+@given(_documents, st.lists(_keys, min_size=1, max_size=3))
+@settings(max_examples=60, deadline=None)
+def test_jsonpath_field_chain_never_crashes(document, fields):
+    expression = "{." + ".".join(fields) + "}"
+    result = render_jsonpath(document, expression)
+    assert isinstance(result, str)

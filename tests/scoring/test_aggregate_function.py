@@ -1,0 +1,60 @@
+"""Tests for the aggregate scorer and the function-level metric."""
+
+from __future__ import annotations
+
+from repro.scoring.aggregate import METRIC_NAMES, score_answer
+from repro.scoring.function_level import run_unit_test, unit_test_score
+
+
+def test_metric_names_match_table4_columns():
+    assert METRIC_NAMES == ("bleu", "edit_distance", "exact_match", "kv_exact", "kv_wildcard", "unit_test")
+
+
+def test_reference_answer_gets_full_scores(small_original_problems):
+    problem = small_original_problems[0]
+    card = score_answer(problem, problem.reference_plain())
+    assert card.unit_test == 1.0
+    assert card.exact_match == 1.0
+    assert card.kv_exact == 1.0
+    assert card.kv_wildcard == 1.0
+    assert card.bleu == 1.0
+
+
+def test_wrapped_reference_answer_still_passes(small_original_problems):
+    problem = small_original_problems[0]
+    wrapped = f"Here is the YAML you requested:\n```yaml\n{problem.reference_plain()}```\n"
+    card = score_answer(problem, wrapped)
+    assert card.unit_test == 1.0
+    assert card.kv_exact == 1.0
+
+
+def test_prose_answer_scores_zero_everywhere(small_original_problems):
+    problem = small_original_problems[0]
+    card = score_answer(problem, "I cannot generate that configuration, sorry.")
+    assert card.unit_test == 0.0
+    assert card.kv_exact == 0.0
+    assert card.kv_wildcard == 0.0
+    assert card.exact_match == 0.0
+
+
+def test_score_answer_can_skip_unit_tests(small_original_problems):
+    problem = small_original_problems[0]
+    card = score_answer(problem, problem.reference_plain(), run_unit_tests=False)
+    assert card.unit_test == 0.0  # skipped, not executed
+    assert card.bleu == 1.0
+
+
+def test_score_card_dict_and_features(small_original_problems):
+    problem = small_original_problems[0]
+    card = score_answer(problem, problem.reference_plain())
+    as_dict = card.as_dict()
+    assert set(as_dict) == set(METRIC_NAMES)
+    assert len(card.text_features()) == 5
+
+
+def test_unit_test_score_and_result_message(small_original_problems):
+    problem = small_original_problems[0]
+    assert unit_test_score(problem, problem.reference_plain()) == 1.0
+    failing = run_unit_test(problem, "apiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: x\n")
+    assert not failing.passed
+    assert failing.message

@@ -1,0 +1,34 @@
+"""Tests for text-level metrics."""
+
+from __future__ import annotations
+
+from repro.scoring.text_level import bleu, edit_distance_score, exact_match
+
+REFERENCE = "apiVersion: v1\nkind: Service\nmetadata:\n  name: web\nspec:\n  ports:\n  - port: 80\n"
+
+
+def test_exact_match_is_strict_about_content():
+    assert exact_match(REFERENCE, REFERENCE) == 1.0
+    assert exact_match(REFERENCE.replace("web", "other"), REFERENCE) == 0.0
+
+
+def test_exact_match_ignores_trailing_whitespace_and_blank_lines():
+    noisy = REFERENCE.replace("spec:\n", "spec:   \n\n")
+    assert exact_match(noisy, REFERENCE) == 1.0
+
+
+def test_bleu_between_zero_and_one():
+    partial = REFERENCE.replace("port: 80", "port: 8080")
+    assert 0.0 < bleu(partial, REFERENCE) < 1.0
+
+
+def test_edit_distance_score_orders_by_closeness():
+    close = REFERENCE.replace("port: 80", "port: 8080")
+    far = "kind: Service\n"
+    assert edit_distance_score(close, REFERENCE) > edit_distance_score(far, REFERENCE)
+
+
+def test_all_metrics_zero_for_empty_answer():
+    assert bleu("", REFERENCE) == 0.0
+    assert edit_distance_score("", REFERENCE) == 0.0
+    assert exact_match("", REFERENCE) == 0.0

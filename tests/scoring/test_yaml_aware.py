@@ -1,0 +1,96 @@
+"""Tests for the YAML-aware metrics (key-value exact and wildcard match)."""
+
+from __future__ import annotations
+
+from repro.scoring.yaml_aware import key_value_exact_match, key_value_wildcard_match
+
+REFERENCE_PLAIN = """apiVersion: v1
+kind: Service
+metadata:
+  name: web-svc
+  namespace: default
+spec:
+  selector:
+    app: web
+  ports:
+  - port: 80
+    targetPort: 80
+  type: LoadBalancer
+"""
+
+REFERENCE_LABELED = REFERENCE_PLAIN.replace("name: web-svc", "name: web-svc  # *")
+
+
+def test_kv_exact_ignores_key_order():
+    reordered = """kind: Service
+apiVersion: v1
+spec:
+  type: LoadBalancer
+  ports:
+  - targetPort: 80
+    port: 80
+  selector:
+    app: web
+metadata:
+  namespace: default
+  name: web-svc
+"""
+    assert key_value_exact_match(reordered, REFERENCE_PLAIN) == 1.0
+
+
+def test_kv_exact_detects_value_change():
+    assert key_value_exact_match(REFERENCE_PLAIN.replace("port: 80", "port: 81"), REFERENCE_PLAIN) == 0.0
+
+
+def test_kv_exact_zero_for_invalid_yaml():
+    assert key_value_exact_match("kind: [unclosed", REFERENCE_PLAIN) == 0.0
+    assert key_value_exact_match("just prose", REFERENCE_PLAIN) == 0.0
+
+
+def test_kv_exact_requires_same_document_count():
+    doubled = REFERENCE_PLAIN + "---\n" + REFERENCE_PLAIN
+    assert key_value_exact_match(doubled, REFERENCE_PLAIN) == 0.0
+
+
+def test_kv_wildcard_perfect_answer_scores_one():
+    assert key_value_wildcard_match(REFERENCE_PLAIN, REFERENCE_LABELED) == 1.0
+
+
+def test_kv_wildcard_accepts_renamed_wildcard_field():
+    renamed = REFERENCE_PLAIN.replace("name: web-svc", "name: anything-else")
+    assert key_value_wildcard_match(renamed, REFERENCE_LABELED) == 1.0
+    # ...but the exact kv match rejects it.
+    assert key_value_exact_match(renamed, REFERENCE_PLAIN) == 0.0
+
+
+def test_kv_wildcard_penalises_wrong_value():
+    wrong = REFERENCE_PLAIN.replace("app: web", "app: other")
+    score = key_value_wildcard_match(wrong, REFERENCE_LABELED)
+    assert 0.0 < score < 1.0
+
+
+def test_kv_wildcard_penalises_missing_section():
+    missing = REFERENCE_PLAIN.replace("  type: LoadBalancer\n", "")
+    assert key_value_wildcard_match(missing, REFERENCE_LABELED) < 1.0
+
+
+def test_kv_wildcard_penalises_extra_fields():
+    extra = REFERENCE_PLAIN + "  externalTrafficPolicy: Local\n  sessionAffinity: None\n"
+    score = key_value_wildcard_match(extra, REFERENCE_LABELED)
+    assert 0.0 < score < 1.0
+
+
+def test_kv_wildcard_zero_for_garbage():
+    assert key_value_wildcard_match("not yaml at all {", REFERENCE_LABELED) == 0.0
+
+
+def test_kv_wildcard_conditional_label():
+    labeled = "spec:\n  image: ubuntu:22.04  # v in ['20.04', '22.04']\n"
+    assert key_value_wildcard_match("spec:\n  image: ubuntu:20.04\n", labeled) == 1.0
+    assert key_value_wildcard_match("spec:\n  image: debian:12\n", labeled) == 0.0
+
+
+def test_kv_wildcard_multi_document_alignment():
+    reference = "kind: Service\nmetadata:\n  name: a\n---\nkind: Deployment\nmetadata:\n  name: b\n"
+    answer = "kind: Service\nmetadata:\n  name: a\n---\nkind: Deployment\nmetadata:\n  name: b\n"
+    assert key_value_wildcard_match(answer, reference) == 1.0

@@ -1,0 +1,163 @@
+"""Tests for unit-test program execution against the simulated substrate."""
+
+from __future__ import annotations
+
+from repro.testexec import (
+    ApplyAnswer,
+    ApplyManifest,
+    AssertEnvoyClusterLb,
+    AssertEnvoyListenerPort,
+    AssertEnvoyRoute,
+    AssertJsonPath,
+    AssertServiceReachable,
+    CreateNamespace,
+    UnitTestProgram,
+    WaitFor,
+    execute_unit_test,
+)
+
+DEPLOYMENT_ANSWER = """
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: web
+  namespace: dev
+spec:
+  replicas: 2
+  selector:
+    matchLabels:
+      app: web
+  template:
+    metadata:
+      labels:
+        app: web
+    spec:
+      containers:
+      - name: web
+        image: nginx:latest
+        ports:
+        - containerPort: 80
+"""
+
+K8S_PROGRAM = UnitTestProgram(
+    steps=(
+        CreateNamespace("dev"),
+        ApplyAnswer(),
+        WaitFor("Deployment", "available", name="web", namespace="dev"),
+        AssertJsonPath("Deployment", "{.spec.replicas}", expected="2", name="web", namespace="dev"),
+    ),
+    target="kubernetes",
+)
+
+
+def test_correct_answer_passes():
+    result = execute_unit_test(K8S_PROGRAM, DEPLOYMENT_ANSWER)
+    assert result.passed and result.score == 1.0
+    assert result.steps_run == len(K8S_PROGRAM.steps)
+
+
+def test_empty_answer_fails_at_apply():
+    result = execute_unit_test(K8S_PROGRAM, "")
+    assert not result.passed
+    assert result.failed_step == "ApplyAnswer"
+
+
+def test_wrong_field_value_fails_assertion():
+    wrong = DEPLOYMENT_ANSWER.replace("replicas: 2", "replicas: 1")
+    result = execute_unit_test(K8S_PROGRAM, wrong)
+    assert not result.passed
+    assert result.failed_step in {"AssertJsonPath", "WaitFor"}
+
+
+def test_invalid_yaml_fails_gracefully():
+    result = execute_unit_test(K8S_PROGRAM, "kind: Deployment\n  bad_indent: [")
+    assert not result.passed
+    assert result.score == 0.0
+
+
+def test_wrong_namespace_fails():
+    wrong = DEPLOYMENT_ANSWER.replace("namespace: dev", "namespace: default")
+    result = execute_unit_test(K8S_PROGRAM, wrong)
+    assert not result.passed
+
+
+def test_setup_manifest_and_service_reachability():
+    program = UnitTestProgram(
+        steps=(
+            CreateNamespace("dev"),
+            ApplyManifest(DEPLOYMENT_ANSWER),
+            ApplyAnswer(),
+            AssertServiceReachable("web-svc", namespace="dev", port=80),
+        )
+    )
+    service_answer = """
+apiVersion: v1
+kind: Service
+metadata:
+  name: web-svc
+  namespace: dev
+spec:
+  selector:
+    app: web
+  ports:
+  - port: 80
+    targetPort: 80
+"""
+    assert execute_unit_test(program, service_answer).passed
+    wrong_selector = service_answer.replace("app: web", "app: other")
+    assert not execute_unit_test(program, wrong_selector).passed
+
+
+def test_envoy_program_pass_and_fail():
+    program = UnitTestProgram(
+        steps=(
+            ApplyAnswer(),
+            AssertEnvoyListenerPort(10000),
+            AssertEnvoyRoute(10000, "backend"),
+            AssertEnvoyClusterLb("backend", "LEAST_REQUEST"),
+        ),
+        target="envoy",
+    )
+    answer = """
+static_resources:
+  listeners:
+  - name: l0
+    address:
+      socket_address: {address: 0.0.0.0, port_value: 10000}
+    filter_chains:
+    - filters:
+      - name: envoy.filters.network.http_connection_manager
+        typed_config:
+          route_config:
+            virtual_hosts:
+            - name: vh
+              domains: ["*"]
+              routes:
+              - match: {prefix: /}
+                route: {cluster: backend}
+  clusters:
+  - name: backend
+    lb_policy: LEAST_REQUEST
+    load_assignment:
+      endpoints:
+      - lb_endpoints:
+        - endpoint:
+            address: {socket_address: {address: 127.0.0.1, port_value: 8080}}
+"""
+    assert execute_unit_test(program, answer).passed
+    wrong_policy = answer.replace("LEAST_REQUEST", "RANDOM")
+    result = execute_unit_test(program, wrong_policy)
+    assert not result.passed and result.failed_step == "AssertEnvoyClusterLb"
+
+
+def test_envoy_program_rejects_kubernetes_answer():
+    program = UnitTestProgram(steps=(ApplyAnswer(), AssertEnvoyListenerPort(80)), target="envoy")
+    result = execute_unit_test(program, "apiVersion: v1\nkind: Pod\nmetadata:\n  name: x\n")
+    assert not result.passed
+
+
+def test_kubernetes_program_rejects_envoy_assertions():
+    program = UnitTestProgram(steps=(AssertEnvoyListenerPort(80),), target="kubernetes")
+    result = execute_unit_test(program, "apiVersion: v1\nkind: Pod\nmetadata: {name: x}\nspec: {containers: [{name: a, image: nginx}]}\n")
+    assert not result.passed
+    assert "envoy" in result.message.lower()

@@ -1,0 +1,90 @@
+"""Tests for the deterministic RNG utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.rng import DeterministicRNG, derive_seed, stable_hash
+
+
+def test_stable_hash_is_deterministic_across_calls():
+    assert stable_hash("a", 1, "b") == stable_hash("a", 1, "b")
+
+
+def test_stable_hash_differs_for_different_inputs():
+    assert stable_hash("a") != stable_hash("b")
+
+
+def test_stable_hash_is_non_negative_63_bit():
+    value = stable_hash("anything", 42)
+    assert 0 <= value < 2**63
+
+
+def test_derive_seed_changes_with_context():
+    assert derive_seed(1, "x") != derive_seed(1, "y")
+    assert derive_seed(1, "x") != derive_seed(2, "x")
+
+
+def test_same_seed_produces_identical_streams():
+    a = DeterministicRNG(123)
+    b = DeterministicRNG(123)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_child_streams_are_independent_of_parent_consumption():
+    parent1 = DeterministicRNG(5)
+    parent2 = DeterministicRNG(5)
+    parent2.random()  # consuming from the parent must not affect children
+    assert parent1.child("x").random() == parent2.child("x").random()
+
+
+def test_randint_bounds_inclusive():
+    rng = DeterministicRNG(0)
+    values = {rng.randint(1, 3) for _ in range(200)}
+    assert values == {1, 2, 3}
+
+
+def test_randint_rejects_empty_range():
+    with pytest.raises(ValueError):
+        DeterministicRNG(0).randint(5, 4)
+
+
+def test_bernoulli_extremes():
+    rng = DeterministicRNG(1)
+    assert not any(rng.bernoulli(0.0) for _ in range(50))
+    assert all(rng.bernoulli(1.0) for _ in range(50))
+
+
+def test_choice_weighted_never_picks_zero_weight():
+    rng = DeterministicRNG(2)
+    picks = {rng.choice(["a", "b", "c"], weights=[1.0, 0.0, 1.0]) for _ in range(100)}
+    assert "b" not in picks
+
+
+def test_choice_empty_raises():
+    with pytest.raises(ValueError):
+        DeterministicRNG(0).choice([])
+
+
+def test_choice_weights_length_mismatch_raises():
+    with pytest.raises(ValueError):
+        DeterministicRNG(0).choice(["a", "b"], weights=[1.0])
+
+
+def test_sample_without_replacement_is_distinct():
+    rng = DeterministicRNG(3)
+    sample = rng.sample(list(range(20)), 10)
+    assert len(sample) == len(set(sample)) == 10
+
+
+def test_sample_caps_at_population_size():
+    rng = DeterministicRNG(3)
+    assert sorted(rng.sample([1, 2, 3], 10)) == [1, 2, 3]
+
+
+def test_shuffle_returns_permutation():
+    rng = DeterministicRNG(4)
+    items = list(range(15))
+    shuffled = rng.shuffle(items)
+    assert sorted(shuffled) == items
+    assert items == list(range(15))  # input not mutated

@@ -1,0 +1,48 @@
+"""Tests for text helpers (word/token counting)."""
+
+from __future__ import annotations
+
+from repro.utils.text import count_tokens, count_words, normalize_whitespace, split_camel_case, tokenize_text
+
+
+def test_count_words_whitespace_separated():
+    assert count_words("create a pod named web") == 5
+
+
+def test_count_words_handles_newlines_and_tabs():
+    assert count_words("a\tb\nc   d") == 4
+
+
+def test_count_words_empty_string():
+    assert count_words("") == 0
+
+
+def test_normalize_whitespace_collapses_runs():
+    assert normalize_whitespace("  a \n b\t\tc ") == "a b c"
+
+
+def test_split_camel_case():
+    assert split_camel_case("containerPort") == ["container", "Port"]
+    assert split_camel_case("HTTPServer") == ["HTTP", "Server"]
+    assert split_camel_case("plain") == ["plain"]
+
+
+def test_tokenize_splits_punctuation():
+    tokens = tokenize_text("name: nginx-service")
+    assert ":" in tokens and "-" in tokens
+
+
+def test_tokenize_long_words_are_chunked():
+    tokens = tokenize_text("deployment")
+    assert all(len(t) <= 4 for t in tokens)
+    assert "".join(tokens) == "deployment"
+
+
+def test_count_tokens_monotone_in_text_length():
+    short = count_tokens("create a pod")
+    long = count_tokens("create a pod named web in the production namespace with nginx")
+    assert long > short
+
+
+def test_count_tokens_counts_cjk_characters_individually():
+    assert count_tokens("创建一个") == 4

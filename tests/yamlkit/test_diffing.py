@@ -1,0 +1,56 @@
+"""Tests for the line-level edit-distance metric."""
+
+from __future__ import annotations
+
+from repro.yamlkit.diffing import changed_lines, line_edit_distance, scaled_edit_similarity
+
+REFERENCE = """apiVersion: v1
+kind: Service
+metadata:
+  name: web
+spec:
+  ports:
+  - port: 80
+"""
+
+
+def test_identical_texts_have_zero_distance():
+    assert line_edit_distance(REFERENCE, REFERENCE) == 0
+    assert scaled_edit_similarity(REFERENCE, REFERENCE) == 1.0
+
+
+def test_blank_lines_are_ignored():
+    noisy = REFERENCE.replace("spec:", "spec:\n\n")
+    assert line_edit_distance(noisy, REFERENCE) == 0
+
+
+def test_single_changed_line_counts_two_edits():
+    changed = REFERENCE.replace("port: 80", "port: 8080")
+    assert line_edit_distance(changed, REFERENCE) == 2
+
+
+def test_similarity_decreases_with_more_edits():
+    one = REFERENCE.replace("port: 80", "port: 8080")
+    two = one.replace("name: web", "name: other")
+    assert scaled_edit_similarity(two, REFERENCE) < scaled_edit_similarity(one, REFERENCE)
+
+
+def test_empty_generated_scores_zero():
+    assert scaled_edit_similarity("", REFERENCE) == 0.0
+
+
+def test_empty_reference_edge_cases():
+    assert scaled_edit_similarity("", "") == 1.0
+    assert scaled_edit_similarity("something", "") == 0.0
+
+
+def test_similarity_clamped_at_zero_for_unrelated_text():
+    unrelated = "\n".join(f"line-{i}: value" for i in range(30))
+    assert scaled_edit_similarity(unrelated, REFERENCE) == 0.0
+
+
+def test_changed_lines_reports_both_directions():
+    changed = REFERENCE.replace("port: 80", "port: 8080")
+    missing, extra = changed_lines(changed, REFERENCE)
+    assert any("80" in line for line in missing)
+    assert any("8080" in line for line in extra)

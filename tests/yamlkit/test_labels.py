@@ -1,0 +1,93 @@
+"""Tests for reference-label parsing (wildcard / set / exact)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.yamlkit.labels import MatchKind, parse_labeled_yaml, strip_labels
+from repro.yamlkit.parsing import YamlParseError
+
+LABELED = """apiVersion: v1
+kind: Pod
+metadata:
+  name: my-pod  # *
+  namespace: default
+spec:
+  containers:
+  - name: app  # *
+    image: ubuntu:22.04  # v in ['20.04', '22.04']
+    ports:
+    - containerPort: 80
+"""
+
+
+def test_wildcard_label_detected():
+    tree = parse_labeled_yaml(LABELED)
+    assert tree.children["metadata"].children["name"].match is MatchKind.WILDCARD
+
+
+def test_exact_is_default():
+    tree = parse_labeled_yaml(LABELED)
+    assert tree.children["metadata"].children["namespace"].match is MatchKind.EXACT
+
+
+def test_set_label_options_parsed():
+    tree = parse_labeled_yaml(LABELED)
+    image = tree.children["spec"].children["containers"].items[0].children["image"]
+    assert image.match is MatchKind.SET
+    assert image.allowed == ("20.04", "22.04")
+
+
+def test_wildcard_matches_anything_but_none():
+    tree = parse_labeled_yaml(LABELED)
+    name = tree.children["metadata"].children["name"]
+    assert name.matches_value("totally-different")
+    assert not name.matches_value(None)
+
+
+def test_set_label_accepts_reference_and_alternatives():
+    tree = parse_labeled_yaml(LABELED)
+    image = tree.children["spec"].children["containers"].items[0].children["image"]
+    assert image.matches_value("ubuntu:22.04")
+    assert image.matches_value("ubuntu:20.04")
+    assert not image.matches_value("ubuntu:18.04")
+
+
+def test_exact_match_is_lenient_about_numeric_spelling():
+    tree = parse_labeled_yaml(LABELED)
+    port = (
+        tree.children["spec"].children["containers"].items[0].children["ports"].items[0].children["containerPort"]
+    )
+    assert port.matches_value(80)
+    assert port.matches_value("80")
+    assert not port.matches_value(8080)
+
+
+def test_strip_labels_removes_comments_only():
+    stripped = strip_labels(LABELED)
+    assert "# *" not in stripped
+    assert "# v in" not in stripped
+    assert "name: my-pod" in stripped
+    assert "image: ubuntu:22.04" in stripped
+
+
+def test_leaf_count_counts_scalars():
+    tree = parse_labeled_yaml("a: 1\nb:\n  c: 2\n  d: [3, 4]\n")
+    assert tree.leaf_count() == 4
+
+
+def test_multi_document_reference_becomes_sequence():
+    tree = parse_labeled_yaml("kind: Service\n---\nkind: Deployment\n")
+    assert tree.node_type == "sequence"
+    assert len(tree.items) == 2
+
+
+def test_invalid_reference_raises():
+    with pytest.raises(YamlParseError):
+        parse_labeled_yaml("key: [unclosed")
+
+
+def test_matches_value_on_non_scalar_raises():
+    tree = parse_labeled_yaml(LABELED)
+    with pytest.raises(ValueError):
+        tree.children["spec"].matches_value("x")

@@ -1,0 +1,58 @@
+"""Tests for YAML parsing helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.yamlkit.parsing import (
+    YamlParseError,
+    dump_document,
+    is_valid_yaml,
+    load_all_documents,
+    load_document,
+)
+
+
+def test_load_single_document():
+    doc = load_document("kind: Pod\nmetadata:\n  name: x\n")
+    assert doc["kind"] == "Pod"
+
+
+def test_load_all_documents_multi():
+    docs = load_all_documents("kind: Service\n---\nkind: Deployment\n")
+    assert [d["kind"] for d in docs] == ["Service", "Deployment"]
+
+
+def test_load_all_documents_drops_empty():
+    docs = load_all_documents("---\nkind: Pod\n---\n")
+    assert len(docs) == 1
+
+
+def test_load_document_rejects_multi():
+    with pytest.raises(YamlParseError):
+        load_document("a: 1\n---\nb: 2\n")
+
+
+def test_load_document_rejects_empty():
+    with pytest.raises(YamlParseError):
+        load_document("")
+
+
+def test_invalid_yaml_raises():
+    with pytest.raises(YamlParseError):
+        load_all_documents("key: [unclosed\n  nested: {")
+
+
+def test_is_valid_yaml_plain():
+    assert is_valid_yaml("a: 1")
+    assert not is_valid_yaml(": :\n  - {")
+
+
+def test_is_valid_yaml_require_mapping_rejects_scalar():
+    assert not is_valid_yaml("just a sentence of prose", require_mapping=True)
+    assert is_valid_yaml("kind: Pod", require_mapping=True)
+
+
+def test_dump_round_trip_preserves_content():
+    doc = {"kind": "Pod", "spec": {"containers": [{"name": "a", "image": "nginx"}]}}
+    assert load_document(dump_document(doc)) == doc
