@@ -30,6 +30,7 @@ __all__ = [
     "full_zero_shot_result",
     "multi_sample_evaluations",
     "few_shot_pass_counts",
+    "zero_shot_scoring_pairs",
 ]
 
 FAST_MODE = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
@@ -66,6 +67,30 @@ def full_zero_shot_result() -> BenchmarkResult:
 
     benchmark = CloudEvalBenchmark(bench_dataset(), BenchmarkConfig())
     return benchmark.evaluate_models(models=available_models())
+
+
+#: Models whose zero-shot responses feed the scoring-throughput benchmark;
+#: spans the quality range so the response mix (perfect answers, near
+#: misses, prose, empty) is representative.
+SCORING_BENCH_MODELS = ("gpt-4", "gpt-3.5", "llama-2-70b-chat", "llama-7b")
+
+
+@lru_cache(maxsize=1)
+def zero_shot_scoring_pairs() -> tuple:
+    """(problem, raw_response) pairs over the zero-shot corpus.
+
+    Reuses the memoised zero-shot artefact — ``evaluate_model`` keeps the
+    raw responses on every record — so the scoring-throughput benchmark
+    times only the scoring engine, not response generation.
+    """
+
+    dataset = bench_dataset()
+    result = full_zero_shot_result()
+    pairs = []
+    for model_name in SCORING_BENCH_MODELS:
+        for record in result[model_name].records:
+            pairs.append((dataset.get(record.problem_id), record.raw_response))
+    return tuple(pairs)
 
 
 @lru_cache(maxsize=1)

@@ -43,13 +43,16 @@ _LAZY_EXPORTS: dict[str, tuple[str, str]] = {
     "BenchmarkConfig": ("repro.core.config", "BenchmarkConfig"),
     "BenchmarkResult": ("repro.core.benchmark", "BenchmarkResult"),
     "CloudEvalBenchmark": ("repro.core.benchmark", "CloudEvalBenchmark"),
+    "CompiledReference": ("repro.scoring.compiled", "CompiledReference"),
     "Problem": ("repro.dataset.problem", "Problem"),
     "ProblemSet": ("repro.dataset.problem", "ProblemSet"),
+    "ReferenceStore": ("repro.scoring.compiled", "ReferenceStore"),
     "ScoreCard": ("repro.scoring.aggregate", "ScoreCard"),
     "available_models": ("repro.llm.registry", "available_models"),
     "build_dataset": ("repro.dataset.builder", "build_dataset"),
     "get_model": ("repro.llm.registry", "get_model"),
     "score_answer": ("repro.scoring.aggregate", "score_answer"),
+    "score_batch": ("repro.scoring.compiled", "score_batch"),
 }
 
 __all__ = sorted(_LAZY_EXPORTS) + ["__version__"]
@@ -81,3 +84,4 @@ if TYPE_CHECKING:  # pragma: no cover - static typing aid only
     from repro.dataset.problem import Problem, ProblemSet
     from repro.llm.registry import available_models, get_model
     from repro.scoring.aggregate import ScoreCard, score_answer
+    from repro.scoring.compiled import CompiledReference, ReferenceStore, score_batch

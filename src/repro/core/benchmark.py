@@ -21,7 +21,8 @@ from repro.dataset.schema import Variant
 from repro.llm.interface import GenerationRequest, Model, QueryModule
 from repro.llm.registry import ENGLISH_ONLY_MODELS, available_models, calibrate_models, get_model
 from repro.llm.simulated import SimulatedModel
-from repro.scoring.aggregate import METRIC_NAMES, ScoreCard, score_answer
+from repro.scoring.aggregate import METRIC_NAMES, ScoreCard
+from repro.scoring.compiled import ReferenceStore, score_batch
 
 __all__ = ["EvaluationRecord", "ModelEvaluation", "BenchmarkResult", "CloudEvalBenchmark"]
 
@@ -77,10 +78,13 @@ class ModelEvaluation:
         records = self.first_samples() if records is None else list(records)
         if not records:
             return {name: 0.0 for name in METRIC_NAMES}
-        means = {}
-        for name in METRIC_NAMES:
-            means[name] = float(np.mean([getattr(r.scores, name) for r in records]))
-        return means
+        # One pass over the records, collecting every metric column as we go.
+        columns: dict[str, list[float]] = {name: [] for name in METRIC_NAMES}
+        for record in records:
+            scores = record.scores
+            for name in METRIC_NAMES:
+                columns[name].append(getattr(scores, name))
+        return {name: float(np.mean(values)) for name, values in columns.items()}
 
     def pass_count(self, variant: str | None = None, shots: int | None = None) -> int:
         """Number of problems whose first sample passes the unit test."""
@@ -134,6 +138,9 @@ class CloudEvalBenchmark:
     def __init__(self, dataset: ProblemSet, config: BenchmarkConfig | None = None) -> None:
         self.dataset = dataset
         self.config = config or BenchmarkConfig()
+        # Compiled references are shared across every model evaluated by
+        # this benchmark: each problem's reference is parsed exactly once.
+        self._references = ReferenceStore()
 
     # ------------------------------------------------------------------
     # Model resolution
@@ -177,10 +184,18 @@ class CloudEvalBenchmark:
         ]
         results = query.query_batch(requests)
 
+        # Batch scoring: identical (problem, response) pairs are scored
+        # once, and the compiled references are shared benchmark-wide.
+        cards = score_batch(
+            ((result.request.problem, result.response) for result in results),
+            run_unit_tests=self.config.run_unit_tests,
+            store=self._references,
+            max_workers=self.config.max_workers,
+        )
+
         evaluation = ModelEvaluation(model_name=resolved.name)
-        for result in results:
+        for result, card in zip(results, cards):
             problem = result.request.problem
-            card = score_answer(problem, result.response, run_unit_tests=self.config.run_unit_tests)
             evaluation.records.append(
                 EvaluationRecord(
                     model_name=resolved.name,

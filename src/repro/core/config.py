@@ -31,7 +31,8 @@ class BenchmarkConfig:
         Whether to rescale the simulated models so their original-set pass
         counts land on the paper's Table 5 values (recommended).
     max_workers:
-        Parallelism of the query module (1 = sequential, reproducible).
+        Parallelism of the query module and of batch scoring
+        (1 = sequential; results are deterministic either way).
     """
 
     seed: int = 7

@@ -136,9 +136,13 @@ class ProblemSet:
 
     def __init__(self, problems: Iterable[Problem]) -> None:
         self._problems = list(problems)
-        ids = [p.problem_id for p in self._problems]
-        if len(ids) != len(set(ids)):
+        self._by_id = {p.problem_id: p for p in self._problems}
+        if len(self._by_id) != len(self._problems):
             raise ValueError("duplicate problem_id values in ProblemSet")
+        # Variant/category partitions are built lazily on first use; the
+        # collection is immutable so the indexes never go stale.
+        self._variant_index: dict[Variant, ProblemSet] | None = None
+        self._category_index: dict[Category, ProblemSet] | None = None
 
     # -- container protocol -------------------------------------------------
     def __len__(self) -> int:
@@ -151,20 +155,34 @@ class ProblemSet:
         return self._problems[index]
 
     def get(self, problem_id: str) -> Problem:
-        for problem in self._problems:
-            if problem.problem_id == problem_id:
-                return problem
-        raise KeyError(problem_id)
+        return self._by_id[problem_id]
 
     # -- filtering ------------------------------------------------------------
     def filter(self, predicate: Callable[[Problem], bool]) -> "ProblemSet":
         return ProblemSet(p for p in self._problems if predicate(p))
 
+    @staticmethod
+    def _partition(problems: list[Problem], key: Callable[[Problem], Any]) -> dict[Any, "ProblemSet"]:
+        groups: dict[Any, list[Problem]] = {}
+        for problem in problems:
+            groups.setdefault(key(problem), []).append(problem)
+        return {value: ProblemSet(members) for value, members in groups.items()}
+
     def by_variant(self, variant: Variant) -> "ProblemSet":
-        return self.filter(lambda p: p.variant is variant)
+        if self._variant_index is None:
+            self._variant_index = self._partition(self._problems, lambda p: p.variant)
+        subset = self._variant_index.get(variant)
+        if subset is None:
+            subset = self._variant_index[variant] = ProblemSet(())
+        return subset
 
     def by_category(self, category: Category) -> "ProblemSet":
-        return self.filter(lambda p: p.category is category)
+        if self._category_index is None:
+            self._category_index = self._partition(self._problems, lambda p: p.category)
+        subset = self._category_index.get(category)
+        if subset is None:
+            subset = self._category_index[category] = ProblemSet(())
+        return subset
 
     def by_application(self, application: str) -> "ProblemSet":
         return self.filter(lambda p: p.application == application)

@@ -15,6 +15,7 @@ kubectl verbs.  This facade mirrors the behaviour unit tests depend on:
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Mapping
 
 from repro.kubesim.cluster import Cluster
@@ -43,7 +44,19 @@ class Kubectl:
     def apply(self, yaml_text: str, namespace: str | None = None) -> list[Resource]:
         """``kubectl apply -f -`` for one or more documents."""
 
-        documents = load_all_documents(yaml_text)
+        return self._apply_documents(load_all_documents(yaml_text), namespace, caller_owned=False)
+
+    def apply_parsed(self, documents: list[Any], namespace: str | None = None) -> list[Resource]:
+        """:meth:`apply` for documents that are already parsed.
+
+        The caller's documents are never mutated (``apply`` re-parses the
+        text on every call, so repeated applies must not see earlier
+        namespace defaulting either).
+        """
+
+        return self._apply_documents(documents, namespace, caller_owned=True)
+
+    def _apply_documents(self, documents: list[Any], namespace: str | None, caller_owned: bool) -> list[Resource]:
         if not documents:
             raise KubeError("no objects passed to apply")
         applied: list[Resource] = []
@@ -51,6 +64,9 @@ class Kubectl:
             if not isinstance(document, dict):
                 raise KubeError("cannot apply a non-mapping YAML document")
             if namespace is not None:
+                if caller_owned:
+                    # Shared documents must not observe the defaulting.
+                    document = copy.deepcopy(document)
                 document.setdefault("metadata", {}).setdefault("namespace", namespace)
             applied.append(self.cluster.apply(document))
         return applied

@@ -10,41 +10,71 @@ from __future__ import annotations
 
 import math
 from collections import Counter
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.mlkit.tokenize import yaml_tokenize
 
-__all__ = ["sentence_bleu", "bleu_score"]
+__all__ = [
+    "ReferenceNgrams",
+    "compile_reference_ngrams",
+    "sentence_bleu",
+    "sentence_bleu_compiled",
+    "bleu_score",
+]
 
 
 def _ngram_counts(tokens: Sequence[str], n: int) -> Counter:
     return Counter(tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1))
 
 
-def _modified_precision(candidate: Sequence[str], reference: Sequence[str], n: int) -> tuple[int, int]:
-    """Return (clipped matches, total candidate n-grams) for order ``n``."""
+@dataclass(frozen=True)
+class ReferenceNgrams:
+    """Precomputed reference side of BLEU: token length plus per-order counts.
 
-    cand_counts = _ngram_counts(candidate, n)
-    ref_counts = _ngram_counts(reference, n)
-    matches = sum(min(count, ref_counts[gram]) for gram, count in cand_counts.items())
-    total = max(sum(cand_counts.values()), 0)
-    return matches, total
+    The reference token sequence of a benchmark problem is immutable, so its
+    n-gram ``Counter``s can be built once and reused for every candidate.
+    """
+
+    length: int
+    counts: tuple[Counter, ...]  # index ``n - 1`` holds the order-``n`` counts
+
+    @property
+    def max_order(self) -> int:
+        return len(self.counts)
 
 
-def sentence_bleu(
+def compile_reference_ngrams(reference_tokens: Sequence[str], max_order: int = 4) -> ReferenceNgrams:
+    """Precompute the reference n-gram counts for orders ``1..max_order``."""
+
+    tokens = list(reference_tokens)
+    return ReferenceNgrams(
+        length=len(tokens),
+        counts=tuple(_ngram_counts(tokens, n) for n in range(1, max_order + 1)),
+    )
+
+
+def sentence_bleu_compiled(
     candidate_tokens: Sequence[str],
-    reference_tokens: Sequence[str],
-    max_order: int = 4,
+    reference: ReferenceNgrams,
     smoothing_epsilon: float = 0.1,
 ) -> float:
-    """Compute smoothed sentence BLEU between two token sequences."""
+    """Smoothed sentence BLEU against a precompiled reference.
 
-    if not candidate_tokens or not reference_tokens:
+    Numerically identical to :func:`sentence_bleu` on the same token
+    sequences; only the reference-side n-gram counting is skipped.
+    """
+
+    if not candidate_tokens or not reference.length:
         return 0.0
 
+    max_order = reference.max_order
     log_precisions: list[float] = []
     for n in range(1, max_order + 1):
-        matches, total = _modified_precision(candidate_tokens, reference_tokens, n)
+        cand_counts = _ngram_counts(candidate_tokens, n)
+        ref_counts = reference.counts[n - 1]
+        matches = sum(min(count, ref_counts[gram]) for gram, count in cand_counts.items())
+        total = max(sum(cand_counts.values()), 0)
         if total == 0:
             # Candidate shorter than n tokens: treat as a vanishing
             # contribution rather than an undefined one.
@@ -60,13 +90,28 @@ def sentence_bleu(
 
     # Brevity penalty: penalise candidates shorter than the reference.
     cand_len = len(candidate_tokens)
-    ref_len = len(reference_tokens)
+    ref_len = reference.length
     if cand_len >= ref_len:
         brevity_penalty = 1.0
     else:
         brevity_penalty = math.exp(1.0 - ref_len / cand_len)
 
     return max(0.0, min(1.0, brevity_penalty * geo_mean))
+
+
+def sentence_bleu(
+    candidate_tokens: Sequence[str],
+    reference_tokens: Sequence[str],
+    max_order: int = 4,
+    smoothing_epsilon: float = 0.1,
+) -> float:
+    """Compute smoothed sentence BLEU between two token sequences."""
+
+    return sentence_bleu_compiled(
+        candidate_tokens,
+        compile_reference_ngrams(reference_tokens, max_order=max_order),
+        smoothing_epsilon=smoothing_epsilon,
+    )
 
 
 def bleu_score(candidate_text: str, reference_text: str, max_order: int = 4) -> float:

@@ -10,7 +10,7 @@ from repro.scoring.function_level import run_unit_test
 from repro.scoring.text_level import bleu, edit_distance_score, exact_match
 from repro.scoring.yaml_aware import key_value_exact_match, key_value_wildcard_match
 
-__all__ = ["METRIC_NAMES", "ScoreCard", "score_answer"]
+__all__ = ["METRIC_NAMES", "ScoreCard", "score_answer", "score_answer_legacy"]
 
 #: Metric names in the column order of Table 4.
 METRIC_NAMES: tuple[str, ...] = (
@@ -61,6 +61,25 @@ def score_answer(problem: Problem, raw_response: str, run_unit_tests: bool = Tru
     ``run_unit_tests=False`` skips the (comparatively expensive) functional
     evaluation, which is what the unit-test-prediction experiment (§4.4)
     simulates avoiding; the ``unit_test`` field is then reported as 0.0.
+
+    Scoring goes through the compiled-reference engine
+    (:mod:`repro.scoring.compiled`): the problem's reference artifacts are
+    precomputed on first use and reused on every subsequent call.  The
+    result is identical to :func:`score_answer_legacy`, which recomputes
+    everything from the raw strings.
+    """
+
+    from repro.scoring.compiled import get_compiled_reference, score_answer_compiled
+
+    compiled = get_compiled_reference(problem)
+    return score_answer_compiled(compiled, raw_response, run_unit_tests=run_unit_tests)
+
+
+def score_answer_legacy(problem: Problem, raw_response: str, run_unit_tests: bool = True) -> ScoreCard:
+    """The original string-based scoring path, kept as the reference
+    implementation: every metric re-derives its reference artifacts from the
+    problem's raw YAML text.  Used by the equivalence tests and as the
+    baseline for the scoring-throughput benchmark.
     """
 
     extracted = extract_yaml(raw_response)

@@ -15,10 +15,23 @@ from repro.yamlkit.labels import LabeledNode, parse_labeled_yaml
 from repro.yamlkit.normalize import documents_equal
 from repro.yamlkit.parsing import YamlParseError, load_all_documents
 
-__all__ = ["key_value_exact_match", "key_value_wildcard_match"]
+__all__ = [
+    "load_match_documents",
+    "key_value_exact_match",
+    "key_value_exact_match_docs",
+    "key_value_wildcard_match",
+    "key_value_wildcard_match_docs",
+]
 
 
-def _load_documents(text: str) -> list[Any] | None:
+def load_match_documents(text: str) -> list[Any] | None:
+    """Parse ``text`` for the key-value metrics.
+
+    Returns the document list, or ``None`` when the text is not valid YAML
+    or contains a non-container document (a prose answer parsed as a bare
+    scalar does not count as YAML for these metrics).
+    """
+
     try:
         docs = load_all_documents(text)
     except YamlParseError:
@@ -28,16 +41,24 @@ def _load_documents(text: str) -> list[Any] | None:
     return docs
 
 
-def key_value_exact_match(generated: str, reference_plain: str) -> float:
-    """1.0 when both YAMLs parse to equal dictionaries (order-insensitive)."""
+# Backwards-compatible private alias (pre-compiled-reference name).
+_load_documents = load_match_documents
 
-    generated_docs = _load_documents(generated)
-    reference_docs = _load_documents(reference_plain)
+
+def key_value_exact_match_docs(generated_docs: list[Any] | None, reference_docs: list[Any] | None) -> float:
+    """:func:`key_value_exact_match` over pre-parsed document lists."""
+
     if generated_docs is None or reference_docs is None:
         return 0.0
     if len(generated_docs) != len(reference_docs):
         return 0.0
     return 1.0 if all(documents_equal(g, r) for g, r in zip(generated_docs, reference_docs)) else 0.0
+
+
+def key_value_exact_match(generated: str, reference_plain: str) -> float:
+    """1.0 when both YAMLs parse to equal dictionaries (order-insensitive)."""
+
+    return key_value_exact_match_docs(load_match_documents(generated), load_match_documents(reference_plain))
 
 
 def _count_matches(reference: LabeledNode, candidate: Any) -> tuple[int, int, int]:
@@ -96,15 +117,10 @@ def _leaf_count(value: Any) -> int:
     return 1 if value is not None else 0
 
 
-def key_value_wildcard_match(generated: str, reference_labeled: str) -> float:
-    """IoU of matched leaves between the generated YAML and the labeled reference."""
+def key_value_wildcard_match_docs(generated_docs: list[Any] | None, reference_tree: LabeledNode | None) -> float:
+    """:func:`key_value_wildcard_match` over pre-parsed documents and a compiled tree."""
 
-    generated_docs = _load_documents(generated)
-    if generated_docs is None:
-        return 0.0
-    try:
-        reference_tree = parse_labeled_yaml(reference_labeled)
-    except YamlParseError:
+    if generated_docs is None or reference_tree is None:
         return 0.0
 
     # Align multi-document references with multi-document answers.
@@ -120,3 +136,16 @@ def key_value_wildcard_match(generated: str, reference_labeled: str) -> float:
     if union <= 0:
         return 0.0
     return float(matched / union)
+
+
+def key_value_wildcard_match(generated: str, reference_labeled: str) -> float:
+    """IoU of matched leaves between the generated YAML and the labeled reference."""
+
+    generated_docs = load_match_documents(generated)
+    if generated_docs is None:
+        return 0.0
+    try:
+        reference_tree = parse_labeled_yaml(reference_labeled)
+    except YamlParseError:
+        return 0.0
+    return key_value_wildcard_match_docs(generated_docs, reference_tree)

@@ -11,6 +11,7 @@ fails the bash script.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.envoysim import EnvoyConfig, EnvoyValidationError
 from repro.kubesim import Cluster, KubeError, Kubectl
@@ -44,25 +45,54 @@ class _StepFailure(Exception):
     """Internal: a step's assertion did not hold."""
 
 
-def execute_unit_test(program: S.UnitTestProgram, answer_yaml: str) -> UnitTestResult:
-    """Run ``program`` with ``answer_yaml`` as the generated configuration."""
+@lru_cache(maxsize=1024)
+def _parsed_manifest(yaml_text: str) -> list:
+    """Parse an ``ApplyManifest`` step's fixed YAML once per text.
+
+    Step manifests are immutable dataset artifacts replayed on every
+    execution of the same program; ``apply_parsed`` never mutates the
+    documents, so the cached parse is safe to share.
+    """
+
+    return load_all_documents(yaml_text)
+
+
+def execute_unit_test(
+    program: S.UnitTestProgram,
+    answer_yaml: str,
+    parsed_answer: list | YamlParseError | None = None,
+) -> UnitTestResult:
+    """Run ``program`` with ``answer_yaml`` as the generated configuration.
+
+    ``parsed_answer`` optionally carries the result of
+    ``load_all_documents(answer_yaml)`` — or the :class:`YamlParseError` it
+    raised — so batch scoring can parse each answer once and share the
+    documents between the metrics and the executor.  When provided it must
+    correspond to ``answer_yaml``; the executor never mutates the documents
+    (applies deep-copy before namespace defaulting), preserving the exact
+    semantics of re-parsing the text.
+    """
 
     if program.target == "envoy":
-        return _execute_envoy(program, answer_yaml)
-    return _execute_kubernetes(program, answer_yaml)
+        return _execute_envoy(program, answer_yaml, parsed_answer)
+    return _execute_kubernetes(program, answer_yaml, parsed_answer)
 
 
 # ---------------------------------------------------------------------------
 # Kubernetes / Istio execution
 # ---------------------------------------------------------------------------
 
-def _execute_kubernetes(program: S.UnitTestProgram, answer_yaml: str) -> UnitTestResult:
+def _execute_kubernetes(
+    program: S.UnitTestProgram,
+    answer_yaml: str,
+    parsed_answer: list | YamlParseError | None = None,
+) -> UnitTestResult:
     cluster = Cluster(nodes=[f"node-{i + 1}" for i in range(max(1, program.nodes))])
     kubectl = Kubectl(cluster)
     steps_run = 0
     for step in program.steps:
         try:
-            _run_kubernetes_step(step, kubectl, answer_yaml)
+            _run_kubernetes_step(step, kubectl, answer_yaml, parsed_answer)
         except (_StepFailure, KubeError, YamlParseError, ValueError) as exc:
             return UnitTestResult(
                 passed=False,
@@ -79,15 +109,25 @@ def _expect(condition: bool, message: str) -> None:
         raise _StepFailure(message)
 
 
-def _run_kubernetes_step(step: S.Step, kubectl: Kubectl, answer_yaml: str) -> None:
+def _run_kubernetes_step(
+    step: S.Step,
+    kubectl: Kubectl,
+    answer_yaml: str,
+    parsed_answer: list | YamlParseError | None = None,
+) -> None:
     cluster = kubectl.cluster
     if isinstance(step, S.CreateNamespace):
         kubectl.create_namespace(step.name)
     elif isinstance(step, S.ApplyManifest):
-        kubectl.apply(step.yaml_text, namespace=step.namespace)
+        kubectl.apply_parsed(_parsed_manifest(step.yaml_text), namespace=step.namespace)
     elif isinstance(step, S.ApplyAnswer):
         _expect(bool(answer_yaml.strip()), "answer is empty")
-        kubectl.apply(answer_yaml, namespace=step.namespace)
+        if parsed_answer is None:
+            kubectl.apply(answer_yaml, namespace=step.namespace)
+        elif isinstance(parsed_answer, YamlParseError):
+            raise parsed_answer
+        else:
+            kubectl.apply_parsed(parsed_answer, namespace=step.namespace)
     elif isinstance(step, S.WaitFor):
         ok = kubectl.wait(
             step.kind,
@@ -199,10 +239,19 @@ def _run_kubernetes_step(step: S.Step, kubectl: Kubectl, answer_yaml: str) -> No
 # Envoy execution
 # ---------------------------------------------------------------------------
 
-def _execute_envoy(program: S.UnitTestProgram, answer_yaml: str) -> UnitTestResult:
+def _execute_envoy(
+    program: S.UnitTestProgram,
+    answer_yaml: str,
+    parsed_answer: list | YamlParseError | None = None,
+) -> UnitTestResult:
     steps_run = 0
     try:
-        documents = load_all_documents(answer_yaml)
+        if parsed_answer is None:
+            documents = load_all_documents(answer_yaml)
+        elif isinstance(parsed_answer, YamlParseError):
+            raise parsed_answer
+        else:
+            documents = parsed_answer
         if len(documents) != 1 or not isinstance(documents[0], dict):
             raise EnvoyValidationError("expected a single Envoy bootstrap configuration document")
         config = EnvoyConfig(documents[0])

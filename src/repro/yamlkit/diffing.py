@@ -14,13 +14,35 @@ from __future__ import annotations
 
 import difflib
 
-__all__ = ["line_edit_distance", "scaled_edit_similarity", "changed_lines"]
+__all__ = [
+    "significant_lines",
+    "line_edit_distance",
+    "line_edit_distance_lines",
+    "scaled_edit_similarity",
+    "scaled_edit_similarity_lines",
+    "changed_lines",
+]
 
 
-def _significant_lines(text: str) -> list[str]:
+def significant_lines(text: str) -> list[str]:
     """Split into lines, dropping blank lines and trailing whitespace."""
 
     return [line.rstrip() for line in text.splitlines() if line.strip()]
+
+
+# Backwards-compatible private alias (pre-compiled-reference name).
+_significant_lines = significant_lines
+
+
+def line_edit_distance_lines(gen_lines: list[str], ref_lines: list[str]) -> int:
+    """Edit distance between two pre-split significant-line lists."""
+
+    differ = difflib.Differ()
+    distance = 0
+    for entry in differ.compare(ref_lines, gen_lines):
+        if entry.startswith(("- ", "+ ")):
+            distance += 1
+    return distance
 
 
 def line_edit_distance(generated: str, reference: str) -> int:
@@ -30,21 +52,14 @@ def line_edit_distance(generated: str, reference: str) -> int:
     behaviour of ``difflib.Differ`` which reports ``-`` and ``+`` entries.
     """
 
-    gen_lines = _significant_lines(generated)
-    ref_lines = _significant_lines(reference)
-    differ = difflib.Differ()
-    distance = 0
-    for entry in differ.compare(ref_lines, gen_lines):
-        if entry.startswith(("- ", "+ ")):
-            distance += 1
-    return distance
+    return line_edit_distance_lines(significant_lines(generated), significant_lines(reference))
 
 
 def changed_lines(generated: str, reference: str) -> tuple[list[str], list[str]]:
     """Return (missing_from_generated, extra_in_generated) line lists."""
 
-    gen_lines = _significant_lines(generated)
-    ref_lines = _significant_lines(reference)
+    gen_lines = significant_lines(generated)
+    ref_lines = significant_lines(reference)
     differ = difflib.Differ()
     missing: list[str] = []
     extra: list[str] = []
@@ -56,6 +71,18 @@ def changed_lines(generated: str, reference: str) -> tuple[list[str], list[str]]
     return missing, extra
 
 
+def scaled_edit_similarity_lines(gen_lines: list[str], ref_lines: list[str]) -> float:
+    """:func:`scaled_edit_similarity` over pre-split significant-line lists."""
+
+    if not ref_lines:
+        return 1.0 if not gen_lines else 0.0
+    # Paper formula: 1 - edit_distance / len(reference_YAML).  A fully
+    # rewritten answer can exceed the reference length in line edits, so the
+    # score is clamped at 0 to stay within [0, 1].
+    distance = line_edit_distance_lines(gen_lines, ref_lines)
+    return max(0.0, 1.0 - distance / float(len(ref_lines)))
+
+
 def scaled_edit_similarity(generated: str, reference: str) -> float:
     """Edit-distance similarity scaled by the size of the reference.
 
@@ -64,11 +91,4 @@ def scaled_edit_similarity(generated: str, reference: str) -> float:
     least as large as the reference itself.
     """
 
-    ref_lines = _significant_lines(reference)
-    if not ref_lines:
-        return 1.0 if not _significant_lines(generated) else 0.0
-    # Paper formula: 1 - edit_distance / len(reference_YAML).  A fully
-    # rewritten answer can exceed the reference length in line edits, so the
-    # score is clamped at 0 to stay within [0, 1].
-    distance = line_edit_distance(generated, reference)
-    return max(0.0, 1.0 - distance / float(len(ref_lines)))
+    return scaled_edit_similarity_lines(significant_lines(generated), significant_lines(reference))

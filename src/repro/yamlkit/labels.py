@@ -117,23 +117,33 @@ def _extract_line_labels(text: str) -> dict[int, tuple[MatchKind, tuple[Any, ...
     return labels
 
 
+class _NodeConstructor(yaml.constructor.SafeConstructor):
+    """Constructs Python values directly from composed nodes.
+
+    Equivalent to ``yaml.safe_load(yaml.serialize(node))`` — the composer
+    has already resolved implicit tags — but without the serialize/re-scan
+    round trip, which dominates reference-compilation time.
+    """
+
+
 def _build_node(
     node: yaml.Node,
     labels: dict[int, tuple[MatchKind, tuple[Any, ...]]],
+    constructor: _NodeConstructor,
 ) -> LabeledNode:
     """Recursively convert a PyYAML node graph into a LabeledNode tree."""
 
     if isinstance(node, yaml.MappingNode):
         children: dict[str, LabeledNode] = {}
         for key_node, value_node in node.value:
-            key = yaml.safe_load(yaml.serialize(key_node))
-            children[str(key)] = _build_node(value_node, labels)
+            key = constructor.construct_object(key_node, deep=True)
+            children[str(key)] = _build_node(value_node, labels, constructor)
         return LabeledNode(node_type="mapping", children=children)
     if isinstance(node, yaml.SequenceNode):
-        items = [_build_node(child, labels) for child in node.value]
+        items = [_build_node(child, labels, constructor) for child in node.value]
         return LabeledNode(node_type="sequence", items=items)
     # Scalar: resolve its Python value and attach any label from its line.
-    value = yaml.safe_load(yaml.serialize(node))
+    value = constructor.construct_object(node, deep=True)
     match_kind, allowed = labels.get(node.start_mark.line, (MatchKind.EXACT, ()))
     return LabeledNode(node_type="scalar", value=value, match=match_kind, allowed=allowed)
 
@@ -153,9 +163,13 @@ def parse_labeled_yaml(text: str) -> LabeledNode:
     nodes = [n for n in nodes if n is not None]
     if not nodes:
         raise YamlParseError("labeled reference YAML contains no documents")
-    if len(nodes) == 1:
-        return _build_node(nodes[0], labels)
-    return LabeledNode(node_type="sequence", items=[_build_node(n, labels) for n in nodes])
+    constructor = _NodeConstructor()
+    try:
+        if len(nodes) == 1:
+            return _build_node(nodes[0], labels, constructor)
+        return LabeledNode(node_type="sequence", items=[_build_node(n, labels, constructor) for n in nodes])
+    except yaml.YAMLError as exc:
+        raise YamlParseError(f"invalid labeled reference YAML: {exc}") from exc
 
 
 def strip_labels(text: str) -> str:

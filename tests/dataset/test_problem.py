@@ -69,6 +69,24 @@ def test_problem_set_filters():
         dataset.get("missing")
 
 
+def test_problem_set_index_is_cached_and_complete():
+    problems = [
+        _problem("pod-0001-original"),
+        _problem("pod-0001-simplified", variant=Variant.SIMPLIFIED),
+        _problem("pod-0002-original"),
+    ]
+    dataset = ProblemSet(problems)
+    # Repeated lookups return the lazily built partition, not a rescan.
+    originals = dataset.by_variant(Variant.ORIGINAL)
+    assert dataset.by_variant(Variant.ORIGINAL) is originals
+    assert [p.problem_id for p in originals] == ["pod-0001-original", "pod-0002-original"]
+    pods = dataset.by_category(Category.POD)
+    assert dataset.by_category(Category.POD) is pods
+    # Absent partitions come back empty (and stay cached).
+    assert len(dataset.by_variant(Variant.TRANSLATED)) == 0
+    assert len(dataset.by_category(Category.ENVOY)) == 0
+
+
 def test_problem_set_rejects_duplicate_ids():
     with pytest.raises(ValueError):
         ProblemSet([_problem(), _problem()])

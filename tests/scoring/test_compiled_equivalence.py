@@ -1,0 +1,175 @@
+"""Property-style equivalence: compiled-reference scoring == legacy string scoring.
+
+The compiled engine must be a pure optimisation — for every problem and
+every answer, the ScoreCard coming out of the compiled path (per-call,
+batch, and pooled batch) must be bit-identical to the legacy string path
+that re-derives all reference artifacts on each call.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BenchmarkConfig, CloudEvalBenchmark
+from repro.dataset.schema import Variant
+from repro.llm.interface import GenerationRequest, QueryModule
+from repro.scoring.aggregate import score_answer, score_answer_legacy
+from repro.scoring.compiled import (
+    ReferenceStore,
+    compile_reference,
+    get_compiled_reference,
+    score_answer_compiled,
+    score_batch,
+)
+
+
+@pytest.fixture(scope="module")
+def response_pairs(small_dataset):
+    """(problem, raw_response) pairs from models across the quality range."""
+
+    benchmark = CloudEvalBenchmark(small_dataset, BenchmarkConfig())
+    pairs = []
+    for model_name in ("gpt-4", "llama-2-70b-chat", "llama-7b"):
+        model = benchmark._resolve_model(model_name)
+        query = QueryModule(model, max_workers=1)
+        requests = [GenerationRequest(problem=p, shots=0, sample_index=0) for p in small_dataset]
+        for result in query.query_batch(requests):
+            pairs.append((result.request.problem, result.response))
+    return pairs
+
+
+def test_compiled_path_matches_legacy_on_real_responses(response_pairs):
+    """Every variant, every model tier: compiled ScoreCards are bit-identical."""
+
+    for problem, response in response_pairs:
+        legacy = score_answer_legacy(problem, response)
+        compiled = score_answer_compiled(get_compiled_reference(problem), response)
+        assert compiled == legacy, problem.problem_id
+
+
+def test_score_answer_routes_through_compiled_path(response_pairs):
+    problem, response = response_pairs[0]
+    assert score_answer(problem, response) == score_answer_legacy(problem, response)
+
+
+def test_batch_matches_legacy_and_preserves_order(response_pairs):
+    legacy = [score_answer_legacy(p, r) for p, r in response_pairs]
+    assert score_batch(response_pairs, store=ReferenceStore()) == legacy
+    # Pool fan-out returns the same cards in the same order.
+    assert score_batch(response_pairs, max_workers=2, executor="thread") == legacy
+
+
+def test_batch_dedupes_repeated_responses(small_dataset):
+    problem = next(iter(small_dataset))
+    response = problem.reference_plain()
+    pairs = [(problem, response)] * 5 + [(problem, "kind: Wrong\n")]
+    cards = score_batch(pairs)
+    assert len(cards) == 6
+    assert len({id(c) for c in cards[:5]}) == 1  # one shared ScoreCard object
+    assert cards[5] != cards[0]
+
+
+def test_batch_dedupes_modulo_prose_wrapping(small_dataset):
+    """Dedup keys on the extracted YAML, not the raw response text."""
+
+    problem = next(iter(small_dataset))
+    plain = problem.reference_plain()
+    wrapped = f"Here is the YAML you asked for:\n```yaml\n{plain}```\nHope this helps!"
+    cards = score_batch([(problem, plain), (problem, wrapped)])
+    assert cards[0] is cards[1]
+
+
+def test_skip_unit_tests_matches_legacy(response_pairs):
+    subset = response_pairs[:40]
+    legacy = [score_answer_legacy(p, r, run_unit_tests=False) for p, r in subset]
+    assert score_batch(subset, run_unit_tests=False) == legacy
+
+
+# ---------------------------------------------------------------------------
+# yaml_aware edge cases (multi-document answers, null leaves, empty candidate)
+# ---------------------------------------------------------------------------
+
+_EDGE_REFERENCES = {
+    "multi-doc": (
+        "apiVersion: v1\n"
+        "kind: Service\n"
+        "metadata:\n"
+        "  name: web  # *\n"
+        "---\n"
+        "apiVersion: apps/v1\n"
+        "kind: Deployment\n"
+        "metadata:\n"
+        "  name: web\n"
+    ),
+    "null-leaves": (
+        "apiVersion: v1\n"
+        "kind: ConfigMap\n"
+        "metadata:\n"
+        "  name: conf\n"
+        "  annotations: null\n"
+        "data:\n"
+        "  empty:\n"
+        "  image: ubuntu:22.04  # v in ['20.04', '22.04']\n"
+    ),
+    "wildcard-heavy": (
+        "apiVersion: v1\n"
+        "kind: Pod\n"
+        "metadata:\n"
+        "  name: pod-a  # *\n"
+        "spec:\n"
+        "  containers:\n"
+        "  - name: main  # *\n"
+        "    image: nginx\n"
+    ),
+}
+
+_EDGE_CANDIDATES = [
+    "",
+    "   \n",
+    "not yaml: [unclosed\n",
+    "just a prose sentence about kubernetes",
+    "null",
+    "apiVersion: v1\nkind: Service\nmetadata:\n  name: anything\n",
+    # multi-document answer
+    "apiVersion: v1\nkind: Service\nmetadata:\n  name: x\n---\napiVersion: apps/v1\nkind: Deployment\nmetadata:\n  name: web\n",
+    # trailing empty document
+    "apiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: conf\n  annotations: null\ndata:\n  empty:\n  image: ubuntu:22.04\n---\n",
+    # list-valued document
+    "- a\n- b\n",
+]
+
+
+@pytest.mark.parametrize("ref_name", sorted(_EDGE_REFERENCES))
+@pytest.mark.parametrize("candidate_index", range(len(_EDGE_CANDIDATES)))
+def test_edge_case_equivalence(small_dataset, ref_name, candidate_index):
+    """Synthetic references x degenerate candidates score identically."""
+
+    from dataclasses import replace
+
+    base = next(iter(small_dataset))
+    problem = replace(base, reference_yaml=_EDGE_REFERENCES[ref_name])
+    candidate = _EDGE_CANDIDATES[candidate_index]
+    legacy = score_answer_legacy(problem, candidate)
+    compiled = score_answer_compiled(compile_reference(problem), candidate)
+    assert compiled == legacy
+
+
+def test_compiled_reference_artifacts(small_dataset):
+    """The compiled artifact mirrors the problem's derived views."""
+
+    problem = next(iter(small_dataset))
+    compiled = compile_reference(problem)
+    assert compiled.problem_id == problem.problem_id
+    assert compiled.reference_plain == problem.reference_plain()
+    assert compiled.reference_ngrams.length == len(compiled.reference_tokens)
+    assert compiled.labeled_tree is not None
+    assert compiled.reference_documents  # dataset references always parse
+
+
+def test_instance_cache_compiles_once(small_dataset):
+    problem = list(small_dataset)[1]
+    first = get_compiled_reference(problem)
+    assert get_compiled_reference(problem) is first
+    store = ReferenceStore()
+    assert store.get(problem) is first
+    assert len(store) == 1
