@@ -1,0 +1,85 @@
+"""Pipeline throughput — the staged pipeline vs the raw query+score loop.
+
+``evaluate_model`` now routes through ``EvaluationPipeline``; this module
+guards the cost of that indirection.  The direct baseline is the
+pre-pipeline driver body (one ``query_batch`` + one ``score_batch``); the
+pipeline adds prompt materialisation, stage dispatch, batching, and — for
+the cluster backend — the master/worker job protocol.  The recorded
+timings track all three so BENCH_*.json shows the trajectory, and the
+assertions keep the stage machinery from ever becoming the bottleneck.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.common import FAST_MODE, bench_dataset
+from repro.core import BenchmarkConfig, CloudEvalBenchmark
+from repro.llm.interface import QueryModule
+from repro.pipeline import EvaluationPipeline
+from repro.scoring.compiled import ReferenceStore, score_batch
+
+MODEL_NAME = "gpt-4"
+
+
+def _direct_loop(model, requests):
+    """The legacy evaluate_model body: one query batch, one score batch."""
+
+    results = QueryModule(model, max_workers=1).query_batch(requests)
+    return score_batch(
+        ((result.request.problem, result.response) for result in results),
+        run_unit_tests=True,
+        store=ReferenceStore(),
+        max_workers=1,
+    )
+
+
+def test_pipeline_throughput(benchmark):
+    dataset = bench_dataset()
+    driver = CloudEvalBenchmark(dataset, BenchmarkConfig())
+    model, requests = driver.requests(MODEL_NAME)
+
+    start = time.perf_counter()
+    direct_cards = _direct_loop(model, requests)
+    direct_seconds = time.perf_counter() - start
+
+    def run_pipeline():
+        return EvaluationPipeline(model, store=ReferenceStore()).run(requests)
+
+    evaluation = benchmark.pedantic(run_pipeline, rounds=1, iterations=1)
+    pipeline_seconds = benchmark.stats.stats.mean
+
+    start = time.perf_counter()
+    cluster_eval = EvaluationPipeline(
+        model, executor="cluster", max_workers=8, store=ReferenceStore()
+    ).run(requests)
+    cluster_seconds = time.perf_counter() - start
+
+    benchmark.extra_info["requests"] = len(requests)
+    benchmark.extra_info["direct_seconds"] = round(direct_seconds, 4)
+    benchmark.extra_info["cluster_seconds"] = round(cluster_seconds, 4)
+    benchmark.extra_info["records_per_second"] = round(len(requests) / pipeline_seconds, 1)
+
+    print(
+        f"\nPipeline throughput over {len(requests)} zero-shot requests ({MODEL_NAME}):"
+        f"\n  direct query+score loop : {direct_seconds:6.2f} s"
+        f"\n  staged pipeline (serial): {pipeline_seconds:6.2f} s"
+        f"\n  staged pipeline (cluster): {cluster_seconds:6.2f} s"
+        f"\n  throughput              : {len(requests) / pipeline_seconds:7.0f} records/s"
+    )
+
+    # The stages must not change a single score...
+    assert [r.scores for r in evaluation.records] == direct_cards
+    assert [r.scores for r in cluster_eval.records] == direct_cards
+
+    # ...and the stage/runtime machinery must stay cheap.  Generous bounds:
+    # timing noise should never fail CI, only a real architecture regression.
+    assert pipeline_seconds <= direct_seconds * 1.5 + 1.0, (
+        f"staged pipeline {pipeline_seconds:.2f}s vs direct {direct_seconds:.2f}s"
+    )
+    assert cluster_seconds <= direct_seconds * 2.0 + 2.0, (
+        f"cluster pipeline {cluster_seconds:.2f}s vs direct {direct_seconds:.2f}s"
+    )
+    if not FAST_MODE:
+        # Full-corpus floor: the pipeline must sustain benchmark-scale rates.
+        assert len(requests) / pipeline_seconds > 20.0

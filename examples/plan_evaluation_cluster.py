@@ -2,7 +2,10 @@
 
 Uses the discrete-event simulation of the cloud evaluation framework (§3.3)
 and the cost model (§3.4) to answer: "how many workers do I need to grade
-all 1011 problems within my deadline, and what will the run cost?"
+all 1011 problems within my deadline, and what will the run cost?" — then
+demonstrates that the very same master/worker job queue also *executes*
+real work: a batch of reference answers is unit-tested through the cluster
+runtime's job/claim/report protocol.
 
 Run with::
 
@@ -11,10 +14,12 @@ Run with::
 
 from __future__ import annotations
 
-from repro import build_dataset
+from repro import build_dataset, score_answer
 from repro.evalcluster import (
     ClusterSimulationConfig,
+    EvaluationJob,
     benchmark_cost_table,
+    run_jobs,
     simulate_evaluation,
 )
 
@@ -47,6 +52,22 @@ def main() -> None:
     print("\nBudget (Table 3 style):")
     for item, dollars in benchmark_cost_table(dataset).items():
         print(f"  {item:<28} ${dollars:.2f}")
+
+    # The same queue, executing for real: submit each problem's reference
+    # answer as a job payload and let in-process workers score it.
+    sample = list(dataset)[:12]
+    jobs = [
+        EvaluationJob(
+            job_id=f"job-{problem.problem_id}",
+            problem_id=problem.problem_id,
+            payload=lambda p=problem: score_answer(p, p.reference_plain()).unit_test,
+        )
+        for problem in sample
+    ]
+    reports = run_jobs(jobs, num_workers=4)
+    passed = sum(1 for r in reports.values() if r.passed and r.result >= 1.0)
+    print(f"\nCluster runtime check: {passed}/{len(jobs)} reference answers pass "
+          f"their unit tests when executed through the job queue.")
 
 
 if __name__ == "__main__":

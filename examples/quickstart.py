@@ -4,11 +4,12 @@ Run with::
 
     python examples/quickstart.py
 
-The script builds the dataset, picks a model from the registry, generates
-answers for a handful of problems, scores them with all six metrics and
-prints a small report.  Swap ``MODEL_NAME`` for any entry of
-``repro.available_models()`` — or wire in a real LLM endpoint by passing
-any object implementing :class:`repro.llm.interface.Model`.
+The script builds the dataset, picks a model from the registry, streams
+answers for a handful of problems through the staged evaluation pipeline
+(prompt -> generate -> extract -> score), and prints a small report.  Swap
+``MODEL_NAME`` for any entry of ``repro.available_models()`` — or wire in
+a real LLM endpoint by passing any object implementing
+:class:`repro.llm.interface.Model`.
 """
 
 from __future__ import annotations
@@ -30,7 +31,18 @@ def main() -> None:
     print(f"Evaluating {MODEL_NAME!r} on {len(originals)} original problems.\n")
 
     benchmark = CloudEvalBenchmark(dataset, BenchmarkConfig())
-    evaluation = benchmark.evaluate_model(MODEL_NAME, problems=originals)
+
+    # Stream records through the pipeline: results arrive incrementally,
+    # which is how a dashboard would watch a long benchmark run progress.
+    model, requests = benchmark.requests(MODEL_NAME, problems=originals)
+    pipeline = benchmark.pipeline(model)
+    records = []
+    for record in pipeline.run_iter(requests):
+        records.append(record)
+        if len(records) % 10 == 0:
+            passed = sum(1 for r in records if r.scores.unit_test >= 1.0)
+            print(f"  ... {len(records):>3}/{len(requests)} scored, {passed} passing so far")
+    evaluation = pipeline.aggregate.finalize(model.name, records)
 
     scores = evaluation.mean_scores()
     print("Average scores (the six metrics of Table 4):")

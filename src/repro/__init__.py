@@ -13,8 +13,13 @@ practical benchmark for cloud configuration generation.  It provides
   :mod:`repro.istiosim`),
 * simulated LLM model profiles calibrated to the paper's Table 4
   (:mod:`repro.llm`),
-* a discrete-event simulation of the distributed evaluation cluster with
-  shared Docker image caching (:mod:`repro.evalcluster`), and
+* a staged evaluation pipeline — prompt, generate, extract, score,
+  aggregate — with streaming, checkpoint/resume and pluggable executors
+  (:mod:`repro.pipeline`),
+* the distributed evaluation cluster: one master/worker job protocol
+  driving both real in-process execution and the discrete-event Figure 5
+  simulation with shared Docker image caching (:mod:`repro.evalcluster`),
+  and
 * analysis utilities that regenerate every table and figure in the
   paper's evaluation section (:mod:`repro.analysis`).
 
@@ -43,11 +48,16 @@ _LAZY_EXPORTS: dict[str, tuple[str, str]] = {
     "BenchmarkConfig": ("repro.core.config", "BenchmarkConfig"),
     "BenchmarkResult": ("repro.core.benchmark", "BenchmarkResult"),
     "CloudEvalBenchmark": ("repro.core.benchmark", "CloudEvalBenchmark"),
+    "ClusterExecutor": ("repro.pipeline.executors", "ClusterExecutor"),
     "CompiledReference": ("repro.scoring.compiled", "CompiledReference"),
+    "EvaluationPipeline": ("repro.pipeline.pipeline", "EvaluationPipeline"),
+    "PipelineCheckpoint": ("repro.pipeline.checkpoint", "PipelineCheckpoint"),
     "Problem": ("repro.dataset.problem", "Problem"),
     "ProblemSet": ("repro.dataset.problem", "ProblemSet"),
     "ReferenceStore": ("repro.scoring.compiled", "ReferenceStore"),
     "ScoreCard": ("repro.scoring.aggregate", "ScoreCard"),
+    "SerialExecutor": ("repro.pipeline.executors", "SerialExecutor"),
+    "ThreadedExecutor": ("repro.pipeline.executors", "ThreadedExecutor"),
     "available_models": ("repro.llm.registry", "available_models"),
     "build_dataset": ("repro.dataset.builder", "build_dataset"),
     "get_model": ("repro.llm.registry", "get_model"),
@@ -83,5 +93,8 @@ if TYPE_CHECKING:  # pragma: no cover - static typing aid only
     from repro.dataset.builder import build_dataset
     from repro.dataset.problem import Problem, ProblemSet
     from repro.llm.registry import available_models, get_model
+    from repro.pipeline.checkpoint import PipelineCheckpoint
+    from repro.pipeline.executors import ClusterExecutor, SerialExecutor, ThreadedExecutor
+    from repro.pipeline.pipeline import EvaluationPipeline
     from repro.scoring.aggregate import ScoreCard, score_answer
     from repro.scoring.compiled import CompiledReference, ReferenceStore, score_batch

@@ -1,11 +1,16 @@
 """The CloudEval-YAML benchmark driver.
 
-``CloudEvalBenchmark`` ties the pieces together: for every requested model
-it builds prompts, queries the model through the
-:class:`~repro.llm.interface.QueryModule`, post-processes and scores every
-response, and aggregates the results into per-model and per-benchmark
-summaries that the analysis layer turns into the paper's tables and
-figures.
+``CloudEvalBenchmark`` is a thin convenience layer over the staged
+evaluation pipeline (:mod:`repro.pipeline`): for every requested model it
+builds the generation requests, assembles an
+:class:`~repro.pipeline.pipeline.EvaluationPipeline` (prompt → generate →
+extract → score) and aggregates the streamed records into per-model and
+per-benchmark summaries that the analysis layer turns into the paper's
+tables and figures.  The ``evaluate_model`` / ``evaluate_models`` API and
+its ScoreCard output are unchanged from the pre-pipeline driver.
+
+:class:`EvaluationRecord` and :class:`ModelEvaluation` live in
+:mod:`repro.pipeline.records` and are re-exported here for compatibility.
 """
 
 from __future__ import annotations
@@ -13,101 +18,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-import numpy as np
-
 from repro.core.config import BenchmarkConfig
 from repro.dataset.problem import Problem, ProblemSet
 from repro.dataset.schema import Variant
-from repro.llm.interface import GenerationRequest, Model, QueryModule
+from repro.llm.interface import GenerationRequest, Model
 from repro.llm.registry import ENGLISH_ONLY_MODELS, available_models, calibrate_models, get_model
 from repro.llm.simulated import SimulatedModel
-from repro.scoring.aggregate import METRIC_NAMES, ScoreCard
-from repro.scoring.compiled import ReferenceStore, score_batch
+from repro.pipeline.checkpoint import PipelineCheckpoint
+from repro.pipeline.pipeline import EvaluationPipeline
+from repro.pipeline.records import EvaluationRecord, ModelEvaluation
+from repro.scoring.compiled import ReferenceStore
 
 __all__ = ["EvaluationRecord", "ModelEvaluation", "BenchmarkResult", "CloudEvalBenchmark"]
-
-
-@dataclass(frozen=True)
-class EvaluationRecord:
-    """One scored response."""
-
-    model_name: str
-    problem_id: str
-    base_id: str
-    category: str
-    application: str
-    variant: str
-    has_code_context: bool
-    solution_lines: int
-    question_tokens: int
-    shots: int
-    sample_index: int
-    scores: ScoreCard
-    raw_response: str = ""
-
-
-@dataclass
-class ModelEvaluation:
-    """All scored responses of one model plus aggregation helpers."""
-
-    model_name: str
-    records: list[EvaluationRecord] = field(default_factory=list)
-
-    def __len__(self) -> int:
-        return len(self.records)
-
-    # -- filters ------------------------------------------------------------
-    def filter(self, **criteria: object) -> list[EvaluationRecord]:
-        """Select records matching every keyword criterion (attribute equality)."""
-
-        out = []
-        for record in self.records:
-            if all(getattr(record, key) == value for key, value in criteria.items()):
-                out.append(record)
-        return out
-
-    def first_samples(self) -> list[EvaluationRecord]:
-        """Records of the first sample only (the zero-/few-shot view)."""
-
-        return [r for r in self.records if r.sample_index == 0]
-
-    # -- aggregations ---------------------------------------------------------
-    def mean_scores(self, records: Sequence[EvaluationRecord] | None = None) -> dict[str, float]:
-        """Average every metric over ``records`` (default: first samples)."""
-
-        records = self.first_samples() if records is None else list(records)
-        if not records:
-            return {name: 0.0 for name in METRIC_NAMES}
-        # One pass over the records, collecting every metric column as we go.
-        columns: dict[str, list[float]] = {name: [] for name in METRIC_NAMES}
-        for record in records:
-            scores = record.scores
-            for name in METRIC_NAMES:
-                columns[name].append(getattr(scores, name))
-        return {name: float(np.mean(values)) for name, values in columns.items()}
-
-    def pass_count(self, variant: str | None = None, shots: int | None = None) -> int:
-        """Number of problems whose first sample passes the unit test."""
-
-        count = 0
-        for record in self.first_samples():
-            if variant is not None and record.variant != variant:
-                continue
-            if shots is not None and record.shots != shots:
-                continue
-            if record.scores.unit_test >= 1.0:
-                count += 1
-        return count
-
-    def unit_test_score(self, variant: str | None = None) -> float:
-        """Mean unit-test score over first samples (optionally one variant)."""
-
-        records = self.first_samples()
-        if variant is not None:
-            records = [r for r in records if r.variant == variant]
-        if not records:
-            return 0.0
-        return float(np.mean([r.scores.unit_test for r in records]))
 
 
 @dataclass
@@ -156,16 +78,16 @@ class CloudEvalBenchmark:
         return [p for p in self.dataset if p.variant in selected]
 
     # ------------------------------------------------------------------
-    # Evaluation
+    # Pipeline assembly
     # ------------------------------------------------------------------
-    def evaluate_model(
+    def requests(
         self,
         model: Model | str,
         problems: Iterable[Problem] | None = None,
         shots: int | None = None,
         samples: int | None = None,
-    ) -> ModelEvaluation:
-        """Evaluate one model and return its scored records."""
+    ) -> tuple[Model, list[GenerationRequest]]:
+        """Resolve the model and build its generation requests."""
 
         resolved = self._resolve_model(model)
         shots = self.config.shots if shots is None else shots
@@ -176,44 +98,45 @@ class CloudEvalBenchmark:
         if resolved.name in ENGLISH_ONLY_MODELS:
             problem_list = [p for p in problem_list if p.variant is not Variant.TRANSLATED]
 
-        query = QueryModule(resolved, max_workers=self.config.max_workers)
         requests = [
             GenerationRequest(problem=problem, shots=shots, sample_index=sample)
             for problem in problem_list
             for sample in range(samples)
         ]
-        results = query.query_batch(requests)
+        return resolved, requests
 
-        # Batch scoring: identical (problem, response) pairs are scored
-        # once, and the compiled references are shared benchmark-wide.
-        cards = score_batch(
-            ((result.request.problem, result.response) for result in results),
-            run_unit_tests=self.config.run_unit_tests,
-            store=self._references,
+    def pipeline(
+        self,
+        model: Model,
+        checkpoint: PipelineCheckpoint | str | None = None,
+    ) -> EvaluationPipeline:
+        """An evaluation pipeline for ``model`` wired to this benchmark's
+        configuration (executor, worker count, unit tests, shared references)."""
+
+        return EvaluationPipeline(
+            model,
+            executor=self.config.executor,
             max_workers=self.config.max_workers,
+            store=self._references,
+            run_unit_tests=self.config.run_unit_tests,
+            checkpoint=checkpoint,
         )
 
-        evaluation = ModelEvaluation(model_name=resolved.name)
-        for result, card in zip(results, cards):
-            problem = result.request.problem
-            evaluation.records.append(
-                EvaluationRecord(
-                    model_name=resolved.name,
-                    problem_id=problem.problem_id,
-                    base_id=problem.base_id,
-                    category=problem.category.value,
-                    application=problem.application,
-                    variant=problem.variant.value,
-                    has_code_context=problem.has_code_context,
-                    solution_lines=problem.solution_lines(),
-                    question_tokens=problem.question_tokens(),
-                    shots=result.request.shots,
-                    sample_index=result.request.sample_index,
-                    scores=card,
-                    raw_response=result.response,
-                )
-            )
-        return evaluation
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate_model(
+        self,
+        model: Model | str,
+        problems: Iterable[Problem] | None = None,
+        shots: int | None = None,
+        samples: int | None = None,
+        checkpoint: PipelineCheckpoint | str | None = None,
+    ) -> ModelEvaluation:
+        """Evaluate one model and return its scored records."""
+
+        resolved, requests = self.requests(model, problems=problems, shots=shots, samples=samples)
+        return self.pipeline(resolved, checkpoint=checkpoint).run(requests)
 
     def evaluate_models(
         self,

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.dataset.schema import Variant
+from repro.pipeline.executors import EXECUTOR_NAMES
 
 __all__ = ["BenchmarkConfig"]
 
@@ -31,8 +32,13 @@ class BenchmarkConfig:
         Whether to rescale the simulated models so their original-set pass
         counts land on the paper's Table 5 values (recommended).
     max_workers:
-        Parallelism of the query module and of batch scoring
+        Parallelism of the query module and of the scoring executor
         (1 = sequential; results are deterministic either way).
+    executor:
+        Backend the pipeline's score stage fans work out over:
+        ``"serial"``, ``"thread"`` (a ``max_workers`` thread pool) or
+        ``"cluster"`` (the in-process master/worker evaluation-cluster
+        runtime).  Scores are identical across backends.
     """
 
     seed: int = 7
@@ -42,6 +48,7 @@ class BenchmarkConfig:
     run_unit_tests: bool = True
     calibrate: bool = True
     max_workers: int = 1
+    executor: str = "serial"
 
     def __post_init__(self) -> None:
         if self.shots < 0 or self.shots > 3:
@@ -50,3 +57,5 @@ class BenchmarkConfig:
             raise ValueError("samples must be >= 1")
         if not self.variants:
             raise ValueError("at least one variant must be selected")
+        if self.executor not in EXECUTOR_NAMES:
+            raise ValueError(f"executor must be one of {EXECUTOR_NAMES}")

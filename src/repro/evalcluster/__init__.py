@@ -13,23 +13,40 @@ discrete-event simulation of that system:
 * :mod:`repro.evalcluster.events` — a minimal discrete-event engine with a
   shared-bandwidth network link,
 * :mod:`repro.evalcluster.master` / :mod:`repro.evalcluster.worker` — the
-  scheduling actors,
+  scheduling actors; workers run in one of two :class:`JobRunner` modes,
+  :class:`SimulatedClock` (timing only) or :class:`RealExecution`
+  (execute the job payload in-process),
+* :mod:`repro.evalcluster.runtime` — the executable cluster runtime
+  (:func:`run_jobs` / :func:`run_payloads`) used by the pipeline's
+  ``ClusterExecutor``,
 * :mod:`repro.evalcluster.simulation` — the Figure 5 micro-benchmark,
 * :mod:`repro.evalcluster.cost` — the Table 3 cost model.
 """
 
 from repro.evalcluster.cost import CostModel, benchmark_cost_table
 from repro.evalcluster.kvstore import RedisLikeStore
+from repro.evalcluster.master import EvaluationJob, JobReport, Master
 from repro.evalcluster.registry_cache import PullThroughCache, WorkerImageCache
+from repro.evalcluster.runtime import run_jobs, run_payloads
 from repro.evalcluster.simulation import ClusterSimulationConfig, simulate_evaluation, sweep_workers
+from repro.evalcluster.worker import JobOutcome, RealExecution, SimulatedClock, Worker
 
 __all__ = [
     "ClusterSimulationConfig",
     "CostModel",
+    "EvaluationJob",
+    "JobOutcome",
+    "JobReport",
+    "Master",
     "PullThroughCache",
+    "RealExecution",
     "RedisLikeStore",
+    "SimulatedClock",
+    "Worker",
     "WorkerImageCache",
     "benchmark_cost_table",
+    "run_jobs",
+    "run_payloads",
     "simulate_evaluation",
     "sweep_workers",
 ]

@@ -1,24 +1,50 @@
-"""The master node: job queue management on top of the Redis-like store."""
+"""The master node: job queue management on top of the Redis-like store.
+
+The master speaks one job/claim/report protocol that serves two runtimes:
+the timing-only Figure 5 simulation and the real in-process execution used
+by :class:`~repro.pipeline.executors.ClusterExecutor`.  A job optionally
+carries a ``payload`` — the actual unit of work — and a report optionally
+carries the payload's result, so both runtimes share the exact same queue
+semantics.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Callable, Sequence
 
 from repro.evalcluster.kvstore import RedisLikeStore
 
-__all__ = ["EvaluationJob", "Master"]
+__all__ = ["EvaluationJob", "JobReport", "Master"]
 
 
 @dataclass(frozen=True)
 class EvaluationJob:
-    """One unit-test job: which problem to evaluate and what it needs."""
+    """One evaluation job: which problem to evaluate and what it needs.
+
+    ``images`` and ``base_seconds`` drive the timing simulation; ``payload``
+    carries the real work (a zero-argument callable) when the job is
+    dispatched to an executing runtime.  A job may carry both, in which
+    case the runner mode decides which side is used.
+    """
 
     job_id: str
     problem_id: str
-    images: tuple[str, ...]
-    base_seconds: float  # apply + wait + assertions + cleanup, excluding pulls
+    images: tuple[str, ...] = ()
+    base_seconds: float = 0.0  # apply + wait + assertions + cleanup, excluding pulls
     target: str = "kubernetes"
+    payload: Callable[[], Any] | None = None
+
+
+@dataclass(frozen=True)
+class JobReport:
+    """A finished job as recorded by the master."""
+
+    job_id: str
+    worker_id: str
+    finished_at: float
+    passed: bool
+    result: Any = None
 
 
 class Master:
@@ -40,6 +66,9 @@ class Master:
             self.store.rpush(self.QUEUE_KEY, job.job_id)
         self.store.set("jobs:total", len(self._jobs))
 
+    def job(self, job_id: str) -> EvaluationJob:
+        return self._jobs[job_id]
+
     # -- worker-facing API -------------------------------------------------------
     def claim(self) -> EvaluationJob | None:
         """Pop the next pending job, or None when the queue is drained."""
@@ -49,10 +78,42 @@ class Master:
             return None
         return self._jobs[job_id]
 
-    def report(self, job_id: str, worker_id: str, finished_at: float, passed: bool) -> None:
-        """Record a finished job."""
+    def report(
+        self,
+        job_id: str,
+        worker_id: str,
+        finished_at: float,
+        passed: bool,
+        result: Any = None,
+    ) -> None:
+        """Record a finished job (optionally with the payload's result)."""
 
-        self.store.hset(self.RESULTS_KEY, job_id, {"worker": worker_id, "finished_at": finished_at, "passed": passed})
+        self.store.hset(
+            self.RESULTS_KEY,
+            job_id,
+            {"worker": worker_id, "finished_at": finished_at, "passed": passed, "result": result},
+        )
+
+    # -- results --------------------------------------------------------------
+    def reports(self) -> dict[str, JobReport]:
+        """Every finished job keyed by job id."""
+
+        out: dict[str, JobReport] = {}
+        for job_id, row in self.store.hgetall(self.RESULTS_KEY).items():
+            out[job_id] = JobReport(
+                job_id=job_id,
+                worker_id=row["worker"],
+                finished_at=row["finished_at"],
+                passed=row["passed"],
+                result=row.get("result"),
+            )
+        return out
+
+    def result_of(self, job_id: str) -> Any:
+        """The payload result reported for ``job_id`` (None when unfinished)."""
+
+        row = self.store.hget(self.RESULTS_KEY, job_id)
+        return None if row is None else row.get("result")
 
     # -- progress -------------------------------------------------------------------
     def pending(self) -> int:

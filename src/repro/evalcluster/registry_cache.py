@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.kubesim.images import image_size_mb, normalize_image
 
@@ -57,6 +58,17 @@ class WorkerImageCache:
     worker_id: str
     shared_cache: PullThroughCache
     _local: set[str] = field(default_factory=set)
+
+    def preload(self, images: Iterable[str]) -> None:
+        """Mark images as already present on the worker, free of charge.
+
+        Models the base images a Minikube ISO ships with: they never hit
+        the network or the shared cache, so preloading bypasses the pull
+        accounting entirely.
+        """
+
+        for image in images:
+            self._local.add(normalize_image(image))
 
     def pull(self, image: str) -> PullPlan:
         """Plan a pull of ``image`` for this worker."""

@@ -17,9 +17,9 @@ from repro.evalcluster.events import EventQueue, SharedLink
 from repro.evalcluster.master import EvaluationJob, Master
 from repro.evalcluster.registry_cache import PullThroughCache
 from repro.evalcluster.worker import Worker
-from repro.kubesim.images import normalize_image
 from repro.testexec import steps as S
 from repro.utils.rng import DeterministicRNG
+from repro.yamlkit.parsing import YamlParseError, load_all_documents
 
 __all__ = ["ClusterSimulationConfig", "SimulationResult", "simulate_evaluation", "sweep_workers", "problem_images"]
 
@@ -27,29 +27,68 @@ __all__ = ["ClusterSimulationConfig", "SimulationResult", "simulate_evaluation",
 # containers, kubectl wait polling, metrics images of the Minikube addons).
 _BASE_IMAGES = ("registry",)
 
+#: Attribute caching a problem's image tuple on the Problem instance (same
+#: pattern as the compiled-reference cache: derived purely from immutable
+#: fields, so attaching it does not break value semantics).
+_IMAGES_CACHE_ATTR = "_problem_images"
+
+
+def _walk_images(node: object, out: list[str]) -> None:
+    """Collect every ``image:`` value in a parsed document, in document order."""
+
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key == "image" and isinstance(value, str):
+                out.append(value.strip())
+            else:
+                _walk_images(value, out)
+    elif isinstance(node, list):
+        for item in node:
+            _walk_images(item, out)
+
+
+def _images_in_yaml(text: str) -> list[str]:
+    """``image:`` values of a YAML text, via real parsing when possible.
+
+    Falls back to line scanning only when the text does not parse (a
+    malformed manifest still pulls whatever images its apply would have
+    touched before failing).
+    """
+
+    try:
+        documents = load_all_documents(text)
+    except YamlParseError:
+        documents = None
+    if documents is not None:
+        images: list[str] = []
+        _walk_images(documents, images)
+        return images
+    return [
+        stripped.split("image:", 1)[1].strip().strip("\"'")
+        for stripped in (line.strip() for line in text.splitlines())
+        if stripped.startswith("image:")
+    ]
+
 
 def problem_images(problem: Problem) -> tuple[str, ...]:
-    """Container images a problem's unit test needs to pull."""
+    """Container images a problem's unit test needs to pull (cached)."""
 
-    images: list[str] = []
-    reference = problem.reference_plain()
-    for line in reference.splitlines():
-        stripped = line.strip()
-        if stripped.startswith("image:"):
-            images.append(stripped.split("image:", 1)[1].strip().strip('"'))
+    cached = problem.__dict__.get(_IMAGES_CACHE_ATTR)
+    if cached is not None:
+        return cached
+    images = _images_in_yaml(problem.reference_plain())
     for step in problem.unit_test.steps:
         if isinstance(step, S.ApplyManifest):
-            for line in step.yaml_text.splitlines():
-                stripped = line.strip()
-                if stripped.startswith("image:"):
-                    images.append(stripped.split("image:", 1)[1].strip().strip('"'))
+            images.extend(_images_in_yaml(step.yaml_text))
     if problem.unit_test.target == "envoy":
         images.append("envoyproxy/envoy")
     deduped: list[str] = []
     for image in images:
         if image and image not in deduped:
             deduped.append(image)
-    return tuple(deduped) or ("busybox",)
+    result = tuple(deduped) or ("busybox",)
+    object.__setattr__(problem, _IMAGES_CACHE_ATTR, result)
+    return result
 
 
 @dataclass(frozen=True)
@@ -155,8 +194,7 @@ def simulate_evaluation(problems: ProblemSet, config: ClusterSimulationConfig) -
     for worker in workers:
         # Minikube ships a preload of the most common base images, so these
         # never hit the network regardless of the pull-through cache.
-        for image in config.preloaded_images:
-            worker.image_cache._local.add(normalize_image(image))
+        worker.image_cache.preload(config.preloaded_images)
         worker.start()
     total_seconds = events.run()
 

@@ -1,14 +1,90 @@
-"""Worker nodes: claim jobs, pull images, run unit tests, report back."""
+"""Worker nodes: claim jobs, pull images, run the work, report back.
+
+A worker always runs the same claim/run/report loop on the discrete-event
+queue; *what* "running" a job means is a pluggable :class:`JobRunner`:
+
+* :class:`SimulatedClock` — the Figure 5 mode.  The job is not executed;
+  its duration is derived from the image-pull model (worker-local cache,
+  shared pull-through cache, contended internet uplink) plus the measured
+  per-problem base time.
+* :class:`RealExecution` — the cluster-runtime mode.  The job's payload
+  (a zero-argument callable carrying real score or unit-test work) is
+  executed in-process and its result is reported to the master.
+
+Both modes speak the identical job/claim/report protocol against the same
+:class:`~repro.evalcluster.master.Master`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Protocol
 
 from repro.evalcluster.events import EventQueue, SharedLink
 from repro.evalcluster.master import EvaluationJob, Master
 from repro.evalcluster.registry_cache import PullThroughCache, WorkerImageCache
 
-__all__ = ["Worker"]
+__all__ = ["JobOutcome", "JobRunner", "SimulatedClock", "RealExecution", "Worker"]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """What running one job produced: a verdict, a duration, and a result."""
+
+    passed: bool
+    seconds: float  # simulated (SimulatedClock) or zero (RealExecution)
+    result: Any = None
+
+
+class JobRunner(Protocol):
+    """Strategy deciding what executing a claimed job means."""
+
+    def run(self, worker: "Worker", job: EvaluationJob) -> JobOutcome:  # pragma: no cover
+        ...
+
+
+class SimulatedClock:
+    """Timing-only execution: Figure 5's image-pull and base-time model.
+
+    Nothing is actually run; the outcome's duration is the time the job
+    *would* take on a 4-core / 8 GB Minikube VM — image pulls over the
+    shared uplink (or the LAN when the pull-through cache has the layers)
+    plus the measured apply/wait/assert/cleanup base time.
+    """
+
+    def run(self, worker: "Worker", job: EvaluationJob) -> JobOutcome:
+        now = worker.events.now
+        # 1. Pull images that are not in the worker's local Docker cache.
+        pull_finish = now
+        lan_mb = 0.0
+        for image in job.images:
+            plan = worker.image_cache.pull(image)
+            if plan.internet_mb > 0:
+                pull_finish = max(pull_finish, worker.internet.request(plan.internet_mb, now))
+            lan_mb += plan.lan_mb
+        # LAN transfers from the master's cache are fast and uncontended.
+        lan_seconds = lan_mb * 8.0 / worker.lan_bandwidth_mbps
+        # 2. Run the test itself (environment setup, apply, waits, cleanup).
+        total_delay = (pull_finish - now) + lan_seconds + job.base_seconds
+        return JobOutcome(passed=True, seconds=total_delay)
+
+
+class RealExecution:
+    """Execute the job's payload in-process and report its result.
+
+    A raising payload fails the job (mirroring a non-zero exit of the
+    per-problem bash script) instead of tearing down the worker loop; the
+    exception text becomes the reported result.
+    """
+
+    def run(self, worker: "Worker", job: EvaluationJob) -> JobOutcome:
+        if job.payload is None:
+            raise ValueError(f"job {job.job_id!r} has no payload to execute")
+        try:
+            result = job.payload()
+        except Exception as exc:  # noqa: BLE001 - worker must survive bad jobs
+            return JobOutcome(passed=False, seconds=0.0, result=f"{type(exc).__name__}: {exc}")
+        return JobOutcome(passed=True, seconds=0.0, result=result)
 
 
 @dataclass
@@ -16,10 +92,10 @@ class Worker:
     """A 4-core / 8 GB evaluation VM running Minikube and Docker.
 
     Each worker boots once (``boot_seconds``), then loops: claim a job from
-    the master, pull any images it does not have locally (internet via the
-    shared uplink, or LAN from the pull-through cache), run the unit test,
-    report, repeat.  The worker drives itself through the event queue so
-    many workers interleave correctly on the shared link.
+    the master, run it through the configured :class:`JobRunner`, report,
+    repeat.  The worker drives itself through the event queue so many
+    workers interleave correctly (on the shared link in simulation, on the
+    job queue in real execution).
     """
 
     worker_id: str
@@ -29,8 +105,10 @@ class Worker:
     shared_cache: PullThroughCache
     boot_seconds: float = 180.0
     lan_bandwidth_mbps: float = 1000.0
+    runner: JobRunner = field(default_factory=SimulatedClock)
     busy_seconds: float = field(default=0.0, init=False)
     jobs_completed: int = field(default=0, init=False)
+    jobs_failed: int = field(default=0, init=False)
     finished_at: float = field(default=0.0, init=False)
 
     def __post_init__(self) -> None:
@@ -51,24 +129,20 @@ class Worker:
 
     # -- job execution ---------------------------------------------------------
     def _run_job(self, job: EvaluationJob) -> None:
-        now = self.events.now
-        # 1. Pull images that are not in the worker's local Docker cache.
-        pull_finish = now
-        lan_mb = 0.0
-        for image in job.images:
-            plan = self.image_cache.pull(image)
-            if plan.internet_mb > 0:
-                pull_finish = max(pull_finish, self.internet.request(plan.internet_mb, now))
-            lan_mb += plan.lan_mb
-        # LAN transfers from the master's cache are fast and uncontended.
-        lan_seconds = lan_mb * 8.0 / self.lan_bandwidth_mbps
-        # 2. Run the test itself (environment setup, apply, waits, cleanup).
-        total_delay = (pull_finish - now) + lan_seconds + job.base_seconds
-        self.busy_seconds += total_delay
+        outcome = self.runner.run(self, job)
+        self.busy_seconds += outcome.seconds
 
         def _complete() -> None:
             self.jobs_completed += 1
-            self.master.report(job.job_id, self.worker_id, self.events.now, passed=True)
+            if not outcome.passed:
+                self.jobs_failed += 1
+            self.master.report(
+                job.job_id,
+                self.worker_id,
+                self.events.now,
+                passed=outcome.passed,
+                result=outcome.result,
+            )
             self._claim_next()
 
-        self.events.schedule(total_delay, _complete)
+        self.events.schedule(outcome.seconds, _complete)

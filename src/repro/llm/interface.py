@@ -53,11 +53,24 @@ class GenerationRequest:
 
 @dataclass(frozen=True)
 class GenerationResult:
-    """A raw response paired with its originating request."""
+    """A raw response paired with its originating request.
+
+    ``error`` is non-empty when the model raised instead of answering; the
+    response is then empty and the result still flows through scoring (an
+    empty answer scores zero everywhere), so one bad request never aborts
+    a batch.
+    """
 
     request: GenerationRequest
     response: str
     model_name: str
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether the model produced a response (no captured exception)."""
+
+        return not self.error
 
 
 class QueryModule:
@@ -76,20 +89,39 @@ class QueryModule:
         self.max_workers = max_workers
 
     def query(self, request: GenerationRequest) -> GenerationResult:
-        """Run a single request."""
+        """Run a single request; a model exception propagates to the caller."""
 
         response = self.model.generate(
             request.problem, shots=request.shots, sample_index=request.sample_index
         )
         return GenerationResult(request=request, response=response, model_name=self.model.name)
 
+    def _query_captured(self, request: GenerationRequest) -> GenerationResult:
+        """Run one request, converting a model exception into a failed result."""
+
+        try:
+            return self.query(request)
+        except Exception as exc:  # noqa: BLE001 - isolate per-request failures
+            return GenerationResult(
+                request=request,
+                response="",
+                model_name=self.model.name,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
     def query_batch(self, requests: Sequence[GenerationRequest]) -> list[GenerationResult]:
-        """Run a batch of requests, preserving order."""
+        """Run a batch of requests, preserving order.
+
+        Per-request exceptions are captured into failed results (see
+        :class:`GenerationResult.error`) rather than aborting the batch —
+        real endpoints time out and rate-limit individual calls, and one
+        flaky request must not discard hundreds of finished ones.
+        """
 
         if self.max_workers == 1 or len(requests) <= 1:
-            return [self.query(request) for request in requests]
+            return [self._query_captured(request) for request in requests]
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            return list(pool.map(self.query, requests))
+            return list(pool.map(self._query_captured, requests))
 
     def query_problems(
         self,

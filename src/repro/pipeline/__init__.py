@@ -1,0 +1,69 @@
+"""Staged evaluation pipeline (query → post-process → score → aggregate).
+
+The paper's system is a pipeline of explicit components; this package
+makes each one a typed, pluggable stage connected by an
+:class:`EvaluationPipeline` that streams per-record results, checkpoints
+partial runs and fans parallelisable work out over an executor — serial,
+thread-pool, or the in-process evaluation-cluster runtime that shares its
+job/claim/report protocol with the Figure 5 simulation.
+
+Typical use::
+
+    from repro.pipeline import EvaluationPipeline, PipelineCheckpoint
+    from repro.llm.interface import GenerationRequest
+    from repro.llm.registry import get_model
+
+    pipeline = EvaluationPipeline(
+        get_model("gpt-4"),
+        executor="cluster",
+        max_workers=8,
+        checkpoint=PipelineCheckpoint("run.ckpt.jsonl"),
+    )
+    for record in pipeline.run_iter(
+        GenerationRequest(problem=p) for p in dataset
+    ):
+        print(record.problem_id, record.scores.unit_test)
+"""
+
+from repro.pipeline.checkpoint import PipelineCheckpoint
+from repro.pipeline.executors import (
+    ClusterExecutor,
+    Executor,
+    SerialExecutor,
+    ThreadedExecutor,
+    resolve_executor,
+)
+from repro.pipeline.pipeline import EvaluationPipeline
+from repro.pipeline.records import EvaluationRecord, ModelEvaluation
+from repro.pipeline.stages import (
+    AggregateStage,
+    ExtractStage,
+    GenerateStage,
+    PromptStage,
+    ScoreStage,
+    Stage,
+    StageContext,
+    WorkItem,
+    default_stages,
+)
+
+__all__ = [
+    "AggregateStage",
+    "ClusterExecutor",
+    "EvaluationPipeline",
+    "EvaluationRecord",
+    "Executor",
+    "ExtractStage",
+    "GenerateStage",
+    "ModelEvaluation",
+    "PipelineCheckpoint",
+    "PromptStage",
+    "ScoreStage",
+    "SerialExecutor",
+    "Stage",
+    "StageContext",
+    "ThreadedExecutor",
+    "WorkItem",
+    "default_stages",
+    "resolve_executor",
+]

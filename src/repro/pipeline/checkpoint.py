@@ -1,0 +1,87 @@
+"""Checkpointing for partially evaluated pipeline runs.
+
+A full benchmark run is hours of model queries and unit tests; losing it
+to a crash at problem 900 of 1011 is exactly the failure mode the paper's
+cluster design works around.  :class:`PipelineCheckpoint` stores finished
+:class:`~repro.pipeline.records.EvaluationRecord`s keyed by the identity
+of their unit of work — ``(model, problem, shots, sample)`` — so a re-run
+of the same pipeline skips straight past everything already evaluated.
+
+The store is an append-only JSON-lines file (one record per line) when
+given a path, or purely in-memory otherwise.  JSON-lines keeps the common
+crash case safe: a partially written final line is dropped on load while
+every complete line survives.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+from repro.pipeline.records import EvaluationRecord, record_from_dict, record_to_dict
+
+__all__ = ["PipelineCheckpoint"]
+
+RecordKey = tuple[str, str, int, int]
+
+
+class PipelineCheckpoint:
+    """Completed evaluation records, resumable across pipeline runs."""
+
+    def __init__(self, path: str | os.PathLike[str] | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._records: dict[RecordKey, EvaluationRecord] = {}
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    # -- persistence --------------------------------------------------------
+    def _load(self) -> None:
+        assert self.path is not None
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = record_from_dict(json.loads(line))
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    # A torn final line from an interrupted run; everything
+                    # before it is intact, so stop there.
+                    break
+                self._records[record.key] = record
+
+    def _append(self, record: EvaluationRecord) -> None:
+        assert self.path is not None
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record_to_dict(record)) + "\n")
+
+    # -- record access ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[EvaluationRecord]:
+        return iter(self._records.values())
+
+    def get(self, key: RecordKey) -> EvaluationRecord | None:
+        """The stored record for a unit of work, or None when not yet done."""
+
+        return self._records.get(key)
+
+    def put(self, record: EvaluationRecord) -> None:
+        """Store a finished record (and append it to the backing file)."""
+
+        if record.key in self._records:
+            return
+        self._records[record.key] = record
+        if self.path is not None:
+            self._append(record)
+
+    def clear(self) -> None:
+        """Forget every stored record (and truncate the backing file)."""
+
+        self._records.clear()
+        if self.path is not None and self.path.exists():
+            self.path.write_text("", encoding="utf-8")

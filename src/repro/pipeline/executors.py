@@ -1,0 +1,132 @@
+"""Executor backends the pipeline stages fan work out over.
+
+An executor is a deliberately tiny abstraction — ordered ``map`` over pure
+tasks — so stages stay oblivious to *where* their work runs:
+
+* :class:`SerialExecutor` — in-line, zero overhead, the default.
+* :class:`ThreadedExecutor` — a ``concurrent.futures`` thread pool,
+  mirroring the paper's ray-parallel querying of rate-limited APIs.
+* :class:`ClusterExecutor` — dispatches each task as an
+  :class:`~repro.evalcluster.master.EvaluationJob` payload through the
+  master/worker job-claim-report protocol, i.e. the same queue the
+  Figure 5 simulation exercises, but with workers in
+  :class:`~repro.evalcluster.worker.RealExecution` mode actually running
+  the work.
+
+All three are deterministic: tasks are pure functions of their inputs and
+results always come back in submission order, so the backend choice can
+never change a ScoreCard.  Async, process-pool and remote backends are
+ROADMAP follow-ons behind the same interface.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Protocol, Sequence, TypeVar, runtime_checkable
+
+from repro.evalcluster.master import EvaluationJob
+from repro.evalcluster.runtime import run_jobs
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "Executor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "ClusterExecutor",
+    "resolve_executor",
+]
+
+#: Executor specs accepted by :func:`resolve_executor` (and therefore by
+#: ``BenchmarkConfig.executor``), in the order they should be documented.
+EXECUTOR_NAMES: tuple[str, ...] = ("serial", "thread", "cluster")
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Ordered map over independent tasks."""
+
+    name: str
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:  # pragma: no cover
+        ...
+
+
+class SerialExecutor:
+    """Run every task in-line, in order."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        return [fn(task) for task in tasks]
+
+
+class ThreadedExecutor:
+    """Fan tasks out over a thread pool; results stay in submission order."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        if self.max_workers == 1 or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            return list(pool.map(fn, tasks))
+
+
+class ClusterExecutor:
+    """Run tasks as real jobs on the in-process evaluation cluster.
+
+    Every task becomes an :class:`EvaluationJob` whose payload closes over
+    ``fn`` and the task; jobs are submitted to a fresh master, claimed by
+    ``num_workers`` in-process workers and their results collected from
+    the job reports — one protocol for simulation and execution.  A task
+    that raises surfaces its exception here (executors must not silently
+    swallow failures into result slots).
+    """
+
+    name = "cluster"
+
+    def __init__(self, num_workers: int = 4) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        jobs = [
+            EvaluationJob(
+                job_id=f"job-{index:06d}",
+                problem_id=getattr(task, "problem_id", f"task-{index:06d}"),
+                payload=lambda fn=fn, task=task: fn(task),
+            )
+            for index, task in enumerate(tasks)
+        ]
+        reports = run_jobs(jobs, num_workers=self.num_workers)
+        results: list[R] = []
+        for job in jobs:
+            report = reports[job.job_id]
+            if not report.passed:
+                raise RuntimeError(f"cluster job {job.job_id} failed: {report.result}")
+            results.append(report.result)
+        return results
+
+
+def resolve_executor(executor: str | Executor, max_workers: int = 1) -> Executor:
+    """Turn a config spec (``"serial"`` / ``"thread"`` / ``"cluster"`` or an
+    executor instance) into an executor."""
+
+    if not isinstance(executor, str):
+        return executor
+    if executor == "serial":
+        return SerialExecutor()
+    if executor == "thread":
+        return ThreadedExecutor(max_workers=max(1, max_workers))
+    if executor == "cluster":
+        return ClusterExecutor(num_workers=max(1, max_workers))
+    raise ValueError(f"unknown executor {executor!r} (expected one of {EXECUTOR_NAMES})")

@@ -1,0 +1,210 @@
+"""Typed, pluggable stages of the evaluation pipeline.
+
+The paper's system is a pipeline — query module, post-processing,
+multi-perspective scoring, evaluation cluster — and each of those steps is
+one explicit stage here:
+
+``PromptStage`` → ``GenerateStage`` → ``ExtractStage`` → ``ScoreStage``
+→ ``AggregateStage``
+
+A stage transforms a batch of :class:`WorkItem` records and returns the
+(usually same) batch; the :class:`~repro.pipeline.pipeline.EvaluationPipeline`
+threads batches through the chain and hands parallelisable work to the
+configured :class:`~repro.pipeline.executors.Executor`.  Custom stages —
+response caching, answer repair, safety filters — implement the same
+two-method interface and slot anywhere into the chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.llm.interface import GenerationRequest, QueryModule
+from repro.pipeline.executors import Executor, SerialExecutor
+from repro.pipeline.records import EvaluationRecord, ModelEvaluation
+from repro.postprocess import extract_yaml
+from repro.scoring.aggregate import ScoreCard
+from repro.scoring.compiled import CompiledReference, ReferenceStore, score_extracted
+
+__all__ = [
+    "WorkItem",
+    "StageContext",
+    "Stage",
+    "PromptStage",
+    "GenerateStage",
+    "ExtractStage",
+    "ScoreStage",
+    "AggregateStage",
+    "default_stages",
+]
+
+
+@dataclass
+class WorkItem:
+    """One unit of evaluation work flowing through the stage chain.
+
+    Stages fill the fields left to right; a fully processed item carries
+    everything needed to emit an :class:`EvaluationRecord`.
+    """
+
+    request: GenerationRequest
+    model_name: str = ""
+    prompt: str = ""
+    response: str = ""
+    error: str = ""
+    extracted: str | None = None
+    scores: ScoreCard | None = None
+
+    def to_record(self) -> EvaluationRecord:
+        """Materialise the finished item as an evaluation record."""
+
+        if self.scores is None:
+            raise ValueError(f"item for {self.request.problem.problem_id!r} has not been scored")
+        problem = self.request.problem
+        return EvaluationRecord(
+            model_name=self.model_name,
+            problem_id=problem.problem_id,
+            base_id=problem.base_id,
+            category=problem.category.value,
+            application=problem.application,
+            variant=problem.variant.value,
+            has_code_context=problem.has_code_context,
+            solution_lines=problem.solution_lines(),
+            question_tokens=problem.question_tokens(),
+            shots=self.request.shots,
+            sample_index=self.request.sample_index,
+            scores=self.scores,
+            raw_response=self.response,
+            error=self.error,
+        )
+
+
+@dataclass(frozen=True)
+class StageContext:
+    """Run-scoped services a stage may use (currently: the executor)."""
+
+    executor: Executor = field(default_factory=SerialExecutor)
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """A typed pipeline stage: a name plus a batch transformation."""
+
+    name: str
+
+    def process(self, items: list[WorkItem], context: StageContext) -> list[WorkItem]:  # pragma: no cover
+        ...
+
+
+class PromptStage:
+    """Build the full prompt text for every request (§3.1 / Appendix B).
+
+    The simulated models consume the problem directly, but the prompt is
+    what a real endpoint would receive — materialising it per item keeps
+    the pipeline inspectable (and checkpointable) at the exact boundary
+    where a remote API call would happen.
+    """
+
+    name = "prompt"
+
+    def process(self, items: list[WorkItem], context: StageContext) -> list[WorkItem]:
+        for item in items:
+            item.prompt = item.request.prompt()
+        return items
+
+
+class GenerateStage:
+    """Query the model for every item through the universal query module.
+
+    Per-request failures are captured into the item's ``error`` field (the
+    response stays empty and scores zero) instead of aborting the batch.
+    """
+
+    name = "generate"
+
+    def __init__(self, query: QueryModule) -> None:
+        self.query = query
+
+    def process(self, items: list[WorkItem], context: StageContext) -> list[WorkItem]:
+        results = self.query.query_batch([item.request for item in items])
+        for item, result in zip(items, results):
+            item.model_name = result.model_name
+            item.response = result.response
+            item.error = result.error
+        return items
+
+
+class ExtractStage:
+    """Post-process each raw response into its clean YAML payload (§3.2)."""
+
+    name = "extract"
+
+    def process(self, items: list[WorkItem], context: StageContext) -> list[WorkItem]:
+        for item in items:
+            item.extracted = extract_yaml(item.response)
+        return items
+
+
+class ScoreStage:
+    """Score each extracted answer with all six metrics (§3.2, §3.3).
+
+    Identical ``(problem_id, extracted)`` pairs are scored once per run —
+    multi-sample sweeps and different models frequently repeat answers —
+    and the memo persists across batches, so incremental streaming pays
+    the same total cost as one big :func:`~repro.scoring.compiled.score_batch`
+    call.  Unique pairs are fanned out over the run's executor; every
+    metric is a pure function, so the executor cannot change a score.
+    """
+
+    name = "score"
+
+    def __init__(self, store: ReferenceStore | None = None, run_unit_tests: bool = True) -> None:
+        self.store = store or ReferenceStore()
+        self.run_unit_tests = run_unit_tests
+        self._memo: dict[tuple[str, str], ScoreCard] = {}
+
+    def _score_one(self, task: tuple[CompiledReference, str]) -> ScoreCard:
+        compiled, extracted = task
+        return score_extracted(compiled, extracted, self.run_unit_tests)
+
+    def process(self, items: list[WorkItem], context: StageContext) -> list[WorkItem]:
+        pending: dict[tuple[str, str], tuple[CompiledReference, str]] = {}
+        for item in items:
+            extracted = item.extracted if item.extracted is not None else extract_yaml(item.response)
+            item.extracted = extracted
+            key = (item.request.problem.problem_id, extracted)
+            if key not in self._memo and key not in pending:
+                pending[key] = (self.store.get(item.request.problem), extracted)
+        if pending:
+            keys = list(pending)
+            cards = context.executor.map(self._score_one, [pending[key] for key in keys])
+            self._memo.update(zip(keys, cards))
+        for item in items:
+            item.scores = self._memo[(item.request.problem.problem_id, item.extracted)]
+        return items
+
+
+class AggregateStage:
+    """Fold finished records into a :class:`ModelEvaluation` (§3.4 reporting)."""
+
+    name = "aggregate"
+
+    def finalize(self, model_name: str, records: Sequence[EvaluationRecord]) -> ModelEvaluation:
+        return ModelEvaluation(model_name=model_name, records=list(records))
+
+
+def default_stages(
+    query: QueryModule,
+    *,
+    store: ReferenceStore | None = None,
+    run_unit_tests: bool = True,
+) -> list[Stage]:
+    """The paper's stage chain for one model (everything before aggregation)."""
+
+    return [
+        PromptStage(),
+        GenerateStage(query),
+        ExtractStage(),
+        ScoreStage(store=store, run_unit_tests=run_unit_tests),
+    ]

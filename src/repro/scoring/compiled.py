@@ -49,6 +49,7 @@ __all__ = [
     "compile_reference",
     "get_compiled_reference",
     "score_answer_compiled",
+    "score_extracted",
     "score_batch",
 ]
 
@@ -176,10 +177,10 @@ def score_answer_compiled(
     artifacts come precomputed from ``compiled``.
     """
 
-    return _score_extracted(compiled, extract_yaml(raw_response), run_unit_tests)
+    return score_extracted(compiled, extract_yaml(raw_response), run_unit_tests)
 
 
-def _score_extracted(compiled: CompiledReference, extracted: str, run_unit_tests: bool) -> ScoreCard:
+def score_extracted(compiled: CompiledReference, extracted: str, run_unit_tests: bool) -> ScoreCard:
     """Score an already post-processed answer against a compiled reference.
 
     The candidate is parsed exactly once; the document list (or the parse
@@ -227,7 +228,7 @@ def _score_extracted(compiled: CompiledReference, extracted: str, run_unit_tests
 
 def _score_task(task: tuple[CompiledReference, str, bool]) -> ScoreCard:
     compiled, extracted, run_unit_tests = task
-    return _score_extracted(compiled, extracted, run_unit_tests)
+    return score_extracted(compiled, extracted, run_unit_tests)
 
 
 def score_batch(

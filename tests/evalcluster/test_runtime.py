@@ -1,0 +1,117 @@
+"""The executable cluster runtime and the unified job/claim/report protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evalcluster import (
+    ClusterSimulationConfig,
+    EvaluationJob,
+    Master,
+    PullThroughCache,
+    SimulatedClock,
+    WorkerImageCache,
+    run_jobs,
+    run_payloads,
+    simulate_evaluation,
+    sweep_workers,
+)
+
+# sweep_workers on the conftest SMALL_COUNTS corpus, captured before the
+# Master/Worker unification: the refactor must not move a single float.
+SMALL_SWEEP_BEFORE_UNIFICATION = {
+    False: {1: 2.1083671541505287, 4: 0.6171023100896204, 16: 0.2694829207951326},
+    True: {1: 2.110598709706084, 4: 0.6014746060771419, 16: 0.22650687855578072},
+}
+
+
+def test_sweep_unchanged_by_runtime_unification(small_dataset):
+    sweep = sweep_workers(small_dataset, worker_counts=(1, 4, 16))
+    for caching, expected in SMALL_SWEEP_BEFORE_UNIFICATION.items():
+        for workers, hours in expected.items():
+            assert sweep[caching][workers] == pytest.approx(hours, rel=1e-12)
+
+
+def test_run_payloads_executes_in_submission_order():
+    results = run_payloads([lambda i=i: i * 10 for i in range(25)], num_workers=4)
+    assert results == [i * 10 for i in range(25)]
+
+
+def test_run_jobs_reports_through_master_protocol():
+    jobs = [
+        EvaluationJob(job_id=f"job-{i}", problem_id=f"p-{i}", payload=lambda i=i: {"value": i})
+        for i in range(6)
+    ]
+    reports = run_jobs(jobs, num_workers=3)
+    assert set(reports) == {job.job_id for job in jobs}
+    assert all(report.passed for report in reports.values())
+    assert [reports[f"job-{i}"].result for i in range(6)] == [{"value": i} for i in range(6)]
+    # Every job was claimed by a real worker.
+    assert all(report.worker_id.startswith("worker-") for report in reports.values())
+
+
+def test_failing_payload_reports_failure_not_crash():
+    def bad():
+        raise KeyError("missing manifest")
+
+    reports = run_jobs(
+        [
+            EvaluationJob(job_id="ok", problem_id="p1", payload=lambda: "fine"),
+            EvaluationJob(job_id="bad", problem_id="p2", payload=bad),
+            EvaluationJob(job_id="after", problem_id="p3", payload=lambda: "still fine"),
+        ],
+        num_workers=1,
+    )
+    assert reports["ok"].passed and reports["ok"].result == "fine"
+    assert not reports["bad"].passed
+    assert "KeyError" in reports["bad"].result
+    # The worker survived the failure and completed the next job.
+    assert reports["after"].passed
+
+
+def test_runtime_deterministic_across_worker_counts():
+    payloads = [lambda i=i: i ** 2 for i in range(40)]
+    assert run_payloads(payloads, num_workers=1) == run_payloads(payloads, num_workers=16)
+
+
+def test_payloadless_job_rejected_in_real_mode():
+    # A job without a payload is a programming error, not a job failure:
+    # it raises out of the runtime instead of producing a failed report.
+    with pytest.raises(ValueError, match="no payload"):
+        run_jobs([EvaluationJob(job_id="j", problem_id="p")], num_workers=1)
+
+
+def test_master_result_accessors():
+    master = Master()
+    master.submit([EvaluationJob(job_id="j1", problem_id="p1")])
+    job = master.claim()
+    master.report(job.job_id, "w1", finished_at=1.0, passed=True, result=42)
+    assert master.result_of("j1") == 42
+    assert master.reports()["j1"].result == 42
+    assert master.all_done()
+
+
+def test_preload_is_public_and_free():
+    shared = PullThroughCache(enabled=True)
+    cache = WorkerImageCache("w", shared)
+    cache.preload(["nginx:latest", "redis:7"])
+    for image in ("nginx:latest", "redis:7"):
+        plan = cache.pull(image)
+        assert plan.cached_locally
+        assert plan.internet_mb == 0.0 and plan.lan_mb == 0.0
+    # Nothing was accounted against the shared cache.
+    assert shared.internet_mb_total == 0.0 and shared.lan_mb_total == 0.0
+
+
+def test_simulated_clock_is_default_worker_mode(small_dataset):
+    """simulate_evaluation still runs the SimulatedClock mode end to end."""
+
+    config = ClusterSimulationConfig(num_workers=4, worker_boot_seconds=5.0)
+    result = simulate_evaluation(small_dataset, config)
+    assert result.jobs == len(small_dataset)
+
+    from repro.evalcluster.events import EventQueue, SharedLink
+    from repro.evalcluster.worker import Worker
+
+    worker = Worker("w", Master(), EventQueue(), SharedLink(100.0), PullThroughCache())
+    assert isinstance(worker.runner, SimulatedClock)

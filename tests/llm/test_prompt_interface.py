@@ -71,3 +71,49 @@ def test_query_module_rejects_zero_workers():
 def test_generation_request_prompt_includes_template(small_dataset):
     request = GenerationRequest(problem=small_dataset[0], shots=1)
     assert "expert engineer" in request.prompt()
+
+
+class _FlakyModel:
+    """Fails on selected problems; answers everything else."""
+
+    name = "flaky"
+
+    def __init__(self, failing_ids: set[str]) -> None:
+        self.failing_ids = failing_ids
+
+    def generate(self, problem: Problem, shots: int = 0, sample_index: int = 0) -> str:
+        if problem.problem_id in self.failing_ids:
+            raise TimeoutError(f"endpoint timed out on {problem.problem_id}")
+        return problem.reference_plain()
+
+
+def test_query_batch_captures_per_request_errors(small_original_problems):
+    problems = list(small_original_problems)[:5]
+    failing = {problems[1].problem_id, problems[3].problem_id}
+    module = QueryModule(_FlakyModel(failing))
+    results = module.query_batch([GenerationRequest(problem=p) for p in problems])
+    assert len(results) == len(problems)
+    for result in results:
+        if result.request.problem.problem_id in failing:
+            assert not result.ok
+            assert result.response == ""
+            assert result.error.startswith("TimeoutError:")
+        else:
+            assert result.ok and result.error == ""
+            assert result.response
+
+
+def test_query_batch_error_capture_matches_parallel(small_original_problems):
+    problems = list(small_original_problems)[:6]
+    failing = {problems[0].problem_id}
+    requests = [GenerationRequest(problem=p) for p in problems]
+    sequential = QueryModule(_FlakyModel(failing)).query_batch(requests)
+    parallel = QueryModule(_FlakyModel(failing), max_workers=4).query_batch(requests)
+    assert [(r.response, r.error) for r in sequential] == [(r.response, r.error) for r in parallel]
+
+
+def test_single_query_still_raises(small_original_problems):
+    problem = list(small_original_problems)[0]
+    module = QueryModule(_FlakyModel({problem.problem_id}))
+    with pytest.raises(TimeoutError):
+        module.query(GenerationRequest(problem=problem))

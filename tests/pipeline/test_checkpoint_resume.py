@@ -1,0 +1,143 @@
+"""Checkpoint/resume: a partial pipeline run continues without redoing work."""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+from repro.llm.interface import GenerationRequest
+from repro.llm.registry import get_model
+from repro.pipeline import EvaluationPipeline, PipelineCheckpoint
+from repro.pipeline.records import record_from_dict, record_to_dict
+
+
+class _CountingModel:
+    """Delegates to a registry model while counting generate() calls."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.calls = 0
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    def generate(self, problem, shots: int = 0, sample_index: int = 0) -> str:
+        self.calls += 1
+        return self.inner.generate(problem, shots=shots, sample_index=sample_index)
+
+
+def _requests(problems):
+    return [GenerationRequest(problem=p) for p in problems]
+
+
+def test_record_roundtrips_through_checkpoint_format(small_original_problems):
+    problems = list(small_original_problems)[:2]
+    evaluation = EvaluationPipeline(get_model("gpt-4")).run(_requests(problems))
+    for record in evaluation.records:
+        assert record_from_dict(json.loads(json.dumps(record_to_dict(record)))) == record
+
+
+def test_resume_skips_completed_work(tmp_path, small_original_problems):
+    problems = list(small_original_problems)[:10]
+    path = tmp_path / "run.ckpt.jsonl"
+
+    # Full uninterrupted run: the ground truth.
+    truth = EvaluationPipeline(get_model("gpt-4")).run(_requests(problems)).records
+
+    # Interrupted run: consume only the first 5 streamed records, then drop
+    # the generator (batch_size=2 means 6 records were actually finished).
+    first = _CountingModel(get_model("gpt-4"))
+    pipeline = EvaluationPipeline(first, checkpoint=PipelineCheckpoint(path), batch_size=2)
+    partial = list(itertools.islice(pipeline.run_iter(_requests(problems)), 5))
+    assert [r.problem_id for r in partial] == [p.problem_id for p in problems[:5]]
+    assert first.calls == 6
+
+    # Resumed run: a fresh pipeline on the same checkpoint file only queries
+    # the model for the 4 problems that never finished.
+    second = _CountingModel(get_model("gpt-4"))
+    resumed = EvaluationPipeline(second, checkpoint=PipelineCheckpoint(path), batch_size=2)
+    records = resumed.run(_requests(problems)).records
+    assert second.calls == 4
+    assert records == truth
+
+
+def test_resumed_run_with_full_checkpoint_never_queries(tmp_path, small_original_problems):
+    problems = list(small_original_problems)[:6]
+    path = tmp_path / "run.ckpt.jsonl"
+    EvaluationPipeline(get_model("gpt-4"), checkpoint=PipelineCheckpoint(path)).run(_requests(problems))
+
+    model = _CountingModel(get_model("gpt-4"))
+    evaluation = EvaluationPipeline(model, checkpoint=PipelineCheckpoint(path)).run(_requests(problems))
+    assert model.calls == 0
+    assert len(evaluation.records) == len(problems)
+
+
+def test_checkpoint_is_per_model_and_per_shots(tmp_path, small_original_problems):
+    problems = list(small_original_problems)[:3]
+    checkpoint = PipelineCheckpoint(tmp_path / "run.ckpt.jsonl")
+    EvaluationPipeline(get_model("gpt-4"), checkpoint=checkpoint).run(_requests(problems))
+
+    # A different model or shot count misses the checkpoint entirely.
+    other = _CountingModel(get_model("gpt-3.5"))
+    EvaluationPipeline(other, checkpoint=checkpoint).run(_requests(problems))
+    assert other.calls == len(problems)
+
+    again = _CountingModel(get_model("gpt-4"))
+    EvaluationPipeline(again, checkpoint=checkpoint).run(
+        [GenerationRequest(problem=p, shots=2) for p in problems]
+    )
+    assert again.calls == len(problems)
+
+
+def test_failed_generations_are_retried_on_resume(tmp_path, small_original_problems):
+    """A captured endpoint error is transient: it is not checkpointed, so a
+    resumed run queries the model again instead of serving zeros forever."""
+
+    problems = list(small_original_problems)[:6]
+    path = tmp_path / "run.ckpt.jsonl"
+    flaky_id = problems[2].problem_id
+
+    class FlakyOnce:
+        name = "gpt-4"  # same identity as the healthy model below
+
+        def __init__(self, inner) -> None:
+            self.inner = inner
+
+        def generate(self, problem, shots=0, sample_index=0):
+            if problem.problem_id == flaky_id:
+                raise ConnectionError("endpoint reset")
+            return self.inner.generate(problem, shots=shots, sample_index=sample_index)
+
+    first = EvaluationPipeline(FlakyOnce(get_model("gpt-4")), checkpoint=PipelineCheckpoint(path))
+    partial = first.run(_requests(problems))
+    assert [r.problem_id for r in partial.records if r.error] == [flaky_id]
+    assert len(PipelineCheckpoint(path)) == len(problems) - 1
+
+    # The endpoint recovered: only the failed problem is re-queried.
+    healthy = _CountingModel(get_model("gpt-4"))
+    resumed = EvaluationPipeline(healthy, checkpoint=PipelineCheckpoint(path))
+    records = resumed.run(_requests(problems)).records
+    assert healthy.calls == 1
+    assert all(not r.error for r in records)
+    assert records == EvaluationPipeline(get_model("gpt-4")).run(_requests(problems)).records
+
+
+def test_torn_final_line_is_dropped_on_load(tmp_path, small_original_problems):
+    problems = list(small_original_problems)[:4]
+    path = tmp_path / "run.ckpt.jsonl"
+    EvaluationPipeline(get_model("gpt-4"), checkpoint=PipelineCheckpoint(path)).run(_requests(problems))
+
+    # Simulate a crash mid-append: the last line is truncated JSON.
+    content = path.read_text(encoding="utf-8")
+    path.write_text(content + '{"model_name": "gpt-4", "problem_id"', encoding="utf-8")
+
+    reloaded = PipelineCheckpoint(path)
+    assert len(reloaded) == len(problems)
+
+
+def test_string_checkpoint_path_accepted(tmp_path, small_original_problems):
+    problems = list(small_original_problems)[:2]
+    path = str(tmp_path / "nested" / "run.ckpt.jsonl")
+    EvaluationPipeline(get_model("gpt-4"), checkpoint=path).run(_requests(problems))
+    assert len(PipelineCheckpoint(path)) == 2

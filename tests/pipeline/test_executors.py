@@ -1,0 +1,75 @@
+"""Executor backends: ordered-map semantics and cross-backend determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BenchmarkConfig, CloudEvalBenchmark
+from repro.pipeline.executors import (
+    ClusterExecutor,
+    SerialExecutor,
+    ThreadedExecutor,
+    resolve_executor,
+)
+
+MODELS = ["gpt-4", "llama-2-70b-chat"]
+
+
+@pytest.mark.parametrize(
+    "executor",
+    [SerialExecutor(), ThreadedExecutor(max_workers=4), ClusterExecutor(num_workers=4)],
+    ids=["serial", "thread", "cluster"],
+)
+def test_map_preserves_order(executor):
+    tasks = list(range(37))
+    assert executor.map(lambda x: x * x, tasks) == [x * x for x in tasks]
+
+
+def test_cluster_executor_surfaces_task_failure():
+    def boom(x):
+        if x == 3:
+            raise ValueError("bad task")
+        return x
+
+    with pytest.raises(RuntimeError, match="bad task"):
+        ClusterExecutor(num_workers=2).map(boom, list(range(5)))
+
+
+def test_cluster_executor_more_workers_same_results():
+    tasks = list(range(50))
+    one = ClusterExecutor(num_workers=1).map(lambda x: x + 1, tasks)
+    many = ClusterExecutor(num_workers=16).map(lambda x: x + 1, tasks)
+    assert one == many
+
+
+def test_resolve_executor_specs():
+    assert isinstance(resolve_executor("serial"), SerialExecutor)
+    assert isinstance(resolve_executor("thread", 8), ThreadedExecutor)
+    assert isinstance(resolve_executor("cluster", 8), ClusterExecutor)
+    custom = SerialExecutor()
+    assert resolve_executor(custom) is custom
+    with pytest.raises(ValueError):
+        resolve_executor("ray")
+
+
+def test_invalid_worker_counts_rejected():
+    with pytest.raises(ValueError):
+        ThreadedExecutor(max_workers=0)
+    with pytest.raises(ValueError):
+        ClusterExecutor(num_workers=0)
+
+
+def test_cluster_executor_determinism_vs_serial(small_dataset):
+    """Acceptance: same seed => identical records and leaderboard across backends."""
+
+    problems = list(small_dataset)[:30]
+    results = {}
+    for executor in ("serial", "cluster"):
+        config = BenchmarkConfig(seed=7, executor=executor, max_workers=4 if executor == "cluster" else 1)
+        benchmark = CloudEvalBenchmark(small_dataset, config)
+        results[executor] = benchmark.evaluate_models(models=MODELS, problems=problems)
+
+    serial, cluster = results["serial"], results["cluster"]
+    assert serial.leaderboard() == cluster.leaderboard()
+    for model in MODELS:
+        assert serial[model].records == cluster[model].records

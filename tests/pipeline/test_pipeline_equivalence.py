@@ -1,0 +1,73 @@
+"""Acceptance: the staged pipeline reproduces the legacy evaluation path
+bit-for-bit on the zero-shot corpus, for every executor backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BenchmarkConfig, CloudEvalBenchmark
+from repro.llm.interface import GenerationRequest, QueryModule
+from repro.pipeline import EvaluationPipeline
+from repro.scoring.compiled import ReferenceStore, score_batch
+
+
+def _legacy_scorecards(model, requests, store):
+    """The pre-pipeline evaluate_model body: query_batch + score_batch."""
+
+    results = QueryModule(model, max_workers=1).query_batch(requests)
+    cards = score_batch(
+        ((result.request.problem, result.response) for result in results),
+        run_unit_tests=True,
+        store=store,
+        max_workers=1,
+    )
+    return [(r.request.problem.problem_id, r.response) for r in results], cards
+
+
+@pytest.mark.parametrize("executor", ["serial", "thread", "cluster"])
+def test_pipeline_matches_legacy_scorecards_zero_shot(small_benchmark, executor):
+    """EvaluationPipeline (incl. ClusterExecutor) == legacy query+score loop."""
+
+    model, requests = small_benchmark.requests("gpt-4")
+    legacy_pairs, legacy_cards = _legacy_scorecards(model, requests, ReferenceStore())
+
+    pipeline = EvaluationPipeline(model, executor=executor, max_workers=4, store=ReferenceStore())
+    records = pipeline.run(requests).records
+
+    assert [(r.problem_id, r.raw_response) for r in records] == legacy_pairs
+    assert [r.scores for r in records] == legacy_cards
+
+
+def test_evaluate_model_is_a_thin_pipeline_wrapper(small_dataset):
+    """The public API returns exactly what the pipeline streams."""
+
+    benchmark = CloudEvalBenchmark(small_dataset, BenchmarkConfig())
+    problems = list(small_dataset)[:12]
+    via_api = benchmark.evaluate_model("gpt-4", problems=problems)
+
+    model, requests = benchmark.requests("gpt-4", problems=problems)
+    via_pipeline = benchmark.pipeline(model).run(requests)
+    assert via_api.records == via_pipeline.records
+    assert via_api.model_name == via_pipeline.model_name
+
+
+def test_streamed_records_equal_batch_records(small_dataset):
+    """run_iter and run agree record-for-record (streaming changes nothing)."""
+
+    benchmark = CloudEvalBenchmark(small_dataset, BenchmarkConfig())
+    model, requests = benchmark.requests("gpt-3.5", problems=list(small_dataset)[:15])
+    batch = benchmark.pipeline(model).run(requests).records
+    streamed = list(benchmark.pipeline(model).run_iter(requests))
+    assert streamed == batch
+
+
+def test_multi_sample_dedupe_consistency(small_dataset):
+    """Repeated samples score identically whether deduped in one batch or many."""
+
+    benchmark = CloudEvalBenchmark(small_dataset, BenchmarkConfig())
+    problems = list(small_dataset)[:5]
+    model, requests = benchmark.requests("gpt-4", problems=problems, samples=3)
+
+    small_batches = EvaluationPipeline(model, store=ReferenceStore(), batch_size=2).run(requests)
+    one_batch = EvaluationPipeline(model, store=ReferenceStore(), batch_size=1000).run(requests)
+    assert small_batches.records == one_batch.records

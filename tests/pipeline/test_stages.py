@@ -1,0 +1,128 @@
+"""Unit tests for the typed pipeline stages and their composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.interface import GenerationRequest, QueryModule
+from repro.llm.registry import get_model
+from repro.pipeline import (
+    EvaluationPipeline,
+    ExtractStage,
+    GenerateStage,
+    PromptStage,
+    ScoreStage,
+    StageContext,
+    WorkItem,
+)
+from repro.postprocess import extract_yaml
+from repro.scoring.compiled import ReferenceStore
+
+
+def _items(problems, shots=0):
+    return [WorkItem(request=GenerationRequest(problem=p, shots=shots)) for p in problems]
+
+
+def test_prompt_stage_materialises_prompts(small_original_problems):
+    items = PromptStage().process(_items(list(small_original_problems)[:3]), StageContext())
+    assert all(item.prompt.startswith("You are an expert engineer") for item in items)
+    assert items[0].request.problem.question.split(".")[0] in items[0].prompt
+
+
+def test_extract_stage_strips_prose(small_original_problems):
+    items = _items(list(small_original_problems)[:1])
+    items[0].response = "Here is the YAML:\n```yaml\napiVersion: v1\nkind: Pod\n```"
+    ExtractStage().process(items, StageContext())
+    assert items[0].extracted == "apiVersion: v1\nkind: Pod\n"
+
+
+def test_score_stage_memoises_identical_answers(small_original_problems):
+    problem = list(small_original_problems)[0]
+    answer = problem.reference_plain()
+    stage = ScoreStage(store=ReferenceStore())
+    calls = []
+    original = stage._score_one
+
+    def counting(task):
+        calls.append(task)
+        return original(task)
+
+    stage._score_one = counting
+    # Two batches carrying the same (problem, answer) pair: one real scoring.
+    for _ in range(2):
+        items = _items([problem])
+        items[0].response = answer
+        items[0].extracted = extract_yaml(answer)
+        stage.process(items, StageContext())
+        assert items[0].scores is not None
+        assert items[0].scores.exact_match == 1.0
+    assert len(calls) == 1
+
+
+def test_generate_errors_flow_into_records(small_original_problems):
+    problems = list(small_original_problems)[:3]
+
+    class Broken:
+        name = "broken"
+
+        def generate(self, problem, shots=0, sample_index=0):
+            raise RuntimeError("rate limited")
+
+    evaluation = EvaluationPipeline(Broken()).run(GenerationRequest(problem=p) for p in problems)
+    assert len(evaluation.records) == len(problems)
+    for record in evaluation.records:
+        assert record.error.startswith("RuntimeError:")
+        assert record.raw_response == ""
+        assert record.scores.unit_test == 0.0
+        assert record.scores.bleu == 0.0
+
+
+def test_custom_stage_slots_into_chain(small_original_problems):
+    """A user stage (answer rewriting) composes with the default chain."""
+
+    problems = list(small_original_problems)[:2]
+    model = get_model("gpt-4")
+    query = QueryModule(model)
+
+    class AppendProse:
+        """Rewrites every response; extraction must still see clean YAML."""
+
+        name = "append-prose"
+
+        def process(self, items, context):
+            for item in items:
+                item.response += "\n\nThis configuration satisfies all the requirements."
+            return items
+
+    stages = [
+        PromptStage(),
+        GenerateStage(query),
+        AppendProse(),
+        ExtractStage(),
+        ScoreStage(store=ReferenceStore()),
+    ]
+    pipeline = EvaluationPipeline(model, stages=stages)
+    evaluation = pipeline.run(GenerationRequest(problem=p) for p in problems)
+    baseline = EvaluationPipeline(model).run(GenerationRequest(problem=p) for p in problems)
+    # The fence wrapper is undone by extraction, so scores are unchanged.
+    assert [r.scores.as_dict() for r in evaluation.records] == [
+        r.scores.as_dict() for r in baseline.records
+    ]
+
+
+def test_run_iter_streams_in_request_order(small_original_problems):
+    problems = list(small_original_problems)[:7]
+    pipeline = EvaluationPipeline(get_model("gpt-4"), batch_size=3)
+    seen = [r.problem_id for r in pipeline.run_iter(GenerationRequest(problem=p) for p in problems)]
+    assert seen == [p.problem_id for p in problems]
+
+
+def test_pipeline_rejects_bad_batch_size():
+    with pytest.raises(ValueError):
+        EvaluationPipeline(get_model("gpt-4"), batch_size=0)
+
+
+def test_unscored_item_cannot_become_record(small_original_problems):
+    item = _items(list(small_original_problems)[:1])[0]
+    with pytest.raises(ValueError):
+        item.to_record()
