@@ -1,0 +1,115 @@
+"""Sharded overlapped evaluation vs the serial pipeline — the headline run.
+
+The end-to-end evaluation loop is wall-clock-bound on two different
+resources: querying a remote endpoint is dominated by per-request network
+latency (§3.1 — the paper parallelised it with ray precisely because a
+sequential client pays the latencies one after another), and scoring plus
+in-process unit tests burn CPU (§3.3 — the 10-hour single-machine run of
+Figure 5).  The sharded scheduler attacks both at once: an async
+generation backend keeps many rate-limited requests in flight while the
+process-pool scoring backend chews through already-generated shards.
+
+The model under test is the zero-shot corpus model behind a
+:class:`~repro.llm.remote.RemoteEndpointModel` — identical answers,
+realistic per-request latency — so the measured speedup is exactly what
+the executor machinery buys, and the ScoreCard assertions prove it buys
+it without moving a single score.
+
+The regression guard is ratio-based (sharded vs serial on the same
+machine in the same process), so CI runner speed cannot flake it; only a
+real loss of overlap can.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.common import FAST_MODE, bench_dataset
+from repro.core import BenchmarkConfig, CloudEvalBenchmark
+from repro.llm.remote import RemoteEndpointModel
+from repro.pipeline import (
+    AsyncExecutor,
+    EvaluationPipeline,
+    ProcessExecutor,
+    ShardedEvaluationPipeline,
+)
+from repro.scoring.compiled import ReferenceStore
+
+MODEL_NAME = "gpt-4"
+
+#: Per-request endpoint latency.  The fast corpus has far fewer requests,
+#: so it charges a little more per request to keep the serial baseline
+#: comfortably latency-dominated (and the measured ratio stable).
+LATENCY_SECONDS = 0.02 if FAST_MODE else 0.012
+JITTER_SECONDS = LATENCY_SECONDS / 4
+
+SHARDS = 4
+GENERATE_CONCURRENCY = 16
+SCORE_WORKERS = 2
+
+#: The guard: the sharded process+async path must beat the serial pipeline
+#: end to end by at least this factor.  Measured ~4-5x on a single core
+#: (latency overlap dominates); multicore runners only widen the gap.
+MIN_SPEEDUP = 2.5
+
+
+def _remote_model(inner):
+    return RemoteEndpointModel(
+        inner,
+        latency_seconds=LATENCY_SECONDS,
+        jitter_seconds=JITTER_SECONDS,
+        seed=11,
+    )
+
+
+def test_sharded_throughput(benchmark):
+    dataset = bench_dataset()
+    driver = CloudEvalBenchmark(dataset, BenchmarkConfig())
+    inner, requests = driver.requests(MODEL_NAME)
+
+    # --- serial baseline: one request at a time, latency paid in full ----
+    start = time.perf_counter()
+    serial_eval = EvaluationPipeline(_remote_model(inner), store=ReferenceStore()).run(requests)
+    serial_seconds = time.perf_counter() - start
+
+    # --- sharded process+async path --------------------------------------
+    def run_sharded():
+        with ProcessExecutor(max_workers=SCORE_WORKERS) as score_executor:
+            sharded = ShardedEvaluationPipeline(
+                _remote_model(inner),
+                shards=SHARDS,
+                executor=score_executor,
+                generate_executor=AsyncExecutor(max_concurrency=GENERATE_CONCURRENCY),
+                store=ReferenceStore(),
+            )
+            try:
+                return sharded.run(requests)
+            finally:
+                sharded.close()
+
+    sharded_eval = benchmark.pedantic(run_sharded, rounds=1, iterations=1)
+    sharded_seconds = benchmark.stats.stats.mean
+    speedup = serial_seconds / sharded_seconds
+
+    benchmark.extra_info["requests"] = len(requests)
+    benchmark.extra_info["latency_ms"] = LATENCY_SECONDS * 1000
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 4)
+    benchmark.extra_info["sharded_seconds"] = round(sharded_seconds, 4)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+
+    print(
+        f"\nSharded overlapped evaluation over {len(requests)} zero-shot requests "
+        f"({MODEL_NAME} behind a {LATENCY_SECONDS * 1000:.0f}ms endpoint):"
+        f"\n  serial pipeline              : {serial_seconds:6.2f} s"
+        f"\n  sharded async+process (x{SHARDS})  : {sharded_seconds:6.2f} s"
+        f"\n  speedup                      : {speedup:6.2f} x"
+    )
+
+    # The overlap must not move a single score...
+    assert sharded_eval.records == serial_eval.records
+
+    # ...and must actually deliver the wall-clock win (ratio-based guard).
+    assert speedup >= MIN_SPEEDUP, (
+        f"sharded path speedup {speedup:.2f}x fell below the {MIN_SPEEDUP}x floor "
+        f"(serial {serial_seconds:.2f}s, sharded {sharded_seconds:.2f}s)"
+    )

@@ -27,6 +27,7 @@ from repro.llm.simulated import SimulatedModel
 from repro.pipeline.checkpoint import PipelineCheckpoint
 from repro.pipeline.pipeline import EvaluationPipeline
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
+from repro.pipeline.sharding import ShardedEvaluationPipeline
 from repro.scoring.compiled import ReferenceStore
 
 __all__ = ["EvaluationRecord", "ModelEvaluation", "BenchmarkResult", "CloudEvalBenchmark"]
@@ -116,7 +117,31 @@ class CloudEvalBenchmark:
         return EvaluationPipeline(
             model,
             executor=self.config.executor,
+            generate_executor=self.config.generate_executor,
             max_workers=self.config.max_workers,
+            rate_limit=self.config.rate_limit,
+            lease_seconds=self.config.lease_seconds,
+            store=self._references,
+            run_unit_tests=self.config.run_unit_tests,
+            checkpoint=checkpoint,
+        )
+
+    def sharded_pipeline(
+        self,
+        model: Model,
+        checkpoint: str | None = None,
+    ) -> ShardedEvaluationPipeline:
+        """A sharded, overlapped pipeline for ``model`` wired to this
+        benchmark's configuration; ``checkpoint`` is the per-shard base path."""
+
+        return ShardedEvaluationPipeline(
+            model,
+            shards=self.config.shards,
+            executor=self.config.executor,
+            generate_executor=self.config.generate_executor,
+            max_workers=self.config.max_workers,
+            rate_limit=self.config.rate_limit,
+            lease_seconds=self.config.lease_seconds,
             store=self._references,
             run_unit_tests=self.config.run_unit_tests,
             checkpoint=checkpoint,
@@ -133,10 +158,28 @@ class CloudEvalBenchmark:
         samples: int | None = None,
         checkpoint: PipelineCheckpoint | str | None = None,
     ) -> ModelEvaluation:
-        """Evaluate one model and return its scored records."""
+        """Evaluate one model and return its scored records.
+
+        With ``config.shards > 1`` the requests are split across that many
+        overlapped sub-pipelines (``checkpoint``, if given, must then be a
+        base path — each shard keeps its own file); the records are
+        identical to an unsharded run either way.
+        """
 
         resolved, requests = self.requests(model, problems=problems, shots=shots, samples=samples)
-        return self.pipeline(resolved, checkpoint=checkpoint).run(requests)
+        if self.config.shards > 1:
+            if isinstance(checkpoint, PipelineCheckpoint):
+                raise TypeError(
+                    "a sharded run derives one checkpoint file per shard; pass the "
+                    "base path instead of a PipelineCheckpoint instance"
+                )
+            pipeline = self.sharded_pipeline(resolved, checkpoint=checkpoint)
+        else:
+            pipeline = self.pipeline(resolved, checkpoint=checkpoint)
+        try:
+            return pipeline.run(requests)
+        finally:
+            pipeline.close()
 
     def evaluate_models(
         self,

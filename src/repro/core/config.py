@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.dataset.schema import Variant
-from repro.pipeline.executors import EXECUTOR_NAMES
+from repro.pipeline.executors import EXECUTOR_NAMES, GENERATE_EXECUTOR_NAMES
 
 __all__ = ["BenchmarkConfig"]
 
@@ -32,13 +32,39 @@ class BenchmarkConfig:
         Whether to rescale the simulated models so their original-set pass
         counts land on the paper's Table 5 values (recommended).
     max_workers:
-        Parallelism of the query module and of the scoring executor
-        (1 = sequential; results are deterministic either way).
+        Parallelism of the query module and of the stage executors
+        (1 = sequential; results are deterministic either way).  Also the
+        concurrency bound of the async backend.
     executor:
-        Backend the pipeline's score stage fans work out over:
-        ``"serial"``, ``"thread"`` (a ``max_workers`` thread pool) or
-        ``"cluster"`` (the in-process master/worker evaluation-cluster
-        runtime).  Scores are identical across backends.
+        Backend the pipeline's parallelisable stage work runs on:
+        ``"serial"``, ``"thread"`` (a persistent ``max_workers`` thread
+        pool), ``"cluster"`` (the in-process master/worker
+        evaluation-cluster runtime), ``"async"`` (bounded-concurrency
+        asyncio with an optional token-bucket ``rate_limit``) or
+        ``"process"`` (a persistent process pool for CPU-bound scoring).
+        Scores are identical across backends.
+    generate_executor:
+        Optional separate backend for the generate stage only — pair
+        ``generate_executor="async"`` with ``executor="process"`` to
+        overlap remote-endpoint waits with process-parallel scoring.
+        ``None`` (default) uses ``executor`` for every stage.  Any of
+        ``serial``/``thread``/``cluster``/``async``; ``process`` is
+        rejected (models are not picklable contracts).
+    lease_seconds:
+        Job-lease deadline of the cluster backend (``None`` = no leases):
+        a worker that dies between claim and report gets its job
+        re-enqueued once for a surviving worker.
+    shards:
+        Number of evaluation shards.  With ``shards > 1``,
+        ``evaluate_model`` splits its requests across that many
+        sub-pipelines (one checkpoint file per shard) and streams them so
+        generation of one shard overlaps scoring of the previous one.
+        ScoreCards are identical for every shard count.
+    rate_limit:
+        Requests per second granted to the async backend's token bucket
+        (``None`` = unthrottled).  The bucket runs on a deterministic
+        virtual clock, so simulated endpoints account their throttle time
+        without sleeping.
     """
 
     seed: int = 7
@@ -49,6 +75,10 @@ class BenchmarkConfig:
     calibrate: bool = True
     max_workers: int = 1
     executor: str = "serial"
+    generate_executor: str | None = None
+    shards: int = 1
+    rate_limit: float | None = None
+    lease_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.shots < 0 or self.shots > 3:
@@ -59,3 +89,11 @@ class BenchmarkConfig:
             raise ValueError("at least one variant must be selected")
         if self.executor not in EXECUTOR_NAMES:
             raise ValueError(f"executor must be one of {EXECUTOR_NAMES}")
+        if self.generate_executor is not None and self.generate_executor not in GENERATE_EXECUTOR_NAMES:
+            raise ValueError(f"generate_executor must be one of {GENERATE_EXECUTOR_NAMES}")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.rate_limit is not None and self.rate_limit <= 0:
+            raise ValueError("rate_limit must be positive")
+        if self.lease_seconds is not None and self.lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")

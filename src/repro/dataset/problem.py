@@ -57,6 +57,19 @@ class Problem:
     source: str = "documentation"
     metadata: dict[str, Any] = field(default_factory=dict)
 
+    # -- pickling ------------------------------------------------------------
+    # Derived artifacts (the compiled reference, the image list) are cached
+    # on the instance via object.__setattr__ by their consumers.  They are
+    # recomputable and several times larger than the problem itself, so
+    # pickles carry only the declared fields — a process-pool task envelope
+    # stays small no matter what was cached on the instance beforehand.
+    def __getstate__(self) -> dict[str, Any]:
+        return {name: self.__dict__[name] for name in self.__dataclass_fields__}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
     # -- derived views ------------------------------------------------------
     @property
     def has_code_context(self) -> bool:

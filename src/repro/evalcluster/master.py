@@ -48,14 +48,27 @@ class JobReport:
 
 
 class Master:
-    """Manages the job queue and collects results, as the paper's master does."""
+    """Manages the job queue and collects results, as the paper's master does.
+
+    With ``lease_seconds`` set, every claim carries a deadline: a worker
+    that dies between claim and report leaves its job leased-but-silent,
+    and :meth:`reap_expired` re-enqueues it — once — for a surviving
+    worker.  A job whose lease expires a second time is recorded as failed
+    instead of looping forever.
+    """
 
     QUEUE_KEY = "jobs:pending"
     RESULTS_KEY = "jobs:results"
 
-    def __init__(self, store: RedisLikeStore | None = None) -> None:
+    def __init__(self, store: RedisLikeStore | None = None, lease_seconds: float | None = None) -> None:
+        if lease_seconds is not None and lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
         self.store = store or RedisLikeStore()
+        self.lease_seconds = lease_seconds
         self._jobs: dict[str, EvaluationJob] = {}
+        self._leases: dict[str, float] = {}  # job_id -> deadline
+        self._lease_holders: dict[str, str] = {}  # job_id -> worker_id
+        self._requeued: set[str] = set()
 
     # -- job submission -------------------------------------------------------
     def submit(self, jobs: Sequence[EvaluationJob]) -> None:
@@ -70,13 +83,55 @@ class Master:
         return self._jobs[job_id]
 
     # -- worker-facing API -------------------------------------------------------
-    def claim(self) -> EvaluationJob | None:
-        """Pop the next pending job, or None when the queue is drained."""
+    def claim(self, worker_id: str = "", now: float = 0.0) -> EvaluationJob | None:
+        """Pop the next pending job, or None when the queue is drained.
+
+        When leases are enabled, the claim is stamped with its deadline
+        (``now + lease_seconds``); the report releases it.
+        """
 
         job_id = self.store.lpop(self.QUEUE_KEY)
         if job_id is None:
             return None
+        if self.lease_seconds is not None:
+            self._leases[job_id] = now + self.lease_seconds
+            self._lease_holders[job_id] = worker_id
         return self._jobs[job_id]
+
+    # -- fault tolerance -------------------------------------------------------
+    def next_lease_expiry(self) -> float | None:
+        """The earliest outstanding lease deadline, or None when none are held."""
+
+        return min(self._leases.values()) if self._leases else None
+
+    def reap_expired(self, now: float) -> list[str]:
+        """Re-enqueue jobs whose lease expired; returns the re-enqueued ids.
+
+        Each job is given exactly one second chance.  A job whose lease
+        expires again is reported failed by the master itself, so a
+        poisonous job (one that kills every worker that touches it) cannot
+        starve the run.
+        """
+
+        requeued: list[str] = []
+        for job_id, deadline in sorted(self._leases.items()):
+            if now < deadline:
+                continue
+            del self._leases[job_id]
+            self._lease_holders.pop(job_id, None)
+            if job_id in self._requeued:
+                self.report(
+                    job_id,
+                    worker_id="master-reaper",
+                    finished_at=now,
+                    passed=False,
+                    result=f"lease expired twice (deadline {deadline:.1f}s); job abandoned",
+                )
+                continue
+            self._requeued.add(job_id)
+            self.store.rpush(self.QUEUE_KEY, job_id)
+            requeued.append(job_id)
+        return requeued
 
     def report(
         self,
@@ -86,8 +141,20 @@ class Master:
         passed: bool,
         result: Any = None,
     ) -> None:
-        """Record a finished job (optionally with the payload's result)."""
+        """Record a finished job (optionally with the payload's result).
 
+        Under leases, a report from a worker that no longer holds the
+        job's lease is dropped: its lease expired and the job was handed
+        to someone else, whose execution is now authoritative (the
+        late-but-alive worker case of a real distributed deployment).
+        """
+
+        if self.lease_seconds is not None:
+            holder = self._lease_holders.get(job_id)
+            if holder is not None and holder != worker_id:
+                return
+        self._leases.pop(job_id, None)
+        self._lease_holders.pop(job_id, None)
         self.store.hset(
             self.RESULTS_KEY,
             job_id,

@@ -26,30 +26,64 @@ from repro.evalcluster.worker import RealExecution, Worker
 
 __all__ = ["run_jobs", "run_payloads"]
 
+WorkerFactory = Callable[[int, Master, EventQueue], Worker]
 
-def run_jobs(jobs: Sequence[EvaluationJob], num_workers: int = 4) -> dict[str, JobReport]:
-    """Execute every job's payload on an in-process cluster; reports by job id."""
+
+def _default_worker(index: int, master: Master, events: EventQueue) -> Worker:
+    return Worker(
+        worker_id=f"worker-{index:03d}",
+        master=master,
+        events=events,
+        internet=SharedLink(1000.0),
+        shared_cache=PullThroughCache(),
+        boot_seconds=0.0,
+        runner=RealExecution(),
+    )
+
+
+def run_jobs(
+    jobs: Sequence[EvaluationJob],
+    num_workers: int = 4,
+    lease_seconds: float | None = None,
+    worker_factory: WorkerFactory | None = None,
+) -> dict[str, JobReport]:
+    """Execute every job's payload on an in-process cluster; reports by job id.
+
+    With ``lease_seconds`` set, claimed jobs carry a deadline and the run
+    is fault tolerant: when the queue drains with jobs still unreported —
+    a worker died between claim and report — the clock is advanced past
+    the earliest expired lease, the master re-enqueues the orphaned jobs
+    (once each), and the surviving idle workers are woken to pick them up.
+    ``worker_factory`` customises worker construction (tests use it to
+    inject workers that die mid-job).
+    """
 
     if num_workers < 1:
         raise ValueError("num_workers must be >= 1")
     events = EventQueue()
-    master = Master()
+    master = Master(lease_seconds=lease_seconds)
     master.submit(list(jobs))
-    workers = [
-        Worker(
-            worker_id=f"worker-{i:03d}",
-            master=master,
-            events=events,
-            internet=SharedLink(1000.0),
-            shared_cache=PullThroughCache(),
-            boot_seconds=0.0,
-            runner=RealExecution(),
-        )
-        for i in range(num_workers)
-    ]
+    factory = worker_factory or _default_worker
+    workers = [factory(i, master, events) for i in range(num_workers)]
     for worker in workers:
         worker.start()
     events.run()
+
+    while lease_seconds is not None and not master.all_done():
+        expiry = master.next_lease_expiry()
+        if expiry is None:  # pragma: no cover - defensive
+            break
+        # Advance the simulated clock to the deadline, reap, and wake every
+        # idle survivor (a dead worker never reached the idle state, so it
+        # is never restarted).
+        events.schedule(max(0.0, expiry - events.now), lambda: None)
+        events.run()
+        master.reap_expired(events.now)
+        for worker in workers:
+            if worker.idle:
+                events.schedule(0.0, worker._claim_next)
+        events.run()
+
     if not master.all_done():  # pragma: no cover - defensive
         raise RuntimeError("cluster runtime drained without completing every job")
     return master.reports()

@@ -52,7 +52,10 @@ def _images_in_yaml(text: str) -> list[str]:
 
     Falls back to line scanning only when the text does not parse (a
     malformed manifest still pulls whatever images its apply would have
-    touched before failing).
+    touched before failing).  The scan accepts both mapping lines
+    (``image: nginx``) and list items (``- image: nginx``) — containers
+    are almost always list entries, so a list-blind scan undercounted a
+    malformed manifest's pulls.
     """
 
     try:
@@ -63,11 +66,14 @@ def _images_in_yaml(text: str) -> list[str]:
         images: list[str] = []
         _walk_images(documents, images)
         return images
-    return [
-        stripped.split("image:", 1)[1].strip().strip("\"'")
-        for stripped in (line.strip() for line in text.splitlines())
-        if stripped.startswith("image:")
-    ]
+    found: list[str] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        while stripped.startswith("-"):  # "- image: x" and nested "- - image: x"
+            stripped = stripped[1:].lstrip()
+        if stripped.startswith("image:"):
+            found.append(stripped.split("image:", 1)[1].strip().strip("\"'"))
+    return found
 
 
 def problem_images(problem: Problem) -> tuple[str, ...]:

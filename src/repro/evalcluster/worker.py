@@ -110,6 +110,10 @@ class Worker:
     jobs_completed: int = field(default=0, init=False)
     jobs_failed: int = field(default=0, init=False)
     finished_at: float = field(default=0.0, init=False)
+    #: True once the claim loop drained the queue and parked.  A worker that
+    #: died mid-job never parks, which is how the fault-tolerant runtime
+    #: distinguishes survivors (re-wakeable) from casualties.
+    idle: bool = field(default=False, init=False)
 
     def __post_init__(self) -> None:
         self.image_cache = WorkerImageCache(worker_id=self.worker_id, shared_cache=self.shared_cache)
@@ -121,10 +125,12 @@ class Worker:
         self.events.schedule(self.boot_seconds, self._claim_next)
 
     def _claim_next(self) -> None:
-        job = self.master.claim()
+        job = self.master.claim(self.worker_id, self.events.now)
         if job is None:
             self.finished_at = self.events.now
+            self.idle = True
             return
+        self.idle = False  # back to work (a reaper may have re-woken us)
         self._run_job(job)
 
     # -- job execution ---------------------------------------------------------

@@ -1,0 +1,86 @@
+"""A remote-endpoint adapter over any local model.
+
+The paper's query module exists because remote endpoints are slow and
+rate-limited: each request spends tens to hundreds of milliseconds on the
+wire, and the only way to finish a 1000-problem sweep in reasonable time
+is to keep many requests in flight (§3.1, ray in the original).
+
+:class:`RemoteEndpointModel` turns any deterministic local model into that
+workload shape.  It answers with exactly the wrapped model's responses but
+charges a per-request network latency: the synchronous ``generate`` blocks
+(as a naive sequential client would), while ``generate_async`` awaits the
+same latency on the event loop so the async query path can overlap
+hundreds of in-flight requests.  Scores are therefore bit-identical
+between the wrapped and unwrapped model — only the wall-clock differs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.dataset.problem import Problem
+from repro.llm.interface import Model
+from repro.utils.rng import DeterministicRNG
+
+__all__ = ["RemoteEndpointModel"]
+
+
+class RemoteEndpointModel:
+    """Wrap ``inner`` as a simulated remote endpoint with per-request latency.
+
+    Parameters
+    ----------
+    inner:
+        The model actually producing responses.
+    latency_seconds:
+        Mean one-way service time per request.
+    jitter_seconds:
+        Half-width of the deterministic per-request latency spread; the
+        latency of a request depends only on ``(problem_id, sample_index,
+        seed)``, so repeated runs see identical delays.
+    seed:
+        Seed of the latency jitter.
+    """
+
+    def __init__(
+        self,
+        inner: Model,
+        latency_seconds: float = 0.05,
+        jitter_seconds: float = 0.0,
+        seed: int = 1,
+    ) -> None:
+        if latency_seconds < 0 or jitter_seconds < 0:
+            raise ValueError("latencies must be non-negative")
+        self.inner = inner
+        self.latency_seconds = latency_seconds
+        self.jitter_seconds = jitter_seconds
+        self.seed = seed
+        #: Total network time charged so far (sum over requests, not wall time).
+        self.latency_charged = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    def request_latency(self, problem: Problem, sample_index: int = 0) -> float:
+        """The deterministic latency this request pays."""
+
+        if self.jitter_seconds == 0.0:
+            return self.latency_seconds
+        rng = DeterministicRNG(self.seed).child("remote-latency", problem.problem_id, sample_index)
+        return max(0.0, self.latency_seconds + rng.uniform(-self.jitter_seconds, self.jitter_seconds))
+
+    def generate(self, problem: Problem, shots: int = 0, sample_index: int = 0) -> str:
+        delay = self.request_latency(problem, sample_index)
+        self.latency_charged += delay
+        if delay > 0:
+            time.sleep(delay)
+        return self.inner.generate(problem, shots=shots, sample_index=sample_index)
+
+    async def generate_async(self, problem: Problem, shots: int = 0, sample_index: int = 0) -> str:
+        delay = self.request_latency(problem, sample_index)
+        self.latency_charged += delay
+        if delay > 0:
+            await asyncio.sleep(delay)
+        return self.inner.generate(problem, shots=shots, sample_index=sample_index)

@@ -4,8 +4,15 @@ The paper's system is a pipeline of explicit components; this package
 makes each one a typed, pluggable stage connected by an
 :class:`EvaluationPipeline` that streams per-record results, checkpoints
 partial runs and fans parallelisable work out over an executor — serial,
-thread-pool, or the in-process evaluation-cluster runtime that shares its
-job/claim/report protocol with the Figure 5 simulation.
+thread-pool, the in-process evaluation-cluster runtime that shares its
+job/claim/report protocol with the Figure 5 simulation, an asyncio
+backend with token-bucket rate limiting for remote endpoints, or a
+process pool for CPU-bound scoring.
+
+For wall-clock-bound runs, :class:`ShardedEvaluationPipeline` splits the
+requests across ``N`` sub-pipelines (one checkpoint file each) and
+streams them: generation of shard *k+1* overlaps scoring of shard *k*,
+and the merged result is bit-identical to an unsharded run.
 
 Typical use::
 
@@ -25,16 +32,20 @@ Typical use::
         print(record.problem_id, record.scores.unit_test)
 """
 
-from repro.pipeline.checkpoint import PipelineCheckpoint
+from repro.pipeline.checkpoint import PipelineCheckpoint, shard_checkpoint_path
 from repro.pipeline.executors import (
+    AsyncExecutor,
     ClusterExecutor,
     Executor,
+    ProcessExecutor,
     SerialExecutor,
     ThreadedExecutor,
+    close_executor,
     resolve_executor,
 )
-from repro.pipeline.pipeline import EvaluationPipeline
+from repro.pipeline.pipeline import EvaluationPipeline, PreparedBatch
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
+from repro.pipeline.sharding import ShardPlan, ShardedEvaluationPipeline, merge_evaluations
 from repro.pipeline.stages import (
     AggregateStage,
     ExtractStage,
@@ -49,6 +60,7 @@ from repro.pipeline.stages import (
 
 __all__ = [
     "AggregateStage",
+    "AsyncExecutor",
     "ClusterExecutor",
     "EvaluationPipeline",
     "EvaluationRecord",
@@ -57,13 +69,20 @@ __all__ = [
     "GenerateStage",
     "ModelEvaluation",
     "PipelineCheckpoint",
+    "PreparedBatch",
+    "ProcessExecutor",
     "PromptStage",
     "ScoreStage",
     "SerialExecutor",
+    "ShardPlan",
+    "ShardedEvaluationPipeline",
     "Stage",
     "StageContext",
     "ThreadedExecutor",
     "WorkItem",
+    "close_executor",
     "default_stages",
+    "merge_evaluations",
     "resolve_executor",
+    "shard_checkpoint_path",
 ]

@@ -22,9 +22,23 @@ from typing import Iterator
 
 from repro.pipeline.records import EvaluationRecord, record_from_dict, record_to_dict
 
-__all__ = ["PipelineCheckpoint"]
+__all__ = ["PipelineCheckpoint", "shard_checkpoint_path"]
 
 RecordKey = tuple[str, str, int, int]
+
+
+def shard_checkpoint_path(base: str | os.PathLike[str], index: int, num_shards: int) -> Path:
+    """The checkpoint file of shard ``index`` of a sharded run.
+
+    A sharded evaluation keeps one append-only file per shard next to the
+    base path (``run.ckpt.jsonl`` → ``run.ckpt.jsonl.shard-02-of-04``), so
+    shards can be written concurrently — and resumed or even re-run on
+    different machines — without sharing a file handle.
+    """
+
+    if not 0 <= index < num_shards:
+        raise ValueError(f"shard index {index} out of range for {num_shards} shards")
+    return Path(f"{os.fspath(base)}.shard-{index:02d}-of-{num_shards:02d}")
 
 
 class PipelineCheckpoint:

@@ -4,41 +4,63 @@ An executor is a deliberately tiny abstraction — ordered ``map`` over pure
 tasks — so stages stay oblivious to *where* their work runs:
 
 * :class:`SerialExecutor` — in-line, zero overhead, the default.
-* :class:`ThreadedExecutor` — a ``concurrent.futures`` thread pool,
-  mirroring the paper's ray-parallel querying of rate-limited APIs.
+* :class:`ThreadedExecutor` — a persistent ``concurrent.futures`` thread
+  pool, mirroring the paper's ray-parallel querying of rate-limited APIs.
 * :class:`ClusterExecutor` — dispatches each task as an
   :class:`~repro.evalcluster.master.EvaluationJob` payload through the
   master/worker job-claim-report protocol, i.e. the same queue the
   Figure 5 simulation exercises, but with workers in
   :class:`~repro.evalcluster.worker.RealExecution` mode actually running
   the work.
+* :class:`AsyncExecutor` — an asyncio event loop with bounded concurrency
+  and a deterministic token-bucket rate limiter, built for the I/O axis:
+  rate-limited remote endpoints whose per-request latency can be
+  overlapped.  The generate stage routes its batch through
+  ``QueryModule.query_batch_async`` when this executor is configured.
+* :class:`ProcessExecutor` — a persistent ``ProcessPoolExecutor`` with
+  chunked submission and an optional per-process initializer (used to
+  warm a :class:`~repro.scoring.compiled.ReferenceStore` in every
+  worker), built for the CPU axis: scoring and unit-test execution.
 
-All three are deterministic: tasks are pure functions of their inputs and
-results always come back in submission order, so the backend choice can
-never change a ScoreCard.  Async, process-pool and remote backends are
-ROADMAP follow-ons behind the same interface.
+All backends are deterministic: tasks are pure functions of their inputs
+and results always come back in submission order, so the backend choice
+can never change a ScoreCard.  A remote executor speaking the cluster
+protocol over a real Redis is the remaining ROADMAP follow-on.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Protocol, Sequence, TypeVar, runtime_checkable
+import asyncio
+import inspect
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Coroutine, Protocol, Sequence, TypeVar, runtime_checkable
 
 from repro.evalcluster.master import EvaluationJob
 from repro.evalcluster.runtime import run_jobs
+from repro.utils.pools import LazyPool
+from repro.utils.ratelimit import TokenBucket
 
 __all__ = [
     "EXECUTOR_NAMES",
+    "GENERATE_EXECUTOR_NAMES",
     "Executor",
     "SerialExecutor",
     "ThreadedExecutor",
     "ClusterExecutor",
+    "AsyncExecutor",
+    "ProcessExecutor",
     "resolve_executor",
+    "close_executor",
 ]
 
 #: Executor specs accepted by :func:`resolve_executor` (and therefore by
 #: ``BenchmarkConfig.executor``), in the order they should be documented.
-EXECUTOR_NAMES: tuple[str, ...] = ("serial", "thread", "cluster")
+EXECUTOR_NAMES: tuple[str, ...] = ("serial", "thread", "cluster", "async", "process")
+
+#: Specs valid for ``BenchmarkConfig.generate_executor``.  ``"process"`` is
+#: excluded: generation closes over the model object, which is not a
+#: picklable contract, and endpoint querying is I/O-bound anyway.
+GENERATE_EXECUTOR_NAMES: tuple[str, ...] = ("serial", "thread", "cluster", "async")
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -64,7 +86,14 @@ class SerialExecutor:
 
 
 class ThreadedExecutor:
-    """Fan tasks out over a thread pool; results stay in submission order."""
+    """Fan tasks out over a persistent thread pool, results in order.
+
+    The pool is created lazily on the first parallel ``map`` and reused by
+    every later call (the previous incarnation built and tore down a pool
+    per call, paying thread spawn/join on every batch of a streaming run).
+    ``close()`` — or use as a context manager — shuts it down; a later
+    ``map`` transparently builds a fresh one.
+    """
 
     name = "thread"
 
@@ -72,12 +101,25 @@ class ThreadedExecutor:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
+        self._pool = LazyPool(
+            lambda: ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="pipeline-thread"
+            )
+        )
 
     def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
         if self.max_workers == 1 or len(tasks) <= 1:
             return [fn(task) for task in tasks]
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            return list(pool.map(fn, tasks))
+        return list(self._pool.get().map(fn, tasks))
+
+    def close(self) -> None:
+        self._pool.close()
+
+    def __enter__(self) -> "ThreadedExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 class ClusterExecutor:
@@ -93,10 +135,11 @@ class ClusterExecutor:
 
     name = "cluster"
 
-    def __init__(self, num_workers: int = 4) -> None:
+    def __init__(self, num_workers: int = 4, lease_seconds: float | None = None) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.num_workers = num_workers
+        self.lease_seconds = lease_seconds
 
     def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
         jobs = [
@@ -107,7 +150,7 @@ class ClusterExecutor:
             )
             for index, task in enumerate(tasks)
         ]
-        reports = run_jobs(jobs, num_workers=self.num_workers)
+        reports = run_jobs(jobs, num_workers=self.num_workers, lease_seconds=self.lease_seconds)
         results: list[R] = []
         for job in jobs:
             report = reports[job.job_id]
@@ -117,9 +160,158 @@ class ClusterExecutor:
         return results
 
 
-def resolve_executor(executor: str | Executor, max_workers: int = 1) -> Executor:
-    """Turn a config spec (``"serial"`` / ``"thread"`` / ``"cluster"`` or an
-    executor instance) into an executor."""
+class AsyncExecutor:
+    """Bounded-concurrency asyncio executor with token-bucket rate limiting.
+
+    Built for the I/O-bound half of evaluation: querying rate-limited
+    remote endpoints.  ``map`` accepts either plain callables (awaited
+    inline — ordered, deterministic) or ``async`` callables, and the
+    generate stage hands its whole batch to
+    :meth:`~repro.llm.interface.QueryModule.query_batch_async` through
+    :meth:`run` so an :class:`~repro.llm.interface.AsyncModel`'s request
+    latencies overlap up to ``max_concurrency`` deep.
+
+    The :class:`~repro.utils.ratelimit.TokenBucket` is deterministic: with
+    the default virtual clock it fast-forwards through throttle waits
+    (simulated endpoints finish in milliseconds while the accounted wait
+    matches what a real endpoint would have imposed); against live
+    endpoints construct it with ``virtual_clock=False`` to actually pace
+    requests.
+    """
+
+    name = "async"
+
+    def __init__(
+        self,
+        max_concurrency: int = 8,
+        rate_limit: float | None = None,
+        burst: int = 1,
+        virtual_clock: bool = True,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        self.max_concurrency = max_concurrency
+        self.limiter = (
+            TokenBucket(rate_limit, burst=burst, virtual_clock=virtual_clock)
+            if rate_limit is not None
+            else None
+        )
+
+    def run(self, coro: Coroutine[Any, Any, R]) -> R:
+        """Drive a coroutine to completion on a fresh event loop."""
+
+        return asyncio.run(coro)
+
+    async def _map_async(self, fn: Callable[[T], Any], tasks: Sequence[T]) -> list[Any]:
+        semaphore = asyncio.Semaphore(self.max_concurrency)
+        is_coroutine_fn = inspect.iscoroutinefunction(fn)
+
+        async def one(task: T) -> Any:
+            async with semaphore:
+                if is_coroutine_fn:
+                    return await fn(task)
+                return fn(task)
+
+        return list(await asyncio.gather(*(one(task) for task in tasks)))
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        """Ordered map under the concurrency bound.
+
+        The token bucket deliberately does NOT apply here: it meters
+        *endpoint requests* (the generate stage consumes it through
+        ``query_batch_async``), and charging generic stage work — e.g.
+        CPU-bound scoring when this executor backs the whole pipeline —
+        would double-count every record against the endpoint's budget.
+        """
+
+        return self.run(self._map_async(fn, tasks))
+
+
+class ProcessExecutor:
+    """Fan tasks out over a persistent process pool, results in order.
+
+    Built for the CPU-bound half of evaluation: scoring and in-process
+    unit-test execution, which hold the GIL and gain nothing from threads.
+    Tasks and the mapped function must be picklable (the score stage ships
+    :class:`~repro.scoring.compiled.ScoreTask` envelopes); submission is
+    chunked so large batches amortise IPC.
+
+    ``initializer``/``initargs`` run once in every worker process —
+    :func:`repro.scoring.compiled.warm_reference_store` is the intended
+    initializer, giving each worker a pre-warmed
+    :class:`~repro.scoring.compiled.ReferenceStore` so references compile
+    once per process instead of once per task.  Call :meth:`warm` before
+    the first ``map`` to install it with a problem list.
+    """
+
+    name = "process"
+    #: The score stage switches to picklable task envelopes for this backend.
+    requires_picklable_tasks = True
+
+    def __init__(
+        self,
+        max_workers: int = 2,
+        initializer: Callable[..., object] | None = None,
+        initargs: tuple[Any, ...] = (),
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self.initializer = initializer
+        self.initargs = initargs
+        self._pool = LazyPool(
+            lambda: ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=self.initializer,
+                initargs=self.initargs,
+            )
+        )
+
+    def warm(self, problems: Sequence[Any]) -> "ProcessExecutor":
+        """Precompile ``problems``' references in every worker process.
+
+        Must be called before the pool exists (the initializer runs at
+        worker start); returns self for chaining.
+        """
+
+        from repro.scoring.compiled import warm_reference_store
+
+        if self._pool.raw is not None:
+            raise RuntimeError("warm() must be called before the first map()")
+        self.initializer = warm_reference_store
+        self.initargs = (tuple(problems),)
+        return self
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        if not tasks:
+            return []
+        chunksize = max(1, len(tasks) // (self.max_workers * 4))
+        return list(self._pool.get().map(fn, tasks, chunksize=chunksize))
+
+    def close(self) -> None:
+        self._pool.close()
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def resolve_executor(
+    executor: str | Executor,
+    max_workers: int = 1,
+    rate_limit: float | None = None,
+    lease_seconds: float | None = None,
+) -> Executor:
+    """Turn a config spec (one of :data:`EXECUTOR_NAMES` or an executor
+    instance) into an executor.
+
+    ``max_workers`` sizes the thread/cluster/process pools and the async
+    concurrency bound; ``rate_limit`` (requests per second) only applies
+    to the async backend's token bucket, ``lease_seconds`` only to the
+    cluster backend's job leases.
+    """
 
     if not isinstance(executor, str):
         return executor
@@ -128,5 +320,17 @@ def resolve_executor(executor: str | Executor, max_workers: int = 1) -> Executor
     if executor == "thread":
         return ThreadedExecutor(max_workers=max(1, max_workers))
     if executor == "cluster":
-        return ClusterExecutor(num_workers=max(1, max_workers))
+        return ClusterExecutor(num_workers=max(1, max_workers), lease_seconds=lease_seconds)
+    if executor == "async":
+        return AsyncExecutor(max_concurrency=max(1, max_workers), rate_limit=rate_limit)
+    if executor == "process":
+        return ProcessExecutor(max_workers=max(1, max_workers))
     raise ValueError(f"unknown executor {executor!r} (expected one of {EXECUTOR_NAMES})")
+
+
+def close_executor(executor: Executor) -> None:
+    """Release an executor's pooled resources, if it holds any."""
+
+    close = getattr(executor, "close", None)
+    if callable(close):
+        close()

@@ -17,19 +17,37 @@ selection without changing a single score.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from repro.llm.interface import GenerationRequest, Model, QueryModule
 from repro.pipeline.checkpoint import PipelineCheckpoint
-from repro.pipeline.executors import Executor, resolve_executor
+from repro.pipeline.executors import Executor, close_executor, resolve_executor
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
 from repro.pipeline.stages import AggregateStage, Stage, StageContext, WorkItem, default_stages
 from repro.scoring.compiled import ReferenceStore
 
-__all__ = ["EvaluationPipeline"]
+__all__ = ["EvaluationPipeline", "PreparedBatch"]
 
 #: Records are streamed out (and checkpointed) in batches of this size.
 DEFAULT_BATCH_SIZE = 32
+
+
+@dataclass
+class PreparedBatch:
+    """A batch that has cleared the generation-side stages but not scoring.
+
+    The pipeline's two wall-clock sinks are different resources — the
+    generation-side stages wait on the model (I/O), the scoring-side
+    stages burn CPU — and this split point is what lets the sharded
+    scheduler run them concurrently: one thread prepares batch *k+1* while
+    another finishes batch *k*.
+    """
+
+    requests: list[GenerationRequest]
+    cached: dict[int, EvaluationRecord] = field(default_factory=dict)
+    todo: list[int] = field(default_factory=list)
+    items: list[WorkItem] = field(default_factory=list)
 
 
 class EvaluationPipeline:
@@ -73,6 +91,9 @@ class EvaluationPipeline:
         run_unit_tests: bool = True,
         checkpoint: PipelineCheckpoint | str | None = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        rate_limit: float | None = None,
+        generate_executor: str | Executor | None = None,
+        lease_seconds: float | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -84,7 +105,18 @@ class EvaluationPipeline:
             else default_stages(self.query, store=store, run_unit_tests=run_unit_tests)
         )
         self.aggregate = AggregateStage()
-        self.context = StageContext(executor=resolve_executor(executor, max_workers))
+        # An executor resolved here from a spec string is owned by (and torn
+        # down with) this pipeline; an instance passed in is the caller's.
+        self._owns_executor = isinstance(executor, str)
+        self._owns_generate_executor = isinstance(generate_executor, str)
+        self.context = StageContext(
+            executor=resolve_executor(executor, max_workers, rate_limit, lease_seconds),
+            generate_executor=(
+                resolve_executor(generate_executor, max_workers, rate_limit, lease_seconds)
+                if generate_executor is not None
+                else None
+            ),
+        )
         self.checkpoint = (
             PipelineCheckpoint(checkpoint) if isinstance(checkpoint, str) else checkpoint
         )
@@ -112,21 +144,47 @@ class EvaluationPipeline:
             yield from self._run_batch(batch)
 
     def _run_batch(self, requests: list[GenerationRequest]) -> Iterator[EvaluationRecord]:
-        cached: dict[int, EvaluationRecord] = {}
-        todo: list[tuple[int, GenerationRequest]] = []
-        for index, request in enumerate(requests):
+        yield from self.finish_batch(self.prepare_batch(requests))
+
+    # -- the two halves of a batch (the sharded scheduler's overlap seam) --
+    def _front_back_stages(self) -> tuple[list[Stage], list[Stage]]:
+        """Split the chain at the score stage: I/O-bound front, CPU-bound back."""
+
+        for position, stage in enumerate(self.stages):
+            if getattr(stage, "name", "") == "score":
+                return list(self.stages[:position]), list(self.stages[position:])
+        return list(self.stages), []
+
+    def prepare_batch(self, requests: list[GenerationRequest]) -> PreparedBatch:
+        """Serve what the checkpoint has and run the generation-side stages
+        (everything before scoring) for the rest."""
+
+        prepared = PreparedBatch(requests=list(requests))
+        for index, request in enumerate(prepared.requests):
             record = self._cached_record(request)
             if record is not None:
-                cached[index] = record
+                prepared.cached[index] = record
             else:
-                todo.append((index, request))
+                prepared.todo.append(index)
+
+        if prepared.todo:
+            front, _ = self._front_back_stages()
+            items = [WorkItem(request=prepared.requests[index]) for index in prepared.todo]
+            for stage in front:
+                items = stage.process(items, self.context)
+            prepared.items = items
+        return prepared
+
+    def finish_batch(self, prepared: PreparedBatch) -> Iterator[EvaluationRecord]:
+        """Run the scoring-side stages, checkpoint, and yield in request order."""
 
         fresh: dict[int, EvaluationRecord] = {}
-        if todo:
-            items = [WorkItem(request=request) for _, request in todo]
-            for stage in self.stages:
+        if prepared.items:
+            _, back = self._front_back_stages()
+            items = prepared.items
+            for stage in back:
                 items = stage.process(items, self.context)
-            for (index, _), item in zip(todo, items):
+            for index, item in zip(prepared.todo, items):
                 fresh[index] = item.to_record()
 
         # Checkpoint the whole batch before yielding anything: the work is
@@ -138,8 +196,8 @@ class EvaluationPipeline:
             for record in fresh.values():
                 if not record.error:
                     self.checkpoint.put(record)
-        for index in range(len(requests)):
-            yield cached[index] if index in cached else fresh[index]
+        for index in range(len(prepared.requests)):
+            yield prepared.cached[index] if index in prepared.cached else fresh[index]
 
     def _cached_record(self, request: GenerationRequest) -> EvaluationRecord | None:
         if self.checkpoint is None:
@@ -155,3 +213,23 @@ class EvaluationPipeline:
 
         records = list(self.run_iter(requests))
         return self.aggregate.finalize(self.model.name, records)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release pooled resources: the query module's thread pool and —
+        when this pipeline resolved it from a spec string — the executor's
+        pool.  The pipeline stays usable; pools are rebuilt on demand."""
+
+        self.query.close()
+        if self._owns_executor:
+            close_executor(self.context.executor)
+        if self._owns_generate_executor and self.context.generate_executor is not None:
+            close_executor(self.context.generate_executor)
+
+    def __enter__(self) -> "EvaluationPipeline":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,327 @@
+"""Sharded evaluation: split a run across sub-pipelines and stream them.
+
+A full benchmark run is wall-clock-bound in two different places: the
+generate stage waits on (rate-limited) model endpoints, the score stage
+burns CPU on metrics and in-process unit tests.  Running them strictly
+stage-by-stage leaves one resource idle while the other works.  This
+module removes the barrier:
+
+* :class:`ShardPlan` splits a request list into ``N`` contiguous,
+  balanced shards.  Each shard is evaluated by its own sub-pipeline with
+  its own :class:`~repro.pipeline.checkpoint.PipelineCheckpoint`, so
+  shards resume independently and could even run on separate machines.
+* :class:`ShardedEvaluationPipeline` is the streaming scheduler: a
+  producer thread drives the generation-side stages (prompt → generate →
+  extract) shard by shard while the consuming thread scores — generation
+  of shard *k+1* overlaps scoring of shard *k* instead of the full-barrier
+  stage-by-stage pass.  Pair an async generation backend with a
+  process-pool scoring backend and both axes saturate at once.
+* :func:`merge_evaluations` recombines per-shard
+  :class:`~repro.pipeline.records.ModelEvaluation`s into the evaluation an
+  unsharded run would have produced, bit-identically: the split is
+  contiguous and every metric is a pure function, so shard count can
+  never change a ScoreCard.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, TypeVar
+
+from repro.llm.interface import GenerationRequest, Model
+from repro.pipeline.checkpoint import PipelineCheckpoint, shard_checkpoint_path
+from repro.pipeline.executors import Executor, close_executor, resolve_executor
+from repro.pipeline.pipeline import DEFAULT_BATCH_SIZE, EvaluationPipeline, PreparedBatch
+from repro.pipeline.records import EvaluationRecord, ModelEvaluation
+from repro.scoring.compiled import ReferenceStore
+
+__all__ = ["ShardPlan", "ShardedEvaluationPipeline", "merge_evaluations"]
+
+T = TypeVar("T")
+
+#: Producer→consumer queue sentinel marking a clean end of the stream.
+_DONE = object()
+
+
+class _ProducerFailure:
+    """An exception captured on the producer thread, re-raised on the consumer."""
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A contiguous, balanced split of ``total`` work units into shards.
+
+    Contiguity is the property that makes merging trivial *and* exact:
+    concatenating per-shard results in shard order reproduces the original
+    request order, so a sharded run streams records in exactly the same
+    sequence as an unsharded one.
+    """
+
+    total: int
+    num_shards: int
+
+    def __post_init__(self) -> None:
+        if self.total < 0:
+            raise ValueError("total must be >= 0")
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+
+    @classmethod
+    def for_size(cls, total: int, num_shards: int) -> "ShardPlan":
+        """A plan over ``total`` units, clamping away empty shards."""
+
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        return cls(total=total, num_shards=max(1, min(num_shards, total)))
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        """Per-shard sizes; they differ by at most one unit."""
+
+        base, extra = divmod(self.total, self.num_shards)
+        return tuple(base + (1 if index < extra else 0) for index in range(self.num_shards))
+
+    def bounds(self) -> tuple[tuple[int, int], ...]:
+        """Half-open ``(start, stop)`` index ranges of every shard."""
+
+        out: list[tuple[int, int]] = []
+        start = 0
+        for size in self.sizes:
+            out.append((start, start + size))
+            start += size
+        return tuple(out)
+
+    def shard_of(self, index: int) -> int:
+        """Which shard owns global work-unit ``index``."""
+
+        if not 0 <= index < self.total:
+            raise IndexError(f"index {index} out of range for {self.total} units")
+        for shard, (start, stop) in enumerate(self.bounds()):
+            if start <= index < stop:
+                return shard
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def split(self, items: Sequence[T]) -> list[list[T]]:
+        """Slice ``items`` into per-shard lists."""
+
+        if len(items) != self.total:
+            raise ValueError(f"expected {self.total} items, got {len(items)}")
+        return [list(items[start:stop]) for start, stop in self.bounds()]
+
+
+class ShardedEvaluationPipeline:
+    """Evaluate one model's requests as ``N`` overlapped sub-pipelines.
+
+    Parameters mirror :class:`~repro.pipeline.pipeline.EvaluationPipeline`
+    with three additions:
+
+    shards:
+        Number of sub-pipelines; each gets its own checkpoint file
+        (``<base>.shard-ii-of-nn``) derived from the ``checkpoint`` base
+        path.
+    generate_executor:
+        Optional separate backend for the generate stage (typically
+        ``"async"`` so remote-endpoint latencies overlap) while
+        ``executor`` backs scoring (typically ``"process"`` for CPU-bound
+        metric and unit-test work).
+    prefetch_batches:
+        How many prepared batches the generation thread may run ahead of
+        scoring; bounds memory while keeping the overlap saturated.
+
+    The streamed records — and therefore the merged
+    :class:`~repro.pipeline.records.ModelEvaluation` — are bit-identical
+    to an unsharded serial run over the same requests.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        *,
+        shards: int,
+        executor: str | Executor = "serial",
+        generate_executor: str | Executor | None = None,
+        max_workers: int = 1,
+        rate_limit: float | None = None,
+        lease_seconds: float | None = None,
+        store: ReferenceStore | None = None,
+        run_unit_tests: bool = True,
+        checkpoint: str | os.PathLike[str] | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        prefetch_batches: int = 2,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if prefetch_batches < 1:
+            raise ValueError("prefetch_batches must be >= 1")
+        if isinstance(checkpoint, PipelineCheckpoint):
+            raise TypeError(
+                "sharded runs derive one checkpoint file per shard; pass the base "
+                "path (str or PathLike), not a PipelineCheckpoint instance"
+            )
+        self.model = model
+        self.shards = shards
+        self.max_workers = max_workers
+        self.store = store or ReferenceStore()
+        self.run_unit_tests = run_unit_tests
+        self.checkpoint_base = checkpoint
+        self.batch_size = batch_size
+        self.prefetch_batches = prefetch_batches
+        # Executors are shared across every sub-pipeline so pools (threads,
+        # processes, event-loop rate limiter) are built once per run, and
+        # owned by this scheduler when resolved from spec strings.
+        self._owns_executor = isinstance(executor, str)
+        self._owns_generate_executor = isinstance(generate_executor, str)
+        self.executor = resolve_executor(executor, max_workers, rate_limit, lease_seconds)
+        self.generate_executor = (
+            resolve_executor(generate_executor, max_workers, rate_limit, lease_seconds)
+            if generate_executor is not None
+            else None
+        )
+        self._pipelines: list[EvaluationPipeline] = []
+
+    # ------------------------------------------------------------------
+    # Sub-pipeline assembly
+    # ------------------------------------------------------------------
+    def shard_checkpoint(self, index: int, num_shards: int) -> PipelineCheckpoint | None:
+        """The checkpoint of shard ``index``, or None when checkpointing is off."""
+
+        if self.checkpoint_base is None:
+            return None
+        return PipelineCheckpoint(shard_checkpoint_path(self.checkpoint_base, index, num_shards))
+
+    def _build_pipelines(self, plan: ShardPlan) -> list[EvaluationPipeline]:
+        pipelines = [
+            EvaluationPipeline(
+                self.model,
+                executor=self.executor,
+                generate_executor=self.generate_executor,
+                max_workers=self.max_workers,
+                store=self.store,
+                run_unit_tests=self.run_unit_tests,
+                checkpoint=self.shard_checkpoint(index, plan.num_shards),
+                batch_size=self.batch_size,
+            )
+            for index in range(plan.num_shards)
+        ]
+        self._pipelines = pipelines
+        return pipelines
+
+    # ------------------------------------------------------------------
+    # The streaming shard scheduler
+    # ------------------------------------------------------------------
+    def run_iter(self, requests: Iterable[GenerationRequest]) -> Iterator[EvaluationRecord]:
+        """Stream finished records in request order, overlapping shards.
+
+        A producer thread runs the generation-side half of every batch
+        (shard by shard, at most ``prefetch_batches`` ahead); this thread
+        scores and yields.  While shard *k*'s responses are being scored
+        here, shard *k+1*'s are already being generated over there — the
+        overlap that removes the full-barrier stage-by-stage pass.
+        """
+
+        request_list = list(requests)
+        plan = ShardPlan.for_size(len(request_list), self.shards)
+        shard_requests = plan.split(request_list)
+        pipelines = self._build_pipelines(plan)
+
+        handoff: queue_module.Queue = queue_module.Queue(maxsize=self.prefetch_batches)
+        stop = threading.Event()
+
+        def _put(entry: object) -> bool:
+            while not stop.is_set():
+                try:
+                    handoff.put(entry, timeout=0.05)
+                    return True
+                except queue_module.Full:
+                    continue
+            return False
+
+        def produce() -> None:
+            try:
+                for shard_index, pipeline in enumerate(pipelines):
+                    pending = shard_requests[shard_index]
+                    for start in range(0, len(pending), self.batch_size):
+                        batch = pending[start : start + self.batch_size]
+                        prepared = pipeline.prepare_batch(batch)
+                        if not _put((shard_index, prepared)):
+                            return
+            except BaseException as exc:  # noqa: BLE001 - relayed to the consumer
+                _put(_ProducerFailure(exc))
+            else:
+                _put(_DONE)
+
+        producer = threading.Thread(target=produce, name="shard-generator", daemon=True)
+        producer.start()
+        try:
+            while True:
+                entry = handoff.get()
+                if entry is _DONE:
+                    break
+                if isinstance(entry, _ProducerFailure):
+                    raise entry.error
+                shard_index, prepared = entry
+                yield from pipelines[shard_index].finish_batch(prepared)
+        finally:
+            # Reached on completion, on error, and when the consumer
+            # abandons the stream (the resumable-interrupt case): unblock
+            # and retire the producer before handing control back.
+            stop.set()
+            while True:
+                try:
+                    handoff.get_nowait()
+                except queue_module.Empty:
+                    break
+            producer.join(timeout=30.0)
+
+    def run(self, requests: Iterable[GenerationRequest]) -> ModelEvaluation:
+        """Evaluate every request and merge the shards' records."""
+
+        records = list(self.run_iter(requests))
+        return ModelEvaluation(model_name=self.model.name, records=records)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the sub-pipelines' query pools and any owned executors."""
+
+        for pipeline in self._pipelines:
+            pipeline.query.close()
+        if self._owns_executor:
+            close_executor(self.executor)
+        if self._owns_generate_executor and self.generate_executor is not None:
+            close_executor(self.generate_executor)
+
+    def __enter__(self) -> "ShardedEvaluationPipeline":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def merge_evaluations(evaluations: Sequence[ModelEvaluation]) -> ModelEvaluation:
+    """Recombine per-shard evaluations of one model, in shard order.
+
+    Because a :class:`ShardPlan` split is contiguous, concatenating the
+    shards' records reproduces the unsharded record order — and therefore
+    an unsharded run's :class:`~repro.pipeline.records.ModelEvaluation` —
+    bit-identically.  Use this when shards were evaluated independently
+    (separate processes or machines) rather than through
+    :class:`ShardedEvaluationPipeline`.
+    """
+
+    if not evaluations:
+        raise ValueError("no evaluations to merge")
+    names = {evaluation.model_name for evaluation in evaluations}
+    if len(names) > 1:
+        raise ValueError(f"cannot merge evaluations of different models: {sorted(names)}")
+    records: list[EvaluationRecord] = []
+    for evaluation in evaluations:
+        records.extend(evaluation.records)
+    return ModelEvaluation(model_name=evaluations[0].model_name, records=records)

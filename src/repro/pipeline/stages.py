@@ -20,12 +20,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence, runtime_checkable
 
+from repro.dataset.problem import Problem
 from repro.llm.interface import GenerationRequest, QueryModule
-from repro.pipeline.executors import Executor, SerialExecutor
+from repro.pipeline.executors import AsyncExecutor, Executor, SerialExecutor
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
 from repro.postprocess import extract_yaml
 from repro.scoring.aggregate import ScoreCard
-from repro.scoring.compiled import CompiledReference, ReferenceStore, score_extracted
+from repro.scoring.compiled import (
+    CompiledReference,
+    ReferenceStore,
+    ScoreTask,
+    run_score_task,
+    score_extracted,
+)
 
 __all__ = [
     "WorkItem",
@@ -82,9 +89,17 @@ class WorkItem:
 
 @dataclass(frozen=True)
 class StageContext:
-    """Run-scoped services a stage may use (currently: the executor)."""
+    """Run-scoped services a stage may use.
+
+    ``executor`` backs parallelisable stage work generally (in practice:
+    scoring).  ``generate_executor``, when set, overrides it for the
+    generate stage only — the two wall-clock sinks are different resources
+    (model querying waits on I/O, scoring burns CPU), so a run may pair an
+    async generation backend with a process-pool scoring backend.
+    """
 
     executor: Executor = field(default_factory=SerialExecutor)
+    generate_executor: Executor | None = None
 
 
 @runtime_checkable
@@ -119,6 +134,11 @@ class GenerateStage:
 
     Per-request failures are captured into the item's ``error`` field (the
     response stays empty and scores zero) instead of aborting the batch.
+    With an :class:`~repro.pipeline.executors.AsyncExecutor` configured,
+    the whole batch goes through ``query_batch_async`` — bounded
+    concurrency plus the executor's token bucket — so an
+    :class:`~repro.llm.interface.AsyncModel`'s request latencies overlap;
+    results are order-identical to the synchronous path either way.
     """
 
     name = "generate"
@@ -127,7 +147,24 @@ class GenerateStage:
         self.query = query
 
     def process(self, items: list[WorkItem], context: StageContext) -> list[WorkItem]:
-        results = self.query.query_batch([item.request for item in items])
+        requests = [item.request for item in items]
+        executor = context.generate_executor or context.executor
+        if isinstance(executor, AsyncExecutor):
+            results = executor.run(
+                self.query.query_batch_async(
+                    requests,
+                    max_concurrency=executor.max_concurrency,
+                    limiter=executor.limiter,
+                )
+            )
+        elif context.generate_executor is not None:
+            # An explicitly chosen generation backend is honored: requests
+            # fan out over it with per-request error capture, results in
+            # order.  (Process pools are rejected at config time — models
+            # are not picklable contracts.)
+            results = executor.map(self.query._query_captured, requests)
+        else:
+            results = self.query.query_batch(requests)
         for item, result in zip(items, results):
             item.model_name = result.model_name
             item.response = result.response
@@ -169,16 +206,36 @@ class ScoreStage:
         return score_extracted(compiled, extracted, self.run_unit_tests)
 
     def process(self, items: list[WorkItem], context: StageContext) -> list[WorkItem]:
-        pending: dict[tuple[str, str], tuple[CompiledReference, str]] = {}
+        pending: dict[tuple[str, str], tuple[Problem, str]] = {}
         for item in items:
             extracted = item.extracted if item.extracted is not None else extract_yaml(item.response)
             item.extracted = extracted
             key = (item.request.problem.problem_id, extracted)
             if key not in self._memo and key not in pending:
-                pending[key] = (self.store.get(item.request.problem), extracted)
+                pending[key] = (item.request.problem, extracted)
         if pending:
             keys = list(pending)
-            cards = context.executor.map(self._score_one, [pending[key] for key in keys])
+            if getattr(context.executor, "requires_picklable_tasks", False):
+                # Process-backed executors get self-contained envelopes: the
+                # raw problem pickles small, an already-compiled reference
+                # is shipped for free, and a cold one is compiled at most
+                # once per worker process.
+                envelopes = [
+                    ScoreTask(
+                        problem=problem,
+                        extracted=extracted,
+                        run_unit_tests=self.run_unit_tests,
+                        compiled=self.store.peek(problem),
+                    )
+                    for problem, extracted in (pending[key] for key in keys)
+                ]
+                cards = context.executor.map(run_score_task, envelopes)
+            else:
+                tasks = [
+                    (self.store.get(problem), extracted)
+                    for problem, extracted in (pending[key] for key in keys)
+                ]
+                cards = context.executor.map(self._score_one, tasks)
             self._memo.update(zip(keys, cards))
         for item in items:
             item.scores = self._memo[(item.request.problem.problem_id, item.extracted)]

@@ -46,11 +46,15 @@ from repro.yamlkit.parsing import YamlParseError, load_all_documents
 __all__ = [
     "CompiledReference",
     "ReferenceStore",
+    "ScoreTask",
     "compile_reference",
     "get_compiled_reference",
+    "peek_compiled_reference",
     "score_answer_compiled",
     "score_extracted",
     "score_batch",
+    "run_score_task",
+    "warm_reference_store",
 ]
 
 #: Attribute used to cache the compiled reference on the Problem instance.
@@ -134,6 +138,18 @@ def get_compiled_reference(problem: Problem) -> CompiledReference:
     return compiled
 
 
+def peek_compiled_reference(problem: Problem) -> CompiledReference | None:
+    """The instance-cached compiled reference, or None — never compiles.
+
+    Process-pool task envelopes use this to ship an already-paid-for
+    compilation to the worker instead of making the worker redo it, while
+    a cold problem ships bare (compiling in the parent here would
+    serialise exactly the work the pool exists to spread out).
+    """
+
+    return problem.__dict__.get(_CACHE_ATTR)
+
+
 class ReferenceStore:
     """A ProblemSet-level store of compiled references.
 
@@ -156,6 +172,13 @@ class ReferenceStore:
             compiled = get_compiled_reference(problem)
             self._by_key[key] = compiled
         return compiled
+
+    def peek(self, problem: Problem) -> CompiledReference | None:
+        """An already-compiled reference from this store or the instance
+        cache, or None — never triggers compilation."""
+
+        key = (problem.problem_id, problem.reference_yaml)
+        return self._by_key.get(key) or peek_compiled_reference(problem)
 
     def precompile(self, problems: Iterable[Problem]) -> "ReferenceStore":
         """Eagerly compile every problem's reference; returns self."""
@@ -220,6 +243,59 @@ def score_extracted(compiled: CompiledReference, extracted: str, run_unit_tests:
         extracted_yaml=extracted,
         failure_message=failure_message,
     )
+
+
+# ---------------------------------------------------------------------------
+# Process-pool scoring envelopes
+# ---------------------------------------------------------------------------
+
+#: The per-process reference store used by :func:`run_score_task`.  In a
+#: ``ProcessPoolExecutor`` worker this memoises compiled references across
+#: every task the worker handles (pickled ``Problem`` copies are distinct
+#: instances, so the per-instance cache alone would recompile per task).
+_PROCESS_STORE: ReferenceStore | None = None
+
+
+def warm_reference_store(problems: Iterable[Problem] = ()) -> ReferenceStore:
+    """Create (and optionally precompile) this process's reference store.
+
+    Intended as a ``ProcessPoolExecutor`` initializer: pass a problem
+    tuple via ``initargs`` and every worker compiles each reference once
+    at boot, moving all compilation off the scoring critical path.  Safe
+    to call repeatedly — later calls only add missing problems.
+    """
+
+    global _PROCESS_STORE
+    if _PROCESS_STORE is None:
+        _PROCESS_STORE = ReferenceStore()
+    return _PROCESS_STORE.precompile(problems)
+
+
+@dataclass(frozen=True)
+class ScoreTask:
+    """A picklable unit of scoring work for process-backed executors.
+
+    The envelope carries the raw ``Problem`` (pickled without its instance
+    caches, so it stays small) plus — when the parent process had already
+    compiled the reference — the compiled artifact itself: shipping a
+    paid-for compilation is pure IPC bytes, while recompiling it in every
+    worker is pure wasted CPU.  A cold problem ships bare and the
+    worker-side store compiles it at most once per process.
+    """
+
+    problem: Problem
+    extracted: str
+    run_unit_tests: bool = True
+    compiled: CompiledReference | None = None
+
+
+def run_score_task(task: ScoreTask) -> ScoreCard:
+    """Score one envelope, preferring its pre-shipped compiled reference."""
+
+    compiled = task.compiled
+    if compiled is None:
+        compiled = warm_reference_store().get(task.problem)
+    return score_extracted(compiled, task.extracted, task.run_unit_tests)
 
 
 # ---------------------------------------------------------------------------

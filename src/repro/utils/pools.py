@@ -1,0 +1,46 @@
+"""A lock-guarded, lazily created, restartable worker pool handle.
+
+Three components keep a persistent ``concurrent.futures`` pool alive
+across calls — the threaded and process executors and the query module —
+and all three need the same lifecycle: build the pool on first use, reuse
+it afterwards, shut it down on ``close()``, and transparently rebuild if
+used again.  :class:`LazyPool` is that lifecycle, written once.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Executor as FuturesExecutor
+from typing import Callable
+
+__all__ = ["LazyPool"]
+
+
+class LazyPool:
+    """Holds a ``concurrent.futures`` pool created on first :meth:`get`.
+
+    ``raw`` exposes the current pool (or ``None`` when closed/unbuilt) for
+    introspection; all access is serialised on an internal lock, so
+    concurrent first-use races build exactly one pool.
+    """
+
+    def __init__(self, factory: Callable[[], FuturesExecutor]) -> None:
+        self._factory = factory
+        self._lock = threading.Lock()
+        self.raw: FuturesExecutor | None = None
+
+    def get(self) -> FuturesExecutor:
+        """The live pool, building it if necessary."""
+
+        with self._lock:
+            if self.raw is None:
+                self.raw = self._factory()
+            return self.raw
+
+    def close(self) -> None:
+        """Shut the pool down (a later :meth:`get` rebuilds a fresh one)."""
+
+        with self._lock:
+            pool, self.raw = self.raw, None
+        if pool is not None:
+            pool.shutdown(wait=True)

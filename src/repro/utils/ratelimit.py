@@ -1,0 +1,99 @@
+"""A deterministic token-bucket rate limiter.
+
+Remote model endpoints meter requests per second; the paper's ray-based
+query module existed precisely to saturate those limits without tripping
+them.  :class:`TokenBucket` models that contract explicitly: a bucket of
+``burst`` tokens refilled at ``rate`` tokens per second, one token per
+request.
+
+The bucket runs against either clock:
+
+* **virtual** (the default) — time is advanced arithmetically instead of
+  sleeping, so a simulated "remote" run fast-forwards through its waits
+  and finishes in milliseconds while still accounting exactly how long a
+  real endpoint would have throttled it (``waited_seconds``).  This is
+  what keeps the async executor deterministic and test-fast.
+* **wall clock** — :meth:`acquire_async` actually sleeps, for use against
+  real rate-limited endpoints.
+
+Acquisition order is the caller's await order, so the same request
+sequence always observes the same waits regardless of clock mode.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Token-bucket limiter: ``rate`` requests/second with ``burst`` capacity."""
+
+    def __init__(self, rate: float, burst: int = 1, virtual_clock: bool = True) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = rate
+        self.burst = burst
+        self.virtual_clock = virtual_clock
+        self._tokens = float(burst)
+        self._clock = 0.0  # virtual seconds since construction
+        self._last_refill = 0.0
+        self._wall_start = time.monotonic()
+        # Acquisition is a read-modify-write of the token/clock state; the
+        # lock keeps accounting exact if two loops ever share one bucket.
+        self._mutex = threading.Lock()
+        #: Total throttle time accounted so far (virtual) or slept (wall).
+        self.waited_seconds = 0.0
+        self.acquired = 0
+
+    # -- clock -------------------------------------------------------------
+    def _now(self) -> float:
+        if self.virtual_clock:
+            return self._clock
+        return time.monotonic() - self._wall_start
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._last_refill)
+        self._tokens = min(float(self.burst), self._tokens + elapsed * self.rate)
+        self._last_refill = now
+
+    # -- acquisition -------------------------------------------------------
+    def try_acquire(self) -> float:
+        """Take one token, returning how long the caller must wait for it.
+
+        A return of ``0.0`` means the request may go immediately.  In
+        virtual-clock mode the wait is accounted (the clock jumps forward);
+        the caller never sleeps.
+        """
+
+        with self._mutex:
+            now = max(self._now(), self._last_refill)
+            self._refill(now)
+            self.acquired += 1
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return 0.0
+            wait = (1.0 - self._tokens) / self.rate
+            if self.virtual_clock:
+                # Fast-forward: the token exists at now + wait; spend it there.
+                self._clock = now + wait
+                self._refill(self._clock)
+                self._tokens -= 1.0
+            else:
+                self._tokens -= 1.0  # token is borrowed; the caller sleeps it off
+            self.waited_seconds += wait
+            return wait
+
+    async def acquire_async(self) -> float:
+        """Async acquire: sleeps on the wall clock, fast-forwards on the
+        virtual one.  Returns the wait that was (or would have been) paid."""
+
+        wait = self.try_acquire()
+        if wait > 0.0 and not self.virtual_clock:
+            await asyncio.sleep(wait)
+        return wait

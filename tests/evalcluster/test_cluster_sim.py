@@ -111,3 +111,39 @@ def test_cost_table_matches_paper_magnitudes(small_dataset, full_dataset):
     # The cheapest run is a couple of dollars, the priciest under ten.
     assert 0.5 < table["total:min"] < 3.0
     assert 5.0 < table["total:max"] < 12.0
+
+
+def test_images_fallback_handles_list_items():
+    """Regression: the line-scan fallback for malformed manifests missed
+    YAML list entries (``- image: nginx``), undercounting pulled images."""
+
+    from repro.evalcluster.simulation import _images_in_yaml
+    from repro.yamlkit.parsing import YamlParseError, load_all_documents
+
+    malformed = (
+        "spec:\n"
+        "  containers:\n"
+        "  - image: nginx:1.25\n"
+        "  - image: 'redis:7'\n"
+        '  - image: "mysql:8.0"\n'
+        "  - - image: busybox:1.36\n"
+        "  ports: [80,  # malformed: unclosed flow sequence\n"
+    )
+    with pytest.raises(YamlParseError):
+        load_all_documents(malformed)  # the fallback path is really taken
+    assert _images_in_yaml(malformed) == [
+        "nginx:1.25",
+        "redis:7",
+        "mysql:8.0",
+        "busybox:1.36",
+    ]
+
+
+def test_images_fallback_still_reads_mapping_lines():
+    from repro.evalcluster.simulation import _images_in_yaml
+    from repro.yamlkit.parsing import YamlParseError, load_all_documents
+
+    malformed = "image: nginx:latest\nports: [80,  # unclosed\n"
+    with pytest.raises(YamlParseError):
+        load_all_documents(malformed)
+    assert _images_in_yaml(malformed) == ["nginx:latest"]

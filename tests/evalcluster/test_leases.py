@@ -1,0 +1,144 @@
+"""Cluster fault tolerance: job leases and re-enqueue on worker death."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evalcluster.events import EventQueue, SharedLink
+from repro.evalcluster.master import EvaluationJob, Master
+from repro.evalcluster.registry_cache import PullThroughCache
+from repro.evalcluster.runtime import run_jobs
+from repro.evalcluster.worker import RealExecution, Worker
+
+
+class DyingWorker(Worker):
+    """Claims a job and then vanishes without reporting — a VM crash
+    between claim and report, the exact window leases exist for."""
+
+    def _run_job(self, job):
+        self.claimed_job_id = job.job_id
+
+
+def _worker(cls, index, master, events):
+    return cls(
+        worker_id=f"worker-{index:03d}",
+        master=master,
+        events=events,
+        internet=SharedLink(1000.0),
+        shared_cache=PullThroughCache(),
+        boot_seconds=0.0,
+        runner=RealExecution(),
+    )
+
+
+def test_dead_workers_job_is_reenqueued_and_completed():
+    casualties = []
+
+    def factory(index, master, events):
+        if index == 0:
+            worker = _worker(DyingWorker, index, master, events)
+            casualties.append(worker)
+            return worker
+        return _worker(Worker, index, master, events)
+
+    jobs = [
+        EvaluationJob(job_id=f"job-{i}", problem_id=f"p-{i}", payload=lambda i=i: i * 10)
+        for i in range(8)
+    ]
+    reports = run_jobs(jobs, num_workers=3, lease_seconds=60.0, worker_factory=factory)
+
+    assert all(report.passed for report in reports.values())
+    assert [reports[f"job-{i}"].result for i in range(8)] == [i * 10 for i in range(8)]
+    # The orphaned job was completed by a survivor, not the casualty.
+    orphan = casualties[0].claimed_job_id
+    assert reports[orphan].worker_id != casualties[0].worker_id
+
+
+def test_poisonous_job_is_reenqueued_exactly_once_then_failed():
+    """A job that kills every worker that touches it cannot starve the run:
+    one second chance, then the master records it as failed."""
+
+    def all_dying(index, master, events):
+        return _worker(DyingWorker, index, master, events)
+
+    reports = run_jobs(
+        [EvaluationJob(job_id="poison", problem_id="p-bad", payload=lambda: 1)],
+        num_workers=2,
+        lease_seconds=30.0,
+        worker_factory=all_dying,
+    )
+    assert not reports["poison"].passed
+    assert "lease expired twice" in reports["poison"].result
+    assert reports["poison"].worker_id == "master-reaper"
+
+
+def test_runs_without_leases_are_unchanged():
+    payload_jobs = [
+        EvaluationJob(job_id=f"j{i}", problem_id=f"p{i}", payload=lambda i=i: i) for i in range(6)
+    ]
+    assert [
+        run_jobs(payload_jobs, num_workers=2)[f"j{i}"].result for i in range(6)
+    ] == list(range(6))
+
+
+def test_master_claim_records_and_report_releases_lease():
+    master = Master(lease_seconds=30.0)
+    master.submit([EvaluationJob(job_id="j1", problem_id="p1")])
+    job = master.claim("w1", now=5.0)
+    assert job.job_id == "j1"
+    assert master.next_lease_expiry() == 35.0
+    master.report("j1", "w1", finished_at=10.0, passed=True)
+    assert master.next_lease_expiry() is None
+    assert master.reap_expired(now=100.0) == []
+
+
+def test_master_reap_before_deadline_is_a_noop():
+    master = Master(lease_seconds=30.0)
+    master.submit([EvaluationJob(job_id="j1", problem_id="p1")])
+    master.claim("w1", now=0.0)
+    assert master.reap_expired(now=29.9) == []
+    assert master.reap_expired(now=30.0) == ["j1"]
+    # Re-enqueued: claimable again with a fresh lease.
+    assert master.claim("w2", now=31.0).job_id == "j1"
+    assert master.next_lease_expiry() == 61.0
+
+
+def test_master_rejects_invalid_lease():
+    with pytest.raises(ValueError):
+        Master(lease_seconds=0.0)
+
+
+def test_lease_free_claims_track_no_lease():
+    master = Master()
+    master.submit([EvaluationJob(job_id="j1", problem_id="p1")])
+    master.claim()
+    assert master.next_lease_expiry() is None
+
+
+def test_stale_report_from_lease_loser_is_dropped():
+    """A late-but-alive worker whose lease expired must not overwrite the
+    report of the worker the job was re-assigned to."""
+
+    master = Master(lease_seconds=30.0)
+    master.submit([EvaluationJob(job_id="j1", problem_id="p1")])
+    master.claim("worker-A", now=0.0)
+    master.reap_expired(now=30.0)  # A lost the lease; job re-enqueued
+    master.claim("worker-B", now=31.0)
+
+    master.report("j1", "worker-A", finished_at=32.0, passed=True, result="stale")
+    assert master.result_of("j1") is None  # dropped
+
+    master.report("j1", "worker-B", finished_at=33.0, passed=True, result="fresh")
+    assert master.result_of("j1") == "fresh"
+    assert master.reports()["j1"].worker_id == "worker-B"
+
+
+def test_lease_seconds_reaches_cluster_executor_through_config():
+    from repro.core import BenchmarkConfig
+    from repro.pipeline.executors import resolve_executor
+
+    config = BenchmarkConfig(executor="cluster", lease_seconds=45.0)
+    executor = resolve_executor(config.executor, 2, lease_seconds=config.lease_seconds)
+    assert executor.lease_seconds == 45.0
+    with pytest.raises(ValueError):
+        BenchmarkConfig(lease_seconds=0.0)

@@ -1,0 +1,173 @@
+"""The async query path: AsyncModel, query_batch_async, rate limiting,
+the remote-endpoint adapter, and the persistent request pool."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.llm.interface import AsyncModel, GenerationRequest, QueryModule
+from repro.llm.registry import get_model
+from repro.llm.remote import RemoteEndpointModel
+from repro.utils.ratelimit import TokenBucket
+
+
+def _requests(problems, samples=1):
+    return [
+        GenerationRequest(problem=p, sample_index=s) for p in problems for s in range(samples)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# query_batch_async
+# ---------------------------------------------------------------------------
+
+def test_async_batch_matches_sync_batch(small_original_problems):
+    problems = list(small_original_problems)[:8]
+    module = QueryModule(get_model("gpt-4"), max_workers=4)
+    sync_results = module.query_batch(_requests(problems))
+    async_results = asyncio.run(module.query_batch_async(_requests(problems)))
+    assert async_results == sync_results
+
+
+def test_async_batch_uses_async_model_and_preserves_order(small_original_problems):
+    problems = list(small_original_problems)[:6]
+    remote = RemoteEndpointModel(get_model("gpt-4"), latency_seconds=0.01)
+    assert isinstance(remote, AsyncModel)
+    module = QueryModule(remote, max_workers=4)
+
+    start = time.perf_counter()
+    results = asyncio.run(module.query_batch_async(_requests(problems)))
+    elapsed = time.perf_counter() - start
+
+    plain = QueryModule(get_model("gpt-4")).query_batch(_requests(problems))
+    assert [r.response for r in results] == [r.response for r in plain]
+    # 6 requests x 10ms at concurrency 4 must beat the sequential 60ms.
+    assert elapsed < 6 * 0.01
+
+
+def test_async_batch_captures_per_request_errors(small_original_problems):
+    problems = list(small_original_problems)[:4]
+    flaky_id = problems[2].problem_id
+
+    class FlakyAsync:
+        name = "flaky"
+
+        def generate(self, problem, shots=0, sample_index=0):
+            return "spec: ok"
+
+        async def generate_async(self, problem, shots=0, sample_index=0):
+            if problem.problem_id == flaky_id:
+                raise ConnectionError("endpoint reset")
+            return "spec: ok"
+
+    results = asyncio.run(QueryModule(FlakyAsync(), max_workers=4).query_batch_async(_requests(problems)))
+    assert [bool(r.error) for r in results] == [False, False, True, False]
+    assert "ConnectionError" in results[2].error
+    assert results[2].response == ""
+
+
+def test_async_batch_rate_limiter_accounts_throttle_without_sleeping(small_original_problems):
+    problems = list(small_original_problems)[:10]
+    module = QueryModule(get_model("gpt-4"), max_workers=8)
+    limiter = TokenBucket(rate=100.0, burst=1, virtual_clock=True)
+
+    start = time.perf_counter()
+    results = asyncio.run(module.query_batch_async(_requests(problems), limiter=limiter))
+    elapsed = time.perf_counter() - start
+
+    assert len(results) == 10
+    assert limiter.acquired == 10
+    # 10 requests at 100 req/s from a burst-1 bucket: 9 waits of 10ms each,
+    # accounted on the virtual clock rather than slept.
+    assert limiter.waited_seconds == pytest.approx(0.09, rel=1e-6)
+    assert elapsed < 0.09  # fast-forwarded, not paid
+
+
+# ---------------------------------------------------------------------------
+# TokenBucket
+# ---------------------------------------------------------------------------
+
+def test_token_bucket_deterministic_waits():
+    bucket = TokenBucket(rate=2.0, burst=1, virtual_clock=True)
+    waits = [bucket.try_acquire() for _ in range(4)]
+    assert waits == [0.0, pytest.approx(0.5), pytest.approx(0.5), pytest.approx(0.5)]
+
+    again = TokenBucket(rate=2.0, burst=1, virtual_clock=True)
+    assert [again.try_acquire() for _ in range(4)] == waits
+
+
+def test_token_bucket_burst_capacity():
+    bucket = TokenBucket(rate=1.0, burst=3, virtual_clock=True)
+    assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+    assert bucket.try_acquire() == pytest.approx(1.0)
+
+
+def test_token_bucket_wall_clock_sleeps():
+    bucket = TokenBucket(rate=50.0, burst=1, virtual_clock=False)
+
+    async def drain():
+        for _ in range(3):
+            await bucket.acquire_async()
+
+    start = time.perf_counter()
+    asyncio.run(drain())
+    # Two throttled acquisitions at 50 req/s => ~40ms of real sleep.
+    assert time.perf_counter() - start >= 0.03
+
+
+def test_token_bucket_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=0)
+
+
+# ---------------------------------------------------------------------------
+# RemoteEndpointModel
+# ---------------------------------------------------------------------------
+
+def test_remote_endpoint_answers_identical_to_inner(small_original_problems):
+    problems = list(small_original_problems)[:5]
+    inner = get_model("gpt-3.5")
+    remote = RemoteEndpointModel(get_model("gpt-3.5"), latency_seconds=0.0)
+    for problem in problems:
+        assert remote.generate(problem) == inner.generate(problem)
+    assert remote.name == inner.name
+
+
+def test_remote_endpoint_latency_is_deterministic(small_original_problems):
+    problem = list(small_original_problems)[0]
+    a = RemoteEndpointModel(get_model("gpt-4"), latency_seconds=0.05, jitter_seconds=0.02, seed=3)
+    b = RemoteEndpointModel(get_model("gpt-4"), latency_seconds=0.05, jitter_seconds=0.02, seed=3)
+    assert a.request_latency(problem, 0) == b.request_latency(problem, 0)
+    assert 0.03 <= a.request_latency(problem, 0) <= 0.07
+    assert a.request_latency(problem, 0) != a.request_latency(problem, 1)
+
+
+# ---------------------------------------------------------------------------
+# Persistent pool lifecycle
+# ---------------------------------------------------------------------------
+
+def test_query_module_pool_is_persistent_across_batches(small_original_problems):
+    problems = list(small_original_problems)[:4]
+    module = QueryModule(get_model("gpt-4"), max_workers=2)
+    module.query_batch(_requests(problems))
+    pool_first = module._pool.raw
+    module.query_batch(_requests(problems))
+    assert module._pool.raw is pool_first  # not rebuilt per call
+
+    module.close()
+    assert module._pool.raw is None
+    # Usable after close: a fresh pool is built lazily.
+    assert len(module.query_batch(_requests(problems))) == 4
+
+
+def test_query_module_context_manager_closes_pool(small_original_problems):
+    problems = list(small_original_problems)[:3]
+    with QueryModule(get_model("gpt-4"), max_workers=2) as module:
+        module.query_batch(_requests(problems))
+        assert module._pool.raw is not None
+    assert module._pool.raw is None

@@ -1,0 +1,95 @@
+"""Acceptance: every executor backend and every shard count produces
+bit-identical ScoreCards on a seeded corpus sample.
+
+This is the contract that makes the backend/shard choice a pure
+performance knob: tasks are pure functions of their inputs and results
+come back in submission order, so ``serial``/``thread``/``cluster``/
+``async``/``process`` × ``shards ∈ {1, 4}`` can never change a score.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BenchmarkConfig, CloudEvalBenchmark
+from repro.pipeline.executors import EXECUTOR_NAMES
+
+MODEL = "gpt-3.5"
+SAMPLE_SIZE = 24
+
+
+@pytest.fixture(scope="module")
+def seeded_problems(small_dataset):
+    return list(small_dataset)[:SAMPLE_SIZE]
+
+
+@pytest.fixture(scope="module")
+def serial_baseline(small_dataset, seeded_problems):
+    benchmark = CloudEvalBenchmark(small_dataset, BenchmarkConfig(seed=7))
+    return benchmark.evaluate_model(MODEL, problems=seeded_problems)
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+@pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+def test_scorecards_identical_across_executors_and_shards(
+    small_dataset, seeded_problems, serial_baseline, executor, shards
+):
+    config = BenchmarkConfig(seed=7, executor=executor, max_workers=3, shards=shards)
+    evaluation = CloudEvalBenchmark(small_dataset, config).evaluate_model(
+        MODEL, problems=seeded_problems
+    )
+    assert [r.scores for r in evaluation.records] == [
+        r.scores for r in serial_baseline.records
+    ]
+    assert evaluation.records == serial_baseline.records
+
+
+def test_async_generate_with_process_scoring_identical(small_dataset, seeded_problems, serial_baseline):
+    """The combined I/O+CPU path (async generation, process scoring, sharded)
+    is still bit-identical — the headline configuration changes no score."""
+
+    config = BenchmarkConfig(
+        seed=7,
+        executor="process",
+        generate_executor="async",
+        max_workers=3,
+        shards=4,
+        rate_limit=10_000.0,
+    )
+    evaluation = CloudEvalBenchmark(small_dataset, config).evaluate_model(
+        MODEL, problems=seeded_problems
+    )
+    assert evaluation.records == serial_baseline.records
+
+
+def test_generate_executor_is_actually_used(small_dataset, seeded_problems, serial_baseline):
+    """An explicitly configured generation backend must carry the batch —
+    not be silently swapped for the query module's default path."""
+
+    from repro.pipeline.executors import ThreadedExecutor
+
+    class SpyThreaded(ThreadedExecutor):
+        calls = 0
+
+        def map(self, fn, tasks):
+            SpyThreaded.calls += 1
+            return super().map(fn, tasks)
+
+    from repro.pipeline import EvaluationPipeline
+    from repro.scoring.compiled import ReferenceStore
+
+    benchmark = CloudEvalBenchmark(small_dataset, BenchmarkConfig(seed=7))
+    model, requests = benchmark.requests(MODEL, problems=seeded_problems)
+    with SpyThreaded(max_workers=2) as spy:
+        pipeline = EvaluationPipeline(model, generate_executor=spy, store=ReferenceStore())
+        evaluation = pipeline.run(requests)
+        pipeline.close()
+    assert SpyThreaded.calls > 0
+    assert evaluation.records == serial_baseline.records
+
+
+def test_process_generation_rejected_at_config_time():
+    import pytest
+
+    with pytest.raises(ValueError, match="generate_executor"):
+        BenchmarkConfig(generate_executor="process")

@@ -6,23 +6,42 @@ import pytest
 
 from repro.core import BenchmarkConfig, CloudEvalBenchmark
 from repro.pipeline.executors import (
+    AsyncExecutor,
     ClusterExecutor,
+    ProcessExecutor,
     SerialExecutor,
     ThreadedExecutor,
+    close_executor,
     resolve_executor,
 )
 
 MODELS = ["gpt-4", "llama-2-70b-chat"]
 
 
+def _square(x):
+    """Module-level so the process backend can pickle it."""
+
+    return x * x
+
+
 @pytest.mark.parametrize(
     "executor",
-    [SerialExecutor(), ThreadedExecutor(max_workers=4), ClusterExecutor(num_workers=4)],
-    ids=["serial", "thread", "cluster"],
+    [
+        SerialExecutor(),
+        ThreadedExecutor(max_workers=4),
+        ClusterExecutor(num_workers=4),
+        AsyncExecutor(max_concurrency=4),
+        AsyncExecutor(max_concurrency=4, rate_limit=1000.0),
+        ProcessExecutor(max_workers=2),
+    ],
+    ids=["serial", "thread", "cluster", "async", "async-throttled", "process"],
 )
 def test_map_preserves_order(executor):
     tasks = list(range(37))
-    assert executor.map(lambda x: x * x, tasks) == [x * x for x in tasks]
+    try:
+        assert executor.map(_square, tasks) == [x * x for x in tasks]
+    finally:
+        close_executor(executor)
 
 
 def test_cluster_executor_surfaces_task_failure():
@@ -42,10 +61,69 @@ def test_cluster_executor_more_workers_same_results():
     assert one == many
 
 
+def test_async_executor_awaits_coroutine_functions():
+    async def double(x):
+        return x * 2
+
+    assert AsyncExecutor(max_concurrency=3).map(double, list(range(10))) == [
+        x * 2 for x in range(10)
+    ]
+
+
+def test_async_executor_map_does_not_consume_the_request_budget():
+    """The token bucket meters endpoint requests (the generate path), not
+    generic stage work: mapping CPU tasks must leave the budget untouched,
+    or scoring would double-count every record against the endpoint."""
+
+    executor = AsyncExecutor(max_concurrency=8, rate_limit=100.0)
+    assert executor.map(_square, list(range(20))) == [x * x for x in range(20)]
+    assert executor.limiter is not None
+    assert executor.limiter.acquired == 0
+    assert executor.limiter.waited_seconds == 0.0
+
+
+def test_threaded_executor_pool_is_persistent_until_closed():
+    with ThreadedExecutor(max_workers=2) as executor:
+        executor.map(_square, list(range(8)))
+        first = executor._pool.raw
+        executor.map(_square, list(range(8)))
+        assert executor._pool.raw is first
+    assert executor._pool.raw is None
+    # Still usable after close — the pool is rebuilt lazily.
+    assert executor.map(_square, [3]) == [9]
+    close_executor(executor)
+
+
+def test_process_executor_is_persistent_and_chunked():
+    with ProcessExecutor(max_workers=2) as executor:
+        assert executor.map(_square, list(range(25))) == [x * x for x in range(25)]
+        first = executor._pool.raw
+        assert executor.map(_square, list(range(5))) == [x * x for x in range(5)]
+        assert executor._pool.raw is first
+        assert executor.map(_square, []) == []
+    assert executor._pool.raw is None
+
+
+def test_process_executor_warm_requires_fresh_pool(small_original_problems):
+    executor = ProcessExecutor(max_workers=1)
+    executor.map(_square, [1, 2])
+    with pytest.raises(RuntimeError, match="before the first map"):
+        executor.warm(list(small_original_problems)[:2])
+    executor.close()
+    # After close the pool is gone and warm() applies to the next one.
+    executor.warm(list(small_original_problems)[:2])
+    assert executor.map(_square, [4]) == [16]
+    executor.close()
+
+
 def test_resolve_executor_specs():
     assert isinstance(resolve_executor("serial"), SerialExecutor)
     assert isinstance(resolve_executor("thread", 8), ThreadedExecutor)
     assert isinstance(resolve_executor("cluster", 8), ClusterExecutor)
+    assert isinstance(resolve_executor("async", 8), AsyncExecutor)
+    assert isinstance(resolve_executor("process", 2), ProcessExecutor)
+    resolved = resolve_executor("async", 8, rate_limit=50.0)
+    assert resolved.limiter is not None and resolved.limiter.rate == 50.0
     custom = SerialExecutor()
     assert resolve_executor(custom) is custom
     with pytest.raises(ValueError):
@@ -57,6 +135,10 @@ def test_invalid_worker_counts_rejected():
         ThreadedExecutor(max_workers=0)
     with pytest.raises(ValueError):
         ClusterExecutor(num_workers=0)
+    with pytest.raises(ValueError):
+        AsyncExecutor(max_concurrency=0)
+    with pytest.raises(ValueError):
+        ProcessExecutor(max_workers=0)
 
 
 def test_cluster_executor_determinism_vs_serial(small_dataset):

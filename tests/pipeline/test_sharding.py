@@ -1,0 +1,188 @@
+"""The sharded evaluation layer: plans, streaming overlap, merge, resume."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.llm.interface import GenerationRequest
+from repro.llm.registry import get_model
+from repro.pipeline import (
+    EvaluationPipeline,
+    PipelineCheckpoint,
+    ShardPlan,
+    ShardedEvaluationPipeline,
+    merge_evaluations,
+    shard_checkpoint_path,
+)
+from repro.pipeline.records import ModelEvaluation
+from repro.scoring.compiled import ReferenceStore
+
+
+def _requests(problems):
+    return [GenerationRequest(problem=p) for p in problems]
+
+
+# ---------------------------------------------------------------------------
+# ShardPlan
+# ---------------------------------------------------------------------------
+
+def test_shard_plan_sizes_are_balanced_and_exhaustive():
+    plan = ShardPlan.for_size(10, 4)
+    assert plan.sizes == (3, 3, 2, 2)
+    assert sum(plan.sizes) == plan.total
+    assert plan.bounds() == ((0, 3), (3, 6), (6, 8), (8, 10))
+
+
+def test_shard_plan_split_is_contiguous_and_order_preserving():
+    plan = ShardPlan.for_size(11, 3)
+    items = list(range(11))
+    shards = plan.split(items)
+    assert [x for shard in shards for x in shard] == items
+    assert [plan.shard_of(i) for i in (0, 3, 4, 7, 8, 10)] == [0, 0, 1, 1, 2, 2]
+
+
+def test_shard_plan_clamps_empty_shards():
+    assert ShardPlan.for_size(2, 8).num_shards == 2
+    assert ShardPlan.for_size(0, 8).num_shards == 1
+    with pytest.raises(ValueError):
+        ShardPlan.for_size(5, 0)
+    with pytest.raises(ValueError):
+        ShardPlan.for_size(5, 3).split([1, 2])
+
+
+def test_shard_checkpoint_path_is_stable_and_bounded(tmp_path):
+    base = tmp_path / "run.ckpt.jsonl"
+    assert shard_checkpoint_path(base, 2, 4).name == "run.ckpt.jsonl.shard-02-of-04"
+    with pytest.raises(ValueError):
+        shard_checkpoint_path(base, 4, 4)
+
+
+# ---------------------------------------------------------------------------
+# Streaming scheduler
+# ---------------------------------------------------------------------------
+
+def test_sharded_run_matches_unsharded(small_original_problems):
+    problems = list(small_original_problems)[:20]
+    truth = EvaluationPipeline(get_model("gpt-4"), store=ReferenceStore()).run(_requests(problems))
+    with ShardedEvaluationPipeline(
+        get_model("gpt-4"), shards=4, store=ReferenceStore(), batch_size=3
+    ) as sharded:
+        evaluation = sharded.run(_requests(problems))
+    assert evaluation.records == truth.records
+    assert evaluation.model_name == truth.model_name
+
+
+def test_sharded_streaming_preserves_request_order(small_original_problems):
+    problems = list(small_original_problems)[:15]
+    with ShardedEvaluationPipeline(
+        get_model("gpt-3.5"), shards=3, store=ReferenceStore(), batch_size=2
+    ) as sharded:
+        streamed = list(sharded.run_iter(_requests(problems)))
+    assert [r.problem_id for r in streamed] == [p.problem_id for p in problems]
+
+
+def test_sharded_rejects_checkpoint_instances(tmp_path):
+    with pytest.raises(TypeError, match="base"):
+        ShardedEvaluationPipeline(
+            get_model("gpt-4"),
+            shards=2,
+            checkpoint=PipelineCheckpoint(tmp_path / "x.jsonl"),
+        )
+
+
+def test_producer_error_propagates_to_consumer(small_original_problems):
+    class Exploding:
+        name = "gpt-4"
+
+        def generate(self, problem, shots=0, sample_index=0):
+            raise KeyboardInterrupt("user abort")  # not caught by error capture
+
+    with ShardedEvaluationPipeline(Exploding(), shards=2, store=ReferenceStore()) as sharded:
+        with pytest.raises(KeyboardInterrupt, match="user abort"):
+            list(sharded.run_iter(_requests(list(small_original_problems)[:4])))
+
+
+# ---------------------------------------------------------------------------
+# merge_evaluations
+# ---------------------------------------------------------------------------
+
+def test_merge_of_independently_run_shards_is_bit_identical(small_original_problems):
+    problems = list(small_original_problems)[:18]
+    requests = _requests(problems)
+    truth = EvaluationPipeline(get_model("gpt-4"), store=ReferenceStore()).run(requests)
+
+    plan = ShardPlan.for_size(len(requests), 4)
+    shard_evaluations = [
+        EvaluationPipeline(get_model("gpt-4"), store=ReferenceStore()).run(chunk)
+        for chunk in plan.split(requests)
+    ]
+    merged = merge_evaluations(shard_evaluations)
+    assert merged.records == truth.records
+    assert merged.mean_scores() == truth.mean_scores()
+
+
+def test_merge_rejects_mixed_models_and_empty_input():
+    with pytest.raises(ValueError, match="no evaluations"):
+        merge_evaluations([])
+    with pytest.raises(ValueError, match="different models"):
+        merge_evaluations([ModelEvaluation(model_name="a"), ModelEvaluation(model_name="b")])
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: kill + resume
+# ---------------------------------------------------------------------------
+
+def test_killed_sharded_run_resumes_to_identical_evaluation(tmp_path, small_original_problems):
+    """Resuming a killed sharded run from its per-shard checkpoints
+    reproduces the uninterrupted run's ModelEvaluation exactly."""
+
+    problems = list(small_original_problems)[:24]
+    requests = _requests(problems)
+    truth = EvaluationPipeline(get_model("gpt-4"), store=ReferenceStore()).run(requests)
+
+    base = tmp_path / "sharded.ckpt.jsonl"
+    first = ShardedEvaluationPipeline(
+        get_model("gpt-4"), shards=4, store=ReferenceStore(), checkpoint=base, batch_size=3
+    )
+    # "Kill" the run: consume part of the stream, then abandon the generator.
+    consumed = list(itertools.islice(first.run_iter(requests), 10))
+    first.close()
+    assert [r.problem_id for r in consumed] == [p.problem_id for p in problems[:10]]
+
+    # Some shards checkpointed work, and none checkpointed everything.
+    per_shard = [len(PipelineCheckpoint(shard_checkpoint_path(base, i, 4))) for i in range(4)]
+    assert sum(per_shard) >= len(consumed)
+    assert sum(per_shard) < len(requests)
+
+    resumed = ShardedEvaluationPipeline(
+        get_model("gpt-4"), shards=4, store=ReferenceStore(), checkpoint=base, batch_size=3
+    )
+    evaluation = resumed.run(requests)
+    resumed.close()
+    assert evaluation.records == truth.records
+
+
+def test_resume_with_different_executors_still_identical(tmp_path, small_original_problems):
+    """A run interrupted under one backend can resume under another."""
+
+    problems = list(small_original_problems)[:12]
+    requests = _requests(problems)
+    truth = EvaluationPipeline(get_model("gpt-3.5"), store=ReferenceStore()).run(requests)
+
+    base = tmp_path / "swap.ckpt.jsonl"
+    first = ShardedEvaluationPipeline(
+        get_model("gpt-3.5"), shards=3, executor="thread", max_workers=2,
+        store=ReferenceStore(), checkpoint=base, batch_size=2,
+    )
+    list(itertools.islice(first.run_iter(requests), 5))
+    first.close()
+
+    second = ShardedEvaluationPipeline(
+        get_model("gpt-3.5"), shards=3, executor="async", generate_executor="async",
+        max_workers=4, store=ReferenceStore(), checkpoint=base, batch_size=2,
+    )
+    evaluation = second.run(requests)
+    second.close()
+    assert evaluation.records == truth.records
