@@ -6,8 +6,12 @@ builds the generation requests, assembles an
 :class:`~repro.pipeline.pipeline.EvaluationPipeline` (prompt → generate →
 extract → score) and aggregates the streamed records into per-model and
 per-benchmark summaries that the analysis layer turns into the paper's
-tables and figures.  The ``evaluate_model`` / ``evaluate_models`` API and
-its ScoreCard output are unchanged from the pre-pipeline driver.
+tables and figures.  ``evaluate_models`` runs the whole leaderboard
+through the :class:`~repro.pipeline.scheduler.MultiModelScheduler` —
+every model's shards interleaved over one shared generation executor and
+one shared scoring pool — and is bit-identical to sequential
+``evaluate_model`` calls.  The ScoreCard output is unchanged from the
+pre-pipeline driver.
 
 :class:`EvaluationRecord` and :class:`ModelEvaluation` live in
 :mod:`repro.pipeline.records` and are re-exported here for compatibility.
@@ -18,15 +22,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+import os
+
 from repro.core.config import BenchmarkConfig
 from repro.dataset.problem import Problem, ProblemSet
 from repro.dataset.schema import Variant
+from repro.evalcluster.cost import CostModel
 from repro.llm.interface import GenerationRequest, Model
 from repro.llm.registry import ENGLISH_ONLY_MODELS, available_models, calibrate_models, get_model
 from repro.llm.simulated import SimulatedModel
-from repro.pipeline.checkpoint import PipelineCheckpoint
+from repro.pipeline.checkpoint import PipelineCheckpoint, model_checkpoint_base
 from repro.pipeline.pipeline import EvaluationPipeline
+from repro.pipeline.planner import ShardPlanner, resolve_planner
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
+from repro.pipeline.scheduler import ModelJob, MultiModelScheduler
 from repro.pipeline.sharding import ShardedEvaluationPipeline
 from repro.scoring.compiled import ReferenceStore
 
@@ -46,10 +55,15 @@ class BenchmarkResult:
         return self.evaluations[model_name]
 
     def leaderboard(self) -> list[tuple[str, dict[str, float]]]:
-        """(model, mean scores) rows sorted by descending unit-test score."""
+        """(model, mean scores) rows sorted by descending unit-test score.
+
+        Ties break deterministically on the model name, so a leaderboard
+        rendered from the same evaluations is stable across runs and
+        across the sequential/interleaved evaluation paths.
+        """
 
         rows = [(name, evaluation.mean_scores()) for name, evaluation in self.evaluations.items()]
-        return sorted(rows, key=lambda row: row[1]["unit_test"], reverse=True)
+        return sorted(rows, key=lambda row: (-row[1]["unit_test"], row[0]))
 
     def all_records(self) -> list[EvaluationRecord]:
         return [record for evaluation in self.evaluations.values() for record in evaluation.records]
@@ -64,6 +78,26 @@ class CloudEvalBenchmark:
         # Compiled references are shared across every model evaluated by
         # this benchmark: each problem's reference is parsed exactly once.
         self._references = ReferenceStore()
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def cost_model(self) -> CostModel:
+        """The Figure 5 / Table 3 cost model over this benchmark's dataset."""
+
+        return CostModel(self.dataset)
+
+    def planner(self) -> ShardPlanner:
+        """The shard planner the configuration selects.
+
+        An explicit ``config.planner`` wins; otherwise ``shard_by``
+        chooses count balance or predicted-cost balance seeded with this
+        benchmark's cost model.
+        """
+
+        return resolve_planner(
+            self.config.planner, self.config.shard_by, cost_model=self.cost_model()
+        )
 
     # ------------------------------------------------------------------
     # Model resolution
@@ -124,6 +158,7 @@ class CloudEvalBenchmark:
             store=self._references,
             run_unit_tests=self.config.run_unit_tests,
             checkpoint=checkpoint,
+            batch_size=self.config.batch_size,
         )
 
     def sharded_pipeline(
@@ -137,6 +172,7 @@ class CloudEvalBenchmark:
         return ShardedEvaluationPipeline(
             model,
             shards=self.config.shards,
+            planner=self.planner(),
             executor=self.config.executor,
             generate_executor=self.config.generate_executor,
             max_workers=self.config.max_workers,
@@ -145,6 +181,7 @@ class CloudEvalBenchmark:
             store=self._references,
             run_unit_tests=self.config.run_unit_tests,
             checkpoint=checkpoint,
+            batch_size=self.config.batch_size,
         )
 
     # ------------------------------------------------------------------
@@ -187,13 +224,59 @@ class CloudEvalBenchmark:
         problems: Iterable[Problem] | None = None,
         shots: int | None = None,
         samples: int | None = None,
+        checkpoint: str | os.PathLike[str] | None = None,
     ) -> BenchmarkResult:
-        """Evaluate several models (default: all twelve from the registry)."""
+        """Evaluate several models (default: all twelve from the registry).
+
+        The whole leaderboard runs through one
+        :class:`~repro.pipeline.scheduler.MultiModelScheduler`: every
+        model's planned shards interleave over one shared generation
+        executor and one shared scoring pool, so the endpoint and the CPU
+        stay busy simultaneously instead of one model at a time.  Each
+        ``(model, shard)`` pair keeps its own checkpoint file derived from
+        the ``checkpoint`` base path, making a killed leaderboard run
+        resumable.  The per-model evaluations are bit-identical to
+        sequential :meth:`evaluate_model` calls for every executor backend
+        and planner.
+        """
 
         names = list(models) if models is not None else available_models()
         problem_list = list(problems) if problems is not None else None
-        result = BenchmarkResult()
+        jobs: list[ModelJob] = []
+        scheduled: set[str] = set()
         for model in names:
-            evaluation = self.evaluate_model(model, problems=problem_list, shots=shots, samples=samples)
-            result.evaluations[evaluation.model_name] = evaluation
+            resolved, requests = self.requests(
+                model, problems=problem_list, shots=shots, samples=samples
+            )
+            if resolved.name in scheduled:
+                # Evaluation is deterministic, so a repeated model would
+                # reproduce the same records; schedule it once (the
+                # pre-scheduler driver evaluated it twice and kept one).
+                continue
+            scheduled.add(resolved.name)
+            base = (
+                model_checkpoint_base(checkpoint, resolved.name)
+                if checkpoint is not None
+                else None
+            )
+            jobs.append(ModelJob(resolved, requests, checkpoint=base))
+        scheduler = MultiModelScheduler(
+            jobs,
+            shards=self.config.shards,
+            planner=self.planner(),
+            executor=self.config.executor,
+            generate_executor=self.config.generate_executor,
+            max_workers=self.config.max_workers,
+            rate_limit=self.config.rate_limit,
+            lease_seconds=self.config.lease_seconds,
+            store=self._references,
+            run_unit_tests=self.config.run_unit_tests,
+            batch_size=self.config.batch_size,
+        )
+        try:
+            evaluations = scheduler.run()
+        finally:
+            scheduler.close()
+        result = BenchmarkResult()
+        result.evaluations.update(evaluations)
         return result

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.dataset.schema import Variant
 from repro.pipeline.executors import EXECUTOR_NAMES, GENERATE_EXECUTOR_NAMES
+from repro.pipeline.pipeline import DEFAULT_BATCH_SIZE
+from repro.pipeline.planner import PLANNER_NAMES, ShardPlanner
 
 __all__ = ["BenchmarkConfig"]
 
@@ -60,11 +62,28 @@ class BenchmarkConfig:
         sub-pipelines (one checkpoint file per shard) and streams them so
         generation of one shard overlaps scoring of the previous one.
         ScoreCards are identical for every shard count.
+    shard_by:
+        Where the contiguous shard cuts land: ``"count"`` balances shards
+        by request count (the default), ``"cost"`` balances them by the
+        Figure 5 model's predicted seconds — base execution time plus
+        image-pull time with warm registry-cache hits — so heterogeneous
+        shards finish together.  The cuts move but the records do not:
+        ScoreCards are identical for either policy.
+    planner:
+        Escape hatch overriding ``shard_by`` with a custom
+        :class:`~repro.pipeline.planner.ShardPlanner` instance (anything
+        with a ``plan(requests, num_shards) -> ShardPlan`` method that
+        returns contiguous plans).
     rate_limit:
         Requests per second granted to the async backend's token bucket
         (``None`` = unthrottled).  The bucket runs on a deterministic
         virtual clock, so simulated endpoints account their throttle time
         without sleeping.
+    batch_size:
+        Streaming granularity of the pipeline: records are generated,
+        scored and checkpointed in batches of this size.  Smaller batches
+        checkpoint more often; larger ones amortise stage overhead.
+        Batching can never change a score.
     """
 
     seed: int = 7
@@ -77,8 +96,11 @@ class BenchmarkConfig:
     executor: str = "serial"
     generate_executor: str | None = None
     shards: int = 1
+    shard_by: str = "count"
+    planner: ShardPlanner | None = None
     rate_limit: float | None = None
     lease_seconds: float | None = None
+    batch_size: int = DEFAULT_BATCH_SIZE
 
     def __post_init__(self) -> None:
         if self.shots < 0 or self.shots > 3:
@@ -93,7 +115,13 @@ class BenchmarkConfig:
             raise ValueError(f"generate_executor must be one of {GENERATE_EXECUTOR_NAMES}")
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
+        if self.shard_by not in PLANNER_NAMES:
+            raise ValueError(f"shard_by must be one of {PLANNER_NAMES}")
+        if self.planner is not None and not callable(getattr(self.planner, "plan", None)):
+            raise ValueError("planner must expose a plan(requests, num_shards) method")
         if self.rate_limit is not None and self.rate_limit <= 0:
             raise ValueError("rate_limit must be positive")
         if self.lease_seconds is not None and self.lease_seconds <= 0:
             raise ValueError("lease_seconds must be positive")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")

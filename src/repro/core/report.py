@@ -2,20 +2,65 @@
 
 from __future__ import annotations
 
-from repro.core.benchmark import BenchmarkResult
+from repro.core.benchmark import BenchmarkResult, ModelEvaluation
+from repro.evalcluster.cost import CostModel
 from repro.scoring.aggregate import METRIC_NAMES
 
 __all__ = ["format_leaderboard"]
 
+#: Header of the optional predicted-cost column (seconds of evaluation
+#: cluster time the Figure 5 model predicts for the model's problem set).
+_COST_HEADER = "pred_eval_s"
 
-def format_leaderboard(result: BenchmarkResult, title: str = "Zero-shot benchmark") -> str:
-    """Render a Table 4-style leaderboard as aligned text."""
+
+def _predicted_evaluation_seconds(evaluation: ModelEvaluation, cost_model: CostModel) -> float:
+    """Figure 5-predicted seconds to evaluate this model's problem set.
+
+    Problems are taken from the evaluation's first-sample records (so an
+    English-only model that skipped translated questions is priced for
+    exactly what it ran), deduplicated in record order, and accounted with
+    a warm image cache across the run.
+    """
+
+    dataset = cost_model.dataset
+    if dataset is None:
+        raise ValueError("the predicted-cost column needs a CostModel built with a dataset")
+    problems = []
+    seen: set[str] = set()
+    for record in evaluation.first_samples():
+        if record.problem_id in seen:
+            continue
+        seen.add(record.problem_id)
+        try:
+            problems.append(dataset.get(record.problem_id))
+        except KeyError:
+            continue  # evaluated against a different corpus; price what we know
+    return cost_model.predict_problems_seconds(problems)
+
+
+def format_leaderboard(
+    result: BenchmarkResult,
+    title: str = "Zero-shot benchmark",
+    cost_model: CostModel | None = None,
+) -> str:
+    """Render a Table 4-style leaderboard as aligned text.
+
+    Rows are ranked by unit-test score with deterministic name
+    tie-breaking.  With a ``cost_model``, a ``pred_eval_s`` column is
+    appended: the Figure 5-predicted seconds of evaluation cluster time
+    for each model's problem set (warm image cache across the run).
+    """
 
     lines = [title, ""]
     header = f"{'#':<4}{'Model':<26}" + "".join(f"{name:>14}" for name in METRIC_NAMES)
+    if cost_model is not None:
+        header += f"{_COST_HEADER:>14}"
     lines.append(header)
     lines.append("-" * len(header))
     for rank, (model, scores) in enumerate(result.leaderboard(), start=1):
         row = f"{rank:<4}{model:<26}" + "".join(f"{scores[name]:>14.3f}" for name in METRIC_NAMES)
+        if cost_model is not None:
+            seconds = _predicted_evaluation_seconds(result[model], cost_model)
+            row += f"{seconds:>14.1f}"
         lines.append(row)
     return "\n".join(lines)

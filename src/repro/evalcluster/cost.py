@@ -1,6 +1,7 @@
-"""Running-cost model of the benchmark (Table 3, §3.4).
+"""Running-cost model of the benchmark (Table 3, §3.4) and the per-problem
+wall-clock predictor behind cost-aware shard planning (Figure 5).
 
-Two cost components are modelled:
+Three cost components are modelled:
 
 * **LLM inference** — per-token pricing for API models (GPT-3.5) and
   per-second GPU pricing for models served through replicate.com
@@ -8,13 +9,23 @@ Two cost components are modelled:
 * **Cloud evaluation** — the GCP bill for the evaluation cluster: number of
   instances × hourly price × the wall-clock hours predicted by the
   Figure 5 simulation (or taken from its published measurements).
+* **Per-problem seconds** — :meth:`CostModel.predict_problem_seconds`
+  turns the Figure 5 timing model into a deterministic per-problem
+  prediction: the measured base execution time plus image-pull time over
+  the shared uplink, with warm registry-cache hits (images already pulled
+  by an earlier problem in the same shard) priced at zero.  The shard
+  planner uses it to split a run so shards *finish together* instead of
+  merely holding the same number of requests.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Iterable
 
-from repro.dataset.problem import ProblemSet
+from repro.dataset.problem import Problem, ProblemSet
+from repro.evalcluster.simulation import ClusterSimulationConfig, job_base_seconds, job_images
+from repro.kubesim.images import image_size_mb, normalize_image
 
 __all__ = ["CostModel", "InferenceOption", "EvaluationOption", "benchmark_cost_table"]
 
@@ -57,17 +68,95 @@ DEFAULT_EVALUATION_OPTIONS: tuple[EvaluationOption, ...] = (
 
 @dataclass
 class CostModel:
-    """Compute the cost of one full benchmark run over a dataset."""
+    """Compute the cost of one full benchmark run over a dataset.
 
-    dataset: ProblemSet
+    ``dataset`` feeds the token accounting of Table 3; the per-problem
+    wall-clock predictor (:meth:`predict_problem_seconds`) works on any
+    problem and only needs ``simulation`` — the Figure 5 timing
+    parameters — so a planner may build a dataset-less ``CostModel()``.
+    """
+
+    dataset: ProblemSet | None = None
     prompt_overhead_tokens: int = 90  # the shared prompt template
+    simulation: ClusterSimulationConfig = field(default_factory=ClusterSimulationConfig)
 
     # -- token accounting ---------------------------------------------------
+    def _dataset(self) -> ProblemSet:
+        if self.dataset is None:
+            raise ValueError("token accounting needs a CostModel built with a dataset")
+        return self.dataset
+
     def total_prompt_tokens(self) -> int:
-        return sum(p.question_tokens() + self.prompt_overhead_tokens for p in self.dataset)
+        return sum(p.question_tokens() + self.prompt_overhead_tokens for p in self._dataset())
 
     def total_completion_tokens(self) -> int:
-        return sum(p.solution_tokens() for p in self.dataset)
+        return sum(p.solution_tokens() for p in self._dataset())
+
+    # -- per-problem wall-clock prediction (Figure 5) -----------------------
+    def predict_base_seconds(self, problem: Problem) -> float:
+        """Expected execution seconds once every image is local.
+
+        Shares the simulation's job-pricing formula
+        (:func:`~repro.evalcluster.simulation.job_base_seconds`), with the
+        heavy tail (wait timeouts, flaky pulls) folded in as its
+        expectation instead of a per-run Bernoulli draw.
+        """
+
+        config = self.simulation
+        return job_base_seconds(
+            problem,
+            config,
+            slow_extra_seconds=config.slow_job_fraction * config.slow_job_extra_seconds,
+        )
+
+    def problem_pull_images(self, problem: Problem) -> tuple[str, ...]:
+        """Images the problem's unit test pulls over the network.
+
+        The simulation's job image list
+        (:func:`~repro.evalcluster.simulation.job_images`) minus the
+        Minikube-preloaded base images, which never hit the network;
+        everything else is a candidate registry-cache hit.
+        """
+
+        preloaded = {normalize_image(image) for image in self.simulation.preloaded_images}
+        return tuple(
+            image for image in job_images(problem) if normalize_image(image) not in preloaded
+        )
+
+    def image_pull_seconds(self, image: str) -> float:
+        """Seconds to pull one image over the shared internet uplink."""
+
+        return image_size_mb(image) * 8.0 / self.simulation.internet_bandwidth_mbps
+
+    def predict_problem_seconds(
+        self, problem: Problem, *, cached_images: Iterable[str] = ()
+    ) -> float:
+        """Predicted evaluation seconds of one problem on one worker.
+
+        ``cached_images`` are images already present in the worker's local
+        cache (pulled by an earlier problem in the same shard); their pull
+        time is zero — the warm-registry-cache effect that makes a shard's
+        predicted duration depend on which problems share it.
+        """
+
+        cached = {normalize_image(image) for image in cached_images}
+        pull = 0.0
+        for image in self.problem_pull_images(problem):
+            if normalize_image(image) not in cached:
+                pull += self.image_pull_seconds(image)
+                cached.add(normalize_image(image))
+        return self.predict_base_seconds(problem) + pull
+
+    def predict_problems_seconds(self, problems: Iterable[Problem]) -> float:
+        """Predicted seconds to evaluate ``problems`` back to back on one
+        worker whose image cache starts cold and stays warm across them."""
+
+        cached: set[str] = set()
+        total = 0.0
+        for problem in problems:
+            total += self.predict_problem_seconds(problem, cached_images=cached)
+            cached.update(self.problem_pull_images(problem))
+        return total
 
     # -- component costs ------------------------------------------------------
     def inference_cost(self, option: InferenceOption) -> float:

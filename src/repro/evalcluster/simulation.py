@@ -21,7 +21,15 @@ from repro.testexec import steps as S
 from repro.utils.rng import DeterministicRNG
 from repro.yamlkit.parsing import YamlParseError, load_all_documents
 
-__all__ = ["ClusterSimulationConfig", "SimulationResult", "simulate_evaluation", "sweep_workers", "problem_images"]
+__all__ = [
+    "ClusterSimulationConfig",
+    "SimulationResult",
+    "job_base_seconds",
+    "job_images",
+    "problem_images",
+    "simulate_evaluation",
+    "sweep_workers",
+]
 
 # Images every Kubernetes job touches regardless of the manifest (pause
 # containers, kubectl wait polling, metrics images of the Minikube addons).
@@ -153,23 +161,57 @@ class SimulationResult:
         return self.total_seconds / 3600.0
 
 
+def job_base_seconds(
+    problem: Problem,
+    config: ClusterSimulationConfig,
+    *,
+    jitter_seconds: float = 0.0,
+    slow_extra_seconds: float = 0.0,
+) -> float:
+    """Execution seconds of one problem's job once every image is local.
+
+    The one place the per-job pricing formula lives: the per-target base
+    time, the multi-node settling surcharge, and the 5-second floor.  The
+    simulation passes its per-run random ``jitter_seconds``/heavy-tail
+    draw; the :class:`~repro.evalcluster.cost.CostModel` predictor passes
+    the tail's deterministic expectation instead.
+    """
+
+    base = (
+        config.envoy_base_seconds
+        if problem.unit_test.target == "envoy"
+        else config.base_seconds_mean
+    )
+    base += jitter_seconds
+    base += 2.0 * problem.unit_test.nodes  # multi-node problems take longer to settle
+    base += slow_extra_seconds
+    return max(5.0, base)
+
+
+def job_images(problem: Problem) -> tuple[str, ...]:
+    """Every image one problem's job pulls, cluster-overhead images included."""
+
+    images = tuple(problem_images(problem))
+    if problem.unit_test.target != "envoy":
+        images += _BASE_IMAGES
+    return images
+
+
 def _build_jobs(problems: ProblemSet, config: ClusterSimulationConfig) -> list[EvaluationJob]:
     rng = DeterministicRNG(config.seed)
     jobs: list[EvaluationJob] = []
     for index, problem in enumerate(problems):
-        base = config.envoy_base_seconds if problem.unit_test.target == "envoy" else config.base_seconds_mean
-        base += rng.uniform(-config.base_seconds_jitter, config.base_seconds_jitter)
-        base += 2.0 * problem.unit_test.nodes  # multi-node problems take longer to settle
-        if rng.bernoulli(config.slow_job_fraction):
-            # Heavy tail: wait timeouts, flaky pulls, oversized images.
-            base += config.slow_job_extra_seconds
-        images = tuple(problem_images(problem)) + (() if problem.unit_test.target == "envoy" else _BASE_IMAGES)
+        jitter = rng.uniform(-config.base_seconds_jitter, config.base_seconds_jitter)
+        # Heavy tail: wait timeouts, flaky pulls, oversized images.
+        slow_extra = config.slow_job_extra_seconds if rng.bernoulli(config.slow_job_fraction) else 0.0
         jobs.append(
             EvaluationJob(
                 job_id=f"job-{index:05d}",
                 problem_id=problem.problem_id,
-                images=images,
-                base_seconds=max(5.0, base),
+                images=job_images(problem),
+                base_seconds=job_base_seconds(
+                    problem, config, jitter_seconds=jitter, slow_extra_seconds=slow_extra
+                ),
                 target=problem.unit_test.target,
             )
         )

@@ -12,7 +12,13 @@ process pool for CPU-bound scoring.
 For wall-clock-bound runs, :class:`ShardedEvaluationPipeline` splits the
 requests across ``N`` sub-pipelines (one checkpoint file each) and
 streams them: generation of shard *k+1* overlaps scoring of shard *k*,
-and the merged result is bit-identical to an unsharded run.
+and the merged result is bit-identical to an unsharded run.  Where the
+cuts land is a pluggable :class:`ShardPlanner` policy — by request count
+(:class:`CountPlanner`) or by Figure 5-predicted seconds so heterogeneous
+shards finish together (:class:`CostPlanner`).  A leaderboard run hands
+several models to the :class:`MultiModelScheduler`, which interleaves
+their shards over one shared generation executor and one shared scoring
+pool with per-``(model, shard)`` checkpoints.
 
 Typical use::
 
@@ -32,7 +38,11 @@ Typical use::
         print(record.problem_id, record.scores.unit_test)
 """
 
-from repro.pipeline.checkpoint import PipelineCheckpoint, shard_checkpoint_path
+from repro.pipeline.checkpoint import (
+    PipelineCheckpoint,
+    model_checkpoint_base,
+    shard_checkpoint_path,
+)
 from repro.pipeline.executors import (
     AsyncExecutor,
     ClusterExecutor,
@@ -44,8 +54,17 @@ from repro.pipeline.executors import (
     resolve_executor,
 )
 from repro.pipeline.pipeline import EvaluationPipeline, PreparedBatch
+from repro.pipeline.planner import (
+    PLANNER_NAMES,
+    CostPlanner,
+    CountPlanner,
+    ShardPlan,
+    ShardPlanner,
+    resolve_planner,
+)
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
-from repro.pipeline.sharding import ShardPlan, ShardedEvaluationPipeline, merge_evaluations
+from repro.pipeline.scheduler import ModelJob, MultiModelScheduler
+from repro.pipeline.sharding import ShardedEvaluationPipeline, merge_evaluations
 from repro.pipeline.stages import (
     AggregateStage,
     ExtractStage,
@@ -62,12 +81,17 @@ __all__ = [
     "AggregateStage",
     "AsyncExecutor",
     "ClusterExecutor",
+    "CostPlanner",
+    "CountPlanner",
     "EvaluationPipeline",
     "EvaluationRecord",
     "Executor",
     "ExtractStage",
     "GenerateStage",
     "ModelEvaluation",
+    "ModelJob",
+    "MultiModelScheduler",
+    "PLANNER_NAMES",
     "PipelineCheckpoint",
     "PreparedBatch",
     "ProcessExecutor",
@@ -75,6 +99,7 @@ __all__ = [
     "ScoreStage",
     "SerialExecutor",
     "ShardPlan",
+    "ShardPlanner",
     "ShardedEvaluationPipeline",
     "Stage",
     "StageContext",
@@ -83,6 +108,8 @@ __all__ = [
     "close_executor",
     "default_stages",
     "merge_evaluations",
+    "model_checkpoint_base",
     "resolve_executor",
+    "resolve_planner",
     "shard_checkpoint_path",
 ]

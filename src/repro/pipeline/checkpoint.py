@@ -17,14 +17,31 @@ from __future__ import annotations
 
 import json
 import os
+import re
 from pathlib import Path
 from typing import Iterator
 
 from repro.pipeline.records import EvaluationRecord, record_from_dict, record_to_dict
 
-__all__ = ["PipelineCheckpoint", "shard_checkpoint_path"]
+__all__ = ["PipelineCheckpoint", "model_checkpoint_base", "shard_checkpoint_path"]
 
 RecordKey = tuple[str, str, int, int]
+
+_SLUG_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def model_checkpoint_base(base: str | os.PathLike[str], model_name: str) -> Path:
+    """The per-model checkpoint base of a multi-model (leaderboard) run.
+
+    A scheduled leaderboard run keeps each model's shards under its own
+    base (``run.ckpt.jsonl`` → ``run.ckpt.jsonl.gpt-4``), from which
+    :func:`shard_checkpoint_path` then derives the per-shard files, so
+    every ``(model, shard)`` pair resumes independently.  Characters that
+    are not filesystem-safe are collapsed to ``-``.
+    """
+
+    slug = _SLUG_RE.sub("-", model_name).strip("-") or "model"
+    return Path(f"{os.fspath(base)}.{slug}")
 
 
 def shard_checkpoint_path(base: str | os.PathLike[str], index: int, num_shards: int) -> Path:

@@ -1,0 +1,314 @@
+"""Shard planning: deciding *where* a run's requests are cut into shards.
+
+Sharded evaluation (:mod:`repro.pipeline.sharding`) and the multi-model
+scheduler (:mod:`repro.pipeline.scheduler`) both consume a
+:class:`ShardPlan` — a contiguous split of the request list — but how the
+cut points are chosen is a policy, and this module is its seam:
+
+* :class:`CountPlanner` reproduces the original behaviour bit-identically:
+  shards hold (almost) equal numbers of requests
+  (:meth:`ShardPlan.for_size`).
+* :class:`CostPlanner` balances shards by *predicted seconds* instead.
+  Problems are wildly heterogeneous — an Istio bookinfo problem pulls
+  half a gigabyte of images while a bare Pod problem pulls nothing — so
+  equal-count shards finish minutes apart and the whole run waits on the
+  slowest one.  The planner prices every request with the Figure 5 model
+  (:meth:`repro.evalcluster.cost.CostModel.predict_problem_seconds`),
+  accounts warm registry-cache hits *within* a shard (an image pulled for
+  one problem is free for the next), and picks the contiguous partition
+  minimising the maximum predicted shard duration.
+
+Both planners emit contiguous plans, which is the property the merge
+layer relies on: concatenating per-shard results in shard order
+reproduces the original request order, so the planner choice — like the
+executor choice — can never change a ScoreCard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, Sequence, TypeVar, runtime_checkable
+
+from repro.evalcluster.cost import CostModel
+from repro.kubesim.images import normalize_image
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.llm.interface import GenerationRequest
+
+__all__ = [
+    "PLANNER_NAMES",
+    "ShardPlan",
+    "ShardPlanner",
+    "CountPlanner",
+    "CostPlanner",
+    "resolve_planner",
+]
+
+T = TypeVar("T")
+
+#: Planner specs accepted by ``BenchmarkConfig.shard_by``.
+PLANNER_NAMES: tuple[str, ...] = ("count", "cost")
+
+#: Bisection steps when searching for the minimal feasible shard duration.
+#: Sixty halvings of the [max-item, total] interval put the cap within
+#: machine precision of optimal for any realistic corpus.
+_BISECTION_STEPS = 60
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A contiguous split of ``total`` work units into shards.
+
+    Contiguity is the property that makes merging trivial *and* exact:
+    concatenating per-shard results in shard order reproduces the original
+    request order, so a sharded run streams records in exactly the same
+    sequence as an unsharded one.
+
+    By default the split is balanced by count (sizes differ by at most
+    one); a planner may instead supply ``explicit_sizes`` — arbitrary
+    positive cut sizes, e.g. balanced by predicted cost.
+    """
+
+    total: int
+    num_shards: int
+    explicit_sizes: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.total < 0:
+            raise ValueError("total must be >= 0")
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.explicit_sizes is not None:
+            if len(self.explicit_sizes) != self.num_shards:
+                raise ValueError(
+                    f"explicit_sizes has {len(self.explicit_sizes)} entries "
+                    f"for {self.num_shards} shards"
+                )
+            if sum(self.explicit_sizes) != self.total:
+                raise ValueError(
+                    f"explicit_sizes sum to {sum(self.explicit_sizes)}, expected {self.total}"
+                )
+            if any(size < 1 for size in self.explicit_sizes):
+                raise ValueError("explicit_sizes must all be >= 1 (empty shards are clamped away)")
+
+    @classmethod
+    def for_size(cls, total: int, num_shards: int) -> "ShardPlan":
+        """A count-balanced plan over ``total`` units, clamping away empty shards."""
+
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        return cls(total=total, num_shards=max(1, min(num_shards, total)))
+
+    @classmethod
+    def from_sizes(cls, sizes: Sequence[int]) -> "ShardPlan":
+        """A plan with explicit per-shard sizes; zero-size shards are dropped.
+
+        An all-empty (or empty) size list degenerates to the same plan
+        ``for_size(0, 1)`` produces, so downstream code sees one canonical
+        empty shape.
+        """
+
+        cleaned = tuple(int(size) for size in sizes)
+        if any(size < 0 for size in cleaned):
+            raise ValueError("shard sizes must be >= 0")
+        nonempty = tuple(size for size in cleaned if size > 0)
+        if not nonempty:
+            return cls(total=0, num_shards=1)
+        return cls(total=sum(nonempty), num_shards=len(nonempty), explicit_sizes=nonempty)
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        """Per-shard sizes; count-balanced unless the planner cut explicitly."""
+
+        if self.explicit_sizes is not None:
+            return self.explicit_sizes
+        base, extra = divmod(self.total, self.num_shards)
+        return tuple(base + (1 if index < extra else 0) for index in range(self.num_shards))
+
+    def bounds(self) -> tuple[tuple[int, int], ...]:
+        """Half-open ``(start, stop)`` index ranges of every shard."""
+
+        out: list[tuple[int, int]] = []
+        start = 0
+        for size in self.sizes:
+            out.append((start, start + size))
+            start += size
+        return tuple(out)
+
+    def shard_of(self, index: int) -> int:
+        """Which shard owns global work-unit ``index``."""
+
+        if not 0 <= index < self.total:
+            raise IndexError(f"index {index} out of range for {self.total} units")
+        for shard, (start, stop) in enumerate(self.bounds()):
+            if start <= index < stop:
+                return shard
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def split(self, items: Sequence[T]) -> list[list[T]]:
+        """Slice ``items`` into per-shard lists."""
+
+        if len(items) != self.total:
+            raise ValueError(f"expected {self.total} items, got {len(items)}")
+        return [list(items[start:stop]) for start, stop in self.bounds()]
+
+
+@runtime_checkable
+class ShardPlanner(Protocol):
+    """Policy choosing the contiguous cut points of a sharded run."""
+
+    def plan(
+        self, requests: Sequence["GenerationRequest"], num_shards: int
+    ) -> ShardPlan:  # pragma: no cover - protocol
+        ...
+
+
+class CountPlanner:
+    """Balance shards by request count — the original contiguous split.
+
+    Delegates to :meth:`ShardPlan.for_size`, so its plans are bit-identical
+    to every pre-planner sharded run.
+    """
+
+    name = "count"
+
+    def plan(self, requests: Sequence["GenerationRequest"], num_shards: int) -> ShardPlan:
+        return ShardPlan.for_size(len(requests), num_shards)
+
+
+class CostPlanner:
+    """Balance shards by predicted wall-clock seconds (Figure 5 model).
+
+    Every request is priced as its problem's predicted evaluation time —
+    base execution seconds plus image-pull seconds, where an image already
+    pulled by an earlier request *in the same shard* costs nothing (the
+    warm registry-cache effect).  The planner then finds the contiguous
+    partition minimising the maximum predicted shard duration, via
+    bisection on the duration cap with a greedy feasibility scan.
+
+    Contiguity is preserved, so the merged records — and every ScoreCard —
+    are identical to a count-planned or unsharded run; only the shard
+    *boundaries* move.
+    """
+
+    name = "cost"
+
+    def __init__(self, cost_model: CostModel | None = None) -> None:
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+
+    # -- request pricing ----------------------------------------------------
+    def _price(
+        self, requests: Sequence["GenerationRequest"]
+    ) -> tuple[list[float], list[tuple[object, ...]], dict[object, float]]:
+        """Per-request base seconds, normalized pull-image keys, pull prices.
+
+        Images are keyed by their normalized ``(repository, tag)`` so two
+        spellings of one image ("nginx" / "nginx:latest") share a single
+        cache slot, exactly as the registry-cache model treats them.
+        """
+
+        model = self.cost_model
+        base: list[float] = []
+        images: list[tuple[object, ...]] = []
+        pull_seconds: dict[object, float] = {}
+        for request in requests:
+            problem = request.problem
+            base.append(model.predict_base_seconds(problem))
+            keys = []
+            for image in model.problem_pull_images(problem):
+                key = normalize_image(image)
+                keys.append(key)
+                if key not in pull_seconds:
+                    pull_seconds[key] = model.image_pull_seconds(image)
+            images.append(tuple(keys))
+        return base, images, pull_seconds
+
+    @staticmethod
+    def _greedy_sizes(
+        cap: float,
+        base: Sequence[float],
+        images: Sequence[tuple[str, ...]],
+        pull_seconds: dict[str, float],
+    ) -> list[int]:
+        """Contiguous shards whose predicted duration stays under ``cap``.
+
+        A request that would push the current shard over the cap starts a
+        new (cold-cache) shard; a single request always fits alone because
+        the cap never drops below the most expensive cold request.
+        """
+
+        sizes: list[int] = []
+        current = 0
+        current_seconds = 0.0
+        warm: set[str] = set()
+        for index in range(len(base)):
+            marginal = base[index] + sum(
+                pull_seconds[image] for image in set(images[index]) if image not in warm
+            )
+            if current and current_seconds + marginal > cap:
+                sizes.append(current)
+                current = 0
+                current_seconds = 0.0
+                warm = set()
+                marginal = base[index] + sum(pull_seconds[image] for image in set(images[index]))
+            current += 1
+            current_seconds += marginal
+            warm.update(images[index])
+        if current:
+            sizes.append(current)
+        return sizes
+
+    # -- planning -----------------------------------------------------------
+    def plan(self, requests: Sequence["GenerationRequest"], num_shards: int) -> ShardPlan:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        total = len(requests)
+        shards = max(1, min(num_shards, total))
+        if total == 0 or shards == 1:
+            return ShardPlan.for_size(total, shards)
+
+        base, images, pull_seconds = self._price(requests)
+        cold = [
+            item + sum(pull_seconds[image] for image in set(pulls))
+            for item, pulls in zip(base, images)
+        ]
+        low = max(cold)  # below this, the most expensive request fits nowhere
+        high = sum(cold)  # one shard holding everything is always feasible
+        for _ in range(_BISECTION_STEPS):
+            mid = (low + high) / 2.0
+            if len(self._greedy_sizes(mid, base, images, pull_seconds)) <= shards:
+                high = mid
+            else:
+                low = mid
+        return ShardPlan.from_sizes(self._greedy_sizes(high, base, images, pull_seconds))
+
+    def predicted_durations(
+        self, requests: Sequence["GenerationRequest"], plan: ShardPlan
+    ) -> tuple[float, ...]:
+        """Predicted seconds of every shard of ``plan`` over ``requests``.
+
+        Each shard starts with a cold image cache that stays warm across
+        its problems — the same accounting the planner balances on.
+        """
+
+        return tuple(
+            self.cost_model.predict_problems_seconds(request.problem for request in chunk)
+            for chunk in plan.split(list(requests))
+        )
+
+
+def resolve_planner(
+    planner: ShardPlanner | None,
+    shard_by: str = "count",
+    cost_model: CostModel | None = None,
+) -> ShardPlanner:
+    """Turn a config (explicit planner instance, else a ``shard_by`` spec)
+    into a planner; ``cost_model`` seeds the cost planner's predictions."""
+
+    if planner is not None:
+        return planner
+    if shard_by == "count":
+        return CountPlanner()
+    if shard_by == "cost":
+        return CostPlanner(cost_model=cost_model)
+    raise ValueError(f"unknown shard_by {shard_by!r} (expected one of {PLANNER_NAMES})")

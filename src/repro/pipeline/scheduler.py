@@ -1,0 +1,335 @@
+"""The multi-model leaderboard scheduler.
+
+A leaderboard run evaluates many models over the same corpus, and running
+them strictly one after another wastes both wall-clock sinks: while model
+A's last shard is being scored (CPU), the endpoint sits idle; while model
+B's first shard is being generated (I/O), the scoring pool sits idle —
+one fill/drain bubble *per model*.  :class:`MultiModelScheduler` removes
+all but one of those bubbles: it splits every model's requests into
+planned shards (:mod:`repro.pipeline.planner`), interleaves the shards'
+batches round-robin across models, and drives them all through **one**
+shared generation executor and **one** shared scoring executor, so a
+leaderboard run saturates the endpoint and the scoring pool
+simultaneously.
+
+Determinism is preserved per model: a model's batches are produced in
+request order (interleaving only weaves *between* models), every stage is
+a pure function, and records are folded back per model — so each model's
+:class:`~repro.pipeline.records.ModelEvaluation` is bit-identical to a
+sequential ``evaluate_model`` run, for every executor backend and every
+planner.
+
+Each ``(model, shard)`` pair keeps its own checkpoint file derived from
+the job's base path, so a killed leaderboard run resumes exactly where
+every model's every shard stopped.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.llm.interface import GenerationRequest, Model
+from repro.pipeline.checkpoint import PipelineCheckpoint, shard_checkpoint_path
+from repro.pipeline.executors import Executor, close_executor, resolve_executor
+from repro.pipeline.pipeline import DEFAULT_BATCH_SIZE, EvaluationPipeline
+from repro.pipeline.planner import CountPlanner, ShardPlan, ShardPlanner
+from repro.pipeline.records import EvaluationRecord, ModelEvaluation
+from repro.scoring.compiled import ReferenceStore
+
+__all__ = ["ModelJob", "MultiModelScheduler"]
+
+
+class _ProducerFailure:
+    """An exception captured on the producer thread, re-raised on the consumer."""
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+@dataclass
+class ModelJob:
+    """One model's slice of a leaderboard run.
+
+    ``checkpoint`` is the per-job base path; every shard of the job derives
+    its own file from it (``<base>.shard-ii-of-nn``).  Jobs in one
+    scheduler must have distinct model names — the name keys the results.
+    """
+
+    model: Model
+    requests: list[GenerationRequest] = field(default_factory=list)
+    checkpoint: str | os.PathLike[str] | None = None
+
+    @property
+    def name(self) -> str:
+        return self.model.name
+
+
+class MultiModelScheduler:
+    """Interleave planned shards of several models over shared executors.
+
+    Parameters mirror :class:`~repro.pipeline.sharding.ShardedEvaluationPipeline`
+    — which is now the single-model client of this class — with two
+    generalisations: ``jobs`` is a sequence of :class:`ModelJob`s instead
+    of one model, and ``planner`` decides where each job's requests are
+    cut (:class:`~repro.pipeline.planner.CountPlanner` by default,
+    :class:`~repro.pipeline.planner.CostPlanner` to balance by predicted
+    seconds).
+
+    Executors resolved here from spec strings are owned by (and torn down
+    with) this scheduler; instances passed in belong to the caller.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[ModelJob],
+        *,
+        shards: int = 1,
+        planner: ShardPlanner | None = None,
+        executor: str | Executor = "serial",
+        generate_executor: str | Executor | None = None,
+        max_workers: int = 1,
+        rate_limit: float | None = None,
+        lease_seconds: float | None = None,
+        store: ReferenceStore | None = None,
+        run_unit_tests: bool = True,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        prefetch_batches: int = 2,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if prefetch_batches < 1:
+            raise ValueError("prefetch_batches must be >= 1")
+        self.jobs = list(jobs)
+        names = [job.name for job in self.jobs]
+        if len(set(names)) != len(names):
+            duplicates = sorted({name for name in names if names.count(name) > 1})
+            raise ValueError(f"jobs must have distinct model names; duplicated: {duplicates}")
+        for job in self.jobs:
+            if isinstance(job.checkpoint, PipelineCheckpoint):
+                raise TypeError(
+                    "scheduled runs derive one checkpoint file per (model, shard); pass "
+                    "the base path (str or PathLike), not a PipelineCheckpoint instance"
+                )
+        self.shards = shards
+        self.planner: ShardPlanner = planner if planner is not None else CountPlanner()
+        self.max_workers = max_workers
+        self.store = store or ReferenceStore()
+        self.run_unit_tests = run_unit_tests
+        self.batch_size = batch_size
+        self.prefetch_batches = prefetch_batches
+        # Executors are shared across every sub-pipeline of every model so
+        # pools (threads, processes, the event-loop rate limiter) are built
+        # once per leaderboard run.
+        self._owns_executor = isinstance(executor, str)
+        self._owns_generate_executor = isinstance(generate_executor, str)
+        self.executor = resolve_executor(executor, max_workers, rate_limit, lease_seconds)
+        self.generate_executor = (
+            resolve_executor(generate_executor, max_workers, rate_limit, lease_seconds)
+            if generate_executor is not None
+            else None
+        )
+        self._pipelines: list[EvaluationPipeline] = []
+
+    # ------------------------------------------------------------------
+    # Sub-pipeline assembly
+    # ------------------------------------------------------------------
+    def plan_job(self, job: ModelJob) -> ShardPlan:
+        """The shard plan the configured planner picks for ``job``."""
+
+        return self.planner.plan(job.requests, self.shards)
+
+    def job_shard_checkpoint(
+        self, job: ModelJob, index: int, num_shards: int
+    ) -> PipelineCheckpoint | None:
+        """The checkpoint of ``job``'s shard ``index`` (None when disabled)."""
+
+        if job.checkpoint is None:
+            return None
+        return PipelineCheckpoint(shard_checkpoint_path(job.checkpoint, index, num_shards))
+
+    def _build_units(self) -> list[list[tuple[EvaluationPipeline, list[GenerationRequest]]]]:
+        """Per-job batch units, in request order within each job.
+
+        Empty shards (a job with zero requests) build no pipeline and no
+        checkpoint file — there is nothing to resume and nothing to score.
+        """
+
+        per_job: list[list[tuple[EvaluationPipeline, list[GenerationRequest]]]] = []
+        for job in self.jobs:
+            plan = self.plan_job(job)
+            units: list[tuple[EvaluationPipeline, list[GenerationRequest]]] = []
+            for index, shard_requests in enumerate(plan.split(job.requests)):
+                if not shard_requests:
+                    continue
+                pipeline = EvaluationPipeline(
+                    job.model,
+                    executor=self.executor,
+                    generate_executor=self.generate_executor,
+                    max_workers=self.max_workers,
+                    store=self.store,
+                    run_unit_tests=self.run_unit_tests,
+                    checkpoint=self.job_shard_checkpoint(job, index, plan.num_shards),
+                    batch_size=self.batch_size,
+                )
+                self._pipelines.append(pipeline)
+                for start in range(0, len(shard_requests), self.batch_size):
+                    units.append((pipeline, shard_requests[start : start + self.batch_size]))
+            per_job.append(units)
+        return per_job
+
+    # ------------------------------------------------------------------
+    # The interleaving scheduler
+    # ------------------------------------------------------------------
+    def _generation_workers(self, units: int) -> int:
+        """How many generation workers may prepare batches concurrently.
+
+        Up to ``prefetch_batches`` batches are in flight at once, so their
+        endpoint waits overlap *across* batches (and models) instead of
+        serialising in one producer loop — this is what actually saturates
+        a latency-bound endpoint.  A shared token-bucket rate limiter
+        forces a single worker: the bucket globally paces requests, and
+        draining it from several event loops at once would race its clock.
+        """
+
+        # The generate stage falls back to the scoring executor when no
+        # dedicated generation backend is configured, so check whichever
+        # executor will actually carry the batches.
+        generation_backend = self.generate_executor or self.executor
+        if getattr(generation_backend, "limiter", None) is not None:
+            return 1
+        return max(1, min(self.prefetch_batches, units))
+
+    def run_iter(self) -> Iterator[tuple[str, EvaluationRecord]]:
+        """Stream ``(model_name, record)`` pairs, interleaving models.
+
+        Generation workers run the generation-side half of every batch —
+        round-robin across models, at most ``prefetch_batches`` in flight —
+        while this thread scores and yields in the same round-robin order.
+        A per-job lock keeps one model's batches from generating
+        *concurrently* (models need not be thread-safe), though under the
+        in-flight window a job's batches may prepare out of submission
+        order; that is safe because generation is per-request
+        deterministic — the same contract the async backend's within-batch
+        overlap already relies on.  Prepared batches are then *released*
+        (scored, checkpointed, yielded) strictly in schedule order, so
+        per-model record streams are identical to a sequential run;
+        between models they weave, which is what keeps the endpoint and
+        the scoring pool busy at the same time.
+        """
+
+        per_job = self._build_units()
+        # Round-robin interleaving order: batch k of every job before
+        # batch k+1 of any job.  Deterministic, fair, and per-job ordered —
+        # adjacent units usually belong to different models, so the per-job
+        # locks almost never serialise concurrent generation workers.
+        order: list[tuple[int, EvaluationPipeline, list[GenerationRequest]]] = [
+            (job_index, *per_job[job_index][unit_index])
+            for unit_index in range(max((len(units) for units in per_job), default=0))
+            for job_index in range(len(per_job))
+            if unit_index < len(per_job[job_index])
+        ]
+
+        stop = threading.Event()
+        ready = threading.Condition()
+        results: dict[int, object] = {}
+        next_claim = [0]
+        in_flight = threading.Semaphore(self.prefetch_batches)
+        job_locks = [threading.Lock() for _ in self.jobs]
+
+        def produce() -> None:
+            while not stop.is_set():
+                if not in_flight.acquire(timeout=0.05):
+                    continue  # re-check stop while the window is full
+                with ready:
+                    if next_claim[0] >= len(order):
+                        in_flight.release()
+                        return
+                    index = next_claim[0]
+                    next_claim[0] += 1
+                job_index, pipeline, batch = order[index]
+                try:
+                    with job_locks[job_index]:
+                        entry: object = (job_index, pipeline, pipeline.prepare_batch(batch))
+                except BaseException as exc:  # noqa: BLE001 - relayed to the consumer
+                    entry = _ProducerFailure(exc)
+                with ready:
+                    results[index] = entry
+                    ready.notify_all()
+                if isinstance(entry, _ProducerFailure):
+                    return
+
+        workers = [
+            threading.Thread(target=produce, name=f"leaderboard-generator-{i}", daemon=True)
+            for i in range(self._generation_workers(len(order)))
+        ]
+        for worker in workers:
+            worker.start()
+        try:
+            for index in range(len(order)):
+                with ready:
+                    while index not in results:
+                        if not any(worker.is_alive() for worker in workers):
+                            break
+                        ready.wait(timeout=0.05)
+                    entry = results.pop(index, None)
+                if entry is None:
+                    raise RuntimeError(
+                        "generation workers exited without producing batch "
+                        f"{index} of {len(order)}"
+                    )  # pragma: no cover - defensive; a failure entry is the normal path
+                if isinstance(entry, _ProducerFailure):
+                    raise entry.error
+                job_index, pipeline, prepared = entry
+                name = self.jobs[job_index].name
+                for record in pipeline.finish_batch(prepared):
+                    yield name, record
+                in_flight.release()
+        finally:
+            # Reached on completion, on error, and when the consumer
+            # abandons the stream (the resumable-interrupt case): unblock
+            # and retire the workers before handing control back.
+            stop.set()
+            with ready:
+                ready.notify_all()
+            for worker in workers:
+                worker.join(timeout=30.0)
+
+    def run(self) -> dict[str, ModelEvaluation]:
+        """Evaluate every job and fold records into per-model evaluations.
+
+        The mapping preserves job order; each evaluation's records are in
+        that model's request order — bit-identical to sequential
+        per-model runs.
+        """
+
+        records: dict[str, list[EvaluationRecord]] = {job.name: [] for job in self.jobs}
+        for name, record in self.run_iter():
+            records[name].append(record)
+        return {
+            job.name: ModelEvaluation(model_name=job.name, records=records[job.name])
+            for job in self.jobs
+        }
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the sub-pipelines' query pools and any owned executors."""
+
+        for pipeline in self._pipelines:
+            pipeline.query.close()
+        if self._owns_executor:
+            close_executor(self.executor)
+        if self._owns_generate_executor and self.generate_executor is not None:
+            close_executor(self.generate_executor)
+
+    def __enter__(self) -> "MultiModelScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

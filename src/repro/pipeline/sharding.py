@@ -1,21 +1,21 @@
-"""Sharded evaluation: split a run across sub-pipelines and stream them.
+"""Sharded evaluation: split one model's run across sub-pipelines and stream them.
 
 A full benchmark run is wall-clock-bound in two different places: the
 generate stage waits on (rate-limited) model endpoints, the score stage
 burns CPU on metrics and in-process unit tests.  Running them strictly
 stage-by-stage leaves one resource idle while the other works.  This
-module removes the barrier:
+module removes the barrier for a *single* model:
 
-* :class:`ShardPlan` splits a request list into ``N`` contiguous,
-  balanced shards.  Each shard is evaluated by its own sub-pipeline with
-  its own :class:`~repro.pipeline.checkpoint.PipelineCheckpoint`, so
-  shards resume independently and could even run on separate machines.
-* :class:`ShardedEvaluationPipeline` is the streaming scheduler: a
-  producer thread drives the generation-side stages (prompt → generate →
-  extract) shard by shard while the consuming thread scores — generation
-  of shard *k+1* overlaps scoring of shard *k* instead of the full-barrier
-  stage-by-stage pass.  Pair an async generation backend with a
-  process-pool scoring backend and both axes saturate at once.
+* :class:`~repro.pipeline.planner.ShardPlan` (re-exported here) describes
+  the contiguous split; *where* the cuts land is the planner's policy —
+  by request count, or by predicted seconds so heterogeneous shards
+  finish together (:mod:`repro.pipeline.planner`).
+* :class:`ShardedEvaluationPipeline` evaluates the shards overlapped:
+  generation of shard *k+1* runs while shard *k* is being scored.  It is
+  a thin single-model client of the
+  :class:`~repro.pipeline.scheduler.MultiModelScheduler`, which owns the
+  producer/consumer streaming machinery; a leaderboard run hands the
+  scheduler several models at once and interleaves them.
 * :func:`merge_evaluations` recombines per-shard
   :class:`~repro.pipeline.records.ModelEvaluation`s into the evaluation an
   unsharded run would have produced, bit-identically: the split is
@@ -26,105 +26,35 @@ module removes the barrier:
 from __future__ import annotations
 
 import os
-import queue as queue_module
-import threading
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence, TypeVar
+from typing import Iterable, Iterator, Sequence
 
 from repro.llm.interface import GenerationRequest, Model
-from repro.pipeline.checkpoint import PipelineCheckpoint, shard_checkpoint_path
+from repro.pipeline.checkpoint import PipelineCheckpoint
 from repro.pipeline.executors import Executor, close_executor, resolve_executor
-from repro.pipeline.pipeline import DEFAULT_BATCH_SIZE, EvaluationPipeline, PreparedBatch
+from repro.pipeline.pipeline import DEFAULT_BATCH_SIZE
+from repro.pipeline.planner import ShardPlan, ShardPlanner
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
+from repro.pipeline.scheduler import ModelJob, MultiModelScheduler
 from repro.scoring.compiled import ReferenceStore
 
 __all__ = ["ShardPlan", "ShardedEvaluationPipeline", "merge_evaluations"]
-
-T = TypeVar("T")
-
-#: Producer→consumer queue sentinel marking a clean end of the stream.
-_DONE = object()
-
-
-class _ProducerFailure:
-    """An exception captured on the producer thread, re-raised on the consumer."""
-
-    def __init__(self, error: BaseException) -> None:
-        self.error = error
-
-
-@dataclass(frozen=True)
-class ShardPlan:
-    """A contiguous, balanced split of ``total`` work units into shards.
-
-    Contiguity is the property that makes merging trivial *and* exact:
-    concatenating per-shard results in shard order reproduces the original
-    request order, so a sharded run streams records in exactly the same
-    sequence as an unsharded one.
-    """
-
-    total: int
-    num_shards: int
-
-    def __post_init__(self) -> None:
-        if self.total < 0:
-            raise ValueError("total must be >= 0")
-        if self.num_shards < 1:
-            raise ValueError("num_shards must be >= 1")
-
-    @classmethod
-    def for_size(cls, total: int, num_shards: int) -> "ShardPlan":
-        """A plan over ``total`` units, clamping away empty shards."""
-
-        if num_shards < 1:
-            raise ValueError("num_shards must be >= 1")
-        return cls(total=total, num_shards=max(1, min(num_shards, total)))
-
-    @property
-    def sizes(self) -> tuple[int, ...]:
-        """Per-shard sizes; they differ by at most one unit."""
-
-        base, extra = divmod(self.total, self.num_shards)
-        return tuple(base + (1 if index < extra else 0) for index in range(self.num_shards))
-
-    def bounds(self) -> tuple[tuple[int, int], ...]:
-        """Half-open ``(start, stop)`` index ranges of every shard."""
-
-        out: list[tuple[int, int]] = []
-        start = 0
-        for size in self.sizes:
-            out.append((start, start + size))
-            start += size
-        return tuple(out)
-
-    def shard_of(self, index: int) -> int:
-        """Which shard owns global work-unit ``index``."""
-
-        if not 0 <= index < self.total:
-            raise IndexError(f"index {index} out of range for {self.total} units")
-        for shard, (start, stop) in enumerate(self.bounds()):
-            if start <= index < stop:
-                return shard
-        raise AssertionError("unreachable")  # pragma: no cover
-
-    def split(self, items: Sequence[T]) -> list[list[T]]:
-        """Slice ``items`` into per-shard lists."""
-
-        if len(items) != self.total:
-            raise ValueError(f"expected {self.total} items, got {len(items)}")
-        return [list(items[start:stop]) for start, stop in self.bounds()]
 
 
 class ShardedEvaluationPipeline:
     """Evaluate one model's requests as ``N`` overlapped sub-pipelines.
 
     Parameters mirror :class:`~repro.pipeline.pipeline.EvaluationPipeline`
-    with three additions:
+    with four additions:
 
     shards:
         Number of sub-pipelines; each gets its own checkpoint file
         (``<base>.shard-ii-of-nn``) derived from the ``checkpoint`` base
         path.
+    planner:
+        The :class:`~repro.pipeline.planner.ShardPlanner` deciding where
+        the contiguous cuts land — request-count balance by default,
+        :class:`~repro.pipeline.planner.CostPlanner` to balance shards by
+        predicted seconds.
     generate_executor:
         Optional separate backend for the generate stage (typically
         ``"async"`` so remote-endpoint latencies overlap) while
@@ -136,7 +66,7 @@ class ShardedEvaluationPipeline:
 
     The streamed records — and therefore the merged
     :class:`~repro.pipeline.records.ModelEvaluation` — are bit-identical
-    to an unsharded serial run over the same requests.
+    to an unsharded serial run over the same requests, for any planner.
     """
 
     def __init__(
@@ -144,6 +74,7 @@ class ShardedEvaluationPipeline:
         model: Model,
         *,
         shards: int,
+        planner: ShardPlanner | None = None,
         executor: str | Executor = "serial",
         generate_executor: str | Executor | None = None,
         max_workers: int = 1,
@@ -166,6 +97,7 @@ class ShardedEvaluationPipeline:
             )
         self.model = model
         self.shards = shards
+        self.planner = planner
         self.max_workers = max_workers
         self.store = store or ReferenceStore()
         self.run_unit_tests = run_unit_tests
@@ -174,7 +106,7 @@ class ShardedEvaluationPipeline:
         self.prefetch_batches = prefetch_batches
         # Executors are shared across every sub-pipeline so pools (threads,
         # processes, event-loop rate limiter) are built once per run, and
-        # owned by this scheduler when resolved from spec strings.
+        # owned by this pipeline when resolved from spec strings.
         self._owns_executor = isinstance(executor, str)
         self._owns_generate_executor = isinstance(generate_executor, str)
         self.executor = resolve_executor(executor, max_workers, rate_limit, lease_seconds)
@@ -183,101 +115,43 @@ class ShardedEvaluationPipeline:
             if generate_executor is not None
             else None
         )
-        self._pipelines: list[EvaluationPipeline] = []
+        self._schedulers: list[MultiModelScheduler] = []
 
     # ------------------------------------------------------------------
-    # Sub-pipeline assembly
+    # Scheduler assembly
     # ------------------------------------------------------------------
-    def shard_checkpoint(self, index: int, num_shards: int) -> PipelineCheckpoint | None:
-        """The checkpoint of shard ``index``, or None when checkpointing is off."""
-
-        if self.checkpoint_base is None:
-            return None
-        return PipelineCheckpoint(shard_checkpoint_path(self.checkpoint_base, index, num_shards))
-
-    def _build_pipelines(self, plan: ShardPlan) -> list[EvaluationPipeline]:
-        pipelines = [
-            EvaluationPipeline(
-                self.model,
-                executor=self.executor,
-                generate_executor=self.generate_executor,
-                max_workers=self.max_workers,
-                store=self.store,
-                run_unit_tests=self.run_unit_tests,
-                checkpoint=self.shard_checkpoint(index, plan.num_shards),
-                batch_size=self.batch_size,
-            )
-            for index in range(plan.num_shards)
-        ]
-        self._pipelines = pipelines
-        return pipelines
+    def _scheduler(self, requests: list[GenerationRequest]) -> MultiModelScheduler:
+        scheduler = MultiModelScheduler(
+            [ModelJob(self.model, requests, checkpoint=self.checkpoint_base)],
+            shards=self.shards,
+            planner=self.planner,
+            executor=self.executor,
+            generate_executor=self.generate_executor,
+            max_workers=self.max_workers,
+            store=self.store,
+            run_unit_tests=self.run_unit_tests,
+            batch_size=self.batch_size,
+            prefetch_batches=self.prefetch_batches,
+        )
+        self._schedulers.append(scheduler)
+        return scheduler
 
     # ------------------------------------------------------------------
-    # The streaming shard scheduler
+    # Streaming evaluation
     # ------------------------------------------------------------------
     def run_iter(self, requests: Iterable[GenerationRequest]) -> Iterator[EvaluationRecord]:
         """Stream finished records in request order, overlapping shards.
 
-        A producer thread runs the generation-side half of every batch
-        (shard by shard, at most ``prefetch_batches`` ahead); this thread
-        scores and yields.  While shard *k*'s responses are being scored
-        here, shard *k+1*'s are already being generated over there — the
-        overlap that removes the full-barrier stage-by-stage pass.
+        The scheduler's producer thread drives the generation-side stages
+        (shard by shard, at most ``prefetch_batches`` ahead) while this
+        thread scores and yields — generation of shard *k+1* overlaps
+        scoring of shard *k* instead of the full-barrier stage-by-stage
+        pass.
         """
 
-        request_list = list(requests)
-        plan = ShardPlan.for_size(len(request_list), self.shards)
-        shard_requests = plan.split(request_list)
-        pipelines = self._build_pipelines(plan)
-
-        handoff: queue_module.Queue = queue_module.Queue(maxsize=self.prefetch_batches)
-        stop = threading.Event()
-
-        def _put(entry: object) -> bool:
-            while not stop.is_set():
-                try:
-                    handoff.put(entry, timeout=0.05)
-                    return True
-                except queue_module.Full:
-                    continue
-            return False
-
-        def produce() -> None:
-            try:
-                for shard_index, pipeline in enumerate(pipelines):
-                    pending = shard_requests[shard_index]
-                    for start in range(0, len(pending), self.batch_size):
-                        batch = pending[start : start + self.batch_size]
-                        prepared = pipeline.prepare_batch(batch)
-                        if not _put((shard_index, prepared)):
-                            return
-            except BaseException as exc:  # noqa: BLE001 - relayed to the consumer
-                _put(_ProducerFailure(exc))
-            else:
-                _put(_DONE)
-
-        producer = threading.Thread(target=produce, name="shard-generator", daemon=True)
-        producer.start()
-        try:
-            while True:
-                entry = handoff.get()
-                if entry is _DONE:
-                    break
-                if isinstance(entry, _ProducerFailure):
-                    raise entry.error
-                shard_index, prepared = entry
-                yield from pipelines[shard_index].finish_batch(prepared)
-        finally:
-            # Reached on completion, on error, and when the consumer
-            # abandons the stream (the resumable-interrupt case): unblock
-            # and retire the producer before handing control back.
-            stop.set()
-            while True:
-                try:
-                    handoff.get_nowait()
-                except queue_module.Empty:
-                    break
-            producer.join(timeout=30.0)
+        scheduler = self._scheduler(list(requests))
+        for _name, record in scheduler.run_iter():
+            yield record
 
     def run(self, requests: Iterable[GenerationRequest]) -> ModelEvaluation:
         """Evaluate every request and merge the shards' records."""
@@ -291,8 +165,8 @@ class ShardedEvaluationPipeline:
     def close(self) -> None:
         """Release the sub-pipelines' query pools and any owned executors."""
 
-        for pipeline in self._pipelines:
-            pipeline.query.close()
+        for scheduler in self._schedulers:
+            scheduler.close()  # closes pipelines; executors here are ours, not its
         if self._owns_executor:
             close_executor(self.executor)
         if self._owns_generate_executor and self.generate_executor is not None:
@@ -308,20 +182,30 @@ class ShardedEvaluationPipeline:
 def merge_evaluations(evaluations: Sequence[ModelEvaluation]) -> ModelEvaluation:
     """Recombine per-shard evaluations of one model, in shard order.
 
-    Because a :class:`ShardPlan` split is contiguous, concatenating the
-    shards' records reproduces the unsharded record order — and therefore
-    an unsharded run's :class:`~repro.pipeline.records.ModelEvaluation` —
-    bit-identically.  Use this when shards were evaluated independently
-    (separate processes or machines) rather than through
-    :class:`ShardedEvaluationPipeline`.
+    Because a :class:`~repro.pipeline.planner.ShardPlan` split is
+    contiguous, concatenating the shards' records reproduces the unsharded
+    record order — and therefore an unsharded run's
+    :class:`~repro.pipeline.records.ModelEvaluation` — bit-identically.
+    Use this when shards were evaluated independently (separate processes
+    or machines) rather than through :class:`ShardedEvaluationPipeline`.
     """
 
     if not evaluations:
-        raise ValueError("no evaluations to merge")
-    names = {evaluation.model_name for evaluation in evaluations}
-    if len(names) > 1:
-        raise ValueError(f"cannot merge evaluations of different models: {sorted(names)}")
+        raise ValueError(
+            "no evaluations to merge: expected one ModelEvaluation per shard, got an "
+            "empty sequence (did every shard of the run fail before producing records?)"
+        )
+    sizes = [len(evaluation.records) for evaluation in evaluations]
+    first_name = evaluations[0].model_name
+    for index, evaluation in enumerate(evaluations):
+        if evaluation.model_name != first_name:
+            raise ValueError(
+                f"cannot merge evaluations of different models: shard 0 is "
+                f"{first_name!r} but shard {index} is {evaluation.model_name!r} "
+                f"(shard sizes: {sizes}); merge_evaluations recombines shards of "
+                f"ONE model — combine models in a BenchmarkResult instead"
+            )
     records: list[EvaluationRecord] = []
     for evaluation in evaluations:
         records.extend(evaluation.records)
-    return ModelEvaluation(model_name=evaluations[0].model_name, records=records)
+    return ModelEvaluation(model_name=first_name, records=records)

@@ -50,6 +50,39 @@ def test_leaderboard_sorted_by_unit_test(small_benchmark_result):
     assert unit_scores == sorted(unit_scores, reverse=True)
     rendered = format_leaderboard(small_benchmark_result)
     assert "gpt-4" in rendered and "unit_test" in rendered
+    assert "pred_eval_s" not in rendered  # the cost column is opt-in
+
+
+def test_leaderboard_breaks_ties_by_model_name():
+    from copy import deepcopy
+
+    from repro.core.benchmark import BenchmarkResult
+    from repro.pipeline.records import ModelEvaluation
+
+    tied = BenchmarkResult()
+    # Two models with identical (empty) evaluations score identically on
+    # every metric; their order must still be deterministic.
+    tied.evaluations["zeta"] = ModelEvaluation(model_name="zeta")
+    tied.evaluations["alpha"] = deepcopy(ModelEvaluation(model_name="alpha"))
+    assert [name for name, _ in tied.leaderboard()] == ["alpha", "zeta"]
+
+
+def test_leaderboard_predicted_cost_column(small_benchmark, small_benchmark_result, small_dataset):
+    rendered = format_leaderboard(
+        small_benchmark_result, cost_model=small_benchmark.cost_model()
+    )
+    assert "pred_eval_s" in rendered
+    # Every model evaluated the same corpus here, so every row shows the
+    # same predicted seconds: the warm-cache total over the dataset.
+    expected = small_benchmark.cost_model().predict_problems_seconds(
+        [small_dataset.get(r.problem_id)
+         for r in small_benchmark_result["gpt-4"].first_samples()]
+    )
+    assert f"{expected:.1f}" in rendered
+    with pytest.raises(ValueError, match="dataset"):
+        from repro.evalcluster.cost import CostModel
+
+        format_leaderboard(small_benchmark_result, cost_model=CostModel())
 
 
 def test_pass_count_filters_by_variant(small_benchmark_result):

@@ -1,0 +1,191 @@
+"""The shard-planning layer: plans, planners, and the cost predictions
+they are built on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BenchmarkConfig
+from repro.dataset.schema import Category
+from repro.evalcluster.cost import CostModel
+from repro.llm.interface import GenerationRequest
+from repro.pipeline.planner import (
+    PLANNER_NAMES,
+    CostPlanner,
+    CountPlanner,
+    ShardPlan,
+    ShardPlanner,
+    resolve_planner,
+)
+
+
+def _requests(problems):
+    return [GenerationRequest(problem=p) for p in problems]
+
+
+# ---------------------------------------------------------------------------
+# ShardPlan with explicit sizes
+# ---------------------------------------------------------------------------
+
+def test_from_sizes_keeps_explicit_cuts():
+    plan = ShardPlan.from_sizes([5, 1, 4])
+    assert plan.sizes == (5, 1, 4)
+    assert plan.total == 10
+    assert plan.bounds() == ((0, 5), (5, 6), (6, 10))
+    assert [plan.shard_of(i) for i in (0, 4, 5, 6, 9)] == [0, 0, 1, 2, 2]
+
+
+def test_from_sizes_drops_empty_shards():
+    assert ShardPlan.from_sizes([3, 0, 2]).sizes == (3, 2)
+    empty = ShardPlan.from_sizes([0, 0])
+    assert (empty.total, empty.num_shards) == (0, 1)
+    assert ShardPlan.from_sizes([]).num_shards == 1
+    with pytest.raises(ValueError):
+        ShardPlan.from_sizes([3, -1])
+
+
+def test_explicit_sizes_are_validated():
+    with pytest.raises(ValueError, match="entries"):
+        ShardPlan(total=5, num_shards=3, explicit_sizes=(3, 2))
+    with pytest.raises(ValueError, match="sum"):
+        ShardPlan(total=5, num_shards=2, explicit_sizes=(3, 3))
+    with pytest.raises(ValueError, match="empty shards"):
+        ShardPlan(total=5, num_shards=3, explicit_sizes=(4, 0, 1))
+
+
+def test_count_balanced_plans_are_unchanged():
+    plan = ShardPlan.for_size(10, 4)
+    assert plan.sizes == (3, 3, 2, 2)
+    assert plan.explicit_sizes is None
+
+
+# ---------------------------------------------------------------------------
+# CountPlanner — the preserved default
+# ---------------------------------------------------------------------------
+
+def test_count_planner_is_bit_identical_to_for_size(small_original_problems):
+    requests = _requests(list(small_original_problems)[:23])
+    for shards in (1, 2, 5, 23, 40):
+        assert CountPlanner().plan(requests, shards) == ShardPlan.for_size(len(requests), shards)
+
+
+# ---------------------------------------------------------------------------
+# CostPlanner
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def heterogeneous_requests(small_original_problems):
+    """A corpus whose per-problem predicted costs differ a lot: cheap Pod
+    problems up front, image-heavy OTHERS/Istio problems at the back —
+    exactly the layout that makes equal-count shards finish far apart."""
+
+    problems = sorted(
+        small_original_problems,
+        key=lambda p: (p.category is not Category.POD, p.category.value),
+    )
+    return _requests(problems)
+
+
+def test_cost_planner_plans_are_contiguous_and_exhaustive(heterogeneous_requests):
+    plan = CostPlanner().plan(heterogeneous_requests, 4)
+    assert plan.total == len(heterogeneous_requests)
+    assert sum(plan.sizes) == plan.total
+    flattened = [r for chunk in plan.split(heterogeneous_requests) for r in chunk]
+    assert flattened == list(heterogeneous_requests)
+
+
+def test_cost_planner_shrinks_duration_spread(heterogeneous_requests):
+    planner = CostPlanner()
+    for shards in (2, 3, 4, 6):
+        cost_plan = planner.plan(heterogeneous_requests, shards)
+        count_plan = CountPlanner().plan(heterogeneous_requests, shards)
+        cost_durations = planner.predicted_durations(heterogeneous_requests, cost_plan)
+        count_durations = planner.predicted_durations(heterogeneous_requests, count_plan)
+        spread = max(cost_durations) - min(cost_durations)
+        count_spread = max(count_durations) - min(count_durations)
+        # The planner's objective is the bottleneck shard: never worse
+        # than the count split's bottleneck, and strictly better spread
+        # whenever the count cuts are not already cost-optimal (every
+        # shard count here except 2, where the two splits coincide).
+        assert max(cost_durations) <= max(count_durations)
+        assert spread <= count_spread
+        if shards > 2:
+            assert spread < count_spread
+
+
+def test_cost_planner_is_deterministic(heterogeneous_requests):
+    a = CostPlanner().plan(heterogeneous_requests, 4)
+    b = CostPlanner().plan(heterogeneous_requests, 4)
+    assert a == b
+
+
+def test_cost_planner_clamps_like_count_planner(small_original_problems):
+    requests = _requests(list(small_original_problems)[:3])
+    plan = CostPlanner().plan(requests, 8)
+    assert plan.num_shards <= 3
+    assert CostPlanner().plan([], 4) == ShardPlan.for_size(0, 4)
+    with pytest.raises(ValueError):
+        CostPlanner().plan(requests, 0)
+
+
+def test_cost_planner_accounts_warm_cache_within_shard(small_dataset):
+    """Two copies of one image-pulling problem cost less together than
+    twice alone: the second pull hits the warm shard cache."""
+
+    model = CostModel(small_dataset)
+    pullers = [p for p in small_dataset if model.problem_pull_images(p)]
+    assert pullers, "corpus has no image-pulling problem"
+    problem = pullers[0]
+    one = model.predict_problem_seconds(problem)
+    pair = model.predict_problems_seconds([problem, problem])
+    assert pair < 2 * one
+    assert pair == pytest.approx(one + model.predict_base_seconds(problem))
+
+
+def test_predict_problem_seconds_prices_pulls(small_dataset):
+    model = CostModel(small_dataset)
+    pullers = [p for p in small_dataset if model.problem_pull_images(p)]
+    problem = pullers[0]
+    cold = model.predict_problem_seconds(problem)
+    warm = model.predict_problem_seconds(
+        problem, cached_images=model.problem_pull_images(problem)
+    )
+    assert warm == pytest.approx(model.predict_base_seconds(problem))
+    assert cold > warm
+
+
+def test_cost_model_without_dataset_predicts_but_refuses_token_accounting(small_dataset):
+    model = CostModel()
+    assert model.predict_problem_seconds(small_dataset[0]) > 0
+    with pytest.raises(ValueError, match="dataset"):
+        model.total_prompt_tokens()
+
+
+# ---------------------------------------------------------------------------
+# resolve_planner + config plumbing
+# ---------------------------------------------------------------------------
+
+def test_resolve_planner_specs():
+    assert isinstance(resolve_planner(None, "count"), CountPlanner)
+    cost = resolve_planner(None, "cost")
+    assert isinstance(cost, CostPlanner)
+    explicit = CountPlanner()
+    assert resolve_planner(explicit, "cost") is explicit
+    with pytest.raises(ValueError, match="shard_by"):
+        resolve_planner(None, "alphabetical")
+
+
+def test_planners_satisfy_the_protocol():
+    assert isinstance(CountPlanner(), ShardPlanner)
+    assert isinstance(CostPlanner(), ShardPlanner)
+
+
+def test_config_validates_shard_by_and_planner():
+    assert BenchmarkConfig(shard_by="cost").shard_by == "cost"
+    assert set(PLANNER_NAMES) == {"count", "cost"}
+    with pytest.raises(ValueError, match="shard_by"):
+        BenchmarkConfig(shard_by="alphabetical")
+    with pytest.raises(ValueError, match="plan"):
+        BenchmarkConfig(planner=object())
+    custom = CountPlanner()
+    assert BenchmarkConfig(planner=custom).planner is custom

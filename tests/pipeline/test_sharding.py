@@ -130,6 +130,60 @@ def test_merge_rejects_mixed_models_and_empty_input():
         merge_evaluations([ModelEvaluation(model_name="a"), ModelEvaluation(model_name="b")])
 
 
+def test_merge_error_names_the_disagreeing_shard(small_original_problems):
+    """The mismatch error must say which shard index disagreed and list the
+    shard sizes, so a mis-assembled merge is debuggable from the message."""
+
+    problems = list(small_original_problems)[:4]
+    gpt4 = EvaluationPipeline(get_model("gpt-4"), store=ReferenceStore()).run(_requests(problems))
+    gpt35 = EvaluationPipeline(get_model("gpt-3.5"), store=ReferenceStore()).run(
+        _requests(problems[:2])
+    )
+    with pytest.raises(ValueError) as excinfo:
+        merge_evaluations([gpt4, gpt4, gpt35])
+    message = str(excinfo.value)
+    assert "shard 2" in message and "'gpt-3.5'" in message and "'gpt-4'" in message
+    assert "[4, 4, 2]" in message  # the shard sizes
+
+    empty_message = ""
+    with pytest.raises(ValueError) as excinfo:
+        merge_evaluations([])
+    empty_message = str(excinfo.value)
+    assert "empty sequence" in empty_message
+
+
+# ---------------------------------------------------------------------------
+# Empty shards and planner pass-through
+# ---------------------------------------------------------------------------
+
+def test_empty_run_builds_no_checkpoints(tmp_path):
+    """Zero requests plan to one empty shard, which must be skipped: no
+    sub-pipeline, no checkpoint file, an empty evaluation."""
+
+    base = tmp_path / "empty.ckpt.jsonl"
+    with ShardedEvaluationPipeline(
+        get_model("gpt-4"), shards=4, store=ReferenceStore(), checkpoint=base
+    ) as sharded:
+        evaluation = sharded.run([])
+    assert evaluation.records == []
+    assert evaluation.model_name == "gpt-4"
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_cost_planned_shards_match_unsharded(small_original_problems):
+    """A cost-balanced plan moves the cut points, not the records."""
+
+    from repro.pipeline import CostPlanner
+
+    problems = list(small_original_problems)[:18]
+    truth = EvaluationPipeline(get_model("gpt-4"), store=ReferenceStore()).run(_requests(problems))
+    with ShardedEvaluationPipeline(
+        get_model("gpt-4"), shards=3, planner=CostPlanner(), store=ReferenceStore(), batch_size=4
+    ) as sharded:
+        evaluation = sharded.run(_requests(problems))
+    assert evaluation.records == truth.records
+
+
 # ---------------------------------------------------------------------------
 # Acceptance: kill + resume
 # ---------------------------------------------------------------------------
