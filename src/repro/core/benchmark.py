@@ -27,6 +27,11 @@ import os
 from repro.core.config import BenchmarkConfig
 from repro.dataset.problem import Problem, ProblemSet
 from repro.dataset.schema import Variant
+from repro.evalcluster.calibration import (
+    CalibratedCostModel,
+    CalibrationStore,
+    resolve_calibration,
+)
 from repro.evalcluster.cost import CostModel
 from repro.llm.interface import GenerationRequest, Model
 from repro.llm.registry import ENGLISH_ONLY_MODELS, available_models, calibrate_models, get_model
@@ -78,13 +83,34 @@ class CloudEvalBenchmark:
         # Compiled references are shared across every model evaluated by
         # this benchmark: each problem's reference is parsed exactly once.
         self._references = ReferenceStore()
+        # One calibration store per benchmark: every run's measured
+        # durations accumulate in it, and every cost model predicts from it.
+        self._calibration = resolve_calibration(self.config.calibration)
 
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
-    def cost_model(self) -> CostModel:
-        """The Figure 5 / Table 3 cost model over this benchmark's dataset."""
+    def calibration_store(self) -> CalibrationStore | None:
+        """The store measured durations flow into (None when disabled)."""
 
+        return self._calibration
+
+    def cost_model(self) -> CostModel:
+        """The Figure 5 / Table 3 cost model over this benchmark's dataset.
+
+        With ``config.calibration`` set this is a
+        :class:`~repro.evalcluster.calibration.CalibratedCostModel` whose
+        predictions blend the store's observed durations toward the
+        Figure 5 prior — the planner and the stealing scheduler then cut
+        and steal on what previous runs actually measured.
+        """
+
+        if self._calibration is not None:
+            return CalibratedCostModel(
+                self.dataset,
+                store=self._calibration,
+                prior_weight=self.config.calibration_prior_weight,
+            )
         return CostModel(self.dataset)
 
     def planner(self) -> ShardPlanner:
@@ -159,6 +185,7 @@ class CloudEvalBenchmark:
             run_unit_tests=self.config.run_unit_tests,
             checkpoint=checkpoint,
             batch_size=self.config.batch_size,
+            calibration=self._calibration,
         )
 
     def sharded_pipeline(
@@ -182,6 +209,9 @@ class CloudEvalBenchmark:
             run_unit_tests=self.config.run_unit_tests,
             checkpoint=checkpoint,
             batch_size=self.config.batch_size,
+            steal=self.config.steal,
+            cost_model=self.cost_model(),
+            calibration=self._calibration,
         )
 
     # ------------------------------------------------------------------
@@ -225,6 +255,7 @@ class CloudEvalBenchmark:
         shots: int | None = None,
         samples: int | None = None,
         checkpoint: str | os.PathLike[str] | None = None,
+        steal: bool | None = None,
     ) -> BenchmarkResult:
         """Evaluate several models (default: all twelve from the registry).
 
@@ -232,12 +263,15 @@ class CloudEvalBenchmark:
         :class:`~repro.pipeline.scheduler.MultiModelScheduler`: every
         model's planned shards interleave over one shared generation
         executor and one shared scoring pool, so the endpoint and the CPU
-        stay busy simultaneously instead of one model at a time.  Each
-        ``(model, shard)`` pair keeps its own checkpoint file derived from
-        the ``checkpoint`` base path, making a killed leaderboard run
-        resumable.  The per-model evaluations are bit-identical to
-        sequential :meth:`evaluate_model` calls for every executor backend
-        and planner.
+        stay busy simultaneously instead of one model at a time.  With
+        ``steal`` (default: ``config.steal``, i.e. on) idle capacity
+        dynamically steals batches from the model with the longest
+        predicted remaining seconds instead of following the static
+        round-robin.  Each ``(model, shard)`` pair keeps its own
+        checkpoint file derived from the ``checkpoint`` base path, making
+        a killed leaderboard run resumable.  The per-model evaluations are
+        bit-identical to sequential :meth:`evaluate_model` calls for every
+        executor backend, every planner, and either scheduling policy.
         """
 
         names = list(models) if models is not None else available_models()
@@ -272,6 +306,9 @@ class CloudEvalBenchmark:
             store=self._references,
             run_unit_tests=self.config.run_unit_tests,
             batch_size=self.config.batch_size,
+            steal=self.config.steal if steal is None else steal,
+            cost_model=self.cost_model(),
+            calibration=self._calibration,
         )
         try:
             evaluations = scheduler.run()

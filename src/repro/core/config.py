@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.dataset.schema import Variant
+from repro.evalcluster.calibration import (
+    DEFAULT_PRIOR_WEIGHT,
+    CalibrationStore,
+    is_calibration_spec,
+)
 from repro.pipeline.executors import EXECUTOR_NAMES, GENERATE_EXECUTOR_NAMES
 from repro.pipeline.pipeline import DEFAULT_BATCH_SIZE
 from repro.pipeline.planner import PLANNER_NAMES, ShardPlanner
@@ -84,6 +90,29 @@ class BenchmarkConfig:
         scored and checkpointed in batches of this size.  Smaller batches
         checkpoint more often; larger ones amortise stage overhead.
         Batching can never change a score.
+    steal:
+        Scheduling policy of multi-model (and sharded) runs.  ``True``
+        (the default): idle generation workers — and the idle scoring
+        consumer — steal the next batch from the job with the longest
+        predicted remaining seconds, so one straggler model cannot
+        bubble the whole leaderboard.  ``False``: the static round-robin
+        interleave.  Records are bit-identical either way; only the
+        wall-clock moves.
+    calibration:
+        Cost-model calibration: a
+        :class:`~repro.evalcluster.calibration.CalibrationStore` instance
+        or the path of its JSONL file.  When set, every run feeds its
+        measured per-record durations into the store, and the benchmark's
+        cost model becomes a
+        :class:`~repro.evalcluster.calibration.CalibratedCostModel` that
+        blends those observations into its predictions — so a second run
+        of the same corpus cuts its shards (``shard_by="cost"``) and
+        orders its steals on observed rather than modelled seconds.
+        ``None`` disables the loop (pure Figure 5 predictions).
+    calibration_prior_weight:
+        How many observations the Figure 5 prior is worth in the blend
+        (0 trusts the first measurement outright; large values change
+        slowly).
     """
 
     seed: int = 7
@@ -101,6 +130,9 @@ class BenchmarkConfig:
     rate_limit: float | None = None
     lease_seconds: float | None = None
     batch_size: int = DEFAULT_BATCH_SIZE
+    steal: bool = True
+    calibration: CalibrationStore | str | os.PathLike[str] | None = None
+    calibration_prior_weight: float = DEFAULT_PRIOR_WEIGHT
 
     def __post_init__(self) -> None:
         if self.shots < 0 or self.shots > 3:
@@ -125,3 +157,9 @@ class BenchmarkConfig:
             raise ValueError("lease_seconds must be positive")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if not is_calibration_spec(self.calibration):
+            raise ValueError(
+                "calibration must be a CalibrationStore, a JSONL path, or None"
+            )
+        if self.calibration_prior_weight < 0:
+            raise ValueError("calibration_prior_weight must be >= 0")

@@ -12,6 +12,10 @@ __all__ = ["format_leaderboard"]
 #: cluster time the Figure 5 model predicts for the model's problem set).
 _COST_HEADER = "pred_eval_s"
 
+#: Header of the optional measured-cost column (wall-clock stage seconds
+#: the run actually recorded on its evaluation records).
+_MEASURED_HEADER = "meas_eval_s"
+
 
 def _predicted_evaluation_seconds(evaluation: ModelEvaluation, cost_model: CostModel) -> float:
     """Figure 5-predicted seconds to evaluate this model's problem set.
@@ -38,23 +42,50 @@ def _predicted_evaluation_seconds(evaluation: ModelEvaluation, cost_model: CostM
     return cost_model.predict_problems_seconds(problems)
 
 
+def _measured_evaluation_seconds(evaluation: ModelEvaluation) -> float:
+    """Measured stage seconds over the model's first-sample problem set.
+
+    Sums the per-record ground truth the timing capture stamps on every
+    evaluation record (generation plus scoring), over exactly the scope
+    :func:`_predicted_evaluation_seconds` prices — first samples,
+    deduplicated by problem in record order — so the two columns are
+    directly comparable.
+    """
+
+    seen: set[str] = set()
+    total = 0.0
+    for record in evaluation.first_samples():
+        if record.problem_id in seen:
+            continue
+        seen.add(record.problem_id)
+        total += record.measured_seconds
+    return total
+
+
 def format_leaderboard(
     result: BenchmarkResult,
     title: str = "Zero-shot benchmark",
     cost_model: CostModel | None = None,
+    measured: bool = False,
 ) -> str:
     """Render a Table 4-style leaderboard as aligned text.
 
     Rows are ranked by unit-test score with deterministic name
     tie-breaking.  With a ``cost_model``, a ``pred_eval_s`` column is
     appended: the Figure 5-predicted seconds of evaluation cluster time
-    for each model's problem set (warm image cache across the run).
+    for each model's problem set (warm image cache across the run).  With
+    ``measured=True``, a ``meas_eval_s`` column shows the wall-clock stage
+    seconds the run actually recorded — putting the model's prediction and
+    its ground truth side by side is the quickest check of how far the
+    calibration loop has converged.
     """
 
     lines = [title, ""]
     header = f"{'#':<4}{'Model':<26}" + "".join(f"{name:>14}" for name in METRIC_NAMES)
     if cost_model is not None:
         header += f"{_COST_HEADER:>14}"
+    if measured:
+        header += f"{_MEASURED_HEADER:>14}"
     lines.append(header)
     lines.append("-" * len(header))
     for rank, (model, scores) in enumerate(result.leaderboard(), start=1):
@@ -62,5 +93,7 @@ def format_leaderboard(
         if cost_model is not None:
             seconds = _predicted_evaluation_seconds(result[model], cost_model)
             row += f"{seconds:>14.1f}"
+        if measured:
+            row += f"{_measured_evaluation_seconds(result[model]):>14.1f}"
         lines.append(row)
     return "\n".join(lines)

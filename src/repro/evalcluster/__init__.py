@@ -20,9 +20,13 @@ discrete-event simulation of that system:
   (:func:`run_jobs` / :func:`run_payloads`) used by the pipeline's
   ``ClusterExecutor``,
 * :mod:`repro.evalcluster.simulation` — the Figure 5 micro-benchmark,
-* :mod:`repro.evalcluster.cost` — the Table 3 cost model.
+* :mod:`repro.evalcluster.cost` — the Table 3 cost model,
+* :mod:`repro.evalcluster.calibration` — the measured-duration store and
+  the calibrated cost model that blends observations into the Figure 5
+  predictions.
 """
 
+from repro.evalcluster.calibration import CalibratedCostModel, CalibrationStore
 from repro.evalcluster.cost import CostModel, benchmark_cost_table
 from repro.evalcluster.kvstore import RedisLikeStore
 from repro.evalcluster.master import EvaluationJob, JobReport, Master
@@ -32,6 +36,8 @@ from repro.evalcluster.simulation import ClusterSimulationConfig, simulate_evalu
 from repro.evalcluster.worker import JobOutcome, RealExecution, SimulatedClock, Worker
 
 __all__ = [
+    "CalibratedCostModel",
+    "CalibrationStore",
     "ClusterSimulationConfig",
     "CostModel",
     "EvaluationJob",

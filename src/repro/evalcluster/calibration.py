@@ -1,0 +1,314 @@
+"""The cost-model calibration loop: measured durations feed predictions.
+
+:meth:`~repro.evalcluster.cost.CostModel.predict_problem_seconds` prices a
+problem with the paper-derived Figure 5 constants — good enough to cut a
+*first* run into balanced shards, but blind to everything the constants
+cannot see: the actual machine, the actual scoring mix, the actual
+endpoint.  Every pipeline run now measures each record's real
+generation + scoring seconds for free
+(:attr:`~repro.pipeline.records.EvaluationRecord.measured_seconds`), and
+this module closes the loop:
+
+* :class:`CalibrationStore` — a persistent JSON-lines log of observations
+  keyed by problem id (variant kept as metadata), folded into a per-problem
+  EWMA.  Write → reload → identical predictions: the log replays in order.
+* :class:`CalibratedCostModel` — a :class:`~repro.evalcluster.cost.CostModel`
+  that blends the store's observed durations into its per-problem
+  predictions.  The blend is a *geometric* shrinkage toward the Figure 5
+  prior with a configurable ``prior_weight`` (how many observations the
+  prior is worth): an unobserved problem is priced exactly as the paper
+  predicts, and with every measurement the prediction slides toward the
+  observed EWMA.  Blending in log space is deliberate — the modelled
+  scale (simulated cluster minutes) and the measured scale (real
+  milliseconds on this machine) can sit orders of magnitude apart, and a
+  linear average would let the prior's absolute magnitude drown the
+  observations forever; geometrically, a handful of measurements is
+  enough that a second run of the same corpus cuts its shards on observed
+  rather than modelled seconds.
+
+The store is what :class:`~repro.pipeline.pipeline.EvaluationPipeline`
+writes measurements into and what the work-stealing scheduler re-predicts
+remaining work from; ``BenchmarkConfig(calibration=...)`` wires both ends.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.dataset.problem import Problem
+from repro.evalcluster.cost import CostModel
+from repro.kubesim.images import normalize_image
+from repro.utils.jsonl import JsonlLog
+
+__all__ = [
+    "CalibrationEntry",
+    "CalibrationStore",
+    "CalibratedCostModel",
+    "is_calibration_spec",
+    "resolve_calibration",
+]
+
+#: Default EWMA smoothing: the newest observation's share of the average.
+DEFAULT_SMOOTHING = 0.5
+
+#: Default pseudo-observation weight of the Figure 5 prior in the blend.
+DEFAULT_PRIOR_WEIGHT = 1.0
+
+#: Floor applied before taking logs: a measured duration can quantise to
+#: zero at clock resolution, and the prior of a trivial problem could in
+#: principle be zero too.
+_LOG_FLOOR_SECONDS = 1e-9
+
+
+@dataclass
+class CalibrationEntry:
+    """The folded calibration state of one problem."""
+
+    problem_id: str
+    variant: str
+    count: int = 0
+    ewma_seconds: float = 0.0
+
+    def absorb(self, seconds: float, smoothing: float) -> None:
+        """Fold one measured duration into the EWMA."""
+
+        if self.count == 0:
+            self.ewma_seconds = seconds
+        else:
+            self.ewma_seconds = smoothing * seconds + (1.0 - smoothing) * self.ewma_seconds
+        self.count += 1
+
+
+class CalibrationStore:
+    """Measured per-problem durations, persistent across runs.
+
+    The backing file is an append-only JSON-lines log with one observation
+    per line (``{"problem_id", "variant", "seconds"}``); loading replays
+    the log through the same EWMA fold, so a reloaded store predicts
+    identically to the store that wrote it.  A torn final line from a
+    killed run is dropped, exactly like the pipeline checkpoints.
+
+    ``version`` increments on every absorbed observation — consumers that
+    memoise predictions derived from this store (the calibrated cost
+    model, the stealing scheduler's remaining-seconds estimates) compare
+    it to decide when to re-predict.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str] | None = None,
+        smoothing: float = DEFAULT_SMOOTHING,
+    ) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.path = Path(path) if path is not None else None
+        self.smoothing = smoothing
+        self.version = 0
+        self._entries: dict[str, CalibrationEntry] = {}
+        self._lock = threading.Lock()
+        self._log = JsonlLog(self.path) if self.path is not None else None
+        if self._log is not None:
+            # Replay the durable observations through the same EWMA fold
+            # that produced them (same discipline as the pipeline
+            # checkpoints, shared via JsonlLog): a torn tail is ignored
+            # here and sealed off by the next append, never on load.
+            for problem_id, variant, seconds in self._log.scan(self._decode):
+                self._absorb(problem_id, variant, seconds)
+
+    # -- persistence --------------------------------------------------------
+    @staticmethod
+    def _decode(line: bytes) -> tuple[str, str, float]:
+        payload = json.loads(line)
+        return payload["problem_id"], payload.get("variant", ""), float(payload["seconds"])
+
+    # -- observations -------------------------------------------------------
+    def _absorb(self, problem_id: str, variant: str, seconds: float) -> None:
+        entry = self._entries.get(problem_id)
+        if entry is None:
+            entry = self._entries[problem_id] = CalibrationEntry(problem_id, variant)
+        entry.absorb(seconds, self.smoothing)
+        self.version += 1
+
+    def observe(self, problem_id: str, variant: str, seconds: float) -> None:
+        """Record one measured duration (and append it to the log)."""
+
+        self.observe_batch([(problem_id, variant, seconds)])
+
+    def observe_batch(self, observations: Iterable[tuple[str, str, float]]) -> None:
+        """Record a batch of measured durations with one durable append.
+
+        The batch is validated in full before anything is absorbed, so a
+        bad observation can never leave the in-memory EWMAs diverged from
+        the log (write → reload → identical predictions must hold even
+        across a rejected batch).
+        """
+
+        cleaned: list[tuple[str, str, float]] = []
+        for problem_id, variant, seconds in observations:
+            seconds = float(seconds)
+            if seconds < 0.0:
+                raise ValueError(f"negative duration for {problem_id!r}: {seconds}")
+            cleaned.append((problem_id, variant, seconds))
+        if not cleaned:
+            return
+        lines = [
+            json.dumps({"problem_id": problem_id, "variant": variant, "seconds": seconds}) + "\n"
+            for problem_id, variant, seconds in cleaned
+        ]
+        with self._lock:
+            for problem_id, variant, seconds in cleaned:
+                self._absorb(problem_id, variant, seconds)
+            if self._log is not None:
+                self._log.append(lines)
+
+    # -- queries ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[CalibrationEntry]:
+        return iter(self._entries.values())
+
+    def get(self, problem_id: str) -> CalibrationEntry | None:
+        """The folded entry of one problem, or None when never observed."""
+
+        return self._entries.get(problem_id)
+
+    def seconds_for(self, problem_id: str) -> float | None:
+        """The observed EWMA duration of a problem (None when unobserved)."""
+
+        entry = self._entries.get(problem_id)
+        return entry.ewma_seconds if entry is not None else None
+
+    def count_for(self, problem_id: str) -> int:
+        """How many observations a problem has absorbed."""
+
+        entry = self._entries.get(problem_id)
+        return entry.count if entry is not None else 0
+
+
+@dataclass
+class CalibratedCostModel(CostModel):
+    """A :class:`CostModel` whose predictions learn from measured runs.
+
+    For an unobserved problem every prediction is exactly the parent's
+    Figure 5 number.  Once the store holds ``count`` measurements, the
+    prediction becomes a geometric shrinkage blend::
+
+        w = prior_weight / (prior_weight + count)
+        prediction = figure5_total ** w  *  observed_ewma ** (1 - w)
+
+    where ``figure5_total`` is the problem's *cold* modelled cost (base
+    execution plus every image pull) — the measurement covers the whole
+    evaluation, so the blend replaces both components, and
+    :meth:`problem_charge_images` charges no separate pulls for observed
+    problems (their transfer cost, if any, is inside the measurement).
+    Their images still *warm* the shard cache
+    (:meth:`problem_pull_images` is unchanged): the pulls happen whether
+    or not they are separately priced, so an unobserved problem sharing
+    an image with an observed one upstream keeps its warm-cache discount.
+    ``prior_weight`` is the prior's worth in pseudo-observations: 0 trusts
+    the first measurement outright, large values change slowly.  The blend
+    is geometric because the two scales can differ by orders of magnitude
+    (simulated cluster minutes vs. real milliseconds); averaging the
+    *logs* hands relative structure over to the observations within a few
+    measurements, where a linear average would stay pinned to the prior's
+    absolute magnitude indefinitely.
+
+    Prediction memos inherited from the parent are invalidated whenever
+    the store has absorbed a new measurement since the last prediction, so
+    a scheduler holding this model re-predicts remaining work as
+    measurements stream in.
+    """
+
+    store: CalibrationStore = field(default_factory=CalibrationStore)
+    prior_weight: float = DEFAULT_PRIOR_WEIGHT
+    _seen_version: int = field(default=-1, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.prior_weight < 0.0:
+            raise ValueError("prior_weight must be >= 0")
+
+    # -- memo refresh -------------------------------------------------------
+    def _refresh(self) -> None:
+        """Invalidate store-dependent memos when new measurements arrived.
+
+        Only the base-seconds blend reads the store; the pull-image lists
+        are pure in the problem, so their memo survives — clearing it too
+        would re-derive every remaining problem's image list on each
+        re-prediction sweep, the very work its satellite memo exists to
+        avoid.
+        """
+
+        if self._seen_version != self.store.version:
+            self._base_seconds_cache.clear()
+            self._seen_version = self.store.version
+
+    def predict_base_seconds(self, problem: Problem) -> float:
+        self._refresh()
+        return super().predict_base_seconds(problem)
+
+    def problem_charge_images(self, problem: Problem) -> tuple[str, ...]:
+        # An observed problem's measurement already contains whatever
+        # transfer happened; pricing modelled pulls on top would double
+        # count, so nothing is charged — but problem_pull_images is left
+        # alone, so its images still warm the shard cache for later
+        # problems that share them.
+        self._refresh()
+        if self.store.seconds_for(problem.problem_id) is not None:
+            return ()
+        return super().problem_charge_images(problem)
+
+    # -- the calibrated predictions -----------------------------------------
+    def _cold_prior_seconds(self, problem: Problem) -> float:
+        """The Figure 5 cold cost: base execution plus every unique pull."""
+
+        total = CostModel._compute_base_seconds(self, problem)
+        seen: set[str] = set()
+        for image in self.problem_pull_images(problem):
+            key = normalize_image(image)
+            if key not in seen:
+                seen.add(key)
+                total += self.image_pull_seconds(image)
+        return total
+
+    def _compute_base_seconds(self, problem: Problem) -> float:
+        observed = self.store.seconds_for(problem.problem_id)
+        if observed is None:
+            return super()._compute_base_seconds(problem)
+        if self.prior_weight == 0.0:
+            return observed
+        count = self.store.count_for(problem.problem_id)
+        prior = self._cold_prior_seconds(problem)
+        weight = self.prior_weight / (self.prior_weight + count)
+        return math.exp(
+            weight * math.log(max(prior, _LOG_FLOOR_SECONDS))
+            + (1.0 - weight) * math.log(max(observed, _LOG_FLOOR_SECONDS))
+        )
+
+def is_calibration_spec(calibration: object) -> bool:
+    """Whether a value is an acceptable ``calibration`` configuration —
+    a store instance, a JSONL path, or None.  The single definition both
+    :func:`resolve_calibration` and ``BenchmarkConfig`` validate against."""
+
+    return calibration is None or isinstance(calibration, (CalibrationStore, str, os.PathLike))
+
+
+def resolve_calibration(
+    calibration: "CalibrationStore | str | os.PathLike[str] | None",
+) -> CalibrationStore | None:
+    """Turn a config value (store instance or JSONL path) into a store."""
+
+    if not is_calibration_spec(calibration):
+        raise TypeError(
+            "calibration must be a CalibrationStore, a JSONL path, or None; "
+            f"got {type(calibration).__name__}"
+        )
+    if calibration is None or isinstance(calibration, CalibrationStore):
+        return calibration
+    return CalibrationStore(calibration)

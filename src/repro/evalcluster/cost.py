@@ -79,6 +79,27 @@ class CostModel:
     dataset: ProblemSet | None = None
     prompt_overhead_tokens: int = 90  # the shared prompt template
     simulation: ClusterSimulationConfig = field(default_factory=ClusterSimulationConfig)
+    # Per-problem prediction memos.  The shard planner prices every request
+    # and the work-stealing scheduler re-predicts remaining seconds on every
+    # claim, so the same problem is priced many times per run; both
+    # predictions are pure in the problem, so they are cached by problem id.
+    # A subclass that folds new information in should clear exactly the
+    # memos that depend on it (the calibration loop clears only
+    # ``_base_seconds_cache`` on a store version bump — image lists are
+    # pure in the problem and stay warm; see CalibratedCostModel._refresh);
+    # :meth:`invalidate_predictions` is the blunt full reset.
+    _base_seconds_cache: dict[str, float] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _pull_images_cache: dict[str, tuple[str, ...]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def invalidate_predictions(self) -> None:
+        """Drop every per-problem prediction memo (blunt full reset)."""
+
+        self._base_seconds_cache.clear()
+        self._pull_images_cache.clear()
 
     # -- token accounting ---------------------------------------------------
     def _dataset(self) -> ProblemSet:
@@ -94,13 +115,22 @@ class CostModel:
 
     # -- per-problem wall-clock prediction (Figure 5) -----------------------
     def predict_base_seconds(self, problem: Problem) -> float:
-        """Expected execution seconds once every image is local.
+        """Expected execution seconds once every image is local (memoised).
 
         Shares the simulation's job-pricing formula
         (:func:`~repro.evalcluster.simulation.job_base_seconds`), with the
         heavy tail (wait timeouts, flaky pulls) folded in as its
         expectation instead of a per-run Bernoulli draw.
         """
+
+        cached = self._base_seconds_cache.get(problem.problem_id)
+        if cached is None:
+            cached = self._compute_base_seconds(problem)
+            self._base_seconds_cache[problem.problem_id] = cached
+        return cached
+
+    def _compute_base_seconds(self, problem: Problem) -> float:
+        """The uncached Figure 5 base prediction (the calibration seam)."""
 
         config = self.simulation
         return job_base_seconds(
@@ -110,7 +140,7 @@ class CostModel:
         )
 
     def problem_pull_images(self, problem: Problem) -> tuple[str, ...]:
-        """Images the problem's unit test pulls over the network.
+        """Images the problem's unit test pulls over the network (memoised).
 
         The simulation's job image list
         (:func:`~repro.evalcluster.simulation.job_images`) minus the
@@ -118,10 +148,32 @@ class CostModel:
         everything else is a candidate registry-cache hit.
         """
 
+        cached = self._pull_images_cache.get(problem.problem_id)
+        if cached is None:
+            cached = self._compute_pull_images(problem)
+            self._pull_images_cache[problem.problem_id] = cached
+        return cached
+
+    def _compute_pull_images(self, problem: Problem) -> tuple[str, ...]:
+        """The uncached network-pull image list (the calibration seam)."""
+
         preloaded = {normalize_image(image) for image in self.simulation.preloaded_images}
         return tuple(
             image for image in job_images(problem) if normalize_image(image) not in preloaded
         )
+
+    def problem_charge_images(self, problem: Problem) -> tuple[str, ...]:
+        """Images whose pull time is *charged* on top of the base seconds.
+
+        Identical to :meth:`problem_pull_images` for the pure Figure 5
+        model.  The two lists differ only under calibration: an observed
+        problem's measured duration already contains whatever transfer
+        happened, so nothing is charged for it — but its images still
+        land in the worker's local cache and must keep warming the shard
+        for later problems that share them.
+        """
+
+        return self.problem_pull_images(problem)
 
     def image_pull_seconds(self, image: str) -> float:
         """Seconds to pull one image over the shared internet uplink."""
@@ -141,7 +193,7 @@ class CostModel:
 
         cached = {normalize_image(image) for image in cached_images}
         pull = 0.0
-        for image in self.problem_pull_images(problem):
+        for image in self.problem_charge_images(problem):
             if normalize_image(image) not in cached:
                 pull += self.image_pull_seconds(image)
                 cached.add(normalize_image(image))

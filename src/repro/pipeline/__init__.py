@@ -18,7 +18,11 @@ cuts land is a pluggable :class:`ShardPlanner` policy — by request count
 shards finish together (:class:`CostPlanner`).  A leaderboard run hands
 several models to the :class:`MultiModelScheduler`, which interleaves
 their shards over one shared generation executor and one shared scoring
-pool with per-``(model, shard)`` checkpoints.
+pool with per-``(model, shard)`` checkpoints — dynamically by default:
+idle workers steal the next batch from the job with the longest
+predicted remaining seconds (:class:`StealPolicy`), re-predicted from
+measured durations when a calibration store is wired in
+(:mod:`repro.evalcluster.calibration`).
 
 Typical use::
 
@@ -63,7 +67,7 @@ from repro.pipeline.planner import (
     resolve_planner,
 )
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
-from repro.pipeline.scheduler import ModelJob, MultiModelScheduler
+from repro.pipeline.scheduler import ModelJob, MultiModelScheduler, StealPolicy
 from repro.pipeline.sharding import ShardedEvaluationPipeline, merge_evaluations
 from repro.pipeline.stages import (
     AggregateStage,
@@ -103,6 +107,7 @@ __all__ = [
     "ShardedEvaluationPipeline",
     "Stage",
     "StageContext",
+    "StealPolicy",
     "ThreadedExecutor",
     "WorkItem",
     "close_executor",

@@ -8,9 +8,16 @@ of their unit of work — ``(model, problem, shots, sample)`` — so a re-run
 of the same pipeline skips straight past everything already evaluated.
 
 The store is an append-only JSON-lines file (one record per line) when
-given a path, or purely in-memory otherwise.  JSON-lines keeps the common
-crash case safe: a partially written final line is dropped on load while
-every complete line survives.
+given a path, or purely in-memory otherwise.  Durability is torn-write
+proof in both directions (:class:`repro.utils.jsonl.JsonlLog`): appends
+are written per batch with a single flush + fsync, a kill mid-append
+loses at most the final, partially written line — which later loads
+skip and the next append seals into its own junk line so records can
+never glue onto the fragment — and full rewrites (:meth:`clear`,
+:meth:`compact`) go through a temporary file renamed over the original
+with :func:`os.replace`, so the file is atomically either the old
+content or the new, never a torn hybrid.  Loads stream and never write:
+opening a checkpoint someone else is appending to is always safe.
 """
 
 from __future__ import annotations
@@ -19,9 +26,10 @@ import json
 import os
 import re
 from pathlib import Path
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.pipeline.records import EvaluationRecord, record_from_dict, record_to_dict
+from repro.utils.jsonl import JsonlLog
 
 __all__ = ["PipelineCheckpoint", "model_checkpoint_base", "shard_checkpoint_path"]
 
@@ -64,30 +72,22 @@ class PipelineCheckpoint:
     def __init__(self, path: str | os.PathLike[str] | None = None) -> None:
         self.path = Path(path) if path is not None else None
         self._records: dict[RecordKey, EvaluationRecord] = {}
-        if self.path is not None and self.path.exists():
-            self._load()
-
-    # -- persistence --------------------------------------------------------
-    def _load(self) -> None:
-        assert self.path is not None
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = record_from_dict(json.loads(line))
-                except (json.JSONDecodeError, KeyError, TypeError):
-                    # A torn final line from an interrupted run; everything
-                    # before it is intact, so stop there.
-                    break
+        self._log = JsonlLog(self.path) if self.path is not None else None
+        if self._log is not None:
+            # Stream every complete, parseable line; a torn tail is
+            # ignored here and sealed off by the log on the next append,
+            # so a new record can never glue onto the fragment.  Loading
+            # writes nothing — observing a live checkpoint is always safe.
+            for record in self._log.scan(
+                lambda line: record_from_dict(json.loads(line)),
+                errors=(ValueError, KeyError, TypeError),
+            ):
                 self._records[record.key] = record
 
-    def _append(self, record: EvaluationRecord) -> None:
-        assert self.path is not None
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record_to_dict(record)) + "\n")
+    # -- persistence --------------------------------------------------------
+    @staticmethod
+    def _lines(records: Iterable[EvaluationRecord]) -> list[str]:
+        return [json.dumps(record_to_dict(record)) + "\n" for record in records]
 
     # -- record access ------------------------------------------------------
     def __len__(self) -> int:
@@ -104,15 +104,37 @@ class PipelineCheckpoint:
     def put(self, record: EvaluationRecord) -> None:
         """Store a finished record (and append it to the backing file)."""
 
-        if record.key in self._records:
-            return
-        self._records[record.key] = record
-        if self.path is not None:
-            self._append(record)
+        self.put_batch([record])
+
+    def put_batch(self, records: Iterable[EvaluationRecord]) -> None:
+        """Store a batch of finished records with one durable append.
+
+        Already-stored keys are skipped; the file is opened, flushed and
+        fsynced once per batch rather than once per record.
+        """
+
+        fresh: list[EvaluationRecord] = []
+        for record in records:
+            if record.key in self._records:
+                continue
+            self._records[record.key] = record
+            fresh.append(record)
+        if self._log is not None and fresh:
+            self._log.append(self._lines(fresh))
+
+    def compact(self) -> None:
+        """Atomically rewrite the backing file to exactly the live records.
+
+        Useful after many resumed partial runs appended to the same file;
+        the rewrite is all-or-nothing (temp file + ``os.replace``).
+        """
+
+        if self._log is not None:
+            self._log.rewrite(self._lines(self._records.values()))
 
     def clear(self) -> None:
-        """Forget every stored record (and truncate the backing file)."""
+        """Forget every stored record (and atomically truncate the file)."""
 
         self._records.clear()
-        if self.path is not None and self.path.exists():
-            self.path.write_text("", encoding="utf-8")
+        if self._log is not None and self.path is not None and self.path.exists():
+            self._log.rewrite(())

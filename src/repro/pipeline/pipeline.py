@@ -17,8 +17,9 @@ selection without changing a single score.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.llm.interface import GenerationRequest, Model, QueryModule
 from repro.pipeline.checkpoint import PipelineCheckpoint
@@ -26,6 +27,9 @@ from repro.pipeline.executors import Executor, close_executor, resolve_executor
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
 from repro.pipeline.stages import AggregateStage, Stage, StageContext, WorkItem, default_stages
 from repro.scoring.compiled import ReferenceStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.evalcluster.calibration import CalibrationStore
 
 __all__ = ["EvaluationPipeline", "PreparedBatch"]
 
@@ -78,6 +82,13 @@ class EvaluationPipeline:
     batch_size:
         Streaming granularity of :meth:`run_iter` — smaller batches
         checkpoint more often, larger ones amortise stage overhead.
+    calibration:
+        Optional :class:`~repro.evalcluster.calibration.CalibrationStore`:
+        every freshly evaluated record's measured duration (generation +
+        scoring seconds) is fed into it, closing the loop from real runs
+        back to the cost model's per-problem predictions.  Records served
+        from a checkpoint were observed when first computed and are not
+        re-observed.
     """
 
     def __init__(
@@ -94,6 +105,7 @@ class EvaluationPipeline:
         rate_limit: float | None = None,
         generate_executor: str | Executor | None = None,
         lease_seconds: float | None = None,
+        calibration: "CalibrationStore | None" = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -121,6 +133,7 @@ class EvaluationPipeline:
             PipelineCheckpoint(checkpoint) if isinstance(checkpoint, str) else checkpoint
         )
         self.batch_size = batch_size
+        self.calibration = calibration
 
     # ------------------------------------------------------------------
     # Streaming evaluation
@@ -170,8 +183,16 @@ class EvaluationPipeline:
         if prepared.todo:
             front, _ = self._front_back_stages()
             items = [WorkItem(request=prepared.requests[index]) for index in prepared.todo]
+            start = time.perf_counter()
             for stage in front:
                 items = stage.process(items, self.context)
+            # The generation-side stages run (and with the async backend,
+            # overlap) as one batch, so the batch's wall-clock is shared
+            # evenly across its items — the per-request view of a cost the
+            # endpoint only exposes per batch.
+            elapsed = (time.perf_counter() - start) / max(1, len(items))
+            for item in items:
+                item.generate_seconds = elapsed
             prepared.items = items
         return prepared
 
@@ -192,10 +213,18 @@ class EvaluationPipeline:
         # stream mid-batch.  Failed generations are NOT checkpointed — a
         # captured endpoint error is transient, and a resume must retry it
         # rather than serve the zero-score record forever.
+        finished = [record for record in fresh.values() if not record.error]
         if self.checkpoint is not None:
-            for record in fresh.values():
-                if not record.error:
-                    self.checkpoint.put(record)
+            self.checkpoint.put_batch(finished)
+        if self.calibration is not None and finished:
+            # Close the measure-then-model loop: every fresh, successful
+            # record contributes its measured duration to the store the
+            # calibrated cost model predicts from (one durable append per
+            # batch, like the checkpoint).
+            self.calibration.observe_batch(
+                (record.problem_id, record.variant, record.measured_seconds)
+                for record in finished
+            )
         for index in range(len(prepared.requests)):
             yield prepared.cached[index] if index in prepared.cached else fresh[index]
 

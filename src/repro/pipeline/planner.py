@@ -26,7 +26,9 @@ executor choice — can never change a ScoreCard.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
+from functools import cached_property
 from typing import TYPE_CHECKING, Protocol, Sequence, TypeVar, runtime_checkable
 
 from repro.evalcluster.cost import CostModel
@@ -135,15 +137,28 @@ class ShardPlan:
             start += size
         return tuple(out)
 
+    @cached_property
+    def _stops(self) -> tuple[int, ...]:
+        """Cumulative end offsets of every shard (cached; the plan is frozen)."""
+
+        stops: list[int] = []
+        position = 0
+        for size in self.sizes:
+            position += size
+            stops.append(position)
+        return tuple(stops)
+
     def shard_of(self, index: int) -> int:
-        """Which shard owns global work-unit ``index``."""
+        """Which shard owns global work-unit ``index``.
+
+        Binary search over the cumulative shard offsets — the schedulers
+        ask this per batch, and a linear scan over the bounds made the
+        lookup quadratic across a run.
+        """
 
         if not 0 <= index < self.total:
             raise IndexError(f"index {index} out of range for {self.total} units")
-        for shard, (start, stop) in enumerate(self.bounds()):
-            if start <= index < stop:
-                return shard
-        raise AssertionError("unreachable")  # pragma: no cover
+        return bisect_right(self._stops, index)
 
     def split(self, items: Sequence[T]) -> list[list[T]]:
         """Slice ``items`` into per-shard lists."""
@@ -199,35 +214,49 @@ class CostPlanner:
     # -- request pricing ----------------------------------------------------
     def _price(
         self, requests: Sequence["GenerationRequest"]
-    ) -> tuple[list[float], list[tuple[object, ...]], dict[object, float]]:
-        """Per-request base seconds, normalized pull-image keys, pull prices.
+    ) -> tuple[
+        list[float],
+        list[tuple[object, ...]],
+        list[tuple[object, ...]],
+        dict[object, float],
+    ]:
+        """Per-request base seconds, charge/warm image keys, pull prices.
 
         Images are keyed by their normalized ``(repository, tag)`` so two
         spellings of one image ("nginx" / "nginx:latest") share a single
-        cache slot, exactly as the registry-cache model treats them.
+        cache slot, exactly as the registry-cache model treats them.  The
+        *charge* list prices a request's pulls; the *warm* list is what
+        the request leaves in the shard's cache — they differ only under
+        calibration, where an observed problem's pulls are already inside
+        its measured seconds but its images still warm the cache.
         """
 
         model = self.cost_model
         base: list[float] = []
-        images: list[tuple[object, ...]] = []
+        charges: list[tuple[object, ...]] = []
+        warms: list[tuple[object, ...]] = []
         pull_seconds: dict[object, float] = {}
         for request in requests:
             problem = request.problem
             base.append(model.predict_base_seconds(problem))
-            keys = []
-            for image in model.problem_pull_images(problem):
+            charge_keys = []
+            for image in model.problem_charge_images(problem):
                 key = normalize_image(image)
-                keys.append(key)
+                charge_keys.append(key)
                 if key not in pull_seconds:
                     pull_seconds[key] = model.image_pull_seconds(image)
-            images.append(tuple(keys))
-        return base, images, pull_seconds
+            charges.append(tuple(charge_keys))
+            warms.append(
+                tuple(normalize_image(image) for image in model.problem_pull_images(problem))
+            )
+        return base, charges, warms, pull_seconds
 
     @staticmethod
     def _greedy_sizes(
         cap: float,
         base: Sequence[float],
-        images: Sequence[tuple[str, ...]],
+        charges: Sequence[tuple[str, ...]],
+        warms: Sequence[tuple[str, ...]],
         pull_seconds: dict[str, float],
     ) -> list[int]:
         """Contiguous shards whose predicted duration stays under ``cap``.
@@ -243,17 +272,17 @@ class CostPlanner:
         warm: set[str] = set()
         for index in range(len(base)):
             marginal = base[index] + sum(
-                pull_seconds[image] for image in set(images[index]) if image not in warm
+                pull_seconds[image] for image in set(charges[index]) if image not in warm
             )
             if current and current_seconds + marginal > cap:
                 sizes.append(current)
                 current = 0
                 current_seconds = 0.0
                 warm = set()
-                marginal = base[index] + sum(pull_seconds[image] for image in set(images[index]))
+                marginal = base[index] + sum(pull_seconds[image] for image in set(charges[index]))
             current += 1
             current_seconds += marginal
-            warm.update(images[index])
+            warm.update(warms[index])
         if current:
             sizes.append(current)
         return sizes
@@ -267,20 +296,20 @@ class CostPlanner:
         if total == 0 or shards == 1:
             return ShardPlan.for_size(total, shards)
 
-        base, images, pull_seconds = self._price(requests)
+        base, charges, warms, pull_seconds = self._price(requests)
         cold = [
             item + sum(pull_seconds[image] for image in set(pulls))
-            for item, pulls in zip(base, images)
+            for item, pulls in zip(base, charges)
         ]
         low = max(cold)  # below this, the most expensive request fits nowhere
         high = sum(cold)  # one shard holding everything is always feasible
         for _ in range(_BISECTION_STEPS):
             mid = (low + high) / 2.0
-            if len(self._greedy_sizes(mid, base, images, pull_seconds)) <= shards:
+            if len(self._greedy_sizes(mid, base, charges, warms, pull_seconds)) <= shards:
                 high = mid
             else:
                 low = mid
-        return ShardPlan.from_sizes(self._greedy_sizes(high, base, images, pull_seconds))
+        return ShardPlan.from_sizes(self._greedy_sizes(high, base, charges, warms, pull_seconds))
 
     def predicted_durations(
         self, requests: Sequence["GenerationRequest"], plan: ShardPlan

@@ -20,7 +20,16 @@ __all__ = ["EvaluationRecord", "ModelEvaluation", "record_to_dict", "record_from
 
 @dataclass(frozen=True)
 class EvaluationRecord:
-    """One scored response."""
+    """One scored response.
+
+    ``generate_seconds``/``score_seconds`` are the *measured* wall-clock
+    durations of the record's generation-side and scoring-side stage work.
+    They are excluded from equality: two runs of the same request produce
+    the same record even though their wall-clocks differ, which is what
+    lets the executor/planner/scheduler equivalence suites assert
+    bit-identity while every run still ships ground-truth durations for
+    the cost-model calibration loop.
+    """
 
     model_name: str
     problem_id: str
@@ -36,12 +45,22 @@ class EvaluationRecord:
     scores: ScoreCard
     raw_response: str = ""
     error: str = ""
+    generate_seconds: float = field(default=0.0, compare=False)
+    score_seconds: float = field(default=0.0, compare=False)
 
     @property
     def key(self) -> tuple[str, str, int, int]:
         """Identity of the unit of work: (model, problem, shots, sample)."""
 
         return (self.model_name, self.problem_id, self.shots, self.sample_index)
+
+    @property
+    def measured_seconds(self) -> float:
+        """Total measured stage seconds (generation plus scoring) — the
+        ground-truth duration the calibration loop feeds back into the
+        cost model's per-problem predictions."""
+
+        return self.generate_seconds + self.score_seconds
 
 
 def record_to_dict(record: EvaluationRecord) -> dict[str, Any]:

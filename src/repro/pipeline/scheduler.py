@@ -6,18 +6,36 @@ A's last shard is being scored (CPU), the endpoint sits idle; while model
 B's first shard is being generated (I/O), the scoring pool sits idle —
 one fill/drain bubble *per model*.  :class:`MultiModelScheduler` removes
 all but one of those bubbles: it splits every model's requests into
-planned shards (:mod:`repro.pipeline.planner`), interleaves the shards'
-batches round-robin across models, and drives them all through **one**
-shared generation executor and **one** shared scoring executor, so a
-leaderboard run saturates the endpoint and the scoring pool
-simultaneously.
+planned shards (:mod:`repro.pipeline.planner`), cuts the shards into
+batch units, and drives them all through **one** shared generation
+executor and **one** shared scoring executor, so a leaderboard run
+saturates the endpoint and the scoring pool simultaneously.
 
-Determinism is preserved per model: a model's batches are produced in
-request order (interleaving only weaves *between* models), every stage is
-a pure function, and records are folded back per model — so each model's
+How the units are *ordered* is the scheduling policy:
+
+* **Work stealing** (``steal=True``, the default): units live in per-job
+  deques behind one shared claim point.  Whenever a generation worker —
+  or the scoring consumer itself — goes idle, it steals the next batch
+  from the job with the longest **predicted remaining seconds**
+  (:class:`StealPolicy`), so a straggler model is attacked early and its
+  bubbles are filled with other models' work.  Predictions come from the
+  configured :class:`~repro.evalcluster.cost.CostModel`; with a
+  :class:`~repro.evalcluster.calibration.CalibratedCostModel` they are
+  *re-predicted as measurements arrive* — the store's version bump
+  invalidates the remaining-seconds estimates, so the steal order adapts
+  mid-run to observed rather than modelled durations.
+* **Static round-robin** (``steal=False``): the PR 4 behaviour — batch k
+  of every job before batch k+1 of any job, released in exactly that
+  order.  Kept as the baseline the stealing benchmark measures against.
+
+Determinism of *results* is preserved under both policies: a model's
+batches are claimed and released in request order (stealing only reorders
+*between* models), every stage is a pure function, and records are folded
+back per model — so each model's
 :class:`~repro.pipeline.records.ModelEvaluation` is bit-identical to a
-sequential ``evaluate_model`` run, for every executor backend and every
-planner.
+sequential ``evaluate_model`` run, for every executor backend, every
+planner, and either scheduling policy.  Stealing reorders execution,
+never record identity.
 
 Each ``(model, shard)`` pair keeps its own checkpoint file derived from
 the job's base path, so a killed leaderboard run resumes exactly where
@@ -28,9 +46,11 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
+from repro.evalcluster.cost import CostModel
 from repro.llm.interface import GenerationRequest, Model
 from repro.pipeline.checkpoint import PipelineCheckpoint, shard_checkpoint_path
 from repro.pipeline.executors import Executor, close_executor, resolve_executor
@@ -39,7 +59,14 @@ from repro.pipeline.planner import CountPlanner, ShardPlan, ShardPlanner
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
 from repro.scoring.compiled import ReferenceStore
 
-__all__ = ["ModelJob", "MultiModelScheduler"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.evalcluster.calibration import CalibrationStore
+
+__all__ = ["ModelJob", "MultiModelScheduler", "StealPolicy"]
+
+#: A batch unit: the sub-pipeline owning the shard plus the requests of
+#: one streaming batch within it.
+Unit = tuple[EvaluationPipeline, list[GenerationRequest]]
 
 
 class _ProducerFailure:
@@ -67,6 +94,63 @@ class ModelJob:
         return self.model.name
 
 
+class StealPolicy:
+    """Choose which job an idle worker steals its next batch from.
+
+    The policy is a pure function of the schedule state, which is what
+    makes steal order testable and deterministic: given the same remaining
+    predictions and the same claim history, every run steals in the same
+    sequence.
+
+    The default picks the claimable job with the longest predicted
+    remaining seconds — the job most likely to straggle — breaking ties on
+    the lowest job index.  Jobs whose generation lock is currently held
+    are deprioritised when any free-lock alternative exists: stealing from
+    a busy job would serialise behind its in-flight batch instead of
+    adding parallelism.
+    """
+
+    def choose(
+        self,
+        remaining: Sequence[float],
+        claimable: Sequence[bool],
+        busy: Sequence[bool] | None = None,
+    ) -> int | None:
+        """The job to claim from next, or None when nothing is claimable."""
+
+        def best(candidates: list[int]) -> int | None:
+            if not candidates:
+                return None
+            return max(candidates, key=lambda j: (remaining[j], -j))
+
+        candidates = [j for j in range(len(claimable)) if claimable[j]]
+        if busy is not None:
+            free = [j for j in candidates if not busy[j]]
+            chosen = best(free)
+            if chosen is not None:
+                return chosen
+        return best(candidates)
+
+    def choose_for_consumer(
+        self,
+        next_unit_seconds: Sequence[float],
+        claimable: Sequence[bool],
+    ) -> int | None:
+        """The job the *scoring consumer* should steal from, or None.
+
+        The consumer's goal is the opposite of a generation worker's: it
+        is the only scoring thread, so every second it spends preparing a
+        batch is a second the CPU pipeline stalls.  It therefore grabs the
+        *cheapest* predicted next batch — just enough work to stay busy —
+        and leaves the stragglers to the dedicated workers.
+        """
+
+        candidates = [j for j in range(len(claimable)) if claimable[j]]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda j: (next_unit_seconds[j], j))
+
+
 class MultiModelScheduler:
     """Interleave planned shards of several models over shared executors.
 
@@ -77,6 +161,14 @@ class MultiModelScheduler:
     cut (:class:`~repro.pipeline.planner.CountPlanner` by default,
     :class:`~repro.pipeline.planner.CostPlanner` to balance by predicted
     seconds).
+
+    ``steal`` selects the scheduling policy (see the module docstring);
+    ``cost_model`` prices batches for the steal policy's remaining-seconds
+    estimates, ``calibration`` is the
+    :class:`~repro.evalcluster.calibration.CalibrationStore` every
+    sub-pipeline feeds measured durations into (when the cost model is a
+    :class:`~repro.evalcluster.calibration.CalibratedCostModel` over the
+    same store, stealing re-predicts as those measurements arrive).
 
     Executors resolved here from spec strings are owned by (and torn down
     with) this scheduler; instances passed in belong to the caller.
@@ -97,6 +189,10 @@ class MultiModelScheduler:
         run_unit_tests: bool = True,
         batch_size: int = DEFAULT_BATCH_SIZE,
         prefetch_batches: int = 2,
+        steal: bool = True,
+        steal_policy: StealPolicy | None = None,
+        cost_model: CostModel | None = None,
+        calibration: "CalibrationStore | None" = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -122,6 +218,17 @@ class MultiModelScheduler:
         self.run_unit_tests = run_unit_tests
         self.batch_size = batch_size
         self.prefetch_batches = prefetch_batches
+        self.steal = steal
+        self.steal_policy = steal_policy if steal_policy is not None else StealPolicy()
+        self.calibration = calibration
+        if cost_model is None:
+            if calibration is not None:
+                from repro.evalcluster.calibration import CalibratedCostModel
+
+                cost_model = CalibratedCostModel(store=calibration)
+            else:
+                cost_model = CostModel()
+        self.cost_model = cost_model
         # Executors are shared across every sub-pipeline of every model so
         # pools (threads, processes, the event-loop rate limiter) are built
         # once per leaderboard run.
@@ -152,17 +259,17 @@ class MultiModelScheduler:
             return None
         return PipelineCheckpoint(shard_checkpoint_path(job.checkpoint, index, num_shards))
 
-    def _build_units(self) -> list[list[tuple[EvaluationPipeline, list[GenerationRequest]]]]:
+    def _build_units(self) -> list[list[Unit]]:
         """Per-job batch units, in request order within each job.
 
         Empty shards (a job with zero requests) build no pipeline and no
         checkpoint file — there is nothing to resume and nothing to score.
         """
 
-        per_job: list[list[tuple[EvaluationPipeline, list[GenerationRequest]]]] = []
+        per_job: list[list[Unit]] = []
         for job in self.jobs:
             plan = self.plan_job(job)
-            units: list[tuple[EvaluationPipeline, list[GenerationRequest]]] = []
+            units: list[Unit] = []
             for index, shard_requests in enumerate(plan.split(job.requests)):
                 if not shard_requests:
                     continue
@@ -175,6 +282,7 @@ class MultiModelScheduler:
                     run_unit_tests=self.run_unit_tests,
                     checkpoint=self.job_shard_checkpoint(job, index, plan.num_shards),
                     batch_size=self.batch_size,
+                    calibration=self.calibration,
                 )
                 self._pipelines.append(pipeline)
                 for start in range(0, len(shard_requests), self.batch_size):
@@ -183,7 +291,7 @@ class MultiModelScheduler:
         return per_job
 
     # ------------------------------------------------------------------
-    # The interleaving scheduler
+    # Shared scheduling plumbing
     # ------------------------------------------------------------------
     def _generation_workers(self, units: int) -> int:
         """How many generation workers may prepare batches concurrently.
@@ -199,34 +307,58 @@ class MultiModelScheduler:
         # The generate stage falls back to the scoring executor when no
         # dedicated generation backend is configured, so check whichever
         # executor will actually carry the batches.
-        generation_backend = self.generate_executor or self.executor
-        if getattr(generation_backend, "limiter", None) is not None:
+        if self._limited_generation():
             return 1
         return max(1, min(self.prefetch_batches, units))
 
-    def run_iter(self) -> Iterator[tuple[str, EvaluationRecord]]:
-        """Stream ``(model_name, record)`` pairs, interleaving models.
+    def _limited_generation(self) -> bool:
+        """Whether a shared token bucket paces generation (single drainer)."""
 
-        Generation workers run the generation-side half of every batch —
-        round-robin across models, at most ``prefetch_batches`` in flight —
-        while this thread scores and yields in the same round-robin order.
-        A per-job lock keeps one model's batches from generating
-        *concurrently* (models need not be thread-safe), though under the
-        in-flight window a job's batches may prepare out of submission
-        order; that is safe because generation is per-request
-        deterministic — the same contract the async backend's within-batch
-        overlap already relies on.  Prepared batches are then *released*
-        (scored, checkpointed, yielded) strictly in schedule order, so
-        per-model record streams are identical to a sequential run;
-        between models they weave, which is what keeps the endpoint and
-        the scoring pool busy at the same time.
+        generation_backend = self.generate_executor or self.executor
+        return getattr(generation_backend, "limiter", None) is not None
+
+    def _predict_unit_seconds(self, batch: Sequence[GenerationRequest]) -> float:
+        """Predicted seconds of one batch unit (cold cache, warm within)."""
+
+        return self.cost_model.predict_problems_seconds(request.problem for request in batch)
+
+    def _prediction_version(self) -> int:
+        """The cost model's input version — bumps force re-prediction."""
+
+        store = getattr(self.cost_model, "store", None)
+        return getattr(store, "version", 0)
+
+    def run_iter(self) -> Iterator[tuple[str, EvaluationRecord]]:
+        """Stream ``(model_name, record)`` pairs across all jobs.
+
+        Within a job, records arrive strictly in request order (each
+        sub-pipeline's checkpoint and the per-model fold rely on it);
+        between jobs the stream weaves according to the configured
+        scheduling policy.  Generation workers run the generation-side
+        half of every batch — at most ``prefetch_batches`` in flight —
+        while this thread scores and yields.  A per-job lock keeps one
+        model's batches from generating *concurrently* (models need not
+        be thread-safe), though under the in-flight window a job's batches
+        may prepare out of claim order; that is safe because generation is
+        per-request deterministic — the same contract the async backend's
+        within-batch overlap already relies on.
         """
 
         per_job = self._build_units()
-        # Round-robin interleaving order: batch k of every job before
-        # batch k+1 of any job.  Deterministic, fair, and per-job ordered —
-        # adjacent units usually belong to different models, so the per-job
-        # locks almost never serialise concurrent generation workers.
+        if self.steal:
+            yield from self._run_iter_steal(per_job)
+        else:
+            yield from self._run_iter_static(per_job)
+
+    # ------------------------------------------------------------------
+    # Static round-robin (the steal=False baseline)
+    # ------------------------------------------------------------------
+    def _run_iter_static(
+        self, per_job: list[list[Unit]]
+    ) -> Iterator[tuple[str, EvaluationRecord]]:
+        """Batch k of every job before batch k+1 of any job, released in
+        exactly that order — deterministic, fair, and per-job ordered."""
+
         order: list[tuple[int, EvaluationPipeline, list[GenerationRequest]]] = [
             (job_index, *per_job[job_index][unit_index])
             for unit_index in range(max((len(units) for units in per_job), default=0))
@@ -299,12 +431,225 @@ class MultiModelScheduler:
             for worker in workers:
                 worker.join(timeout=30.0)
 
+    # ------------------------------------------------------------------
+    # Work stealing (the steal=True default)
+    # ------------------------------------------------------------------
+    def _run_iter_steal(
+        self, per_job: list[list[Unit]]
+    ) -> Iterator[tuple[str, EvaluationRecord]]:
+        """Dynamic claiming: idle capacity steals from the longest job.
+
+        Per-job deques share one claim point guarded by ``ready``; a
+        worker (or the idle consumer) claims the next unclaimed unit of
+        the job the :class:`StealPolicy` picks — longest predicted
+        remaining seconds first, re-predicted whenever the calibrated cost
+        model absorbed new measurements.  Prepared units are *released*
+        (scored, checkpointed, yielded) in claim order within each job,
+        but across jobs strictly in readiness order: a straggler batch
+        never blocks another model's finished work, which is exactly the
+        bubble the static schedule pays.
+        """
+
+        total = sum(len(units) for units in per_job)
+        if total == 0:
+            return
+
+        # Predicted seconds per unit and per-job remaining (unclaimed) sums.
+        unit_seconds = [
+            [self._predict_unit_seconds(batch) for _pipeline, batch in units]
+            for units in per_job
+        ]
+        remaining = [sum(seconds) for seconds in unit_seconds]
+        seen_version = [self._prediction_version()]
+
+        stop = threading.Event()
+        ready = threading.Condition()
+        results: dict[tuple[int, int], object] = {}
+        next_claim = [0] * len(per_job)
+        next_release = [0] * len(per_job)
+        in_flight = threading.Semaphore(self.prefetch_batches)
+        job_locks = [threading.Lock() for _ in per_job]
+        # Worker-claimed units whose prepared entry has not been stored yet
+        # — while any exist, a result is imminent and the consumer should
+        # wait for it rather than block its scoring thread on generation.
+        in_prep = [0]
+        # The consumer may only prepare batches itself when no shared token
+        # bucket paces generation — a limiter must have a single drainer.
+        consumer_may_steal = not self._limited_generation()
+
+        # Re-prediction sweeps run under the ``ready`` lock, and with
+        # calibration wired in the store's version bumps on *every*
+        # released batch — so the sweep is throttled adaptively: after a
+        # sweep that took d seconds, the next one may run no sooner than
+        # max(50 ms, 20 * d) later, bounding sweep time to ~5% of the
+        # claim point's wall-clock.  Steal order is a heuristic, so acting
+        # on predictions a few batches stale never affects records.
+        repredict_not_before = [0.0]
+
+        def repredict_locked() -> None:
+            """Re-price unclaimed units when the cost model learned more."""
+
+            version = self._prediction_version()
+            if version == seen_version[0]:
+                return
+            now = time.monotonic()
+            if now < repredict_not_before[0]:
+                return
+            seen_version[0] = version
+            for job_index, units in enumerate(per_job):
+                for unit_index in range(next_claim[job_index], len(units)):
+                    unit_seconds[job_index][unit_index] = self._predict_unit_seconds(
+                        units[unit_index][1]
+                    )
+                remaining[job_index] = sum(unit_seconds[job_index][next_claim[job_index] :])
+            elapsed = time.monotonic() - now
+            repredict_not_before[0] = now + max(0.05, 20.0 * elapsed)
+
+        def take_locked(job_index: int) -> tuple[int, int]:
+            unit_index = next_claim[job_index]
+            next_claim[job_index] += 1
+            remaining[job_index] -= unit_seconds[job_index][unit_index]
+            return job_index, unit_index
+
+        def claim_locked() -> tuple[int, int] | None:
+            """Claim the policy's next unit for a worker (holding ``ready``)."""
+
+            repredict_locked()
+            claimable = [next_claim[j] < len(per_job[j]) for j in range(len(per_job))]
+            busy = [lock.locked() for lock in job_locks]
+            job_index = self.steal_policy.choose(remaining, claimable, busy)
+            if job_index is None:
+                return None
+            return take_locked(job_index)
+
+        def claim_for_consumer_locked() -> tuple[int, int] | None:
+            """Claim a unit the idle consumer can prepare itself.
+
+            Only units that are immediately releasable after preparation
+            (the job's next unreleased unit, no batch of the job in
+            flight) qualify — anything else would leave the scoring
+            thread holding work it cannot finish — and the pick is the
+            *cheapest* predicted batch, because every second spent here
+            is a second the CPU pipeline stalls.
+            """
+
+            repredict_locked()
+            claimable = [
+                next_claim[j] < len(per_job[j])
+                and next_claim[j] == next_release[j]
+                and not job_locks[j].locked()
+                for j in range(len(per_job))
+            ]
+            next_seconds = [
+                unit_seconds[j][next_claim[j]] if claimable[j] else 0.0
+                for j in range(len(per_job))
+            ]
+            job_index = self.steal_policy.choose_for_consumer(next_seconds, claimable)
+            if job_index is None:
+                return None
+            return take_locked(job_index)
+
+        def produce() -> None:
+            while not stop.is_set():
+                if not in_flight.acquire(timeout=0.05):
+                    continue  # re-check stop while the window is full
+                with ready:
+                    claim = claim_locked()
+                    if claim is None:
+                        in_flight.release()
+                        return
+                    in_prep[0] += 1
+                job_index, unit_index = claim
+                pipeline, batch = per_job[job_index][unit_index]
+                try:
+                    with job_locks[job_index]:
+                        entry: object = (pipeline, pipeline.prepare_batch(batch))
+                except BaseException as exc:  # noqa: BLE001 - relayed to the consumer
+                    entry = _ProducerFailure(exc)
+                with ready:
+                    results[(job_index, unit_index)] = entry
+                    in_prep[0] -= 1
+                    ready.notify_all()
+                if isinstance(entry, _ProducerFailure):
+                    return
+
+        workers = [
+            threading.Thread(target=produce, name=f"leaderboard-stealer-{i}", daemon=True)
+            for i in range(self._generation_workers(total))
+        ]
+        for worker in workers:
+            worker.start()
+        try:
+            released = 0
+            while released < total:
+                stolen: tuple[int, int] | None = None
+                entry: object = None
+                job_index = -1
+                with ready:
+                    while True:
+                        releasable = [
+                            j
+                            for j in range(len(per_job))
+                            if (j, next_release[j]) in results
+                        ]
+                        if releasable:
+                            # Deterministic pick among ready jobs: longest
+                            # predicted remaining first (the straggler's
+                            # records should stream out, not queue up).
+                            job_index = max(releasable, key=lambda j: (remaining[j], -j))
+                            entry = results.pop((job_index, next_release[job_index]))
+                            # The batch leaves the prepared-and-waiting
+                            # window the moment the consumer takes it:
+                            # freeing the slot *before* scoring lets a
+                            # worker start the straggler's next batch
+                            # while this one is still on the CPU —
+                            # holding it through finish_batch would
+                            # serialise generation behind scoring.
+                            in_flight.release()
+                            break
+                        if consumer_may_steal and in_prep[0] == 0:
+                            # Nothing prepared and nothing being prepared:
+                            # the consumer is genuinely idle, so it steals
+                            # a batch itself rather than sleeping.
+                            stolen = claim_for_consumer_locked()
+                            if stolen is not None:
+                                break
+                        if not any(worker.is_alive() for worker in workers):
+                            raise RuntimeError(
+                                "generation workers exited with "
+                                f"{total - released} of {total} batches unreleased"
+                            )  # pragma: no cover - defensive; failures arrive as entries
+                        ready.wait(timeout=0.05)
+                if stolen is not None:
+                    # The scoring consumer went idle: prepare the batch
+                    # itself instead of waiting on the generation workers.
+                    job_index, unit_index = stolen
+                    pipeline, batch = per_job[job_index][unit_index]
+                    with job_locks[job_index]:
+                        entry = (pipeline, pipeline.prepare_batch(batch))
+                if isinstance(entry, _ProducerFailure):
+                    raise entry.error
+                pipeline, prepared = entry
+                name = self.jobs[job_index].name
+                for record in pipeline.finish_batch(prepared):
+                    yield name, record
+                with ready:
+                    next_release[job_index] += 1
+                    ready.notify_all()
+                released += 1
+        finally:
+            stop.set()
+            with ready:
+                ready.notify_all()
+            for worker in workers:
+                worker.join(timeout=30.0)
+
     def run(self) -> dict[str, ModelEvaluation]:
         """Evaluate every job and fold records into per-model evaluations.
 
         The mapping preserves job order; each evaluation's records are in
         that model's request order — bit-identical to sequential
-        per-model runs.
+        per-model runs under either scheduling policy.
         """
 
         records: dict[str, list[EvaluationRecord]] = {job.name: [] for job in self.jobs}

@@ -26,8 +26,9 @@ module removes the barrier for a *single* model:
 from __future__ import annotations
 
 import os
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
+from repro.evalcluster.cost import CostModel
 from repro.llm.interface import GenerationRequest, Model
 from repro.pipeline.checkpoint import PipelineCheckpoint
 from repro.pipeline.executors import Executor, close_executor, resolve_executor
@@ -36,6 +37,9 @@ from repro.pipeline.planner import ShardPlan, ShardPlanner
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
 from repro.pipeline.scheduler import ModelJob, MultiModelScheduler
 from repro.scoring.compiled import ReferenceStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.evalcluster.calibration import CalibrationStore
 
 __all__ = ["ShardPlan", "ShardedEvaluationPipeline", "merge_evaluations"]
 
@@ -63,10 +67,21 @@ class ShardedEvaluationPipeline:
     prefetch_batches:
         How many prepared batches the generation thread may run ahead of
         scoring; bounds memory while keeping the overlap saturated.
+    steal:
+        Scheduling policy (forwarded to the scheduler): ``True`` releases
+        batches in readiness order with dynamic claiming, ``False`` keeps
+        the static order.  For a single model the record stream is
+        identical either way.
+    cost_model / calibration:
+        The :class:`~repro.evalcluster.cost.CostModel` pricing batches
+        for the steal policy, and the
+        :class:`~repro.evalcluster.calibration.CalibrationStore` measured
+        durations are fed into (see :mod:`repro.evalcluster.calibration`).
 
     The streamed records — and therefore the merged
     :class:`~repro.pipeline.records.ModelEvaluation` — are bit-identical
-    to an unsharded serial run over the same requests, for any planner.
+    to an unsharded serial run over the same requests, for any planner
+    and either scheduling policy.
     """
 
     def __init__(
@@ -85,6 +100,9 @@ class ShardedEvaluationPipeline:
         checkpoint: str | os.PathLike[str] | None = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
         prefetch_batches: int = 2,
+        steal: bool = True,
+        cost_model: CostModel | None = None,
+        calibration: "CalibrationStore | None" = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -104,6 +122,9 @@ class ShardedEvaluationPipeline:
         self.checkpoint_base = checkpoint
         self.batch_size = batch_size
         self.prefetch_batches = prefetch_batches
+        self.steal = steal
+        self.cost_model = cost_model
+        self.calibration = calibration
         # Executors are shared across every sub-pipeline so pools (threads,
         # processes, event-loop rate limiter) are built once per run, and
         # owned by this pipeline when resolved from spec strings.
@@ -132,6 +153,9 @@ class ShardedEvaluationPipeline:
             run_unit_tests=self.run_unit_tests,
             batch_size=self.batch_size,
             prefetch_batches=self.prefetch_batches,
+            steal=self.steal,
+            cost_model=self.cost_model,
+            calibration=self.calibration,
         )
         self._schedulers.append(scheduler)
         return scheduler

@@ -17,6 +17,7 @@ two-method interface and slot anywhere into the chain.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence, runtime_checkable
 
@@ -44,6 +45,7 @@ __all__ = [
     "ScoreStage",
     "AggregateStage",
     "default_stages",
+    "run_timed_score_task",
 ]
 
 
@@ -62,6 +64,8 @@ class WorkItem:
     error: str = ""
     extracted: str | None = None
     scores: ScoreCard | None = None
+    generate_seconds: float = 0.0
+    score_seconds: float = 0.0
 
     def to_record(self) -> EvaluationRecord:
         """Materialise the finished item as an evaluation record."""
@@ -84,6 +88,8 @@ class WorkItem:
             scores=self.scores,
             raw_response=self.response,
             error=self.error,
+            generate_seconds=self.generate_seconds,
+            score_seconds=self.score_seconds,
         )
 
 
@@ -183,6 +189,19 @@ class ExtractStage:
         return items
 
 
+def run_timed_score_task(task: ScoreTask) -> tuple[ScoreCard, float]:
+    """Run a picklable score envelope and measure its wall-clock seconds.
+
+    Module-level so process-pool executors can pickle it; the measurement
+    happens inside the worker, so it captures the true scoring cost (not
+    queueing or IPC time).
+    """
+
+    start = time.perf_counter()
+    card = run_score_task(task)
+    return card, time.perf_counter() - start
+
+
 class ScoreStage:
     """Score each extracted answer with all six metrics (§3.2, §3.3).
 
@@ -192,6 +211,13 @@ class ScoreStage:
     the same total cost as one big :func:`~repro.scoring.compiled.score_batch`
     call.  Unique pairs are fanned out over the run's executor; every
     metric is a pure function, so the executor cannot change a score.
+
+    Every freshly scored pair is timed where it runs (in-process or inside
+    a pool worker) and the measured seconds are memoised next to the card:
+    a record whose answer deduplicated onto an earlier identical one
+    carries the seconds the actual scoring took, which is the ground truth
+    the calibration loop wants (what scoring this answer *costs*, not the
+    near-zero memo lookup).
     """
 
     name = "score"
@@ -199,11 +225,13 @@ class ScoreStage:
     def __init__(self, store: ReferenceStore | None = None, run_unit_tests: bool = True) -> None:
         self.store = store or ReferenceStore()
         self.run_unit_tests = run_unit_tests
-        self._memo: dict[tuple[str, str], ScoreCard] = {}
+        self._memo: dict[tuple[str, str], tuple[ScoreCard, float]] = {}
 
-    def _score_one(self, task: tuple[CompiledReference, str]) -> ScoreCard:
+    def _score_one(self, task: tuple[CompiledReference, str]) -> tuple[ScoreCard, float]:
         compiled, extracted = task
-        return score_extracted(compiled, extracted, self.run_unit_tests)
+        start = time.perf_counter()
+        card = score_extracted(compiled, extracted, self.run_unit_tests)
+        return card, time.perf_counter() - start
 
     def process(self, items: list[WorkItem], context: StageContext) -> list[WorkItem]:
         pending: dict[tuple[str, str], tuple[Problem, str]] = {}
@@ -229,16 +257,18 @@ class ScoreStage:
                     )
                     for problem, extracted in (pending[key] for key in keys)
                 ]
-                cards = context.executor.map(run_score_task, envelopes)
+                timed = context.executor.map(run_timed_score_task, envelopes)
             else:
                 tasks = [
                     (self.store.get(problem), extracted)
                     for problem, extracted in (pending[key] for key in keys)
                 ]
-                cards = context.executor.map(self._score_one, tasks)
-            self._memo.update(zip(keys, cards))
+                timed = context.executor.map(self._score_one, tasks)
+            self._memo.update(zip(keys, timed))
         for item in items:
-            item.scores = self._memo[(item.request.problem.problem_id, item.extracted)]
+            card, seconds = self._memo[(item.request.problem.problem_id, item.extracted)]
+            item.scores = card
+            item.score_seconds = seconds
         return items
 
 

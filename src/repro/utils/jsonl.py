@@ -1,0 +1,120 @@
+"""Torn-tail-safe JSON-lines persistence.
+
+The pipeline checkpoints and the calibration store share one durability
+discipline, implemented once here:
+
+* **Loads stream and never write.**  :meth:`JsonlLog.scan` yields the
+  decoded items of the file's complete, parseable lines one at a time
+  (O(1 line) memory).  A line that fails to decode — a torn fragment
+  from an interrupted run, a corrupted byte, a record from an older
+  schema — is *skipped*, not fatal, so one bad line can never hide the
+  valid records after it.  An unterminated final line is ignored
+  entirely: it is either a torn tail from a kill or another process's
+  append still in flight, and in both cases it is not durable data yet.
+  The file itself is left untouched, so concurrent readers (a monitoring
+  script, a CI artifact inspection) can never damage a live writer's
+  data.
+* **Appends never glue.**  A torn final line only becomes dangerous on
+  the next append — a new line written directly after a fragment without
+  its newline would fuse with it into one malformed line.
+  :meth:`JsonlLog.append` therefore starts with a newline whenever the
+  file does not already end with one: the fragment is sealed into a
+  (skipped) junk line of its own and every appended record stays intact.
+  Nothing is ever truncated, so a concurrent writer's fsynced records
+  can never be destroyed.  One ``write``/``flush``/``fsync`` per call.
+* **Rewrites are atomic.**  :meth:`JsonlLog.rewrite` goes through a
+  temporary file renamed over the original with :func:`os.replace`: a
+  kill at any instant leaves either the complete old file or the
+  complete new one.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, TypeVar
+
+__all__ = ["JsonlLog"]
+
+T = TypeVar("T")
+
+
+class JsonlLog:
+    """One append-only JSON-lines file with kill-safe load/append/rewrite."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = Path(path)
+
+    # -- loading ------------------------------------------------------------
+    def scan(
+        self,
+        decode: Callable[[bytes], T],
+        errors: tuple[type[BaseException], ...] = (ValueError, KeyError, TypeError),
+    ) -> Iterator[T]:
+        """Stream the decoded items of the file's complete, parseable lines.
+
+        ``decode`` turns one stripped line into an item; raising any of
+        ``errors`` skips that line.  An unterminated final line (torn
+        tail or another writer's append in flight) is ignored.  Missing
+        file: yields nothing.
+        """
+
+        if not self.path.exists():
+            return
+        with self.path.open("rb") as handle:
+            for line in handle:
+                if not line.endswith(b"\n"):
+                    return  # not durable data (yet); never decode it
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    item = decode(stripped)
+                except errors:
+                    continue  # skip junk; later lines are still good
+                yield item
+
+    # -- writing ------------------------------------------------------------
+    def _tail_is_open(self) -> bool:
+        """Whether the file ends mid-line (no trailing newline)."""
+
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return False
+        if size == 0:
+            return False
+        with self.path.open("rb") as handle:
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) != b"\n"
+
+    def append(self, lines: Iterable[str]) -> None:
+        """Durably append ``lines`` (each newline-terminated) in one shot.
+
+        One open/flush/fsync per call — batching is what makes per-record
+        streaming affordable, and the flush before close bounds the
+        damage a kill can do to the final (possibly torn) line, which
+        :meth:`scan` ignores and the next append seals off.
+        """
+
+        lines = list(lines)
+        if not lines:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self._tail_is_open():
+            lines[0] = "\n" + lines[0]  # seal the torn fragment into its own line
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.writelines(lines)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def rewrite(self, lines: Iterable[str]) -> None:
+        """Atomically replace the whole file via temp + ``os.replace``."""
+
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        temp = self.path.with_name(self.path.name + ".tmp")
+        with temp.open("w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, self.path)

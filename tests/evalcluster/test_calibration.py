@@ -1,0 +1,315 @@
+"""The cost-model calibration loop: the persistent store, the blended
+predictions, the prediction memo invalidation, and the timing capture
+that feeds the whole thing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.evalcluster.calibration import (
+    CalibratedCostModel,
+    CalibrationStore,
+    resolve_calibration,
+)
+from repro.evalcluster.cost import CostModel
+from repro.llm.interface import GenerationRequest
+from repro.llm.registry import get_model
+from repro.pipeline import EvaluationPipeline, PipelineCheckpoint
+
+
+def _requests(problems):
+    return [GenerationRequest(problem=p) for p in problems]
+
+
+# ---------------------------------------------------------------------------
+# CalibrationStore
+# ---------------------------------------------------------------------------
+
+def test_ewma_fold():
+    store = CalibrationStore(smoothing=0.5)
+    store.observe("p", "original", 2.0)
+    assert store.seconds_for("p") == 2.0
+    store.observe("p", "original", 4.0)
+    assert store.seconds_for("p") == pytest.approx(3.0)
+    assert store.count_for("p") == 2
+    assert store.version == 2
+    assert store.seconds_for("unknown") is None
+    assert store.count_for("unknown") == 0
+
+
+def test_observe_batch_is_one_fold_per_observation():
+    a, b = CalibrationStore(), CalibrationStore()
+    a.observe_batch([("p", "original", 1.0), ("p", "original", 3.0), ("q", "original", 5.0)])
+    b.observe("p", "original", 1.0)
+    b.observe("p", "original", 3.0)
+    b.observe("q", "original", 5.0)
+    assert a.seconds_for("p") == b.seconds_for("p")
+    assert a.seconds_for("q") == b.seconds_for("q")
+    assert len(a) == 2
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(ValueError, match="negative"):
+        CalibrationStore().observe("p", "original", -0.1)
+    with pytest.raises(ValueError, match="smoothing"):
+        CalibrationStore(smoothing=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: store round-trip — write → reload → identical predictions
+# ---------------------------------------------------------------------------
+
+def test_store_roundtrip_reproduces_predictions(tmp_path, small_original_problems):
+    path = tmp_path / "calibration.jsonl"
+    problems = list(small_original_problems)[:8]
+    written = CalibrationStore(path)
+    for index, problem in enumerate(problems):
+        for repeat in range(1 + index % 3):
+            written.observe(problem.problem_id, problem.variant.value, 0.5 + 0.1 * index + repeat)
+
+    reloaded = CalibrationStore(path)
+    assert len(reloaded) == len(written)
+    for problem in problems:
+        assert reloaded.seconds_for(problem.problem_id) == written.seconds_for(problem.problem_id)
+        assert reloaded.count_for(problem.problem_id) == written.count_for(problem.problem_id)
+
+    # The calibrated models built on both stores predict identically.
+    before = CalibratedCostModel(store=written)
+    after = CalibratedCostModel(store=reloaded)
+    for problem in problems:
+        assert after.predict_problem_seconds(problem) == before.predict_problem_seconds(problem)
+    assert after.predict_problems_seconds(problems) == before.predict_problems_seconds(problems)
+
+
+def test_torn_final_line_is_dropped_on_load(tmp_path):
+    path = tmp_path / "calibration.jsonl"
+    store = CalibrationStore(path)
+    store.observe("p", "original", 2.0)
+    store.observe("q", "original", 3.0)
+    content = path.read_text(encoding="utf-8")
+    path.write_text(content + '{"problem_id": "r", "secon', encoding="utf-8")
+    reloaded = CalibrationStore(path)
+    assert len(reloaded) == 2
+    assert reloaded.seconds_for("r") is None
+
+
+def test_torn_tail_is_truncated_so_appends_never_glue(tmp_path):
+    """Regression: kill → observe → reload.  Loading must truncate the
+    torn fragment; otherwise the next append glues onto it and every
+    later load silently loses all subsequent observations."""
+
+    path = tmp_path / "calibration.jsonl"
+    first = CalibrationStore(path)
+    first.observe("p", "original", 2.0)
+    first.observe("q", "original", 3.0)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) - 4])  # kill mid-append of "q"
+
+    second = CalibrationStore(path)  # drops + truncates the torn line
+    assert second.seconds_for("q") is None
+    second.observe("q", "original", 5.0)
+    second.observe("r", "original", 7.0)
+
+    third = CalibrationStore(path)
+    assert len(third) == 3
+    assert third.seconds_for("p") == 2.0
+    assert third.seconds_for("q") == 5.0
+    assert third.seconds_for("r") == 7.0
+
+
+def test_resolve_calibration():
+    store = CalibrationStore()
+    assert resolve_calibration(store) is store
+    assert resolve_calibration(None) is None
+    assert isinstance(resolve_calibration("some/path.jsonl"), CalibrationStore)
+    with pytest.raises(TypeError, match="CalibrationStore"):
+        resolve_calibration(42)
+
+
+# ---------------------------------------------------------------------------
+# CalibratedCostModel: the blend
+# ---------------------------------------------------------------------------
+
+def test_unobserved_problem_predicts_exactly_figure5(small_original_problems):
+    problem = list(small_original_problems)[0]
+    figure5 = CostModel()
+    calibrated = CalibratedCostModel()
+    assert calibrated.predict_problem_seconds(problem) == figure5.predict_problem_seconds(problem)
+    assert calibrated.problem_pull_images(problem) == figure5.problem_pull_images(problem)
+    assert calibrated.problem_charge_images(problem) == figure5.problem_charge_images(problem)
+
+
+def test_predictions_converge_to_observed(small_original_problems):
+    problem = list(small_original_problems)[0]
+    model = CalibratedCostModel(prior_weight=1.0)
+    figure5 = CostModel().predict_problem_seconds(problem)
+    observed = 0.25
+    previous = figure5
+    for _ in range(8):
+        model.store.observe(problem.problem_id, problem.variant.value, observed)
+        prediction = model.predict_problem_seconds(problem)
+        assert observed < prediction < previous  # slides monotonically toward observed
+        previous = prediction
+    # The geometric blend hands the scale over to the observations within
+    # a few measurements even though the prior sits orders of magnitude up.
+    assert prediction < observed * 2.0
+    assert figure5 / prediction > 50.0
+
+
+def test_geometric_blend_adapts_across_scales(small_original_problems):
+    """One observation run must already move the *relative* structure: a
+    problem measured 100x cheaper than its prior suggests must be priced
+    well below its Figure 5 number (the cross-scale case a linear blend
+    provably cannot handle)."""
+
+    problem = list(small_original_problems)[0]
+    model = CalibratedCostModel(prior_weight=1.0)
+    figure5 = CostModel().predict_problem_seconds(problem)
+    model.store.observe(problem.problem_id, problem.variant.value, figure5 / 100.0)
+    blended = model.predict_problem_seconds(problem)
+    assert blended == pytest.approx(figure5 / 10.0, rel=0.2)  # geometric mean
+
+
+def test_zero_prior_weight_trusts_first_measurement(small_original_problems):
+    problem = list(small_original_problems)[0]
+    model = CalibratedCostModel(prior_weight=0.0)
+    model.store.observe(problem.problem_id, problem.variant.value, 1.5)
+    assert model.predict_problem_seconds(problem) == pytest.approx(1.5)
+    # Observed problems charge no separate pulls — the measurement already
+    # contains whatever transfer happened — but their images still count
+    # as locally present.
+    assert model.problem_charge_images(problem) == ()
+    assert model.problem_pull_images(problem) == CostModel().problem_pull_images(problem)
+    with pytest.raises(ValueError, match="prior_weight"):
+        CalibratedCostModel(prior_weight=-1.0)
+
+
+def test_observed_problems_stop_sharing_cache_slots(small_dataset):
+    """An image-heavy problem whose duration was measured is priced as its
+    blended seconds, independent of the warm-cache set."""
+
+    figure5 = CostModel()
+    pullers = [p for p in small_dataset if figure5.problem_pull_images(p)]
+    problem = pullers[0]
+    model = CalibratedCostModel(prior_weight=0.0)
+    model.store.observe(problem.problem_id, problem.variant.value, 2.0)
+    warm = model.predict_problem_seconds(
+        problem, cached_images=CostModel().problem_pull_images(problem)
+    )
+    assert warm == pytest.approx(2.0)
+    assert model.predict_problems_seconds([problem, problem]) == pytest.approx(4.0)
+
+
+def test_observed_problems_still_warm_the_cache_for_unobserved_ones(small_dataset):
+    """Regression: a partially calibrated corpus (run 1 killed halfway)
+    must not lose the warm-cache discount — an unobserved problem whose
+    image was already pulled by an observed problem upstream in the same
+    shard is priced warm, exactly like the cold model prices it."""
+
+    figure5 = CostModel()
+    pullers = [p for p in small_dataset if figure5.problem_pull_images(p)]
+    observed, unobserved = next(
+        (a, b)
+        for a in pullers
+        for b in pullers
+        if a.problem_id != b.problem_id
+        and set(figure5.problem_pull_images(a)) & set(figure5.problem_pull_images(b))
+    )
+    model = CalibratedCostModel(prior_weight=0.0)
+    model.store.observe(observed.problem_id, observed.variant.value, 0.5)
+    pair = model.predict_problems_seconds([observed, unobserved])
+    # The unobserved problem's shared image is warm: only its *extra*
+    # images (if any) are charged on top of the cold-model discount price.
+    discounted = figure5.predict_problem_seconds(
+        unobserved, cached_images=figure5.problem_pull_images(observed)
+    )
+    assert pair == pytest.approx(0.5 + discounted)
+    cold = figure5.predict_problem_seconds(unobserved)
+    if set(figure5.problem_pull_images(unobserved)) <= set(figure5.problem_pull_images(observed)):
+        assert discounted < cold  # the discount is real for shared-image pairs
+
+
+# ---------------------------------------------------------------------------
+# Prediction memos and their invalidation
+# ---------------------------------------------------------------------------
+
+def test_cost_model_memoises_per_problem(small_original_problems, monkeypatch):
+    problem = list(small_original_problems)[0]
+    model = CostModel()
+    calls = []
+    original = CostModel._compute_base_seconds
+
+    def counting(self, p):
+        calls.append(p.problem_id)
+        return original(self, p)
+
+    monkeypatch.setattr(CostModel, "_compute_base_seconds", counting)
+    first = model.predict_base_seconds(problem)
+    for _ in range(5):
+        assert model.predict_base_seconds(problem) == first
+    assert len(calls) == 1
+    model.invalidate_predictions()
+    model.predict_base_seconds(problem)
+    assert len(calls) == 2
+
+
+def test_new_measurement_invalidates_the_memo(small_original_problems):
+    problem = list(small_original_problems)[0]
+    model = CalibratedCostModel(prior_weight=1.0)
+    cold = model.predict_base_seconds(problem)
+    model.store.observe(problem.problem_id, problem.variant.value, 0.1)
+    first = model.predict_base_seconds(problem)
+    assert first != cold
+    model.store.observe(problem.problem_id, problem.variant.value, 0.1)
+    second = model.predict_base_seconds(problem)
+    assert second < first  # more observations, more trust in 0.1s
+
+
+# ---------------------------------------------------------------------------
+# Timing capture feeding the loop
+# ---------------------------------------------------------------------------
+
+def test_pipeline_measures_durations_and_feeds_the_store(tmp_path, small_original_problems):
+    problems = list(small_original_problems)[:6]
+    store = CalibrationStore(tmp_path / "calibration.jsonl")
+    with EvaluationPipeline(get_model("gpt-4"), calibration=store) as pipeline:
+        evaluation = pipeline.run(_requests(problems))
+    for record in evaluation.records:
+        assert record.generate_seconds > 0.0
+        assert record.score_seconds > 0.0
+        assert record.measured_seconds == record.generate_seconds + record.score_seconds
+    assert len(store) == len(problems)
+    for problem in problems:
+        assert store.count_for(problem.problem_id) == 1
+    # Persisted as one JSONL observation per record.
+    lines = [json.loads(line) for line in (tmp_path / "calibration.jsonl").read_text().splitlines()]
+    assert {line["problem_id"] for line in lines} == {p.problem_id for p in problems}
+
+
+def test_timings_flow_through_checkpoints(tmp_path, small_original_problems):
+    problems = list(small_original_problems)[:4]
+    path = tmp_path / "run.ckpt.jsonl"
+    with EvaluationPipeline(get_model("gpt-4"), checkpoint=PipelineCheckpoint(path)) as first:
+        truth = first.run(_requests(problems)).records
+    reloaded = {record.key: record for record in PipelineCheckpoint(path)}
+    for record in truth:
+        stored = reloaded[record.key]
+        assert stored.generate_seconds == record.generate_seconds
+        assert stored.score_seconds == record.score_seconds
+    # A resumed run serves the cached records without re-observing them.
+    store = CalibrationStore()
+    with EvaluationPipeline(
+        get_model("gpt-4"), checkpoint=PipelineCheckpoint(path), calibration=store
+    ) as resumed:
+        resumed.run(_requests(problems))
+    assert len(store) == 0
+
+
+def test_timing_fields_do_not_affect_record_identity(small_original_problems):
+    problems = list(small_original_problems)[:3]
+    a = EvaluationPipeline(get_model("gpt-4")).run(_requests(problems)).records
+    b = EvaluationPipeline(get_model("gpt-4")).run(_requests(problems)).records
+    assert a == b  # equality ignores the (different) wall-clock measurements
+    assert any(x.measured_seconds != y.measured_seconds for x, y in zip(a, b)) or True

@@ -141,3 +141,123 @@ def test_string_checkpoint_path_accepted(tmp_path, small_original_problems):
     path = str(tmp_path / "nested" / "run.ckpt.jsonl")
     EvaluationPipeline(get_model("gpt-4"), checkpoint=path).run(_requests(problems))
     assert len(PipelineCheckpoint(path)) == 2
+
+
+def test_truncate_torture_every_cut_recovers_on_resume(tmp_path, small_original_problems):
+    """Kill-safety: chop the checkpoint file at arbitrary byte offsets and
+    confirm the load keeps exactly the intact-line prefix and a resumed run
+    still reproduces the uninterrupted result."""
+
+    problems = list(small_original_problems)[:6]
+    path = tmp_path / "run.ckpt.jsonl"
+    truth = (
+        EvaluationPipeline(get_model("gpt-4"), checkpoint=PipelineCheckpoint(path))
+        .run(_requests(problems))
+        .records
+    )
+    blob = path.read_bytes()
+    line_ends = [i + 1 for i, byte in enumerate(blob) if byte == ord("\n")]
+    # Every line boundary, the byte right after it, and a spread of
+    # mid-line cuts — a kill can land anywhere.
+    cuts = sorted(
+        {0, 1, len(blob)}
+        | set(line_ends)
+        | {end + 1 for end in line_ends if end + 1 <= len(blob)}
+        | set(range(7, len(blob), max(1, len(blob) // 23)))
+    )
+    for cut in cuts:
+        torn = tmp_path / "torn.ckpt.jsonl"
+        torn.write_bytes(blob[:cut])
+        reloaded = PipelineCheckpoint(torn)
+        intact_lines = sum(1 for end in line_ends if end <= cut)
+        # Every newline-terminated line survives; a cut landing exactly on
+        # a line's closing brace keeps that (complete) record too.
+        assert intact_lines <= len(reloaded) <= intact_lines + 1, f"cut at byte {cut}"
+        resumed = (
+            EvaluationPipeline(get_model("gpt-4"), checkpoint=reloaded)
+            .run(_requests(problems))
+            .records
+        )
+        assert resumed == truth, f"cut at byte {cut}"
+
+
+def test_torn_tail_is_truncated_so_resume_appends_cleanly(tmp_path, small_original_problems):
+    """Regression: kill → resume → reload.  Loading a torn file must
+    truncate the fragment, otherwise the resume's first appended record
+    glues onto it and every later load silently loses the whole tail."""
+
+    problems = list(small_original_problems)[:6]
+    path = tmp_path / "run.ckpt.jsonl"
+    truth = (
+        EvaluationPipeline(get_model("gpt-4"), checkpoint=PipelineCheckpoint(path))
+        .run(_requests(problems))
+        .records
+    )
+    # Kill mid-append: chop the last line in half (no trailing newline).
+    blob = path.read_bytes()
+    cut = (blob.rstrip(b"\n").rfind(b"\n") + 1 + len(blob)) // 2
+    path.write_bytes(blob[:cut])
+
+    # Resume appends the re-evaluated records after the (truncated) tail.
+    resumed = PipelineCheckpoint(path)
+    assert len(resumed) == len(problems) - 1
+    records = (
+        EvaluationPipeline(get_model("gpt-4"), checkpoint=resumed).run(_requests(problems)).records
+    )
+    assert records == truth
+
+    # The reloaded file must serve EVERY record — nothing glued, nothing lost.
+    reloaded = PipelineCheckpoint(path)
+    assert len(reloaded) == len(problems)
+    untouched = _CountingModel(get_model("gpt-4"))
+    final = EvaluationPipeline(untouched, checkpoint=reloaded).run(_requests(problems)).records
+    assert untouched.calls == 0
+    assert final == truth
+
+
+def test_loading_a_torn_checkpoint_never_writes(tmp_path, small_original_problems):
+    """Reads must be side-effect free: a monitoring script opening a live
+    (possibly mid-append) checkpoint must not truncate the writer's file —
+    the torn-tail repair belongs to the next append, not to the load."""
+
+    problems = list(small_original_problems)[:4]
+    path = tmp_path / "run.ckpt.jsonl"
+    EvaluationPipeline(get_model("gpt-4"), checkpoint=PipelineCheckpoint(path)).run(
+        _requests(problems)
+    )
+    torn = path.read_bytes()[:-5]  # as a concurrent reader would see mid-append
+    path.write_bytes(torn)
+    reader = PipelineCheckpoint(path)
+    assert len(reader) == len(problems) - 1
+    assert path.read_bytes() == torn  # untouched: the load wrote nothing
+
+
+def test_put_batch_is_one_durable_append(tmp_path, small_original_problems):
+    problems = list(small_original_problems)[:4]
+    records = EvaluationPipeline(get_model("gpt-4")).run(_requests(problems)).records
+    path = tmp_path / "batch.ckpt.jsonl"
+    checkpoint = PipelineCheckpoint(path)
+    checkpoint.put_batch(records)
+    checkpoint.put_batch(records)  # duplicates are skipped, not re-appended
+    assert len(path.read_text(encoding="utf-8").splitlines()) == len(records)
+    assert len(PipelineCheckpoint(path)) == len(records)
+
+
+def test_clear_and_compact_rewrite_atomically(tmp_path, small_original_problems):
+    problems = list(small_original_problems)[:4]
+    path = tmp_path / "run.ckpt.jsonl"
+    checkpoint = PipelineCheckpoint(path)
+    records = EvaluationPipeline(get_model("gpt-4"), checkpoint=checkpoint).run(
+        _requests(problems)
+    ).records
+    # Append the same records again at the file level to simulate several
+    # resumed partial runs, then compact back to the deduped live set.
+    blob = path.read_text(encoding="utf-8")
+    path.write_text(blob + blob, encoding="utf-8")
+    checkpoint.compact()
+    assert len(PipelineCheckpoint(path)) == len(records)
+    assert len(path.read_text(encoding="utf-8").splitlines()) == len(records)
+    assert not path.with_name(path.name + ".tmp").exists()  # replaced, not left behind
+    checkpoint.clear()
+    assert path.read_text(encoding="utf-8") == ""
+    assert len(PipelineCheckpoint(path)) == 0

@@ -59,6 +59,34 @@ def test_count_balanced_plans_are_unchanged():
     assert plan.explicit_sizes is None
 
 
+def test_shard_of_bisect_matches_the_linear_scan():
+    """Regression pin: the bisect lookup must agree with the old linear
+    scan over bounds() for every index of every plan shape."""
+
+    def linear_shard_of(plan: ShardPlan, index: int) -> int:
+        for shard, (start, stop) in enumerate(plan.bounds()):
+            if start <= index < stop:
+                return shard
+        raise AssertionError("unreachable")
+
+    plans = [
+        ShardPlan.for_size(1, 1),
+        ShardPlan.for_size(10, 4),
+        ShardPlan.for_size(17, 5),
+        ShardPlan.for_size(100, 7),
+        ShardPlan.from_sizes([5, 1, 4]),
+        ShardPlan.from_sizes([1, 1, 1, 1]),
+        ShardPlan.from_sizes([23, 2, 40, 9, 6]),
+    ]
+    for plan in plans:
+        for index in range(plan.total):
+            assert plan.shard_of(index) == linear_shard_of(plan, index)
+    with pytest.raises(IndexError):
+        ShardPlan.for_size(5, 2).shard_of(5)
+    with pytest.raises(IndexError):
+        ShardPlan.for_size(5, 2).shard_of(-1)
+
+
 # ---------------------------------------------------------------------------
 # CountPlanner — the preserved default
 # ---------------------------------------------------------------------------

@@ -47,13 +47,14 @@ def sequential_truth(small_dataset, seeded_problems):
 # Acceptance: evaluate_models ≡ sequential evaluate_model, everywhere
 # ---------------------------------------------------------------------------
 
+@pytest.mark.parametrize("steal", [False, True])
 @pytest.mark.parametrize("shard_by", ["count", "cost"])
 @pytest.mark.parametrize("executor", EXECUTOR_NAMES)
 def test_leaderboard_identical_across_executors_and_planners(
-    small_dataset, seeded_problems, sequential_truth, executor, shard_by
+    small_dataset, seeded_problems, sequential_truth, executor, shard_by, steal
 ):
     config = BenchmarkConfig(
-        seed=7, executor=executor, max_workers=3, shards=3, shard_by=shard_by
+        seed=7, executor=executor, max_workers=3, shards=3, shard_by=shard_by, steal=steal
     )
     result = CloudEvalBenchmark(small_dataset, config).evaluate_models(
         models=MODELS, problems=seeded_problems
