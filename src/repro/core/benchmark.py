@@ -42,6 +42,7 @@ from repro.pipeline.planner import ShardPlanner, resolve_planner
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
 from repro.pipeline.scheduler import ModelJob, MultiModelScheduler
 from repro.pipeline.sharding import ShardedEvaluationPipeline
+from repro.scoring.cache import ScoreCache, resolve_score_cache
 from repro.scoring.compiled import ReferenceStore
 
 __all__ = ["EvaluationRecord", "ModelEvaluation", "BenchmarkResult", "CloudEvalBenchmark"]
@@ -86,6 +87,9 @@ class CloudEvalBenchmark:
         # One calibration store per benchmark: every run's measured
         # durations accumulate in it, and every cost model predicts from it.
         self._calibration = resolve_calibration(self.config.calibration)
+        # One score cache per benchmark: every model's pipelines look up and
+        # write back through the same content-addressed store.
+        self._score_cache = resolve_score_cache(self.config.score_cache)
 
     # ------------------------------------------------------------------
     # Planning
@@ -94,6 +98,11 @@ class CloudEvalBenchmark:
         """The store measured durations flow into (None when disabled)."""
 
         return self._calibration
+
+    def score_cache(self) -> ScoreCache | None:
+        """The shared content-addressed score cache (None when disabled)."""
+
+        return self._score_cache
 
     def cost_model(self) -> CostModel:
         """The Figure 5 / Table 3 cost model over this benchmark's dataset.
@@ -186,6 +195,7 @@ class CloudEvalBenchmark:
             checkpoint=checkpoint,
             batch_size=self.config.batch_size,
             calibration=self._calibration,
+            score_cache=self._score_cache,
         )
 
     def sharded_pipeline(
@@ -212,6 +222,7 @@ class CloudEvalBenchmark:
             steal=self.config.steal,
             cost_model=self.cost_model(),
             calibration=self._calibration,
+            score_cache=self._score_cache,
         )
 
     # ------------------------------------------------------------------
@@ -309,6 +320,7 @@ class CloudEvalBenchmark:
             steal=self.config.steal if steal is None else steal,
             cost_model=self.cost_model(),
             calibration=self._calibration,
+            score_cache=self._score_cache,
         )
         try:
             evaluations = scheduler.run()

@@ -14,6 +14,7 @@ from repro.evalcluster.calibration import (
 from repro.pipeline.executors import EXECUTOR_NAMES, GENERATE_EXECUTOR_NAMES
 from repro.pipeline.pipeline import DEFAULT_BATCH_SIZE
 from repro.pipeline.planner import PLANNER_NAMES, ShardPlanner
+from repro.scoring.cache import ScoreCache, is_score_cache_spec
 
 __all__ = ["BenchmarkConfig"]
 
@@ -113,6 +114,14 @@ class BenchmarkConfig:
         How many observations the Figure 5 prior is worth in the blend
         (0 trusts the first measurement outright; large values change
         slowly).
+    score_cache:
+        The content-addressed global score cache: a
+        :class:`~repro.scoring.cache.ScoreCache` instance or the path of
+        its JSONL file.  When set, every unique (reference, answer) pair
+        is scored at most once *across runs* — hits skip scoring entirely,
+        misses write back — and all models of a leaderboard share the one
+        store.  Scores are bit-identical with the cache on, off, warm or
+        cold; only the wall-clock moves.  ``None`` (default) disables it.
     """
 
     seed: int = 7
@@ -133,6 +142,7 @@ class BenchmarkConfig:
     steal: bool = True
     calibration: CalibrationStore | str | os.PathLike[str] | None = None
     calibration_prior_weight: float = DEFAULT_PRIOR_WEIGHT
+    score_cache: ScoreCache | str | os.PathLike[str] | None = None
 
     def __post_init__(self) -> None:
         if self.shots < 0 or self.shots > 3:
@@ -163,3 +173,5 @@ class BenchmarkConfig:
             )
         if self.calibration_prior_weight < 0:
             raise ValueError("calibration_prior_weight must be >= 0")
+        if not is_score_cache_spec(self.score_cache):
+            raise ValueError("score_cache must be a ScoreCache, a JSONL path, or None")

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.core.benchmark import BenchmarkResult, ModelEvaluation
 from repro.evalcluster.cost import CostModel
 from repro.scoring.aggregate import METRIC_NAMES
+from repro.scoring.cache import ScoreCache
 
 __all__ = ["format_leaderboard"]
 
@@ -15,6 +16,10 @@ _COST_HEADER = "pred_eval_s"
 #: Header of the optional measured-cost column (wall-clock stage seconds
 #: the run actually recorded on its evaluation records).
 _MEASURED_HEADER = "meas_eval_s"
+
+#: Header of the optional score-cache column (the model's lookups served
+#: from the content-addressed global cache, as ``hits/lookups``).
+_CACHE_HEADER = "cache_hits"
 
 
 def _predicted_evaluation_seconds(evaluation: ModelEvaluation, cost_model: CostModel) -> float:
@@ -62,11 +67,21 @@ def _measured_evaluation_seconds(evaluation: ModelEvaluation) -> float:
     return total
 
 
+def _cache_cell(score_cache: ScoreCache, model: str) -> str:
+    """The model's ``hits/lookups (rate%)`` cache cell, or ``-`` if unseen."""
+
+    stats = score_cache.stats_for(model)
+    if not stats.lookups:
+        return "-"
+    return f"{stats.hits}/{stats.lookups} ({100.0 * stats.hit_rate:.0f}%)"
+
+
 def format_leaderboard(
     result: BenchmarkResult,
     title: str = "Zero-shot benchmark",
     cost_model: CostModel | None = None,
     measured: bool = False,
+    score_cache: ScoreCache | None = None,
 ) -> str:
     """Render a Table 4-style leaderboard as aligned text.
 
@@ -77,7 +92,11 @@ def format_leaderboard(
     ``measured=True``, a ``meas_eval_s`` column shows the wall-clock stage
     seconds the run actually recorded — putting the model's prediction and
     its ground truth side by side is the quickest check of how far the
-    calibration loop has converged.
+    calibration loop has converged.  With a ``score_cache``, a
+    ``cache_hits`` column shows each model's lookups served from the
+    content-addressed global cache (``hits/lookups (rate%)``) plus the
+    store's one-line summary as a footer — how much scoring the cache
+    absorbed for this leaderboard.
     """
 
     lines = [title, ""]
@@ -86,6 +105,8 @@ def format_leaderboard(
         header += f"{_COST_HEADER:>14}"
     if measured:
         header += f"{_MEASURED_HEADER:>14}"
+    if score_cache is not None:
+        header += f"{_CACHE_HEADER:>16}"
     lines.append(header)
     lines.append("-" * len(header))
     for rank, (model, scores) in enumerate(result.leaderboard(), start=1):
@@ -95,5 +116,10 @@ def format_leaderboard(
             row += f"{seconds:>14.1f}"
         if measured:
             row += f"{_measured_evaluation_seconds(result[model]):>14.1f}"
+        if score_cache is not None:
+            row += f"{_cache_cell(score_cache, model):>16}"
         lines.append(row)
+    if score_cache is not None:
+        lines.append("")
+        lines.append(score_cache.describe())
     return "\n".join(lines)

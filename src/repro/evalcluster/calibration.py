@@ -37,7 +37,7 @@ import json
 import math
 import os
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -94,6 +94,16 @@ class CalibrationStore:
     identically to the store that wrote it.  A torn final line from a
     killed run is dropped, exactly like the pipeline checkpoints.
 
+    With ``per_model=True`` the store *additionally* folds every
+    observation under its ``(model, problem)`` key — live endpoints skew
+    per model (one provider throttles, another streams), and the scoped
+    EWMAs are what lets a per-job calibrated cost model (and through it
+    the :class:`~repro.pipeline.scheduler.StealPolicy`) see that skew
+    instead of averaging it away.  Observation lines then carry a
+    ``"model"`` field; single-key files (no ``"model"``) load unchanged
+    in either mode, and a per-model file read by a single-key store simply
+    ignores the scoping — the global EWMAs are identical either way.
+
     ``version`` increments on every absorbed observation — consumers that
     memoise predictions derived from this store (the calibrated cost
     model, the stealing scheduler's remaining-seconds estimates) compare
@@ -104,13 +114,16 @@ class CalibrationStore:
         self,
         path: str | os.PathLike[str] | None = None,
         smoothing: float = DEFAULT_SMOOTHING,
+        per_model: bool = False,
     ) -> None:
         if not 0.0 < smoothing <= 1.0:
             raise ValueError("smoothing must be in (0, 1]")
         self.path = Path(path) if path is not None else None
         self.smoothing = smoothing
+        self.per_model = per_model
         self.version = 0
         self._entries: dict[str, CalibrationEntry] = {}
+        self._model_entries: dict[tuple[str, str], CalibrationEntry] = {}
         self._lock = threading.Lock()
         self._log = JsonlLog(self.path) if self.path is not None else None
         if self._log is not None:
@@ -118,52 +131,81 @@ class CalibrationStore:
             # that produced them (same discipline as the pipeline
             # checkpoints, shared via JsonlLog): a torn tail is ignored
             # here and sealed off by the next append, never on load.
-            for problem_id, variant, seconds in self._log.scan(self._decode):
-                self._absorb(problem_id, variant, seconds)
+            for problem_id, variant, seconds, model in self._log.scan(self._decode):
+                self._absorb(problem_id, variant, seconds, model)
 
     # -- persistence --------------------------------------------------------
     @staticmethod
-    def _decode(line: bytes) -> tuple[str, str, float]:
+    def _decode(line: bytes) -> tuple[str, str, float, str]:
         payload = json.loads(line)
-        return payload["problem_id"], payload.get("variant", ""), float(payload["seconds"])
+        return (
+            payload["problem_id"],
+            payload.get("variant", ""),
+            float(payload["seconds"]),
+            str(payload.get("model", "")),
+        )
 
     # -- observations -------------------------------------------------------
-    def _absorb(self, problem_id: str, variant: str, seconds: float) -> None:
+    def _absorb(self, problem_id: str, variant: str, seconds: float, model: str = "") -> None:
         entry = self._entries.get(problem_id)
         if entry is None:
             entry = self._entries[problem_id] = CalibrationEntry(problem_id, variant)
         entry.absorb(seconds, self.smoothing)
+        if self.per_model and model:
+            key = (model, problem_id)
+            scoped = self._model_entries.get(key)
+            if scoped is None:
+                scoped = self._model_entries[key] = CalibrationEntry(problem_id, variant)
+            scoped.absorb(seconds, self.smoothing)
         self.version += 1
 
-    def observe(self, problem_id: str, variant: str, seconds: float) -> None:
+    def observe(
+        self, problem_id: str, variant: str, seconds: float, model: str = ""
+    ) -> None:
         """Record one measured duration (and append it to the log)."""
 
-        self.observe_batch([(problem_id, variant, seconds)])
+        self.observe_batch([(problem_id, variant, seconds, model)])
 
-    def observe_batch(self, observations: Iterable[tuple[str, str, float]]) -> None:
+    def observe_batch(
+        self,
+        observations: Iterable[
+            tuple[str, str, float] | tuple[str, str, float, str]
+        ],
+    ) -> None:
         """Record a batch of measured durations with one durable append.
 
-        The batch is validated in full before anything is absorbed, so a
-        bad observation can never leave the in-memory EWMAs diverged from
-        the log (write → reload → identical predictions must hold even
-        across a rejected batch).
+        Observations are ``(problem_id, variant, seconds)`` triples or
+        ``(problem_id, variant, seconds, model)`` quadruples; the model is
+        ignored (and not persisted) unless the store is ``per_model``, so
+        a default store's file stays byte-identical to the single-key
+        format.  The batch is validated in full before anything is
+        absorbed, so a bad observation can never leave the in-memory EWMAs
+        diverged from the log (write → reload → identical predictions must
+        hold even across a rejected batch).
         """
 
-        cleaned: list[tuple[str, str, float]] = []
-        for problem_id, variant, seconds in observations:
-            seconds = float(seconds)
+        cleaned: list[tuple[str, str, float, str]] = []
+        for observation in observations:
+            problem_id, variant, seconds = observation[0], observation[1], float(observation[2])
+            model = str(observation[3]) if len(observation) > 3 else ""
             if seconds < 0.0:
                 raise ValueError(f"negative duration for {problem_id!r}: {seconds}")
-            cleaned.append((problem_id, variant, seconds))
+            cleaned.append((problem_id, variant, seconds, model))
         if not cleaned:
             return
-        lines = [
-            json.dumps({"problem_id": problem_id, "variant": variant, "seconds": seconds}) + "\n"
-            for problem_id, variant, seconds in cleaned
-        ]
+        lines = []
+        for problem_id, variant, seconds, model in cleaned:
+            payload: dict[str, object] = {
+                "problem_id": problem_id,
+                "variant": variant,
+                "seconds": seconds,
+            }
+            if self.per_model and model:
+                payload["model"] = model
+            lines.append(json.dumps(payload) + "\n")
         with self._lock:
-            for problem_id, variant, seconds in cleaned:
-                self._absorb(problem_id, variant, seconds)
+            for problem_id, variant, seconds, model in cleaned:
+                self._absorb(problem_id, variant, seconds, model)
             if self._log is not None:
                 self._log.append(lines)
 
@@ -174,21 +216,31 @@ class CalibrationStore:
     def __iter__(self) -> Iterator[CalibrationEntry]:
         return iter(self._entries.values())
 
-    def get(self, problem_id: str) -> CalibrationEntry | None:
-        """The folded entry of one problem, or None when never observed."""
+    def get(self, problem_id: str, model: str | None = None) -> CalibrationEntry | None:
+        """The folded entry of one problem, or None when never observed.
 
+        With ``model`` given (and the store ``per_model``), the
+        ``(model, problem)``-scoped entry is preferred and the global one
+        is the fallback — a problem this model never ran is still priced
+        from everyone else's measurements.
+        """
+
+        if model is not None and self.per_model:
+            scoped = self._model_entries.get((model, problem_id))
+            if scoped is not None:
+                return scoped
         return self._entries.get(problem_id)
 
-    def seconds_for(self, problem_id: str) -> float | None:
+    def seconds_for(self, problem_id: str, model: str | None = None) -> float | None:
         """The observed EWMA duration of a problem (None when unobserved)."""
 
-        entry = self._entries.get(problem_id)
+        entry = self.get(problem_id, model)
         return entry.ewma_seconds if entry is not None else None
 
-    def count_for(self, problem_id: str) -> int:
-        """How many observations a problem has absorbed."""
+    def count_for(self, problem_id: str, model: str | None = None) -> int:
+        """How many observations a problem (or its model scope) absorbed."""
 
-        entry = self._entries.get(problem_id)
+        entry = self.get(problem_id, model)
         return entry.count if entry is not None else 0
 
 
@@ -228,11 +280,29 @@ class CalibratedCostModel(CostModel):
 
     store: CalibrationStore = field(default_factory=CalibrationStore)
     prior_weight: float = DEFAULT_PRIOR_WEIGHT
+    #: Scope predictions to one model's observed durations (needs a
+    #: ``per_model`` store; with a single-key store the name is inert).
+    #: ``None`` predicts from the global, model-agnostic EWMAs.
+    model_name: str | None = None
     _seen_version: int = field(default=-1, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.prior_weight < 0.0:
             raise ValueError("prior_weight must be >= 0")
+
+    def for_model(self, model_name: str) -> "CalibratedCostModel":
+        """A copy of this model scoped to one endpoint's observations.
+
+        The copy shares the store (and therefore keeps re-predicting as
+        measurements arrive) but prefers ``(model, problem)`` EWMAs over
+        the global ones — per-endpoint latency skew becomes visible to
+        whoever prices work with the copy (the stealing scheduler builds
+        one per job).  Prediction memos start fresh; the underlying
+        pull-image lists are recomputed per copy, which is cheap relative
+        to what the memo exists to avoid.
+        """
+
+        return replace(self, model_name=model_name)
 
     # -- memo refresh -------------------------------------------------------
     def _refresh(self) -> None:
@@ -260,7 +330,7 @@ class CalibratedCostModel(CostModel):
         # alone, so its images still warm the shard cache for later
         # problems that share them.
         self._refresh()
-        if self.store.seconds_for(problem.problem_id) is not None:
+        if self.store.seconds_for(problem.problem_id, self.model_name) is not None:
             return ()
         return super().problem_charge_images(problem)
 
@@ -278,12 +348,12 @@ class CalibratedCostModel(CostModel):
         return total
 
     def _compute_base_seconds(self, problem: Problem) -> float:
-        observed = self.store.seconds_for(problem.problem_id)
+        observed = self.store.seconds_for(problem.problem_id, self.model_name)
         if observed is None:
             return super()._compute_base_seconds(problem)
         if self.prior_weight == 0.0:
             return observed
-        count = self.store.count_for(problem.problem_id)
+        count = self.store.count_for(problem.problem_id, self.model_name)
         prior = self._cold_prior_seconds(problem)
         weight = self.prior_weight / (self.prior_weight + count)
         return math.exp(

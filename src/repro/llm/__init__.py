@@ -9,21 +9,34 @@ scoring, failure analysis — operates on the generated text exactly as it
 would on responses from a real endpoint.
 """
 
-from repro.llm.interface import GenerationRequest, Model, QueryModule
+from repro.llm.interface import AsyncModel, GenerationRequest, Model, QueryModule
 from repro.llm.prompt import PROMPT_TEMPLATE, build_prompt, few_shot_examples
 from repro.llm.registry import available_models, calibrate_models, get_model
+from repro.llm.remote import (
+    EndpointError,
+    LiveEndpointModel,
+    RemoteEndpointModel,
+    TransientEndpointError,
+    http_transport,
+)
 from repro.llm.simulated import ModelProfile, SimulatedModel
 
 __all__ = [
+    "AsyncModel",
+    "EndpointError",
     "GenerationRequest",
+    "LiveEndpointModel",
     "Model",
     "ModelProfile",
     "PROMPT_TEMPLATE",
     "QueryModule",
+    "RemoteEndpointModel",
     "SimulatedModel",
+    "TransientEndpointError",
     "available_models",
     "build_prompt",
     "calibrate_models",
     "few_shot_examples",
     "get_model",
+    "http_transport",
 ]

@@ -1,29 +1,60 @@
-"""A remote-endpoint adapter over any local model.
+"""Remote-endpoint adapters: simulated latency and real live endpoints.
 
 The paper's query module exists because remote endpoints are slow and
 rate-limited: each request spends tens to hundreds of milliseconds on the
 wire, and the only way to finish a 1000-problem sweep in reasonable time
 is to keep many requests in flight (§3.1, ray in the original).
 
-:class:`RemoteEndpointModel` turns any deterministic local model into that
-workload shape.  It answers with exactly the wrapped model's responses but
-charges a per-request network latency: the synchronous ``generate`` blocks
-(as a naive sequential client would), while ``generate_async`` awaits the
-same latency on the event loop so the async query path can overlap
-hundreds of in-flight requests.  Scores are therefore bit-identical
-between the wrapped and unwrapped model — only the wall-clock differs.
+Two adapters model that workload shape:
+
+* :class:`RemoteEndpointModel` turns any deterministic local model into
+  it.  It answers with exactly the wrapped model's responses but charges
+  a per-request network latency: the synchronous ``generate`` blocks (as
+  a naive sequential client would), while ``generate_async`` awaits the
+  same latency on the event loop so the async query path can overlap
+  hundreds of in-flight requests.  Scores are therefore bit-identical
+  between the wrapped and unwrapped model — only the wall-clock differs.
+* :class:`LiveEndpointModel` is the *real* thing: a
+  :class:`~repro.llm.interface.Model`/:class:`~repro.llm.interface.AsyncModel`
+  adapter over an actual endpoint, with wall-clock
+  :class:`~repro.utils.ratelimit.TokenBucket` pacing and
+  retry-with-backoff on transient errors.  The endpoint itself is
+  abstracted as a *transport* — any callable ``(prompt) -> response`` —
+  so the adapter is testable offline and pluggable onto any provider;
+  :func:`http_transport` builds one over stdlib ``urllib`` for plain
+  JSON-over-HTTP endpoints.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
 import time
+import urllib.error
+import urllib.request
+from typing import Awaitable, Callable
 
 from repro.dataset.problem import Problem
 from repro.llm.interface import Model
+from repro.llm.prompt import build_prompt
+from repro.utils.ratelimit import TokenBucket
 from repro.utils.rng import DeterministicRNG
 
-__all__ = ["RemoteEndpointModel"]
+__all__ = [
+    "EndpointError",
+    "LiveEndpointModel",
+    "RemoteEndpointModel",
+    "TransientEndpointError",
+    "http_transport",
+]
+
+
+class EndpointError(RuntimeError):
+    """A live endpoint failed in a way retrying cannot fix (4xx, bad payload)."""
+
+
+class TransientEndpointError(EndpointError):
+    """A live endpoint failed transiently (timeout, 429, 5xx); retry may succeed."""
 
 
 class RemoteEndpointModel:
@@ -84,3 +115,176 @@ class RemoteEndpointModel:
         if delay > 0:
             await asyncio.sleep(delay)
         return self.inner.generate(problem, shots=shots, sample_index=sample_index)
+
+
+class LiveEndpointModel:
+    """A real live endpoint behind the :class:`~repro.llm.interface.Model`
+    and :class:`~repro.llm.interface.AsyncModel` protocols.
+
+    Parameters
+    ----------
+    name:
+        The leaderboard name of the endpoint's model (keys checkpoints,
+        results, and the score cache's per-model counters).
+    transport:
+        ``(prompt) -> response text``: the one network call.  It raises
+        :class:`TransientEndpointError` for failures worth retrying and
+        :class:`EndpointError` (or anything else) for permanent ones.
+    async_transport:
+        Optional awaitable variant used by ``generate_async``; without
+        one, the synchronous transport runs on the event loop's default
+        executor so request latencies still overlap.
+    limiter:
+        Wall-clock :class:`~repro.utils.ratelimit.TokenBucket` pacing
+        *attempts* (every retry takes a fresh token — a retried request
+        must not cut the rate-limit queue).  A virtual-clock bucket is
+        rejected: fast-forwarding does not slow real traffic down.
+    max_retries:
+        How many times a :class:`TransientEndpointError` is retried
+        before it propagates (total attempts = ``max_retries + 1``).
+    backoff_seconds / backoff_multiplier:
+        Deterministic exponential backoff slept between attempts:
+        ``backoff_seconds * backoff_multiplier**retry_index``.
+    sleep / async_sleep:
+        Injectable sleep functions (tests pass recorders; production
+        leaves the defaults).
+
+    Responses are whatever the endpoint returns for the built prompt, so
+    determinism is the endpoint's contract, not this adapter's; pair it
+    with the content-addressed score cache so repeated answers are scored
+    once no matter how the endpoint phrases its latency.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        transport: Callable[[str], str],
+        *,
+        async_transport: Callable[[str], Awaitable[str]] | None = None,
+        limiter: TokenBucket | None = None,
+        max_retries: int = 2,
+        backoff_seconds: float = 0.5,
+        backoff_multiplier: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+        async_sleep: Callable[[float], Awaitable[None]] | None = None,
+    ) -> None:
+        if not name:
+            raise ValueError("a live endpoint needs a model name")
+        if limiter is not None and limiter.virtual_clock:
+            raise ValueError(
+                "a live endpoint needs wall-clock pacing; build the limiter with "
+                "TokenBucket(rate, burst, virtual_clock=False)"
+            )
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if backoff_seconds < 0 or backoff_multiplier < 1.0:
+            raise ValueError("backoff must be non-negative with multiplier >= 1")
+        self._name = name
+        self.transport = transport
+        self.async_transport = async_transport
+        self.limiter = limiter
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self.backoff_multiplier = backoff_multiplier
+        self._sleep = sleep
+        self._async_sleep = async_sleep if async_sleep is not None else asyncio.sleep
+        #: Observability: attempts sent to the wire, transient retries paid.
+        self.requests = 0
+        self.retries = 0
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def _backoff(self, retry_index: int) -> float:
+        return self.backoff_seconds * self.backoff_multiplier**retry_index
+
+    def generate(self, problem: Problem, shots: int = 0, sample_index: int = 0) -> str:
+        prompt = build_prompt(problem, shots=shots)
+        for retry_index in range(self.max_retries + 1):
+            if self.limiter is not None:
+                self.limiter.acquire()
+            self.requests += 1
+            try:
+                return self.transport(prompt)
+            except TransientEndpointError:
+                if retry_index >= self.max_retries:
+                    raise
+                self.retries += 1
+                backoff = self._backoff(retry_index)
+                if backoff > 0:
+                    self._sleep(backoff)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def generate_async(self, problem: Problem, shots: int = 0, sample_index: int = 0) -> str:
+        prompt = build_prompt(problem, shots=shots)
+        for retry_index in range(self.max_retries + 1):
+            if self.limiter is not None:
+                await self.limiter.acquire_async()
+            self.requests += 1
+            try:
+                if self.async_transport is not None:
+                    return await self.async_transport(prompt)
+                # No native async transport: keep the event loop free by
+                # running the blocking call on the default executor.
+                return await asyncio.get_running_loop().run_in_executor(
+                    None, self.transport, prompt
+                )
+            except TransientEndpointError:
+                if retry_index >= self.max_retries:
+                    raise
+                self.retries += 1
+                backoff = self._backoff(retry_index)
+                if backoff > 0:
+                    await self._async_sleep(backoff)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+#: HTTP statuses retrying can help with: rate limiting and server-side hiccups.
+_TRANSIENT_STATUSES = frozenset({408, 429, 500, 502, 503, 504})
+
+
+def http_transport(
+    url: str,
+    *,
+    response_field: str = "response",
+    prompt_field: str = "prompt",
+    headers: dict[str, str] | None = None,
+    timeout_seconds: float = 60.0,
+) -> Callable[[str], str]:
+    """A :class:`LiveEndpointModel` transport over stdlib ``urllib``.
+
+    POSTs ``{prompt_field: prompt}`` as JSON to ``url`` and returns the
+    ``response_field`` string of the JSON reply.  Timeouts, connection
+    failures and 408/429/5xx statuses raise
+    :class:`TransientEndpointError` (retried by the adapter); other HTTP
+    errors and malformed payloads raise :class:`EndpointError`
+    (propagated).  Kept deliberately minimal — provider-specific schemas
+    wrap their SDK call in a plain function instead.
+    """
+
+    def transport(prompt: str) -> str:
+        body = json.dumps({prompt_field: prompt}).encode("utf-8")
+        request = urllib.request.Request(
+            url,
+            data=body,
+            headers={"Content-Type": "application/json", **(headers or {})},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout_seconds) as reply:
+                payload = json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            if exc.code in _TRANSIENT_STATUSES:
+                raise TransientEndpointError(f"endpoint returned HTTP {exc.code}") from exc
+            raise EndpointError(f"endpoint returned HTTP {exc.code}") from exc
+        except (urllib.error.URLError, TimeoutError, OSError) as exc:
+            raise TransientEndpointError(f"endpoint unreachable: {exc}") from exc
+        try:
+            return str(payload[response_field])
+        except (TypeError, KeyError) as exc:
+            raise EndpointError(
+                f"endpoint reply is missing the {response_field!r} field"
+            ) from exc
+
+    return transport

@@ -26,6 +26,7 @@ from repro.pipeline.checkpoint import PipelineCheckpoint
 from repro.pipeline.executors import Executor, close_executor, resolve_executor
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
 from repro.pipeline.stages import AggregateStage, Stage, StageContext, WorkItem, default_stages
+from repro.scoring.cache import ScoreCache
 from repro.scoring.compiled import ReferenceStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -76,6 +77,13 @@ class EvaluationPipeline:
         pass one store so references compile once across models.
     run_unit_tests:
         Forwarded to the score stage.
+    score_cache:
+        Optional :class:`~repro.scoring.cache.ScoreCache` layered above
+        the score stage's in-run memo: content-addressed hits skip
+        scoring entirely (resolved in this process, so process pools only
+        see misses) and fresh cards are written back once per batch.
+        Benchmarks and the multi-model scheduler pass one shared store so
+        every model's repeat answers are absorbed by the same cache.
     checkpoint:
         Optional :class:`PipelineCheckpoint` enabling resume; pass the
         same checkpoint (or path) again to continue a partial run.
@@ -106,6 +114,7 @@ class EvaluationPipeline:
         generate_executor: str | Executor | None = None,
         lease_seconds: float | None = None,
         calibration: "CalibrationStore | None" = None,
+        score_cache: ScoreCache | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -114,7 +123,12 @@ class EvaluationPipeline:
         self.stages: list[Stage] = (
             list(stages)
             if stages is not None
-            else default_stages(self.query, store=store, run_unit_tests=run_unit_tests)
+            else default_stages(
+                self.query,
+                store=store,
+                run_unit_tests=run_unit_tests,
+                score_cache=score_cache,
+            )
         )
         self.aggregate = AggregateStage()
         # An executor resolved here from a spec string is owned by (and torn
@@ -221,8 +235,10 @@ class EvaluationPipeline:
             # record contributes its measured duration to the store the
             # calibrated cost model predicts from (one durable append per
             # batch, like the checkpoint).
+            # The model name rides along so a per_model store can fold the
+            # scoped EWMA too; single-key stores ignore it.
             self.calibration.observe_batch(
-                (record.problem_id, record.variant, record.measured_seconds)
+                (record.problem_id, record.variant, record.measured_seconds, record.model_name)
                 for record in finished
             )
         for index in range(len(prepared.requests)):

@@ -57,6 +57,7 @@ from repro.pipeline.executors import Executor, close_executor, resolve_executor
 from repro.pipeline.pipeline import DEFAULT_BATCH_SIZE, EvaluationPipeline
 from repro.pipeline.planner import CountPlanner, ShardPlan, ShardPlanner
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
+from repro.scoring.cache import ScoreCache
 from repro.scoring.compiled import ReferenceStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -193,6 +194,7 @@ class MultiModelScheduler:
         steal_policy: StealPolicy | None = None,
         cost_model: CostModel | None = None,
         calibration: "CalibrationStore | None" = None,
+        score_cache: ScoreCache | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -221,6 +223,10 @@ class MultiModelScheduler:
         self.steal = steal
         self.steal_policy = steal_policy if steal_policy is not None else StealPolicy()
         self.calibration = calibration
+        # One score cache for every sub-pipeline of every model: different
+        # models frequently emit identical answers, and the shared store is
+        # what lets model B's lookups hit cards model A just wrote.
+        self.score_cache = score_cache
         if cost_model is None:
             if calibration is not None:
                 from repro.evalcluster.calibration import CalibratedCostModel
@@ -283,6 +289,7 @@ class MultiModelScheduler:
                     checkpoint=self.job_shard_checkpoint(job, index, plan.num_shards),
                     batch_size=self.batch_size,
                     calibration=self.calibration,
+                    score_cache=self.score_cache,
                 )
                 self._pipelines.append(pipeline)
                 for start in range(0, len(shard_requests), self.batch_size):
@@ -317,10 +324,28 @@ class MultiModelScheduler:
         generation_backend = self.generate_executor or self.executor
         return getattr(generation_backend, "limiter", None) is not None
 
-    def _predict_unit_seconds(self, batch: Sequence[GenerationRequest]) -> float:
+    def _job_cost_model(self, job: ModelJob) -> CostModel:
+        """The cost model pricing ``job``'s batches.
+
+        A calibrated model is scoped to the job's endpoint via
+        ``for_model`` so per-model latency skew (a ``per_model``
+        calibration store records it) steers the steal order; with a
+        single-key store the scoped copy predicts identically to the
+        shared model, and a plain :class:`CostModel` is used as-is.
+        """
+
+        for_model = getattr(self.cost_model, "for_model", None)
+        if callable(for_model):
+            return for_model(job.name)
+        return self.cost_model
+
+    def _predict_unit_seconds(
+        self, batch: Sequence[GenerationRequest], cost_model: CostModel | None = None
+    ) -> float:
         """Predicted seconds of one batch unit (cold cache, warm within)."""
 
-        return self.cost_model.predict_problems_seconds(request.problem for request in batch)
+        model = cost_model if cost_model is not None else self.cost_model
+        return model.predict_problems_seconds(request.problem for request in batch)
 
     def _prediction_version(self) -> int:
         """The cost model's input version — bumps force re-prediction."""
@@ -454,10 +479,15 @@ class MultiModelScheduler:
         if total == 0:
             return
 
-        # Predicted seconds per unit and per-job remaining (unclaimed) sums.
+        # Predicted seconds per unit and per-job remaining (unclaimed) sums,
+        # priced by each job's (possibly endpoint-scoped) cost model.
+        job_cost_models = [self._job_cost_model(job) for job in self.jobs]
         unit_seconds = [
-            [self._predict_unit_seconds(batch) for _pipeline, batch in units]
-            for units in per_job
+            [
+                self._predict_unit_seconds(batch, job_cost_models[job_index])
+                for _pipeline, batch in units
+            ]
+            for job_index, units in enumerate(per_job)
         ]
         remaining = [sum(seconds) for seconds in unit_seconds]
         seen_version = [self._prediction_version()]
@@ -499,7 +529,7 @@ class MultiModelScheduler:
             for job_index, units in enumerate(per_job):
                 for unit_index in range(next_claim[job_index], len(units)):
                     unit_seconds[job_index][unit_index] = self._predict_unit_seconds(
-                        units[unit_index][1]
+                        units[unit_index][1], job_cost_models[job_index]
                     )
                 remaining[job_index] = sum(unit_seconds[job_index][next_claim[job_index] :])
             elapsed = time.monotonic() - now

@@ -36,6 +36,7 @@ from repro.pipeline.pipeline import DEFAULT_BATCH_SIZE
 from repro.pipeline.planner import ShardPlan, ShardPlanner
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
 from repro.pipeline.scheduler import ModelJob, MultiModelScheduler
+from repro.scoring.cache import ScoreCache
 from repro.scoring.compiled import ReferenceStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -103,6 +104,7 @@ class ShardedEvaluationPipeline:
         steal: bool = True,
         cost_model: CostModel | None = None,
         calibration: "CalibrationStore | None" = None,
+        score_cache: ScoreCache | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -125,6 +127,7 @@ class ShardedEvaluationPipeline:
         self.steal = steal
         self.cost_model = cost_model
         self.calibration = calibration
+        self.score_cache = score_cache
         # Executors are shared across every sub-pipeline so pools (threads,
         # processes, event-loop rate limiter) are built once per run, and
         # owned by this pipeline when resolved from spec strings.
@@ -156,6 +159,7 @@ class ShardedEvaluationPipeline:
             steal=self.steal,
             cost_model=self.cost_model,
             calibration=self.calibration,
+            score_cache=self.score_cache,
         )
         self._schedulers.append(scheduler)
         return scheduler

@@ -27,10 +27,12 @@ from repro.pipeline.executors import AsyncExecutor, Executor, SerialExecutor
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
 from repro.postprocess import extract_yaml
 from repro.scoring.aggregate import ScoreCard
+from repro.scoring.cache import ScoreCache
 from repro.scoring.compiled import (
     CompiledReference,
     ReferenceStore,
     ScoreTask,
+    answer_digest,
     run_score_task,
     score_extracted,
 )
@@ -218,13 +220,29 @@ class ScoreStage:
     carries the seconds the actual scoring took, which is the ground truth
     the calibration loop wants (what scoring this answer *costs*, not the
     near-zero memo lookup).
+
+    With a :class:`~repro.scoring.cache.ScoreCache` wired in, a second,
+    *persistent* layer sits above the in-run memo: a unique pair whose
+    content-addressed key — (compiled-reference digest, extracted-answer
+    digest, scorer version) — is already in the cache skips scoring
+    entirely, and every freshly scored pair is written back once per
+    batch.  Hits are resolved here in the parent process, so a
+    process-pool executor only ever ships miss envelopes; a cache-served
+    pair reports zero scoring seconds (the truth of this run — the cost
+    was paid by whichever run populated the cache).
     """
 
     name = "score"
 
-    def __init__(self, store: ReferenceStore | None = None, run_unit_tests: bool = True) -> None:
+    def __init__(
+        self,
+        store: ReferenceStore | None = None,
+        run_unit_tests: bool = True,
+        cache: ScoreCache | None = None,
+    ) -> None:
         self.store = store or ReferenceStore()
         self.run_unit_tests = run_unit_tests
+        self.cache = cache
         self._memo: dict[tuple[str, str], tuple[ScoreCard, float]] = {}
 
     def _score_one(self, task: tuple[CompiledReference, str]) -> tuple[ScoreCard, float]:
@@ -240,6 +258,19 @@ class ScoreStage:
             item.extracted = extracted
             key = (item.request.problem.problem_id, extracted)
             if key not in self._memo and key not in pending:
+                if self.cache is not None:
+                    compiled = self.store.get(item.request.problem)
+                    card = self.cache.get(
+                        compiled.digest,
+                        answer_digest(extracted),
+                        self.run_unit_tests,
+                        scope=item.model_name,
+                    )
+                    if card is not None:
+                        # Cache-served: this run did no scoring work for the
+                        # pair, so it reports zero seconds.
+                        self._memo[key] = (card, 0.0)
+                        continue
                 pending[key] = (item.request.problem, extracted)
         if pending:
             keys = list(pending)
@@ -265,6 +296,16 @@ class ScoreStage:
                 ]
                 timed = context.executor.map(self._score_one, tasks)
             self._memo.update(zip(keys, timed))
+            if self.cache is not None:
+                self.cache.put_batch(
+                    (
+                        self.store.get(problem).digest,
+                        answer_digest(extracted),
+                        self._memo[key][0],
+                        self.run_unit_tests,
+                    )
+                    for key, (problem, extracted) in pending.items()
+                )
         for item in items:
             card, seconds = self._memo[(item.request.problem.problem_id, item.extracted)]
             item.scores = card
@@ -286,6 +327,7 @@ def default_stages(
     *,
     store: ReferenceStore | None = None,
     run_unit_tests: bool = True,
+    score_cache: ScoreCache | None = None,
 ) -> list[Stage]:
     """The paper's stage chain for one model (everything before aggregation)."""
 
@@ -293,5 +335,5 @@ def default_stages(
         PromptStage(),
         GenerateStage(query),
         ExtractStage(),
-        ScoreStage(store=store, run_unit_tests=run_unit_tests),
+        ScoreStage(store=store, run_unit_tests=run_unit_tests, cache=score_cache),
     ]

@@ -21,9 +21,11 @@ batch entry point with response dedup and optional pool fan-out.
 """
 
 from repro.scoring.aggregate import METRIC_NAMES, ScoreCard, score_answer, score_answer_legacy
+from repro.scoring.cache import SCORER_VERSION, CacheStats, ScoreCache
 from repro.scoring.compiled import (
     CompiledReference,
     ReferenceStore,
+    answer_digest,
     compile_reference,
     get_compiled_reference,
     score_answer_compiled,
@@ -35,9 +37,13 @@ from repro.scoring.yaml_aware import key_value_exact_match, key_value_wildcard_m
 
 __all__ = [
     "METRIC_NAMES",
+    "SCORER_VERSION",
+    "CacheStats",
     "CompiledReference",
     "ReferenceStore",
+    "ScoreCache",
     "ScoreCard",
+    "answer_digest",
     "bleu",
     "compile_reference",
     "edit_distance_score",

@@ -22,9 +22,11 @@ equivalence is asserted over the full dataset by
 
 from __future__ import annotations
 
+import hashlib
+import json
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.dataset.problem import Problem
 from repro.mlkit.bleu import ReferenceNgrams, compile_reference_ngrams, sentence_bleu_compiled
@@ -43,10 +45,14 @@ from repro.yamlkit.diffing import scaled_edit_similarity_lines, significant_line
 from repro.yamlkit.labels import LabeledNode, parse_labeled_yaml, strip_labels
 from repro.yamlkit.parsing import YamlParseError, load_all_documents
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scoring.cache import ScoreCache
+
 __all__ = [
     "CompiledReference",
     "ReferenceStore",
     "ScoreTask",
+    "answer_digest",
     "compile_reference",
     "get_compiled_reference",
     "peek_compiled_reference",
@@ -97,6 +103,48 @@ class CompiledReference:
     reference_documents: tuple[Any, ...] | None
     labeled_tree: LabeledNode | None
     unit_test: UnitTestProgram
+
+    @property
+    def digest(self) -> str:
+        """Stable content digest of every reference-side scoring input.
+
+        Covers the problem id, the labeled reference YAML and the
+        serialised unit-test program — each of the six metrics is a pure
+        function of these plus the extracted answer, so
+        ``(digest, answer_digest, scorer version)`` content-addresses a
+        ScoreCard across runs, machines and tenants.  The derived
+        artifacts (lines, n-grams, parsed docs) are deterministic
+        functions of these inputs and deliberately excluded: hashing them
+        would only make the digest sensitive to representation details.
+        The value is cached on the instance (same discipline as the
+        Problem-side compilation cache).
+        """
+
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            payload = json.dumps(
+                {
+                    "problem_id": self.problem_id,
+                    "reference_yaml": self.reference_yaml,
+                    "unit_test": self.unit_test.to_dict(),
+                },
+                sort_keys=True,
+                ensure_ascii=False,
+            )
+            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
+
+def answer_digest(extracted: str) -> str:
+    """Content digest of an extracted (post-processed) answer.
+
+    Taken over the extracted YAML rather than the raw response: every
+    metric depends only on the extracted text, so prose-wrapped variants
+    of one answer share a digest — the same key the in-run dedupe uses.
+    """
+
+    return hashlib.sha256(extracted.encode("utf-8")).hexdigest()
 
 
 def compile_reference(problem: Problem) -> CompiledReference:
@@ -314,6 +362,7 @@ def score_batch(
     store: ReferenceStore | None = None,
     max_workers: int | None = None,
     executor: str = "process",
+    cache: "ScoreCache | None" = None,
 ) -> list[ScoreCard]:
     """Score a batch of ``(problem, raw_response)`` pairs.
 
@@ -336,6 +385,13 @@ def score_batch(
     executor:
         ``"process"`` (default) or ``"thread"`` — which pool to use when
         ``max_workers`` enables fan-out.
+    cache:
+        Optional :class:`~repro.scoring.cache.ScoreCache` layered *above*
+        the in-run dedupe: unique pairs whose content-addressed key is
+        already cached skip scoring entirely (and never reach the pool),
+        and every freshly scored pair is written back once — so a repeat
+        of this batch in a later run, or by another tenant sharing the
+        cache file, is served in O(1) per pair.
     """
 
     pairs = [(problem, response) for problem, response in items]
@@ -343,12 +399,20 @@ def score_batch(
 
     keys: list[tuple[str, str]] = []
     unique: dict[tuple[str, str], tuple[CompiledReference, str, bool]] = {}
+    cached: dict[tuple[str, str], ScoreCard] = {}
     for problem, response in pairs:
         extracted = extract_yaml(response)
         key = (problem.problem_id, extracted)
         keys.append(key)
-        if key not in unique:
-            unique[key] = (lookup(problem), extracted, run_unit_tests)
+        if key in unique or key in cached:
+            continue
+        compiled = lookup(problem)
+        if cache is not None:
+            hit = cache.get(compiled.digest, answer_digest(extracted), run_unit_tests)
+            if hit is not None:
+                cached[key] = hit
+                continue
+        unique[key] = (compiled, extracted, run_unit_tests)
 
     unique_keys = list(unique)
     tasks = [unique[key] for key in unique_keys]
@@ -366,5 +430,14 @@ def score_batch(
     else:
         cards = [_score_task(task) for task in tasks]
 
+    if cache is not None and tasks:
+        # Write every freshly scored unique pair back — one durable append
+        # for the whole batch.
+        cache.put_batch(
+            (compiled.digest, answer_digest(extracted), card, unit_tests)
+            for (compiled, extracted, unit_tests), card in zip(tasks, cards)
+        )
+
     by_key = dict(zip(unique_keys, cards))
+    by_key.update(cached)
     return [by_key[key] for key in keys]

@@ -89,6 +89,24 @@ class TokenBucket:
             self.waited_seconds += wait
             return wait
 
+    def acquire(self) -> float:
+        """Blocking acquire: sleeps on the wall clock, fast-forwards on the
+        virtual one.  Returns the wait that was (or would have been) paid.
+
+        Wall-clock pacing under concurrent acquirers works by borrowing:
+        :meth:`try_acquire` hands each caller a token immediately (the
+        balance goes negative) together with the monotonic-clock wait
+        until that token is actually refilled, and the caller sleeps it
+        off outside the lock.  N concurrent acquirers therefore receive
+        strictly increasing waits and dispatch ~``1/rate`` apart, without
+        ever serialising inside the bucket.
+        """
+
+        wait = self.try_acquire()
+        if wait > 0.0 and not self.virtual_clock:
+            time.sleep(wait)
+        return wait
+
     async def acquire_async(self) -> float:
         """Async acquire: sleeps on the wall clock, fast-forwards on the
         virtual one.  Returns the wait that was (or would have been) paid."""

@@ -313,3 +313,94 @@ def test_timing_fields_do_not_affect_record_identity(small_original_problems):
     b = EvaluationPipeline(get_model("gpt-4")).run(_requests(problems)).records
     assert a == b  # equality ignores the (different) wall-clock measurements
     assert any(x.measured_seconds != y.measured_seconds for x, y in zip(a, b)) or True
+
+
+# ---------------------------------------------------------------------------
+# Per-(model, problem) scoping
+# ---------------------------------------------------------------------------
+
+def test_per_model_store_scopes_and_falls_back(tmp_path):
+    store = CalibrationStore(tmp_path / "cal.jsonl", per_model=True)
+    store.observe("p1", "original", 2.0, model="fast-endpoint")
+    store.observe("p1", "original", 8.0, model="slow-endpoint")
+    assert store.seconds_for("p1", "fast-endpoint") == 2.0
+    assert store.seconds_for("p1", "slow-endpoint") == 8.0
+    assert store.seconds_for("p1") == 5.0  # global EWMA over both
+    # a model that never ran the problem prices from the global fold
+    assert store.seconds_for("p1", "new-endpoint") == 5.0
+    assert store.count_for("p1", "fast-endpoint") == 1
+    assert store.count_for("p1") == 2
+
+
+def test_per_model_store_roundtrip(tmp_path):
+    path = tmp_path / "cal.jsonl"
+    writer = CalibrationStore(path, per_model=True)
+    writer.observe_batch(
+        [("p1", "original", 2.0, "fast"), ("p1", "original", 8.0, "slow")]
+    )
+    reloaded = CalibrationStore(path, per_model=True)
+    assert reloaded.seconds_for("p1", "fast") == 2.0
+    assert reloaded.seconds_for("p1", "slow") == 8.0
+    assert reloaded.version == writer.version
+
+
+def test_single_key_files_load_unchanged_in_either_mode(tmp_path):
+    path = tmp_path / "cal.jsonl"
+    legacy = CalibrationStore(path)
+    legacy.observe_batch([("p1", "original", 3.0), ("p2", "original", 4.0)])
+    # no "model" field is ever written by a single-key store, even when the
+    # observation carried one
+    legacy.observe("p3", "original", 5.0, model="gpt-4")
+    for line in path.read_text().splitlines():
+        assert "model" not in json.loads(line)
+    # both modes replay the file to the same global EWMAs
+    assert CalibrationStore(path).seconds_for("p1") == 3.0
+    scoped = CalibrationStore(path, per_model=True)
+    assert scoped.seconds_for("p1") == 3.0
+    assert scoped.seconds_for("p1", "gpt-4") == 3.0  # fallback, no scoped entry
+
+
+def test_for_model_copies_see_per_endpoint_skew(small_original_problems, tmp_path):
+    problem = list(small_original_problems)[0]
+    store = CalibrationStore(tmp_path / "cal.jsonl", per_model=True)
+    for _ in range(4):
+        store.observe(problem.problem_id, problem.variant.value, 0.01, model="fast")
+        store.observe(problem.problem_id, problem.variant.value, 10.0, model="slow")
+    shared = CalibratedCostModel(store=store, prior_weight=0.0)
+    fast = shared.for_model("fast")
+    slow = shared.for_model("slow")
+    assert fast.predict_base_seconds(problem) == pytest.approx(0.01)
+    assert slow.predict_base_seconds(problem) == pytest.approx(10.0)
+    # the unscoped model blends both endpoints' observations
+    global_seconds = shared.predict_base_seconds(problem)
+    assert 0.01 < global_seconds < 10.0
+    # copies share the store: a fresh measurement re-predicts everywhere
+    store.observe(problem.problem_id, problem.variant.value, 0.02, model="fast")
+    assert fast.predict_base_seconds(problem) != pytest.approx(0.01)
+
+
+def test_pipeline_feeds_model_names_into_per_model_store(tmp_path, small_original_problems):
+    problems = list(small_original_problems)[:4]
+    store = CalibrationStore(tmp_path / "cal.jsonl", per_model=True)
+    with EvaluationPipeline(get_model("gpt-4"), calibration=store) as pipeline:
+        pipeline.run(_requests(problems))
+    for problem in problems:
+        assert store.count_for(problem.problem_id, "gpt-4") == 1
+    lines = [json.loads(line) for line in (tmp_path / "cal.jsonl").read_text().splitlines()]
+    assert {line["model"] for line in lines} == {"gpt-4"}
+
+
+def test_scheduler_prices_jobs_with_scoped_models(tmp_path, small_original_problems):
+    from repro.pipeline.scheduler import ModelJob, MultiModelScheduler
+
+    store = CalibrationStore(tmp_path / "cal.jsonl", per_model=True)
+    jobs = [ModelJob(get_model("gpt-4")), ModelJob(get_model("gpt-3.5"))]
+    scheduler = MultiModelScheduler(jobs, calibration=store)
+    scoped = [scheduler._job_cost_model(job) for job in jobs]
+    assert [model.model_name for model in scoped] == ["gpt-4", "gpt-3.5"]
+    assert all(model.store is store for model in scoped)
+    # a plain CostModel has no for_model and is used as-is
+    plain = MultiModelScheduler(jobs, cost_model=CostModel())
+    assert plain._job_cost_model(jobs[0]) is plain.cost_model
+    scheduler.close()
+    plain.close()

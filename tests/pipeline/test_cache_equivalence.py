@@ -1,0 +1,181 @@
+"""Acceptance: the global score cache is a pure cross-run optimisation.
+
+Cold (empty cache), warm (same store, same process), cross-run-warm
+(store reloaded from disk by a fresh benchmark) and cache-off runs must
+all produce bit-identical records — across every executor backend and
+both shard planners — and the multi-model scheduler must share one cache
+across its jobs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BenchmarkConfig, CloudEvalBenchmark
+from repro.pipeline.executors import EXECUTOR_NAMES
+from repro.scoring.cache import SCORER_VERSION, ScoreCache
+
+MODEL = "gpt-3.5"
+SAMPLE_SIZE = 24
+
+
+@pytest.fixture(scope="module")
+def seeded_problems(small_dataset):
+    return list(small_dataset)[:SAMPLE_SIZE]
+
+
+@pytest.fixture(scope="module")
+def cache_off_baseline(small_dataset, seeded_problems):
+    """The seed path: no cache configured at all."""
+
+    benchmark = CloudEvalBenchmark(small_dataset, BenchmarkConfig(seed=7))
+    return benchmark.evaluate_model(MODEL, problems=seeded_problems)
+
+
+@pytest.mark.parametrize("shard_by", ["count", "cost"])
+@pytest.mark.parametrize("executor", EXECUTOR_NAMES)
+def test_cold_warm_crossrun_identical_across_executors_and_planners(
+    small_dataset, seeded_problems, cache_off_baseline, tmp_path, executor, shard_by
+):
+    path = tmp_path / "cache.jsonl"
+
+    def run(config):
+        return CloudEvalBenchmark(small_dataset, config).evaluate_model(
+            MODEL, problems=seeded_problems
+        )
+
+    def config():
+        return BenchmarkConfig(
+            seed=7,
+            executor=executor,
+            max_workers=3,
+            shards=2,
+            shard_by=shard_by,
+            score_cache=str(path),
+        )
+
+    cold = run(config())
+    assert cold.records == cache_off_baseline.records
+
+    # cross-run warm: a fresh benchmark reloads the store from disk and
+    # serves every unique pair from it
+    warm_benchmark = CloudEvalBenchmark(small_dataset, config())
+    warm = warm_benchmark.evaluate_model(MODEL, problems=seeded_problems)
+    assert warm.records == cold.records
+    cache = warm_benchmark.score_cache()
+    assert cache.hits > 0 and cache.misses == 0 and cache.writes == 0
+
+    # in-process warm rerun over the very same store
+    rewarm = warm_benchmark.evaluate_model(MODEL, problems=seeded_problems)
+    assert rewarm.records == cold.records
+
+
+def test_cache_hits_resolve_in_parent_for_process_pools(
+    small_dataset, seeded_problems, cache_off_baseline, tmp_path
+):
+    """A warm process-pool run ships zero score tasks to the workers: every
+    hit is resolved in the parent, so the pool only ever sees misses."""
+
+    from repro.pipeline import stages as stages_module
+
+    path = tmp_path / "cache.jsonl"
+
+    def config():
+        return BenchmarkConfig(
+            seed=7, executor="process", max_workers=3, score_cache=str(path)
+        )
+
+    cold = CloudEvalBenchmark(small_dataset, config()).evaluate_model(
+        MODEL, problems=seeded_problems
+    )
+    assert cold.records == cache_off_baseline.records
+
+    envelopes: list[int] = []
+    original = stages_module.run_timed_score_task
+
+    def spy(task):
+        envelopes.append(1)
+        return original(task)
+
+    stages_module.run_timed_score_task = spy
+    try:
+        warm = CloudEvalBenchmark(small_dataset, config()).evaluate_model(
+            MODEL, problems=seeded_problems
+        )
+    finally:
+        stages_module.run_timed_score_task = original
+    assert warm.records == cold.records
+    assert not envelopes  # nothing was shipped to the pool
+
+
+def test_scheduler_shares_one_cache_across_models(small_dataset, seeded_problems, tmp_path):
+    """Model B's lookups hit cards model A wrote within the same run when
+    both emit the same extracted answer for the same reference — modelled
+    here as two differently-named endpoints over one underlying model (the
+    deployment where a shared cache absorbs the most: replicas/aliases of
+    the same system on one leaderboard)."""
+
+    class NamedEndpoint:
+        def __init__(self, name, inner):
+            self._name = name
+            self.inner = inner
+
+        @property
+        def name(self):
+            return self._name
+
+        def generate(self, problem, shots=0, sample_index=0):
+            return self.inner.generate(problem, shots=shots, sample_index=sample_index)
+
+    config = BenchmarkConfig(seed=7, score_cache=str(tmp_path / "cache.jsonl"))
+    benchmark = CloudEvalBenchmark(small_dataset, config)
+    inner = benchmark._resolve_model("gpt-4")
+    result = benchmark.evaluate_models(
+        models=[NamedEndpoint("endpoint-a", inner), NamedEndpoint("endpoint-b", inner)],
+        problems=seeded_problems,
+    )
+    cache = benchmark.score_cache()
+    stats = cache.stats()
+    # every unique (reference, answer) pair was written exactly once ...
+    assert stats["entries"] == stats["writes"] == stats["misses"]
+    # ... and the second endpoint's identical answers were served from the
+    # card the first one wrote
+    assert stats["hits"] == len(seeded_problems)
+    assert result["endpoint-a"].records and result["endpoint-b"].records
+
+    # per-model attribution adds up to the global counters
+    per_model = [cache.stats_for(name) for name in result.models()]
+    assert sum(s.hits for s in per_model) == stats["hits"]
+    assert sum(s.misses for s in per_model) == stats["misses"]
+
+
+def test_version_bump_invalidates_through_the_pipeline(
+    small_dataset, seeded_problems, cache_off_baseline, tmp_path
+):
+    path = tmp_path / "cache.jsonl"
+    cold_config = BenchmarkConfig(seed=7, score_cache=str(path))
+    CloudEvalBenchmark(small_dataset, cold_config).evaluate_model(
+        MODEL, problems=seeded_problems
+    )
+
+    bumped_store = ScoreCache(path, scorer_version=SCORER_VERSION + 1)
+    assert bumped_store.stale > 0  # old entries were ignored on load
+    bumped_config = BenchmarkConfig(seed=7, score_cache=bumped_store)
+    bumped_benchmark = CloudEvalBenchmark(small_dataset, bumped_config)
+    evaluation = bumped_benchmark.evaluate_model(MODEL, problems=seeded_problems)
+    assert evaluation.records == cache_off_baseline.records
+    # nothing could be served from the invalidated entries
+    assert bumped_store.hits == 0 and bumped_store.writes > 0
+
+
+def test_leaderboard_surfaces_cache_counters(small_dataset, seeded_problems, tmp_path):
+    from repro.core.report import format_leaderboard
+
+    config = BenchmarkConfig(seed=7, score_cache=str(tmp_path / "cache.jsonl"))
+    benchmark = CloudEvalBenchmark(small_dataset, config)
+    result = benchmark.evaluate_models(models=["gpt-4", "gpt-3.5"], problems=seeded_problems)
+    report = format_leaderboard(result, score_cache=benchmark.score_cache())
+    assert "cache_hits" in report
+    assert "score cache:" in report
+    stats = benchmark.score_cache().stats_for("gpt-4")
+    assert f"{stats.hits}/{stats.lookups}" in report

@@ -1,0 +1,268 @@
+"""The content-addressed global score cache: digests, persistence, invalidation.
+
+The cache's contract is that it is a pure cross-run optimisation: a hit
+returns exactly the ScoreCard a fresh scoring would produce (same-version
+entries only), misses are scored once and written back durably, and a
+killed writer always leaves a readable file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.scoring.cache import (
+    SCORER_VERSION,
+    CacheStats,
+    ScoreCache,
+    is_score_cache_spec,
+    resolve_score_cache,
+)
+from repro.scoring.compiled import (
+    ReferenceStore,
+    answer_digest,
+    compile_reference,
+    score_batch,
+)
+
+
+@pytest.fixture()
+def cache_path(tmp_path):
+    return tmp_path / "score_cache.jsonl"
+
+
+@pytest.fixture(scope="module")
+def problems(small_dataset):
+    return list(small_dataset)[:8]
+
+
+# ---------------------------------------------------------------------------
+# Digests
+# ---------------------------------------------------------------------------
+
+
+def test_reference_digest_is_stable_and_cached(problems):
+    problem = problems[0]
+    first = compile_reference(problem)
+    second = compile_reference(problem)
+    assert first.digest == second.digest
+    assert len(first.digest) == 64  # sha256 hex
+
+
+def test_reference_digest_separates_distinct_references(problems):
+    digests = {compile_reference(problem).digest for problem in problems}
+    assert len(digests) == len(problems)
+
+
+def test_reference_digest_covers_scored_inputs(problems):
+    problem = problems[0]
+    base = compile_reference(problem).digest
+    changed_yaml = replace(problem, reference_yaml=problem.reference_yaml + "\n# changed")
+    assert compile_reference(changed_yaml).digest != base
+    changed_id = replace(problem, problem_id=problem.problem_id + "-x")
+    assert compile_reference(changed_id).digest != base
+
+
+def test_answer_digest_keys_on_extracted_text():
+    assert answer_digest("kind: Pod\n") == answer_digest("kind: Pod\n")
+    assert answer_digest("kind: Pod\n") != answer_digest("kind: Service\n")
+    assert len(answer_digest("")) == 64
+
+
+# ---------------------------------------------------------------------------
+# Store semantics
+# ---------------------------------------------------------------------------
+
+
+def _score_one(problem, answer, run_unit_tests=True):
+    return score_batch([(problem, answer)], run_unit_tests=run_unit_tests)[0]
+
+
+def test_get_put_roundtrip_and_counters(problems, cache_path):
+    problem = problems[0]
+    card = _score_one(problem, problem.reference_plain())
+    ref = compile_reference(problem).digest
+    ans = answer_digest(problem.reference_plain())
+
+    cache = ScoreCache(cache_path)
+    assert cache.get(ref, ans) is None
+    cache.put(ref, ans, card)
+    assert cache.get(ref, ans) == card
+    assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1, "writes": 1, "stale": 0}
+    # peek does not touch counters
+    assert cache.peek(ref, ans) == card
+    assert cache.stats()["hits"] == 1
+
+
+def test_unit_tests_flag_is_part_of_the_key(problems, cache_path):
+    problem = problems[0]
+    card = _score_one(problem, problem.reference_plain())
+    ref = compile_reference(problem).digest
+    ans = answer_digest(problem.reference_plain())
+    cache = ScoreCache(cache_path)
+    cache.put(ref, ans, card, run_unit_tests=True)
+    assert cache.peek(ref, ans, run_unit_tests=False) is None
+
+
+def test_reload_serves_identical_cards(problems, cache_path):
+    cards = {}
+    writer = ScoreCache(cache_path)
+    for problem in problems:
+        answer = problem.reference_plain()
+        card = _score_one(problem, answer)
+        key = (compile_reference(problem).digest, answer_digest(answer))
+        cards[key] = card
+        writer.put(*key, card)
+
+    reader = ScoreCache(cache_path)
+    assert len(reader) == len(problems)
+    for (ref, ans), card in cards.items():
+        assert reader.peek(ref, ans) == card
+
+
+def test_put_batch_first_write_wins(problems, cache_path):
+    problem = problems[0]
+    answer = problem.reference_plain()
+    good = _score_one(problem, answer)
+    decoy = _score_one(problem, "kind: Wrong\n")
+    ref = compile_reference(problem).digest
+    ans = answer_digest(answer)
+
+    cache = ScoreCache(cache_path)
+    cache.put(ref, ans, good)
+    cache.put_batch([(ref, ans, decoy, True)])  # ignored: key exists
+    assert cache.peek(ref, ans) == good
+    assert cache.writes == 1
+    # the log did not grow either
+    reloaded = ScoreCache(cache_path)
+    assert reloaded.peek(ref, ans) == good
+    assert len(cache_path.read_text().splitlines()) == 1
+
+
+def test_per_scope_stats(problems, cache_path):
+    problem = problems[0]
+    card = _score_one(problem, problem.reference_plain())
+    ref = compile_reference(problem).digest
+    ans = answer_digest(problem.reference_plain())
+    cache = ScoreCache(cache_path)
+    cache.get(ref, ans, scope="gpt-4")  # miss
+    cache.put(ref, ans, card)
+    cache.get(ref, ans, scope="gpt-4")  # hit
+    cache.get(ref, ans, scope="gpt-3.5")  # hit
+    assert cache.stats_for("gpt-4") == CacheStats(hits=1, misses=1)
+    assert cache.stats_for("gpt-3.5") == CacheStats(hits=1, misses=0)
+    assert cache.stats_for("never-looked") == CacheStats()
+    assert cache.stats_for("gpt-4").hit_rate == 0.5
+    assert "2 hits / 1 misses" in cache.describe()
+
+
+# ---------------------------------------------------------------------------
+# Version invalidation
+# ---------------------------------------------------------------------------
+
+
+def test_scorer_version_bump_invalidates(problems, cache_path):
+    problem = problems[0]
+    answer = problem.reference_plain()
+    card = _score_one(problem, answer)
+    ref = compile_reference(problem).digest
+    ans = answer_digest(answer)
+
+    old = ScoreCache(cache_path, scorer_version=SCORER_VERSION)
+    old.put(ref, ans, card)
+
+    bumped = ScoreCache(cache_path, scorer_version=SCORER_VERSION + 1)
+    assert len(bumped) == 0
+    assert bumped.stale == 1
+    assert bumped.peek(ref, ans) is None
+
+    # the bumped store re-scores and writes under the new version; compact
+    # physically drops the stale line
+    bumped.put(ref, ans, card)
+    bumped.compact()
+    assert bumped.stale == 0
+    lines = cache_path.read_text().splitlines()
+    assert len(lines) == 1 and f'"scorer": {SCORER_VERSION + 1}' in lines[0]
+
+    # the old-version store in turn no longer sees the entry
+    assert len(ScoreCache(cache_path, scorer_version=SCORER_VERSION)) == 0
+
+
+# ---------------------------------------------------------------------------
+# Torn-tail durability
+# ---------------------------------------------------------------------------
+
+
+def test_torn_tail_is_skipped_and_sealed(problems, cache_path):
+    writer = ScoreCache(cache_path)
+    for problem in problems[:3]:
+        answer = problem.reference_plain()
+        writer.put(
+            compile_reference(problem).digest, answer_digest(answer),
+            _score_one(problem, answer),
+        )
+
+    # simulate a kill mid-append: the last line is torn
+    raw = cache_path.read_bytes()
+    cache_path.write_bytes(raw[:-20])
+
+    survivor = ScoreCache(cache_path)
+    assert len(survivor) == 2  # torn third entry dropped, rest readable
+
+    # resuming writes seals the fragment; everything loads again afterwards
+    problem = problems[3]
+    answer = problem.reference_plain()
+    survivor.put(
+        compile_reference(problem).digest, answer_digest(answer),
+        _score_one(problem, answer),
+    )
+    assert len(ScoreCache(cache_path)) == 3
+
+
+# ---------------------------------------------------------------------------
+# score_batch integration
+# ---------------------------------------------------------------------------
+
+
+def test_score_batch_layers_cache_above_dedupe(problems, cache_path):
+    pairs = [(problem, problem.reference_plain()) for problem in problems]
+    baseline = score_batch(pairs, store=ReferenceStore())
+
+    cold = ScoreCache(cache_path)
+    assert score_batch(pairs, store=ReferenceStore(), cache=cold) == baseline
+    assert cold.stats() == {
+        "entries": len(pairs), "hits": 0, "misses": len(pairs),
+        "writes": len(pairs), "stale": 0,
+    }
+
+    warm = ScoreCache(cache_path)
+    assert score_batch(pairs, store=ReferenceStore(), cache=warm) == baseline
+    assert warm.hits == len(pairs) and warm.misses == 0 and warm.writes == 0
+
+
+def test_score_batch_cache_respects_in_run_dedupe(problems, cache_path):
+    problem = problems[0]
+    answer = problem.reference_plain()
+    cache = ScoreCache(cache_path)
+    cards = score_batch([(problem, answer)] * 5, cache=cache)
+    # one lookup and one write for five identical pairs
+    assert cache.misses == 1 and cache.writes == 1
+    assert len({id(card) for card in cards}) == 1
+
+
+# ---------------------------------------------------------------------------
+# Config plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_score_cache(cache_path):
+    assert resolve_score_cache(None) is None
+    store = ScoreCache(cache_path)
+    assert resolve_score_cache(store) is store
+    resolved = resolve_score_cache(str(cache_path))
+    assert isinstance(resolved, ScoreCache) and resolved.path == cache_path
+    assert is_score_cache_spec(None) and is_score_cache_spec(store)
+    assert not is_score_cache_spec(123)
+    with pytest.raises(TypeError, match="score_cache"):
+        resolve_score_cache(123)  # type: ignore[arg-type]
