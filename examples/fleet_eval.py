@@ -1,0 +1,120 @@
+"""A distributed evaluation fleet on one machine: store, workers, leaderboard.
+
+This is the paper's master/worker evaluation cluster with a real wire in
+the middle.  One process serves the job store over a socket, three
+worker *processes* claim score jobs from it (exactly what ``python -m
+repro.evalcluster.fleet worker --connect host:port`` does on another
+machine), and the leaderboard run drives the unmodified
+:class:`~repro.evalcluster.master.Master` protocol against the remote
+store — leases, heartbeats and re-enqueue-once included.
+
+The run shares a persistent score cache, so a second leaderboard refresh
+ships only unseen ``(reference, answer)`` pairs to the fleet, and the
+leaderboard footer shows both the cache's hit summary and the fleet's
+queue/heartbeat snapshot.  The records are bit-identical to a serial
+in-process run — the wire cannot move a score.
+
+Run with::
+
+    python examples/fleet_eval.py
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import tempfile
+import time
+from pathlib import Path
+
+from repro import build_dataset
+from repro.core import BenchmarkConfig, CloudEvalBenchmark
+from repro.core.report import format_leaderboard
+from repro.dataset.schema import Variant
+from repro.evalcluster.fleet import STOP_KEY, FleetExecutor, RemoteStore, StoreServer, run_worker
+
+MODELS = ["gpt-4", "gpt-3.5", "llama-2-70b-chat"]
+PROBLEM_BUDGET = 40
+WORKERS = 3
+
+
+def start_fleet() -> tuple[StoreServer, list[multiprocessing.Process]]:
+    """Serve the store on an ephemeral port and start three workers.
+
+    ``run_worker`` is the same entry the CLI uses — on a real cluster
+    these processes would be ``python -m repro.evalcluster.fleet worker
+    --connect host:port`` on other machines.
+    """
+
+    server = StoreServer().start()
+    workers = [
+        multiprocessing.Process(
+            target=run_worker,
+            args=(server.address,),
+            kwargs={"worker_id": f"fleet-worker-{index}", "claim_timeout": 0.2},
+        )
+        for index in range(WORKERS)
+    ]
+    for worker in workers:
+        worker.start()
+    return server, workers
+
+
+def stop_fleet(server: StoreServer, workers: list[multiprocessing.Process]) -> None:
+    """Raise the stop flag, join the workers, close the store."""
+
+    control = RemoteStore(server.address)
+    control.set(STOP_KEY, True)
+    control.close()
+    for worker in workers:
+        worker.join(timeout=10)
+        if worker.is_alive():  # pragma: no cover - defensive shutdown
+            worker.terminate()
+    server.close()
+
+
+def main() -> None:
+    dataset = build_dataset()
+    problems = list(dataset.by_variant(Variant.ORIGINAL))[:PROBLEM_BUDGET]
+
+    server, workers = start_fleet()
+    print(f"store serving on {server.host}:{server.port}, {WORKERS} worker processes attached\n")
+
+    with tempfile.TemporaryDirectory() as scratch:
+        cache_path = Path(scratch) / "score_cache.jsonl"
+        executor = FleetExecutor(address=server.address, lease_seconds=30.0)
+        try:
+            benchmark = CloudEvalBenchmark(
+                dataset,
+                BenchmarkConfig(
+                    executor=executor,  # attach the leaderboard to the fleet
+                    shards=2,
+                    batch_size=8,
+                    score_cache=str(cache_path),
+                ),
+            )
+            start = time.perf_counter()
+            result = benchmark.evaluate_models(MODELS, problems=problems)
+            elapsed = time.perf_counter() - start
+
+            # The invariant the fleet is sold on: the wire moves work,
+            # never scores.
+            serial = CloudEvalBenchmark(dataset, BenchmarkConfig()).evaluate_model(
+                MODELS[0], problems=problems
+            )
+            assert result.evaluations[MODELS[0]].records == serial.records
+
+            print(
+                format_leaderboard(
+                    result,
+                    title=f"Fleet leaderboard ({elapsed:.1f}s wall clock)",
+                    score_cache=benchmark.score_cache(),
+                    fleet_stats=executor.stats(),
+                )
+            )
+        finally:
+            executor.close()
+            stop_fleet(server, workers)
+
+
+if __name__ == "__main__":
+    main()

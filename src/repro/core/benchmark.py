@@ -38,7 +38,7 @@ from repro.llm.registry import ENGLISH_ONLY_MODELS, available_models, calibrate_
 from repro.llm.simulated import SimulatedModel
 from repro.pipeline.checkpoint import PipelineCheckpoint, model_checkpoint_base
 from repro.pipeline.pipeline import EvaluationPipeline
-from repro.pipeline.planner import ShardPlanner, resolve_planner
+from repro.pipeline.planner import BatchSizer, ShardPlanner, resolve_planner
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
 from repro.pipeline.scheduler import ModelJob, MultiModelScheduler
 from repro.pipeline.sharding import ShardedEvaluationPipeline
@@ -134,6 +134,19 @@ class CloudEvalBenchmark:
             self.config.planner, self.config.shard_by, cost_model=self.cost_model()
         )
 
+    def batch_sizer(self) -> BatchSizer | None:
+        """The calibration-aware batch sizer, or None under fixed counts.
+
+        With ``config.batch_by == "cost"`` the scheduler's batch cuts
+        land on roughly equal *predicted seconds* (the calibrated
+        predictions when ``config.calibration`` is set) instead of equal
+        counts — same records, steadier progress ticks.
+        """
+
+        if self.config.batch_by != "cost":
+            return None
+        return BatchSizer(cost_model=self.cost_model(), batch_size=self.config.batch_size)
+
     # ------------------------------------------------------------------
     # Model resolution
     # ------------------------------------------------------------------
@@ -223,6 +236,7 @@ class CloudEvalBenchmark:
             cost_model=self.cost_model(),
             calibration=self._calibration,
             score_cache=self._score_cache,
+            batch_sizer=self.batch_sizer(),
         )
 
     # ------------------------------------------------------------------
@@ -321,6 +335,7 @@ class CloudEvalBenchmark:
             cost_model=self.cost_model(),
             calibration=self._calibration,
             score_cache=self._score_cache,
+            batch_sizer=self.batch_sizer(),
         )
         try:
             evaluations = scheduler.run()

@@ -11,9 +11,9 @@ from repro.evalcluster.calibration import (
     CalibrationStore,
     is_calibration_spec,
 )
-from repro.pipeline.executors import EXECUTOR_NAMES, GENERATE_EXECUTOR_NAMES
+from repro.pipeline.executors import EXECUTOR_NAMES, GENERATE_EXECUTOR_NAMES, Executor
 from repro.pipeline.pipeline import DEFAULT_BATCH_SIZE
-from repro.pipeline.planner import PLANNER_NAMES, ShardPlanner
+from repro.pipeline.planner import BATCH_BY_NAMES, PLANNER_NAMES, ShardPlanner
 from repro.scoring.cache import ScoreCache, is_score_cache_spec
 
 __all__ = ["BenchmarkConfig"]
@@ -49,9 +49,16 @@ class BenchmarkConfig:
         ``"serial"``, ``"thread"`` (a persistent ``max_workers`` thread
         pool), ``"cluster"`` (the in-process master/worker
         evaluation-cluster runtime), ``"async"`` (bounded-concurrency
-        asyncio with an optional token-bucket ``rate_limit``) or
-        ``"process"`` (a persistent process pool for CPU-bound scoring).
-        Scores are identical across backends.
+        asyncio with an optional token-bucket ``rate_limit``),
+        ``"process"`` (a persistent process pool for CPU-bound scoring)
+        or ``"fleet"`` (the cluster protocol over a real socket:
+        ``max_workers`` spawned worker *processes* claiming jobs from a
+        served store, with ``lease_seconds`` fault tolerance).  An
+        already-constructed executor instance is also accepted — e.g. a
+        :class:`~repro.evalcluster.fleet.FleetExecutor` attached to an
+        externally managed store and worker fleet; instances stay
+        caller-owned and are never closed by the run.  Scores are
+        identical across backends.
     generate_executor:
         Optional separate backend for the generate stage only — pair
         ``generate_executor="async"`` with ``executor="process"`` to
@@ -60,9 +67,9 @@ class BenchmarkConfig:
         ``serial``/``thread``/``cluster``/``async``; ``process`` is
         rejected (models are not picklable contracts).
     lease_seconds:
-        Job-lease deadline of the cluster backend (``None`` = no leases):
-        a worker that dies between claim and report gets its job
-        re-enqueued once for a surviving worker.
+        Job-lease deadline of the cluster and fleet backends (``None`` =
+        no leases): a worker that dies between claim and report gets its
+        job re-enqueued once for a surviving worker.
     shards:
         Number of evaluation shards.  With ``shards > 1``,
         ``evaluate_model`` splits its requests across that many
@@ -91,6 +98,14 @@ class BenchmarkConfig:
         scored and checkpointed in batches of this size.  Smaller batches
         checkpoint more often; larger ones amortise stage overhead.
         Batching can never change a score.
+    batch_by:
+        Where the batch cuts land within a shard: ``"count"`` slices
+        fixed-size batches (the default), ``"cost"`` cuts contiguous
+        batches of roughly equal *predicted seconds* via
+        :class:`~repro.pipeline.planner.BatchSizer` — never more batches
+        than the fixed split, and with ``calibration`` set the
+        predictions are the calibrated ones, so batch boundaries adapt
+        to measured durations.  Records are bit-identical either way.
     steal:
         Scheduling policy of multi-model (and sharded) runs.  ``True``
         (the default): idle generation workers — and the idle scoring
@@ -131,7 +146,7 @@ class BenchmarkConfig:
     run_unit_tests: bool = True
     calibrate: bool = True
     max_workers: int = 1
-    executor: str = "serial"
+    executor: str | Executor = "serial"
     generate_executor: str | None = None
     shards: int = 1
     shard_by: str = "count"
@@ -139,6 +154,7 @@ class BenchmarkConfig:
     rate_limit: float | None = None
     lease_seconds: float | None = None
     batch_size: int = DEFAULT_BATCH_SIZE
+    batch_by: str = "count"
     steal: bool = True
     calibration: CalibrationStore | str | os.PathLike[str] | None = None
     calibration_prior_weight: float = DEFAULT_PRIOR_WEIGHT
@@ -151,8 +167,11 @@ class BenchmarkConfig:
             raise ValueError("samples must be >= 1")
         if not self.variants:
             raise ValueError("at least one variant must be selected")
-        if self.executor not in EXECUTOR_NAMES:
-            raise ValueError(f"executor must be one of {EXECUTOR_NAMES}")
+        if isinstance(self.executor, str):
+            if self.executor not in EXECUTOR_NAMES:
+                raise ValueError(f"executor must be one of {EXECUTOR_NAMES}")
+        elif not callable(getattr(self.executor, "map", None)):
+            raise ValueError("executor must be a name or expose a map(fn, tasks) method")
         if self.generate_executor is not None and self.generate_executor not in GENERATE_EXECUTOR_NAMES:
             raise ValueError(f"generate_executor must be one of {GENERATE_EXECUTOR_NAMES}")
         if self.shards < 1:
@@ -167,6 +186,8 @@ class BenchmarkConfig:
             raise ValueError("lease_seconds must be positive")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.batch_by not in BATCH_BY_NAMES:
+            raise ValueError(f"batch_by must be one of {BATCH_BY_NAMES}")
         if not is_calibration_spec(self.calibration):
             raise ValueError(
                 "calibration must be a CalibrationStore, a JSONL path, or None"

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.core.benchmark import BenchmarkResult, ModelEvaluation
 from repro.evalcluster.cost import CostModel
+from repro.evalcluster.master import MasterStats
 from repro.scoring.aggregate import METRIC_NAMES
 from repro.scoring.cache import ScoreCache
 
@@ -82,6 +83,7 @@ def format_leaderboard(
     cost_model: CostModel | None = None,
     measured: bool = False,
     score_cache: ScoreCache | None = None,
+    fleet_stats: MasterStats | None = None,
 ) -> str:
     """Render a Table 4-style leaderboard as aligned text.
 
@@ -96,7 +98,11 @@ def format_leaderboard(
     ``cache_hits`` column shows each model's lookups served from the
     content-addressed global cache (``hits/lookups (rate%)``) plus the
     store's one-line summary as a footer — how much scoring the cache
-    absorbed for this leaderboard.
+    absorbed for this leaderboard.  With ``fleet_stats`` (a
+    :meth:`~repro.evalcluster.master.Master.stats` snapshot, e.g. from
+    :meth:`~repro.evalcluster.fleet.FleetExecutor.stats`), a footer line
+    summarises the fleet run: queue counters, re-enqueues/abandons, and
+    per-worker heartbeat age.
     """
 
     lines = [title, ""]
@@ -122,4 +128,8 @@ def format_leaderboard(
     if score_cache is not None:
         lines.append("")
         lines.append(score_cache.describe())
+    if fleet_stats is not None:
+        if score_cache is None:
+            lines.append("")
+        lines.append(fleet_stats.describe())
     return "\n".join(lines)

@@ -23,13 +23,18 @@ discrete-event simulation of that system:
 * :mod:`repro.evalcluster.cost` — the Table 3 cost model,
 * :mod:`repro.evalcluster.calibration` — the measured-duration store and
   the calibrated cost model that blends observations into the Figure 5
-  predictions.
+  predictions,
+* :mod:`repro.evalcluster.fleet` — the same protocol over a real wire:
+  a socket-served store, out-of-process workers, and the
+  ``FleetExecutor`` pipeline backend.
 """
+
+from typing import Any
 
 from repro.evalcluster.calibration import CalibratedCostModel, CalibrationStore
 from repro.evalcluster.cost import CostModel, benchmark_cost_table
 from repro.evalcluster.kvstore import RedisLikeStore
-from repro.evalcluster.master import EvaluationJob, JobReport, Master
+from repro.evalcluster.master import EvaluationJob, JobReport, Master, MasterStats
 from repro.evalcluster.registry_cache import PullThroughCache, WorkerImageCache
 from repro.evalcluster.runtime import run_jobs, run_payloads
 from repro.evalcluster.simulation import ClusterSimulationConfig, simulate_evaluation, sweep_workers
@@ -41,13 +46,18 @@ __all__ = [
     "ClusterSimulationConfig",
     "CostModel",
     "EvaluationJob",
+    "FleetExecutor",
+    "FleetWorker",
     "JobOutcome",
     "JobReport",
     "Master",
+    "MasterStats",
     "PullThroughCache",
     "RealExecution",
     "RedisLikeStore",
+    "RemoteStore",
     "SimulatedClock",
+    "StoreServer",
     "Worker",
     "WorkerImageCache",
     "benchmark_cost_table",
@@ -56,3 +66,16 @@ __all__ = [
     "simulate_evaluation",
     "sweep_workers",
 ]
+
+#: Fleet names resolved lazily so ``python -m repro.evalcluster.fleet``
+#: (the worker entrypoint) does not re-execute a module this package
+#: already imported.
+_FLEET_EXPORTS = frozenset({"FleetExecutor", "FleetWorker", "RemoteStore", "StoreServer"})
+
+
+def __getattr__(name: str) -> Any:
+    if name in _FLEET_EXPORTS:
+        from repro.evalcluster import fleet
+
+        return getattr(fleet, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

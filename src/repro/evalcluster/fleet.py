@@ -1,0 +1,1020 @@
+"""Distributed evaluation fleet: the cluster protocol over a real wire.
+
+Everything the in-process cluster runtime does — job queue, atomic
+claims, results hash, leases with re-enqueue-once — already speaks
+through the :class:`~repro.evalcluster.kvstore.RedisLikeStore` command
+surface.  This module puts that surface on a socket so the *same*
+:class:`~repro.evalcluster.master.Master` drives real out-of-process
+workers:
+
+* :class:`StoreServer` — a threaded TCP server wrapping one locked
+  ``RedisLikeStore``.  Commands travel as length-prefixed pickle frames
+  (``send_frame``/``recv_frame``); two blocking extensions, ``blpop``
+  and ``claim``, park the connection on a condition variable until a
+  push arrives.  ``claim`` pops the next pending job id *and* registers
+  the claim in one locked step, so a worker that dies between pop and
+  registration cannot orphan a job invisibly.
+* :class:`RemoteStore` — the client half: the full store surface as
+  methods over one socket, with reconnect-and-retry on connection loss
+  (every command is either idempotent or covered by lease recovery).
+* :class:`FleetWorker` / ``python -m repro.evalcluster.fleet worker``
+  — the worker loop: claim a job id, fetch its pickled payload, run it,
+  write the result first-write-wins (``hsetnx``), push a completion
+  event.  A heartbeat thread on its *own* connection reports liveness
+  plus the job currently executing; on startup the worker warms its
+  per-process :class:`~repro.scoring.compiled.ReferenceStore` from the
+  problems the executor published.
+* :class:`FleetExecutor` — the :class:`~repro.pipeline.executors.Executor`
+  backend.  It either self-hosts (in-process server thread + ``N``
+  spawned worker subprocesses) or attaches to an external store, and its
+  ``map`` runs the coordinator loop: submit payloads + jobs, observe
+  claims and heartbeats (stamping leases on the *master's* monotonic
+  clock — worker clocks are never compared), reap expired leases through
+  :meth:`Master.reap_expired`, and collect results in task order.
+
+Timing flows back with the work: per-record scoring seconds are measured
+inside the worker (``run_timed_score_task`` rides along in the pickled
+payload), so the master-side pipeline feeds its
+:class:`~repro.evalcluster.calibration.CalibrationStore` with true
+cross-machine durations and the steal policy sees remote skew live.
+Score-cache hits never ship: the score stage resolves them in the parent
+process and the fleet — ``requires_picklable_tasks`` like the process
+pool — only ever sees miss envelopes.
+
+The protocol trusts its peers (pickle over TCP): bind to localhost or a
+private network you control, exactly like an unauthenticated Redis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Sequence, TypeVar
+
+from repro.evalcluster.kvstore import RedisLikeStore
+from repro.evalcluster.master import EvaluationJob, Master, MasterStats
+from repro.utils.jsonl import JsonlLog
+
+__all__ = [
+    "FrameError",
+    "StoreCommandError",
+    "send_frame",
+    "recv_frame",
+    "StoreServer",
+    "RemoteStore",
+    "FleetWorker",
+    "FleetExecutor",
+    "run_worker",
+    "main",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Hash of in-flight claims: job id -> (worker id, claim sequence number).
+CLAIMS_KEY = "jobs:claims"
+#: Completion events the coordinator blocks on (list of finished job ids).
+DONE_KEY = "jobs:done"
+#: Heartbeat hash: worker id -> (sequence number, job id being executed).
+HEARTBEATS_KEY = "workers:heartbeat"
+#: Workers exit their claim loop when this key becomes truthy.
+STOP_KEY = "fleet:stop"
+#: Pickled problem tuple workers warm their reference store from.
+WARMUP_KEY = "fleet:warmup"
+
+#: Job payloads are stored per job under this prefix as pickled bytes the
+#: server never unpickles — only the claiming worker does.
+_PAYLOAD_PREFIX = "jobs:payload:"
+
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame; anything larger is protocol corruption, not
+#: data (a full-corpus payload is tens of kilobytes).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class FrameError(ConnectionError):
+    """The wire produced a torn or malformed frame."""
+
+
+class StoreCommandError(RuntimeError):
+    """The server executed the command and it raised."""
+
+
+#: Sentinel :func:`recv_frame` returns on a clean end-of-stream (the peer
+#: closed exactly on a frame boundary) — distinct from a frame carrying None.
+_EOF = object()
+
+
+def send_frame(sock: socket.socket, obj: Any) -> None:
+    """Write one length-prefixed pickle frame."""
+
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}")
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes | None:
+    """Read exactly ``size`` bytes; None on clean EOF *before* any byte,
+    :class:`FrameError` on EOF after some bytes (a torn frame)."""
+
+    buffer = bytearray()
+    while len(buffer) < size:
+        chunk = sock.recv(size - len(buffer))
+        if not chunk:
+            if not buffer:
+                return None
+            raise FrameError(f"connection closed mid-frame ({len(buffer)}/{size} bytes)")
+        buffer.extend(chunk)
+    return bytes(buffer)
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    """Read one frame; the module-private EOF sentinel on clean close.
+
+    A peer that disappears half-way through a frame — the header without
+    its payload, or a short payload — raises :class:`FrameError`: the
+    fragment is torn, never delivered as data.
+    """
+
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return _EOF
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame header announces {length} bytes (cap {MAX_FRAME_BYTES})")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise FrameError("connection closed between frame header and payload")
+    return pickle.loads(payload)
+
+
+class StoreServer:
+    """Serve one :class:`RedisLikeStore` to many connections over TCP.
+
+    Every connection gets its own handler thread; commands execute under
+    one lock, so multi-step commands (``claim``) are atomic exactly as a
+    single-threaded Redis would make them.  ``blpop`` and ``claim`` park
+    their connection on a condition variable notified by every ``rpush``,
+    so blocked workers wake the instant work arrives instead of polling.
+
+    A torn frame (a worker killed mid-write, a reset) drops only that
+    connection; the store and every other connection keep serving.
+    """
+
+    #: Plain store commands forwarded verbatim under the lock.
+    _COMMANDS = frozenset(
+        {
+            "set",
+            "get",
+            "incr",
+            "delete",
+            "hset",
+            "hget",
+            "hgetall",
+            "hlen",
+            "hsetnx",
+            "hdel",
+            "rpush",
+            "lpop",
+            "llen",
+            "lrange",
+            "keys",
+        }
+    )
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        store: RedisLikeStore | None = None,
+    ) -> None:
+        self.store = store or RedisLikeStore()
+        self._lock = threading.RLock()
+        self._pushed = threading.Condition(self._lock)
+        self._listener = socket.create_server((host, port))
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._closing = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def start(self) -> "StoreServer":
+        """Begin accepting connections on a background thread."""
+
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fleet-store-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                connection, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(connection,),
+                name="fleet-store-conn",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        with connection:
+            while not self._closing.is_set():
+                try:
+                    frame = recv_frame(connection)
+                except (FrameError, OSError):
+                    return  # torn frame or reset: this connection only
+                if frame is _EOF:
+                    return
+                try:
+                    response: tuple[str, Any] = ("ok", self._execute(frame))
+                except Exception as exc:  # noqa: BLE001 - relayed to the client
+                    response = ("err", f"{type(exc).__name__}: {exc}")
+                try:
+                    send_frame(connection, response)
+                except OSError:
+                    return
+
+    def _execute(self, frame: Any) -> Any:
+        if not isinstance(frame, tuple) or not frame or not isinstance(frame[0], str):
+            raise ValueError("malformed command frame")
+        command, *args = frame
+        if command == "ping":
+            return "pong"
+        if command == "blpop":
+            return self._blpop(*args)
+        if command == "claim":
+            return self._claim(*args)
+        if command not in self._COMMANDS:
+            raise ValueError(f"unknown command {command!r}")
+        with self._lock:
+            result = getattr(self.store, command)(*args)
+            if command == "rpush":
+                self._pushed.notify_all()
+            return result
+
+    def _blpop(self, key: str, timeout: float) -> Any:
+        """Blocking left-pop: wait up to ``timeout`` seconds for an item."""
+
+        deadline = time.monotonic() + timeout
+        with self._pushed:
+            while True:
+                value = self.store.lpop(key)
+                if value is not None:
+                    return value
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._closing.is_set():
+                    return None
+                self._pushed.wait(remaining)
+
+    def _claim(self, queue_key: str, claims_key: str, worker_id: str, timeout: float) -> Any:
+        """Atomically pop the next job id *and* register who claimed it.
+
+        Pop and registration happen under one lock: there is no instant
+        at which a job has left the queue without its claim being
+        visible, so a worker killed right after claiming is always
+        discoverable by the lease reaper.  The claim value carries a
+        server-wide sequence number so a re-claim of a re-enqueued job is
+        distinguishable from the stale original.
+        """
+
+        deadline = time.monotonic() + timeout
+        with self._pushed:
+            while True:
+                job_id = self.store.lpop(queue_key)
+                if job_id is not None:
+                    sequence = self.store.incr("fleet:claim-seq")
+                    self.store.hset(claims_key, job_id, (worker_id, sequence))
+                    return job_id
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._closing.is_set():
+                    return None
+                self._pushed.wait(remaining)
+
+    def close(self) -> None:
+        """Stop accepting and wake every parked waiter."""
+
+        self._closing.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._pushed:
+            self._pushed.notify_all()
+
+    def __enter__(self) -> "StoreServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class RemoteStore:
+    """The store surface over one socket, with reconnect-and-resume.
+
+    Implements every :class:`RedisLikeStore` method (so a
+    :class:`~repro.evalcluster.master.Master` runs against it unmodified)
+    plus the two blocking commands.  A lost connection is re-dialled with
+    backoff and the command retried: every command here is either
+    idempotent (``set``/``hset``/``hgetall``/…), first-write-wins by
+    construction (``hsetnx``), or — for ``claim`` — covered by lease
+    recovery: a claim that succeeded server-side but whose reply was lost
+    is never heartbeat-renewed (the worker executes a different job), so
+    its lease expires and the job is re-enqueued once.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        timeout: float = 30.0,
+        reconnect_attempts: int = 20,
+        reconnect_delay: float = 0.2,
+    ) -> None:
+        self.address = (address[0], int(address[1]))
+        self.timeout = timeout
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_delay = reconnect_delay
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+
+    # -- wire ---------------------------------------------------------------
+    def _dial(self) -> socket.socket:
+        sock = socket.create_connection(self.address, timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def call(self, command: str, *args: Any, wait: float = 0.0) -> Any:
+        """Execute one command, reconnecting on connection loss.
+
+        ``wait`` is how long the *server* may legitimately sit on the
+        command (blocking pops); it widens the socket timeout so patience
+        is not mistaken for a dead peer.
+        """
+
+        last_error: Exception | None = None
+        with self._lock:
+            for _attempt in range(self.reconnect_attempts + 1):
+                if self._sock is None:
+                    try:
+                        self._sock = self._dial()
+                    except OSError as exc:
+                        last_error = exc
+                        time.sleep(self.reconnect_delay)
+                        continue
+                try:
+                    self._sock.settimeout(self.timeout + wait)
+                    send_frame(self._sock, (command, *args))
+                    reply = recv_frame(self._sock)
+                except (OSError, FrameError, EOFError, pickle.UnpicklingError) as exc:
+                    last_error = exc
+                    self._drop()
+                    time.sleep(self.reconnect_delay)
+                    continue
+                if reply is _EOF:
+                    last_error = ConnectionError("server closed the connection")
+                    self._drop()
+                    time.sleep(self.reconnect_delay)
+                    continue
+                status, payload = reply
+                if status == "err":
+                    raise StoreCommandError(payload)
+                return payload
+        raise ConnectionError(
+            f"lost connection to fleet store at {self.address[0]}:{self.address[1]}: {last_error}"
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            self._drop()
+
+    # -- the RedisLikeStore surface -----------------------------------------
+    def set(self, key: str, value: Any) -> None:
+        self.call("set", key, value)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        value = self.call("get", key)
+        return default if value is None else value
+
+    def incr(self, key: str, amount: int = 1) -> int:
+        return self.call("incr", key, amount)
+
+    def delete(self, key: str) -> None:
+        self.call("delete", key)
+
+    def hset(self, key: str, field: str, value: Any) -> None:
+        self.call("hset", key, field, value)
+
+    def hget(self, key: str, field: str, default: Any = None) -> Any:
+        value = self.call("hget", key, field)
+        return default if value is None else value
+
+    def hgetall(self, key: str) -> dict[str, Any]:
+        return self.call("hgetall", key)
+
+    def hlen(self, key: str) -> int:
+        return self.call("hlen", key)
+
+    def hsetnx(self, key: str, field: str, value: Any) -> bool:
+        return self.call("hsetnx", key, field, value)
+
+    def hdel(self, key: str, field: str) -> bool:
+        return self.call("hdel", key, field)
+
+    def rpush(self, key: str, *values: Any) -> int:
+        return self.call("rpush", key, *values)
+
+    def lpop(self, key: str) -> Any:
+        return self.call("lpop", key)
+
+    def llen(self, key: str) -> int:
+        return self.call("llen", key)
+
+    def lrange(self, key: str, start: int = 0, stop: int = -1) -> list[Any]:
+        return self.call("lrange", key, start, stop)
+
+    def keys(self) -> list[str]:
+        return self.call("keys")
+
+    # -- blocking extensions -------------------------------------------------
+    def ping(self) -> str:
+        return self.call("ping")
+
+    def blpop(self, key: str, timeout: float) -> Any:
+        return self.call("blpop", key, timeout, wait=timeout)
+
+    def claim(self, queue_key: str, claims_key: str, worker_id: str, timeout: float) -> Any:
+        return self.call("claim", queue_key, claims_key, worker_id, timeout, wait=timeout)
+
+
+class FleetWorker:
+    """One out-of-process worker: claim, execute, report, repeat.
+
+    The loop claims job ids through the server's atomic ``claim``,
+    unpickles the job's ``(function, tasks)`` payload, applies the
+    function to every task in the chunk, and writes the result list
+    first-write-wins — a job a slow worker finishes *after* its lease
+    was re-assigned cannot overwrite the authoritative result.
+    Results are followed by a completion event on ``jobs:done`` so the
+    coordinator never polls the results hash.
+
+    A daemon heartbeat thread on a second connection publishes
+    ``(sequence, current job id)`` every ``heartbeat_seconds``; the
+    coordinator renews exactly the named job's lease, on its own clock.
+    Losing the store connection mid-run is survivable on both
+    connections: :meth:`RemoteStore.call` re-dials and resumes.
+
+    ``die_after_claims`` is the fault-injection hook the kill tests use:
+    the worker SIGKILLs itself immediately after its Nth successful claim
+    — after the claim is registered, before any execution or report — the
+    exact window lease reaping exists for.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        worker_id: str | None = None,
+        heartbeat_seconds: float = 1.0,
+        claim_timeout: float = 0.5,
+        die_after_claims: int | None = None,
+    ) -> None:
+        self.store = RemoteStore(address)
+        self.beat_store = RemoteStore(address)
+        self.worker_id = worker_id or f"worker-{os.getpid()}"
+        self.heartbeat_seconds = heartbeat_seconds
+        self.claim_timeout = claim_timeout
+        self.die_after_claims = die_after_claims
+        self._job_lock = threading.Lock()
+        self._current_job: str | None = None
+        self._beat_sequence = 0
+
+    def _warm(self) -> None:
+        payload = self.store.get(WARMUP_KEY)
+        if payload is None:
+            return
+        from repro.scoring.compiled import warm_reference_store
+
+        warm_reference_store(pickle.loads(payload))
+
+    def _beat_once(self) -> None:
+        self._beat_sequence += 1
+        with self._job_lock:
+            current = self._current_job
+        try:
+            self.beat_store.hset(HEARTBEATS_KEY, self.worker_id, (self._beat_sequence, current))
+        except (ConnectionError, StoreCommandError):
+            pass  # a fully lost store ends the claim loop anyway
+
+    def _beat_loop(self, stop: threading.Event) -> None:
+        while not stop.is_set():
+            self._beat_once()
+            stop.wait(self.heartbeat_seconds)
+
+    def _execute(self, job_id: str) -> None:
+        with self._job_lock:
+            self._current_job = job_id
+        try:
+            payload = self.store.get(_PAYLOAD_PREFIX + job_id)
+            if payload is None:
+                return  # stale re-enqueue of an already-collected job
+            try:
+                function, tasks = pickle.loads(payload)
+                result = [function(task) for task in tasks]
+                row = {
+                    "worker": self.worker_id,
+                    "finished_at": time.time(),
+                    "passed": True,
+                    "result": result,
+                }
+            except Exception as exc:  # noqa: BLE001 - failures are results
+                row = {
+                    "worker": self.worker_id,
+                    "finished_at": time.time(),
+                    "passed": False,
+                    "result": f"{type(exc).__name__}: {exc}",
+                }
+            self.store.hsetnx(Master.RESULTS_KEY, job_id, row)
+            self.store.rpush(DONE_KEY, job_id)
+        finally:
+            with self._job_lock:
+                self._current_job = None
+
+    def run(self) -> None:
+        """Claim and execute jobs until the stop flag is raised."""
+
+        self._warm()
+        self._beat_once()
+        stop = threading.Event()
+        threading.Thread(
+            target=self._beat_loop, args=(stop,), name="fleet-heartbeat", daemon=True
+        ).start()
+        claims = 0
+        try:
+            while True:
+                job_id = self.store.claim(
+                    Master.QUEUE_KEY, CLAIMS_KEY, self.worker_id, self.claim_timeout
+                )
+                if job_id is None:
+                    if self.store.get(STOP_KEY):
+                        return
+                    continue
+                claims += 1
+                if self.die_after_claims is not None and claims >= self.die_after_claims:
+                    # Fault injection: vanish as a power cut would — claim
+                    # registered, no report, no further heartbeats.
+                    os.kill(os.getpid(), signal.SIGKILL)
+                self._execute(job_id)
+        finally:
+            stop.set()
+            self.store.close()
+            self.beat_store.close()
+
+
+def run_worker(
+    address: tuple[str, int],
+    worker_id: str | None = None,
+    heartbeat_seconds: float = 1.0,
+    claim_timeout: float = 0.5,
+    die_after_claims: int | None = None,
+) -> None:
+    """Module-level worker entry (importable for ``multiprocessing``)."""
+
+    FleetWorker(
+        address,
+        worker_id=worker_id,
+        heartbeat_seconds=heartbeat_seconds,
+        claim_timeout=claim_timeout,
+        die_after_claims=die_after_claims,
+    ).run()
+
+
+class FleetExecutor:
+    """Ordered map over picklable tasks executed by out-of-process workers.
+
+    Two deployment shapes:
+
+    * **Self-hosted** (``num_workers=N``): the first ``map`` starts an
+      in-process :class:`StoreServer` on an ephemeral port and spawns
+      ``N`` worker subprocesses (``python -m repro.evalcluster.fleet
+      worker``); ``close()`` raises the stop flag and reaps them.
+    * **Attached** (``address=(host, port)``): an external store is
+      already serving and workers were started by hand (possibly on
+      other machines); ``close()`` leaves both alone.
+
+    ``map`` submits tasks in contiguous *chunks* — one fleet job carries
+    ``chunk_size`` tasks (auto-sized to roughly four jobs per worker, the
+    same amortisation :class:`~repro.pipeline.executors.ProcessExecutor`
+    uses) so the handful of store round-trips a job costs is paid once
+    per chunk, not once per task.  Then a loop
+    blocks on completion events while observing claims and heartbeats —
+    every lease is stamped and renewed on *this* process's monotonic
+    clock at the moment the observation arrives, so worker clock skew
+    cannot corrupt lease arithmetic — and reaps expired leases through
+    the master's re-enqueue-once protocol.  A job abandoned twice
+    surfaces as a raised error, exactly like the in-process cluster
+    backend.  Results return in task order; identical inputs produce
+    identical ScoreCards regardless of which worker ran them, so the
+    fleet is bit-identical to the serial backend.
+
+    ``event_log`` (a JSONL path) records submit/claim/done/requeue/
+    abandon events for run forensics; the CI benchmark uploads it.
+    """
+
+    name = "fleet"
+    #: The score stage switches to picklable task envelopes for this backend.
+    requires_picklable_tasks = True
+
+    def __init__(
+        self,
+        num_workers: int | None = None,
+        address: tuple[str, int] | None = None,
+        lease_seconds: float | None = 30.0,
+        heartbeat_seconds: float | None = None,
+        claim_timeout: float = 0.5,
+        poll_seconds: float = 0.05,
+        chunk_size: int | None = None,
+        event_log: str | os.PathLike[str] | None = None,
+    ) -> None:
+        if (num_workers is None) == (address is None):
+            raise ValueError(
+                "pass exactly one of num_workers (self-hosted fleet) or address (attach)"
+            )
+        if num_workers is not None and num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if lease_seconds is not None and lease_seconds <= 0:
+            raise ValueError("lease_seconds must be positive")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.num_workers = num_workers
+        self.address = (address[0], int(address[1])) if address is not None else None
+        self.lease_seconds = lease_seconds
+        if heartbeat_seconds is None:
+            heartbeat_seconds = (lease_seconds / 4.0) if lease_seconds is not None else 1.0
+        self.heartbeat_seconds = heartbeat_seconds
+        self.claim_timeout = claim_timeout
+        self.poll_seconds = poll_seconds
+        self.chunk_size = chunk_size
+        self._events = JsonlLog(event_log) if event_log is not None else None
+        self._event_buffer: list[str] = []
+        self._epoch = time.monotonic()
+        self._lock = threading.RLock()
+        self._server: StoreServer | None = None
+        self._store: RemoteStore | None = None
+        self._master: Master | None = None
+        self._procs: list[subprocess.Popen[bytes]] = []
+        self._warm_problems: tuple[Any, ...] | None = None
+        self._job_counter = 0
+        self._job_prefix = f"job-{os.getpid()}"
+        self._seen_claims: dict[str, Any] = {}
+        self._seen_beats: dict[str, int] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+    def warm(self, problems: Sequence[Any]) -> "FleetExecutor":
+        """Precompile ``problems``' references in every worker process.
+
+        Must be called before the first ``map`` (workers read the warmup
+        key at startup); returns self for chaining.
+        """
+
+        if self._store is not None:
+            raise RuntimeError("warm() must be called before the first map()")
+        self._warm_problems = tuple(problems)
+        return self
+
+    def _ensure_started(self) -> None:
+        if self._store is not None:
+            return
+        if self.address is None:
+            self._server = StoreServer().start()
+            connect = self._server.address
+        else:
+            connect = self.address
+        store = RemoteStore(connect)
+        store.ping()  # fail fast when attaching to nothing
+        if self._warm_problems is not None:
+            store.set(
+                WARMUP_KEY,
+                pickle.dumps(self._warm_problems, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+        self._store = store
+        self._master = Master(store=store, lease_seconds=self.lease_seconds)
+        if self.num_workers is not None:
+            host, port = connect
+            src_root = str(Path(__file__).resolve().parents[2])
+            env = dict(os.environ)
+            env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+            for index in range(self.num_workers):
+                self._procs.append(
+                    subprocess.Popen(
+                        [
+                            sys.executable,
+                            "-m",
+                            "repro.evalcluster.fleet",
+                            "worker",
+                            "--connect",
+                            f"{host}:{port}",
+                            "--worker-id",
+                            f"worker-{os.getpid()}-{index}",
+                            "--heartbeat",
+                            str(self.heartbeat_seconds),
+                            "--claim-timeout",
+                            str(self.claim_timeout),
+                        ],
+                        env=env,
+                    )
+                )
+                self._log_event("spawn", worker=f"worker-{os.getpid()}-{index}")
+
+    def close(self) -> None:
+        """Stop managed workers and the self-hosted server, flush events."""
+
+        with self._lock:
+            if self._procs and self._store is not None:
+                try:
+                    self._store.set(STOP_KEY, True)
+                except ConnectionError:
+                    pass
+            for proc in self._procs:
+                try:
+                    proc.wait(timeout=2.0 + 4.0 * self.claim_timeout)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait(timeout=5.0)
+            self._procs = []
+            if self._server is not None:
+                self._server.close()
+                self._server = None
+            if self._store is not None:
+                self._store.close()
+                self._store = None
+            self._master = None
+            self._seen_claims.clear()
+            self._seen_beats.clear()
+            self._flush_events()
+
+    def __enter__(self) -> "FleetExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- observability -------------------------------------------------------
+    def stats(self) -> MasterStats | None:
+        """The master's queue/fleet snapshot (None before the first map)."""
+
+        with self._lock:
+            if self._master is None:
+                return None
+            return self._master.stats(time.monotonic())
+
+    def _log_event(self, event: str, **fields: Any) -> None:
+        if self._events is None:
+            return
+        payload = {"event": event, "t": round(time.monotonic() - self._epoch, 6), **fields}
+        self._event_buffer.append(json.dumps(payload, sort_keys=True) + "\n")
+
+    def _flush_events(self) -> None:
+        if self._events is None or not self._event_buffer:
+            return
+        self._events.append(self._event_buffer)
+        self._event_buffer = []
+
+    # -- the executor protocol ----------------------------------------------
+    def _chunk_size_for(self, task_count: int) -> int:
+        """Tasks per job: explicit override, else ~4 jobs per worker.
+
+        In attach mode the fleet size is whatever has heartbeated so far
+        (workers beat once before their first claim); an empty roster —
+        workers still booting — falls back to single-task jobs, which is
+        always correct, just less amortised.
+        """
+
+        if self.chunk_size is not None:
+            return self.chunk_size
+        if self.num_workers is not None:
+            fleet_size = self.num_workers
+        else:
+            assert self._store is not None
+            fleet_size = self._store.hlen(HEARTBEATS_KEY)
+            if fleet_size < 1:
+                return 1
+        return max(1, task_count // (fleet_size * 4))
+
+    def map(self, fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        with self._lock:
+            self._ensure_started()
+            assert self._store is not None and self._master is not None
+            size = self._chunk_size_for(len(tasks))
+            chunks = [tasks[start : start + size] for start in range(0, len(tasks), size)]
+            jobs: list[EvaluationJob] = []
+            job_ids: list[str] = []
+            for chunk in chunks:
+                self._job_counter += 1
+                job_id = f"{self._job_prefix}-{self._job_counter:08d}"
+                job_ids.append(job_id)
+                problem = getattr(chunk[0], "problem", None)
+                problem_id = (
+                    getattr(chunk[0], "problem_id", None)
+                    or getattr(problem, "problem_id", None)
+                    or job_id
+                )
+                self._store.set(
+                    _PAYLOAD_PREFIX + job_id,
+                    pickle.dumps((fn, chunk), protocol=pickle.HIGHEST_PROTOCOL),
+                )
+                jobs.append(EvaluationJob(job_id=job_id, problem_id=problem_id))
+            # Payloads are durably in the store before any id is queued, so
+            # no worker can ever claim an id whose payload is not there yet.
+            self._master.submit(jobs)
+            self._log_event("submit", count=len(jobs), tasks=len(tasks), chunk=size)
+            rows = self._drive(set(job_ids))
+            self._flush_events()
+        results: list[R] = []
+        for job_id in job_ids:
+            row = rows[job_id]
+            if not row["passed"]:
+                raise RuntimeError(f"fleet job {job_id} failed: {row['result']}")
+            results.extend(row["result"])
+        return results
+
+    # -- the coordinator loop ------------------------------------------------
+    def _drive(self, outstanding: set[str]) -> dict[str, dict[str, Any]]:
+        """Block until every outstanding job has a result row.
+
+        One loop: drain completion events (the hot path), and — at most
+        once per poll interval — observe claims and heartbeats, reap
+        expired leases, and verify the managed workers still exist.
+        """
+
+        assert self._store is not None and self._master is not None
+        rows: dict[str, dict[str, Any]] = {}
+        last_sync = -1.0
+        while outstanding:
+            job_id = self._store.blpop(DONE_KEY, self.poll_seconds)
+            now = time.monotonic()
+            if job_id is not None and job_id in outstanding:
+                row = self._store.hget(Master.RESULTS_KEY, job_id)
+                if row is not None:
+                    self._collect(job_id, row, rows, outstanding)
+            if now - last_sync >= self.poll_seconds:
+                last_sync = now
+                self._sync_claims(now, outstanding)
+                self._sync_heartbeats(now)
+                self._reap(now, rows, outstanding)
+                self._check_workers(outstanding)
+        # One last observation pass: a short map can drain entirely within a
+        # single sync window, and stats()/the leaderboard footer should still
+        # see every worker that participated.
+        self._sync_heartbeats(time.monotonic())
+        return rows
+
+    def _collect(
+        self,
+        job_id: str,
+        row: dict[str, Any],
+        rows: dict[str, dict[str, Any]],
+        outstanding: set[str],
+    ) -> None:
+        assert self._store is not None and self._master is not None
+        rows[job_id] = row
+        outstanding.discard(job_id)
+        self._master.note_completed(job_id)
+        self._store.hdel(CLAIMS_KEY, job_id)
+        self._seen_claims.pop(job_id, None)
+        self._store.delete(_PAYLOAD_PREFIX + job_id)
+        self._log_event("done", job=job_id, worker=row.get("worker"), passed=row.get("passed"))
+
+    def _sync_claims(self, now: float, outstanding: set[str]) -> None:
+        assert self._store is not None and self._master is not None
+        for job_id, value in self._store.hgetall(CLAIMS_KEY).items():
+            if job_id not in outstanding or self._seen_claims.get(job_id) == value:
+                continue
+            self._seen_claims[job_id] = value
+            worker_id, _sequence = value
+            self._master.note_claim(job_id, worker_id, now)
+            self._log_event("claim", job=job_id, worker=worker_id)
+
+    def _sync_heartbeats(self, now: float) -> None:
+        assert self._store is not None and self._master is not None
+        for worker_id, value in self._store.hgetall(HEARTBEATS_KEY).items():
+            sequence, current_job = value
+            if self._seen_beats.get(worker_id) == sequence:
+                continue  # no fresh beat: do NOT renew from a stale value
+            self._seen_beats[worker_id] = sequence
+            self._master.record_heartbeat(
+                worker_id, now, jobs=(current_job,) if current_job is not None else ()
+            )
+
+    def _reap(self, now: float, rows: dict[str, dict[str, Any]], outstanding: set[str]) -> None:
+        assert self._store is not None and self._master is not None
+        if self.lease_seconds is None:
+            return
+        expiry = self._master.next_lease_expiry()
+        if expiry is None or now < expiry:
+            return
+        requeued = self._master.reap_expired(now)
+        for job_id in requeued:
+            self._store.hdel(CLAIMS_KEY, job_id)
+            self._seen_claims.pop(job_id, None)
+            self._log_event("requeue", job=job_id)
+        # A job reaped twice was reported failed by the master itself; no
+        # completion event will ever arrive for it, so collect it here.
+        for job_id in self._master.abandoned_jobs() & outstanding:
+            row = self._store.hget(Master.RESULTS_KEY, job_id)
+            if row is not None:
+                self._collect(job_id, row, rows, outstanding)
+                self._log_event("abandon", job=job_id)
+
+    def _check_workers(self, outstanding: set[str]) -> None:
+        """Self-hosted mode: fail fast when every worker process is gone.
+
+        In attach mode the coordinator cannot know the fleet's size, so it
+        keeps waiting — leases still requeue work for whoever shows up.
+        """
+
+        if not self._procs:
+            return
+        if any(proc.poll() is None for proc in self._procs):
+            return
+        raise RuntimeError(
+            f"all {len(self._procs)} fleet worker processes exited with "
+            f"{len(outstanding)} jobs outstanding"
+        )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI: ``fleet store`` serves a store, ``fleet worker`` joins a fleet."""
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.evalcluster.fleet",
+        description="Run a fleet store server or a fleet worker.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    store_cmd = commands.add_parser("store", help="serve a RedisLikeStore over TCP")
+    store_cmd.add_argument("--host", default="127.0.0.1")
+    store_cmd.add_argument("--port", type=int, default=6399)
+
+    worker_cmd = commands.add_parser("worker", help="claim and execute jobs from a store")
+    worker_cmd.add_argument("--connect", required=True, metavar="HOST:PORT")
+    worker_cmd.add_argument("--worker-id", default=None)
+    worker_cmd.add_argument("--heartbeat", type=float, default=1.0)
+    worker_cmd.add_argument("--claim-timeout", type=float, default=0.5)
+    worker_cmd.add_argument(
+        "--die-after-claims",
+        type=int,
+        default=None,
+        help="fault injection: SIGKILL self right after the Nth claim",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "store":
+        server = StoreServer(host=args.host, port=args.port).start()
+        print(f"fleet store serving on {server.host}:{server.port}", flush=True)
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            server.close()
+        return 0
+
+    host, _, port = args.connect.rpartition(":")
+    run_worker(
+        (host, int(port)),
+        worker_id=args.worker_id,
+        heartbeat_seconds=args.heartbeat,
+        claim_timeout=args.claim_timeout,
+        die_after_claims=args.die_after_claims,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,6 +43,29 @@ class RedisLikeStore:
     def hset(self, key: str, field: str, value: Any) -> None:
         self._hashes.setdefault(key, {})[field] = value
 
+    def hsetnx(self, key: str, field: str, value: Any) -> bool:
+        """Set ``field`` only if it is absent; True when the write happened.
+
+        First-write-wins is what makes duplicate job executions harmless:
+        a re-enqueued job whose original worker turns out to have finished
+        after all cannot overwrite the recorded result.
+        """
+
+        bucket = self._hashes.setdefault(key, {})
+        if field in bucket:
+            return False
+        bucket[field] = value
+        return True
+
+    def hdel(self, key: str, field: str) -> bool:
+        """Remove ``field`` from the hash; True when it existed."""
+
+        bucket = self._hashes.get(key)
+        if bucket is None or field not in bucket:
+            return False
+        del bucket[field]
+        return True
+
     def hget(self, key: str, field: str, default: Any = None) -> Any:
         return self._hashes.get(key, {}).get(field, default)
 

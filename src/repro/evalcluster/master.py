@@ -15,7 +15,7 @@ from typing import Any, Callable, Sequence
 
 from repro.evalcluster.kvstore import RedisLikeStore
 
-__all__ = ["EvaluationJob", "JobReport", "Master"]
+__all__ = ["EvaluationJob", "JobReport", "Master", "MasterStats"]
 
 
 @dataclass(frozen=True)
@@ -47,6 +47,37 @@ class JobReport:
     result: Any = None
 
 
+@dataclass(frozen=True)
+class MasterStats:
+    """A point-in-time snapshot of the master's queue and fleet health.
+
+    ``heartbeat_ages`` maps worker id to seconds since its last recorded
+    heartbeat (on the master's clock — worker clocks are never compared).
+    """
+
+    pending: int
+    claimed: int
+    completed: int
+    requeued: int
+    abandoned: int
+    heartbeat_ages: dict[str, float]
+
+    def describe(self) -> str:
+        """One-line summary for leaderboard footers and logs."""
+
+        line = (
+            f"fleet: {self.pending} pending | {self.claimed} claimed | "
+            f"{self.completed} completed | {self.requeued} re-enqueued | "
+            f"{self.abandoned} abandoned"
+        )
+        if self.heartbeat_ages:
+            beats = ", ".join(
+                f"{worker} {age:.1f}s" for worker, age in sorted(self.heartbeat_ages.items())
+            )
+            line += f" | heartbeats: {beats}"
+        return line
+
+
 class Master:
     """Manages the job queue and collects results, as the paper's master does.
 
@@ -69,6 +100,8 @@ class Master:
         self._leases: dict[str, float] = {}  # job_id -> deadline
         self._lease_holders: dict[str, str] = {}  # job_id -> worker_id
         self._requeued: set[str] = set()
+        self._abandoned: set[str] = set()
+        self._heartbeats: dict[str, float] = {}  # worker_id -> last beat (master clock)
 
     # -- job submission -------------------------------------------------------
     def submit(self, jobs: Sequence[EvaluationJob]) -> None:
@@ -98,6 +131,26 @@ class Master:
             self._lease_holders[job_id] = worker_id
         return self._jobs[job_id]
 
+    def note_claim(self, job_id: str, worker_id: str, now: float = 0.0) -> None:
+        """Record a claim that happened elsewhere (a remote worker popped
+        the queue directly); stamps the lease exactly as :meth:`claim` would.
+
+        ``now`` is the *master's* clock at the moment the claim was
+        observed — remote clocks never enter the lease arithmetic.
+        """
+
+        if job_id not in self._jobs:
+            return
+        if self.lease_seconds is not None:
+            self._leases[job_id] = now + self.lease_seconds
+            self._lease_holders[job_id] = worker_id
+
+    def note_completed(self, job_id: str) -> None:
+        """Release a job's lease after its result was observed elsewhere."""
+
+        self._leases.pop(job_id, None)
+        self._lease_holders.pop(job_id, None)
+
     # -- fault tolerance -------------------------------------------------------
     def next_lease_expiry(self) -> float | None:
         """The earliest outstanding lease deadline, or None when none are held."""
@@ -120,6 +173,7 @@ class Master:
             del self._leases[job_id]
             self._lease_holders.pop(job_id, None)
             if job_id in self._requeued:
+                self._abandoned.add(job_id)
                 self.report(
                     job_id,
                     worker_id="master-reaper",
@@ -191,3 +245,48 @@ class Master:
 
     def all_done(self) -> bool:
         return self.completed() >= int(self.store.get("jobs:total", 0))
+
+    # -- fleet health ---------------------------------------------------------------
+    def record_heartbeat(
+        self, worker_id: str, now: float = 0.0, jobs: Sequence[str] | None = None
+    ) -> None:
+        """Note a worker's liveness at ``now`` (the master's clock) and
+        renew the leases it holds — a worker still beating is still
+        working, however long its current job runs.
+
+        With ``jobs`` given, only those job ids are renewed: a remote
+        worker's heartbeat names the job it is actually executing, so a
+        claim that was registered but never delivered to it (a lost reply
+        on the wire) is *not* kept alive forever — its lease expires and
+        the job is re-enqueued.  ``None`` renews every held lease.
+        """
+
+        self._heartbeats[worker_id] = now
+        if self.lease_seconds is None:
+            return
+        for job_id, holder in self._lease_holders.items():
+            if holder != worker_id:
+                continue
+            if jobs is not None and job_id not in jobs:
+                continue
+            self._leases[job_id] = now + self.lease_seconds
+
+    def abandoned_jobs(self) -> frozenset[str]:
+        """Jobs whose lease expired twice and were reported failed by the
+        master itself — no worker will ever send a completion for them."""
+
+        return frozenset(self._abandoned)
+
+    def stats(self, now: float = 0.0) -> MasterStats:
+        """A snapshot of queue progress and per-worker heartbeat age."""
+
+        return MasterStats(
+            pending=self.pending(),
+            claimed=len(self._leases),
+            completed=self.completed(),
+            requeued=len(self._requeued),
+            abandoned=len(self._abandoned),
+            heartbeat_ages={
+                worker: max(0.0, now - beat) for worker, beat in self._heartbeats.items()
+            },
+        )

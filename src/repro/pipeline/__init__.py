@@ -59,7 +59,9 @@ from repro.pipeline.executors import (
 )
 from repro.pipeline.pipeline import EvaluationPipeline, PreparedBatch
 from repro.pipeline.planner import (
+    BATCH_BY_NAMES,
     PLANNER_NAMES,
+    BatchSizer,
     CostPlanner,
     CountPlanner,
     ShardPlan,
@@ -84,6 +86,8 @@ from repro.pipeline.stages import (
 __all__ = [
     "AggregateStage",
     "AsyncExecutor",
+    "BATCH_BY_NAMES",
+    "BatchSizer",
     "ClusterExecutor",
     "CostPlanner",
     "CountPlanner",

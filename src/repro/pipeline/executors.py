@@ -21,11 +21,14 @@ tasks — so stages stay oblivious to *where* their work runs:
   chunked submission and an optional per-process initializer (used to
   warm a :class:`~repro.scoring.compiled.ReferenceStore` in every
   worker), built for the CPU axis: scoring and unit-test execution.
+* :class:`~repro.evalcluster.fleet.FleetExecutor` (``"fleet"``) — the
+  cluster protocol over a real wire: a socket-served store, spawned
+  worker *processes* claiming jobs through it, leases + heartbeats for
+  fault tolerance.  The distributed deployment the others simulate.
 
 All backends are deterministic: tasks are pure functions of their inputs
 and results always come back in submission order, so the backend choice
-can never change a ScoreCard.  A remote executor speaking the cluster
-protocol over a real Redis is the remaining ROADMAP follow-on.
+can never change a ScoreCard.
 """
 
 from __future__ import annotations
@@ -55,7 +58,7 @@ __all__ = [
 
 #: Executor specs accepted by :func:`resolve_executor` (and therefore by
 #: ``BenchmarkConfig.executor``), in the order they should be documented.
-EXECUTOR_NAMES: tuple[str, ...] = ("serial", "thread", "cluster", "async", "process")
+EXECUTOR_NAMES: tuple[str, ...] = ("serial", "thread", "cluster", "async", "process", "fleet")
 
 #: Specs valid for ``BenchmarkConfig.generate_executor``.  ``"process"`` is
 #: excluded: generation closes over the model object, which is not a
@@ -307,10 +310,10 @@ def resolve_executor(
     """Turn a config spec (one of :data:`EXECUTOR_NAMES` or an executor
     instance) into an executor.
 
-    ``max_workers`` sizes the thread/cluster/process pools and the async
-    concurrency bound; ``rate_limit`` (requests per second) only applies
-    to the async backend's token bucket, ``lease_seconds`` only to the
-    cluster backend's job leases.
+    ``max_workers`` sizes the thread/cluster/process/fleet pools and the
+    async concurrency bound; ``rate_limit`` (requests per second) only
+    applies to the async backend's token bucket, ``lease_seconds`` to the
+    cluster and fleet backends' job leases.
     """
 
     if not isinstance(executor, str):
@@ -325,6 +328,12 @@ def resolve_executor(
         return AsyncExecutor(max_concurrency=max(1, max_workers), rate_limit=rate_limit)
     if executor == "process":
         return ProcessExecutor(max_workers=max(1, max_workers))
+    if executor == "fleet":
+        # Imported lazily: the fleet module pulls in sockets/subprocess
+        # machinery that in-process runs never need.
+        from repro.evalcluster.fleet import FleetExecutor
+
+        return FleetExecutor(num_workers=max(1, max_workers), lease_seconds=lease_seconds)
     raise ValueError(f"unknown executor {executor!r} (expected one of {EXECUTOR_NAMES})")
 
 

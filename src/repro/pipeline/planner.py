@@ -22,6 +22,12 @@ Both planners emit contiguous plans, which is the property the merge
 layer relies on: concatenating per-shard results in shard order
 reproduces the original request order, so the planner choice — like the
 executor choice — can never change a ScoreCard.
+
+:class:`BatchSizer` applies the same idea one level down: *within* a
+shard, it cuts the stream of requests into contiguous batches of roughly
+equal predicted seconds instead of equal counts, so a pipeline's
+per-batch progress (checkpoints, steal decisions, fleet dispatch) ticks
+at an even rhythm even when one batch's problems are 10x another's.
 """
 
 from __future__ import annotations
@@ -39,10 +45,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "PLANNER_NAMES",
+    "BATCH_BY_NAMES",
     "ShardPlan",
     "ShardPlanner",
     "CountPlanner",
     "CostPlanner",
+    "BatchSizer",
     "resolve_planner",
 ]
 
@@ -50,6 +58,9 @@ T = TypeVar("T")
 
 #: Planner specs accepted by ``BenchmarkConfig.shard_by``.
 PLANNER_NAMES: tuple[str, ...] = ("count", "cost")
+
+#: Batch-sizing specs accepted by ``BenchmarkConfig.batch_by``.
+BATCH_BY_NAMES: tuple[str, ...] = ("count", "cost")
 
 #: Bisection steps when searching for the minimal feasible shard duration.
 #: Sixty halvings of the [max-item, total] interval put the cap within
@@ -324,6 +335,124 @@ class CostPlanner:
             self.cost_model.predict_problems_seconds(request.problem for request in chunk)
             for chunk in plan.split(list(requests))
         )
+
+
+class BatchSizer:
+    """Cut a shard's requests into contiguous batches of equal *predicted
+    seconds* instead of equal counts.
+
+    The pipeline processes a shard batch by batch, and each batch is one
+    unit of progress everywhere downstream: one checkpoint flush, one
+    steal-policy decision point, one fleet dispatch wave.  Fixed-count
+    batches make those units wildly uneven — a batch of 32 bare-Pod
+    problems finishes in seconds while a batch of 32 Istio problems pulls
+    gigabytes — so the scheduler's view of remaining work lurches.  This
+    sizer prices every request exactly as :class:`CostPlanner` does
+    (base seconds plus cold image pulls, with the image cache staying
+    warm *across* the whole shard: batches run back-to-back on the same
+    workers, so a later batch really does inherit earlier pulls) and
+    closes a batch once it reaches the shard's per-batch target.
+
+    Batches stay contiguous and cover the shard in order, so swapping
+    this in for fixed slicing reorders *nothing* — every ScoreCard and
+    the merged record stream are bit-identical; only the cut points move.
+    The number of batches never exceeds ``ceil(len(requests) /
+    batch_size)`` — the same count fixed slicing would produce.
+    """
+
+    def __init__(self, cost_model: CostModel | None = None, batch_size: int = 32) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self._pricer = CostPlanner(cost_model=cost_model)
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._pricer.cost_model
+
+    def _marginals(self, requests: Sequence["GenerationRequest"]) -> list[float]:
+        """Per-request marginal predicted seconds, cache warm across all."""
+
+        base, charges, warms, pull_seconds = self._pricer._price(requests)
+        marginals: list[float] = []
+        warm: set[object] = set()
+        for index in range(len(base)):
+            marginals.append(
+                base[index]
+                + sum(pull_seconds[image] for image in set(charges[index]) if image not in warm)
+            )
+            warm.update(warms[index])
+        return marginals
+
+    def cut(self, requests: Sequence[T]) -> list[list[T]]:
+        """Contiguous batches of roughly equal predicted duration.
+
+        The batch budget is ``ceil(n / batch_size)`` — what fixed-count
+        slicing would spend — and the target is the shard's total
+        predicted seconds divided by that budget.  A batch closes when it
+        reaches the target; whatever remains after the last cut forms the
+        final batch (its predicted duration is at most one target by
+        construction, since every earlier batch consumed at least one).
+        """
+
+        items = list(requests)
+        if not items:
+            return []
+        budget = -(-len(items) // self.batch_size)  # ceil division
+        if budget == 1:
+            return [items]
+        marginals = self._marginals(items)
+        if sum(marginals) <= 0.0:
+            # Degenerate pricing (an all-zero cost model): fall back to
+            # the fixed-count cuts rather than emitting singleton batches.
+            return [
+                items[start : start + self.batch_size]
+                for start in range(0, len(items), self.batch_size)
+            ]
+        # Dynamic target: each batch aims at (remaining seconds) /
+        # (remaining batches), re-derived after every cut, so one
+        # expensive request overshooting its batch automatically shrinks
+        # the targets that follow instead of starving the final batch.
+        # A request joins the current batch only when doing so lands
+        # closer to the target than cutting before it would.
+        batches: list[list[T]] = []
+        position = 0
+        remaining_seconds = sum(marginals)
+        for batch_index in range(budget):
+            if position >= len(items):
+                break
+            if batch_index == budget - 1:
+                batches.append(items[position:])
+                break
+            target = remaining_seconds / (budget - batch_index)
+            current = [items[position]]
+            current_seconds = marginals[position]
+            position += 1
+            while position < len(items):
+                marginal = marginals[position]
+                overshoot = (current_seconds + marginal) - target
+                if overshoot > 0 and overshoot > (target - current_seconds):
+                    break
+                current.append(items[position])
+                current_seconds += marginal
+                position += 1
+            batches.append(current)
+            remaining_seconds -= current_seconds
+        return batches
+
+    def predicted_seconds(self, batches: Sequence[Sequence["GenerationRequest"]]) -> tuple[float, ...]:
+        """Predicted seconds of each batch under the sizer's accounting
+        (one image cache warming across all batches in order) — the
+        quantity :meth:`cut` balances, for spread guards and diagnostics."""
+
+        flat = [request for batch in batches for request in batch]
+        marginals = self._marginals(flat)
+        out: list[float] = []
+        position = 0
+        for batch in batches:
+            out.append(sum(marginals[position : position + len(batch)]))
+            position += len(batch)
+        return tuple(out)
 
 
 def resolve_planner(

@@ -55,7 +55,7 @@ from repro.llm.interface import GenerationRequest, Model
 from repro.pipeline.checkpoint import PipelineCheckpoint, shard_checkpoint_path
 from repro.pipeline.executors import Executor, close_executor, resolve_executor
 from repro.pipeline.pipeline import DEFAULT_BATCH_SIZE, EvaluationPipeline
-from repro.pipeline.planner import CountPlanner, ShardPlan, ShardPlanner
+from repro.pipeline.planner import BatchSizer, CountPlanner, ShardPlan, ShardPlanner
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
 from repro.scoring.cache import ScoreCache
 from repro.scoring.compiled import ReferenceStore
@@ -171,6 +171,11 @@ class MultiModelScheduler:
     :class:`~repro.evalcluster.calibration.CalibratedCostModel` over the
     same store, stealing re-predicts as those measurements arrive).
 
+    ``batch_sizer`` swaps the fixed-count batch cuts for
+    :class:`~repro.pipeline.planner.BatchSizer`'s equal-predicted-seconds
+    cuts — same request order, same number of batches or fewer, identical
+    records; only where one batch ends and the next begins moves.
+
     Executors resolved here from spec strings are owned by (and torn down
     with) this scheduler; instances passed in belong to the caller.
     """
@@ -195,6 +200,7 @@ class MultiModelScheduler:
         cost_model: CostModel | None = None,
         calibration: "CalibrationStore | None" = None,
         score_cache: ScoreCache | None = None,
+        batch_sizer: BatchSizer | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -219,6 +225,7 @@ class MultiModelScheduler:
         self.store = store or ReferenceStore()
         self.run_unit_tests = run_unit_tests
         self.batch_size = batch_size
+        self.batch_sizer = batch_sizer
         self.prefetch_batches = prefetch_batches
         self.steal = steal
         self.steal_policy = steal_policy if steal_policy is not None else StealPolicy()
@@ -292,8 +299,16 @@ class MultiModelScheduler:
                     score_cache=self.score_cache,
                 )
                 self._pipelines.append(pipeline)
-                for start in range(0, len(shard_requests), self.batch_size):
-                    units.append((pipeline, shard_requests[start : start + self.batch_size]))
+                if self.batch_sizer is not None:
+                    # Calibration-aware cuts: contiguous batches of roughly
+                    # equal predicted seconds, never more batches than the
+                    # fixed-count split would make.  Contiguity keeps the
+                    # merged records — and every ScoreCard — bit-identical.
+                    for batch in self.batch_sizer.cut(shard_requests):
+                        units.append((pipeline, batch))
+                else:
+                    for start in range(0, len(shard_requests), self.batch_size):
+                        units.append((pipeline, shard_requests[start : start + self.batch_size]))
             per_job.append(units)
         return per_job
 

@@ -33,7 +33,7 @@ from repro.llm.interface import GenerationRequest, Model
 from repro.pipeline.checkpoint import PipelineCheckpoint
 from repro.pipeline.executors import Executor, close_executor, resolve_executor
 from repro.pipeline.pipeline import DEFAULT_BATCH_SIZE
-from repro.pipeline.planner import ShardPlan, ShardPlanner
+from repro.pipeline.planner import BatchSizer, ShardPlan, ShardPlanner
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
 from repro.pipeline.scheduler import ModelJob, MultiModelScheduler
 from repro.scoring.cache import ScoreCache
@@ -105,6 +105,7 @@ class ShardedEvaluationPipeline:
         cost_model: CostModel | None = None,
         calibration: "CalibrationStore | None" = None,
         score_cache: ScoreCache | None = None,
+        batch_sizer: BatchSizer | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -128,6 +129,7 @@ class ShardedEvaluationPipeline:
         self.cost_model = cost_model
         self.calibration = calibration
         self.score_cache = score_cache
+        self.batch_sizer = batch_sizer
         # Executors are shared across every sub-pipeline so pools (threads,
         # processes, event-loop rate limiter) are built once per run, and
         # owned by this pipeline when resolved from spec strings.
@@ -160,6 +162,7 @@ class ShardedEvaluationPipeline:
             cost_model=self.cost_model,
             calibration=self.calibration,
             score_cache=self.score_cache,
+            batch_sizer=self.batch_sizer,
         )
         self._schedulers.append(scheduler)
         return scheduler

@@ -26,13 +26,28 @@ discipline, implemented once here:
   temporary file renamed over the original with :func:`os.replace`: a
   kill at any instant leaves either the complete old file or the
   complete new one.
+* **Writers exclude each other.**  Append and rewrite take an advisory
+  ``flock`` on a sidecar ``.lock`` file, so a fleet of worker processes
+  sharing one score cache or calibration store on a shared filesystem
+  cannot interleave bytes inside one another's writes.  The lock lives
+  on the *sidecar* — never the data file — because the rewrite replaces
+  the data file's inode, and a lock taken on a replaced inode excludes
+  nobody.  Readers never lock (:meth:`scan` tolerates every in-flight
+  state), and on platforms without ``fcntl`` the lock degrades to the
+  previous torn-tail-sealing behaviour.
 """
 
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, TypeVar
+
+try:  # pragma: no cover - import guard for non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = ["JsonlLog"]
 
@@ -75,6 +90,29 @@ class JsonlLog:
                 yield item
 
     # -- writing ------------------------------------------------------------
+    @contextmanager
+    def _write_lock(self) -> Iterator[None]:
+        """Exclusive advisory lock serialising writers of this file.
+
+        Both :meth:`append` and :meth:`rewrite` of every process take it,
+        so concurrent appends land whole-lines-at-a-time and an append can
+        never race a compaction's ``os.replace``.  The sidecar is shared
+        by all writers and never replaced, which is what makes the lock
+        meaningful across rewrites.  No-op where ``fcntl`` is missing.
+        """
+
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        lock_path = self.path.with_name(self.path.name + ".lock")
+        with lock_path.open("a+b") as lock_handle:
+            fcntl.flock(lock_handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
+
     def _tail_is_open(self) -> bool:
         """Whether the file ends mid-line (no trailing newline)."""
 
@@ -101,20 +139,25 @@ class JsonlLog:
         if not lines:
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        if self._tail_is_open():
-            lines[0] = "\n" + lines[0]  # seal the torn fragment into its own line
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.writelines(lines)
-            handle.flush()
-            os.fsync(handle.fileno())
+        with self._write_lock():
+            # The tail check must happen *inside* the lock: another
+            # process's append between check and write would make the
+            # sealing newline land in the wrong place.
+            if self._tail_is_open():
+                lines[0] = "\n" + lines[0]  # seal the torn fragment into its own line
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.writelines(lines)
+                handle.flush()
+                os.fsync(handle.fileno())
 
     def rewrite(self, lines: Iterable[str]) -> None:
         """Atomically replace the whole file via temp + ``os.replace``."""
 
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        temp = self.path.with_name(self.path.name + ".tmp")
-        with temp.open("w", encoding="utf-8") as handle:
-            handle.writelines(lines)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp, self.path)
+        with self._write_lock():
+            temp = self.path.with_name(self.path.name + ".tmp")
+            with temp.open("w", encoding="utf-8") as handle:
+                handle.writelines(lines)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp, self.path)

@@ -1,0 +1,380 @@
+"""The distributed fleet: wire protocol, worker death, bit-identity.
+
+Three layers under test:
+
+* the frame protocol and :class:`StoreServer` command surface — including
+  a torn half-frame on disconnect, which must drop only that connection;
+* the :class:`FleetExecutor` map contract — ordered results, error
+  propagation, duplicate-execution safety;
+* the end-to-end invariant: a fleet evaluation with a worker SIGKILLed
+  mid-batch re-enqueues its job exactly once and still produces records
+  bit-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+import socket
+import struct
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import BenchmarkConfig, CloudEvalBenchmark
+from repro.evalcluster.fleet import (
+    CLAIMS_KEY,
+    FleetExecutor,
+    FrameError,
+    RemoteStore,
+    StoreCommandError,
+    StoreServer,
+    recv_frame,
+    send_frame,
+)
+from repro.evalcluster.master import Master
+
+MODEL = "gpt-3.5"
+
+SRC_ROOT = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture()
+def server():
+    with StoreServer() as served:
+        served.start()
+        yield served
+
+
+@pytest.fixture()
+def client(server):
+    store = RemoteStore(server.address, reconnect_attempts=2, reconnect_delay=0.05)
+    yield store
+    store.close()
+
+
+# ---------------------------------------------------------------------------
+# Wire protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_every_store_command_round_trips(self, client):
+        assert client.ping() == "pong"
+        client.set("s", {"nested": [1, 2]})
+        assert client.get("s") == {"nested": [1, 2]}
+        assert client.get("absent", "fallback") == "fallback"
+        assert client.incr("n") == 1
+        assert client.incr("n", 5) == 6
+        client.hset("h", "a", 1)
+        assert client.hsetnx("h", "a", 99) is False
+        assert client.hsetnx("h", "b", 2) is True
+        assert client.hget("h", "a") == 1
+        assert client.hgetall("h") == {"a": 1, "b": 2}
+        assert client.hlen("h") == 2
+        assert client.hdel("h", "a") is True
+        assert client.hdel("h", "a") is False
+        assert client.rpush("l", "x", "y", "z") == 3
+        assert client.llen("l") == 3
+        assert client.lrange("l") == ["x", "y", "z"]
+        assert client.lpop("l") == "x"
+        client.delete("l")
+        assert client.llen("l") == 0
+        assert "s" in client.keys() and "h" in client.keys()
+
+    def test_blpop_waits_for_a_push(self, server, client):
+        producer = RemoteStore(server.address)
+        try:
+            start = time.monotonic()
+            assert client.blpop("queue", 0.2) is None  # times out empty
+            assert time.monotonic() - start >= 0.15
+            producer.rpush("queue", "item")
+            assert client.blpop("queue", 2.0) == "item"
+        finally:
+            producer.close()
+
+    def test_claim_pops_and_registers_atomically(self, client):
+        client.rpush("q", "job-1")
+        assert client.claim("q", CLAIMS_KEY, "w0", 1.0) == "job-1"
+        worker, sequence = client.hgetall(CLAIMS_KEY)["job-1"]
+        assert worker == "w0"
+        assert sequence >= 1
+        # Re-claims get a fresh sequence number, so a stale claim row is
+        # distinguishable from the re-claim of a re-enqueued job.
+        client.rpush("q", "job-1")
+        _, second_sequence = (
+            client.claim("q", CLAIMS_KEY, "w1", 1.0),
+            client.hgetall(CLAIMS_KEY)["job-1"][1],
+        )
+        assert second_sequence > sequence
+        assert client.claim("q", CLAIMS_KEY, "w2", 0.1) is None  # drained
+
+    def test_server_error_is_relayed_not_fatal(self, client):
+        with pytest.raises(StoreCommandError):
+            client.call("no-such-command")
+        assert client.ping() == "pong"  # connection still healthy
+
+    def test_torn_half_frame_drops_only_that_connection(self, server, client):
+        """A peer that dies mid-frame must not take the server down."""
+
+        payload = pickle.dumps(("set", "torn", "never-arrives"))
+        raw = socket.create_connection(server.address)
+        raw.sendall(struct.pack(">I", len(payload)) + payload[: len(payload) // 2])
+        raw.close()  # half a frame, then gone
+        # The server survives and keeps serving other connections.
+        assert client.ping() == "pong"
+        assert client.get("torn") is None  # the torn command never executed
+
+    def test_recv_frame_raises_on_mid_frame_eof(self):
+        left, right = socket.socketpair()
+        try:
+            payload = pickle.dumps("data")
+            left.sendall(struct.pack(">I", len(payload)) + payload[:2])
+            left.close()
+            with pytest.raises(FrameError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_send_recv_round_trip_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, {"k": [1, "two", 3.0]})
+            assert recv_frame(right) == {"k": [1, "two", 3.0]}
+        finally:
+            left.close()
+            right.close()
+
+    def test_remote_store_drives_an_unmodified_master(self, client):
+        """The Master's queue semantics hold verbatim over the wire."""
+
+        from repro.evalcluster.master import EvaluationJob
+
+        master = Master(store=client, lease_seconds=None)
+        master.submit([EvaluationJob(job_id=f"j{i}", problem_id=f"p{i}") for i in range(3)])
+        assert master.pending() == 3
+        job = master.claim("w0")
+        master.report(job.job_id, worker_id="w0", finished_at=1.0, passed=True, result=42)
+        assert master.completed() == 1
+        assert master.result_of(job.job_id) == 42
+
+
+# ---------------------------------------------------------------------------
+# FleetExecutor map contract
+# ---------------------------------------------------------------------------
+
+
+class TestFleetExecutor:
+    def test_map_returns_ordered_results(self):
+        with FleetExecutor(num_workers=2, lease_seconds=10.0) as executor:
+            values = list(range(30))
+            assert executor.map(math.factorial, values) == [math.factorial(v) for v in values]
+
+    def test_consecutive_maps_reuse_the_fleet(self):
+        with FleetExecutor(num_workers=2, lease_seconds=10.0) as executor:
+            first = executor.map(math.factorial, [3, 4])
+            second = executor.map(math.factorial, [5, 6])
+            assert (first, second) == ([6, 24], [120, 720])
+            stats = executor.stats()
+            assert stats.completed == 4
+            assert stats.pending == 0
+
+    def test_chunked_map_amortises_jobs(self):
+        # 64 tasks on 2 workers auto-chunk to 8 tasks/job: the store
+        # round-trips are paid 8 times, not 64, and order still holds.
+        with FleetExecutor(num_workers=2, lease_seconds=10.0) as executor:
+            values = list(range(64))
+            assert executor.map(math.factorial, values) == [math.factorial(v) for v in values]
+            assert executor.stats().completed == 8
+
+    def test_rejects_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            FleetExecutor(num_workers=1, chunk_size=0)
+
+    def test_task_exception_propagates(self):
+        with FleetExecutor(num_workers=1, lease_seconds=10.0) as executor:
+            with pytest.raises(RuntimeError, match="fleet job .* failed"):
+                executor.map(math.sqrt, [4.0, -1.0])
+
+    def test_requires_exactly_one_deployment_shape(self):
+        with pytest.raises(ValueError):
+            FleetExecutor()
+        with pytest.raises(ValueError):
+            FleetExecutor(num_workers=2, address=("127.0.0.1", 1))
+
+    def test_construction_is_lazy(self):
+        # Parametrised suites construct every executor name; a fleet that
+        # never maps must not spawn processes or bind sockets.
+        executor = FleetExecutor(num_workers=4, lease_seconds=10.0)
+        assert executor.stats() is None
+        executor.close()
+
+    def test_attach_to_external_store(self, server):
+        worker = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.evalcluster.fleet",
+                "worker",
+                "--connect",
+                f"{server.host}:{server.port}",
+                "--claim-timeout",
+                "0.1",
+            ],
+            env={"PYTHONPATH": SRC_ROOT, "PATH": "/usr/bin:/bin"},
+        )
+        try:
+            with FleetExecutor(address=server.address, lease_seconds=10.0) as executor:
+                assert executor.map(math.factorial, [5, 7]) == [120, 5040]
+        finally:
+            worker.terminate()
+            worker.wait(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# Worker death: exactly-once re-enqueue, bit-identical results
+# ---------------------------------------------------------------------------
+
+
+def _spawn_worker(address, *, worker_id, die_after_claims=None, heartbeat="0.25"):
+    command = [
+        sys.executable,
+        "-m",
+        "repro.evalcluster.fleet",
+        "worker",
+        "--connect",
+        f"{address[0]}:{address[1]}",
+        "--worker-id",
+        worker_id,
+        "--heartbeat",
+        heartbeat,
+        "--claim-timeout",
+        "0.1",
+    ]
+    if die_after_claims is not None:
+        command += ["--die-after-claims", str(die_after_claims)]
+    return subprocess.Popen(command, env={"PYTHONPATH": SRC_ROOT, "PATH": "/usr/bin:/bin"})
+
+
+class TestWorkerDeath:
+    def test_sigkilled_worker_job_requeued_exactly_once_and_results_complete(self, server):
+        """One worker SIGKILLs itself right after a claim — the window
+        between claim and report that leases exist for.  The reaper must
+        re-enqueue that job exactly once and the run must finish with
+        every result correct."""
+
+        workers = [
+            _spawn_worker(server.address, worker_id="healthy"),
+            _spawn_worker(server.address, worker_id="doomed", die_after_claims=2),
+        ]
+        try:
+            # chunk_size=1 pins one task per job so die_after_claims and the
+            # completed-job count below stay exact.
+            with FleetExecutor(
+                address=server.address, lease_seconds=1.2, poll_seconds=0.05, chunk_size=1
+            ) as executor:
+                values = list(range(40))
+                results = executor.map(math.factorial, values)
+                assert results == [math.factorial(v) for v in values]
+                stats = executor.stats()
+            assert stats.requeued == 1, stats.describe()
+            assert stats.abandoned == 0
+            assert stats.completed == len(values)
+            assert workers[1].wait(timeout=10) == -9  # it really was SIGKILL
+        finally:
+            for worker in workers:
+                worker.terminate()
+                worker.wait(timeout=10)
+
+    def test_fleet_evaluation_with_mid_run_kill_is_bit_identical_to_serial(
+        self, small_dataset, server
+    ):
+        """The acceptance invariant: a real evaluation whose worker dies
+        mid-batch, resumed via the lease reaper, produces records
+        bit-identical to the serial backend."""
+
+        problems = list(small_dataset)[:18]
+        serial = CloudEvalBenchmark(small_dataset, BenchmarkConfig(seed=7)).evaluate_model(
+            MODEL, problems=problems
+        )
+
+        workers = [
+            _spawn_worker(server.address, worker_id="survivor"),
+            _spawn_worker(server.address, worker_id="casualty", die_after_claims=3),
+        ]
+        executor = FleetExecutor(address=server.address, lease_seconds=1.2, poll_seconds=0.05)
+        try:
+            from repro.pipeline import EvaluationPipeline
+            from repro.llm.registry import calibrate_models, get_model
+            from repro.llm.interface import GenerationRequest
+            from repro.scoring.compiled import ReferenceStore
+
+            model = calibrate_models([get_model(MODEL, seed=7)], small_dataset)[0]
+            pipeline = EvaluationPipeline(
+                model, executor=executor, store=ReferenceStore(), batch_size=6
+            )
+            requests = [
+                GenerationRequest(problem=problem, shots=0, sample_index=0)
+                for problem in problems
+            ]
+            evaluation = pipeline.run(requests)
+            stats = executor.stats()
+        finally:
+            executor.close()
+            for worker in workers:
+                worker.terminate()
+                worker.wait(timeout=10)
+
+        assert evaluation.records == serial.records
+        assert stats.requeued >= 1, stats.describe()  # the kill really disrupted the run
+        assert stats.abandoned == 0
+
+
+# ---------------------------------------------------------------------------
+# Stats surface
+# ---------------------------------------------------------------------------
+
+
+class TestStats:
+    def test_stats_track_heartbeats_and_counts(self):
+        with FleetExecutor(num_workers=2, lease_seconds=10.0) as executor:
+            executor.map(math.factorial, list(range(8)))
+            completed = 8
+            stats = executor.stats()
+            # On a loaded machine the first jobs can drain before the
+            # second worker finishes booting; heartbeats are observed
+            # during maps, so keep mapping until it has shown up.
+            deadline = time.monotonic() + 30.0
+            while len(stats.heartbeat_ages) < 2 and time.monotonic() < deadline:
+                time.sleep(0.1)
+                executor.map(math.factorial, [3])
+                completed += 1
+                stats = executor.stats()
+        assert stats.completed == completed
+        assert stats.pending == 0
+        assert len(stats.heartbeat_ages) == 2
+        assert all(age >= 0.0 for age in stats.heartbeat_ages.values())
+        description = stats.describe()
+        assert f"{completed} completed" in description
+        assert "heartbeats:" in description
+
+    def test_leaderboard_footer_shows_fleet_stats(self):
+        from repro.core.benchmark import BenchmarkResult
+        from repro.core.report import format_leaderboard
+        from repro.evalcluster.master import MasterStats
+
+        stats = MasterStats(
+            pending=0,
+            claimed=0,
+            completed=24,
+            requeued=1,
+            abandoned=0,
+            heartbeat_ages={"worker-0": 0.4},
+        )
+        rendered = format_leaderboard(BenchmarkResult(), fleet_stats=stats)
+        assert "fleet: 0 pending" in rendered
+        assert "1 re-enqueued" in rendered
+        assert "worker-0 0.4s" in rendered

@@ -1,0 +1,88 @@
+"""Calibration-aware batch sizing: equal predicted seconds, same records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BenchmarkConfig, CloudEvalBenchmark
+from repro.evalcluster.cost import CostModel
+from repro.llm.interface import GenerationRequest
+from repro.pipeline.planner import BatchSizer
+
+MODEL = "gpt-3.5"
+
+
+@pytest.fixture(scope="module")
+def requests(small_dataset):
+    return [
+        GenerationRequest(problem=problem, shots=0, sample_index=0)
+        for problem in list(small_dataset)[:48]
+    ]
+
+
+class TestCut:
+    def test_batches_are_contiguous_and_cover_everything(self, requests):
+        sizer = BatchSizer(batch_size=8)
+        batches = sizer.cut(requests)
+        assert [request for batch in batches for request in batch] == requests
+        assert all(batches)
+
+    def test_never_more_batches_than_fixed_slicing(self, requests):
+        for batch_size in (1, 5, 8, 32, 100):
+            sizer = BatchSizer(batch_size=batch_size)
+            fixed_count = -(-len(requests) // batch_size)
+            assert 1 <= len(sizer.cut(requests)) <= fixed_count
+
+    def test_predicted_spread_no_worse_than_fixed_counts(self, requests):
+        sizer = BatchSizer(batch_size=8)
+        batches = sizer.cut(requests)
+        fixed = [requests[start : start + 8] for start in range(0, len(requests), 8)]
+        cost_spread = _spread(sizer.predicted_seconds(batches))
+        fixed_spread = _spread(sizer.predicted_seconds(fixed))
+        assert cost_spread <= fixed_spread
+
+    def test_empty_and_tiny_inputs(self, requests):
+        sizer = BatchSizer(batch_size=8)
+        assert sizer.cut([]) == []
+        assert sizer.cut(requests[:3]) == [requests[:3]]
+
+    def test_degenerate_zero_cost_model_falls_back_to_fixed_slices(self, requests):
+        class FreeModel(CostModel):
+            def predict_base_seconds(self, problem):
+                return 0.0
+
+            def problem_charge_images(self, problem):
+                return ()
+
+            def problem_pull_images(self, problem):
+                return ()
+
+        sizer = BatchSizer(cost_model=FreeModel(), batch_size=8)
+        batches = sizer.cut(requests)
+        assert [len(batch) for batch in batches] == [
+            len(requests[start : start + 8]) for start in range(0, len(requests), 8)
+        ]
+
+    def test_rejects_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchSizer(batch_size=0)
+
+
+def _spread(seconds):
+    return max(seconds) - min(seconds)
+
+
+class TestEquivalence:
+    def test_cost_batching_records_identical_to_count_batching(self, small_dataset):
+        problems = list(small_dataset)[:24]
+        count = CloudEvalBenchmark(
+            small_dataset, BenchmarkConfig(seed=7, shards=2, batch_size=6)
+        ).evaluate_model(MODEL, problems=problems)
+        cost = CloudEvalBenchmark(
+            small_dataset, BenchmarkConfig(seed=7, shards=2, batch_size=6, batch_by="cost")
+        ).evaluate_model(MODEL, problems=problems)
+        assert count.records == cost.records
+
+    def test_config_rejects_unknown_batch_by(self):
+        with pytest.raises(ValueError, match="batch_by"):
+            BenchmarkConfig(batch_by="alphabetical")

@@ -1,0 +1,87 @@
+"""Cross-process JSONL writer exclusion: the fleet-sharing guarantee.
+
+A fleet of worker processes may share one score cache or calibration
+store on a shared filesystem.  The advisory sidecar flock must keep two
+processes' appends from interleaving bytes — every line of both writers
+lands whole and parseable.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+SRC_ROOT = str(Path(__file__).resolve().parents[2] / "src")
+
+LINES_PER_WRITER = 200
+
+_APPEND_SCRIPT = """
+import json, sys
+from repro.utils.jsonl import JsonlLog
+
+path, tag, count = sys.argv[1], sys.argv[2], int(sys.argv[3])
+log = JsonlLog(path)
+for index in range(count):
+    # One line per append maximises lock contention: every write races
+    # the other process for the sidecar.
+    payload = {"writer": tag, "index": index, "padding": tag * 50}
+    log.append([json.dumps(payload) + "\\n"])
+"""
+
+_CACHE_SCRIPT = """
+import sys
+from repro.scoring.aggregate import ScoreCard
+from repro.scoring.cache import ScoreCache
+
+path, tag, count = sys.argv[1], sys.argv[2], int(sys.argv[3])
+cache = ScoreCache(path)
+for index in range(count):
+    card = ScoreCard(
+        problem_id=f"{tag}-{index}",
+        bleu=0.5, edit_distance=0.5, exact_match=0.0,
+        kv_exact=0.0, kv_wildcard=0.0, unit_test=1.0,
+    )
+    cache.put(f"ref-{tag}-{index}", f"ans-{tag}-{index}", card, True)
+"""
+
+
+def _run_writers(script, path, count):
+    processes = [
+        subprocess.Popen(
+            [sys.executable, "-c", script, str(path), tag, str(count)],
+            env={"PYTHONPATH": SRC_ROOT, "PATH": "/usr/bin:/bin"},
+        )
+        for tag in ("alpha", "beta")
+    ]
+    for process in processes:
+        assert process.wait(timeout=120) == 0
+
+
+def test_concurrent_appends_from_two_processes_never_tear(tmp_path):
+    path = tmp_path / "shared.jsonl"
+    _run_writers(_APPEND_SCRIPT, path, LINES_PER_WRITER)
+
+    entries = [json.loads(line) for line in path.read_text().splitlines() if line.strip()]
+    assert len(entries) == 2 * LINES_PER_WRITER  # nothing torn, nothing lost
+    for tag in ("alpha", "beta"):
+        indices = [entry["index"] for entry in entries if entry["writer"] == tag]
+        assert sorted(indices) == list(range(LINES_PER_WRITER))
+
+
+def test_concurrent_score_cache_put_batch_from_two_processes(tmp_path):
+    """The satellite regression: two processes sharing one ScoreCache file
+    write through JsonlLog's lock, and a fresh load sees every entry."""
+
+    from repro.scoring.cache import ScoreCache
+
+    path = tmp_path / "scores.jsonl"
+    _run_writers(_CACHE_SCRIPT, path, 50)
+
+    reloaded = ScoreCache(path)
+    for tag in ("alpha", "beta"):
+        for index in range(50):
+            card = reloaded.peek(f"ref-{tag}-{index}", f"ans-{tag}-{index}", True)
+            assert card is not None, f"lost entry {tag}-{index}"
+            assert card.problem_id == f"{tag}-{index}"
