@@ -22,6 +22,11 @@ _MEASURED_HEADER = "meas_eval_s"
 #: from the content-addressed global cache, as ``hits/lookups``).
 _CACHE_HEADER = "cache_hits"
 
+#: Header of the coverage column (fraction of first-sample records that
+#: scored for real — error-marked/degraded records are excluded from the
+#: metric means and surface here instead).
+_COVERAGE_HEADER = "coverage"
+
 
 def _predicted_evaluation_seconds(evaluation: ModelEvaluation, cost_model: CostModel) -> float:
     """Figure 5-predicted seconds to evaluate this model's problem set.
@@ -84,6 +89,7 @@ def format_leaderboard(
     measured: bool = False,
     score_cache: ScoreCache | None = None,
     fleet_stats: MasterStats | None = None,
+    coverage: bool | None = None,
 ) -> str:
     """Render a Table 4-style leaderboard as aligned text.
 
@@ -103,8 +109,18 @@ def format_leaderboard(
     :meth:`~repro.evalcluster.fleet.FleetExecutor.stats`), a footer line
     summarises the fleet run: queue counters, re-enqueues/abandons, and
     per-worker heartbeat age.
+
+    ``coverage`` controls the ``coverage`` column — the fraction of each
+    model's first-sample records that scored for real (degraded fleet
+    slots and failed requests are excluded from the means and counted
+    here instead).  ``None`` (the default) shows the column automatically
+    whenever any model's coverage dipped below 1.0, so a clean run's
+    leaderboard is byte-identical to what it was before coverage existed.
     """
 
+    models = [model for model, _ in result.leaderboard()]
+    if coverage is None:
+        coverage = any(result[model].coverage < 1.0 for model in models)
     lines = [title, ""]
     header = f"{'#':<4}{'Model':<26}" + "".join(f"{name:>14}" for name in METRIC_NAMES)
     if cost_model is not None:
@@ -113,6 +129,8 @@ def format_leaderboard(
         header += f"{_MEASURED_HEADER:>14}"
     if score_cache is not None:
         header += f"{_CACHE_HEADER:>16}"
+    if coverage:
+        header += f"{_COVERAGE_HEADER:>10}"
     lines.append(header)
     lines.append("-" * len(header))
     for rank, (model, scores) in enumerate(result.leaderboard(), start=1):
@@ -124,6 +142,8 @@ def format_leaderboard(
             row += f"{_measured_evaluation_seconds(result[model]):>14.1f}"
         if score_cache is not None:
             row += f"{_cache_cell(score_cache, model):>16}"
+        if coverage:
+            row += f"{result[model].coverage:>10.2f}"
         lines.append(row)
     if score_cache is not None:
         lines.append("")

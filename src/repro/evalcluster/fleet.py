@@ -41,6 +41,27 @@ Score-cache hits never ship: the score stage resolves them in the parent
 process and the fleet — ``requires_picklable_tasks`` like the process
 pool — only ever sees miss envelopes.
 
+Chaos hardening (all optional, all off by default):
+
+* **Durability** — ``StoreServer(journal=path)`` backs the store with a
+  :class:`~repro.evalcluster.kvstore.JournaledStore` write-ahead journal;
+  the store process can be killed and a fresh server on the same journal
+  replays to the exact pre-crash state while clients reconnect.
+* **Bounded reconnects** — :class:`RemoteStore` retries lost connections
+  on a capped-exponential :class:`~repro.utils.backoff.BackoffPolicy`
+  with deterministic jitter; an exhausted budget raises the typed
+  :class:`FleetUnavailableError` instead of spinning forever.
+* **Fault injection** — every component takes a seeded
+  :class:`~repro.utils.faults.FaultInjector` (sites ``worker.claim``,
+  ``worker.execute``, ``worker.heartbeat``, ``remote.call``,
+  ``server.command``, ``coordinator.sync``) so kills, drops, corrupt
+  frames, freezes, delays and store restarts are scripted, reproducible
+  test inputs; fired faults land in the coordinator's JSONL event log.
+* **Graceful degradation** — a job the fleet cannot finish (lease expired
+  twice, or quarantined by the strike counter) comes back as one
+  :class:`~repro.pipeline.executors.DegradedResult` per task instead of
+  an exception, so a run always terminates with a result per slot.
+
 The protocol trusts its peers (pickle over TCP): bind to localhost or a
 private network you control, exactly like an unauthenticated Redis.
 """
@@ -61,13 +82,17 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Sequence, TypeVar
 
-from repro.evalcluster.kvstore import RedisLikeStore
+from repro.evalcluster.kvstore import JournaledStore, RedisLikeStore
 from repro.evalcluster.master import EvaluationJob, Master, MasterStats
+from repro.pipeline.executors import DegradedResult
+from repro.utils.backoff import BackoffPolicy
+from repro.utils.faults import FaultInjector, FaultPlan, null_injector
 from repro.utils.jsonl import JsonlLog
 
 __all__ = [
     "FrameError",
     "StoreCommandError",
+    "FleetUnavailableError",
     "send_frame",
     "recv_frame",
     "StoreServer",
@@ -82,7 +107,9 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 #: Hash of in-flight claims: job id -> (worker id, claim sequence number).
-CLAIMS_KEY = "jobs:claims"
+#: Shared with the master, which clears a reaped job's row before
+#: re-enqueueing it.
+CLAIMS_KEY = Master.CLAIMS_KEY
 #: Completion events the coordinator blocks on (list of finished job ids).
 DONE_KEY = "jobs:done"
 #: Heartbeat hash: worker id -> (sequence number, job id being executed).
@@ -91,10 +118,14 @@ HEARTBEATS_KEY = "workers:heartbeat"
 STOP_KEY = "fleet:stop"
 #: Pickled problem tuple workers warm their reference store from.
 WARMUP_KEY = "fleet:warmup"
+#: Worker-side fault/watchdog events queued for the coordinator's event log.
+FAULTS_KEY = "fleet:faults"
 
 #: Job payloads are stored per job under this prefix as pickled bytes the
 #: server never unpickles — only the claiming worker does.
 _PAYLOAD_PREFIX = "jobs:payload:"
+#: Per-job execution-attempt counters backing the quarantine strike rule.
+_STRIKES_PREFIX = "jobs:strikes:"
 
 _HEADER = struct.Struct(">I")
 
@@ -109,6 +140,15 @@ class FrameError(ConnectionError):
 
 class StoreCommandError(RuntimeError):
     """The server executed the command and it raised."""
+
+
+class FleetUnavailableError(ConnectionError):
+    """A :class:`RemoteStore` spent its whole reconnect budget.
+
+    Subclasses :class:`ConnectionError` so existing handlers keep
+    working; the distinct type lets callers tell "the store is gone"
+    apart from a transient hiccup the backoff already absorbed.
+    """
 
 
 #: Sentinel :func:`recv_frame` returns on a clean end-of-stream (the peer
@@ -171,6 +211,19 @@ class StoreServer:
 
     A torn frame (a worker killed mid-write, a reset) drops only that
     connection; the store and every other connection keep serving.
+
+    ``journal`` (a path) backs the store with a
+    :class:`~repro.evalcluster.kvstore.JournaledStore`: every effective
+    mutation is fsynced before the client sees its reply, so the server
+    process can be killed and a new one built on the same journal replays
+    to the exact acknowledged state.  :meth:`crash` simulates exactly
+    that kill in-process (listener and every live connection closed
+    abruptly, no goodbye) for chaos tests and the coordinator's
+    ``restart`` fault.
+
+    ``injector`` scripts server-side faults at the ``server.command``
+    site (detail = the command name): ``drop`` closes the connection
+    without replying, ``delay`` stalls the reply.
     """
 
     #: Plain store commands forwarded verbatim under the lock.
@@ -198,15 +251,24 @@ class StoreServer:
         self,
         host: str = "127.0.0.1",
         port: int = 0,
-        store: RedisLikeStore | None = None,
+        store: RedisLikeStore | JournaledStore | None = None,
+        journal: str | os.PathLike[str] | None = None,
+        injector: FaultInjector | None = None,
     ) -> None:
+        if store is not None and journal is not None:
+            raise ValueError("pass store or journal, not both")
+        if journal is not None:
+            store = JournaledStore(journal)
         self.store = store or RedisLikeStore()
+        self.injector = injector if injector is not None else null_injector()
         self._lock = threading.RLock()
         self._pushed = threading.Condition(self._lock)
         self._listener = socket.create_server((host, port))
         self.host, self.port = self._listener.getsockname()[:2]
         self._closing = threading.Event()
         self._accept_thread: threading.Thread | None = None
+        self._connections: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -228,6 +290,8 @@ class StoreServer:
             except OSError:
                 return  # listener closed
             connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._conn_lock:
+                self._connections.add(connection)
             threading.Thread(
                 target=self._serve_connection,
                 args=(connection,),
@@ -236,22 +300,31 @@ class StoreServer:
             ).start()
 
     def _serve_connection(self, connection: socket.socket) -> None:
-        with connection:
-            while not self._closing.is_set():
-                try:
-                    frame = recv_frame(connection)
-                except (FrameError, OSError):
-                    return  # torn frame or reset: this connection only
-                if frame is _EOF:
-                    return
-                try:
-                    response: tuple[str, Any] = ("ok", self._execute(frame))
-                except Exception as exc:  # noqa: BLE001 - relayed to the client
-                    response = ("err", f"{type(exc).__name__}: {exc}")
-                try:
-                    send_frame(connection, response)
-                except OSError:
-                    return
+        try:
+            with connection:
+                while not self._closing.is_set():
+                    try:
+                        frame = recv_frame(connection)
+                    except (FrameError, OSError):
+                        return  # torn frame or reset: this connection only
+                    if frame is _EOF:
+                        return
+                    command = frame[0] if isinstance(frame, tuple) and frame else ""
+                    spec = self.injector.fire("server.command", str(command))
+                    if spec is not None and spec.kind == "drop":
+                        return  # hang up without a reply; the client retries
+                    self.injector.sleep_if_delay(spec, command)
+                    try:
+                        response: tuple[str, Any] = ("ok", self._execute(frame))
+                    except Exception as exc:  # noqa: BLE001 - relayed to the client
+                        response = ("err", f"{type(exc).__name__}: {exc}")
+                    try:
+                        send_frame(connection, response)
+                    except OSError:
+                        return
+        finally:
+            with self._conn_lock:
+                self._connections.discard(connection)
 
     def _execute(self, frame: Any) -> Any:
         if not isinstance(frame, tuple) or not frame or not isinstance(frame[0], str):
@@ -314,11 +387,56 @@ class StoreServer:
 
         self._closing.set()
         try:
+            # shutdown() before close(): a thread blocked inside accept(2)
+            # holds a kernel reference to the listening socket, so close()
+            # alone would leave it in LISTEN (and the port unbindable)
+            # until that thread woke on its own.
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
             self._listener.close()
         except OSError:
             pass
         with self._pushed:
             self._pushed.notify_all()
+
+    def crash(self) -> None:
+        """Die as a SIGKILL would: listener and every connection closed
+        abruptly, parked waiters abandoned, no replies in flight honoured.
+
+        The in-memory store object survives (we are still one process),
+        but nothing references it after a journal-backed restart — the
+        replacement server replays the journal, which holds exactly the
+        mutations clients saw acknowledged.
+        """
+
+        self.close()
+        with self._conn_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for connection in connections:
+            try:
+                # Abortive close (RST, no FIN handshake): exactly what the
+                # peer of a SIGKILLed process observes — and it frees the
+                # port immediately (no FIN_WAIT socket lingering), so a
+                # replacement server can bind the same address at once.
+                connection.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+                )
+            except OSError:
+                pass
+            try:
+                # Wake the handler thread blocked inside recv(2); without
+                # this its in-flight syscall keeps the connection alive in
+                # the kernel past close().
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "StoreServer":
         return self
@@ -339,6 +457,21 @@ class RemoteStore:
     recovery: a claim that succeeded server-side but whose reply was lost
     is never heartbeat-renewed (the worker executes a different job), so
     its lease expires and the job is re-enqueued once.
+
+    Reconnects follow a capped-exponential
+    :class:`~repro.utils.backoff.BackoffPolicy` (default: start at
+    ``reconnect_delay``, double per retry, cap at 2 s, deterministic 10%
+    jitter, ``reconnect_attempts`` retries); a spent budget raises
+    :class:`FleetUnavailableError` instead of retrying forever.  Pass
+    ``backoff`` to override the whole schedule.
+
+    ``injector`` scripts client-side wire faults at the ``remote.call``
+    site (detail = the command name): ``drop`` abandons the connection
+    before sending, ``corrupt`` writes a malformed frame header (the
+    server tears that one connection down, nothing else), ``delay``
+    stalls the send.  All three then travel the ordinary
+    reconnect-and-retry path — injected faults exercise exactly the code
+    real ones do.
     """
 
     def __init__(
@@ -347,11 +480,21 @@ class RemoteStore:
         timeout: float = 30.0,
         reconnect_attempts: int = 20,
         reconnect_delay: float = 0.2,
+        backoff: BackoffPolicy | None = None,
+        injector: FaultInjector | None = None,
     ) -> None:
         self.address = (address[0], int(address[1]))
         self.timeout = timeout
         self.reconnect_attempts = reconnect_attempts
         self.reconnect_delay = reconnect_delay
+        self.backoff = backoff or BackoffPolicy(
+            initial_seconds=reconnect_delay,
+            multiplier=2.0,
+            max_seconds=max(2.0, reconnect_delay),
+            attempts=reconnect_attempts + 1,
+            jitter=0.1,
+        )
+        self.injector = injector if injector is not None else null_injector()
         self._lock = threading.Lock()
         self._sock: socket.socket | None = None
 
@@ -379,14 +522,32 @@ class RemoteStore:
 
         last_error: Exception | None = None
         with self._lock:
-            for _attempt in range(self.reconnect_attempts + 1):
+            for attempt in range(self.backoff.attempts):
+                if attempt:
+                    time.sleep(self.backoff.delay(attempt - 1, self.address))
                 if self._sock is None:
                     try:
                         self._sock = self._dial()
                     except OSError as exc:
                         last_error = exc
-                        time.sleep(self.reconnect_delay)
                         continue
+                spec = self.injector.fire("remote.call", command)
+                if spec is not None and spec.kind == "drop":
+                    self._drop()
+                    last_error = ConnectionError("injected fault: connection dropped")
+                    continue
+                if spec is not None and spec.kind == "corrupt":
+                    # A malformed header: the length announces more than the
+                    # protocol cap, so the server raises FrameError and tears
+                    # down exactly this connection.
+                    try:
+                        self._sock.sendall(_HEADER.pack(MAX_FRAME_BYTES + 1))
+                    except OSError:
+                        pass
+                    self._drop()
+                    last_error = ConnectionError("injected fault: corrupt frame sent")
+                    continue
+                self.injector.sleep_if_delay(spec, command)
                 try:
                     self._sock.settimeout(self.timeout + wait)
                     send_frame(self._sock, (command, *args))
@@ -394,19 +555,18 @@ class RemoteStore:
                 except (OSError, FrameError, EOFError, pickle.UnpicklingError) as exc:
                     last_error = exc
                     self._drop()
-                    time.sleep(self.reconnect_delay)
                     continue
                 if reply is _EOF:
                     last_error = ConnectionError("server closed the connection")
                     self._drop()
-                    time.sleep(self.reconnect_delay)
                     continue
                 status, payload = reply
                 if status == "err":
                     raise StoreCommandError(payload)
                 return payload
-        raise ConnectionError(
-            f"lost connection to fleet store at {self.address[0]}:{self.address[1]}: {last_error}"
+        raise FleetUnavailableError(
+            f"lost connection to fleet store at {self.address[0]}:{self.address[1]} "
+            f"after {self.backoff.attempts} attempts: {last_error}"
         )
 
     def close(self) -> None:
@@ -489,10 +649,31 @@ class FleetWorker:
     Losing the store connection mid-run is survivable on both
     connections: :meth:`RemoteStore.call` re-dials and resumes.
 
-    ``die_after_claims`` is the fault-injection hook the kill tests use:
-    the worker SIGKILLs itself immediately after its Nth successful claim
-    — after the claim is registered, before any execution or report — the
-    exact window lease reaping exists for.
+    ``fault_plan`` scripts this worker's chaos (each worker process keeps
+    its own occurrence counters, so one plan shipped to a whole fleet
+    fires per-process): ``worker.claim`` (detail = job id) supports
+    ``kill`` — SIGKILL right after the claim is registered, before any
+    execution or report, the exact window lease reaping exists for — and
+    ``delay``; ``worker.execute`` (detail = the first task's problem id,
+    falling back to the job id) supports ``kill`` and ``delay``;
+    ``worker.heartbeat`` (detail = worker id) supports ``freeze`` (the
+    beat is silently skipped — the worker looks dead while still
+    working) and ``delay``.  Every fired fault is queued on the store
+    under :data:`FAULTS_KEY` for the coordinator's event log.
+
+    Two organic (not injected) protections ride along:
+
+    * **strikes** — the worker counts execution attempts per job in the
+      store; a job whose prior attempts already reached ``max_strikes``
+      is not executed again but *quarantined*: a degraded failure row is
+      written and the job completes, so a poison payload that kills
+      every worker that touches it cannot cycle through the fleet
+      forever.
+    * **watchdog** — with ``job_deadline_seconds`` set, a daemon timer
+      SIGKILLs the process if one job executes past the deadline: a hung
+      payload would otherwise beat forever and its lease would never
+      expire.  Death by watchdog then flows through the ordinary lease →
+      requeue → strike machinery.
     """
 
     def __init__(
@@ -501,17 +682,37 @@ class FleetWorker:
         worker_id: str | None = None,
         heartbeat_seconds: float = 1.0,
         claim_timeout: float = 0.5,
-        die_after_claims: int | None = None,
+        fault_plan: FaultPlan | None = None,
+        max_strikes: int = 2,
+        job_deadline_seconds: float | None = None,
     ) -> None:
+        if max_strikes < 1:
+            raise ValueError("max_strikes must be >= 1")
+        if job_deadline_seconds is not None and job_deadline_seconds <= 0:
+            raise ValueError("job_deadline_seconds must be positive")
         self.store = RemoteStore(address)
         self.beat_store = RemoteStore(address)
         self.worker_id = worker_id or f"worker-{os.getpid()}"
         self.heartbeat_seconds = heartbeat_seconds
         self.claim_timeout = claim_timeout
-        self.die_after_claims = die_after_claims
+        self.injector = FaultInjector(fault_plan, log=self._publish_fault)
+        self.max_strikes = max_strikes
+        self.job_deadline_seconds = job_deadline_seconds
         self._job_lock = threading.Lock()
         self._current_job: str | None = None
         self._beat_sequence = 0
+
+    def _publish_fault(self, event: dict[str, Any]) -> None:
+        """Queue a fired fault for the coordinator's event log (best effort).
+
+        Uses the heartbeat connection: the main connection may be parked
+        inside a blocking ``claim`` when a heartbeat-site fault fires.
+        """
+
+        try:
+            self.beat_store.rpush(FAULTS_KEY, {**event, "worker": self.worker_id})
+        except (ConnectionError, StoreCommandError):
+            pass
 
     def _warm(self) -> None:
         payload = self.store.get(WARMUP_KEY)
@@ -522,6 +723,10 @@ class FleetWorker:
         warm_reference_store(pickle.loads(payload))
 
     def _beat_once(self) -> None:
+        spec = self.injector.fire("worker.heartbeat", self.worker_id)
+        if spec is not None and spec.kind == "freeze":
+            return  # skip silently: to the coordinator this worker looks dead
+        self.injector.sleep_if_delay(spec, self.worker_id, self._beat_sequence)
         self._beat_sequence += 1
         with self._job_lock:
             current = self._current_job
@@ -535,6 +740,23 @@ class FleetWorker:
             self._beat_once()
             stop.wait(self.heartbeat_seconds)
 
+    def _watchdog_fire(self, job_id: str) -> None:
+        """A job ran past its deadline: report the kill, then vanish."""
+
+        try:
+            self.beat_store.rpush(
+                FAULTS_KEY,
+                {
+                    "event": "watchdog",
+                    "worker": self.worker_id,
+                    "job": job_id,
+                    "deadline": self.job_deadline_seconds,
+                },
+            )
+        except (ConnectionError, StoreCommandError):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+
     def _execute(self, job_id: str) -> None:
         with self._job_lock:
             self._current_job = job_id
@@ -542,22 +764,74 @@ class FleetWorker:
             payload = self.store.get(_PAYLOAD_PREFIX + job_id)
             if payload is None:
                 return  # stale re-enqueue of an already-collected job
+            attempts = self.store.incr(_STRIKES_PREFIX + job_id)
+            if attempts > self.max_strikes:
+                # Every allowed attempt already died mid-execution: this
+                # payload is poison.  Quarantine it — a degraded failure
+                # row and a completion event — instead of feeding it
+                # another worker.  The message is deterministic (no
+                # clocks, no worker ids) so degraded runs are replayable.
+                self.store.hsetnx(
+                    Master.RESULTS_KEY,
+                    job_id,
+                    {
+                        "worker": self.worker_id,
+                        "finished_at": time.time(),
+                        "passed": False,
+                        "degraded": True,
+                        "result": f"quarantined after {self.max_strikes} strikes",
+                    },
+                )
+                self.store.rpush(DONE_KEY, job_id)
+                return
             try:
                 function, tasks = pickle.loads(payload)
-                result = [function(task) for task in tasks]
-                row = {
-                    "worker": self.worker_id,
-                    "finished_at": time.time(),
-                    "passed": True,
-                    "result": result,
-                }
             except Exception as exc:  # noqa: BLE001 - failures are results
-                row = {
+                row: dict[str, Any] = {
                     "worker": self.worker_id,
                     "finished_at": time.time(),
                     "passed": False,
                     "result": f"{type(exc).__name__}: {exc}",
                 }
+            else:
+                first = tasks[0] if tasks else None
+                problem = getattr(first, "problem", None)
+                detail = (
+                    getattr(first, "problem_id", None)
+                    or getattr(problem, "problem_id", None)
+                    or job_id
+                )
+                spec = self.injector.fire("worker.execute", str(detail))
+                if spec is not None and spec.kind == "kill":
+                    # Vanish as a power cut would: claim registered and
+                    # strike counted, no report, no further heartbeats.
+                    os.kill(os.getpid(), signal.SIGKILL)
+                self.injector.sleep_if_delay(spec, detail)
+                watchdog: threading.Timer | None = None
+                if self.job_deadline_seconds is not None:
+                    watchdog = threading.Timer(
+                        self.job_deadline_seconds, self._watchdog_fire, args=(job_id,)
+                    )
+                    watchdog.daemon = True
+                    watchdog.start()
+                try:
+                    result = [function(task) for task in tasks]
+                    row = {
+                        "worker": self.worker_id,
+                        "finished_at": time.time(),
+                        "passed": True,
+                        "result": result,
+                    }
+                except Exception as exc:  # noqa: BLE001 - failures are results
+                    row = {
+                        "worker": self.worker_id,
+                        "finished_at": time.time(),
+                        "passed": False,
+                        "result": f"{type(exc).__name__}: {exc}",
+                    }
+                finally:
+                    if watchdog is not None:
+                        watchdog.cancel()
             self.store.hsetnx(Master.RESULTS_KEY, job_id, row)
             self.store.rpush(DONE_KEY, job_id)
         finally:
@@ -573,7 +847,6 @@ class FleetWorker:
         threading.Thread(
             target=self._beat_loop, args=(stop,), name="fleet-heartbeat", daemon=True
         ).start()
-        claims = 0
         try:
             while True:
                 job_id = self.store.claim(
@@ -583,11 +856,13 @@ class FleetWorker:
                     if self.store.get(STOP_KEY):
                         return
                     continue
-                claims += 1
-                if self.die_after_claims is not None and claims >= self.die_after_claims:
-                    # Fault injection: vanish as a power cut would — claim
-                    # registered, no report, no further heartbeats.
+                spec = self.injector.fire("worker.claim", job_id)
+                if spec is not None and spec.kind == "kill":
+                    # Vanish as a power cut would — claim registered, no
+                    # report, no further heartbeats: the exact window
+                    # lease reaping exists for.
                     os.kill(os.getpid(), signal.SIGKILL)
+                self.injector.sleep_if_delay(spec, job_id)
                 self._execute(job_id)
         finally:
             stop.set()
@@ -600,7 +875,9 @@ def run_worker(
     worker_id: str | None = None,
     heartbeat_seconds: float = 1.0,
     claim_timeout: float = 0.5,
-    die_after_claims: int | None = None,
+    fault_plan: FaultPlan | None = None,
+    max_strikes: int = 2,
+    job_deadline_seconds: float | None = None,
 ) -> None:
     """Module-level worker entry (importable for ``multiprocessing``)."""
 
@@ -609,7 +886,9 @@ def run_worker(
         worker_id=worker_id,
         heartbeat_seconds=heartbeat_seconds,
         claim_timeout=claim_timeout,
-        die_after_claims=die_after_claims,
+        fault_plan=fault_plan,
+        max_strikes=max_strikes,
+        job_deadline_seconds=job_deadline_seconds,
     ).run()
 
 
@@ -635,14 +914,39 @@ class FleetExecutor:
     every lease is stamped and renewed on *this* process's monotonic
     clock at the moment the observation arrives, so worker clock skew
     cannot corrupt lease arithmetic — and reaps expired leases through
-    the master's re-enqueue-once protocol.  A job abandoned twice
-    surfaces as a raised error, exactly like the in-process cluster
-    backend.  Results return in task order; identical inputs produce
-    identical ScoreCards regardless of which worker ran them, so the
-    fleet is bit-identical to the serial backend.
+    the master's re-enqueue-once protocol.  Results return in task
+    order; identical inputs produce identical ScoreCards regardless of
+    which worker ran them, so the fleet is bit-identical to the serial
+    backend.
+
+    **Degradation** (``degrade=True``, the default): a job the fleet
+    infrastructure could not finish — its lease expired twice, or the
+    strike counter quarantined it — fills its task slots with
+    :class:`~repro.pipeline.executors.DegradedResult` markers instead of
+    raising, so a run over a chaotic fleet always terminates with one
+    result per task (the score stage turns the markers into error-marked
+    zero records, excluded from means and counted against coverage).  A
+    failure the *payload* raised still propagates as an exception —
+    degradation covers infrastructure loss, not buggy task code.
+
+    **Durability** (``journal=path``, self-hosted only): the in-process
+    store is backed by a write-ahead journal, and an injected
+    ``coordinator.sync``/``restart`` fault (or a real crash plus a new
+    executor on the same journal) rebuilds the store from replay while
+    workers and coordinator reconnect with backoff.
+
+    **Chaos** (``fault_plan``): the seeded plan is handed to the
+    coordinator (sites ``coordinator.sync``, ``server.command``) and
+    shipped on every spawned worker's command line (sites
+    ``worker.claim``, ``worker.execute``, ``worker.heartbeat``; each
+    worker process counts its own occurrences).  In self-hosted mode a
+    worker that dies with jobs outstanding is respawned, up to
+    ``respawn_limit`` replacements per executor, before the all-dead
+    check raises.
 
     ``event_log`` (a JSONL path) records submit/claim/done/requeue/
-    abandon events for run forensics; the CI benchmark uploads it.
+    abandon/fault/respawn events for run forensics; the CI benchmark
+    uploads it.
     """
 
     name = "fleet"
@@ -659,6 +963,12 @@ class FleetExecutor:
         poll_seconds: float = 0.05,
         chunk_size: int | None = None,
         event_log: str | os.PathLike[str] | None = None,
+        journal: str | os.PathLike[str] | None = None,
+        fault_plan: FaultPlan | None = None,
+        max_strikes: int = 2,
+        job_deadline_seconds: float | None = None,
+        respawn_limit: int = 2,
+        degrade: bool = True,
     ) -> None:
         if (num_workers is None) == (address is None):
             raise ValueError(
@@ -670,6 +980,12 @@ class FleetExecutor:
             raise ValueError("lease_seconds must be positive")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if journal is not None and address is not None:
+            raise ValueError("journal is for the self-hosted store; an attached store owns its own")
+        if max_strikes < 1:
+            raise ValueError("max_strikes must be >= 1")
+        if respawn_limit < 0:
+            raise ValueError("respawn_limit must be >= 0")
         self.num_workers = num_workers
         self.address = (address[0], int(address[1])) if address is not None else None
         self.lease_seconds = lease_seconds
@@ -679,17 +995,26 @@ class FleetExecutor:
         self.claim_timeout = claim_timeout
         self.poll_seconds = poll_seconds
         self.chunk_size = chunk_size
+        self.journal = Path(journal) if journal is not None else None
+        self.fault_plan = fault_plan
+        self.max_strikes = max_strikes
+        self.job_deadline_seconds = job_deadline_seconds
+        self.respawn_limit = respawn_limit
+        self.degrade = degrade
         self._events = JsonlLog(event_log) if event_log is not None else None
         self._event_buffer: list[str] = []
         self._epoch = time.monotonic()
         self._lock = threading.RLock()
+        self._injector = FaultInjector(fault_plan, log=self._log_fault)
         self._server: StoreServer | None = None
         self._store: RemoteStore | None = None
         self._master: Master | None = None
         self._procs: list[subprocess.Popen[bytes]] = []
+        self._respawned = 0
         self._warm_problems: tuple[Any, ...] | None = None
         self._job_counter = 0
         self._job_prefix = f"job-{os.getpid()}"
+        self._connect: tuple[str, int] | None = None
         self._seen_claims: dict[str, Any] = {}
         self._seen_beats: dict[str, int] = {}
 
@@ -710,7 +1035,7 @@ class FleetExecutor:
         if self._store is not None:
             return
         if self.address is None:
-            self._server = StoreServer().start()
+            self._server = StoreServer(journal=self.journal, injector=self._injector).start()
             connect = self._server.address
         else:
             connect = self.address
@@ -723,32 +1048,39 @@ class FleetExecutor:
             )
         self._store = store
         self._master = Master(store=store, lease_seconds=self.lease_seconds)
+        self._connect = connect
         if self.num_workers is not None:
-            host, port = connect
-            src_root = str(Path(__file__).resolve().parents[2])
-            env = dict(os.environ)
-            env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
             for index in range(self.num_workers):
-                self._procs.append(
-                    subprocess.Popen(
-                        [
-                            sys.executable,
-                            "-m",
-                            "repro.evalcluster.fleet",
-                            "worker",
-                            "--connect",
-                            f"{host}:{port}",
-                            "--worker-id",
-                            f"worker-{os.getpid()}-{index}",
-                            "--heartbeat",
-                            str(self.heartbeat_seconds),
-                            "--claim-timeout",
-                            str(self.claim_timeout),
-                        ],
-                        env=env,
-                    )
-                )
-                self._log_event("spawn", worker=f"worker-{os.getpid()}-{index}")
+                worker_id = f"worker-{os.getpid()}-{index}"
+                self._procs.append(self._spawn_worker(worker_id))
+                self._log_event("spawn", worker=worker_id)
+
+    def _spawn_worker(self, worker_id: str) -> subprocess.Popen[bytes]:
+        host, port = self._connect
+        src_root = str(Path(__file__).resolve().parents[2])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        command = [
+            sys.executable,
+            "-m",
+            "repro.evalcluster.fleet",
+            "worker",
+            "--connect",
+            f"{host}:{port}",
+            "--worker-id",
+            worker_id,
+            "--heartbeat",
+            str(self.heartbeat_seconds),
+            "--claim-timeout",
+            str(self.claim_timeout),
+            "--max-strikes",
+            str(self.max_strikes),
+        ]
+        if self.fault_plan is not None:
+            command += ["--fault-plan", self.fault_plan.to_json()]
+        if self.job_deadline_seconds is not None:
+            command += ["--job-deadline", str(self.job_deadline_seconds)]
+        return subprocess.Popen(command, env=env)
 
     def close(self) -> None:
         """Stop managed workers and the self-hosted server, flush events."""
@@ -797,6 +1129,32 @@ class FleetExecutor:
             return
         payload = {"event": event, "t": round(time.monotonic() - self._epoch, 6), **fields}
         self._event_buffer.append(json.dumps(payload, sort_keys=True) + "\n")
+
+    def _log_fault(self, event: dict[str, Any]) -> None:
+        """Injector callback: a coordinator-side fault fired."""
+
+        self._log_event("fault", **{k: v for k, v in event.items() if k != "event"})
+
+    def _drain_faults(self) -> None:
+        """Pull worker-reported fault/watchdog events into the event log.
+
+        Workers queue their fired faults on :data:`FAULTS_KEY` (they have
+        no JSONL log of their own); draining here puts injected chaos in
+        the same stream as the claims/requeues it provokes.  Drained even
+        with no event log configured, so the list cannot grow unbounded.
+        """
+
+        assert self._store is not None
+        while True:
+            try:
+                event = self._store.lpop(FAULTS_KEY)
+            except (ConnectionError, StoreCommandError):
+                return
+            if event is None:
+                return
+            if isinstance(event, dict):
+                name = str(event.pop("event", "fault"))
+                self._log_event(name, **event)
 
     def _flush_events(self) -> None:
         if self._events is None or not self._event_buffer:
@@ -858,11 +1216,19 @@ class FleetExecutor:
             rows = self._drive(set(job_ids))
             self._flush_events()
         results: list[R] = []
-        for job_id in job_ids:
+        for job_id, chunk in zip(job_ids, chunks):
             row = rows[job_id]
-            if not row["passed"]:
+            if row["passed"]:
+                results.extend(row["result"])
+            elif self.degrade and row.get("degraded"):
+                # The infrastructure lost this job (abandoned or
+                # quarantined): fill its slots with typed markers so the
+                # run terminates with a result per task.  The reason is
+                # deterministic given the fault plan.
+                reason = str(row.get("result") or "fleet job degraded")
+                results.extend(DegradedResult(reason=reason) for _ in chunk)  # type: ignore[misc]
+            else:
                 raise RuntimeError(f"fleet job {job_id} failed: {row['result']}")
-            results.extend(row["result"])
         return results
 
     # -- the coordinator loop ------------------------------------------------
@@ -886,15 +1252,45 @@ class FleetExecutor:
                     self._collect(job_id, row, rows, outstanding)
             if now - last_sync >= self.poll_seconds:
                 last_sync = now
+                spec = self._injector.fire("coordinator.sync")
+                if spec is not None and spec.kind == "restart":
+                    self._restart_server()
+                else:
+                    self._injector.sleep_if_delay(spec)
                 self._sync_claims(now, outstanding)
                 self._sync_heartbeats(now)
                 self._reap(now, rows, outstanding)
+                self._drain_faults()
                 self._check_workers(outstanding)
         # One last observation pass: a short map can drain entirely within a
         # single sync window, and stats()/the leaderboard footer should still
         # see every worker that participated.
         self._sync_heartbeats(time.monotonic())
+        self._drain_faults()
         return rows
+
+    def _restart_server(self) -> None:
+        """Injected ``restart`` fault: kill the self-hosted store and
+        rebuild it on the same port from its journal.
+
+        Clients (workers, and this coordinator's own :class:`RemoteStore`)
+        see their connections die and reconnect with backoff; the journal
+        replay restores exactly the acknowledged pre-crash state, so the
+        run resumes as if the store process had been SIGKILLed and
+        relaunched.  Without a journal (or in attach mode) the fault is
+        logged and skipped — there would be no state to come back to.
+        """
+
+        if self._server is None or self.journal is None:
+            self._log_event("restart-skipped", reason="no self-hosted journal-backed store")
+            return
+        host, port = self._server.host, self._server.port
+        self._server.crash()
+        self._server = StoreServer(
+            host=host, port=port, journal=self.journal, injector=self._injector
+        ).start()
+        replayed = getattr(self._server.store, "replayed_ops", None)
+        self._log_event("restart", port=port, replayed=replayed)
 
     def _collect(
         self,
@@ -910,6 +1306,7 @@ class FleetExecutor:
         self._store.hdel(CLAIMS_KEY, job_id)
         self._seen_claims.pop(job_id, None)
         self._store.delete(_PAYLOAD_PREFIX + job_id)
+        self._store.delete(_STRIKES_PREFIX + job_id)
         self._log_event("done", job=job_id, worker=row.get("worker"), passed=row.get("passed"))
 
     def _sync_claims(self, now: float, outstanding: set[str]) -> None:
@@ -942,7 +1339,10 @@ class FleetExecutor:
             return
         requeued = self._master.reap_expired(now)
         for job_id in requeued:
-            self._store.hdel(CLAIMS_KEY, job_id)
+            # The master already cleared the claim row before re-queueing;
+            # deleting it here again could race a parked worker's instant
+            # re-claim and erase the *fresh* claim.  Only forget the stale
+            # value so the re-claim is synced as new.
             self._seen_claims.pop(job_id, None)
             self._log_event("requeue", job=job_id)
         # A job reaped twice was reported failed by the master itself; no
@@ -954,20 +1354,37 @@ class FleetExecutor:
                 self._log_event("abandon", job=job_id)
 
     def _check_workers(self, outstanding: set[str]) -> None:
-        """Self-hosted mode: fail fast when every worker process is gone.
+        """Self-hosted mode: respawn dead workers, fail when all are gone.
 
-        In attach mode the coordinator cannot know the fleet's size, so it
-        keeps waiting — leases still requeue work for whoever shows up.
+        A worker process that exited with jobs outstanding (a crash, an
+        injected kill, the watchdog) is replaced — same spawn arguments,
+        a fresh worker id — up to ``respawn_limit`` replacements per
+        executor, so a chaotic run keeps its fleet size.  Only when every
+        process is dead and the respawn budget is spent does the
+        coordinator raise.  In attach mode it cannot know the fleet's
+        size, so it keeps waiting — leases still requeue work for
+        whoever shows up.
         """
 
         if not self._procs:
             return
-        if any(proc.poll() is None for proc in self._procs):
-            return
-        raise RuntimeError(
-            f"all {len(self._procs)} fleet worker processes exited with "
-            f"{len(outstanding)} jobs outstanding"
-        )
+        alive: list[subprocess.Popen[bytes]] = []
+        for proc in self._procs:
+            if proc.poll() is None:
+                alive.append(proc)
+                continue
+            self._log_event("worker-exit", code=proc.returncode)
+            if outstanding and self._respawned < self.respawn_limit:
+                self._respawned += 1
+                worker_id = f"worker-{os.getpid()}-r{self._respawned}"
+                alive.append(self._spawn_worker(worker_id))
+                self._log_event("respawn", worker=worker_id)
+        self._procs = alive
+        if not self._procs:
+            raise RuntimeError(
+                f"all fleet worker processes exited (respawn budget "
+                f"{self.respawn_limit} spent) with {len(outstanding)} jobs outstanding"
+            )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -982,6 +1399,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     store_cmd = commands.add_parser("store", help="serve a RedisLikeStore over TCP")
     store_cmd.add_argument("--host", default="127.0.0.1")
     store_cmd.add_argument("--port", type=int, default=6399)
+    store_cmd.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="write-ahead journal file; an existing one is replayed on start",
+    )
 
     worker_cmd = commands.add_parser("worker", help="claim and execute jobs from a store")
     worker_cmd.add_argument("--connect", required=True, metavar="HOST:PORT")
@@ -989,15 +1412,28 @@ def main(argv: Sequence[str] | None = None) -> int:
     worker_cmd.add_argument("--heartbeat", type=float, default=1.0)
     worker_cmd.add_argument("--claim-timeout", type=float, default=0.5)
     worker_cmd.add_argument(
-        "--die-after-claims",
-        type=int,
+        "--fault-plan",
         default=None,
-        help="fault injection: SIGKILL self right after the Nth claim",
+        metavar="JSON",
+        help="seeded FaultPlan (FaultPlan.to_json()) scripting this worker's chaos",
+    )
+    worker_cmd.add_argument(
+        "--max-strikes",
+        type=int,
+        default=2,
+        help="execution attempts a job gets before the worker quarantines it",
+    )
+    worker_cmd.add_argument(
+        "--job-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="watchdog: SIGKILL self if one job executes past this deadline",
     )
 
     args = parser.parse_args(argv)
     if args.command == "store":
-        server = StoreServer(host=args.host, port=args.port).start()
+        server = StoreServer(host=args.host, port=args.port, journal=args.journal).start()
         print(f"fleet store serving on {server.host}:{server.port}", flush=True)
         try:
             threading.Event().wait()
@@ -1011,7 +1447,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         worker_id=args.worker_id,
         heartbeat_seconds=args.heartbeat,
         claim_timeout=args.claim_timeout,
-        die_after_claims=args.die_after_claims,
+        fault_plan=FaultPlan.from_json(args.fault_plan) if args.fault_plan else None,
+        max_strikes=args.max_strikes,
+        job_deadline_seconds=args.job_deadline,
     )
     return 0
 

@@ -1,17 +1,33 @@
-"""A Redis-like in-memory key-value store.
+"""A Redis-like in-memory key-value store, with optional durability.
 
 The master node of the paper's evaluation cluster keeps unit-test contexts,
-inputs and outputs in Redis.  This class provides the handful of commands
-the scheduler needs (strings, hashes and lists with blocking-free pops) so
-the master/worker code reads like the real thing while staying in-process.
+inputs and outputs in Redis.  :class:`RedisLikeStore` provides the handful
+of commands the scheduler needs (strings, hashes and lists with
+blocking-free pops) so the master/worker code reads like the real thing
+while staying in-process.
+
+:class:`JournaledStore` wraps it with a write-ahead journal over
+:class:`~repro.utils.jsonl.JsonlLog` — every effective mutation is fsynced
+to an append-only JSONL file before the caller sees the result, and the
+journal periodically compacts to a single snapshot line.  That is what
+lets the fleet's :class:`~repro.evalcluster.fleet.StoreServer` be killed
+and restarted mid-run: a fresh server pointed at the same journal replays
+to the exact pre-crash state and reattaching workers and coordinators
+resume where they left off.
 """
 
 from __future__ import annotations
 
+import base64
+import json
+import pickle
 from collections import deque
+from pathlib import Path
 from typing import Any
 
-__all__ = ["RedisLikeStore"]
+from repro.utils.jsonl import JsonlLog
+
+__all__ = ["RedisLikeStore", "JournaledStore"]
 
 
 class RedisLikeStore:
@@ -99,3 +115,173 @@ class RedisLikeStore:
     # -- inspection --------------------------------------------------------------
     def keys(self) -> list[str]:
         return sorted(set(self._strings) | set(self._hashes) | set(self._lists))
+
+    # -- snapshots ----------------------------------------------------------------
+    def snapshot(self) -> bytes:
+        """The whole store state as one pickled blob (for journal compaction)."""
+
+        return pickle.dumps(
+            {
+                "strings": dict(self._strings),
+                "hashes": {k: dict(v) for k, v in self._hashes.items()},
+                "lists": {k: list(v) for k, v in self._lists.items()},
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    @classmethod
+    def from_snapshot(cls, blob: bytes) -> "RedisLikeStore":
+        """Rebuild a store from a :meth:`snapshot` blob."""
+
+        state = pickle.loads(blob)
+        store = cls()
+        store._strings = dict(state["strings"])
+        store._hashes = {k: dict(v) for k, v in state["hashes"].items()}
+        store._lists = {k: deque(v) for k, v in state["lists"].items()}
+        return store
+
+
+def _encode_args(args: tuple[Any, ...]) -> str:
+    return base64.b64encode(pickle.dumps(args, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+
+
+def _decode_args(text: str) -> tuple[Any, ...]:
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+class JournaledStore:
+    """A :class:`RedisLikeStore` with a write-ahead journal on disk.
+
+    Same command surface as the plain store; reads pass straight through,
+    and every mutation that actually changed state is appended (fsynced,
+    via :class:`JsonlLog`) to the journal *before* the call returns —
+    so once a client has seen an acknowledgement, a crash cannot lose
+    that write.  Ineffective mutations (an ``hsetnx`` that lost the
+    first-write race, an ``lpop`` of an empty list, an ``hdel`` of a
+    missing field) are not journaled: replay applies exactly the effects
+    the live run applied, in the same order.
+
+    Every ``compact_every`` journaled operations the journal is
+    atomically rewritten as a single ``snapshot`` line, so it stays
+    bounded and replay stays fast.  Construction replays any existing
+    journal at ``path`` — a restart is just "build a new JournaledStore
+    on the same path".
+
+    Not itself thread-safe, by design: the fleet's ``StoreServer``
+    already executes every command under one lock, and that same lock
+    must cover the journal append or replay order could diverge from
+    the order clients observed.
+    """
+
+    def __init__(self, path: str | Path, compact_every: int = 1000) -> None:
+        if compact_every < 1:
+            raise ValueError("compact_every must be >= 1")
+        self.path = Path(path)
+        self.compact_every = compact_every
+        self._log = JsonlLog(self.path)
+        self._store = RedisLikeStore()
+        self._ops_since_snapshot = 0
+        self.replayed_ops = 0  # journal lines applied at construction
+        self._replay()
+
+    # -- durability machinery ------------------------------------------------
+    def _replay(self) -> None:
+        for entry in self._log.scan(json.loads):
+            if not isinstance(entry, dict) or "op" not in entry:
+                continue
+            op = entry["op"]
+            try:
+                if op == "snapshot":
+                    self._store = RedisLikeStore.from_snapshot(
+                        base64.b64decode(entry["state"].encode("ascii"))
+                    )
+                else:
+                    getattr(self._store, op)(*_decode_args(entry["args"]))
+            except Exception:  # noqa: BLE001 - a junk line must not kill replay
+                continue
+            self.replayed_ops += 1
+
+    def _journal(self, op: str, *args: Any) -> None:
+        self._log.append([json.dumps({"op": op, "args": _encode_args(args)}) + "\n"])
+        self._ops_since_snapshot += 1
+        if self._ops_since_snapshot >= self.compact_every:
+            self.compact()
+
+    def compact(self) -> None:
+        """Rewrite the journal as one snapshot line (atomic, kill-safe)."""
+
+        line = json.dumps(
+            {"op": "snapshot", "state": base64.b64encode(self._store.snapshot()).decode("ascii")}
+        )
+        self._log.rewrite([line + "\n"])
+        self._ops_since_snapshot = 0
+
+    # -- strings -----------------------------------------------------------
+    def set(self, key: str, value: Any) -> None:
+        self._store.set(key, value)
+        self._journal("set", key, value)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._store.get(key, default)
+
+    def incr(self, key: str, amount: int = 1) -> int:
+        value = self._store.incr(key, amount)
+        self._journal("incr", key, amount)
+        return value
+
+    def delete(self, key: str) -> None:
+        self._store.delete(key)
+        self._journal("delete", key)
+
+    # -- hashes --------------------------------------------------------------
+    def hset(self, key: str, field: str, value: Any) -> None:
+        self._store.hset(key, field, value)
+        self._journal("hset", key, field, value)
+
+    def hsetnx(self, key: str, field: str, value: Any) -> bool:
+        written = self._store.hsetnx(key, field, value)
+        if written:
+            # Journal as a plain hset: by the time replay runs, the
+            # first-write race is already decided — this write won.
+            self._journal("hset", key, field, value)
+        return written
+
+    def hdel(self, key: str, field: str) -> bool:
+        removed = self._store.hdel(key, field)
+        if removed:
+            self._journal("hdel", key, field)
+        return removed
+
+    def hget(self, key: str, field: str, default: Any = None) -> Any:
+        return self._store.hget(key, field, default)
+
+    def hgetall(self, key: str) -> dict[str, Any]:
+        return self._store.hgetall(key)
+
+    def hlen(self, key: str) -> int:
+        return self._store.hlen(key)
+
+    # -- lists ----------------------------------------------------------------
+    def rpush(self, key: str, *values: Any) -> int:
+        length = self._store.rpush(key, *values)
+        self._journal("rpush", key, *values)
+        return length
+
+    def lpop(self, key: str) -> Any:
+        value = self._store.lpop(key)
+        if value is not None:
+            self._journal("lpop", key)
+        return value
+
+    def llen(self, key: str) -> int:
+        return self._store.llen(key)
+
+    def lrange(self, key: str, start: int = 0, stop: int = -1) -> list[Any]:
+        return self._store.lrange(key, start, stop)
+
+    # -- inspection --------------------------------------------------------------
+    def keys(self) -> list[str]:
+        return self._store.keys()
+
+    def snapshot(self) -> bytes:
+        return self._store.snapshot()

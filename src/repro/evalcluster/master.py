@@ -90,6 +90,7 @@ class Master:
 
     QUEUE_KEY = "jobs:pending"
     RESULTS_KEY = "jobs:results"
+    CLAIMS_KEY = "jobs:claims"
 
     def __init__(self, store: RedisLikeStore | None = None, lease_seconds: float | None = None) -> None:
         if lease_seconds is not None and lease_seconds <= 0:
@@ -174,15 +175,26 @@ class Master:
             self._lease_holders.pop(job_id, None)
             if job_id in self._requeued:
                 self._abandoned.add(job_id)
+                # The message is deliberately clock-free: under a seeded
+                # fault plan the degraded result must be bit-identical
+                # across runs, and a wall-clock deadline in the text
+                # would break that.
                 self.report(
                     job_id,
                     worker_id="master-reaper",
                     finished_at=now,
                     passed=False,
-                    result=f"lease expired twice (deadline {deadline:.1f}s); job abandoned",
+                    result="lease expired twice; job abandoned",
+                    degraded=True,
                 )
                 continue
             self._requeued.add(job_id)
+            # Clear the stale claim row *before* the id goes back on the
+            # queue: a parked worker can claim the instant the push lands,
+            # and a cleanup that ran after would wipe the fresh claim —
+            # the new lease would never be stamped and a second expiry
+            # could never be observed.
+            self.store.hdel(self.CLAIMS_KEY, job_id)
             self.store.rpush(self.QUEUE_KEY, job_id)
             requeued.append(job_id)
         return requeued
@@ -194,6 +206,7 @@ class Master:
         finished_at: float,
         passed: bool,
         result: Any = None,
+        degraded: bool = False,
     ) -> None:
         """Record a finished job (optionally with the payload's result).
 
@@ -201,6 +214,11 @@ class Master:
         job's lease is dropped: its lease expired and the job was handed
         to someone else, whose execution is now authoritative (the
         late-but-alive worker case of a real distributed deployment).
+
+        ``degraded`` marks a synthetic failure the *infrastructure*
+        produced (an abandoned or quarantined job) rather than one the
+        payload raised — consumers convert these into error-marked
+        records instead of crashing the run.
         """
 
         if self.lease_seconds is not None:
@@ -209,11 +227,15 @@ class Master:
                 return
         self._leases.pop(job_id, None)
         self._lease_holders.pop(job_id, None)
-        self.store.hset(
-            self.RESULTS_KEY,
-            job_id,
-            {"worker": worker_id, "finished_at": finished_at, "passed": passed, "result": result},
-        )
+        row: dict[str, Any] = {
+            "worker": worker_id,
+            "finished_at": finished_at,
+            "passed": passed,
+            "result": result,
+        }
+        if degraded:
+            row["degraded"] = True
+        self.store.hset(self.RESULTS_KEY, job_id, row)
 
     # -- results --------------------------------------------------------------
     def reports(self) -> dict[str, JobReport]:

@@ -37,6 +37,8 @@ from typing import Awaitable, Callable
 from repro.dataset.problem import Problem
 from repro.llm.interface import Model
 from repro.llm.prompt import build_prompt
+from repro.utils.backoff import BackoffPolicy
+from repro.utils.faults import FaultInjector, null_injector
 from repro.utils.ratelimit import TokenBucket
 from repro.utils.rng import DeterministicRNG
 
@@ -144,7 +146,21 @@ class LiveEndpointModel:
         before it propagates (total attempts = ``max_retries + 1``).
     backoff_seconds / backoff_multiplier:
         Deterministic exponential backoff slept between attempts:
-        ``backoff_seconds * backoff_multiplier**retry_index``.
+        ``backoff_seconds * backoff_multiplier**retry_index``, capped at
+        60 seconds.  Sugar over ``backoff`` — pass an explicit
+        :class:`~repro.utils.backoff.BackoffPolicy` for a different cap,
+        budget, or seeded jitter (the policy's ``attempts`` then defines
+        the retry budget and ``max_retries`` is ignored).
+    backoff:
+        The full retry schedule as a shared
+        :class:`~repro.utils.backoff.BackoffPolicy` — the same type the
+        fleet's ``RemoteStore`` reconnects with.
+    injector:
+        Optional :class:`~repro.utils.faults.FaultInjector` for chaos
+        tests: the ``endpoint.request`` site fires per attempt with the
+        problem id as detail (``transient`` raises a retryable
+        :class:`TransientEndpointError` through the normal retry path,
+        ``delay`` sleeps before the request).
     sleep / async_sleep:
         Injectable sleep functions (tests pass recorders; production
         leaves the defaults).
@@ -165,6 +181,8 @@ class LiveEndpointModel:
         max_retries: int = 2,
         backoff_seconds: float = 0.5,
         backoff_multiplier: float = 2.0,
+        backoff: BackoffPolicy | None = None,
+        injector: FaultInjector | None = None,
         sleep: Callable[[float], None] = time.sleep,
         async_sleep: Callable[[float], Awaitable[None]] | None = None,
     ) -> None:
@@ -183,9 +201,16 @@ class LiveEndpointModel:
         self.transport = transport
         self.async_transport = async_transport
         self.limiter = limiter
-        self.max_retries = max_retries
-        self.backoff_seconds = backoff_seconds
-        self.backoff_multiplier = backoff_multiplier
+        self.backoff = backoff or BackoffPolicy(
+            initial_seconds=backoff_seconds,
+            multiplier=backoff_multiplier,
+            max_seconds=60.0,
+            attempts=max_retries + 1,
+        )
+        self.max_retries = self.backoff.attempts - 1
+        self.backoff_seconds = self.backoff.initial_seconds
+        self.backoff_multiplier = self.backoff.multiplier
+        self.injector = injector if injector is not None else null_injector()
         self._sleep = sleep
         self._async_sleep = async_sleep if async_sleep is not None else asyncio.sleep
         #: Observability: attempts sent to the wire, transient retries paid.
@@ -197,7 +222,7 @@ class LiveEndpointModel:
         return self._name
 
     def _backoff(self, retry_index: int) -> float:
-        return self.backoff_seconds * self.backoff_multiplier**retry_index
+        return self.backoff.delay(retry_index, self._name)
 
     def generate(self, problem: Problem, shots: int = 0, sample_index: int = 0) -> str:
         prompt = build_prompt(problem, shots=shots)
@@ -206,6 +231,10 @@ class LiveEndpointModel:
                 self.limiter.acquire()
             self.requests += 1
             try:
+                spec = self.injector.fire("endpoint.request", problem.problem_id)
+                if spec is not None and spec.kind == "transient":
+                    raise TransientEndpointError("injected transient endpoint fault")
+                self.injector.sleep_if_delay(spec, problem.problem_id)
                 return self.transport(prompt)
             except TransientEndpointError:
                 if retry_index >= self.max_retries:
@@ -223,6 +252,11 @@ class LiveEndpointModel:
                 await self.limiter.acquire_async()
             self.requests += 1
             try:
+                spec = self.injector.fire("endpoint.request", problem.problem_id)
+                if spec is not None and spec.kind == "transient":
+                    raise TransientEndpointError("injected transient endpoint fault")
+                if spec is not None and spec.kind == "delay":
+                    await self._async_sleep(self.injector.delay_seconds(spec, problem.problem_id))
                 if self.async_transport is not None:
                     return await self.async_transport(prompt)
                 # No native async transport: keep the event loop free by

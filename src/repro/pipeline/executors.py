@@ -36,6 +36,7 @@ from __future__ import annotations
 import asyncio
 import inspect
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Any, Callable, Coroutine, Protocol, Sequence, TypeVar, runtime_checkable
 
 from repro.evalcluster.master import EvaluationJob
@@ -46,6 +47,7 @@ from repro.utils.ratelimit import TokenBucket
 __all__ = [
     "EXECUTOR_NAMES",
     "GENERATE_EXECUTOR_NAMES",
+    "DegradedResult",
     "Executor",
     "SerialExecutor",
     "ThreadedExecutor",
@@ -67,6 +69,23 @@ GENERATE_EXECUTOR_NAMES: tuple[str, ...] = ("serial", "thread", "cluster", "asyn
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class DegradedResult:
+    """A result slot the *infrastructure* could not fill.
+
+    Executors that tolerate partial failure (the fleet, when a job's
+    lease expired twice or the job was quarantined by the strike rule)
+    return one of these per lost task instead of raising, so a single
+    poisoned or abandoned job degrades only its own records.  Stages
+    convert a degraded slot into an error-marked
+    :class:`~repro.pipeline.records.EvaluationRecord` — the run always
+    terminates, and the loss is visible in its coverage stat rather
+    than silently averaged away.
+    """
+
+    reason: str
 
 
 @runtime_checkable

@@ -105,10 +105,33 @@ class ModelEvaluation:
         return [r for r in self.records if r.sample_index == 0]
 
     # -- aggregations ---------------------------------------------------------
+    @property
+    def coverage(self) -> float:
+        """Fraction of first-sample records that were actually scored.
+
+        A record carrying an ``error`` — a failed endpoint request, or a
+        degraded fleet slot (job abandoned or quarantined) — contributes
+        nothing to the metric means; ``coverage`` is what makes that loss
+        visible on the leaderboard instead of silently shrinking the
+        denominator.  ``1.0`` when every record scored (or there are none).
+        """
+
+        records = self.first_samples()
+        if not records:
+            return 1.0
+        return sum(1 for r in records if not r.error) / len(records)
+
     def mean_scores(self, records: Sequence[EvaluationRecord] | None = None) -> dict[str, float]:
-        """Average every metric over ``records`` (default: first samples)."""
+        """Average every metric over ``records`` (default: first samples).
+
+        Error-marked records (including degraded fleet slots) are
+        excluded: their zero scores describe an infrastructure failure,
+        not the model, and averaging them in would punish the model for
+        a flaky fleet.  The exclusion is reported via :attr:`coverage`.
+        """
 
         records = self.first_samples() if records is None else list(records)
+        records = [r for r in records if not r.error]
         if not records:
             return {name: 0.0 for name in METRIC_NAMES}
         # One pass over the records, collecting every metric column as we go.

@@ -40,6 +40,16 @@ never record identity.
 Each ``(model, shard)`` pair keeps its own checkpoint file derived from
 the job's base path, so a killed leaderboard run resumes exactly where
 every model's every shard stopped.
+
+Under a degraded fleet backend the scheduler still terminates: a batch
+whose fleet job was abandoned or quarantined comes back as error-marked
+records (:class:`~repro.pipeline.executors.DegradedResult` slots, scores
+zeroed and excluded from the means) rather than an exception, those
+records are skipped by both the checkpoint and the calibration feed
+(``finish_batch`` filters on ``record.error``), and the loss surfaces in
+each :class:`~repro.pipeline.records.ModelEvaluation`'s ``coverage`` —
+so a chaos run degrades the leaderboard's coverage column, never the
+cost model or a resume.
 """
 
 from __future__ import annotations

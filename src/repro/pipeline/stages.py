@@ -23,7 +23,7 @@ from typing import Protocol, Sequence, runtime_checkable
 
 from repro.dataset.problem import Problem
 from repro.llm.interface import GenerationRequest, QueryModule
-from repro.pipeline.executors import AsyncExecutor, Executor, SerialExecutor
+from repro.pipeline.executors import AsyncExecutor, DegradedResult, Executor, SerialExecutor
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
 from repro.postprocess import extract_yaml
 from repro.scoring.aggregate import ScoreCard
@@ -253,6 +253,7 @@ class ScoreStage:
 
     def process(self, items: list[WorkItem], context: StageContext) -> list[WorkItem]:
         pending: dict[tuple[str, str], tuple[Problem, str]] = {}
+        degraded: dict[tuple[str, str], str] = {}
         for item in items:
             extracted = item.extracted if item.extracted is not None else extract_yaml(item.response)
             item.extracted = extracted
@@ -295,7 +296,15 @@ class ScoreStage:
                     for problem, extracted in (pending[key] for key in keys)
                 ]
                 timed = context.executor.map(self._score_one, tasks)
-            self._memo.update(zip(keys, timed))
+            for key, result in zip(keys, timed):
+                if isinstance(result, DegradedResult):
+                    # The infrastructure lost this slot (an abandoned or
+                    # quarantined fleet job).  Batch-local only: no memo
+                    # entry and no cache write, so a later batch — or a
+                    # healthy rerun — scores the pair for real.
+                    degraded[key] = result.reason
+                else:
+                    self._memo[key] = result
             if self.cache is not None:
                 self.cache.put_batch(
                     (
@@ -305,9 +314,28 @@ class ScoreStage:
                         self.run_unit_tests,
                     )
                     for key, (problem, extracted) in pending.items()
+                    if key in self._memo
                 )
         for item in items:
-            card, seconds = self._memo[(item.request.problem.problem_id, item.extracted)]
+            key = (item.request.problem.problem_id, item.extracted)
+            if key not in self._memo and key in degraded:
+                reason = degraded[key]
+                item.scores = ScoreCard(
+                    problem_id=item.request.problem.problem_id,
+                    bleu=0.0,
+                    edit_distance=0.0,
+                    exact_match=0.0,
+                    kv_exact=0.0,
+                    kv_wildcard=0.0,
+                    unit_test=0.0,
+                    extracted_yaml=item.extracted,
+                    failure_message=reason,
+                )
+                item.score_seconds = 0.0
+                if not item.error:
+                    item.error = f"degraded: {reason}"
+                continue
+            card, seconds = self._memo[key]
             item.scores = card
             item.score_seconds = seconds
         return items

@@ -1,0 +1,98 @@
+"""Shared retry backoff policy with caps, deterministic jitter and a budget.
+
+Before this module, every retry loop in the library grew its own backoff
+by hand: ``RemoteStore`` retried a fixed 0.2s forever-ish (20 attempts at
+a constant delay — a reconnect *spin* during a long store outage), and
+``LiveEndpointModel`` exponentiated without a cap.  :class:`BackoffPolicy`
+is the one place that logic lives now:
+
+* **capped exponential growth** — ``initial_seconds * multiplier**i``,
+  clamped to ``max_seconds`` so a long outage doesn't produce hour-long
+  sleeps;
+* **deterministic jitter** — optional, seeded through
+  :class:`~repro.utils.rng.DeterministicRNG` rather than wall-clock
+  randomness, so two runs of the same scenario sleep the same schedule
+  (jitter exists to de-synchronise *different* retriers, which the seed
+  context provides, not to be unpredictable);
+* **a retry budget** — ``attempts`` bounds the loop; the caller surfaces
+  a typed error (e.g. ``FleetUnavailableError``) when the budget is
+  spent instead of hanging forever.
+
+The policy is pure (``delay(i)`` is a function of its arguments) and the
+caller owns the actual :func:`time.sleep`, which keeps it trivially
+testable and lets tests monkeypatch sleeping without touching policy.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.utils.rng import DeterministicRNG
+
+__all__ = ["BackoffPolicy"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """A capped exponential backoff schedule with a finite attempt budget.
+
+    ``delay(i)`` is the sleep *before* retry ``i`` (0-based): attempt 0 is
+    the initial try and charges no delay; retry ``i`` sleeps
+    ``min(initial_seconds * multiplier**i, max_seconds)``, widened by up
+    to ``jitter`` (a fraction) drawn from a seeded stream keyed by the
+    retry index and the caller-supplied context.
+    """
+
+    initial_seconds: float = 0.2
+    multiplier: float = 2.0
+    max_seconds: float = 2.0
+    attempts: int = 10
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.initial_seconds < 0:
+            raise ValueError("initial_seconds must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1 (backoff never shrinks)")
+        if self.max_seconds < 0:
+            raise ValueError("max_seconds must be non-negative")
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1 (one initial try)")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter is a fraction in [0, 1)")
+
+    def delay(self, retry_index: int, *context: object) -> float:
+        """Seconds to sleep before the ``retry_index``-th retry (0-based)."""
+
+        if retry_index < 0:
+            raise ValueError("retry_index must be >= 0")
+        base = min(self.initial_seconds * self.multiplier**retry_index, self.max_seconds)
+        if base <= 0 or self.jitter <= 0:
+            return base
+        rng = DeterministicRNG(self.seed).child("backoff", retry_index, *context)
+        return base * (1.0 + rng.uniform(-self.jitter, self.jitter))
+
+    def delays(self, *context: object) -> Iterator[float]:
+        """The full schedule: one delay per retry within the budget.
+
+        Yields ``attempts - 1`` values (the initial attempt needs none).
+        """
+
+        for retry_index in range(self.attempts - 1):
+            yield self.delay(retry_index, *context)
+
+    def sleep(
+        self,
+        retry_index: int,
+        *context: object,
+        sleeper: Callable[[float], None] = time.sleep,
+    ) -> float:
+        """Sleep the scheduled delay; returns the seconds slept."""
+
+        seconds = self.delay(retry_index, *context)
+        if seconds > 0:
+            sleeper(seconds)
+        return seconds

@@ -1,0 +1,249 @@
+"""Deterministic fault injection for chaos testing the fleet.
+
+A distributed run fails in ways unit tests rarely exercise: a worker is
+SIGKILLed between claim and report, the store process dies and restarts,
+a heartbeat freezes while its job grinds on, a frame is torn on the wire.
+The fleet handles all of these — but "handles" is only a fact if failure
+is a *first-class, testable input*, not an accident discovered in CI
+flakes.  This module makes it one:
+
+* :class:`FaultSpec` — one scripted fault: *where* (a ``site`` string a
+  call site names), *what* (a ``kind`` the call site interprets), *when*
+  (the ``after``-th matching occurrence, for ``times`` consecutive
+  occurrences), and optionally *which* (a ``match`` substring filter on
+  the occurrence detail — a job id, a problem id, a command name).
+* :class:`FaultPlan` — an immutable, seeded script of specs.  The seed
+  drives the deterministic jitter of delay faults; nothing in a plan ever
+  consults the wall clock or an unseeded RNG, so the same plan injects
+  the same faults at the same logical points on every run.  Plans
+  round-trip through JSON (:meth:`FaultPlan.to_json`) so they can cross
+  process boundaries on a worker's command line.
+* :class:`FaultInjector` — the runtime half: call sites report each
+  occurrence through :meth:`FaultInjector.fire` and act on the spec it
+  returns (kill themselves, drop a connection, sleep, skip a heartbeat).
+  Every fired fault is pushed through the injector's ``log`` callback, so
+  injected chaos lands in the same JSONL event stream as the organic
+  claims/requeues it provokes.
+
+Call sites currently wired (see :mod:`repro.evalcluster.fleet` and
+:mod:`repro.llm.remote`):
+
+====================== ============================== =========================
+site                   detail                         kinds acted on
+====================== ============================== =========================
+``worker.claim``       job id                         ``kill``, ``delay``
+``worker.execute``     problem id (or job id)         ``kill``, ``delay``
+``worker.heartbeat``   worker id                      ``freeze``, ``delay``
+``remote.call``        command name                   ``drop``, ``corrupt``,
+                                                      ``delay``
+``server.command``     command name                   ``drop``, ``delay``
+``coordinator.sync``   ``""``                         ``restart``, ``delay``
+``endpoint.request``   problem id                     ``transient``, ``delay``
+====================== ============================== =========================
+
+The injector is intentionally dumb: it decides *whether* a fault fires,
+never *how* — the call site owns the failure semantics, so injected
+faults travel exactly the code paths real ones do.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.utils.rng import DeterministicRNG
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "null_injector",
+]
+
+#: Every kind a shipped call site interprets; an unknown kind is legal (a
+#: custom call site may define its own) but these are the documented ones.
+FAULT_KINDS: tuple[str, ...] = (
+    "kill",  # the process SIGKILLs itself (a power cut, an OOM kill)
+    "drop",  # the connection is dropped before the command is sent
+    "corrupt",  # a malformed frame is written to the wire
+    "delay",  # the occurrence sleeps `seconds` (plus seeded jitter) first
+    "freeze",  # the heartbeat is silently skipped (the worker looks dead)
+    "restart",  # the store server crashes and restarts from its journal
+    "transient",  # a live endpoint raises TransientEndpointError
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault.
+
+    ``after`` is 1-based: ``after=3`` fires on the third occurrence that
+    matches ``site``/``match``.  ``times`` is how many consecutive
+    matching occurrences fire (``0`` = every occurrence from ``after``
+    on — a permanent fault).  ``seconds`` scales delay-like kinds;
+    ``jitter`` widens it by a seeded, per-occurrence fraction.
+    """
+
+    site: str
+    kind: str
+    after: int = 1
+    times: int = 1
+    seconds: float = 0.0
+    jitter: float = 0.0
+    match: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.site or not self.kind:
+            raise ValueError("a fault spec needs a site and a kind")
+        if self.after < 1:
+            raise ValueError("after is 1-based and must be >= 1")
+        if self.times < 0:
+            raise ValueError("times must be >= 0 (0 = forever)")
+        if self.seconds < 0 or self.jitter < 0:
+            raise ValueError("seconds and jitter must be non-negative")
+
+    def covers(self, occurrence: int) -> bool:
+        """Whether this spec fires on its ``occurrence``-th match (1-based)."""
+
+        if occurrence < self.after:
+            return False
+        return self.times == 0 or occurrence < self.after + self.times
+
+
+class FaultPlan:
+    """An immutable, seeded script of :class:`FaultSpec`\\ s.
+
+    The plan is pure data — deciding and acting happen in the
+    :class:`FaultInjector` and its call sites.  ``seed`` feeds the
+    deterministic jitter stream of delay faults; two injectors built from
+    equal plans behave identically.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = (), seed: int = 0) -> None:
+        self.specs: tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = int(seed)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self.specs == other.specs and self.seed == other.seed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"FaultPlan(specs={list(self.specs)!r}, seed={self.seed})"
+
+    # -- serialisation (plans ride worker command lines as JSON) ------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seed": self.seed, "specs": [asdict(spec) for spec in self.specs]},
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        return cls(
+            specs=[FaultSpec(**spec) for spec in data.get("specs", ())],
+            seed=int(data.get("seed", 0)),
+        )
+
+
+class FaultInjector:
+    """Counts occurrences per spec and fires the scripted faults.
+
+    Thread-safe: fleet components report occurrences from handler,
+    heartbeat and watchdog threads concurrently.  ``log`` (if given)
+    receives one dict per fired fault — wire it to the fleet's JSONL
+    event stream so chaos is auditable next to its consequences.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan | None = None,
+        log: Callable[[dict[str, Any]], None] | None = None,
+    ) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        self.log = log
+        self._lock = threading.Lock()
+        self._counts: list[int] = [0] * len(self.plan.specs)
+        #: Every fault fired so far (also sent to ``log``), for assertions.
+        self.fired: list[dict[str, Any]] = []
+
+    def __bool__(self) -> bool:
+        return bool(self.plan)
+
+    def fire(self, site: str, detail: str = "") -> FaultSpec | None:
+        """Report one occurrence; the spec to act on, or None.
+
+        Each spec counts only the occurrences that match its own
+        ``site``/``match`` filter, so two specs at one site with
+        different filters keep independent schedules.  When several
+        specs cover the same occurrence, the first in plan order wins.
+        """
+
+        if not self.plan.specs:
+            return None
+        chosen: FaultSpec | None = None
+        occurrence = 0
+        with self._lock:
+            for index, spec in enumerate(self.plan.specs):
+                if spec.site != site or spec.match not in detail:
+                    continue
+                self._counts[index] += 1
+                if chosen is None and spec.covers(self._counts[index]):
+                    chosen = spec
+                    occurrence = self._counts[index]
+        if chosen is not None:
+            event = {
+                "event": "fault",
+                "site": site,
+                "kind": chosen.kind,
+                "detail": detail,
+                "occurrence": occurrence,
+            }
+            self.fired.append(event)
+            if self.log is not None:
+                try:
+                    self.log(event)
+                except Exception:  # noqa: BLE001 - logging must never mask the fault
+                    pass
+        return chosen
+
+    def delay_seconds(self, spec: FaultSpec, *context: object) -> float:
+        """The (seeded) delay a delay-like spec charges this occurrence."""
+
+        if spec.seconds <= 0:
+            return 0.0
+        if spec.jitter <= 0:
+            return spec.seconds
+        rng = DeterministicRNG(self.plan.seed).child("fault-jitter", spec.site, *context)
+        return max(0.0, spec.seconds * (1.0 + rng.uniform(-spec.jitter, spec.jitter)))
+
+    def sleep_if_delay(self, spec: FaultSpec | None, *context: object) -> None:
+        """Sleep a ``delay`` spec's seconds (no-op for anything else).
+
+        The *decision* to delay is deterministic (plan + occurrence
+        counts); the sleep itself is real wall-clock, which is the point
+        — a slow worker is slow in real time.
+        """
+
+        if spec is not None and spec.kind == "delay":
+            seconds = self.delay_seconds(spec, *context)
+            if seconds > 0:
+                time.sleep(seconds)
+
+
+def null_injector() -> FaultInjector:
+    """An injector that never fires — the default at every call site."""
+
+    return FaultInjector(FaultPlan())
+
+
+def _specs_summary(specs: Sequence[FaultSpec]) -> str:  # pragma: no cover - repr aid
+    return ", ".join(f"{spec.site}:{spec.kind}@{spec.after}" for spec in specs)

@@ -36,6 +36,7 @@ from repro.evalcluster.fleet import (
     send_frame,
 )
 from repro.evalcluster.master import Master
+from repro.utils.faults import FaultPlan, FaultSpec
 
 MODEL = "gpt-3.5"
 
@@ -255,7 +256,10 @@ def _spawn_worker(address, *, worker_id, die_after_claims=None, heartbeat="0.25"
         "0.1",
     ]
     if die_after_claims is not None:
-        command += ["--die-after-claims", str(die_after_claims)]
+        # The old ad-hoc --die-after-claims hook, expressed as a fault plan:
+        # SIGKILL on the Nth claim.
+        plan = FaultPlan([FaultSpec(site="worker.claim", kind="kill", after=die_after_claims)])
+        command += ["--fault-plan", plan.to_json()]
     return subprocess.Popen(command, env={"PYTHONPATH": SRC_ROOT, "PATH": "/usr/bin:/bin"})
 
 

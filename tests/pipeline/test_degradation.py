@@ -1,0 +1,130 @@
+"""Graceful degradation: DegradedResult slots become error-marked records.
+
+Exercises the executor-agnostic half of the chaos story: any executor
+(the fleet in production, a stub here) may hand :class:`DegradedResult`
+markers back from ``map`` when the infrastructure lost slots, and the
+pipeline must absorb them — zero-score cards, ``error`` set, excluded
+from the means, counted by ``coverage``, surfaced on the leaderboard.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import BenchmarkConfig, CloudEvalBenchmark
+from repro.core.benchmark import BenchmarkResult
+from repro.core.report import format_leaderboard
+from repro.llm.interface import GenerationRequest
+from repro.llm.registry import calibrate_models, get_model
+from repro.pipeline import EvaluationPipeline
+from repro.pipeline.executors import DegradedResult, SerialExecutor
+from repro.pipeline.records import ModelEvaluation
+from repro.scoring.compiled import ReferenceStore
+
+MODEL = "gpt-3.5"
+
+REASON = "lease expired twice; job abandoned"
+
+
+class DegradingExecutor:
+    """Wrap SerialExecutor, replacing chosen map slots with markers."""
+
+    name = "degrading"
+
+    def __init__(self, drop_indices):
+        self.drop_indices = set(drop_indices)
+        self.inner = SerialExecutor()
+
+    def map(self, fn, tasks):
+        results = self.inner.map(fn, tasks)
+        return [
+            DegradedResult(reason=REASON) if index in self.drop_indices else result
+            for index, result in enumerate(results)
+        ]
+
+
+def _evaluate(small_dataset, executor, problems):
+    model = calibrate_models([get_model(MODEL, seed=7)], small_dataset)[0]
+    pipeline = EvaluationPipeline(
+        model, executor=executor, store=ReferenceStore(), batch_size=len(problems)
+    )
+    requests = [
+        GenerationRequest(problem=problem, shots=0, sample_index=0) for problem in problems
+    ]
+    return pipeline.run(requests)
+
+
+class TestDegradedRecords:
+    def test_degraded_slot_becomes_an_error_marked_record(self, small_dataset):
+        problems = list(small_dataset)[:6]
+        serial = _evaluate(small_dataset, SerialExecutor(), problems)
+        degraded = _evaluate(small_dataset, DegradingExecutor({0}), problems)
+
+        record = degraded.records[0]
+        assert record.error == f"degraded: {REASON}"
+        assert record.scores.failure_message == REASON
+        assert all(value == 0.0 for value in record.scores.as_dict().values())
+        assert record.score_seconds == 0.0
+        # Generation still happened; only the scoring slot was lost.
+        assert record.raw_response == serial.records[0].raw_response
+        # Every other record is untouched.
+        assert degraded.records[1:] == serial.records[1:]
+
+    def test_coverage_counts_the_loss_and_means_exclude_it(self, small_dataset):
+        problems = list(small_dataset)[:6]
+        serial = _evaluate(small_dataset, SerialExecutor(), problems)
+        degraded = _evaluate(small_dataset, DegradingExecutor({0, 2}), problems)
+
+        assert serial.coverage == 1.0
+        assert degraded.coverage == pytest.approx(4 / 6)
+        healthy = [serial.records[i] for i in (1, 3, 4, 5)]
+        assert degraded.mean_scores() == serial.mean_scores(healthy)
+
+    def test_coverage_of_an_empty_evaluation_is_total(self):
+        assert ModelEvaluation(model_name="empty").coverage == 1.0
+
+    def test_leaderboard_coverage_column_is_opt_out_for_degraded_runs(self, small_dataset):
+        problems = list(small_dataset)[:6]
+        evaluation = _evaluate(small_dataset, DegradingExecutor({0}), problems)
+        result = BenchmarkResult()
+        result.evaluations[MODEL] = evaluation
+        rendered = format_leaderboard(result)
+        assert "coverage" in rendered
+        assert "0.83" in rendered  # 5 of 6 records scored
+        # Explicit opt-out restores the clean layout even for a lossy run.
+        assert "coverage" not in format_leaderboard(result, coverage=False)
+
+    def test_clean_leaderboard_is_byte_identical_to_before(self, small_dataset):
+        problems = list(small_dataset)[:6]
+        evaluation = _evaluate(small_dataset, SerialExecutor(), problems)
+        result = BenchmarkResult()
+        result.evaluations[MODEL] = evaluation
+        clean = format_leaderboard(result)
+        assert "coverage" not in clean
+        # Forcing the column on a clean run shows full coverage.
+        forced = format_leaderboard(result, coverage=True)
+        assert "coverage" in forced
+        assert "1.00" in forced
+
+    def test_pre_existing_error_is_not_overwritten(self, small_dataset):
+        problems = list(small_dataset)[:3]
+        evaluation = _evaluate(small_dataset, DegradingExecutor({1}), problems)
+        # The degraded record's error came from the degradation...
+        assert evaluation.records[1].error.startswith("degraded: ")
+        # ...but a record that already carried a generation error keeps it.
+        generation_failed = dataclasses.replace(
+            evaluation.records[0], error="model exploded"
+        )
+        assert generation_failed.error == "model exploded"
+        evaluation.records[0] = generation_failed
+        assert evaluation.coverage == pytest.approx(1 / 3)
+
+
+class TestDegradedResultType:
+    def test_is_a_frozen_value_type(self):
+        marker = DegradedResult(reason="why")
+        assert marker == DegradedResult(reason="why")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            marker.reason = "other"

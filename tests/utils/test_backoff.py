@@ -1,0 +1,56 @@
+"""The shared capped-exponential BackoffPolicy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.backoff import BackoffPolicy
+
+
+class TestBackoffPolicy:
+    def test_capped_exponential_schedule(self):
+        policy = BackoffPolicy(initial_seconds=0.2, multiplier=2.0, max_seconds=1.0, attempts=6)
+        assert list(policy.delays()) == [0.2, 0.4, 0.8, 1.0, 1.0]
+
+    def test_matches_the_live_endpoint_legacy_schedule(self):
+        # LiveEndpointModel's historical backoff_seconds=0.5/multiplier=2.0
+        # contract: the policy must reproduce [0.5, 1.0] exactly.
+        policy = BackoffPolicy(initial_seconds=0.5, multiplier=2.0, max_seconds=60.0, attempts=3)
+        assert list(policy.delays()) == [0.5, 1.0]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = BackoffPolicy(
+            initial_seconds=1.0, multiplier=1.0, max_seconds=1.0, attempts=8, jitter=0.25, seed=9
+        )
+        schedule = list(policy.delays("store-a"))
+        assert schedule == list(policy.delays("store-a"))  # pure function of inputs
+        assert all(0.75 <= delay <= 1.25 for delay in schedule)
+        assert len(set(schedule)) > 1  # jitter actually varies by retry index
+        assert schedule != list(policy.delays("store-b"))  # context de-synchronises
+
+    def test_no_jitter_means_exact_delays(self):
+        policy = BackoffPolicy(initial_seconds=0.1, multiplier=3.0, max_seconds=10.0, attempts=4)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.3)
+        assert policy.delay(2) == pytest.approx(0.9)
+
+    def test_sleep_uses_the_injected_sleeper(self):
+        slept = []
+        policy = BackoffPolicy(initial_seconds=0.5, multiplier=2.0, max_seconds=9.0, attempts=3)
+        assert policy.sleep(1, sleeper=slept.append) == 1.0
+        assert slept == [1.0]
+        zero = BackoffPolicy(initial_seconds=0.0, attempts=2)
+        assert zero.sleep(0, sleeper=slept.append) == 0.0
+        assert slept == [1.0]  # zero delays never call the sleeper
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(initial_seconds=-0.1)
+        with pytest.raises(ValueError):
+            BackoffPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy().delay(-1)

@@ -1,0 +1,130 @@
+"""Deterministic fault injection: specs, plans, the injector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.faults import FAULT_KINDS, FaultInjector, FaultPlan, FaultSpec, null_injector
+
+
+class TestFaultSpec:
+    def test_validates_its_fields(self):
+        with pytest.raises(ValueError):
+            FaultSpec(site="", kind="kill")
+        with pytest.raises(ValueError):
+            FaultSpec(site="worker.claim", kind="")
+        with pytest.raises(ValueError):
+            FaultSpec(site="worker.claim", kind="kill", after=0)
+        with pytest.raises(ValueError):
+            FaultSpec(site="worker.claim", kind="kill", times=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(site="worker.claim", kind="delay", seconds=-0.1)
+
+    def test_covers_window(self):
+        spec = FaultSpec(site="s", kind="kill", after=3, times=2)
+        assert [spec.covers(n) for n in range(1, 7)] == [False, False, True, True, False, False]
+
+    def test_times_zero_is_forever(self):
+        spec = FaultSpec(site="s", kind="freeze", after=2, times=0)
+        assert not spec.covers(1)
+        assert all(spec.covers(n) for n in range(2, 50))
+
+    def test_documented_kinds_are_constructible(self):
+        for kind in FAULT_KINDS:
+            assert FaultSpec(site="s", kind=kind).kind == kind
+
+
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(site="worker.claim", kind="kill", after=2),
+                FaultSpec(site="remote.call", kind="delay", seconds=0.5, jitter=0.2, match="get"),
+            ],
+            seed=7,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan([FaultSpec(site="s", kind="kill")])
+
+
+class TestFaultInjector:
+    def test_fires_on_the_nth_matching_occurrence(self):
+        injector = FaultInjector(FaultPlan([FaultSpec(site="s", kind="kill", after=3)]))
+        assert injector.fire("s") is None
+        assert injector.fire("s") is None
+        spec = injector.fire("s")
+        assert spec is not None and spec.kind == "kill"
+        assert injector.fire("s") is None  # times=1: fired and done
+
+    def test_site_and_match_filter_occurrence_counting(self):
+        injector = FaultInjector(
+            FaultPlan([FaultSpec(site="worker.execute", kind="kill", match="poison")])
+        )
+        # Non-matching occurrences never advance the spec's counter.
+        assert injector.fire("worker.execute", "healthy-1") is None
+        assert injector.fire("worker.claim", "poison") is None  # wrong site
+        assert injector.fire("worker.execute", "poison-problem") is not None
+
+    def test_two_specs_keep_independent_schedules(self):
+        injector = FaultInjector(
+            FaultPlan(
+                [
+                    FaultSpec(site="s", kind="kill", after=2, match="a"),
+                    FaultSpec(site="s", kind="drop", after=1, match="b"),
+                ]
+            )
+        )
+        assert injector.fire("s", "a") is None
+        assert injector.fire("s", "b").kind == "drop"
+        assert injector.fire("s", "a").kind == "kill"
+
+    def test_first_spec_in_plan_order_wins(self):
+        injector = FaultInjector(
+            FaultPlan(
+                [FaultSpec(site="s", kind="kill"), FaultSpec(site="s", kind="drop")]
+            )
+        )
+        assert injector.fire("s").kind == "kill"
+
+    def test_fired_events_are_recorded_and_logged(self):
+        logged = []
+        injector = FaultInjector(
+            FaultPlan([FaultSpec(site="s", kind="drop", after=2)]), log=logged.append
+        )
+        injector.fire("s", "first")
+        injector.fire("s", "second")
+        assert injector.fired == [
+            {"event": "fault", "site": "s", "kind": "drop", "detail": "second", "occurrence": 2}
+        ]
+        assert logged == injector.fired
+
+    def test_log_exceptions_never_mask_the_fault(self):
+        def bad_log(event):
+            raise RuntimeError("event stream is down")
+
+        injector = FaultInjector(FaultPlan([FaultSpec(site="s", kind="kill")]), log=bad_log)
+        assert injector.fire("s").kind == "kill"
+
+    def test_delay_seconds_is_deterministic(self):
+        spec = FaultSpec(site="s", kind="delay", seconds=1.0, jitter=0.5)
+        first = FaultInjector(FaultPlan([spec], seed=3))
+        second = FaultInjector(FaultPlan([spec], seed=3))
+        assert first.delay_seconds(spec, "ctx") == second.delay_seconds(spec, "ctx")
+        assert 0.5 <= first.delay_seconds(spec, "ctx") <= 1.5
+        other_seed = FaultInjector(FaultPlan([spec], seed=4))
+        assert other_seed.delay_seconds(spec, "ctx") != first.delay_seconds(spec, "ctx")
+
+    def test_sleep_if_delay_ignores_non_delay_kinds(self):
+        injector = null_injector()
+        # Must return immediately: a kill spec charges no sleep here.
+        injector.sleep_if_delay(FaultSpec(site="s", kind="kill", seconds=30.0))
+        injector.sleep_if_delay(None)
+
+    def test_null_injector_never_fires(self):
+        injector = null_injector()
+        assert not injector
+        assert all(injector.fire("s", str(n)) is None for n in range(10))
+        assert injector.fired == []
