@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import os
 from functools import lru_cache
+from pathlib import Path
 
 from repro.core import BenchmarkConfig, CloudEvalBenchmark
 from repro.core.benchmark import BenchmarkResult
@@ -24,7 +25,9 @@ from repro.dataset.schema import Category, Variant
 from repro.llm.registry import available_models
 
 __all__ = [
+    "ARTIFACTS_DIR",
     "FAST_MODE",
+    "artifact_path",
     "bench_dataset",
     "bench_original_problems",
     "full_zero_shot_result",
@@ -34,6 +37,18 @@ __all__ = [
 ]
 
 FAST_MODE = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+
+#: Where benchmark side artefacts (event logs, calibration stores, score
+#: caches) land by default — a gitignored directory, so runs never strand
+#: ``BENCH_*.jsonl`` files (or their ``.lock`` sidecars) in the repo root.
+ARTIFACTS_DIR = Path(__file__).resolve().parent / "artifacts"
+
+
+def artifact_path(name: str) -> str:
+    """The default path for a benchmark artefact file called ``name``."""
+
+    ARTIFACTS_DIR.mkdir(parents=True, exist_ok=True)
+    return str(ARTIFACTS_DIR / name)
 
 _FAST_COUNTS = {
     Category.POD: 10,

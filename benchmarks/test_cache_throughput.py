@@ -28,7 +28,7 @@ from __future__ import annotations
 import os
 import time
 
-from benchmarks.common import bench_dataset
+from benchmarks.common import artifact_path, bench_dataset
 from repro.core import BenchmarkConfig, CloudEvalBenchmark
 from repro.llm.interface import GenerationRequest
 from repro.llm.registry import get_model
@@ -45,7 +45,7 @@ MODEL = "gpt-4"
 MIN_SPEEDUP = 3.0
 
 #: Where the guard leaves the cache for the CI artifact.
-SCORE_CACHE_PATH = os.environ.get("REPRO_SCORE_CACHE", "BENCH_score_cache.jsonl")
+SCORE_CACHE_PATH = os.environ.get("REPRO_SCORE_CACHE") or artifact_path("BENCH_score_cache.jsonl")
 
 
 def _recorded_endpoint(dataset) -> LiveEndpointModel:

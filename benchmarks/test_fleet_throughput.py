@@ -30,7 +30,7 @@ import math
 import os
 import time
 
-from benchmarks.common import FAST_MODE, bench_dataset
+from benchmarks.common import FAST_MODE, artifact_path, bench_dataset
 from repro.core import BenchmarkConfig, CloudEvalBenchmark
 from repro.evalcluster.fleet import FleetExecutor
 from repro.llm.remote import RemoteEndpointModel
@@ -62,7 +62,7 @@ MIN_SPEEDUP = 1.5
 
 #: Where the fleet's submit/claim/done/requeue event log lands for the
 #: CI artifact.
-FLEET_EVENTS_PATH = os.environ.get("REPRO_FLEET_EVENTS", "BENCH_fleet_events.jsonl")
+FLEET_EVENTS_PATH = os.environ.get("REPRO_FLEET_EVENTS") or artifact_path("BENCH_fleet_events.jsonl")
 
 #: Batch size for the batch-sizer spread guard (the config default).
 BATCH_SIZE = 32

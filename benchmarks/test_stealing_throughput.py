@@ -31,7 +31,7 @@ from __future__ import annotations
 import os
 import time
 
-from benchmarks.common import FAST_MODE, bench_dataset
+from benchmarks.common import FAST_MODE, artifact_path, bench_dataset
 from repro.core import BenchmarkConfig, CloudEvalBenchmark
 from repro.dataset.schema import Category
 from repro.evalcluster.calibration import CalibratedCostModel, CalibrationStore
@@ -64,7 +64,9 @@ PREFETCH_BATCHES = 2
 MIN_SPEEDUP = 1.25
 
 #: Where the calibration guard leaves its store for the CI artifact.
-CALIBRATION_STORE_PATH = os.environ.get("REPRO_CALIBRATION_STORE", "BENCH_calibration.jsonl")
+CALIBRATION_STORE_PATH = os.environ.get("REPRO_CALIBRATION_STORE") or artifact_path(
+    "BENCH_calibration.jsonl"
+)
 
 
 def _problems():

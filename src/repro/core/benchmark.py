@@ -35,6 +35,7 @@ from repro.evalcluster.calibration import (
 from repro.evalcluster.cost import CostModel
 from repro.llm.interface import GenerationRequest, Model
 from repro.llm.registry import ENGLISH_ONLY_MODELS, available_models, calibrate_models, get_model
+from repro.llm.remote import ModelSpec
 from repro.llm.simulated import SimulatedModel
 from repro.pipeline.checkpoint import PipelineCheckpoint, model_checkpoint_base
 from repro.pipeline.pipeline import EvaluationPipeline
@@ -156,6 +157,21 @@ class CloudEvalBenchmark:
             resolved = calibrate_models([resolved], self.dataset)[0]
         return resolved
 
+    def _model_spec(self, resolved: Model) -> "ModelSpec | None":
+        """The offload envelope for ``resolved``, or None when offload is off.
+
+        With ``config.offload_generation`` every pipeline ships the whole
+        generate→extract→score chain to the executor as picklable tasks
+        built from this :class:`~repro.llm.remote.ModelSpec` — fleet
+        workers then reconstruct the model out of process, pacing
+        themselves through the store's distributed token bucket when
+        ``config.rate_limit`` is set.
+        """
+
+        if not self.config.offload_generation:
+            return None
+        return ModelSpec.of(resolved)
+
     def _problems(self, variants: Sequence[Variant] | None = None) -> list[Problem]:
         selected = tuple(variants) if variants is not None else self.config.variants
         return [p for p in self.dataset if p.variant in selected]
@@ -209,6 +225,7 @@ class CloudEvalBenchmark:
             batch_size=self.config.batch_size,
             calibration=self._calibration,
             score_cache=self._score_cache,
+            model_spec=self._model_spec(model),
         )
 
     def sharded_pipeline(
@@ -237,6 +254,7 @@ class CloudEvalBenchmark:
             calibration=self._calibration,
             score_cache=self._score_cache,
             batch_sizer=self.batch_sizer(),
+            model_spec=self._model_spec(model),
         )
 
     # ------------------------------------------------------------------
@@ -318,7 +336,14 @@ class CloudEvalBenchmark:
                 if checkpoint is not None
                 else None
             )
-            jobs.append(ModelJob(resolved, requests, checkpoint=base))
+            jobs.append(
+                ModelJob(
+                    resolved,
+                    requests,
+                    checkpoint=base,
+                    model_spec=self._model_spec(resolved),
+                )
+            )
         scheduler = MultiModelScheduler(
             jobs,
             shards=self.config.shards,

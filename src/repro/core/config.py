@@ -137,6 +137,16 @@ class BenchmarkConfig:
         misses write back — and all models of a leaderboard share the one
         store.  Scores are bit-identical with the cache on, off, warm or
         cold; only the wall-clock moves.  ``None`` (default) disables it.
+    offload_generation:
+        Ship each model's whole generate→extract→score chain to the
+        executor as picklable :class:`~repro.pipeline.stages.GenerationTask`
+        envelopes built from a :class:`~repro.llm.remote.ModelSpec`
+        (:meth:`ModelSpec.of` of the resolved model).  With a ``"fleet"``
+        executor the workers generate *and* score out of process under
+        the store's distributed rate limit — the coordinator only moves
+        envelopes.  Records are bit-identical to the parent-generation
+        path; requires a picklable model (all simulated registry models
+        are) and is incompatible with a separate ``generate_executor``.
     """
 
     seed: int = 7
@@ -159,6 +169,7 @@ class BenchmarkConfig:
     calibration: CalibrationStore | str | os.PathLike[str] | None = None
     calibration_prior_weight: float = DEFAULT_PRIOR_WEIGHT
     score_cache: ScoreCache | str | os.PathLike[str] | None = None
+    offload_generation: bool = False
 
     def __post_init__(self) -> None:
         if self.shots < 0 or self.shots > 3:
@@ -196,3 +207,8 @@ class BenchmarkConfig:
             raise ValueError("calibration_prior_weight must be >= 0")
         if not is_score_cache_spec(self.score_cache):
             raise ValueError("score_cache must be a ScoreCache, a JSONL path, or None")
+        if self.offload_generation and self.generate_executor is not None:
+            raise ValueError(
+                "offload_generation ships the whole generate→extract→score chain "
+                "to the (fleet) executor; a separate generate_executor cannot apply"
+            )

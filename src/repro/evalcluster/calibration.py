@@ -50,6 +50,7 @@ __all__ = [
     "CalibrationEntry",
     "CalibrationStore",
     "CalibratedCostModel",
+    "Ewma",
     "is_calibration_spec",
     "resolve_calibration",
 ]
@@ -64,6 +65,31 @@ DEFAULT_PRIOR_WEIGHT = 1.0
 #: zero at clock resolution, and the prior of a trivial problem could in
 #: principle be zero too.
 _LOG_FLOOR_SECONDS = 1e-9
+
+
+@dataclass
+class Ewma:
+    """A standalone exponentially weighted moving average.
+
+    The same fold :class:`CalibrationEntry` applies to per-problem
+    durations, packaged for other live signals — fleet workers use it for
+    their observed records/second (generate and score separately), which
+    rides heartbeats into :class:`~repro.evalcluster.master.MasterStats`
+    and weights the steal policy.  ``smoothing`` is the newest sample's
+    share; ``value`` is ``None`` until the first observation.
+    """
+
+    smoothing: float = DEFAULT_SMOOTHING
+    value: float | None = None
+
+    def observe(self, sample: float) -> float:
+        """Fold one sample; returns the updated average."""
+
+        if self.value is None:
+            self.value = float(sample)
+        else:
+            self.value = self.smoothing * float(sample) + (1.0 - self.smoothing) * self.value
+        return self.value
 
 
 @dataclass

@@ -9,11 +9,15 @@ workers:
 
 * :class:`StoreServer` — a threaded TCP server wrapping one locked
   ``RedisLikeStore``.  Commands travel as length-prefixed pickle frames
-  (``send_frame``/``recv_frame``); two blocking extensions, ``blpop``
-  and ``claim``, park the connection on a condition variable until a
-  push arrives.  ``claim`` pops the next pending job id *and* registers
-  the claim in one locked step, so a worker that dies between pop and
-  registration cannot orphan a job invisibly.
+  (``send_frame``/``recv_frame``); blocking extensions ``blpop``,
+  ``claim`` and ``claim_many`` park the connection on a condition
+  variable until a push arrives.  ``claim``/``claim_many`` pop pending
+  job ids *and* register the claims in one locked step, so a worker
+  that dies between pop and registration cannot orphan a job invisibly;
+  ``report_many`` lands a whole batch of results in one frame, and
+  ``rate_acquire`` debits server-side :class:`TokenBucket`\\ s so the
+  whole fleet shares one token balance per endpoint (see
+  :class:`DistributedTokenBucket`).
 * :class:`RemoteStore` — the client half: the full store surface as
   methods over one socket, with reconnect-and-retry on connection loss
   (every command is either idempotent or covered by lease recovery).
@@ -53,8 +57,9 @@ Chaos hardening (all optional, all off by default):
   :class:`FleetUnavailableError` instead of spinning forever.
 * **Fault injection** — every component takes a seeded
   :class:`~repro.utils.faults.FaultInjector` (sites ``worker.claim``,
-  ``worker.execute``, ``worker.heartbeat``, ``remote.call``,
-  ``server.command``, ``coordinator.sync``) so kills, drops, corrupt
+  ``worker.execute``, ``worker.generate``, ``worker.heartbeat``,
+  ``remote.call``, ``server.command``, ``coordinator.sync``) so kills,
+  drops, corrupt
   frames, freezes, delays and store restarts are scripted, reproducible
   test inputs; fired faults land in the coordinator's JSONL event log.
 * **Graceful degradation** — a job the fleet cannot finish (lease expired
@@ -69,6 +74,7 @@ private network you control, exactly like an unauthenticated Redis.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import pickle
@@ -82,12 +88,14 @@ import time
 from pathlib import Path
 from typing import Any, Callable, Sequence, TypeVar
 
+from repro.evalcluster.calibration import Ewma
 from repro.evalcluster.kvstore import JournaledStore, RedisLikeStore
 from repro.evalcluster.master import EvaluationJob, Master, MasterStats
 from repro.pipeline.executors import DegradedResult
 from repro.utils.backoff import BackoffPolicy
 from repro.utils.faults import FaultInjector, FaultPlan, null_injector
 from repro.utils.jsonl import JsonlLog
+from repro.utils.ratelimit import TokenBucket
 
 __all__ = [
     "FrameError",
@@ -97,9 +105,12 @@ __all__ = [
     "recv_frame",
     "StoreServer",
     "RemoteStore",
+    "DistributedTokenBucket",
     "FleetWorker",
     "FleetExecutor",
+    "fleet_pacer",
     "run_worker",
+    "worker_injector",
     "main",
 ]
 
@@ -165,9 +176,15 @@ def send_frame(sock: socket.socket, obj: Any) -> None:
     sock.sendall(_HEADER.pack(len(payload)) + payload)
 
 
-def _recv_exact(sock: socket.socket, size: int) -> bytes | None:
+def _recv_exact(sock: socket.socket, size: int, what: str = "frame") -> bytes | None:
     """Read exactly ``size`` bytes; None on clean EOF *before* any byte,
-    :class:`FrameError` on EOF after some bytes (a torn frame)."""
+    :class:`FrameError` on EOF after some bytes (a torn frame).
+
+    ``what`` names the fragment in the error — a peer that dies two bytes
+    into the four-byte length prefix produces a diagnosable
+    ``mid-length-prefix (2/4 bytes)``, never a bare :class:`struct.error`
+    from unpacking a short header downstream.
+    """
 
     buffer = bytearray()
     while len(buffer) < size:
@@ -175,7 +192,7 @@ def _recv_exact(sock: socket.socket, size: int) -> bytes | None:
         if not chunk:
             if not buffer:
                 return None
-            raise FrameError(f"connection closed mid-frame ({len(buffer)}/{size} bytes)")
+            raise FrameError(f"connection closed mid-{what} ({len(buffer)}/{size} bytes)")
         buffer.extend(chunk)
     return bytes(buffer)
 
@@ -183,18 +200,21 @@ def _recv_exact(sock: socket.socket, size: int) -> bytes | None:
 def recv_frame(sock: socket.socket) -> Any:
     """Read one frame; the module-private EOF sentinel on clean close.
 
-    A peer that disappears half-way through a frame — the header without
-    its payload, or a short payload — raises :class:`FrameError`: the
-    fragment is torn, never delivered as data.
+    A peer that disappears half-way through a frame — inside the length
+    prefix, or a short payload — raises :class:`FrameError` with how many
+    bytes made it: the fragment is torn, never delivered as data.
     """
 
-    header = _recv_exact(sock, _HEADER.size)
+    header = _recv_exact(sock, _HEADER.size, what="length-prefix")
     if header is None:
         return _EOF
-    (length,) = _HEADER.unpack(header)
+    try:
+        (length,) = _HEADER.unpack(header)
+    except struct.error as exc:  # pragma: no cover - _recv_exact guarantees 4 bytes
+        raise FrameError(f"unreadable length prefix: {exc}") from exc
     if length > MAX_FRAME_BYTES:
         raise FrameError(f"frame header announces {length} bytes (cap {MAX_FRAME_BYTES})")
-    payload = _recv_exact(sock, length)
+    payload = _recv_exact(sock, length, what="payload")
     if payload is None:
         raise FrameError("connection closed between frame header and payload")
     return pickle.loads(payload)
@@ -263,6 +283,11 @@ class StoreServer:
         self.injector = injector if injector is not None else null_injector()
         self._lock = threading.RLock()
         self._pushed = threading.Condition(self._lock)
+        # Server-side token buckets backing the fleet's distributed rate
+        # limiting (``rate_acquire``).  Deliberately *not* part of the
+        # journaled store: pacing is an ephemeral wall-clock contract, and
+        # replaying grants after a restart would double-charge the window.
+        self._limiters: dict[str, TokenBucket] = {}
         self._listener = socket.create_server((host, port))
         self.host, self.port = self._listener.getsockname()[:2]
         self._closing = threading.Event()
@@ -336,6 +361,12 @@ class StoreServer:
             return self._blpop(*args)
         if command == "claim":
             return self._claim(*args)
+        if command == "claim_many":
+            return self._claim_many(*args)
+        if command == "report_many":
+            return self._report_many(*args)
+        if command == "rate_acquire":
+            return self._rate_acquire(*args)
         if command not in self._COMMANDS:
             raise ValueError(f"unknown command {command!r}")
         with self._lock:
@@ -381,6 +412,78 @@ class StoreServer:
                 if remaining <= 0 or self._closing.is_set():
                     return None
                 self._pushed.wait(remaining)
+
+    def _claim_many(
+        self, queue_key: str, claims_key: str, worker_id: str, limit: int, timeout: float
+    ) -> list[str]:
+        """Atomically pop up to ``limit`` job ids, registering every claim.
+
+        The batched sibling of :meth:`_claim`: all pops and registrations
+        happen under one lock acquisition and travel back in one frame, so
+        a worker whose jobs now carry whole generation chains pays the
+        claim round-trip once per batch instead of once per job.  Each
+        claim still gets its own fresh sequence number — re-claims of
+        re-enqueued jobs stay distinguishable.  Blocks up to ``timeout``
+        for the *first* job; never waits to fill the batch (a partial
+        batch now beats a full batch later).
+        """
+
+        limit = max(1, int(limit))
+        deadline = time.monotonic() + timeout
+        with self._pushed:
+            while True:
+                job_ids: list[str] = []
+                while len(job_ids) < limit:
+                    job_id = self.store.lpop(queue_key)
+                    if job_id is None:
+                        break
+                    sequence = self.store.incr("fleet:claim-seq")
+                    self.store.hset(claims_key, job_id, (worker_id, sequence))
+                    job_ids.append(job_id)
+                if job_ids:
+                    return job_ids
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._closing.is_set():
+                    return []
+                self._pushed.wait(remaining)
+
+    def _report_many(
+        self, results_key: str, done_key: str, reports: Sequence[tuple[str, dict[str, Any]]]
+    ) -> int:
+        """Write a batch of result rows plus their completion events.
+
+        Rows land first-write-wins (``hsetnx``, same as single reports), a
+        completion event is pushed per job, and parked waiters are woken
+        once for the whole batch.  Returns how many rows were actually
+        written (a retried report whose first attempt landed counts zero).
+        """
+
+        written = 0
+        with self._pushed:
+            for job_id, row in reports:
+                if self.store.hsetnx(results_key, job_id, row):
+                    written += 1
+                self.store.rpush(done_key, job_id)
+            self._pushed.notify_all()
+        return written
+
+    def _rate_acquire(self, key: str, rate: float, burst: int) -> float:
+        """Debit one token from the named server-side bucket.
+
+        The grant is instant — :meth:`TokenBucket.try_acquire` borrows the
+        token and returns how long the *caller* must sleep before acting,
+        so a parked grant can never stall other connections.  The first
+        acquirer's ``(rate, burst)`` creates the bucket; later parameters
+        are ignored (first-config-wins — N workers sharing one spec cannot
+        reset each other's token balance).
+        """
+
+        with self._lock:
+            bucket = self._limiters.get(key)
+            if bucket is None:
+                bucket = TokenBucket(float(rate), burst=max(1, int(burst)), virtual_clock=False)
+                self._limiters[key] = bucket
+            return bucket.try_acquire()
 
     def close(self) -> None:
         """Stop accepting and wake every parked waiter."""
@@ -631,21 +734,147 @@ class RemoteStore:
     def claim(self, queue_key: str, claims_key: str, worker_id: str, timeout: float) -> Any:
         return self.call("claim", queue_key, claims_key, worker_id, timeout, wait=timeout)
 
+    def claim_many(
+        self, queue_key: str, claims_key: str, worker_id: str, limit: int, timeout: float
+    ) -> list[str]:
+        """Atomically claim up to ``limit`` jobs in one round-trip."""
+
+        return self.call(
+            "claim_many", queue_key, claims_key, worker_id, limit, timeout, wait=timeout
+        )
+
+    def report_many(
+        self, results_key: str, done_key: str, reports: Sequence[tuple[str, dict[str, Any]]]
+    ) -> int:
+        """Write a batch of result rows + completion events in one round-trip."""
+
+        return self.call("report_many", results_key, done_key, list(reports))
+
+    def rate_acquire(self, key: str, rate: float, burst: int = 1) -> float:
+        """Debit one token from the server-side bucket named ``key``.
+
+        Returns the seconds the *caller* must sleep before acting on the
+        grant — the server never sleeps on our behalf.
+        """
+
+        return self.call("rate_acquire", key, rate, burst)
+
+
+class DistributedTokenBucket:
+    """A :class:`~repro.utils.ratelimit.TokenBucket` whose balance lives
+    in the store server, shared by every worker in the fleet.
+
+    Each acquire is one ``rate_acquire`` frame: the server debits the
+    named bucket under its lock and replies with the borrow-wait, and the
+    caller sleeps locally.  N workers hitting one endpoint therefore
+    drain a *single* token balance — the global rate limit holds no
+    matter how the fleet splits the work.  Matches the local bucket's
+    surface (``try_acquire``/``acquire``/``acquire_async`` plus the
+    ``waited_seconds``/``acquired`` counters) so it plugs straight into
+    :class:`~repro.llm.remote.LiveEndpointModel` as its ``limiter``.
+    """
+
+    virtual_clock = False  # real wall-clock pacing, by construction
+
+    def __init__(
+        self, store: RemoteStore, key: str, rate: float, burst: int = 1
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.store = store
+        self.key = key
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self.acquired = 0
+        self.waited_seconds = 0.0
+
+    def try_acquire(self) -> float:
+        """Debit one token; return seconds the caller must wait before acting."""
+
+        wait = float(self.store.rate_acquire(self.key, self.rate, self.burst))
+        self.acquired += 1
+        self.waited_seconds += wait
+        return wait
+
+    def acquire(self) -> float:
+        """Debit one token and sleep out the borrow-wait; returns the wait."""
+
+        wait = self.try_acquire()
+        if wait > 0:
+            time.sleep(wait)
+        return wait
+
+    async def acquire_async(self) -> float:
+        """Async acquire: the round-trip runs in a thread, the wait is awaited."""
+
+        loop = asyncio.get_running_loop()
+        wait = await loop.run_in_executor(None, self.try_acquire)
+        if wait > 0:
+            await asyncio.sleep(wait)
+        return wait
+
+
+# -- worker-process context ----------------------------------------------------
+#
+# Generation tasks execute as plain pickled functions inside a worker
+# process; they cannot carry live sockets or injectors in their payload.
+# The running FleetWorker registers its address and injector here, and
+# the task-side helpers below read them back.
+
+_WORKER_CONTEXT: dict[str, Any] = {"address": None, "injector": None}
+_PACER_LOCK = threading.Lock()
+_PACERS: dict[str, DistributedTokenBucket] = {}
+
+
+def worker_injector() -> FaultInjector:
+    """The running worker's fault injector (a null injector elsewhere)."""
+
+    injector = _WORKER_CONTEXT.get("injector")
+    if injector is None:
+        return null_injector()
+    return injector
+
+
+def fleet_pacer(key: str, rate: float, burst: int = 1) -> DistributedTokenBucket | None:
+    """The per-process distributed pacer for ``key``, or None outside a worker.
+
+    Memoized per key on its own store connection: every generation task in
+    this process shares one bucket client, and the server side shares one
+    token balance across the whole fleet.
+    """
+
+    address = _WORKER_CONTEXT.get("address")
+    if address is None:
+        return None
+    with _PACER_LOCK:
+        pacer = _PACERS.get(key)
+        if pacer is None:
+            pacer = DistributedTokenBucket(RemoteStore(address), key, rate, burst=burst)
+            _PACERS[key] = pacer
+        return pacer
+
 
 class FleetWorker:
-    """One out-of-process worker: claim, execute, report, repeat.
+    """One out-of-process worker: claim a batch, execute, report, repeat.
 
-    The loop claims job ids through the server's atomic ``claim``,
-    unpickles the job's ``(function, tasks)`` payload, applies the
-    function to every task in the chunk, and writes the result list
-    first-write-wins — a job a slow worker finishes *after* its lease
-    was re-assigned cannot overwrite the authoritative result.
-    Results are followed by a completion event on ``jobs:done`` so the
+    The loop claims job ids through the server's atomic ``claim_many``
+    (batch size throttled by the worker's own observed per-job seconds,
+    capped at ``claim_batch_limit``), unpickles each job's ``(function,
+    tasks)`` payload, applies the function to every task in the chunk,
+    and writes the whole batch of result lists in one ``report_many``
+    round-trip, first-write-wins — a job a slow worker finishes *after*
+    its lease was re-assigned cannot overwrite the authoritative result.
+    Results are followed by completion events on ``jobs:done`` so the
     coordinator never polls the results hash.
 
     A daemon heartbeat thread on a second connection publishes
-    ``(sequence, current job id)`` every ``heartbeat_seconds``; the
-    coordinator renews exactly the named job's lease, on its own clock.
+    ``(sequence, current job ids, throughput)`` every
+    ``heartbeat_seconds``; the coordinator renews exactly the named
+    jobs' leases, on its own clock, and folds the throughput — EWMA
+    records/second split into ``generate_rps``/``score_rps`` — into
+    :class:`~repro.evalcluster.master.MasterStats` for the steal policy.
     Losing the store connection mid-run is survivable on both
     connections: :meth:`RemoteStore.call` re-dials and resumes.
 
@@ -658,8 +887,11 @@ class FleetWorker:
     falling back to the job id) supports ``kill`` and ``delay``;
     ``worker.heartbeat`` (detail = worker id) supports ``freeze`` (the
     beat is silently skipped — the worker looks dead while still
-    working) and ``delay``.  Every fired fault is queued on the store
-    under :data:`FAULTS_KEY` for the coordinator's event log.
+    working) and ``delay``.  Generation tasks additionally fire the
+    ``worker.generate`` site (detail = problem id, via
+    :func:`worker_injector`) per record, supporting ``kill`` and
+    ``delay``.  Every fired fault is queued on the store under
+    :data:`FAULTS_KEY` for the coordinator's event log.
 
     Two organic (not injected) protections ride along:
 
@@ -685,11 +917,15 @@ class FleetWorker:
         fault_plan: FaultPlan | None = None,
         max_strikes: int = 2,
         job_deadline_seconds: float | None = None,
+        claim_batch_limit: int = 4,
     ) -> None:
         if max_strikes < 1:
             raise ValueError("max_strikes must be >= 1")
         if job_deadline_seconds is not None and job_deadline_seconds <= 0:
             raise ValueError("job_deadline_seconds must be positive")
+        if claim_batch_limit < 1:
+            raise ValueError("claim_batch_limit must be >= 1")
+        self.address = address
         self.store = RemoteStore(address)
         self.beat_store = RemoteStore(address)
         self.worker_id = worker_id or f"worker-{os.getpid()}"
@@ -698,9 +934,16 @@ class FleetWorker:
         self.injector = FaultInjector(fault_plan, log=self._publish_fault)
         self.max_strikes = max_strikes
         self.job_deadline_seconds = job_deadline_seconds
+        self.claim_batch_limit = claim_batch_limit
         self._job_lock = threading.Lock()
-        self._current_job: str | None = None
+        self._current_jobs: tuple[str, ...] = ()
         self._beat_sequence = 0
+        # Observed throughput, folded under _job_lock: per-job wall
+        # seconds (sizes the next claim batch) and records/second split
+        # by phase (piggybacked on heartbeats for the steal policy).
+        self._job_ewma = Ewma()
+        self._generate_rps = Ewma()
+        self._score_rps = Ewma()
 
     def _publish_fault(self, event: dict[str, Any]) -> None:
         """Queue a fired fault for the coordinator's event log (best effort).
@@ -729,9 +972,16 @@ class FleetWorker:
         self.injector.sleep_if_delay(spec, self.worker_id, self._beat_sequence)
         self._beat_sequence += 1
         with self._job_lock:
-            current = self._current_job
+            current = self._current_jobs
+            throughput: dict[str, float] = {}
+            if self._generate_rps.value is not None:
+                throughput["generate_rps"] = self._generate_rps.value
+            if self._score_rps.value is not None:
+                throughput["score_rps"] = self._score_rps.value
         try:
-            self.beat_store.hset(HEARTBEATS_KEY, self.worker_id, (self._beat_sequence, current))
+            self.beat_store.hset(
+                HEARTBEATS_KEY, self.worker_id, (self._beat_sequence, current, throughput)
+            )
         except (ConnectionError, StoreCommandError):
             pass  # a fully lost store ends the claim loop anyway
 
@@ -757,90 +1007,154 @@ class FleetWorker:
             pass
         os.kill(os.getpid(), signal.SIGKILL)
 
-    def _execute(self, job_id: str) -> None:
+    def _observe(self, results: Sequence[Any], elapsed: float) -> None:
+        """Fold one finished job into the throughput EWMAs.
+
+        Result shapes carry their own timing: a generation outcome has
+        ``generate_seconds``/``score_seconds`` attributes, a timed score
+        envelope is a ``(card, seconds)`` tuple.  Untimed results still
+        feed the per-job EWMA that sizes the next claim batch.
+        """
+
+        gen_records, gen_seconds = 0, 0.0
+        score_records, score_seconds = 0, 0.0
+        for item in results:
+            generate = getattr(item, "generate_seconds", None)
+            score = getattr(item, "score_seconds", None)
+            if generate is not None:
+                gen_records += 1
+                gen_seconds += float(generate)
+            if score is not None:
+                score_records += 1
+                score_seconds += float(score)
+            elif (
+                generate is None
+                and isinstance(item, tuple)
+                and len(item) == 2
+                and isinstance(item[1], (int, float))
+            ):
+                score_records += 1
+                score_seconds += float(item[1])
         with self._job_lock:
-            self._current_job = job_id
+            self._job_ewma.observe(elapsed)
+            if gen_records and gen_seconds > 0:
+                self._generate_rps.observe(gen_records / gen_seconds)
+            if score_records and score_seconds > 0:
+                self._score_rps.observe(score_records / score_seconds)
+
+    def _claim_limit(self) -> int:
+        """How many jobs to claim this round.
+
+        One at a time until the per-job EWMA exists, then up to
+        ``claim_batch_limit`` — capped so a batch stays around two
+        heartbeat periods of work.  A slow worker naturally claims small
+        batches (less to strand when it dies); a fast one amortizes the
+        claim round-trip over more jobs.
+        """
+
+        with self._job_lock:
+            per_job = self._job_ewma.value
+        if per_job is None:
+            return 1
+        budget = int(2.0 * self.heartbeat_seconds / max(per_job, 1e-6))
+        return max(1, min(self.claim_batch_limit, budget))
+
+    def _execute(self, job_id: str) -> tuple[str, dict[str, Any]] | None:
+        """Run one claimed job; return its ``(job_id, row)`` report.
+
+        Returns None for a stale re-enqueue of an already-collected job
+        (nothing to report).  The caller batches rows into one
+        ``report_many`` round-trip per claim batch.
+        """
+
+        payload = self.store.get(_PAYLOAD_PREFIX + job_id)
+        if payload is None:
+            return None  # stale re-enqueue of an already-collected job
+        attempts = self.store.incr(_STRIKES_PREFIX + job_id)
+        if attempts > self.max_strikes:
+            # Every allowed attempt already died mid-execution: this
+            # payload is poison.  Quarantine it — a degraded failure
+            # row and a completion event — instead of feeding it
+            # another worker.  The message is deterministic (no
+            # clocks, no worker ids) so degraded runs are replayable.
+            return (
+                job_id,
+                {
+                    "worker": self.worker_id,
+                    "finished_at": time.time(),
+                    "passed": False,
+                    "degraded": True,
+                    "result": f"quarantined after {self.max_strikes} strikes",
+                },
+            )
         try:
-            payload = self.store.get(_PAYLOAD_PREFIX + job_id)
-            if payload is None:
-                return  # stale re-enqueue of an already-collected job
-            attempts = self.store.incr(_STRIKES_PREFIX + job_id)
-            if attempts > self.max_strikes:
-                # Every allowed attempt already died mid-execution: this
-                # payload is poison.  Quarantine it — a degraded failure
-                # row and a completion event — instead of feeding it
-                # another worker.  The message is deterministic (no
-                # clocks, no worker ids) so degraded runs are replayable.
-                self.store.hsetnx(
-                    Master.RESULTS_KEY,
-                    job_id,
-                    {
-                        "worker": self.worker_id,
-                        "finished_at": time.time(),
-                        "passed": False,
-                        "degraded": True,
-                        "result": f"quarantined after {self.max_strikes} strikes",
-                    },
+            function, tasks = pickle.loads(payload)
+        except Exception as exc:  # noqa: BLE001 - failures are results
+            row: dict[str, Any] = {
+                "worker": self.worker_id,
+                "finished_at": time.time(),
+                "passed": False,
+                "result": f"{type(exc).__name__}: {exc}",
+            }
+        else:
+            first = tasks[0] if tasks else None
+            problem = getattr(first, "problem", None)
+            request = getattr(first, "request", None)
+            detail = (
+                getattr(first, "problem_id", None)
+                or getattr(problem, "problem_id", None)
+                or getattr(getattr(request, "problem", None), "problem_id", None)
+                or job_id
+            )
+            spec = self.injector.fire("worker.execute", str(detail))
+            if spec is not None and spec.kind == "kill":
+                # Vanish as a power cut would: claim registered and
+                # strike counted, no report, no further heartbeats.
+                os.kill(os.getpid(), signal.SIGKILL)
+            self.injector.sleep_if_delay(spec, detail)
+            watchdog: threading.Timer | None = None
+            if self.job_deadline_seconds is not None:
+                watchdog = threading.Timer(
+                    self.job_deadline_seconds, self._watchdog_fire, args=(job_id,)
                 )
-                self.store.rpush(DONE_KEY, job_id)
-                return
+                watchdog.daemon = True
+                watchdog.start()
+            started = time.monotonic()
             try:
-                function, tasks = pickle.loads(payload)
+                result = [function(task) for task in tasks]
+                self._observe(result, time.monotonic() - started)
+                row = {
+                    "worker": self.worker_id,
+                    "finished_at": time.time(),
+                    "passed": True,
+                    "result": result,
+                }
             except Exception as exc:  # noqa: BLE001 - failures are results
-                row: dict[str, Any] = {
+                row = {
                     "worker": self.worker_id,
                     "finished_at": time.time(),
                     "passed": False,
                     "result": f"{type(exc).__name__}: {exc}",
                 }
-            else:
-                first = tasks[0] if tasks else None
-                problem = getattr(first, "problem", None)
-                detail = (
-                    getattr(first, "problem_id", None)
-                    or getattr(problem, "problem_id", None)
-                    or job_id
-                )
-                spec = self.injector.fire("worker.execute", str(detail))
-                if spec is not None and spec.kind == "kill":
-                    # Vanish as a power cut would: claim registered and
-                    # strike counted, no report, no further heartbeats.
-                    os.kill(os.getpid(), signal.SIGKILL)
-                self.injector.sleep_if_delay(spec, detail)
-                watchdog: threading.Timer | None = None
-                if self.job_deadline_seconds is not None:
-                    watchdog = threading.Timer(
-                        self.job_deadline_seconds, self._watchdog_fire, args=(job_id,)
-                    )
-                    watchdog.daemon = True
-                    watchdog.start()
-                try:
-                    result = [function(task) for task in tasks]
-                    row = {
-                        "worker": self.worker_id,
-                        "finished_at": time.time(),
-                        "passed": True,
-                        "result": result,
-                    }
-                except Exception as exc:  # noqa: BLE001 - failures are results
-                    row = {
-                        "worker": self.worker_id,
-                        "finished_at": time.time(),
-                        "passed": False,
-                        "result": f"{type(exc).__name__}: {exc}",
-                    }
-                finally:
-                    if watchdog is not None:
-                        watchdog.cancel()
-            self.store.hsetnx(Master.RESULTS_KEY, job_id, row)
-            self.store.rpush(DONE_KEY, job_id)
-        finally:
-            with self._job_lock:
-                self._current_job = None
+            finally:
+                if watchdog is not None:
+                    watchdog.cancel()
+            # The process survived this execution, so the attempt was not
+            # a mid-flight death: release the strike.  Strikes thus count
+            # only executions that are in flight *right now* or took their
+            # worker down — exactly what the quarantine rule and the
+            # reaper's free-re-enqueue refinement need, even though the
+            # report itself may still be parked in this claim batch.
+            self.store.incr(_STRIKES_PREFIX + job_id, -1)
+        return (job_id, row)
 
     def run(self) -> None:
         """Claim and execute jobs until the stop flag is raised."""
 
+        # Register this worker's context so pickled generation tasks can
+        # reach the store (distributed pacing) and the fault injector.
+        _WORKER_CONTEXT["address"] = self.address
+        _WORKER_CONTEXT["injector"] = self.injector
         self._warm()
         self._beat_once()
         stop = threading.Event()
@@ -849,21 +1163,42 @@ class FleetWorker:
         ).start()
         try:
             while True:
-                job_id = self.store.claim(
-                    Master.QUEUE_KEY, CLAIMS_KEY, self.worker_id, self.claim_timeout
+                job_ids = self.store.claim_many(
+                    Master.QUEUE_KEY,
+                    CLAIMS_KEY,
+                    self.worker_id,
+                    self._claim_limit(),
+                    self.claim_timeout,
                 )
-                if job_id is None:
+                if not job_ids:
                     if self.store.get(STOP_KEY):
                         return
                     continue
-                spec = self.injector.fire("worker.claim", job_id)
-                if spec is not None and spec.kind == "kill":
-                    # Vanish as a power cut would — claim registered, no
-                    # report, no further heartbeats: the exact window
-                    # lease reaping exists for.
-                    os.kill(os.getpid(), signal.SIGKILL)
-                self.injector.sleep_if_delay(spec, job_id)
-                self._execute(job_id)
+                # Every claimed job stays in the heartbeat until the
+                # whole batch is *reported* — a finished-but-unreported
+                # job must keep its lease alive or the reaper would hand
+                # it out again while the report sits in this batch.
+                with self._job_lock:
+                    self._current_jobs = tuple(job_ids)
+                reports: list[tuple[str, dict[str, Any]]] = []
+                try:
+                    for job_id in job_ids:
+                        spec = self.injector.fire("worker.claim", job_id)
+                        if spec is not None and spec.kind == "kill":
+                            # Vanish as a power cut would — claim
+                            # registered, no report, no further
+                            # heartbeats: the exact window lease reaping
+                            # exists for.
+                            os.kill(os.getpid(), signal.SIGKILL)
+                        self.injector.sleep_if_delay(spec, job_id)
+                        report = self._execute(job_id)
+                        if report is not None:
+                            reports.append(report)
+                    if reports:
+                        self.store.report_many(Master.RESULTS_KEY, DONE_KEY, reports)
+                finally:
+                    with self._job_lock:
+                        self._current_jobs = ()
         finally:
             stop.set()
             self.store.close()
@@ -878,6 +1213,7 @@ def run_worker(
     fault_plan: FaultPlan | None = None,
     max_strikes: int = 2,
     job_deadline_seconds: float | None = None,
+    claim_batch_limit: int = 4,
 ) -> None:
     """Module-level worker entry (importable for ``multiprocessing``)."""
 
@@ -889,6 +1225,7 @@ def run_worker(
         fault_plan=fault_plan,
         max_strikes=max_strikes,
         job_deadline_seconds=job_deadline_seconds,
+        claim_batch_limit=claim_batch_limit,
     ).run()
 
 
@@ -938,8 +1275,9 @@ class FleetExecutor:
     **Chaos** (``fault_plan``): the seeded plan is handed to the
     coordinator (sites ``coordinator.sync``, ``server.command``) and
     shipped on every spawned worker's command line (sites
-    ``worker.claim``, ``worker.execute``, ``worker.heartbeat``; each
-    worker process counts its own occurrences).  In self-hosted mode a
+    ``worker.claim``, ``worker.execute``, ``worker.generate``,
+    ``worker.heartbeat``; each worker process counts its own
+    occurrences).  In self-hosted mode a
     worker that dies with jobs outstanding is respawned, up to
     ``respawn_limit`` replacements per executor, before the all-dead
     check raises.
@@ -969,6 +1307,7 @@ class FleetExecutor:
         job_deadline_seconds: float | None = None,
         respawn_limit: int = 2,
         degrade: bool = True,
+        claim_batch_limit: int = 4,
     ) -> None:
         if (num_workers is None) == (address is None):
             raise ValueError(
@@ -986,6 +1325,9 @@ class FleetExecutor:
             raise ValueError("max_strikes must be >= 1")
         if respawn_limit < 0:
             raise ValueError("respawn_limit must be >= 0")
+        if claim_batch_limit < 1:
+            raise ValueError("claim_batch_limit must be >= 1")
+        self.claim_batch_limit = claim_batch_limit
         self.num_workers = num_workers
         self.address = (address[0], int(address[1])) if address is not None else None
         self.lease_seconds = lease_seconds
@@ -1075,6 +1417,8 @@ class FleetExecutor:
             str(self.claim_timeout),
             "--max-strikes",
             str(self.max_strikes),
+            "--claim-batch",
+            str(self.claim_batch_limit),
         ]
         if self.fault_plan is not None:
             command += ["--fault-plan", self.fault_plan.to_json()]
@@ -1319,16 +1663,73 @@ class FleetExecutor:
             self._master.note_claim(job_id, worker_id, now)
             self._log_event("claim", job=job_id, worker=worker_id)
 
+    @staticmethod
+    def _parse_heartbeat(value: Any) -> tuple[int, tuple[str, ...], dict[str, float]]:
+        """Decode one heartbeat value, tolerating the legacy 2-tuple shape.
+
+        Current workers publish ``(sequence, job ids, throughput)``;
+        pre-batching workers published ``(sequence, job id or None)``.
+        Mixed fleets (a rolling upgrade) must not strand the old shape.
+        """
+
+        sequence = value[0]
+        current = value[1] if len(value) > 1 else None
+        if current is None:
+            jobs: tuple[str, ...] = ()
+        elif isinstance(current, str):
+            jobs = (current,)
+        else:
+            jobs = tuple(current)
+        throughput = dict(value[2]) if len(value) > 2 and value[2] else {}
+        return sequence, jobs, throughput
+
     def _sync_heartbeats(self, now: float) -> None:
         assert self._store is not None and self._master is not None
         for worker_id, value in self._store.hgetall(HEARTBEATS_KEY).items():
-            sequence, current_job = value
+            sequence, jobs, throughput = self._parse_heartbeat(value)
             if self._seen_beats.get(worker_id) == sequence:
                 continue  # no fresh beat: do NOT renew from a stale value
             self._seen_beats[worker_id] = sequence
-            self._master.record_heartbeat(
-                worker_id, now, jobs=(current_job,) if current_job is not None else ()
-            )
+            self._master.record_heartbeat(worker_id, now, jobs=jobs, throughput=throughput)
+
+    def worker_relative_speeds(self) -> list[float]:
+        """Observed per-worker speeds, normalised to the fleet mean.
+
+        Each worker's heartbeat-reported rates (generate + score
+        records/second) are summed and divided by the fleet average, so
+        ``1.0`` is an average worker, ``0.5`` half speed.  Sorted
+        descending; empty before any throughput has been observed.  The
+        scheduler cycles these onto its consumer threads to weight steal
+        decisions by who is actually claiming.
+        """
+
+        with self._lock:
+            stats = None if self._master is None else self._master.stats(time.monotonic())
+        if stats is None or not stats.worker_throughput:
+            return []
+        totals = [sum(rates.values()) for rates in stats.worker_throughput.values()]
+        totals = [total for total in totals if total > 0]
+        if not totals:
+            return []
+        mean = sum(totals) / len(totals)
+        return sorted((total / mean for total in totals), reverse=True)
+
+    def _attempts_of(self, job_id: str) -> int:
+        """Execution attempts currently charged against ``job_id``.
+
+        Read from the worker-maintained strike counters: zero means the
+        dead claimant never started (or cleanly finished) this job, so
+        the reaper re-enqueues it without burning its once-only budget —
+        a batch-claiming worker's death must not poison-flag the innocent
+        jobs stranded in its batch.  A store hiccup counts as one attempt
+        (the conservative, pre-batching behavior).
+        """
+
+        assert self._store is not None
+        try:
+            return max(0, int(self._store.get(_STRIKES_PREFIX + job_id) or 0))
+        except (ConnectionError, StoreCommandError):
+            return 1
 
     def _reap(self, now: float, rows: dict[str, dict[str, Any]], outstanding: set[str]) -> None:
         assert self._store is not None and self._master is not None
@@ -1337,7 +1738,7 @@ class FleetExecutor:
         expiry = self._master.next_lease_expiry()
         if expiry is None or now < expiry:
             return
-        requeued = self._master.reap_expired(now)
+        requeued = self._master.reap_expired(now, attempts=self._attempts_of)
         for job_id in requeued:
             # The master already cleared the claim row before re-queueing;
             # deleting it here again could race a parked worker's instant
@@ -1430,6 +1831,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         metavar="SECONDS",
         help="watchdog: SIGKILL self if one job executes past this deadline",
     )
+    worker_cmd.add_argument(
+        "--claim-batch",
+        type=int,
+        default=4,
+        metavar="N",
+        help="upper bound on jobs claimed per claim_many round-trip",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "store":
@@ -1450,9 +1858,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         fault_plan=FaultPlan.from_json(args.fault_plan) if args.fault_plan else None,
         max_strikes=args.max_strikes,
         job_deadline_seconds=args.job_deadline,
+        claim_batch_limit=args.claim_batch,
     )
     return 0
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    # ``python -m repro.evalcluster.fleet`` executes this file as
+    # ``__main__`` — a *second* module instance, separate from the
+    # ``repro.evalcluster.fleet`` that pickled payloads import.  A worker
+    # must run under the canonical instance or its registered context
+    # (``_WORKER_CONTEXT``: the store address for distributed pacing, the
+    # fault injector for ``worker.generate`` chaos) would be invisible to
+    # :func:`repro.pipeline.stages.run_generation_task`.
+    from repro.evalcluster.fleet import main as _canonical_main
+
+    raise SystemExit(_canonical_main())

@@ -10,8 +10,8 @@ semantics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.evalcluster.kvstore import RedisLikeStore
 
@@ -53,6 +53,9 @@ class MasterStats:
 
     ``heartbeat_ages`` maps worker id to seconds since its last recorded
     heartbeat (on the master's clock — worker clocks are never compared).
+    ``worker_throughput`` maps worker id to its self-reported observed
+    rates (EWMA records/second, keyed ``generate_rps``/``score_rps``) —
+    piggybacked on heartbeats, so a silent worker's last report sticks.
     """
 
     pending: int
@@ -61,6 +64,13 @@ class MasterStats:
     requeued: int
     abandoned: int
     heartbeat_ages: dict[str, float]
+    worker_throughput: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def _rate_of(self, worker: str) -> str:
+        rates = self.worker_throughput.get(worker)
+        if not rates:
+            return ""
+        return f" {sum(rates.values()):.1f}rec/s"
 
     def describe(self) -> str:
         """One-line summary for leaderboard footers and logs."""
@@ -72,7 +82,8 @@ class MasterStats:
         )
         if self.heartbeat_ages:
             beats = ", ".join(
-                f"{worker} {age:.1f}s" for worker, age in sorted(self.heartbeat_ages.items())
+                f"{worker} {age:.1f}s{self._rate_of(worker)}"
+                for worker, age in sorted(self.heartbeat_ages.items())
             )
             line += f" | heartbeats: {beats}"
         return line
@@ -103,6 +114,7 @@ class Master:
         self._requeued: set[str] = set()
         self._abandoned: set[str] = set()
         self._heartbeats: dict[str, float] = {}  # worker_id -> last beat (master clock)
+        self._throughput: dict[str, dict[str, float]] = {}  # worker_id -> observed rates
 
     # -- job submission -------------------------------------------------------
     def submit(self, jobs: Sequence[EvaluationJob]) -> None:
@@ -158,13 +170,23 @@ class Master:
 
         return min(self._leases.values()) if self._leases else None
 
-    def reap_expired(self, now: float) -> list[str]:
+    def reap_expired(
+        self, now: float, attempts: Callable[[str], int] | None = None
+    ) -> list[str]:
         """Re-enqueue jobs whose lease expired; returns the re-enqueued ids.
 
         Each job is given exactly one second chance.  A job whose lease
         expires again is reported failed by the master itself, so a
         poisonous job (one that kills every worker that touches it) cannot
         starve the run.
+
+        ``attempts`` (job id -> execution attempts so far) refines the
+        once-only budget for batch-claiming workers: a job whose claimant
+        died *before executing it* — zero attempts — is re-enqueued
+        without burning its second chance.  An unexecuted job cannot be
+        poison; only executions that died mid-flight should count against
+        it.  Without ``attempts`` every expiry burns the budget, as the
+        timing simulation's single-claim workers expect.
         """
 
         requeued: list[str] = []
@@ -173,6 +195,11 @@ class Master:
                 continue
             del self._leases[job_id]
             self._lease_holders.pop(job_id, None)
+            if attempts is not None and attempts(job_id) <= 0:
+                self.store.hdel(self.CLAIMS_KEY, job_id)
+                self.store.rpush(self.QUEUE_KEY, job_id)
+                requeued.append(job_id)
+                continue
             if job_id in self._requeued:
                 self._abandoned.add(job_id)
                 # The message is deliberately clock-free: under a seeded
@@ -270,7 +297,11 @@ class Master:
 
     # -- fleet health ---------------------------------------------------------------
     def record_heartbeat(
-        self, worker_id: str, now: float = 0.0, jobs: Sequence[str] | None = None
+        self,
+        worker_id: str,
+        now: float = 0.0,
+        jobs: Sequence[str] | None = None,
+        throughput: Mapping[str, float] | None = None,
     ) -> None:
         """Note a worker's liveness at ``now`` (the master's clock) and
         renew the leases it holds — a worker still beating is still
@@ -281,9 +312,15 @@ class Master:
         claim that was registered but never delivered to it (a lost reply
         on the wire) is *not* kept alive forever — its lease expires and
         the job is re-enqueued.  ``None`` renews every held lease.
+
+        ``throughput`` is the worker's self-reported observed rates
+        (EWMA records/second by phase); the latest non-empty report is
+        kept for :meth:`stats` and the steal policy's per-worker weights.
         """
 
         self._heartbeats[worker_id] = now
+        if throughput:
+            self._throughput[worker_id] = dict(throughput)
         if self.lease_seconds is None:
             return
         for job_id, holder in self._lease_holders.items():
@@ -310,5 +347,8 @@ class Master:
             abandoned=len(self._abandoned),
             heartbeat_ages={
                 worker: max(0.0, now - beat) for worker, beat in self._heartbeats.items()
+            },
+            worker_throughput={
+                worker: dict(rates) for worker, rates in self._throughput.items()
             },
         )

@@ -32,7 +32,8 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Awaitable, Callable
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable
 
 from repro.dataset.problem import Problem
 from repro.llm.interface import Model
@@ -45,7 +46,9 @@ from repro.utils.rng import DeterministicRNG
 __all__ = [
     "EndpointError",
     "LiveEndpointModel",
+    "ModelSpec",
     "RemoteEndpointModel",
+    "ReplayTransport",
     "TransientEndpointError",
     "http_transport",
 ]
@@ -322,3 +325,147 @@ def http_transport(
             ) from exc
 
     return transport
+
+
+class ReplayTransport:
+    """A picklable transport replaying recorded ``prompt -> response`` pairs.
+
+    The offline stand-in for a live endpoint: deterministic (the same
+    prompt always yields the same recorded response), picklable (a plain
+    mapping plus a float — unlike the :func:`http_transport` closure it
+    ships to worker processes), and optionally *latency-bound* —
+    ``latency_seconds`` is slept per call, so benchmarks can model an
+    endpoint whose cost is wire time rather than CPU.  A prompt with no
+    recording raises :class:`EndpointError` (a permanent failure — replay
+    has nothing to retry toward).
+    """
+
+    def __init__(self, responses: dict[str, str], latency_seconds: float = 0.0) -> None:
+        if latency_seconds < 0:
+            raise ValueError("latency_seconds must be non-negative")
+        self.responses = dict(responses)
+        self.latency_seconds = latency_seconds
+
+    def __call__(self, prompt: str) -> str:
+        if self.latency_seconds > 0:
+            time.sleep(self.latency_seconds)
+        try:
+            return self.responses[prompt]
+        except KeyError:
+            raise EndpointError(
+                f"no recorded response for a {len(prompt)}-character prompt"
+            ) from None
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A picklable recipe for constructing a model in another process.
+
+    The fleet's generation offload ships the *description* of a model —
+    not the model — to its workers: a :class:`LiveEndpointModel` is built
+    around an unpicklable transport closure and a shared rate limiter, so
+    the spec carries the transport's configuration instead and each worker
+    process rebuilds (and memoises — see
+    :func:`repro.pipeline.stages.run_generation_task`) its own instance,
+    exactly as :func:`~repro.scoring.compiled.warm_reference_store` warms
+    the per-process reference store.
+
+    Exactly one model source must be set:
+
+    * ``model`` — an already-picklable model instance (the simulated
+      registry models and :class:`RemoteEndpointModel` wrappers are pure
+      data); :meth:`build` returns it as-is.
+    * ``transport`` — a picklable ``(prompt) -> response`` callable (e.g.
+      :class:`ReplayTransport`); wrapped in a :class:`LiveEndpointModel`.
+    * ``url`` — endpoint config for :func:`http_transport` (built inside
+      the worker, where the closure never needs to travel).
+
+    ``rate_limit``/``burst`` describe the *global* pacing contract of the
+    endpoint.  Inside a fleet worker the built model paces through the
+    store-mediated :class:`~repro.evalcluster.fleet.DistributedTokenBucket`
+    (every worker debits one server-side bucket named ``pacer_key``, so N
+    processes together never exceed the rate); anywhere else — the parent
+    process, a thread pool — :meth:`build` falls back to a local
+    wall-clock :class:`~repro.utils.ratelimit.TokenBucket` with the same
+    parameters.
+    """
+
+    name: str
+    model: Any = None
+    transport: Callable[[str], str] | None = None
+    url: str | None = None
+    response_field: str = "response"
+    prompt_field: str = "prompt"
+    headers: tuple[tuple[str, str], ...] = ()
+    timeout_seconds: float = 60.0
+    rate_limit: float | None = None
+    burst: int = 1
+    max_retries: int = 2
+    backoff_seconds: float = 0.5
+    backoff_multiplier: float = 2.0
+    pacer_key: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a model spec needs a model name")
+        sources = sum(
+            source is not None for source in (self.model, self.transport, self.url)
+        )
+        if sources != 1:
+            raise ValueError(
+                "pass exactly one model source: model (picklable instance), "
+                "transport (picklable callable), or url (http endpoint)"
+            )
+        if self.model is not None and getattr(self.model, "name", self.name) != self.name:
+            raise ValueError(
+                f"spec name {self.name!r} does not match model name {self.model.name!r}"
+            )
+        if self.rate_limit is not None and self.rate_limit <= 0:
+            raise ValueError("rate_limit must be positive")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+
+    @classmethod
+    def of(cls, model: Model, **overrides: Any) -> "ModelSpec":
+        """Spec a picklable model instance under its own name."""
+
+        return cls(name=model.name, model=model, **overrides)
+
+    @property
+    def limiter_key(self) -> str:
+        """The distributed bucket this spec's builds share (default: the name)."""
+
+        return self.pacer_key or self.name
+
+    def build(self, limiter: Any = None) -> Model:
+        """Construct the model this spec describes.
+
+        ``limiter`` (anything with the :class:`~repro.utils.ratelimit.TokenBucket`
+        ``acquire`` surface and ``virtual_clock=False``) overrides the
+        pacing backend; with ``rate_limit`` set and no override, a local
+        wall-clock bucket is built — the single-process semantics the
+        parent path has always had.
+        """
+
+        if self.model is not None:
+            return self.model
+        transport = self.transport
+        if transport is None:
+            assert self.url is not None
+            transport = http_transport(
+                self.url,
+                response_field=self.response_field,
+                prompt_field=self.prompt_field,
+                headers=dict(self.headers) or None,
+                timeout_seconds=self.timeout_seconds,
+            )
+        if limiter is None and self.rate_limit is not None:
+            limiter = TokenBucket(self.rate_limit, burst=self.burst, virtual_clock=False)
+        return LiveEndpointModel(
+            self.name,
+            transport,
+            limiter=limiter,
+            max_retries=self.max_retries,
+            backoff_seconds=self.backoff_seconds,
+            backoff_multiplier=self.backoff_multiplier,
+        )

@@ -25,12 +25,20 @@ from repro.llm.interface import GenerationRequest, Model, QueryModule
 from repro.pipeline.checkpoint import PipelineCheckpoint
 from repro.pipeline.executors import Executor, close_executor, resolve_executor
 from repro.pipeline.records import EvaluationRecord, ModelEvaluation
-from repro.pipeline.stages import AggregateStage, Stage, StageContext, WorkItem, default_stages
+from repro.pipeline.stages import (
+    AggregateStage,
+    Stage,
+    StageContext,
+    WorkItem,
+    default_stages,
+    offload_stages,
+)
 from repro.scoring.cache import ScoreCache
 from repro.scoring.compiled import ReferenceStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.evalcluster.calibration import CalibrationStore
+    from repro.llm.remote import ModelSpec
 
 __all__ = ["EvaluationPipeline", "PreparedBatch"]
 
@@ -90,6 +98,14 @@ class EvaluationPipeline:
     batch_size:
         Streaming granularity of :meth:`run_iter` — smaller batches
         checkpoint more often, larger ones amortise stage overhead.
+    model_spec:
+        Optional :class:`~repro.llm.remote.ModelSpec` naming the same
+        model: switches the default chain to generation *offload* — the
+        whole generate→extract→score chain ships to the executor as
+        picklable tasks (see :class:`~repro.pipeline.stages.FleetGenerationStage`),
+        so a fleet backend generates and scores on its workers under the
+        store's distributed rate limit.  Ignored when explicit ``stages``
+        are passed.
     calibration:
         Optional :class:`~repro.evalcluster.calibration.CalibrationStore`:
         every freshly evaluated record's measured duration (generation +
@@ -115,21 +131,34 @@ class EvaluationPipeline:
         lease_seconds: float | None = None,
         calibration: "CalibrationStore | None" = None,
         score_cache: ScoreCache | None = None,
+        model_spec: "ModelSpec | None" = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if model_spec is not None and model_spec.name != model.name:
+            raise ValueError(
+                f"model_spec names {model_spec.name!r} but the pipeline's model "
+                f"is {model.name!r}"
+            )
         self.model = model
+        self.model_spec = model_spec
         self.query = QueryModule(model, max_workers=max(1, max_workers))
-        self.stages: list[Stage] = (
-            list(stages)
-            if stages is not None
-            else default_stages(
+        if stages is not None:
+            self.stages: list[Stage] = list(stages)
+        elif model_spec is not None:
+            # Generation offload: the whole generate→extract→score chain
+            # ships to the executor as picklable GenerationTasks, built
+            # from the spec instead of the live model.
+            self.stages = offload_stages(
+                model_spec, store=store, run_unit_tests=run_unit_tests
+            )
+        else:
+            self.stages = default_stages(
                 self.query,
                 store=store,
                 run_unit_tests=run_unit_tests,
                 score_cache=score_cache,
             )
-        )
         self.aggregate = AggregateStage()
         # An executor resolved here from a spec string is owned by (and torn
         # down with) this pipeline; an instance passed in is the caller's.
@@ -203,10 +232,13 @@ class EvaluationPipeline:
             # The generation-side stages run (and with the async backend,
             # overlap) as one batch, so the batch's wall-clock is shared
             # evenly across its items — the per-request view of a cost the
-            # endpoint only exposes per batch.
+            # endpoint only exposes per batch.  An item that already
+            # carries a measurement (the fleet offload stage times each
+            # generation where it ran) keeps its own truth.
             elapsed = (time.perf_counter() - start) / max(1, len(items))
             for item in items:
-                item.generate_seconds = elapsed
+                if item.generate_seconds == 0.0:
+                    item.generate_seconds = elapsed
             prepared.items = items
         return prepared
 

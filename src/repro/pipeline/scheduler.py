@@ -23,7 +23,12 @@ How the units are *ordered* is the scheduling policy:
   :class:`~repro.evalcluster.calibration.CalibratedCostModel` they are
   *re-predicted as measurements arrive* — the store's version bump
   invalidates the remaining-seconds estimates, so the steal order adapts
-  mid-run to observed rather than modelled durations.
+  mid-run to observed rather than modelled durations.  Claims are also
+  weighted by the *claimant*: with per-worker relative speeds known
+  (``worker_speeds``, or a fleet backend's heartbeat-observed
+  throughput), a markedly slow worker takes the cheapest next batch
+  instead of the straggler's — the critical path stays with fast
+  workers (:class:`StealPolicy`'s ``slow_worker_threshold``).
 * **Static round-robin** (``steal=False``): the PR 4 behaviour — batch k
   of every job before batch k+1 of any job, released in exactly that
   order.  Kept as the baseline the stealing benchmark measures against.
@@ -72,6 +77,7 @@ from repro.scoring.compiled import ReferenceStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.evalcluster.calibration import CalibrationStore
+    from repro.llm.remote import ModelSpec
 
 __all__ = ["ModelJob", "MultiModelScheduler", "StealPolicy"]
 
@@ -94,11 +100,17 @@ class ModelJob:
     ``checkpoint`` is the per-job base path; every shard of the job derives
     its own file from it (``<base>.shard-ii-of-nn``).  Jobs in one
     scheduler must have distinct model names — the name keys the results.
+
+    ``model_spec``, when set, offloads this job's whole
+    generate→extract→score chain to the run's executor (see
+    :class:`~repro.pipeline.stages.FleetGenerationStage`): the spec must
+    name the same model.
     """
 
     model: Model
     requests: list[GenerationRequest] = field(default_factory=list)
     checkpoint: str | os.PathLike[str] | None = None
+    model_spec: "ModelSpec | None" = None
 
     @property
     def name(self) -> str:
@@ -119,20 +131,42 @@ class StealPolicy:
     are deprioritised when any free-lock alternative exists: stealing from
     a busy job would serialise behind its in-flight batch instead of
     adding parallelism.
+
+    With heterogeneous workers the *claimant* matters too: remaining
+    seconds scale uniformly with the claimer's speed, so the argmax is
+    unchanged — but handing the straggler's next batch to a slow worker
+    stretches exactly the tail the steal exists to shorten.  A claimant
+    whose observed relative speed (fleet throughput, normalised to the
+    fleet mean) falls below ``slow_worker_threshold`` therefore takes the
+    *cheapest* predicted next batch instead — enough to stay busy without
+    camping on the critical path — whenever per-unit predictions are
+    available.
     """
+
+    #: Claimants slower than this fraction of the mean worker switch from
+    #: longest-remaining to cheapest-next-batch picks.
+    slow_worker_threshold = 0.75
 
     def choose(
         self,
         remaining: Sequence[float],
         claimable: Sequence[bool],
         busy: Sequence[bool] | None = None,
+        worker_speed: float = 1.0,
+        next_unit_seconds: Sequence[float] | None = None,
     ) -> int | None:
         """The job to claim from next, or None when nothing is claimable."""
 
-        def best(candidates: list[int]) -> int | None:
-            if not candidates:
-                return None
-            return max(candidates, key=lambda j: (remaining[j], -j))
+        if worker_speed < self.slow_worker_threshold and next_unit_seconds is not None:
+            def best(candidates: list[int]) -> int | None:
+                if not candidates:
+                    return None
+                return min(candidates, key=lambda j: (next_unit_seconds[j], j))
+        else:
+            def best(candidates: list[int]) -> int | None:
+                if not candidates:
+                    return None
+                return max(candidates, key=lambda j: (remaining[j], -j))
 
         candidates = [j for j in range(len(claimable)) if claimable[j]]
         if busy is not None:
@@ -211,6 +245,7 @@ class MultiModelScheduler:
         calibration: "CalibrationStore | None" = None,
         score_cache: ScoreCache | None = None,
         batch_sizer: BatchSizer | None = None,
+        worker_speeds: Sequence[float] | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -239,6 +274,9 @@ class MultiModelScheduler:
         self.prefetch_batches = prefetch_batches
         self.steal = steal
         self.steal_policy = steal_policy if steal_policy is not None else StealPolicy()
+        if worker_speeds is not None and not worker_speeds:
+            worker_speeds = None
+        self.worker_speeds = list(worker_speeds) if worker_speeds is not None else None
         self.calibration = calibration
         # One score cache for every sub-pipeline of every model: different
         # models frequently emit identical answers, and the shared store is
@@ -307,6 +345,7 @@ class MultiModelScheduler:
                     batch_size=self.batch_size,
                     calibration=self.calibration,
                     score_cache=self.score_cache,
+                    model_spec=job.model_spec,
                 )
                 self._pipelines.append(pipeline)
                 if self.batch_sizer is not None:
@@ -348,6 +387,27 @@ class MultiModelScheduler:
 
         generation_backend = self.generate_executor or self.executor
         return getattr(generation_backend, "limiter", None) is not None
+
+    def _worker_speed(self, worker_index: int) -> float:
+        """The relative speed of generation worker ``worker_index``.
+
+        Explicit ``worker_speeds`` win; otherwise a fleet backend's
+        heartbeat-observed relative speeds
+        (:meth:`~repro.evalcluster.fleet.FleetExecutor.worker_relative_speeds`)
+        are cycled onto the scheduler's worker threads.  ``1.0`` — the
+        homogeneous assumption, and the exact pre-weighting behaviour —
+        when nothing has been observed yet.
+        """
+
+        speeds: Sequence[float] | None = self.worker_speeds
+        if speeds is None:
+            generation_backend = self.generate_executor or self.executor
+            observed = getattr(generation_backend, "worker_relative_speeds", None)
+            if observed is not None:
+                speeds = observed() or None
+        if not speeds:
+            return 1.0
+        return float(speeds[worker_index % len(speeds)])
 
     def _job_cost_model(self, job: ModelJob) -> CostModel:
         """The cost model pricing ``job``'s batches.
@@ -566,13 +626,23 @@ class MultiModelScheduler:
             remaining[job_index] -= unit_seconds[job_index][unit_index]
             return job_index, unit_index
 
-        def claim_locked() -> tuple[int, int] | None:
+        def claim_locked(worker_speed: float = 1.0) -> tuple[int, int] | None:
             """Claim the policy's next unit for a worker (holding ``ready``)."""
 
             repredict_locked()
             claimable = [next_claim[j] < len(per_job[j]) for j in range(len(per_job))]
             busy = [lock.locked() for lock in job_locks]
-            job_index = self.steal_policy.choose(remaining, claimable, busy)
+            next_seconds = [
+                unit_seconds[j][next_claim[j]] if claimable[j] else float("inf")
+                for j in range(len(per_job))
+            ]
+            job_index = self.steal_policy.choose(
+                remaining,
+                claimable,
+                busy,
+                worker_speed=worker_speed,
+                next_unit_seconds=next_seconds,
+            )
             if job_index is None:
                 return None
             return take_locked(job_index)
@@ -604,12 +674,12 @@ class MultiModelScheduler:
                 return None
             return take_locked(job_index)
 
-        def produce() -> None:
+        def produce(worker_index: int) -> None:
             while not stop.is_set():
                 if not in_flight.acquire(timeout=0.05):
                     continue  # re-check stop while the window is full
                 with ready:
-                    claim = claim_locked()
+                    claim = claim_locked(self._worker_speed(worker_index))
                     if claim is None:
                         in_flight.release()
                         return
@@ -629,7 +699,9 @@ class MultiModelScheduler:
                     return
 
         workers = [
-            threading.Thread(target=produce, name=f"leaderboard-stealer-{i}", daemon=True)
+            threading.Thread(
+                target=produce, args=(i,), name=f"leaderboard-stealer-{i}", daemon=True
+            )
             for i in range(self._generation_workers(total))
         ]
         for worker in workers:

@@ -41,6 +41,7 @@ from repro.scoring.compiled import ReferenceStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.evalcluster.calibration import CalibrationStore
+    from repro.llm.remote import ModelSpec
 
 __all__ = ["ShardPlan", "ShardedEvaluationPipeline", "merge_evaluations"]
 
@@ -106,6 +107,7 @@ class ShardedEvaluationPipeline:
         calibration: "CalibrationStore | None" = None,
         score_cache: ScoreCache | None = None,
         batch_sizer: BatchSizer | None = None,
+        model_spec: "ModelSpec | None" = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -130,6 +132,7 @@ class ShardedEvaluationPipeline:
         self.calibration = calibration
         self.score_cache = score_cache
         self.batch_sizer = batch_sizer
+        self.model_spec = model_spec
         # Executors are shared across every sub-pipeline so pools (threads,
         # processes, event-loop rate limiter) are built once per run, and
         # owned by this pipeline when resolved from spec strings.
@@ -148,7 +151,14 @@ class ShardedEvaluationPipeline:
     # ------------------------------------------------------------------
     def _scheduler(self, requests: list[GenerationRequest]) -> MultiModelScheduler:
         scheduler = MultiModelScheduler(
-            [ModelJob(self.model, requests, checkpoint=self.checkpoint_base)],
+            [
+                ModelJob(
+                    self.model,
+                    requests,
+                    checkpoint=self.checkpoint_base,
+                    model_spec=self.model_spec,
+                )
+            ],
             shards=self.shards,
             planner=self.planner,
             executor=self.executor,

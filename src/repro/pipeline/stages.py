@@ -17,9 +17,11 @@ two-method interface and slot anywhere into the chain.
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
 from repro.dataset.problem import Problem
 from repro.llm.interface import GenerationRequest, QueryModule
@@ -37,6 +39,10 @@ from repro.scoring.compiled import (
     score_extracted,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fleet imports us)
+    from repro.llm.interface import Model
+    from repro.llm.remote import ModelSpec
+
 __all__ = [
     "WorkItem",
     "StageContext",
@@ -46,7 +52,12 @@ __all__ = [
     "ExtractStage",
     "ScoreStage",
     "AggregateStage",
+    "FleetGenerationStage",
+    "GenerationOutcome",
+    "GenerationTask",
     "default_stages",
+    "offload_stages",
+    "run_generation_task",
     "run_timed_score_task",
 ]
 
@@ -364,4 +375,228 @@ def default_stages(
         GenerateStage(query),
         ExtractStage(),
         ScoreStage(store=store, run_unit_tests=run_unit_tests, cache=score_cache),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Fleet generation offload
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GenerationTask:
+    """A picklable unit of *end-to-end* evaluation work for fleet workers.
+
+    The whole generate→extract→score chain for one request, shippable
+    over the wire: the request and a :class:`~repro.llm.remote.ModelSpec`
+    (transport configuration, never a live model object) plus the same
+    compiled-reference piggyback :class:`~repro.scoring.compiled.ScoreTask`
+    uses.  The worker rebuilds the model once per process from the spec.
+    """
+
+    request: GenerationRequest
+    spec: "ModelSpec"
+    run_unit_tests: bool = True
+    compiled: CompiledReference | None = None
+
+
+@dataclass
+class GenerationOutcome:
+    """What one :class:`GenerationTask` produced, measured where it ran.
+
+    ``generate_seconds``/``score_seconds`` are worker-measured wall
+    seconds — the true remote cost, which both the pipeline's timing
+    fields and the fleet's throughput EWMAs want.  Mirrors
+    :meth:`QueryModule._query_captured` semantics: a model exception
+    becomes ``error`` with an empty response, and the (empty) extraction
+    is still scored, exactly as the parent-process path would.
+    """
+
+    model_name: str
+    response: str
+    error: str
+    extracted: str
+    card: ScoreCard
+    generate_seconds: float
+    score_seconds: float
+
+
+#: Per-process model memo for :func:`run_generation_task`, keyed by spec
+#: name: pickled spec copies are distinct objects, so the *name* is the
+#: one-model-per-process contract — the same role ``_PROCESS_STORE`` plays
+#: for compiled references.
+_SPEC_MODELS: dict[str, "Model"] = {}
+
+
+def _generation_model(spec: "ModelSpec") -> "Model":
+    """This process's model for ``spec``, built once and reused.
+
+    Inside a fleet worker the model's rate limiter is the *distributed*
+    token bucket for the spec's ``limiter_key`` — every worker hitting
+    the endpoint debits one server-side balance, so the global limit
+    holds across the fleet.  Outside a worker (a process pool, or the
+    parent process itself) the spec falls back to a local wall-clock
+    bucket.
+    """
+
+    model = _SPEC_MODELS.get(spec.name)
+    if model is None:
+        from repro.evalcluster.fleet import fleet_pacer
+
+        limiter = None
+        if spec.rate_limit is not None:
+            limiter = fleet_pacer(spec.limiter_key, spec.rate_limit, spec.burst)
+        model = spec.build(limiter=limiter)
+        _SPEC_MODELS[spec.name] = model
+    return model
+
+
+def run_generation_task(task: GenerationTask) -> GenerationOutcome:
+    """Run one request's full generate→extract→score chain where it lands.
+
+    Module-level and self-contained so fleet workers (and process pools)
+    can pickle it by reference.  Error capture matches
+    :meth:`QueryModule._query_captured` exactly — ``{type}: {message}``,
+    empty response — and the empty extraction is scored like any other,
+    so offloaded records are bit-identical to parent-generated ones.
+
+    Fires the ``worker.generate`` fault site (detail = problem id) before
+    querying the model: ``kill`` takes the whole worker down mid-batch —
+    the lease/strike/degradation machinery's hardest case — and ``delay``
+    stretches the request.
+    """
+
+    from repro.evalcluster.fleet import worker_injector
+
+    request = task.request
+    problem = request.problem
+    spec = worker_injector().fire("worker.generate", problem.problem_id)
+    if spec is not None and spec.kind == "kill":
+        # Die as a crashed generation process would: mid-batch, claim
+        # registered, strike counted, nothing reported.
+        os.kill(os.getpid(), signal.SIGKILL)
+    worker_injector().sleep_if_delay(spec, problem.problem_id)
+
+    model = _generation_model(task.spec)
+    error = ""
+    started = time.perf_counter()
+    try:
+        response = model.generate(
+            problem, shots=request.shots, sample_index=request.sample_index
+        )
+    except Exception as exc:  # noqa: BLE001 - mirror _query_captured
+        response = ""
+        error = f"{type(exc).__name__}: {exc}"
+    generate_seconds = time.perf_counter() - started
+
+    extracted = extract_yaml(response)
+    compiled = task.compiled
+    if compiled is None:
+        from repro.scoring.compiled import warm_reference_store
+
+        compiled = warm_reference_store().get(problem)
+    started = time.perf_counter()
+    card = score_extracted(compiled, extracted, task.run_unit_tests)
+    score_seconds = time.perf_counter() - started
+    return GenerationOutcome(
+        model_name=task.spec.name,
+        response=response,
+        error=error,
+        extracted=extracted,
+        card=card,
+        generate_seconds=generate_seconds,
+        score_seconds=score_seconds,
+    )
+
+
+class FleetGenerationStage:
+    """Offload the whole generate→extract→score chain to the executor.
+
+    One stage replaces ``GenerateStage + ExtractStage + ScoreStage`` when
+    generation itself should leave the parent process: each item becomes
+    a :class:`GenerationTask` and the executor — in practice a
+    :class:`~repro.evalcluster.fleet.FleetExecutor` — maps
+    :func:`run_generation_task` over the batch.  The coordinator then
+    only moves envelopes; N workers generate *and* score concurrently
+    while the distributed token bucket keeps the endpoint's global rate
+    limit intact.
+
+    A :class:`~repro.pipeline.executors.DegradedResult` slot (the fleet
+    lost that job beyond recovery) degrades exactly like the score
+    stage's contract: a zero :class:`ScoreCard` whose ``failure_message``
+    is the infrastructure reason, an ``error``-marked record, nothing
+    memoised.
+
+    Trade-offs vs the parent path (same records either way): no
+    :class:`~repro.scoring.cache.ScoreCache` layer — workers always score
+    — and no cross-item answer dedup; offload pays off when generation
+    latency dominates, not when scoring does.
+    """
+
+    name = "fleet-generate"
+
+    def __init__(
+        self,
+        spec: "ModelSpec",
+        store: ReferenceStore | None = None,
+        run_unit_tests: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.store = store or ReferenceStore()
+        self.run_unit_tests = run_unit_tests
+
+    def process(self, items: list[WorkItem], context: StageContext) -> list[WorkItem]:
+        tasks = [
+            GenerationTask(
+                request=item.request,
+                spec=self.spec,
+                run_unit_tests=self.run_unit_tests,
+                compiled=self.store.peek(item.request.problem),
+            )
+            for item in items
+        ]
+        executor = context.generate_executor or context.executor
+        outcomes = executor.map(run_generation_task, tasks)
+        for item, outcome in zip(items, outcomes):
+            if isinstance(outcome, DegradedResult):
+                reason = outcome.reason
+                item.model_name = self.spec.name
+                item.extracted = extract_yaml(item.response)
+                item.scores = ScoreCard(
+                    problem_id=item.request.problem.problem_id,
+                    bleu=0.0,
+                    edit_distance=0.0,
+                    exact_match=0.0,
+                    kv_exact=0.0,
+                    kv_wildcard=0.0,
+                    unit_test=0.0,
+                    extracted_yaml=item.extracted,
+                    failure_message=reason,
+                )
+                item.generate_seconds = 0.0
+                item.score_seconds = 0.0
+                if not item.error:
+                    item.error = f"degraded: {reason}"
+                continue
+            item.model_name = outcome.model_name
+            item.response = outcome.response
+            item.error = outcome.error
+            item.extracted = outcome.extracted
+            item.scores = outcome.card
+            item.generate_seconds = outcome.generate_seconds
+            item.score_seconds = outcome.score_seconds
+        return items
+
+
+def offload_stages(
+    spec: "ModelSpec",
+    *,
+    store: ReferenceStore | None = None,
+    run_unit_tests: bool = True,
+) -> list[Stage]:
+    """The stage chain with generation offloaded to the run's executor."""
+
+    return [
+        PromptStage(),
+        FleetGenerationStage(spec, store=store, run_unit_tests=run_unit_tests),
     ]

@@ -33,6 +33,7 @@ site                   detail                         kinds acted on
 ====================== ============================== =========================
 ``worker.claim``       job id                         ``kill``, ``delay``
 ``worker.execute``     problem id (or job id)         ``kill``, ``delay``
+``worker.generate``    problem id                     ``kill``, ``delay``
 ``worker.heartbeat``   worker id                      ``freeze``, ``delay``
 ``remote.call``        command name                   ``drop``, ``corrupt``,
                                                       ``delay``

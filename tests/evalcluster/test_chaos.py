@@ -305,6 +305,68 @@ class TestAcceptance:
         names = {event["event"] for event in _events(events_path)}
         assert {"fault", "restart", "requeue", "respawn"} <= names
 
+    def test_offloaded_generation_kill_degrades_into_error_marked_records(
+        self, small_dataset, tmp_path
+    ):
+        """Chaos at the ``worker.generate`` site honours the degradation
+        contract: a poison problem that kills every worker generating it
+        is quarantined into an error-marked zero record, while every
+        healthy record — generated *on* the fleet — stays bit-identical
+        to the serial parent-generation run."""
+
+        from repro.llm.interface import GenerationRequest
+        from repro.llm.registry import calibrate_models, get_model
+        from repro.llm.remote import ModelSpec
+        from repro.pipeline import EvaluationPipeline
+        from repro.scoring.compiled import ReferenceStore
+
+        problems = list(small_dataset)[:10]
+        poison = problems[3].problem_id
+        serial = CloudEvalBenchmark(small_dataset, BenchmarkConfig(seed=7)).evaluate_model(
+            MODEL, problems=problems
+        )
+
+        plan = FaultPlan(
+            [FaultSpec(site="worker.generate", kind="kill", match=poison, times=0)],
+            seed=23,
+        )
+        executor = FleetExecutor(
+            num_workers=2,
+            lease_seconds=1.2,
+            poll_seconds=0.05,
+            chunk_size=1,
+            fault_plan=plan,
+            respawn_limit=4,
+            event_log=tmp_path / "events.jsonl",
+        )
+        try:
+            model = calibrate_models([get_model(MODEL, seed=7)], small_dataset)[0]
+            pipeline = EvaluationPipeline(
+                model,
+                model_spec=ModelSpec.of(model),
+                executor=executor,
+                store=ReferenceStore(),
+                batch_size=5,
+            )
+            requests = [
+                GenerationRequest(problem=problem, shots=0, sample_index=0)
+                for problem in problems
+            ]
+            evaluation = pipeline.run(requests)
+        finally:
+            executor.close()
+
+        by_problem = {record.problem_id: record for record in evaluation.records}
+        degraded = by_problem[poison]
+        assert degraded.error.startswith("degraded: ")
+        assert degraded.scores.as_dict() == {name: 0.0 for name in degraded.scores.as_dict()}
+        assert degraded.scores.failure_message == degraded.error.removeprefix("degraded: ")
+        serial_by_problem = {record.problem_id: record for record in serial.records}
+        for problem_id, record in by_problem.items():
+            if problem_id != poison:
+                assert record == serial_by_problem[problem_id]
+        assert evaluation.coverage == (len(problems) - 1) / len(problems)
+
     def test_leaderboard_shows_coverage_for_a_degraded_run(self, small_dataset):
         from repro.core.benchmark import BenchmarkResult
         from repro.core.report import format_leaderboard
